@@ -1,0 +1,66 @@
+//! The sequential baseline: one thread, one parse pass, no index —
+//! the floor against which parallel speedups are measured.
+
+use crate::{answer_aggregation, answer_containment, BaselineAnswer, BaselineQuery};
+use atgis_formats::{parse_all, Format, MetadataFilter, Mode, ParseError};
+use atgis_geometry::relate::intersects;
+
+/// Executes a query with a single sequential scan over the raw bytes.
+pub fn execute(
+    input: &[u8],
+    format: Format,
+    query: &BaselineQuery,
+) -> Result<BaselineAnswer, ParseError> {
+    let features = parse_all(input, format, Mode::Pat, &MetadataFilter::All)?;
+    Ok(match query {
+        BaselineQuery::Containment(region) => answer_containment(&features, region),
+        BaselineQuery::Aggregation(region) => answer_aggregation(&features, region),
+        BaselineQuery::Join(threshold) => {
+            // Nested-loop join with an MBR pre-filter — the naive plan
+            // a system without spatial partitioning executes.
+            let mut pairs = Vec::new();
+            for a in features.iter().filter(|f| f.id < *threshold) {
+                let am = a.geometry.mbr();
+                for b in features.iter().filter(|f| f.id >= *threshold) {
+                    if am.intersects(&b.geometry.mbr()) && intersects(&a.geometry, &b.geometry) {
+                        pairs.push((a.id, b.id));
+                    }
+                }
+            }
+            pairs.sort_unstable();
+            BaselineAnswer::Pairs(pairs)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgis_datagen::{write_geojson, OsmGenerator};
+    use atgis_geometry::Mbr;
+
+    #[test]
+    fn containment_counts() {
+        let ds = OsmGenerator::new(20).generate(50);
+        let bytes = write_geojson(&ds);
+        let world = BaselineQuery::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
+        match execute(&bytes, Format::GeoJson, &world).unwrap() {
+            BaselineAnswer::Matches(ids) => assert_eq!(ids.len(), 50),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_respects_threshold() {
+        let ds = OsmGenerator::new(21).generate(40);
+        let bytes = write_geojson(&ds);
+        match execute(&bytes, Format::GeoJson, &BaselineQuery::Join(20)).unwrap() {
+            BaselineAnswer::Pairs(pairs) => {
+                for (l, r) in pairs {
+                    assert!(l < 20 && r >= 20);
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

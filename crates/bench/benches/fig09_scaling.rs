@@ -1,0 +1,71 @@
+//! Fig. 9: scaling of containment (a), aggregation (b) and join (c)
+//! queries with the number of CPU cores, for both FAT and PAT modes.
+
+use atgis::{Engine, Query};
+use atgis_bench::Workload;
+use atgis_formats::Mode;
+use atgis_geometry::Mbr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn engine(threads: usize, mode: Mode) -> Engine {
+    Engine::builder()
+        .threads(threads)
+        .mode(mode)
+        .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
+        .build()
+}
+
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    [1usize, 2, 4].into_iter().filter(|&t| t <= max.max(2)).collect()
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let w = Workload::build(atgis_bench::scaled(3000));
+    let region = w.region();
+    let threshold = (w.objects / 2) as u64;
+
+    let mut group = c.benchmark_group("fig09a_containment");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(w.osm_g.len() as u64));
+    for t in thread_counts() {
+        for (mode, name) in [(Mode::Pat, "PAT"), (Mode::Fat, "FAT")] {
+            let e = engine(t, mode);
+            group.bench_with_input(
+                BenchmarkId::new(name, t),
+                &t,
+                |b, _| b.iter(|| e.execute(&Query::containment(region), &w.osm_g).unwrap()),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig09b_aggregation");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(w.osm_g.len() as u64));
+    for t in thread_counts() {
+        for (mode, name) in [(Mode::Pat, "PAT"), (Mode::Fat, "FAT")] {
+            let e = engine(t, mode);
+            group.bench_with_input(
+                BenchmarkId::new(name, t),
+                &t,
+                |b, _| b.iter(|| e.execute(&Query::aggregation(region), &w.osm_g).unwrap()),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig09c_join");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(w.osm_g.len() as u64));
+    for t in thread_counts() {
+        let e = engine(t, Mode::Pat);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| e.execute(&Query::join(threshold), &w.osm_g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

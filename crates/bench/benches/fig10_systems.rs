@@ -1,0 +1,126 @@
+//! Fig. 10: query execution time comparison across systems — AT-GIS
+//! (PAT/FAT) against the sequential, indexed-RDBMS, column-scan and
+//! simulated-cluster baselines.
+
+use atgis::{Engine, Query};
+use atgis_bench::Workload;
+use atgis_baselines::{cluster_sim, column_scan, indexed, sequential, BaselineQuery};
+use atgis_formats::{Format, Mode};
+use atgis_geometry::Mbr;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_systems(c: &mut Criterion) {
+    let w = Workload::build(atgis_bench::scaled(1500));
+    let region = w.region();
+    let threads = 2;
+
+    let mut group = c.benchmark_group("fig10_containment");
+    group.sample_size(10);
+
+    let pat = Engine::builder().threads(threads).mode(Mode::Pat).build();
+    group.bench_function("atgis_pat", |b| {
+        b.iter(|| pat.execute(&Query::containment(region), &w.osm_g).unwrap())
+    });
+    let fat = Engine::builder().threads(threads).mode(Mode::Fat).build();
+    group.bench_function("atgis_fat", |b| {
+        b.iter(|| fat.execute(&Query::containment(region), &w.osm_g).unwrap())
+    });
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            sequential::execute(
+                w.osm_g.bytes(),
+                Format::GeoJson,
+                &BaselineQuery::containment(region),
+            )
+            .unwrap()
+        })
+    });
+    // Indexed store: query-only time (load+index amortised out, as in
+    // the paper's footnote that loading is excluded for the others).
+    let mut store = indexed::IndexedStore::load(w.osm_g.bytes(), Format::GeoJson).unwrap();
+    store.build_index();
+    group.bench_function("indexed_query_only", |b| {
+        b.iter(|| store.execute(&BaselineQuery::containment(region)))
+    });
+    // Indexed store including data-to-query (load + index + query).
+    group.bench_function("indexed_data_to_query", |b| {
+        b.iter(|| {
+            let mut s = indexed::IndexedStore::load(w.osm_g.bytes(), Format::GeoJson).unwrap();
+            s.build_index();
+            s.execute(&BaselineQuery::containment(region))
+        })
+    });
+    let col = column_scan::ColumnStore::load(w.osm_g.bytes(), Format::GeoJson).unwrap();
+    group.bench_function("column_scan_box", |b| {
+        b.iter(|| {
+            col.execute(
+                &BaselineQuery::containment(region),
+                column_scan::Refinement::BoxOnly,
+                threads,
+            )
+        })
+    });
+    group.bench_function("column_scan_geom", |b| {
+        b.iter(|| {
+            col.execute(
+                &BaselineQuery::containment(region),
+                column_scan::Refinement::FullGeometry,
+                threads,
+            )
+        })
+    });
+    group.bench_function("cluster_sim_compute", |b| {
+        b.iter(|| {
+            cluster_sim::execute(
+                w.osm_g.bytes(),
+                Format::GeoJson,
+                &BaselineQuery::containment(region),
+                &cluster_sim::ClusterConfig {
+                    job_startup: std::time::Duration::ZERO,
+                    shuffle_per_record: std::time::Duration::ZERO,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("fig10_aggregation");
+    group.sample_size(10);
+    group.bench_function("atgis_pat", |b| {
+        b.iter(|| pat.execute(&Query::aggregation(region), &w.osm_g).unwrap())
+    });
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            sequential::execute(
+                w.osm_g.bytes(),
+                Format::GeoJson,
+                &BaselineQuery::aggregation(region),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("indexed_query_only", |b| {
+        b.iter(|| store.execute(&BaselineQuery::aggregation(region)))
+    });
+    group.finish();
+
+    let threshold = (w.objects / 2) as u64;
+    let mut group = c.benchmark_group("fig10_join");
+    group.sample_size(10);
+    let pat_grid = Engine::builder()
+        .threads(threads)
+        .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
+        .build();
+    group.bench_function("atgis", |b| {
+        b.iter(|| pat_grid.execute(&Query::join(threshold), &w.osm_g).unwrap())
+    });
+    group.bench_function("indexed_query_only", |b| {
+        b.iter(|| store.execute(&BaselineQuery::Join(threshold)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_systems);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 11: partition-pipeline vs join-pipeline time as threads vary.
+
+use atgis::{Engine, Query};
+use atgis_bench::Workload;
+use atgis_geometry::Mbr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_partition_join(c: &mut Criterion) {
+    let w = Workload::build(atgis_bench::scaled(2000));
+    let threshold = (w.objects / 2) as u64;
+    let mut group = c.benchmark_group("fig11_join_total");
+    group.sample_size(10);
+    for t in [1usize, 2, 4] {
+        let e = Engine::builder()
+            .threads(t)
+            .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
+            .build();
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| e.execute(&Query::join(threshold), &w.osm_g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_join);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 12: throughput of each query on each data format (GeoJSON,
+//! WKT, OSM XML, replicated).
+
+use atgis::{Engine, Query};
+use atgis_bench::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_formats(c: &mut Criterion) {
+    let w = Workload::build(atgis_bench::scaled(1500));
+    let region = w.region();
+    let e = Engine::builder().threads(2).build();
+    let mut group = c.benchmark_group("fig12_containment_by_format");
+    group.sample_size(10);
+    for (name, ds) in [("osm_g", &w.osm_g), ("osm_w", &w.osm_w), ("osm_x", &w.osm_x), ("osm_rep", &w.osm_rep)] {
+        group.throughput(Throughput::Bytes(ds.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), ds, |b, ds| {
+            b.iter(|| e.execute(&Query::containment(region), ds).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig12_aggregation_by_format");
+    group.sample_size(10);
+    for (name, ds) in [("osm_g", &w.osm_g), ("osm_w", &w.osm_w), ("osm_x", &w.osm_x)] {
+        group.throughput(Throughput::Bytes(ds.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), ds, |b, ds| {
+            b.iter(|| e.execute(&Query::aggregation(region), ds).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

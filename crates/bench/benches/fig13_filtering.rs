@@ -1,0 +1,44 @@
+//! Fig. 13: streaming vs buffered filtering across selectivities,
+//! under the spherical-projection and Andoyer distance models.
+
+use atgis::{Engine, FilterStrategy, Metric, Query};
+use atgis_bench::Workload;
+use atgis_geometry::{DistanceModel, Mbr};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_filtering(c: &mut Criterion) {
+    let w = Workload::build(atgis_bench::scaled(2000));
+    let e = Engine::builder().threads(2).build();
+    for (model, label) in [
+        (DistanceModel::Spherical, "fig13a_spherical"),
+        (DistanceModel::Andoyer, "fig13b_andoyer"),
+    ] {
+        let mut group = c.benchmark_group(label);
+        group.sample_size(10);
+        for frac in [100u32, 10, 1] {
+            // Region whose area is frac% of the data extent.
+            let f = (frac as f64 / 100.0).sqrt();
+            let region = Mbr::new(-5.0 - 11.0 * f, 50.0 - 11.0 * f, -5.0 + 11.0 * f, 50.0 + 11.0 * f);
+            for (strategy, name) in [
+                (FilterStrategy::Streaming, "streaming"),
+                (FilterStrategy::Buffered, "buffered"),
+            ] {
+                let q = Query::aggregation_with(
+                    region,
+                    vec![Metric::Area, Metric::Perimeter],
+                    model,
+                    strategy,
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(name, frac),
+                    &q,
+                    |b, q| b.iter(|| e.execute(q, &w.osm_g).unwrap()),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_filtering);
+criterion_main!(benches);

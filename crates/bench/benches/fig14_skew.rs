@@ -1,0 +1,50 @@
+//! Fig. 14: FAT vs PAT under dataset skew — few huge objects (a) and
+//! log-normal edge-count skew (b).
+
+use atgis::{Dataset, Engine, Query};
+use atgis_datagen::SynthConfig;
+use atgis_formats::{Format, Mode};
+use atgis_geometry::Mbr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn dataset(objects: usize, sigma: f64, mu: f64) -> Dataset {
+    let ds = SynthConfig { objects, sigma, mu, seed: 44, multipolygon_fraction: 0.0 }.generate();
+    Dataset::from_bytes(atgis_datagen::write_geojson(&ds), Format::GeoJson)
+}
+
+fn bench_skew(c: &mut Criterion) {
+    let world = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
+
+    let mut group = c.benchmark_group("fig14a_object_count");
+    group.sample_size(10);
+    let total_points = atgis_bench::scaled(50_000);
+    for n in [10usize, 100, 1000] {
+        let mu = ((total_points as f64 / n as f64).max(4.0)).ln();
+        let ds = dataset(n, 0.3, mu);
+        group.throughput(Throughput::Bytes(ds.len() as u64));
+        for (mode, name) in [(Mode::Fat, "FAT"), (Mode::Pat, "PAT")] {
+            let e = Engine::builder().threads(2).mode(mode).build();
+            group.bench_with_input(BenchmarkId::new(name, n), &ds, |b, ds| {
+                b.iter(|| e.execute(&world, ds).unwrap())
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig14b_sigma");
+    group.sample_size(10);
+    for sigma in [1u32, 3, 5] {
+        let ds = dataset(atgis_bench::scaled(150), sigma as f64, 2.0);
+        group.throughput(Throughput::Bytes(ds.len() as u64));
+        for (mode, name) in [(Mode::Fat, "FAT"), (Mode::Pat, "PAT")] {
+            let e = Engine::builder().threads(2).mode(mode).build();
+            group.bench_with_input(BenchmarkId::new(name, sigma), &ds, |b, ds| {
+                b.iter(|| e.execute(&world, ds).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skew);
+criterion_main!(benches);

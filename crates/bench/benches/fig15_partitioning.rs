@@ -1,0 +1,40 @@
+//! Fig. 15: effect of partition size, store layout (array vs list)
+//! and partitioning phase (associative vs separate) on join time.
+
+use atgis::engine::{PartitionPhase, StoreKind};
+use atgis::{Engine, Query};
+use atgis_bench::Workload;
+use atgis_geometry::Mbr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_partitioning(c: &mut Criterion) {
+    let w = Workload::build(atgis_bench::scaled(2000));
+    let threshold = (w.objects / 2) as u64;
+    let mut group = c.benchmark_group("fig15_join_configurations");
+    group.sample_size(10);
+    for (store, sname) in [(StoreKind::Array, "array"), (StoreKind::List, "list")] {
+        for (phase, pname) in [
+            (PartitionPhase::Associative, "assoc"),
+            (PartitionPhase::Separate, "separate"),
+        ] {
+            for cell in [5u32, 10, 40] {
+                let e = Engine::builder()
+                    .threads(2)
+                    .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
+                    .cell_size(cell as f64 / 10.0)
+                    .store(store)
+                    .partition_phase(phase)
+                    .build();
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{sname}_{pname}"), cell),
+                    &e,
+                    |b, e| b.iter(|| e.execute(&Query::join(threshold), &w.osm_g).unwrap()),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

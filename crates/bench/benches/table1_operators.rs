@@ -1,0 +1,61 @@
+//! Table 1 ablation: cost of the spatial operators the transducer
+//! classes wrap, plus the fragment-representation micro-benchmarks the
+//! DESIGN.md ablation list calls out (speculative lexing vs known-
+//! state lexing).
+
+use atgis_formats::geojson::lexer;
+use atgis_geometry::{convex_hull, intersects, Geometry, Point, Polygon};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn polygon(n: usize, cx: f64) -> Polygon {
+    let pts = (0..n)
+        .map(|i| {
+            let t = std::f64::consts::TAU * i as f64 / n as f64;
+            Point::new(cx + t.cos(), t.sin())
+        })
+        .collect();
+    Polygon::from_exterior(pts)
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let a = Geometry::Polygon(polygon(64, 0.0));
+    let b = Geometry::Polygon(polygon(64, 0.5));
+    let mut group = c.benchmark_group("table1_operator_cost");
+    group.sample_size(20);
+    group.bench_function("st_intersects_64v", |bch| {
+        bch.iter(|| intersects(&a, &b))
+    });
+    group.bench_function("st_convexhull_1000pts", |bch| {
+        let pts: Vec<Point> = (0..1000)
+            .map(|i| Point::new((i * 37 % 101) as f64, (i * 61 % 97) as f64))
+            .collect();
+        bch.iter(|| convex_hull(&pts))
+    });
+    group.bench_function("st_area_perimeter_64v", |bch| {
+        bch.iter(|| (a.area(), a.perimeter()))
+    });
+    group.finish();
+
+    // Ablation: speculative (3-state) vs known-state lexing of the
+    // same block — the cost of FAT speculation the paper discusses in
+    // §3.3/§5.5.
+    let doc: String = std::iter::repeat(
+        r#"{"type":"Feature","geometry":{"type":"Point","coordinates":[1.0,2.0]},"id":1,"properties":{"k":"v"}},"#,
+    )
+    .take(200)
+    .collect();
+    let bytes = doc.as_bytes();
+    let mut group = c.benchmark_group("ablation_lexer_speculation");
+    group.sample_size(20);
+    group.throughput(criterion::Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("speculative_3_states", |b| {
+        b.iter(|| lexer::lex_block(bytes, 0))
+    });
+    group.bench_function("known_state", |b| {
+        b.iter(|| lexer::lex_known(bytes, 0, lexer::STATE_OUT))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Raw datasets: bytes plus format, following the NoDB philosophy —
+//! no conversion, no loading phase, queries run against these bytes
+//! directly (§1, §2.3 "the data [is] left in its original form").
+
+use atgis_formats::Format;
+use std::path::Path;
+use std::sync::Arc;
+
+/// A raw spatial dataset held in memory (the paper's RAM-disk
+/// configuration) or read from a file.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    bytes: Arc<Vec<u8>>,
+    format: Format,
+}
+
+impl Dataset {
+    /// Wraps in-memory bytes.
+    pub fn from_bytes(bytes: Vec<u8>, format: Format) -> Self {
+        Dataset {
+            bytes: Arc::new(bytes),
+            format,
+        }
+    }
+
+    /// Reads a file fully into memory.
+    pub fn from_file(path: impl AsRef<Path>, format: Format) -> std::io::Result<Self> {
+        Ok(Dataset {
+            bytes: Arc::new(std::fs::read(path)?),
+            format,
+        })
+    }
+
+    /// The raw bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Dataset size in bytes (the denominator of the paper's MB/s
+    /// throughput numbers).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True for an empty dataset.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The serialisation format.
+    pub fn format(&self) -> Format {
+        self.format
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_bytes() {
+        let d = Dataset::from_bytes(b"hello".to_vec(), Format::Wkt);
+        assert_eq!(d.bytes(), b"hello");
+        assert_eq!(d.len(), 5);
+        assert!(!d.is_empty());
+        assert_eq!(d.format(), Format::Wkt);
+    }
+
+    #[test]
+    fn reads_files() {
+        let path = std::env::temp_dir().join("atgis_dataset_test.txt");
+        std::fs::write(&path, b"1\tPOINT(1 2)\t\n").unwrap();
+        let d = Dataset::from_file(&path, Format::Wkt).unwrap();
+        assert_eq!(d.len(), 14);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn clone_shares_bytes() {
+        let d = Dataset::from_bytes(vec![0u8; 1024], Format::GeoJson);
+        let e = d.clone();
+        assert!(std::ptr::eq(d.bytes().as_ptr(), e.bytes().as_ptr()));
+    }
+}

@@ -1,0 +1,985 @@
+//! The AT-GIS engine: translates Table 3 queries into parallel
+//! pipeline executions over raw datasets (§4).
+
+use crate::dataset::Dataset;
+use crate::executor::run_blocks;
+use crate::join::{pbsm_join, JoinOptions, Reparser};
+use crate::partition::{ArrayStore, GridSpec, ListStore, PartEntry, PartitionStore};
+use crate::pipeline::{ContainmentAgg, FatGeoJsonFrag, FatWktFrag, MetricsAgg, QueryAggregate};
+use crate::query::{FilterStrategy, Query};
+use crate::result::{JoinPair, QueryResult};
+use crate::stats::{JoinTimings, Timings};
+use crate::Result;
+use atgis_formats::feature::{MetadataFilter, RawFeature};
+use atgis_formats::{fixed_blocks, marker_blocks, Format, Mode, ParseError};
+use atgis_geometry::{measures, DistanceModel, Geometry, Mbr, Polygon};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which data structure holds partitions (§4.4 / Fig. 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreKind {
+    /// Flat arrays: locality, linear-time merge.
+    #[default]
+    Array,
+    /// Chunk lists: constant-time merge, slower reads.
+    List,
+}
+
+/// Whether partitioning runs inside the associative pipeline or as a
+/// separate sequential phase after it (§5.6 / Fig. 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionPhase {
+    /// Partition transducer inside the pipeline; stores merge
+    /// associatively.
+    #[default]
+    Associative,
+    /// The pipeline only bounds geometries; a sequential step
+    /// partitions the merged entry list.
+    Separate,
+}
+
+/// Engine configuration builder.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    threads: usize,
+    mode: Mode,
+    block_multiplier: usize,
+    cell_deg: f64,
+    grid_extent: Mbr,
+    store: StoreKind,
+    partition_phase: PartitionPhase,
+    sort_batch: usize,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            threads: 1,
+            mode: Mode::Pat,
+            block_multiplier: 4,
+            cell_deg: 1.0,
+            grid_extent: Mbr::new(-180.0, -90.0, 180.0, 90.0),
+            store: StoreKind::Array,
+            partition_phase: PartitionPhase::Associative,
+            sort_batch: 1 << 16,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Worker threads for all parallel phases.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// FAT vs PAT execution (§5's AT-GIS-FAT / AT-GIS-PAT).
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Blocks per thread (more blocks = better load balance, more
+    /// merge work).
+    pub fn block_multiplier(mut self, m: usize) -> Self {
+        self.block_multiplier = m.max(1);
+        self
+    }
+
+    /// Partition cell size in degrees (§5.6 sweeps 0.25–4).
+    pub fn cell_size(mut self, deg: f64) -> Self {
+        self.cell_deg = deg;
+        self
+    }
+
+    /// Extent covered by the partition grid.
+    pub fn grid_extent(mut self, extent: Mbr) -> Self {
+        self.grid_extent = extent;
+        self
+    }
+
+    /// Partition store data structure.
+    pub fn store(mut self, kind: StoreKind) -> Self {
+        self.store = kind;
+        self
+    }
+
+    /// Associative vs separate partitioning phase.
+    pub fn partition_phase(mut self, phase: PartitionPhase) -> Self {
+        self.partition_phase = phase;
+        self
+    }
+
+    /// SORT-stage batch size for joins.
+    pub fn sort_batch(mut self, n: usize) -> Self {
+        self.sort_batch = n.max(1);
+        self
+    }
+
+    /// Finalises the engine.
+    pub fn build(self) -> Engine {
+        Engine { config: self }
+    }
+}
+
+/// The query engine.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: EngineBuilder,
+}
+
+/// Timing breakdown of one query execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecutionStats {
+    /// Single-pass pipeline timings (containment/aggregation; the
+    /// partition pipeline of joins).
+    pub pipeline: Timings,
+    /// Join-specific timings when the query joins.
+    pub join: Option<JoinTimings>,
+}
+
+impl Engine {
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Configured thread count.
+    pub fn threads(&self) -> usize {
+        self.config.threads
+    }
+
+    /// Executes a query, discarding timings.
+    pub fn execute(&self, query: &Query, dataset: &Dataset) -> Result<QueryResult> {
+        self.execute_timed(query, dataset).map(|(r, _)| r)
+    }
+
+    /// Executes a query and reports per-phase timings.
+    pub fn execute_timed(
+        &self,
+        query: &Query,
+        dataset: &Dataset,
+    ) -> Result<(QueryResult, ExecutionStats)> {
+        match query {
+            Query::Containment { region } => {
+                let proto = ContainmentAgg::new(Arc::new(region.clone()));
+                let (agg, t) = self.single_pass(dataset, &MetadataFilter::All, proto)?;
+                let mut matches = agg.matches;
+                matches.sort_by_key(|m| m.offset);
+                Ok((
+                    QueryResult::Matches(matches),
+                    ExecutionStats {
+                        pipeline: t,
+                        join: None,
+                    },
+                ))
+            }
+            Query::Aggregation {
+                region,
+                metrics,
+                model,
+                strategy,
+            } => {
+                let strategy = self.resolve_strategy(*strategy, region, dataset);
+                let proto = MetricsAgg::new(Arc::new(region.clone()), metrics, *model, strategy);
+                let (agg, t) = self.single_pass(dataset, &MetadataFilter::All, proto)?;
+                Ok((
+                    QueryResult::Aggregate(agg.values),
+                    ExecutionStats {
+                        pipeline: t,
+                        join: None,
+                    },
+                ))
+            }
+            Query::Join { id_threshold } => {
+                let (pairs, stats) = self.run_join(dataset, *id_threshold, None, None)?;
+                Ok((QueryResult::Joined(pairs), stats))
+            }
+            Query::Combined {
+                id_threshold,
+                min_perimeter_left,
+                max_perimeter_right,
+            } => {
+                let (pairs, mut stats) = self.run_join(
+                    dataset,
+                    *id_threshold,
+                    Some(*min_perimeter_left),
+                    Some(*max_perimeter_right),
+                )?;
+                // Final aggregation over joined pairs:
+                // ST_Area(ST_Union(d1, d2)).
+                let started = Instant::now();
+                let reparse_table = self.geometry_table(dataset, &pairs)?;
+                let mut total = 0.0;
+                for p in &pairs {
+                    let a = &reparse_table[&p.left_offset];
+                    let b = &reparse_table[&p.right_offset];
+                    total += union_area(a, b);
+                }
+                if let Some(j) = stats.join.as_mut() {
+                    j.dedup += started.elapsed();
+                }
+                Ok((
+                    QueryResult::Combined {
+                        pairs: pairs.len() as u64,
+                        total_union_area: total,
+                    },
+                    stats,
+                ))
+            }
+        }
+    }
+
+    /// Resolves `FilterStrategy::Auto` with the paper's ~25% rule: the
+    /// fraction of the dataset extent selected by the region estimates
+    /// selectivity (§5.4: below ~25% selected, buffering wins).
+    fn resolve_strategy(
+        &self,
+        strategy: FilterStrategy,
+        region: &Polygon,
+        _dataset: &Dataset,
+    ) -> FilterStrategy {
+        match strategy {
+            FilterStrategy::Auto => {
+                let world = self.config.grid_extent.area();
+                let selected = region.mbr().area();
+                if world > 0.0 && selected / world >= 0.25 {
+                    FilterStrategy::Streaming
+                } else {
+                    FilterStrategy::Buffered
+                }
+            }
+            s => s,
+        }
+    }
+
+    /// Number of blocks for a parallel pass.
+    fn block_count(&self) -> usize {
+        self.config.threads * self.config.block_multiplier
+    }
+
+    /// Runs a single-pass pipeline with the given aggregate prototype
+    /// — the low-level API for custom aggregates and metadata filters
+    /// pushed into the parse stage.
+    pub fn single_pass<A: QueryAggregate>(
+        &self,
+        dataset: &Dataset,
+        filter: &MetadataFilter,
+        proto: A,
+    ) -> Result<(A, Timings)> {
+        let input = dataset.bytes();
+        let threads = self.config.threads;
+        let n = self.block_count();
+        let mode = match self.config.mode {
+            Mode::Adaptive => {
+                let marker: &[u8] = match dataset.format() {
+                    Format::GeoJson => atgis_formats::geojson::FEATURE_MARKER,
+                    _ => b"\n",
+                };
+                atgis_formats::resolve_adaptive(input, marker, n)
+            }
+            m => m,
+        };
+        match (dataset.format(), mode) {
+            (Format::GeoJson, Mode::Pat) => {
+                let started = Instant::now();
+                let blocks =
+                    marker_blocks(input, atgis_formats::geojson::FEATURE_MARKER, n);
+                let split = started.elapsed();
+                let (merged, mut t) = run_blocks(
+                    &blocks,
+                    threads,
+                    |b| {
+                        let mut features = Vec::new();
+                        atgis_formats::geojson::fast::parse_block(
+                            input, b.start, b.end, filter, &mut features,
+                        )?;
+                        let mut a = proto.clone();
+                        for f in &features {
+                            a.absorb(f);
+                        }
+                        Ok::<_, ParseError>(a)
+                    },
+                    |a, b| Ok(a.combine(b)),
+                );
+                t.split = split;
+                Ok((merged?.unwrap_or(proto), t))
+            }
+            (Format::GeoJson, _) => {
+                let started = Instant::now();
+                let blocks = fixed_blocks(input.len(), n);
+                let split = started.elapsed();
+                let (merged, mut t) = run_blocks(
+                    &blocks,
+                    threads,
+                    |b| FatGeoJsonFrag::process(input, b, filter, &proto),
+                    |a, b| a.merge(b, input, filter),
+                );
+                t.split = split;
+                let started = Instant::now();
+                let agg = match merged? {
+                    Some(m) => m.finalize(input, filter)?,
+                    None => proto,
+                };
+                t.merge += started.elapsed();
+                Ok((agg, t))
+            }
+            (Format::Wkt, Mode::Pat) => {
+                let started = Instant::now();
+                let blocks = marker_blocks(input, b"\n", n);
+                let split = started.elapsed();
+                let (merged, mut t) = run_blocks(
+                    &blocks,
+                    threads,
+                    |b| {
+                        let mut a = proto.clone();
+                        let mut features = Vec::new();
+                        // Rows starting within the block.
+                        parse_wkt_rows(input, b.start, b.end, filter, &mut features)?;
+                        for f in &features {
+                            a.absorb(f);
+                        }
+                        Ok::<_, ParseError>(a)
+                    },
+                    |a, b| Ok(a.combine(b)),
+                );
+                t.split = split;
+                Ok((merged?.unwrap_or(proto), t))
+            }
+            (Format::Wkt, _) => {
+                let started = Instant::now();
+                let blocks = fixed_blocks(input.len(), n);
+                let split = started.elapsed();
+                let (merged, mut t) = run_blocks(
+                    &blocks,
+                    threads,
+                    |b| FatWktFrag::process(input, b, filter, &proto),
+                    |a, b| a.merge(b, input, filter),
+                );
+                t.split = split;
+                let started = Instant::now();
+                let agg = match merged? {
+                    Some(m) => m.finalize(input, filter)?,
+                    None => proto,
+                };
+                t.merge += started.elapsed();
+                Ok((agg, t))
+            }
+            (Format::OsmXml, _) => {
+                let (features, t) = self.parse_xml(dataset, filter)?;
+                let started = Instant::now();
+                let mut a = proto;
+                for f in &features {
+                    a.absorb(f);
+                }
+                let mut t = t;
+                t.merge += started.elapsed();
+                Ok((a, t))
+            }
+        }
+    }
+
+    /// The XML two-pass parse (§4.4): block-parallel node collection
+    /// and way/relation collection, then sequential assembly against
+    /// the temporary node table.
+    fn parse_xml(
+        &self,
+        dataset: &Dataset,
+        filter: &MetadataFilter,
+    ) -> Result<(Vec<RawFeature>, Timings)> {
+        use atgis_formats::osmxml;
+        let input = dataset.bytes();
+        let threads = self.config.threads;
+        let started = Instant::now();
+        let blocks = marker_blocks(input, b"\n", self.block_count());
+        let split = started.elapsed();
+
+        // Pass 1: temporary node table (map union is the associative
+        // merge).
+        let (nodes, mut t1) = run_blocks(
+            &blocks,
+            threads,
+            |b| osmxml::collect_nodes(input, b.start, b.end),
+            |mut a, b| {
+                a.extend(b);
+                Ok(a)
+            },
+        );
+        let nodes = nodes?.unwrap_or_default();
+
+        // Pass 2: ways and relations.
+        let (ways, t2) = run_blocks(
+            &blocks,
+            threads,
+            |b| osmxml::collect_ways(input, b.start, b.end),
+            |mut a: Vec<_>, mut b| {
+                a.append(&mut b);
+                Ok(a)
+            },
+        );
+        let ways = ways?.unwrap_or_default();
+        let (relations, t3) = run_blocks(
+            &blocks,
+            threads,
+            |b| osmxml::collect_relations(input, b.start, b.end),
+            |mut a: Vec<_>, mut b| {
+                a.append(&mut b);
+                Ok(a)
+            },
+        );
+        let relations = relations?.unwrap_or_default();
+
+        let started = Instant::now();
+        let features = osmxml::assemble(&ways, &relations, &nodes, filter);
+        t1.split = split;
+        t1.process += t2.process + t3.process;
+        t1.merge += t2.merge + t3.merge + started.elapsed();
+        Ok((features, t1))
+    }
+
+    /// The two-pipeline join (§4.5): partition pass, PBSM join pass,
+    /// duplicate elimination.
+    fn run_join(
+        &self,
+        dataset: &Dataset,
+        id_threshold: u64,
+        min_perimeter_left: Option<f64>,
+        max_perimeter_right: Option<f64>,
+    ) -> Result<(Vec<JoinPair>, ExecutionStats)> {
+        let grid = GridSpec::new(self.config.grid_extent, self.config.cell_deg);
+        match self.config.store {
+            StoreKind::Array => self.run_join_with_store::<ArrayStore>(
+                dataset,
+                grid,
+                id_threshold,
+                min_perimeter_left,
+                max_perimeter_right,
+            ),
+            StoreKind::List => self.run_join_with_store::<ListStore>(
+                dataset,
+                grid,
+                id_threshold,
+                min_perimeter_left,
+                max_perimeter_right,
+            ),
+        }
+    }
+
+    fn run_join_with_store<S: PartitionStore + Sync + Clone + 'static>(
+        &self,
+        dataset: &Dataset,
+        grid: GridSpec,
+        id_threshold: u64,
+        min_perimeter_left: Option<f64>,
+        max_perimeter_right: Option<f64>,
+    ) -> Result<(Vec<JoinPair>, ExecutionStats)> {
+        // Pass 1: parse + bound + partition.
+        let proto: PartitionAgg<S> = PartitionAgg {
+            grid,
+            store: S::new(grid.num_cells()),
+            entries: Vec::new(),
+            associative: self.config.partition_phase == PartitionPhase::Associative,
+            id_threshold,
+            min_perimeter_left,
+            max_perimeter_right,
+        };
+        let (mut agg, mut t_partition) = self.single_pass(dataset, &MetadataFilter::All, proto)?;
+        if self.config.partition_phase == PartitionPhase::Separate {
+            // Sequential partitioning step (§4.4: "it is possible to
+            // perform the partitioning as a sequential step after the
+            // processing pipeline").
+            let started = Instant::now();
+            for e in std::mem::take(&mut agg.entries) {
+                for cell in grid.cells_for(&e.mbr) {
+                    agg.store.push(cell, e);
+                }
+            }
+            t_partition.merge += started.elapsed();
+        }
+
+        // Pass 2: the join pipeline.
+        let started = Instant::now();
+        let input = dataset.bytes();
+        let xml_table = if dataset.format() == Format::OsmXml {
+            Some(self.xml_geometry_table(dataset)?)
+        } else {
+            None
+        };
+        let reparse = make_reparser(input, dataset.format(), xml_table.as_ref());
+        let (pairs, dedup) = pbsm_join(
+            &agg.store,
+            reparse.as_ref(),
+            JoinOptions {
+                threads: self.config.threads,
+                sort_batch: self.config.sort_batch,
+            },
+        )?;
+        let join_time = started.elapsed() - dedup;
+
+        Ok((
+            pairs,
+            ExecutionStats {
+                pipeline: t_partition,
+                join: Some(JoinTimings {
+                    partition: t_partition,
+                    join: Timings {
+                        split: Default::default(),
+                        process: join_time,
+                        merge: Default::default(),
+                    },
+                    dedup,
+                }),
+            },
+        ))
+    }
+
+    /// Parses the dataset once into an offset→geometry table (used for
+    /// XML joins, where re-parsing a relation needs the node table,
+    /// and for the combined query's final aggregation).
+    fn geometry_table(
+        &self,
+        dataset: &Dataset,
+        pairs: &[JoinPair],
+    ) -> Result<HashMap<u64, Geometry>> {
+        let needed: std::collections::HashSet<u64> = pairs
+            .iter()
+            .flat_map(|p| [p.left_offset, p.right_offset])
+            .collect();
+        let input = dataset.bytes();
+        let xml_table = if dataset.format() == Format::OsmXml {
+            Some(self.xml_geometry_table(dataset)?)
+        } else {
+            None
+        };
+        let reparse = make_reparser(input, dataset.format(), xml_table.as_ref());
+        let mut table = HashMap::with_capacity(needed.len());
+        // Lengths are recoverable from the collected features; for
+        // GeoJSON/WKT the reparser only needs the offset.
+        for off in needed {
+            table.insert(off, reparse(off, u32::MAX)?);
+        }
+        Ok(table)
+    }
+
+    fn xml_geometry_table(&self, dataset: &Dataset) -> Result<HashMap<u64, Geometry>> {
+        let (features, _) = self.parse_xml(dataset, &MetadataFilter::All)?;
+        Ok(features
+            .into_iter()
+            .map(|f| (f.offset, f.geometry))
+            .collect())
+    }
+}
+
+/// Computes `ST_Area(ST_Union(a, b))` for a joined pair; non-polygon
+/// members fall back to the inclusion–exclusion approximation using
+/// the MBR-free sum (documented deviation: exact union is defined on
+/// polygons).
+fn union_area(a: &Geometry, b: &Geometry) -> f64 {
+    match (a, b) {
+        (Geometry::Polygon(pa), Geometry::Polygon(pb)) => measures::area(
+            &Geometry::MultiPolygon(atgis_geometry::union(pa, pb)),
+            DistanceModel::Spherical,
+        ),
+        _ => {
+            measures::area(a, DistanceModel::Spherical)
+                + measures::area(b, DistanceModel::Spherical)
+        }
+    }
+}
+
+/// Builds the format-specific single-object reparser for the join
+/// pipeline.
+fn make_reparser<'a>(
+    input: &'a [u8],
+    format: Format,
+    xml_table: Option<&'a HashMap<u64, Geometry>>,
+) -> Box<Reparser<'a>> {
+    match format {
+        Format::GeoJson => Box::new(move |offset, _len| {
+            let mut out = Vec::new();
+            atgis_formats::geojson::fast::parse_block(
+                input,
+                offset as usize,
+                offset as usize + 1,
+                &MetadataFilter::All,
+                &mut out,
+            )?;
+            out.into_iter()
+                .next()
+                .map(|f| f.geometry)
+                .ok_or_else(|| ParseError::syntax(offset, "no feature at offset"))
+        }),
+        Format::Wkt => Box::new(move |offset, len| {
+            let end = if len == u32::MAX {
+                // Length unknown: the row ends at the next newline.
+                atgis_formats::split::find_marker(input, b"\n", offset as usize)
+                    .unwrap_or(input.len())
+            } else {
+                offset as usize + len as usize
+            };
+            atgis_formats::wkt::parse_row(input, offset as usize, end, &MetadataFilter::All)?
+                .map(|f| f.geometry)
+                .ok_or_else(|| ParseError::syntax(offset, "no row at offset"))
+        }),
+        Format::OsmXml => {
+            let table = xml_table.expect("XML joins require the geometry table");
+            Box::new(move |offset, _len| {
+                table
+                    .get(&offset)
+                    .cloned()
+                    .ok_or_else(|| ParseError::syntax(offset, "unknown XML object offset"))
+            })
+        }
+    }
+}
+
+/// WKT PAT row parsing helper (rows starting within `[start, end)`).
+fn parse_wkt_rows(
+    input: &[u8],
+    start: usize,
+    end: usize,
+    filter: &MetadataFilter,
+    out: &mut Vec<RawFeature>,
+) -> std::result::Result<(), ParseError> {
+    let mut pos = start;
+    while pos < end {
+        while pos < end && input[pos] == b'\n' {
+            pos += 1;
+        }
+        if pos >= end {
+            break;
+        }
+        let row_end =
+            atgis_formats::split::find_marker(input, b"\n", pos).unwrap_or(input.len());
+        if let Some(f) = atgis_formats::wkt::parse_row(input, pos, row_end, filter)? {
+            out.push(f);
+        }
+        pos = row_end + 1;
+    }
+    Ok(())
+}
+
+/// Pass-1 aggregate for joins: bounds geometries and partitions them
+/// (associatively, or collecting entries for a separate phase).
+#[derive(Clone)]
+struct PartitionAgg<S: PartitionStore + Clone> {
+    grid: GridSpec,
+    store: S,
+    entries: Vec<PartEntry>,
+    associative: bool,
+    id_threshold: u64,
+    min_perimeter_left: Option<f64>,
+    max_perimeter_right: Option<f64>,
+}
+
+impl<S: PartitionStore + Clone> QueryAggregate for PartitionAgg<S> {
+    fn identity() -> Self {
+        unreachable!("constructed by the engine with grid parameters")
+    }
+
+    fn absorb(&mut self, f: &RawFeature) {
+        let left = f.id < self.id_threshold;
+        // The combined query's perimeter pre-filters run here,
+        // inside the partition pipeline (ordering filters before the
+        // join, §7 "it can order filtering operations to minimise the
+        // cost of joins").
+        if left {
+            if let Some(min) = self.min_perimeter_left {
+                if measures::perimeter(&f.geometry, DistanceModel::Spherical) <= min {
+                    return;
+                }
+            }
+        } else if let Some(max) = self.max_perimeter_right {
+            if measures::perimeter(&f.geometry, DistanceModel::Spherical) >= max {
+                return;
+            }
+        }
+        let entry = PartEntry::from_feature(f, left);
+        if self.associative {
+            for cell in self.grid.cells_for(&entry.mbr) {
+                self.store.push(cell, entry);
+            }
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    fn combine(mut self, mut other: Self) -> Self {
+        if self.associative {
+            let store = std::mem::replace(&mut self.store, S::new(0));
+            self.store = store.merge(other.store);
+        } else {
+            self.entries.append(&mut other.entries);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgis_datagen::{write_geojson, write_wkt, OsmGenerator};
+
+    fn dataset(n: usize, format: Format) -> Dataset {
+        let ds = OsmGenerator::new(500).generate(n);
+        let bytes = match format {
+            Format::GeoJson => write_geojson(&ds),
+            Format::Wkt => write_wkt(&ds),
+            Format::OsmXml => atgis_datagen::write_osm_xml(&ds),
+        };
+        Dataset::from_bytes(bytes, format)
+    }
+
+    #[test]
+    fn containment_whole_world_selects_everything() {
+        let ds = dataset(80, Format::GeoJson);
+        let engine = Engine::builder().threads(2).build();
+        let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
+        let r = engine.execute(&q, &ds).unwrap();
+        assert_eq!(r.matches().len(), 80);
+    }
+
+    #[test]
+    fn containment_empty_region_selects_nothing() {
+        let ds = dataset(50, Format::GeoJson);
+        let engine = Engine::builder().build();
+        let q = Query::containment(Mbr::new(100.0, -80.0, 101.0, -79.0));
+        let r = engine.execute(&q, &ds).unwrap();
+        assert!(r.matches().is_empty());
+    }
+
+    #[test]
+    fn fat_and_pat_agree_on_containment() {
+        let ds = dataset(60, Format::GeoJson);
+        let q = Query::containment(Mbr::new(-5.0, 45.0, 5.0, 55.0));
+        let pat = Engine::builder().mode(Mode::Pat).threads(2).build();
+        let fat = Engine::builder().mode(Mode::Fat).threads(2).build();
+        let a = pat.execute(&q, &ds).unwrap();
+        let b = fat.execute(&q, &ds).unwrap();
+        assert_eq!(a.matches(), b.matches());
+        assert!(!a.matches().is_empty(), "region should select something");
+    }
+
+    #[test]
+    fn aggregation_counts_match_containment() {
+        let ds = dataset(70, Format::GeoJson);
+        let region = Mbr::new(-5.0, 45.0, 5.0, 55.0);
+        let engine = Engine::builder().threads(2).build();
+        let matches = engine
+            .execute(&Query::containment(region), &ds)
+            .unwrap()
+            .matches()
+            .len() as u64;
+        let agg = engine
+            .execute(&Query::aggregation(region), &ds)
+            .unwrap()
+            .aggregate()
+            .unwrap();
+        assert_eq!(agg.count, matches);
+        assert!(agg.total_area > 0.0);
+        assert!(agg.total_perimeter > 0.0);
+    }
+
+    #[test]
+    fn formats_agree_on_aggregation() {
+        let region = Mbr::new(-10.0, 40.0, 10.0, 60.0);
+        let engine = Engine::builder().threads(2).build();
+        let g = engine
+            .execute(&Query::aggregation(region), &dataset(40, Format::GeoJson))
+            .unwrap()
+            .aggregate()
+            .unwrap();
+        let w = engine
+            .execute(&Query::aggregation(region), &dataset(40, Format::Wkt))
+            .unwrap()
+            .aggregate()
+            .unwrap();
+        assert_eq!(g.count, w.count);
+        assert!((g.total_area - w.total_area).abs() / g.total_area.max(1.0) < 1e-4);
+    }
+
+    #[test]
+    fn join_finds_intersecting_pairs() {
+        let ds = dataset(60, Format::GeoJson);
+        let engine = Engine::builder().threads(2).cell_size(2.0).build();
+        let r = engine.execute(&Query::join(30), &ds).unwrap();
+        // Pairs must respect the id partition.
+        for p in r.joined() {
+            assert!(p.left_id < 30, "{p:?}");
+            assert!(p.right_id >= 30, "{p:?}");
+        }
+        // No duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for p in r.joined() {
+            assert!(seen.insert((p.left_offset, p.right_offset)), "dup {p:?}");
+        }
+    }
+
+    #[test]
+    fn join_matches_brute_force() {
+        let gen = OsmGenerator::new(501).generate(50);
+        let bytes = write_geojson(&gen);
+        let ds = Dataset::from_bytes(bytes, Format::GeoJson);
+        let engine = Engine::builder().threads(2).cell_size(1.0).build();
+        let got: std::collections::HashSet<(u64, u64)> = engine
+            .execute(&Query::join(25), &ds)
+            .unwrap()
+            .joined()
+            .iter()
+            .map(|p| (p.left_id, p.right_id))
+            .collect();
+        let mut want = std::collections::HashSet::new();
+        for a in &gen.objects {
+            for b in &gen.objects {
+                if a.id < 25 && b.id >= 25 {
+                    if atgis_geometry::intersects(&a.geometry, &b.geometry) {
+                        want.insert((a.id, b.id));
+                    }
+                }
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn join_store_kinds_agree() {
+        let ds = dataset(50, Format::GeoJson);
+        let q = Query::join(25);
+        let array = Engine::builder().store(StoreKind::Array).cell_size(2.0).build();
+        let list = Engine::builder().store(StoreKind::List).cell_size(2.0).build();
+        let a = array.execute(&q, &ds).unwrap();
+        let l = list.execute(&q, &ds).unwrap();
+        assert_eq!(a.joined(), l.joined());
+    }
+
+    #[test]
+    fn join_partition_phases_agree() {
+        let ds = dataset(50, Format::GeoJson);
+        let q = Query::join(25);
+        let assoc = Engine::builder()
+            .partition_phase(PartitionPhase::Associative)
+            .cell_size(2.0)
+            .build();
+        let sep = Engine::builder()
+            .partition_phase(PartitionPhase::Separate)
+            .cell_size(2.0)
+            .build();
+        assert_eq!(
+            assoc.execute(&q, &ds).unwrap().joined(),
+            sep.execute(&q, &ds).unwrap().joined()
+        );
+    }
+
+    #[test]
+    fn wkt_join_agrees_with_geojson_join() {
+        let gen = OsmGenerator::new(502).generate(40);
+        let g = Dataset::from_bytes(write_geojson(&gen), Format::GeoJson);
+        let w = Dataset::from_bytes(write_wkt(&gen), Format::Wkt);
+        let engine = Engine::builder().cell_size(2.0).build();
+        let q = Query::join(20);
+        let pg: Vec<(u64, u64)> = engine
+            .execute(&q, &g)
+            .unwrap()
+            .joined()
+            .iter()
+            .map(|p| (p.left_id, p.right_id))
+            .collect();
+        let pw: Vec<(u64, u64)> = engine
+            .execute(&q, &w)
+            .unwrap()
+            .joined()
+            .iter()
+            .map(|p| (p.left_id, p.right_id))
+            .collect();
+        assert_eq!(pg, pw);
+    }
+
+    #[test]
+    fn combined_query_produces_union_area() {
+        let ds = dataset(60, Format::GeoJson);
+        let engine = Engine::builder().cell_size(2.0).build();
+        let r = engine
+            .execute(&Query::combined(30, 0.0, f64::INFINITY), &ds)
+            .unwrap();
+        match r {
+            QueryResult::Combined {
+                pairs,
+                total_union_area,
+            } => {
+                if pairs > 0 {
+                    assert!(total_union_area > 0.0);
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn combined_filters_reduce_pairs() {
+        let ds = dataset(60, Format::GeoJson);
+        let engine = Engine::builder().cell_size(2.0).build();
+        let all = match engine
+            .execute(&Query::combined(30, 0.0, f64::INFINITY), &ds)
+            .unwrap()
+        {
+            QueryResult::Combined { pairs, .. } => pairs,
+            _ => unreachable!(),
+        };
+        let filtered = match engine
+            .execute(&Query::combined(30, 1e9, f64::INFINITY), &ds)
+            .unwrap()
+        {
+            QueryResult::Combined { pairs, .. } => pairs,
+            _ => unreachable!(),
+        };
+        assert!(filtered <= all);
+        assert_eq!(filtered, 0, "1e9 m perimeter filter rejects everything");
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_results() {
+        let ds = dataset(80, Format::GeoJson);
+        let q = Query::aggregation(Mbr::new(-10.0, 40.0, 10.0, 60.0));
+        let base = Engine::builder()
+            .threads(1)
+            .build()
+            .execute(&q, &ds)
+            .unwrap()
+            .aggregate()
+            .unwrap();
+        for threads in [2, 3, 8] {
+            let got = Engine::builder()
+                .threads(threads)
+                .build()
+                .execute(&q, &ds)
+                .unwrap()
+                .aggregate()
+                .unwrap();
+            assert_eq!(got.count, base.count, "threads={threads}");
+            assert!((got.total_area - base.total_area).abs() / base.total_area.max(1.0) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn xml_containment_counts_objects() {
+        let ds = dataset(40, Format::OsmXml);
+        let engine = Engine::builder().threads(2).build();
+        let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
+        let r = engine.execute(&q, &ds).unwrap();
+        // Collections flatten into multiple ways, so >= is correct;
+        // ways with <2 resolvable points are dropped.
+        assert!(!r.matches().is_empty());
+    }
+
+    #[test]
+    fn xml_join_runs() {
+        let ds = dataset(30, Format::OsmXml);
+        let engine = Engine::builder().cell_size(2.0).build();
+        let r = engine.execute(&Query::join(15), &ds).unwrap();
+        for p in r.joined() {
+            assert!(p.left_id < 15 && p.right_id >= 15);
+        }
+    }
+}

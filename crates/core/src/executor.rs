@@ -1,0 +1,216 @@
+//! The split → processing → merge execution phases (Fig. 5).
+//!
+//! "After a data block is formed, it is placed in a work queue for the
+//! processing phase. … As ATs make the tasks independent, it can be
+//! scaled to many parallel threads. The merge phase combines all of
+//! the partial results from the processing phase." Each worker thread
+//! runs the *entire* pipeline for its blocks (§1: "each thread
+//! executes the entire pipeline, for separate blocks of the input
+//! data"); only fragments cross thread boundaries.
+
+use crate::stats::Timings;
+use atgis_formats::Block;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Runs `process` over every block on `threads` worker threads, then
+/// folds the per-block fragments **in block order** with `merge`.
+/// Returns `Ok(None)` for an empty block list.
+pub fn run_blocks<T, E, P, M>(
+    blocks: &[Block],
+    threads: usize,
+    process: P,
+    merge: M,
+) -> (std::result::Result<Option<T>, E>, Timings)
+where
+    T: Send,
+    E: Send,
+    P: Fn(Block) -> std::result::Result<T, E> + Sync,
+    M: Fn(T, T) -> std::result::Result<T, E>,
+{
+    let threads = threads.max(1);
+    let mut timings = Timings::default();
+
+    // Processing phase: a shared atomic cursor is the work queue —
+    // workers claim the next unprocessed block until none remain.
+    let started = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<std::result::Result<T, E>>> =
+        (0..blocks.len()).map(|_| None).collect();
+
+    if threads == 1 || blocks.len() <= 1 {
+        for (i, &b) in blocks.iter().enumerate() {
+            slots[i] = Some(process(b));
+        }
+    } else {
+        // Hand each worker a disjoint view of the result slots via
+        // chunked raw splitting; the cursor orders claims.
+        let slot_refs: Vec<parking_lot::Mutex<&mut Option<std::result::Result<T, E>>>> =
+            slots.iter_mut().map(parking_lot::Mutex::new).collect();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(blocks.len()) {
+                scope.spawn(|_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= blocks.len() {
+                        break;
+                    }
+                    let result = process(blocks[i]);
+                    **slot_refs[i].lock() = Some(result);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+    timings.process = started.elapsed();
+
+    // Merge phase: in-order left fold (the fragments' ⊗ is
+    // associative, so a tree merge would also be valid; the paper
+    // merges after all blocks are available).
+    let started = Instant::now();
+    let mut acc: Option<T> = None;
+    for slot in slots {
+        let frag = match slot.expect("every block processed") {
+            Ok(f) => f,
+            Err(e) => {
+                timings.merge = started.elapsed();
+                return (Err(e), timings);
+            }
+        };
+        acc = Some(match acc {
+            None => frag,
+            Some(a) => match merge(a, frag) {
+                Ok(m) => m,
+                Err(e) => {
+                    timings.merge = started.elapsed();
+                    return (Err(e), timings);
+                }
+            },
+        });
+    }
+    timings.merge = started.elapsed();
+    (Ok(acc), timings)
+}
+
+/// Runs `work` over the indices `0..n` on `threads` workers, collecting
+/// outputs in index order. A simpler variant of [`run_blocks`] for
+/// partition-parallel stages (the join pipeline fans out over
+/// partitions, not blocks).
+pub fn run_indexed<T, P>(n: usize, threads: usize, work: P) -> Vec<T>
+where
+    T: Send,
+    P: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    if threads == 1 || n <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(work(i));
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let slot_refs: Vec<parking_lot::Mutex<&mut Option<T>>> =
+            slots.iter_mut().map(parking_lot::Mutex::new).collect();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(n) {
+                scope.spawn(|_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = work(i);
+                    **slot_refs[i].lock() = Some(out);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+    slots.into_iter().map(|s| s.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgis_formats::fixed_blocks;
+
+    #[test]
+    fn sums_blocks_in_order() {
+        let blocks = fixed_blocks(100, 10);
+        for threads in [1, 2, 4, 8] {
+            let (result, _) = run_blocks(
+                &blocks,
+                threads,
+                |b| Ok::<_, ()>(vec![b.index]),
+                |mut a, b| {
+                    a.extend(b);
+                    Ok(a)
+                },
+            );
+            let merged = result.unwrap().unwrap();
+            assert_eq!(merged, (0..10).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_blocks_yield_none() {
+        let (result, _) = run_blocks(
+            &[],
+            4,
+            |_| Ok::<_, ()>(0u64),
+            |a, b| Ok(a + b),
+        );
+        assert_eq!(result.unwrap(), None);
+    }
+
+    #[test]
+    fn process_errors_propagate() {
+        let blocks = fixed_blocks(10, 5);
+        let (result, _) = run_blocks(
+            &blocks,
+            2,
+            |b| {
+                if b.index == 3 {
+                    Err("boom")
+                } else {
+                    Ok(b.index)
+                }
+            },
+            |a, _| Ok(a),
+        );
+        assert_eq!(result.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn merge_errors_propagate() {
+        let blocks = fixed_blocks(10, 5);
+        let (result, _) = run_blocks(
+            &blocks,
+            2,
+            |b| Ok(b.index),
+            |_, b| if b == 2 { Err("merge fail") } else { Ok(b) },
+        );
+        assert_eq!(result.unwrap_err(), "merge fail");
+    }
+
+    #[test]
+    fn indexed_execution_preserves_order() {
+        for threads in [1, 3, 7] {
+            let out = run_indexed(20, threads, |i| i * i);
+            assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let blocks = fixed_blocks(1000, 4);
+        let (_, t) = run_blocks(
+            &blocks,
+            2,
+            |b| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                Ok::<_, ()>(b.len())
+            },
+            |a, b| Ok(a + b),
+        );
+        assert!(t.process >= std::time::Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,387 @@
+//! The PBSM join pipeline (§4.5, Fig. 8).
+//!
+//! The second pipeline of a join query consumes the spatial partitions
+//! produced by the first pass and emits joined pairs:
+//!
+//! 1. **MBR COMPARE** — per partition, find all intersecting
+//!    left/right MBR pairs with a sort + sweep;
+//! 2. **SORT** — buffer candidates up to a threshold, then order them
+//!    by the input-file offset of the *larger* side so that objects
+//!    needing re-parsing are processed adjacently and stay in memory
+//!    only briefly;
+//! 3. **PARSER/BUFFER** — re-parse geometries on demand from their
+//!    offsets; a hash map caches the non-adjacent stream and is
+//!    cleared after each sorted batch;
+//! 4. **REFINE** — the exact geometry intersection test;
+//! 5. duplicate elimination — objects replicated into several
+//!    partitions can match repeatedly; pairs are sorted by offsets and
+//!    deduplicated before the result returns (§4.5).
+
+use crate::executor::run_indexed;
+use crate::partition::{PartEntry, PartitionStore};
+use crate::result::JoinPair;
+use atgis_formats::ParseError;
+use atgis_geometry::relate::intersects;
+use atgis_geometry::Geometry;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Re-parses one object from its offset span (format-specific; the
+/// engine provides it, for OSM XML it captures the node table).
+pub type Reparser<'a> = dyn Fn(u64, u32) -> Result<Geometry, ParseError> + Sync + 'a;
+
+/// Join pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinOptions {
+    /// Worker threads for the partition-parallel phase.
+    pub threads: usize,
+    /// SORT-stage batch size: candidates per sorted block. Smaller
+    /// values bound memory at the cost of repeated parsing (§4.5:
+    /// "By adjusting the threshold in SORT, the number of stored
+    /// objects can be reduced").
+    pub sort_batch: usize,
+}
+
+impl Default for JoinOptions {
+    fn default() -> Self {
+        JoinOptions {
+            threads: 1,
+            sort_batch: 1 << 16,
+        }
+    }
+}
+
+/// Executes the join pipeline over every partition, returning
+/// deduplicated pairs plus the time spent on duplicate elimination.
+pub fn pbsm_join<S: PartitionStore + Sync>(
+    store: &S,
+    reparse: &Reparser<'_>,
+    options: JoinOptions,
+) -> Result<(Vec<JoinPair>, Duration), ParseError> {
+    let cells = store.num_cells();
+    let per_cell: Vec<Result<Vec<JoinPair>, ParseError>> = run_indexed(
+        cells,
+        options.threads,
+        |cell| join_partition(store, cell, reparse, options.sort_batch),
+    );
+    let mut pairs = Vec::new();
+    for r in per_cell {
+        pairs.extend(r?);
+    }
+    // Duplicate elimination (sequential step, timed separately).
+    let started = Instant::now();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let dedup = started.elapsed();
+    Ok((pairs, dedup))
+}
+
+/// Joins one partition: MBR compare → sort → re-parse → refine.
+fn join_partition<S: PartitionStore>(
+    store: &S,
+    cell: usize,
+    reparse: &Reparser<'_>,
+    sort_batch: usize,
+) -> Result<Vec<JoinPair>, ParseError> {
+    let mut lefts: Vec<PartEntry> = Vec::new();
+    let mut rights: Vec<PartEntry> = Vec::new();
+    store.for_each(cell, |e| {
+        if e.left_side {
+            lefts.push(*e);
+        } else {
+            rights.push(*e);
+        }
+    });
+    if lefts.is_empty() || rights.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    // MBR COMPARE: sweep over min_x.
+    let mut candidates = mbr_compare(&lefts, &rights);
+    if candidates.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    // The larger side becomes the adjacent (sequentially re-parsed)
+    // stream; the smaller is cached in the hash map.
+    let adjacent_left = lefts.len() >= rights.len();
+
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < candidates.len() {
+        let end = (start + sort_batch.max(1)).min(candidates.len());
+        let batch = &mut candidates[start..end];
+        // SORT by the adjacent side's offset.
+        if adjacent_left {
+            batch.sort_unstable_by_key(|(l, _)| l.offset);
+        } else {
+            batch.sort_unstable_by_key(|(_, r)| r.offset);
+        }
+        // PARSER/BUFFER + REFINE.
+        let mut cache: HashMap<u64, Geometry> = HashMap::new();
+        let mut adj_geom: Option<(u64, Geometry)> = None;
+        for (l, r) in batch.iter() {
+            let (adj, other) = if adjacent_left { (l, r) } else { (r, l) };
+            // The adjacent stream is offset-sorted: reuse the last
+            // parse when consecutive candidates share an object.
+            let adj_g = match &adj_geom {
+                Some((off, g)) if *off == adj.offset => g.clone(),
+                _ => {
+                    let g = reparse(adj.offset, adj.len)?;
+                    adj_geom = Some((adj.offset, g.clone()));
+                    g
+                }
+            };
+            let other_g = match cache.get(&other.offset) {
+                Some(g) => g.clone(),
+                None => {
+                    let g = reparse(other.offset, other.len)?;
+                    cache.insert(other.offset, g.clone());
+                    g
+                }
+            };
+            let (lg, rg) = if adjacent_left {
+                (&adj_g, &other_g)
+            } else {
+                (&other_g, &adj_g)
+            };
+            if intersects(lg, rg) {
+                out.push(JoinPair {
+                    left_id: l.id,
+                    right_id: r.id,
+                    left_offset: l.offset,
+                    right_offset: r.offset,
+                });
+            }
+        }
+        // "Once a block is processed, the hash map is cleared."
+        start = end;
+    }
+    Ok(out)
+}
+
+/// Finds all MBR-intersecting (left, right) pairs with a
+/// sort-and-sweep over min_x.
+fn mbr_compare(lefts: &[PartEntry], rights: &[PartEntry]) -> Vec<(PartEntry, PartEntry)> {
+    let mut ls: Vec<&PartEntry> = lefts.iter().collect();
+    let mut rs: Vec<&PartEntry> = rights.iter().collect();
+    let key = |e: &&PartEntry| e.mbr.min_x;
+    ls.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal));
+    rs.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut out = Vec::new();
+    let mut ri = 0usize;
+    for l in &ls {
+        // Advance past rights that end before this left begins — they
+        // can never match this or any later left.
+        while ri < rs.len() && rs[ri].mbr.max_x < l.mbr.min_x {
+            // Only safe to drop when the right also ends before every
+            // later left's start; since lefts are sorted by min_x,
+            // l.mbr.min_x is non-decreasing, so it is safe.
+            ri += 1;
+        }
+        for r in &rs[ri..] {
+            if r.mbr.min_x > l.mbr.max_x {
+                break;
+            }
+            if l.mbr.intersects(&r.mbr) {
+                out.push((**l, **r));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{ArrayStore, GridSpec, ListStore};
+    use atgis_geometry::{Mbr, Point, Polygon};
+
+    fn entry(id: u64, x: f64, y: f64, size: f64, left: bool) -> PartEntry {
+        PartEntry {
+            id,
+            offset: id,
+            len: 0,
+            mbr: Mbr::new(x, y, x + size, y + size),
+            left_side: left,
+        }
+    }
+
+    /// Reparser that reconstructs a square from the entry's offset (we
+    /// encode position in the id for tests).
+    fn square_reparser(
+        squares: HashMap<u64, Polygon>,
+    ) -> impl Fn(u64, u32) -> Result<Geometry, ParseError> + Sync {
+        move |offset, _len| {
+            Ok(Geometry::Polygon(
+                squares.get(&offset).expect("known offset").clone(),
+            ))
+        }
+    }
+
+    fn square_at(x: f64, y: f64, size: f64) -> Polygon {
+        Polygon::from_exterior(vec![
+            Point::new(x, y),
+            Point::new(x + size, y),
+            Point::new(x + size, y + size),
+            Point::new(x, y + size),
+        ])
+    }
+
+    #[test]
+    fn mbr_compare_finds_all_intersections() {
+        let lefts = vec![
+            entry(1, 0.0, 0.0, 2.0, true),
+            entry(2, 5.0, 5.0, 1.0, true),
+        ];
+        let rights = vec![
+            entry(10, 1.0, 1.0, 2.0, false),
+            entry(11, 9.0, 9.0, 1.0, false),
+            entry(12, 5.5, 5.5, 0.2, false),
+        ];
+        let mut pairs: Vec<(u64, u64)> = mbr_compare(&lefts, &rights)
+            .iter()
+            .map(|(l, r)| (l.id, r.id))
+            .collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(1, 10), (2, 12)]);
+    }
+
+    #[test]
+    fn mbr_compare_brute_force_agreement() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mk = |id: u64, left: bool, rng: &mut rand::rngs::StdRng| {
+            entry(
+                id,
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(0.1..3.0),
+                left,
+            )
+        };
+        let lefts: Vec<PartEntry> = (0..40).map(|i| mk(i, true, &mut rng)).collect();
+        let rights: Vec<PartEntry> = (100..160).map(|i| mk(i, false, &mut rng)).collect();
+        let mut got: Vec<(u64, u64)> = mbr_compare(&lefts, &rights)
+            .iter()
+            .map(|(l, r)| (l.id, r.id))
+            .collect();
+        got.sort_unstable();
+        let mut want = Vec::new();
+        for l in &lefts {
+            for r in &rights {
+                if l.mbr.intersects(&r.mbr) {
+                    want.push((l.id, r.id));
+                }
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    fn join_fixture<S: PartitionStore + Sync>() -> (S, HashMap<u64, Polygon>) {
+        // Grid of 2 cells; squares 1 and 2 on the left side, 10-12 on
+        // the right. Square 1 overlaps 10; square 2 overlaps nothing;
+        // square 1 also straddles both cells to create duplicates.
+        let grid = GridSpec::new(Mbr::new(0.0, 0.0, 4.0, 2.0), 2.0);
+        let mut store = S::new(grid.num_cells());
+        let mut squares = HashMap::new();
+        let mut add = |store: &mut S, id: u64, x: f64, y: f64, size: f64, left: bool| {
+            let poly = square_at(x, y, size);
+            let e = PartEntry {
+                id,
+                offset: id,
+                len: 0,
+                mbr: poly.mbr(),
+                left_side: left,
+            };
+            for cell in grid.cells_for(&e.mbr) {
+                store.push(cell, e);
+            }
+            squares.insert(id, poly);
+        };
+        add(&mut store, 1, 1.5, 0.5, 1.0, true); // straddles cells 0 and 1
+        add(&mut store, 2, 0.1, 1.5, 0.3, true);
+        add(&mut store, 10, 2.0, 0.8, 1.0, false); // overlaps 1
+        add(&mut store, 11, 3.5, 1.5, 0.4, false);
+        add(&mut store, 12, 0.5, 0.1, 0.2, false);
+        (store, squares)
+    }
+
+    #[test]
+    fn pbsm_join_finds_pairs_and_dedups() {
+        let (store, squares) = join_fixture::<ArrayStore>();
+        let reparse = square_reparser(squares);
+        let (pairs, _) = pbsm_join(&store, &reparse, JoinOptions::default()).unwrap();
+        assert_eq!(pairs.len(), 1, "exactly one intersecting pair: {pairs:?}");
+        assert_eq!((pairs[0].left_id, pairs[0].right_id), (1, 10));
+    }
+
+    #[test]
+    fn list_store_join_agrees_with_array_store() {
+        let (astore, squares) = join_fixture::<ArrayStore>();
+        let (lstore, _) = join_fixture::<ListStore>();
+        let reparse = square_reparser(squares);
+        let (a, _) = pbsm_join(&astore, &reparse, JoinOptions::default()).unwrap();
+        let (l, _) = pbsm_join(&lstore, &reparse, JoinOptions::default()).unwrap();
+        assert_eq!(a, l);
+    }
+
+    #[test]
+    fn small_sort_batches_do_not_change_results() {
+        let (store, squares) = join_fixture::<ArrayStore>();
+        let reparse = square_reparser(squares);
+        let base = pbsm_join(&store, &reparse, JoinOptions::default())
+            .unwrap()
+            .0;
+        for sort_batch in [1, 2, 3] {
+            let got = pbsm_join(
+                &store,
+                &reparse,
+                JoinOptions {
+                    threads: 1,
+                    sort_batch,
+                },
+            )
+            .unwrap()
+            .0;
+            assert_eq!(got, base, "sort_batch={sort_batch}");
+        }
+    }
+
+    #[test]
+    fn multithreaded_join_is_deterministic() {
+        let (store, squares) = join_fixture::<ArrayStore>();
+        let reparse = square_reparser(squares);
+        let single = pbsm_join(
+            &store,
+            &reparse,
+            JoinOptions {
+                threads: 1,
+                sort_batch: 1 << 16,
+            },
+        )
+        .unwrap()
+        .0;
+        let multi = pbsm_join(
+            &store,
+            &reparse,
+            JoinOptions {
+                threads: 4,
+                sort_batch: 1 << 16,
+            },
+        )
+        .unwrap()
+        .0;
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn empty_sides_produce_no_pairs() {
+        let store = ArrayStore::new(4);
+        let reparse = square_reparser(HashMap::new());
+        let (pairs, _) = pbsm_join(&store, &reparse, JoinOptions::default()).unwrap();
+        assert!(pairs.is_empty());
+    }
+}

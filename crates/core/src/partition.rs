@@ -1,0 +1,333 @@
+//! Spatial grid partitioning (§4.4 stage 3 and §5.6).
+//!
+//! Partitioning terminates the first pipeline of a join: geometries
+//! (their MBRs plus source offsets) are scattered into fixed-size grid
+//! cells; geometries straddling cell boundaries are replicated into
+//! every cell they touch (the non-disjoint partitions whose duplicate
+//! results the join removes later). Two store layouts implement the
+//! paper's data-structure trade-off:
+//!
+//! * [`ArrayStore`] — one flat `Vec` per cell: best locality, but
+//!   merging two stores copies every entry (linear-time merge);
+//! * [`ListStore`] — a per-cell *list of chunks*: constant-time merge
+//!   (chunk handles are moved, never copied) at the cost of pointer-
+//!   chasing during reads.
+
+use atgis_formats::RawFeature;
+use atgis_geometry::Mbr;
+
+/// One partition entry: everything the join pipeline needs without
+/// re-parsing (§4.5: "The partition has two lists of MBRs and the
+/// offset in the original data of the corresponding object").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartEntry {
+    /// Source object id.
+    pub id: u64,
+    /// Byte offset for re-parsing.
+    pub offset: u64,
+    /// Byte length for re-parsing.
+    pub len: u32,
+    /// The object's bounding box.
+    pub mbr: Mbr,
+    /// Join side: true = left (id < threshold).
+    pub left_side: bool,
+}
+
+impl PartEntry {
+    /// Builds an entry from a parsed feature.
+    pub fn from_feature(f: &RawFeature, left_side: bool) -> Self {
+        PartEntry {
+            id: f.id,
+            offset: f.offset,
+            len: f.len,
+            mbr: f.geometry.mbr(),
+            left_side,
+        }
+    }
+}
+
+/// The partition grid: cell size in degrees over a fixed extent
+/// (§5.6 sweeps cell sizes 0.25°–4°).
+#[derive(Debug, Clone, Copy)]
+pub struct GridSpec {
+    /// Covered extent.
+    pub extent: Mbr,
+    /// Cell edge length in degrees.
+    pub cell_deg: f64,
+}
+
+impl GridSpec {
+    /// Creates a grid covering `extent` with `cell_deg` cells.
+    pub fn new(extent: Mbr, cell_deg: f64) -> Self {
+        assert!(cell_deg > 0.0, "cell size must be positive");
+        GridSpec { extent, cell_deg }
+    }
+
+    /// Grid dimensions (columns, rows).
+    pub fn dims(&self) -> (usize, usize) {
+        let nx = (self.extent.width() / self.cell_deg).ceil().max(1.0) as usize;
+        let ny = (self.extent.height() / self.cell_deg).ceil().max(1.0) as usize;
+        (nx, ny)
+    }
+
+    /// Total cell count.
+    pub fn num_cells(&self) -> usize {
+        let (nx, ny) = self.dims();
+        nx * ny
+    }
+
+    /// Indices of every cell a box overlaps (clamped to the extent).
+    pub fn cells_for(&self, mbr: &Mbr) -> Vec<usize> {
+        if mbr.is_empty() {
+            return Vec::new();
+        }
+        let (nx, ny) = self.dims();
+        let clamp = |v: f64, hi: usize| -> usize {
+            if v < 0.0 {
+                0
+            } else {
+                (v as usize).min(hi - 1)
+            }
+        };
+        let x0 = clamp((mbr.min_x - self.extent.min_x) / self.cell_deg, nx);
+        let x1 = clamp((mbr.max_x - self.extent.min_x) / self.cell_deg, nx);
+        let y0 = clamp((mbr.min_y - self.extent.min_y) / self.cell_deg, ny);
+        let y1 = clamp((mbr.max_y - self.extent.min_y) / self.cell_deg, ny);
+        let mut out = Vec::with_capacity((x1 - x0 + 1) * (y1 - y0 + 1));
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                out.push(y * nx + x);
+            }
+        }
+        out
+    }
+}
+
+/// A partition store: per-cell entry collections with an associative
+/// merge (the Fig. 3 aggregation transducer).
+pub trait PartitionStore: Send + Sync + Sized {
+    /// Creates an empty store for `cells` cells.
+    fn new(cells: usize) -> Self;
+    /// Appends an entry to a cell.
+    fn push(&mut self, cell: usize, entry: PartEntry);
+    /// Associative merge (concatenates per-cell lists in order).
+    fn merge(self, other: Self) -> Self;
+    /// Visits every entry of a cell in insertion order.
+    fn for_each(&self, cell: usize, f: impl FnMut(&PartEntry));
+    /// Number of cells.
+    fn num_cells(&self) -> usize;
+    /// Total entries across all cells.
+    fn len(&self) -> usize;
+    /// True when no entries are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Materialises a cell into a vector (used by the join pipeline).
+    fn cell_entries(&self, cell: usize) -> Vec<PartEntry> {
+        let mut v = Vec::new();
+        self.for_each(cell, |e| v.push(*e));
+        v
+    }
+}
+
+/// Flat array store: contiguous per-cell vectors.
+#[derive(Debug, Clone)]
+pub struct ArrayStore {
+    cells: Vec<Vec<PartEntry>>,
+}
+
+impl PartitionStore for ArrayStore {
+    fn new(cells: usize) -> Self {
+        ArrayStore {
+            cells: vec![Vec::new(); cells],
+        }
+    }
+
+    fn push(&mut self, cell: usize, entry: PartEntry) {
+        self.cells[cell].push(entry);
+    }
+
+    fn merge(mut self, other: Self) -> Self {
+        // Linear-time: every entry of `other` is copied.
+        for (mine, mut theirs) in self.cells.iter_mut().zip(other.cells) {
+            mine.append(&mut theirs);
+        }
+        self
+    }
+
+    fn for_each(&self, cell: usize, mut f: impl FnMut(&PartEntry)) {
+        for e in &self.cells[cell] {
+            f(e);
+        }
+    }
+
+    fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn len(&self) -> usize {
+        self.cells.iter().map(Vec::len).sum()
+    }
+}
+
+/// Chunk-list store: each cell holds a list of chunk handles; merging
+/// moves handles without copying entries (the constant-time merge of
+/// §4.4's linked lists, at chunk granularity).
+#[derive(Debug, Clone)]
+pub struct ListStore {
+    cells: Vec<Vec<Vec<PartEntry>>>,
+}
+
+impl PartitionStore for ListStore {
+    fn new(cells: usize) -> Self {
+        ListStore {
+            cells: vec![Vec::new(); cells],
+        }
+    }
+
+    fn push(&mut self, cell: usize, entry: PartEntry) {
+        let chunks = &mut self.cells[cell];
+        match chunks.last_mut() {
+            Some(last) => last.push(entry),
+            None => chunks.push(vec![entry]),
+        }
+    }
+
+    fn merge(mut self, other: Self) -> Self {
+        for (mine, theirs) in self.cells.iter_mut().zip(other.cells) {
+            // O(#chunks), not O(#entries): handles move, data stays.
+            mine.extend(theirs);
+        }
+        self
+    }
+
+    fn for_each(&self, cell: usize, mut f: impl FnMut(&PartEntry)) {
+        for chunk in &self.cells[cell] {
+            for e in chunk {
+                f(e);
+            }
+        }
+    }
+
+    fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn len(&self) -> usize {
+        self.cells.iter().flatten().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn entry(id: u64, x: f64, y: f64, size: f64) -> PartEntry {
+        PartEntry {
+            id,
+            offset: id * 10,
+            len: 5,
+            mbr: Mbr::new(x, y, x + size, y + size),
+            left_side: id % 2 == 0,
+        }
+    }
+
+    #[test]
+    fn grid_dims_and_cells() {
+        let g = GridSpec::new(Mbr::new(0.0, 0.0, 4.0, 2.0), 1.0);
+        assert_eq!(g.dims(), (4, 2));
+        assert_eq!(g.num_cells(), 8);
+        // A unit box inside cell (1,0).
+        assert_eq!(g.cells_for(&Mbr::new(1.1, 0.1, 1.9, 0.9)), vec![1]);
+        // A box straddling four cells.
+        let cells = g.cells_for(&Mbr::new(0.5, 0.5, 1.5, 1.5));
+        assert_eq!(cells, vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn out_of_extent_boxes_clamp() {
+        let g = GridSpec::new(Mbr::new(0.0, 0.0, 2.0, 2.0), 1.0);
+        assert_eq!(g.cells_for(&Mbr::new(-5.0, -5.0, -4.0, -4.0)), vec![0]);
+        assert_eq!(g.cells_for(&Mbr::new(9.0, 9.0, 10.0, 10.0)), vec![3]);
+        assert!(g.cells_for(&Mbr::EMPTY).is_empty());
+    }
+
+    fn check_store<S: PartitionStore>(mut s: S) {
+        s.push(0, entry(1, 0.0, 0.0, 1.0));
+        s.push(0, entry(2, 0.5, 0.5, 1.0));
+        s.push(3, entry(3, 3.0, 3.0, 1.0));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.cell_entries(0).len(), 2);
+        assert_eq!(s.cell_entries(1).len(), 0);
+        assert_eq!(s.cell_entries(3)[0].id, 3);
+    }
+
+    #[test]
+    fn array_store_basics() {
+        check_store(ArrayStore::new(4));
+    }
+
+    #[test]
+    fn list_store_basics() {
+        check_store(ListStore::new(4));
+    }
+
+    fn fill<S: PartitionStore>(ids: &[u64]) -> S {
+        let mut s = S::new(4);
+        for &id in ids {
+            s.push((id % 4) as usize, entry(id, id as f64, 0.0, 1.0));
+        }
+        s
+    }
+
+    #[test]
+    fn stores_merge_identically() {
+        let a1: ArrayStore = fill(&[1, 2, 3]);
+        let a2: ArrayStore = fill(&[4, 5]);
+        let l1: ListStore = fill(&[1, 2, 3]);
+        let l2: ListStore = fill(&[4, 5]);
+        let am = a1.merge(a2);
+        let lm = l1.merge(l2);
+        assert_eq!(am.len(), lm.len());
+        for cell in 0..4 {
+            assert_eq!(am.cell_entries(cell), lm.cell_entries(cell));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn merge_order_is_preserved(
+            left in prop::collection::vec(0u64..100, 0..40),
+            right in prop::collection::vec(0u64..100, 0..40),
+        ) {
+            let a: ArrayStore = fill(&left);
+            let b: ArrayStore = fill(&right);
+            let merged = a.merge(b);
+            for cell in 0..4 {
+                let ids: Vec<u64> = merged.cell_entries(cell).iter().map(|e| e.id).collect();
+                let expect: Vec<u64> = left
+                    .iter()
+                    .chain(&right)
+                    .copied()
+                    .filter(|id| (id % 4) as usize == cell)
+                    .collect();
+                prop_assert_eq!(ids, expect);
+            }
+        }
+
+        #[test]
+        fn list_and_array_agree(
+            batches in prop::collection::vec(
+                prop::collection::vec(0u64..50, 0..20), 1..6),
+        ) {
+            let arrays: Vec<ArrayStore> = batches.iter().map(|b| fill(b)).collect();
+            let lists: Vec<ListStore> = batches.iter().map(|b| fill(b)).collect();
+            let am = arrays.into_iter().reduce(|a, b| a.merge(b)).unwrap();
+            let lm = lists.into_iter().reduce(|a, b| a.merge(b)).unwrap();
+            for cell in 0..4 {
+                prop_assert_eq!(am.cell_entries(cell), lm.cell_entries(cell));
+            }
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! Per-block query pipelines (Fig. 6): parse → transform/filter →
+//! aggregate, composed per §3.2 by storing downstream aggregates on
+//! the parse fragments' tapes.
+//!
+//! The [`QueryAggregate`] trait is the downstream transducer: it
+//! absorbs features the moment a block (or a fragment merge) completes
+//! them and combines associatively, so feature buffers never span the
+//! whole input. In FAT mode one aggregate is kept per speculated lexer
+//! start state, mirroring the paper's predicated tapes.
+
+use crate::query::{FilterStrategy, Metric};
+use crate::result::{AggregateValues, MatchRecord};
+use atgis_formats::feature::{MetadataFilter, RawFeature};
+use atgis_formats::geojson::fat::BlockFragment;
+use atgis_formats::wkt::WktFragment;
+use atgis_formats::{Block, ParseError};
+use atgis_geometry::relate::intersects;
+use atgis_geometry::{measures, DistanceModel, Geometry, Polygon};
+
+/// The downstream (transform + aggregation) stages of a single-pass
+/// pipeline, as an associative aggregate over completed features.
+pub trait QueryAggregate: Send + Sync + Clone {
+    /// The empty aggregate.
+    fn identity() -> Self;
+    /// Folds one completed feature in.
+    fn absorb(&mut self, feature: &RawFeature);
+    /// Associative combination (self covers earlier input).
+    fn combine(self, other: Self) -> Self;
+}
+
+/// Containment-query aggregate: buffers matching records (§4.4: "it
+/// is also used for containment queries to store the output of the
+/// transformation stage").
+#[derive(Debug, Clone)]
+pub struct ContainmentAgg {
+    region: std::sync::Arc<Polygon>,
+    /// Matches found so far.
+    pub matches: Vec<MatchRecord>,
+}
+
+impl ContainmentAgg {
+    /// Creates the aggregate for a reference region.
+    pub fn new(region: std::sync::Arc<Polygon>) -> Self {
+        ContainmentAgg {
+            region,
+            matches: Vec::new(),
+        }
+    }
+}
+
+impl QueryAggregate for ContainmentAgg {
+    fn identity() -> Self {
+        unreachable!("use ContainmentAgg::new — the region is a query parameter")
+    }
+
+    fn absorb(&mut self, f: &RawFeature) {
+        let mbr = f.geometry.mbr();
+        // MBR pre-filter, then exact geometry refinement (§2.3's
+        // filter-refine pattern).
+        if !mbr.intersects(&self.region.mbr()) {
+            return;
+        }
+        if intersects(&f.geometry, &Geometry::Polygon((*self.region).clone())) {
+            self.matches.push(MatchRecord {
+                id: f.id,
+                offset: f.offset,
+                len: f.len,
+                mbr,
+            });
+        }
+    }
+
+    fn combine(mut self, mut other: Self) -> Self {
+        self.matches.append(&mut other.matches);
+        self
+    }
+}
+
+/// Aggregation-query aggregate: containment test plus numeric
+/// summarisation, with the streaming/buffered trade-off of Fig. 7.
+#[derive(Debug, Clone)]
+pub struct MetricsAgg {
+    region: std::sync::Arc<Polygon>,
+    model: DistanceModel,
+    strategy: FilterStrategy,
+    want_area: bool,
+    want_perimeter: bool,
+    /// Aggregated values.
+    pub values: AggregateValues,
+}
+
+impl MetricsAgg {
+    /// Creates the aggregate.
+    pub fn new(
+        region: std::sync::Arc<Polygon>,
+        metrics: &[Metric],
+        model: DistanceModel,
+        strategy: FilterStrategy,
+    ) -> Self {
+        MetricsAgg {
+            region,
+            model,
+            strategy,
+            want_area: metrics.contains(&Metric::Area),
+            want_perimeter: metrics.contains(&Metric::Perimeter),
+            values: AggregateValues::default(),
+        }
+    }
+
+    fn passes(&self, f: &RawFeature) -> bool {
+        f.geometry.mbr().intersects(&self.region.mbr())
+            && intersects(&f.geometry, &Geometry::Polygon((*self.region).clone()))
+    }
+}
+
+impl QueryAggregate for MetricsAgg {
+    fn identity() -> Self {
+        unreachable!("use MetricsAgg::new — parameters are query state")
+    }
+
+    fn absorb(&mut self, f: &RawFeature) {
+        match self.strategy {
+            FilterStrategy::Streaming => {
+                // Compute the metrics unconditionally, concurrent with
+                // the test; discard on failure (Fig. 7b).
+                let area = if self.want_area {
+                    measures::area(&f.geometry, self.model)
+                } else {
+                    0.0
+                };
+                let perimeter = if self.want_perimeter {
+                    measures::perimeter(&f.geometry, self.model)
+                } else {
+                    0.0
+                };
+                if self.passes(f) {
+                    self.values.count += 1;
+                    self.values.total_area += area;
+                    self.values.total_perimeter += perimeter;
+                }
+            }
+            FilterStrategy::Buffered | FilterStrategy::Auto => {
+                // Buffer the geometry until the filter decides, then
+                // compute metrics from the buffered copy (Fig. 7a).
+                // The copy is the buffering overhead the paper weighs
+                // against streaming's redundant computation; `Auto`
+                // resolution happens in the engine, here it behaves as
+                // buffered.
+                if self.passes(f) {
+                    let buffered: Geometry = f.geometry.clone();
+                    self.values.count += 1;
+                    if self.want_area {
+                        self.values.total_area += measures::area(&buffered, self.model);
+                    }
+                    if self.want_perimeter {
+                        self.values.total_perimeter +=
+                            measures::perimeter(&buffered, self.model);
+                    }
+                }
+            }
+        }
+    }
+
+    fn combine(mut self, other: Self) -> Self {
+        self.values.count += other.values.count;
+        self.values.total_area += other.values.total_area;
+        self.values.total_perimeter += other.values.total_perimeter;
+        self
+    }
+}
+
+/// The FAT GeoJSON pipeline fragment: the parse fragment composed with
+/// one downstream aggregate per speculated lexer start state (§3.2's
+/// "the first transducer now stores a predicated set of fragments
+/// from the second transducer").
+pub struct FatGeoJsonFrag<A: QueryAggregate> {
+    parse: BlockFragment,
+    /// `(lexer start state, aggregate)` pairs.
+    aggs: Vec<(u8, A)>,
+}
+
+impl<A: QueryAggregate> FatGeoJsonFrag<A> {
+    /// Lexes, parses and aggregates one block.
+    pub fn process(
+        input: &[u8],
+        block: Block,
+        filter: &MetadataFilter,
+        proto: &A,
+    ) -> Result<Self, ParseError> {
+        let mut parse = atgis_formats::geojson::fat::process_block(input, block, filter)?;
+        let aggs = parse
+            .drain_features()
+            .into_iter()
+            .map(|(state, features)| {
+                let mut a = proto.clone();
+                for f in &features {
+                    a.absorb(f);
+                }
+                (state, a)
+            })
+            .collect();
+        Ok(FatGeoJsonFrag { parse, aggs })
+    }
+
+    /// Fragment merge: compose the parse relation, absorb
+    /// boundary-spanning features, combine aggregates along each
+    /// speculation chain.
+    pub fn merge(
+        self,
+        other: Self,
+        input: &[u8],
+        filter: &MetadataFilter,
+    ) -> Result<Self, ParseError> {
+        let finals = self.parse.entry_finals();
+        let mut parse = self.parse.merge(other.parse, input, filter)?;
+        let spanning = parse.drain_features();
+        let aggs = self
+            .aggs
+            .into_iter()
+            .map(|(start, left)| {
+                let mid = finals
+                    .iter()
+                    .find(|(s, _)| *s == start)
+                    .map(|(_, f)| *f)
+                    .expect("entry exists");
+                let mut combined = left;
+                if let Some((_, mids)) = spanning.iter().find(|(s, _)| *s == start) {
+                    for f in mids {
+                        combined.absorb(f);
+                    }
+                }
+                let right = other
+                    .aggs
+                    .iter()
+                    .find(|(s, _)| *s == mid)
+                    .map(|(_, a)| a.clone())
+                    .expect("right entry exists");
+                (start, combined.combine(right))
+            })
+            .collect();
+        Ok(FatGeoJsonFrag { parse, aggs })
+    }
+
+    /// Resolves the speculation and finishes the pipeline.
+    pub fn finalize(
+        self,
+        input: &[u8],
+        filter: &MetadataFilter,
+    ) -> Result<A, ParseError> {
+        let mut agg = self
+            .aggs
+            .into_iter()
+            .find(|(s, _)| *s == atgis_formats::geojson::lexer::STATE_OUT)
+            .map(|(_, a)| a)
+            .expect("STATE_OUT entry");
+        for f in self.parse.finalize(input, filter)? {
+            agg.absorb(&f);
+        }
+        Ok(agg)
+    }
+}
+
+/// The FAT WKT pipeline fragment (no speculation — a single chain).
+pub struct FatWktFrag<A: QueryAggregate> {
+    parse: WktFragment,
+    agg: A,
+}
+
+impl<A: QueryAggregate> FatWktFrag<A> {
+    /// Parses and aggregates one block.
+    pub fn process(
+        input: &[u8],
+        block: Block,
+        filter: &MetadataFilter,
+        proto: &A,
+    ) -> Result<Self, ParseError> {
+        let mut parse = atgis_formats::wkt::process_block(input, block, filter)?;
+        let mut agg = proto.clone();
+        for f in parse.drain_features() {
+            agg.absorb(&f);
+        }
+        Ok(FatWktFrag { parse, agg })
+    }
+
+    /// Fragment merge.
+    pub fn merge(
+        self,
+        other: Self,
+        input: &[u8],
+        filter: &MetadataFilter,
+    ) -> Result<Self, ParseError> {
+        let mut parse = self.parse.merge(other.parse, input, filter)?;
+        let mut agg = self.agg;
+        for f in parse.drain_features() {
+            agg.absorb(&f);
+        }
+        Ok(FatWktFrag {
+            parse,
+            agg: agg.combine(other.agg),
+        })
+    }
+
+    /// Finishes the pipeline.
+    pub fn finalize(self, input: &[u8], filter: &MetadataFilter) -> Result<A, ParseError> {
+        let mut agg = self.agg;
+        for f in self.parse.finalize(input, filter)? {
+            agg.absorb(&f);
+        }
+        Ok(agg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgis_formats::fixed_blocks;
+    use atgis_geometry::Mbr;
+    use std::sync::Arc;
+
+    fn region() -> Arc<Polygon> {
+        Arc::new(Polygon::from_mbr(&Mbr::new(-0.5, -0.5, 0.5, 0.5)))
+    }
+
+    fn feature(id: u64, x: f64, y: f64) -> RawFeature {
+        RawFeature {
+            id,
+            geometry: Geometry::Point(atgis_geometry::Point::new(x, y)),
+            offset: id * 100,
+            len: 50,
+        }
+    }
+
+    #[test]
+    fn containment_agg_filters_by_region() {
+        let mut agg = ContainmentAgg::new(region());
+        agg.absorb(&feature(1, 0.0, 0.0)); // inside
+        agg.absorb(&feature(2, 5.0, 5.0)); // outside
+        agg.absorb(&feature(3, 0.5, 0.5)); // on boundary
+        assert_eq!(agg.matches.len(), 2);
+        assert_eq!(agg.matches[0].id, 1);
+    }
+
+    #[test]
+    fn containment_combine_preserves_order() {
+        let mut a = ContainmentAgg::new(region());
+        a.absorb(&feature(1, 0.0, 0.0));
+        let mut b = ContainmentAgg::new(region());
+        b.absorb(&feature(2, 0.1, 0.1));
+        let c = a.combine(b);
+        assert_eq!(c.matches.iter().map(|m| m.id).collect::<Vec<_>>(), [1, 2]);
+    }
+
+    #[test]
+    fn metrics_agg_streaming_equals_buffered() {
+        let square = RawFeature {
+            id: 1,
+            geometry: Geometry::Polygon(atgis_geometry::polygon::unit_square()),
+            offset: 0,
+            len: 10,
+        };
+        let outside = RawFeature {
+            id: 2,
+            geometry: Geometry::Polygon(Polygon::from_mbr(&Mbr::new(10.0, 10.0, 11.0, 11.0))),
+            offset: 100,
+            len: 10,
+        };
+        let reg = Arc::new(Polygon::from_mbr(&Mbr::new(-1.0, -1.0, 2.0, 2.0)));
+        let metrics = [Metric::Area, Metric::Perimeter, Metric::Count];
+        let mut streaming = MetricsAgg::new(
+            reg.clone(),
+            &metrics,
+            DistanceModel::Planar,
+            FilterStrategy::Streaming,
+        );
+        let mut buffered = MetricsAgg::new(
+            reg,
+            &metrics,
+            DistanceModel::Planar,
+            FilterStrategy::Buffered,
+        );
+        for f in [&square, &outside] {
+            streaming.absorb(f);
+            buffered.absorb(f);
+        }
+        assert_eq!(streaming.values, buffered.values);
+        assert_eq!(streaming.values.count, 1);
+        assert_eq!(streaming.values.total_area, 1.0);
+        assert_eq!(streaming.values.total_perimeter, 4.0);
+    }
+
+    #[test]
+    fn fat_geojson_pipeline_matches_direct_parse() {
+        let ds = atgis_datagen::OsmGenerator::new(77).generate(60);
+        let input = atgis_datagen::write_geojson(&ds);
+        let filter = MetadataFilter::All;
+        let reg = Arc::new(Polygon::from_mbr(&Mbr::new(-180.0, -90.0, 180.0, 90.0)));
+        let proto = ContainmentAgg::new(reg);
+
+        for blocks in [1, 3, 9] {
+            let mut merged: Option<FatGeoJsonFrag<ContainmentAgg>> = None;
+            for b in fixed_blocks(input.len(), blocks) {
+                let f = FatGeoJsonFrag::process(&input, b, &filter, &proto).unwrap();
+                merged = Some(match merged {
+                    None => f,
+                    Some(acc) => acc.merge(f, &input, &filter).unwrap(),
+                });
+            }
+            let agg = merged.unwrap().finalize(&input, &filter).unwrap();
+            assert_eq!(agg.matches.len(), 60, "blocks={blocks}");
+        }
+    }
+
+    #[test]
+    fn fat_wkt_pipeline_matches_direct_parse() {
+        let ds = atgis_datagen::OsmGenerator::new(78).generate(40);
+        let input = atgis_datagen::write_wkt(&ds);
+        let filter = MetadataFilter::All;
+        let reg = Arc::new(Polygon::from_mbr(&Mbr::new(-180.0, -90.0, 180.0, 90.0)));
+        let proto = ContainmentAgg::new(reg);
+        for blocks in [1, 4, 11] {
+            let mut merged: Option<FatWktFrag<ContainmentAgg>> = None;
+            for b in fixed_blocks(input.len(), blocks) {
+                let f = FatWktFrag::process(&input, b, &filter, &proto).unwrap();
+                merged = Some(match merged {
+                    None => f,
+                    Some(acc) => acc.merge(f, &input, &filter).unwrap(),
+                });
+            }
+            let agg = merged.unwrap().finalize(&input, &filter).unwrap();
+            assert_eq!(agg.matches.len(), 40, "blocks={blocks}");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The query forms of Table 3.
+
+use atgis_geometry::{DistanceModel, Mbr, Polygon};
+
+/// Numeric metrics an aggregation query can compute over the selected
+/// geometries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Total area (spherical by default, per §5 "we perform all of our
+    /// computation using a spherical coordinate system").
+    Area,
+    /// Total perimeter.
+    Perimeter,
+    /// Number of selected geometries.
+    Count,
+}
+
+/// How selection interacts with metric computation (§4.4, Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterStrategy {
+    /// Compute metrics concurrently with the filter test; discard the
+    /// result if the test fails. Wins when selectivity is high
+    /// (most geometries pass).
+    Streaming,
+    /// Buffer the geometry until the filter decides, computing metrics
+    /// only for accepted geometries. Wins for selective queries.
+    Buffered,
+    /// Pick per the paper's ~25% crossover using the region/dataset
+    /// area ratio as the selectivity estimate.
+    #[default]
+    Auto,
+}
+
+/// A spatial query (Table 3's four forms).
+#[derive(Debug, Clone)]
+pub enum Query {
+    /// `SELECT * FROM data WHERE ST_Intersects(geom, ref)`
+    Containment {
+        /// The reference region.
+        region: Polygon,
+    },
+    /// `SELECT ST_Area(geom), ST_Perimeter(geom) WHERE
+    /// ST_Intersects(geom, ref)`
+    Aggregation {
+        /// The reference region.
+        region: Polygon,
+        /// Which metrics to compute.
+        metrics: Vec<Metric>,
+        /// Distance model for perimeter computation (Fig. 13 compares
+        /// spherical projection against Andoyer's algorithm).
+        model: DistanceModel,
+        /// Streaming vs buffered filtering.
+        strategy: FilterStrategy,
+    },
+    /// `SELECT * FROM data d1, data d2 WHERE d1.id < t AND d2.id >= t
+    /// AND ST_Intersects(d1.geom, d2.geom)`
+    Join {
+        /// The id threshold carving the two disjoint subsets.
+        id_threshold: u64,
+    },
+    /// The combined query: perimeter filters on both join sides, then
+    /// an aggregation over the joined pairs
+    /// (`SELECT ST_Area(ST_Union(d1.geom, d2.geom)) … WHERE
+    /// ST_Perimeter(d1.geom) > t1 AND ST_Perimeter(d2.geom) < t2 AND
+    /// ST_Intersects(…)`).
+    Combined {
+        /// The id threshold carving the two subsets.
+        id_threshold: u64,
+        /// Lower perimeter bound on the left side (metres).
+        min_perimeter_left: f64,
+        /// Upper perimeter bound on the right side (metres).
+        max_perimeter_right: f64,
+    },
+}
+
+impl Query {
+    /// Containment query against a bounding box.
+    pub fn containment(region: Mbr) -> Query {
+        Query::Containment {
+            region: Polygon::from_mbr(&region),
+        }
+    }
+
+    /// Containment query against an arbitrary polygon.
+    pub fn containment_polygon(region: Polygon) -> Query {
+        Query::Containment { region }
+    }
+
+    /// The paper's aggregation query: total area and perimeter of the
+    /// geometries intersecting `region`.
+    pub fn aggregation(region: Mbr) -> Query {
+        Query::Aggregation {
+            region: Polygon::from_mbr(&region),
+            metrics: vec![Metric::Area, Metric::Perimeter, Metric::Count],
+            model: DistanceModel::Spherical,
+            strategy: FilterStrategy::Auto,
+        }
+    }
+
+    /// Aggregation with explicit knobs.
+    pub fn aggregation_with(
+        region: Mbr,
+        metrics: Vec<Metric>,
+        model: DistanceModel,
+        strategy: FilterStrategy,
+    ) -> Query {
+        Query::Aggregation {
+            region: Polygon::from_mbr(&region),
+            metrics,
+            model,
+            strategy,
+        }
+    }
+
+    /// Self-join splitting the dataset at `id_threshold`.
+    pub fn join(id_threshold: u64) -> Query {
+        Query::Join { id_threshold }
+    }
+
+    /// The combined query.
+    pub fn combined(id_threshold: u64, min_left: f64, max_right: f64) -> Query {
+        Query::Combined {
+            id_threshold,
+            min_perimeter_left: min_left,
+            max_perimeter_right: max_right,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_produce_expected_variants() {
+        let r = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        assert!(matches!(Query::containment(r), Query::Containment { .. }));
+        match Query::aggregation(r) {
+            Query::Aggregation { metrics, model, .. } => {
+                assert_eq!(metrics.len(), 3);
+                assert_eq!(model, DistanceModel::Spherical);
+            }
+            q => panic!("{q:?}"),
+        }
+        assert!(matches!(Query::join(10), Query::Join { id_threshold: 10 }));
+        assert!(matches!(
+            Query::combined(5, 1.0, 2.0),
+            Query::Combined { .. }
+        ));
+    }
+
+    #[test]
+    fn containment_region_covers_mbr() {
+        let r = Mbr::new(1.0, 2.0, 3.0, 4.0);
+        if let Query::Containment { region } = Query::containment(r) {
+            assert_eq!(region.mbr(), r);
+        } else {
+            unreachable!()
+        }
+    }
+}

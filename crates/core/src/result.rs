@@ -1,0 +1,114 @@
+//! Query results and match records.
+
+use atgis_geometry::Mbr;
+
+/// One geometry selected by a containment query. Carries the byte
+/// offset (the object's unique identity per §4.2) so callers can
+/// re-parse the full geometry on demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchRecord {
+    /// Source object id.
+    pub id: u64,
+    /// Byte offset of the object in the raw input.
+    pub offset: u64,
+    /// Byte length of the object.
+    pub len: u32,
+    /// The object's bounding box.
+    pub mbr: Mbr,
+}
+
+/// One joined pair, identified by the two objects' ids and offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct JoinPair {
+    /// Left object id (id < threshold subset).
+    pub left_id: u64,
+    /// Right object id.
+    pub right_id: u64,
+    /// Left object byte offset.
+    pub left_offset: u64,
+    /// Right object byte offset.
+    pub right_offset: u64,
+}
+
+/// Aggregated numeric results.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AggregateValues {
+    /// Number of selected geometries.
+    pub count: u64,
+    /// Total area (m² under spherical models, coordinate² under
+    /// planar).
+    pub total_area: f64,
+    /// Total perimeter (m under spherical models).
+    pub total_perimeter: f64,
+}
+
+/// The result of executing a [`crate::Query`].
+#[derive(Debug, Clone)]
+pub enum QueryResult {
+    /// Containment query output.
+    Matches(Vec<MatchRecord>),
+    /// Aggregation query output.
+    Aggregate(AggregateValues),
+    /// Join query output.
+    Joined(Vec<JoinPair>),
+    /// Combined query output: joined pair count plus the union-area
+    /// aggregate.
+    Combined {
+        /// Number of joined pairs that passed all filters.
+        pairs: u64,
+        /// Total `ST_Area(ST_Union(d1, d2))` over the pairs.
+        total_union_area: f64,
+    },
+}
+
+impl QueryResult {
+    /// The matches of a containment query; empty for other variants.
+    pub fn matches(&self) -> &[MatchRecord] {
+        match self {
+            QueryResult::Matches(m) => m,
+            _ => &[],
+        }
+    }
+
+    /// The aggregate of an aggregation query.
+    pub fn aggregate(&self) -> Option<AggregateValues> {
+        match self {
+            QueryResult::Aggregate(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// The joined pairs of a join query; empty for other variants.
+    pub fn joined(&self) -> &[JoinPair] {
+        match self {
+            QueryResult::Joined(p) => p,
+            _ => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_select_the_right_variant() {
+        let m = QueryResult::Matches(vec![MatchRecord {
+            id: 1,
+            offset: 0,
+            len: 10,
+            mbr: Mbr::new(0.0, 0.0, 1.0, 1.0),
+        }]);
+        assert_eq!(m.matches().len(), 1);
+        assert!(m.aggregate().is_none());
+        assert!(m.joined().is_empty());
+
+        let a = QueryResult::Aggregate(AggregateValues {
+            count: 2,
+            total_area: 1.0,
+            total_perimeter: 4.0,
+        });
+        assert_eq!(a.aggregate().unwrap().count, 2);
+        assert!(a.matches().is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Phase timing instrumentation for the evaluation harness.
+//!
+//! Figs. 11 and 15 report the processing (P) and merge (M) phase times
+//! of each pipeline separately; [`Timings`] captures them.
+
+use std::time::Duration;
+
+/// Wall-clock timings of one pipeline execution (Fig. 5's phases).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    /// Time to compute block boundaries (marker search for PAT).
+    pub split: Duration,
+    /// Time for the parallel processing phase (longest pole).
+    pub process: Duration,
+    /// Time for the in-order fragment merge.
+    pub merge: Duration,
+}
+
+impl Timings {
+    /// Total of all phases.
+    pub fn total(&self) -> Duration {
+        self.split + self.process + self.merge
+    }
+}
+
+/// Timings for the two pipelines of a join query (Fig. 11 splits
+/// "Partition" from "Join").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinTimings {
+    /// First pass: parse + bound + partition.
+    pub partition: Timings,
+    /// Second pass: MBR compare → sort → re-parse → refine.
+    pub join: Timings,
+    /// Final duplicate elimination.
+    pub dedup: Duration,
+}
+
+impl JoinTimings {
+    /// Total of both pipelines.
+    pub fn total(&self) -> Duration {
+        self.partition.total() + self.join.total() + self.dedup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let t = Timings {
+            split: Duration::from_millis(1),
+            process: Duration::from_millis(20),
+            merge: Duration::from_millis(3),
+        };
+        assert_eq!(t.total(), Duration::from_millis(24));
+        let j = JoinTimings {
+            partition: t,
+            join: t,
+            dedup: Duration::from_millis(2),
+        };
+        assert_eq!(j.total(), Duration::from_millis(50));
+    }
+}

@@ -1,0 +1,274 @@
+//! OSM-like object generation.
+//!
+//! Objects mimic the OpenStreetMap planet file's statistical shape at
+//! reduced scale: mostly small building-like polygons, some longer
+//! road linestrings, occasional multipolygons (land-use with islands)
+//! and rare nested geometry collections, spread non-uniformly over a
+//! configurable lon/lat extent (clustered around "city" centres, as
+//! real OSM data clusters around settlements).
+
+use atgis_geometry::{Geometry, LineString, MultiPolygon, Mbr, Point, Polygon, Ring};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated object: geometry plus OSM-style metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OsmObject {
+    /// Unique object id.
+    pub id: u64,
+    /// The geometry.
+    pub geometry: Geometry,
+    /// `k=v` tags (building=yes, highway=…, name=…).
+    pub tags: Vec<(String, String)>,
+}
+
+/// A generated dataset.
+#[derive(Debug, Clone, Default)]
+pub struct OsmDataset {
+    /// Objects in file order.
+    pub objects: Vec<OsmObject>,
+}
+
+impl OsmDataset {
+    /// Bounding box of the whole dataset.
+    pub fn mbr(&self) -> Mbr {
+        self.objects
+            .iter()
+            .fold(Mbr::EMPTY, |acc, o| acc.union(&o.geometry.mbr()))
+    }
+
+    /// Total vertex count — the paper reports "Shapes (1000s)";
+    /// vertex counts drive parse cost.
+    pub fn total_points(&self) -> usize {
+        self.objects.iter().map(|o| o.geometry.num_points()).sum()
+    }
+}
+
+/// Deterministic OSM-like data generator.
+#[derive(Debug, Clone)]
+pub struct OsmGenerator {
+    seed: u64,
+    /// Longitude extent of the generated world.
+    pub lon_range: (f64, f64),
+    /// Latitude extent of the generated world.
+    pub lat_range: (f64, f64),
+    /// Number of cluster centres ("cities").
+    pub clusters: usize,
+    /// Fraction of objects that are road linestrings.
+    pub road_fraction: f64,
+    /// Fraction of objects that are multipolygons.
+    pub multipolygon_fraction: f64,
+    /// Fraction of objects that are nested geometry collections.
+    pub collection_fraction: f64,
+}
+
+impl OsmGenerator {
+    /// Creates a generator with the default world: a 20°×20° region
+    /// with 12 city clusters.
+    pub fn new(seed: u64) -> Self {
+        OsmGenerator {
+            seed,
+            lon_range: (-10.0, 10.0),
+            lat_range: (40.0, 60.0),
+            clusters: 12,
+            road_fraction: 0.25,
+            multipolygon_fraction: 0.05,
+            collection_fraction: 0.02,
+        }
+    }
+
+    /// Generates `n` objects.
+    pub fn generate(&self, n: usize) -> OsmDataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let centres: Vec<Point> = (0..self.clusters.max(1))
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(self.lon_range.0..self.lon_range.1),
+                    rng.gen_range(self.lat_range.0..self.lat_range.1),
+                )
+            })
+            .collect();
+        let mut objects = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = i as u64 + 1;
+            let centre = centres[rng.gen_range(0..centres.len())];
+            // Gaussian-ish scatter around the city centre.
+            let jitter = |rng: &mut StdRng| {
+                let u: f64 = rng.gen_range(-1.0..1.0);
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                (u * u * u.signum() * 0.5, v * v * v.signum() * 0.5)
+            };
+            let (dx, dy) = jitter(&mut rng);
+            let at = Point::new(centre.x + dx, centre.y + dy);
+            let roll: f64 = rng.gen();
+            let (geometry, tags) = if roll < self.collection_fraction {
+                (self.gen_collection(&mut rng, at), vec![
+                    ("type".into(), "site".into()),
+                    (name_tag(id)),
+                ])
+            } else if roll < self.collection_fraction + self.multipolygon_fraction {
+                (self.gen_multipolygon(&mut rng, at), vec![
+                    ("landuse".into(), "forest".into()),
+                    (name_tag(id)),
+                ])
+            } else if roll < self.collection_fraction + self.multipolygon_fraction + self.road_fraction
+            {
+                (self.gen_road(&mut rng, at), vec![
+                    ("highway".into(), road_kind(&mut rng)),
+                    (name_tag(id)),
+                ])
+            } else {
+                (self.gen_building(&mut rng, at), vec![
+                    ("building".into(), "yes".into()),
+                    (name_tag(id)),
+                ])
+            };
+            objects.push(OsmObject { id, geometry, tags });
+        }
+        OsmDataset { objects }
+    }
+
+    /// A small convex building polygon (4–12 vertices).
+    fn gen_building(&self, rng: &mut StdRng, at: Point) -> Geometry {
+        Geometry::Polygon(random_polygon(rng, at, 0.0005..0.005, 4..13))
+    }
+
+    /// A road polyline (2–30 vertices, random walk).
+    fn gen_road(&self, rng: &mut StdRng, at: Point) -> Geometry {
+        let n = rng.gen_range(2..30);
+        let mut pts = Vec::with_capacity(n);
+        let mut cur = at;
+        let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        for _ in 0..n {
+            pts.push(cur);
+            heading += rng.gen_range(-0.5..0.5);
+            let step = rng.gen_range(0.0005..0.003);
+            cur = Point::new(cur.x + step * heading.cos(), cur.y + step * heading.sin());
+        }
+        Geometry::LineString(LineString::new(pts))
+    }
+
+    /// A land-use multipolygon with 2–4 members.
+    fn gen_multipolygon(&self, rng: &mut StdRng, at: Point) -> Geometry {
+        let k = rng.gen_range(2..5);
+        let polys = (0..k)
+            .map(|i| {
+                let off = Point::new(at.x + i as f64 * 0.02, at.y + (i % 2) as f64 * 0.02);
+                random_polygon(rng, off, 0.002..0.01, 5..20)
+            })
+            .collect();
+        Geometry::MultiPolygon(MultiPolygon::new(polys))
+    }
+
+    /// A nested geometry collection (the Listing 1 shape).
+    fn gen_collection(&self, rng: &mut StdRng, at: Point) -> Geometry {
+        let inner = Geometry::Collection(vec![
+            Geometry::Point(at),
+            self.gen_building(rng, Point::new(at.x + 0.01, at.y)),
+        ]);
+        Geometry::Collection(vec![inner, self.gen_road(rng, at)])
+    }
+}
+
+/// A random convex-ish polygon: vertices on a wobbly circle.
+fn random_polygon(
+    rng: &mut StdRng,
+    centre: Point,
+    radius: std::ops::Range<f64>,
+    vertices: std::ops::Range<usize>,
+) -> Polygon {
+    let n = rng.gen_range(vertices);
+    let r = rng.gen_range(radius);
+    let pts: Vec<Point> = (0..n)
+        .map(|i| {
+            let theta = std::f64::consts::TAU * i as f64 / n as f64;
+            let rr = r * rng.gen_range(0.7..1.3);
+            Point::new(centre.x + rr * theta.cos(), centre.y + rr * theta.sin())
+        })
+        .collect();
+    Polygon::new(Ring::new(pts).normalised_ccw(), Vec::new())
+}
+
+fn name_tag(id: u64) -> (String, String) {
+    ("name".into(), format!("object {id}"))
+}
+
+fn road_kind(rng: &mut StdRng) -> String {
+    const KINDS: [&str; 4] = ["residential", "primary", "footway", "service"];
+    KINDS[rng.gen_range(0..KINDS.len())].to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = OsmGenerator::new(42).generate(50);
+        let b = OsmGenerator::new(42).generate(50);
+        assert_eq!(a.objects, b.objects);
+        let c = OsmGenerator::new(43).generate(50);
+        assert_ne!(a.objects, c.objects);
+    }
+
+    #[test]
+    fn ids_are_sequential_and_unique() {
+        let ds = OsmGenerator::new(1).generate(100);
+        for (i, o) in ds.objects.iter().enumerate() {
+            assert_eq!(o.id, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn mix_of_geometry_types() {
+        let ds = OsmGenerator::new(2).generate(2000);
+        let polys = ds
+            .objects
+            .iter()
+            .filter(|o| matches!(o.geometry, Geometry::Polygon(_)))
+            .count();
+        let lines = ds
+            .objects
+            .iter()
+            .filter(|o| matches!(o.geometry, Geometry::LineString(_)))
+            .count();
+        let multis = ds
+            .objects
+            .iter()
+            .filter(|o| matches!(o.geometry, Geometry::MultiPolygon(_)))
+            .count();
+        let colls = ds
+            .objects
+            .iter()
+            .filter(|o| matches!(o.geometry, Geometry::Collection(_)))
+            .count();
+        assert!(polys > 1000, "buildings dominate: {polys}");
+        assert!(lines > 200, "roads present: {lines}");
+        assert!(multis > 20, "multipolygons present: {multis}");
+        assert!(colls > 5, "collections present: {colls}");
+    }
+
+    #[test]
+    fn polygons_are_valid_ccw_rings() {
+        let ds = OsmGenerator::new(3).generate(500);
+        for o in &ds.objects {
+            if let Geometry::Polygon(p) = &o.geometry {
+                assert!(p.exterior.len() >= 4 || p.exterior.len() >= 3);
+                assert!(p.exterior.is_ccw(), "object {} not ccw", o.id);
+                assert!(p.area() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn world_extent_respected() {
+        let g = OsmGenerator::new(4);
+        let ds = g.generate(300);
+        let mbr = ds.mbr();
+        // Clusters plus max jitter (0.5) plus geometry radius.
+        assert!(mbr.min_x >= g.lon_range.0 - 1.0);
+        assert!(mbr.max_x <= g.lon_range.1 + 1.0);
+        assert!(mbr.min_y >= g.lat_range.0 - 1.0);
+        assert!(mbr.max_y <= g.lat_range.1 + 1.0);
+    }
+}

@@ -1,0 +1,417 @@
+//! Serialisers producing the three raw-file flavours of Table 2 from a
+//! generated dataset. Output is byte-compatible with what
+//! `atgis-formats` parses, which the round-trip tests below verify
+//! structurally.
+
+use crate::osm::OsmDataset;
+use atgis_geometry::{Geometry, Point, Polygon};
+use std::fmt::Write as _;
+
+/// Serialises the dataset as a GeoJSON FeatureCollection (OSM-G).
+pub fn write_geojson(dataset: &OsmDataset) -> Vec<u8> {
+    let mut out = String::with_capacity(dataset.objects.len() * 256);
+    out.push_str(r#"{"type":"FeatureCollection","features":["#);
+    for (i, o) in dataset.objects.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(r#"{"type":"Feature","geometry":"#);
+        write_geojson_geometry(&mut out, &o.geometry);
+        let _ = write!(out, r#","id":{}"#, o.id);
+        out.push_str(r#","properties":{"#);
+        for (j, (k, v)) in o.tags.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, r#""{}":"{}""#, escape_json(k), escape_json(v));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out.into_bytes()
+}
+
+fn write_geojson_geometry(out: &mut String, g: &Geometry) {
+    match g {
+        Geometry::Point(p) => {
+            out.push_str(r#"{"type":"Point","coordinates":"#);
+            write_pos(out, p);
+            out.push('}');
+        }
+        Geometry::LineString(ls) => {
+            out.push_str(r#"{"type":"LineString","coordinates":"#);
+            write_pos_list(out, &ls.points, false);
+            out.push('}');
+        }
+        Geometry::Polygon(p) => {
+            out.push_str(r#"{"type":"Polygon","coordinates":"#);
+            write_polygon_coords(out, p);
+            out.push('}');
+        }
+        Geometry::MultiPolygon(mp) => {
+            out.push_str(r#"{"type":"MultiPolygon","coordinates":["#);
+            for (i, p) in mp.polygons.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_polygon_coords(out, p);
+            }
+            out.push_str("]}");
+        }
+        Geometry::Collection(gs) => {
+            out.push_str(r#"{"type":"GeometryCollection","geometries":["#);
+            for (i, g) in gs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_geojson_geometry(out, g);
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+fn write_polygon_coords(out: &mut String, p: &Polygon) {
+    out.push('[');
+    write_pos_list(out, &p.exterior.points, true);
+    for h in &p.holes {
+        out.push(',');
+        write_pos_list(out, &h.points, true);
+    }
+    out.push(']');
+}
+
+/// Writes `[[x,y],…]`; closed rings repeat the first position per the
+/// GeoJSON spec.
+fn write_pos_list(out: &mut String, pts: &[Point], close: bool) {
+    out.push('[');
+    for (i, p) in pts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_pos(out, p);
+    }
+    if close {
+        if let Some(first) = pts.first() {
+            if pts.len() > 1 {
+                out.push(',');
+                write_pos(out, first);
+            }
+        }
+    }
+    out.push(']');
+}
+
+fn write_pos(out: &mut String, p: &Point) {
+    let _ = write!(out, "[{},{}]", fmt_coord(p.x), fmt_coord(p.y));
+}
+
+/// Formats a coordinate with enough precision to round-trip f64 while
+/// keeping generated files compact.
+fn fmt_coord(v: f64) -> String {
+    let s = format!("{v:.7}");
+    s.trim_end_matches('0').trim_end_matches('.').to_owned()
+}
+
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialises the dataset as tab-separated WKT rows (OSM-W).
+pub fn write_wkt(dataset: &OsmDataset) -> Vec<u8> {
+    let mut out = String::with_capacity(dataset.objects.len() * 192);
+    for o in &dataset.objects {
+        let _ = write!(out, "{}\t", o.id);
+        write_wkt_geometry(&mut out, &o.geometry);
+        out.push('\t');
+        for (j, (k, v)) in o.tags.iter().enumerate() {
+            if j > 0 {
+                out.push(';');
+            }
+            let _ = write!(out, "{k}={v}");
+        }
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+fn write_wkt_geometry(out: &mut String, g: &Geometry) {
+    match g {
+        Geometry::Point(p) => {
+            let _ = write!(out, "POINT({} {})", fmt_coord(p.x), fmt_coord(p.y));
+        }
+        Geometry::LineString(ls) => {
+            out.push_str("LINESTRING");
+            write_wkt_points(out, &ls.points, false);
+        }
+        Geometry::Polygon(p) => {
+            out.push_str("POLYGON");
+            write_wkt_polygon(out, p);
+        }
+        Geometry::MultiPolygon(mp) => {
+            out.push_str("MULTIPOLYGON(");
+            for (i, p) in mp.polygons.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_wkt_polygon(out, p);
+            }
+            out.push(')');
+        }
+        Geometry::Collection(gs) => {
+            out.push_str("GEOMETRYCOLLECTION(");
+            for (i, g) in gs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_wkt_geometry(out, g);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn write_wkt_polygon(out: &mut String, p: &Polygon) {
+    out.push('(');
+    write_wkt_points(out, &p.exterior.points, true);
+    for h in &p.holes {
+        out.push(',');
+        write_wkt_points(out, &h.points, true);
+    }
+    out.push(')');
+}
+
+fn write_wkt_points(out: &mut String, pts: &[Point], close: bool) {
+    out.push('(');
+    for (i, p) in pts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{} {}", fmt_coord(p.x), fmt_coord(p.y));
+    }
+    if close {
+        if let Some(first) = pts.first() {
+            if pts.len() > 1 {
+                let _ = write!(out, ",{} {}", fmt_coord(first.x), fmt_coord(first.y));
+            }
+        }
+    }
+    out.push(')');
+}
+
+/// Serialises the dataset as OSM XML (OSM-X): nodes first, then ways,
+/// then multipolygon relations — reproducing the section separation
+/// that makes OSM-X "the most complex format to support" (§4.4).
+/// Geometry collections and linestring members are flattened to ways;
+/// polygons with holes become relations.
+pub fn write_osm_xml(dataset: &OsmDataset) -> Vec<u8> {
+    let mut nodes = String::new();
+    let mut ways = String::new();
+    let mut relations = String::new();
+    let mut next_node_id: u64 = 1_000_000_000; // Clear of object ids.
+    let mut next_way_id: u64 = 2_000_000_000;
+
+    // Flatten geometry collections upfront: XML has no collection
+    // concept, so each member becomes an object under a derived id.
+    let mut worklist: Vec<(u64, &Geometry, &[(String, String)])> = Vec::new();
+    fn flatten<'a>(
+        id: u64,
+        g: &'a Geometry,
+        tags: &'a [(String, String)],
+        out: &mut Vec<(u64, &'a Geometry, &'a [(String, String)])>,
+    ) {
+        match g {
+            Geometry::Collection(gs) => {
+                for (k, member) in gs.iter().enumerate() {
+                    flatten(id * 100 + k as u64, member, tags, out);
+                }
+            }
+            other => out.push((id, other, tags)),
+        }
+    }
+    for o in &dataset.objects {
+        flatten(o.id, &o.geometry, &o.tags, &mut worklist);
+    }
+
+    let emit_nodes = |pts: &[Point], nodes: &mut String, next: &mut u64| -> Vec<u64> {
+        pts.iter()
+            .map(|p| {
+                let id = *next;
+                *next += 1;
+                let _ = writeln!(
+                    nodes,
+                    " <node id=\"{id}\" lat=\"{}\" lon=\"{}\"/>",
+                    fmt_coord(p.y),
+                    fmt_coord(p.x)
+                );
+                id
+            })
+            .collect()
+    };
+
+    for (id, geometry, tags) in worklist {
+        match geometry {
+            Geometry::LineString(ls) => {
+                let ids = emit_nodes(&ls.points, &mut nodes, &mut next_node_id);
+                write_way(&mut ways, id, &ids, false, tags);
+            }
+            Geometry::Polygon(p) if p.holes.is_empty() => {
+                let ids = emit_nodes(&p.exterior.points, &mut nodes, &mut next_node_id);
+                write_way(&mut ways, id, &ids, true, tags);
+            }
+            Geometry::Polygon(p) => {
+                // Polygon with holes -> multipolygon relation.
+                let mut members = Vec::new();
+                let ext_ids = emit_nodes(&p.exterior.points, &mut nodes, &mut next_node_id);
+                let wid = next_way_id;
+                next_way_id += 1;
+                write_way(&mut ways, wid, &ext_ids, true, &[]);
+                members.push((wid, "outer"));
+                for h in &p.holes {
+                    let ids = emit_nodes(&h.points, &mut nodes, &mut next_node_id);
+                    let wid = next_way_id;
+                    next_way_id += 1;
+                    write_way(&mut ways, wid, &ids, true, &[]);
+                    members.push((wid, "inner"));
+                }
+                write_relation(&mut relations, id, &members, tags);
+            }
+            Geometry::MultiPolygon(mp) => {
+                let mut members = Vec::new();
+                for p in &mp.polygons {
+                    let ids = emit_nodes(&p.exterior.points, &mut nodes, &mut next_node_id);
+                    let wid = next_way_id;
+                    next_way_id += 1;
+                    write_way(&mut ways, wid, &ids, true, &[]);
+                    members.push((wid, "outer"));
+                    for h in &p.holes {
+                        let ids = emit_nodes(&h.points, &mut nodes, &mut next_node_id);
+                        let wid = next_way_id;
+                        next_way_id += 1;
+                        write_way(&mut ways, wid, &ids, true, &[]);
+                        members.push((wid, "inner"));
+                    }
+                }
+                write_relation(&mut relations, id, &members, tags);
+            }
+            Geometry::Point(p) => {
+                // Tagged standalone node.
+                let _ = writeln!(
+                    nodes,
+                    " <node id=\"{}\" lat=\"{}\" lon=\"{}\"/>",
+                    id,
+                    fmt_coord(p.y),
+                    fmt_coord(p.x)
+                );
+            }
+            Geometry::Collection(_) => unreachable!("collections were flattened"),
+        }
+    }
+
+    let mut out = String::with_capacity(nodes.len() + ways.len() + relations.len() + 128);
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<osm version=\"0.6\" generator=\"atgis-datagen\">\n");
+    out.push_str(&nodes);
+    out.push_str(&ways);
+    out.push_str(&relations);
+    out.push_str("</osm>\n");
+    out.into_bytes()
+}
+
+fn write_way(out: &mut String, id: u64, node_ids: &[u64], close: bool, tags: &[(String, String)]) {
+    let _ = write!(out, " <way id=\"{id}\">");
+    for nid in node_ids {
+        let _ = write!(out, "<nd ref=\"{nid}\"/>");
+    }
+    if close {
+        if let Some(first) = node_ids.first() {
+            if node_ids.len() > 1 {
+                let _ = write!(out, "<nd ref=\"{first}\"/>");
+            }
+        }
+    }
+    for (k, v) in tags {
+        let _ = write!(out, "<tag k=\"{}\" v=\"{}\"/>", escape_xml(k), escape_xml(v));
+    }
+    out.push_str("</way>\n");
+}
+
+fn write_relation(out: &mut String, id: u64, members: &[(u64, &str)], tags: &[(String, String)]) {
+    let _ = write!(out, " <relation id=\"{id}\">");
+    for (way_id, role) in members {
+        let _ = write!(out, "<member type=\"way\" ref=\"{way_id}\" role=\"{role}\"/>");
+    }
+    let _ = write!(out, "<tag k=\"type\" v=\"multipolygon\"/>");
+    for (k, v) in tags {
+        let _ = write!(out, "<tag k=\"{}\" v=\"{}\"/>", escape_xml(k), escape_xml(v));
+    }
+    out.push_str("</relation>\n");
+}
+
+fn escape_xml(s: &str) -> String {
+    s.replace('&', "&amp;").replace('"', "&quot;").replace('<', "&lt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osm::OsmGenerator;
+
+    #[test]
+    fn geojson_output_is_structurally_valid() {
+        let ds = OsmGenerator::new(11).generate(50);
+        let bytes = write_geojson(&ds);
+        let text = std::str::from_utf8(&bytes).unwrap();
+        assert!(text.starts_with(r#"{"type":"FeatureCollection"#));
+        assert!(text.ends_with("]}"));
+        assert_eq!(text.matches(r#"{"type":"Feature","geometry""#).count(), 50);
+        // Balanced braces/brackets.
+        let depth = text.bytes().fold(0i64, |d, b| match b {
+            b'{' | b'[' => d + 1,
+            b'}' | b']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn wkt_output_has_one_row_per_object() {
+        let ds = OsmGenerator::new(12).generate(40);
+        let bytes = write_wkt(&ds);
+        let text = std::str::from_utf8(&bytes).unwrap();
+        assert_eq!(text.lines().count(), 40);
+        for line in text.lines() {
+            assert_eq!(line.matches('\t').count(), 2, "three columns: {line}");
+        }
+    }
+
+    #[test]
+    fn xml_output_has_expected_sections() {
+        let ds = OsmGenerator::new(13).generate(60);
+        let bytes = write_osm_xml(&ds);
+        let text = std::str::from_utf8(&bytes).unwrap();
+        assert!(text.starts_with("<?xml"));
+        assert!(text.trim_end().ends_with("</osm>"));
+        assert!(text.contains("<node"));
+        assert!(text.contains("<way"));
+        // Nodes must all precede ways (the two-pass structure).
+        let last_node = text.rfind("<node").unwrap();
+        let first_way = text.find("<way").unwrap();
+        assert!(last_node < first_way, "nodes section precedes ways");
+    }
+
+    #[test]
+    fn coordinates_round_trip_within_precision() {
+        assert_eq!(fmt_coord(1.5), "1.5");
+        assert_eq!(fmt_coord(-0.1278), "-0.1278");
+        assert_eq!(fmt_coord(51.0), "51");
+        let v: f64 = 12.3456789;
+        let back: f64 = fmt_coord(v).parse().unwrap();
+        assert!((v - back).abs() < 1e-7);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_xml(r#"a"b<c&d"#), "a&quot;b&lt;c&amp;d");
+    }
+}

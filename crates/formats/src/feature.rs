@@ -1,0 +1,167 @@
+//! The parsed-object model shared by all formats.
+
+use atgis_geometry::{Geometry, Mbr};
+
+/// A spatial object extracted from raw input: a geometry, its
+/// identifying metadata and its byte offset in the source file.
+///
+/// §4.2: "Each object between pipeline stages is tagged with the data
+/// offset from which it was created. Offsets are used … to enable
+/// unique identification of points and geometries; and to allow
+/// re-parsing of objects in the join pipeline."
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawFeature {
+    /// Object id from the source metadata (OSM object id); 0 when the
+    /// source carries none.
+    pub id: u64,
+    /// The parsed geometry.
+    pub geometry: Geometry,
+    /// Byte offset of the object's first byte in the raw input.
+    pub offset: u64,
+    /// Byte length of the object's serialised form (offset + len spans
+    /// the object, enabling re-parsing).
+    pub len: u32,
+}
+
+impl RawFeature {
+    /// Bounding box of the feature's geometry.
+    pub fn mbr(&self) -> Mbr {
+        self.geometry.mbr()
+    }
+}
+
+/// A push-down metadata predicate compiled into the parsing stage
+/// (§4.4: "any filtering on the accompanying metadata is also compiled
+/// into the parsing automaton").
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum MetadataFilter {
+    /// Keep every feature.
+    #[default]
+    All,
+    /// Keep features whose properties/tags contain `key` = `value`.
+    KeyEquals {
+        /// Metadata key (GeoJSON property name / OSM tag key).
+        key: String,
+        /// Required value.
+        value: String,
+    },
+    /// Keep features whose id is below the threshold (used to carve
+    /// the join query's two disjoint subsets, Table 3).
+    IdBelow(u64),
+    /// Keep features whose id is at or above the threshold.
+    IdAtLeast(u64),
+    /// Keep features whose properties satisfy an XPath-style path
+    /// predicate (§4.4's JSON query language); evaluated against the
+    /// raw properties object for GeoJSON and against flat tags for
+    /// WKT/OSM-XML (where only single-segment paths can match).
+    Path(crate::pathquery::PathQuery),
+}
+
+impl MetadataFilter {
+    /// Applies the id-based component of the filter.
+    #[inline]
+    pub fn accepts_id(&self, id: u64) -> bool {
+        match self {
+            MetadataFilter::IdBelow(t) => id < *t,
+            MetadataFilter::IdAtLeast(t) => id >= *t,
+            _ => true,
+        }
+    }
+
+    /// Applies the key/value component given the feature's metadata
+    /// pairs.
+    pub fn accepts_tags<'a>(
+        &self,
+        mut tags: impl Iterator<Item = (&'a str, &'a str)>,
+    ) -> bool {
+        match self {
+            MetadataFilter::KeyEquals { key, value } => {
+                tags.any(|(k, v)| k == key && v == value)
+            }
+            MetadataFilter::Path(q) => {
+                // Flat tag sources can only satisfy single-segment
+                // paths with existence / string-equality semantics.
+                use crate::pathquery::{PathOp, PathValue};
+                if q.path.len() != 1 {
+                    return false;
+                }
+                let key = q.path[0].as_str();
+                match (&q.op, &q.value) {
+                    (PathOp::Exists, _) => tags.any(|(k, _)| k == key),
+                    (PathOp::Eq, PathValue::Str(v)) => {
+                        tags.any(|(k, val)| k == key && val == v)
+                    }
+                    (PathOp::Ne, PathValue::Str(v)) => {
+                        tags.any(|(k, val)| k == key && val != v)
+                    }
+                    _ => false,
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Applies the metadata predicate to a raw JSON properties object
+    /// (GeoJSON path; supports the full path language).
+    pub fn accepts_properties_json(&self, raw: &[u8]) -> bool {
+        match self {
+            MetadataFilter::Path(q) => q.matches_json(raw),
+            _ => true,
+        }
+    }
+
+    /// True when the filter needs metadata beyond the id.
+    pub fn needs_tags(&self) -> bool {
+        matches!(
+            self,
+            MetadataFilter::KeyEquals { .. } | MetadataFilter::Path(_)
+        )
+    }
+
+    /// True when the filter must see the raw properties JSON (rather
+    /// than flattened tag pairs).
+    pub fn needs_raw_properties(&self) -> bool {
+        matches!(self, MetadataFilter::Path(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgis_geometry::Point;
+
+    #[test]
+    fn id_filters() {
+        assert!(MetadataFilter::IdBelow(10).accepts_id(9));
+        assert!(!MetadataFilter::IdBelow(10).accepts_id(10));
+        assert!(MetadataFilter::IdAtLeast(10).accepts_id(10));
+        assert!(!MetadataFilter::IdAtLeast(10).accepts_id(9));
+        assert!(MetadataFilter::All.accepts_id(u64::MAX));
+    }
+
+    #[test]
+    fn tag_filters() {
+        let f = MetadataFilter::KeyEquals {
+            key: "building".into(),
+            value: "yes".into(),
+        };
+        let tags = [("name", "x"), ("building", "yes")];
+        assert!(f.accepts_tags(tags.iter().copied()));
+        let no = [("building", "no")];
+        assert!(!f.accepts_tags(no.iter().copied()));
+        assert!(MetadataFilter::All.accepts_tags(std::iter::empty()));
+        assert!(f.needs_tags());
+        assert!(!MetadataFilter::All.needs_tags());
+    }
+
+    #[test]
+    fn feature_mbr_delegates_to_geometry() {
+        let f = RawFeature {
+            id: 1,
+            geometry: Geometry::Point(Point::new(3.0, 4.0)),
+            offset: 0,
+            len: 10,
+        };
+        assert_eq!(f.mbr(), Mbr::new(3.0, 4.0, 3.0, 4.0));
+    }
+}

@@ -1,0 +1,617 @@
+//! OpenStreetMap XML — the OSM-X dataset flavour.
+//!
+//! "OpenStreetMap XML is the most complex format to support because it
+//! separates the data into multiple sections: first it lists all the
+//! nodes that link a numeric identifier to a point in space; followed
+//! by the ways that relate multiple nodes; and finally relations that
+//! link nodes and ways to describe complex polygons. AT-GIS handles
+//! the separation of point and polygon data by keeping a temporary
+//! table of all points and ways …, which is constructed during the
+//! first data pass" (§4.4).
+//!
+//! This module implements that two-pass design: [`collect_nodes`]
+//! builds the temporary node table from blocks (parallelisable —
+//! tables merge by map union), [`parse_elements`] assembles ways and
+//! relations into features against the completed table. Blocks split
+//! on newlines (OSM XML is element-per-line).
+
+use crate::feature::{MetadataFilter, RawFeature};
+use crate::ParseError;
+use atgis_geometry::{Geometry, LineString, MultiPolygon, Point, Polygon, Ring};
+use std::collections::HashMap;
+
+/// The temporary node table: OSM node id → coordinate.
+pub type NodeTable = HashMap<u64, Point>;
+
+/// Pass 1: scans a byte range for `<node …/>` elements, adding them to
+/// a node table. Tables built for disjoint blocks merge by union.
+pub fn collect_nodes(input: &[u8], start: usize, end: usize) -> Result<NodeTable, ParseError> {
+    let mut table = NodeTable::new();
+    let mut scanner = Scanner { input, pos: start };
+    while let Some(elem) = scanner.next_element(end)? {
+        if elem.name == "node" {
+            let id = elem.attr_u64("id").ok_or_else(|| {
+                ParseError::syntax(elem.offset as u64, "node without id")
+            })?;
+            let lat = elem.attr_f64("lat");
+            let lon = elem.attr_f64("lon");
+            if let (Some(lat), Some(lon)) = (lat, lon) {
+                table.insert(id, Point::new(lon, lat));
+            }
+        }
+        // Other elements (the <osm> container, ways, relations, tags)
+        // are scanned *through*, not skipped over: nodes may appear
+        // anywhere below them.
+    }
+    Ok(table)
+}
+
+/// A parsed way: id, node refs and tags — kept in the temporary table
+/// so relations can assemble multipolygons from member ways.
+#[derive(Debug, Clone)]
+pub struct WaySpec {
+    /// OSM way id.
+    pub id: u64,
+    /// Ordered node references.
+    pub refs: Vec<u64>,
+    /// `k=v` tags.
+    pub tags: Vec<(String, String)>,
+    /// Byte offset of the `<way` element.
+    pub offset: u64,
+    /// Byte length of the element.
+    pub len: u32,
+}
+
+/// A parsed relation: id plus way members with roles.
+#[derive(Debug, Clone)]
+pub struct RelationSpec {
+    /// OSM relation id.
+    pub id: u64,
+    /// `(way_id, role)` members.
+    pub members: Vec<(u64, String)>,
+    /// Byte offset of the `<relation` element.
+    pub offset: u64,
+    /// Byte length of the element.
+    pub len: u32,
+}
+
+/// Pass 2a: scans a byte range for `<way>` elements. Block-parallel;
+/// way lists from disjoint blocks merge by concatenation.
+pub fn collect_ways(input: &[u8], start: usize, end: usize) -> Result<Vec<WaySpec>, ParseError> {
+    let mut ways = Vec::new();
+    let mut scanner = Scanner { input, pos: start };
+    while let Some(elem) = scanner.next_element(end)? {
+        if elem.name == "way" {
+            let id = elem
+                .attr_u64("id")
+                .ok_or_else(|| ParseError::syntax(elem.offset as u64, "way without id"))?;
+            let (refs, tags, end_pos) = scanner.way_children(&elem)?;
+            ways.push(WaySpec {
+                id,
+                refs,
+                tags,
+                offset: elem.offset as u64,
+                len: (end_pos - elem.offset) as u32,
+            });
+        }
+    }
+    Ok(ways)
+}
+
+/// Pass 2b: scans a byte range for `<relation>` elements.
+pub fn collect_relations(
+    input: &[u8],
+    start: usize,
+    end: usize,
+) -> Result<Vec<RelationSpec>, ParseError> {
+    let mut relations = Vec::new();
+    let mut scanner = Scanner { input, pos: start };
+    while let Some(elem) = scanner.next_element(end)? {
+        match elem.name.as_str() {
+            "relation" => {
+                let id = elem.attr_u64("id").ok_or_else(|| {
+                    ParseError::syntax(elem.offset as u64, "relation without id")
+                })?;
+                let (members, end_pos) = scanner.relation_children(&elem)?;
+                relations.push(RelationSpec {
+                    id,
+                    members,
+                    offset: elem.offset as u64,
+                    len: (end_pos - elem.offset) as u32,
+                });
+            }
+            // Ways must be stepped over (their children contain no
+            // relations, and scanning into them is harmless but slow).
+            "way" => {
+                let _ = scanner.way_children(&elem)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(relations)
+}
+
+/// Final assembly: resolves way refs against the node table, attaches
+/// relation members and emits features. Runs once after the parallel
+/// collection passes (its cost is proportional to the *object* count,
+/// not the byte count, so it does not bound scalability).
+pub fn assemble(
+    ways: &[WaySpec],
+    relations: &[RelationSpec],
+    nodes: &NodeTable,
+    filter: &MetadataFilter,
+) -> Vec<RawFeature> {
+    let way_index: HashMap<u64, usize> =
+        ways.iter().enumerate().map(|(i, w)| (w.id, i)).collect();
+    let mut in_relation: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut out = Vec::new();
+
+    for rel in relations {
+        let mut outers = Vec::new();
+        let mut inners = Vec::new();
+        for (way_id, role) in &rel.members {
+            in_relation.insert(*way_id);
+            if let Some(&wi) = way_index.get(way_id) {
+                if let Some(ring) = way_ring(&ways[wi], nodes) {
+                    if role == "inner" {
+                        inners.push(ring);
+                    } else {
+                        outers.push(ring);
+                    }
+                }
+            }
+        }
+        if outers.is_empty() {
+            continue;
+        }
+        let polygons: Vec<Polygon> = outers
+            .into_iter()
+            .map(|ext| {
+                // Attach inners contained by this outer's bbox.
+                let holes = inners
+                    .iter()
+                    .filter(|h| ext.mbr().contains(&h.mbr()))
+                    .cloned()
+                    .collect();
+                Polygon::new(ext, holes)
+            })
+            .collect();
+        let geometry = if polygons.len() == 1 {
+            Geometry::Polygon(polygons.into_iter().next().expect("one"))
+        } else {
+            Geometry::MultiPolygon(MultiPolygon::new(polygons))
+        };
+        if filter.accepts_id(rel.id) {
+            out.push(RawFeature {
+                id: rel.id,
+                geometry,
+                offset: rel.offset,
+                len: rel.len,
+            });
+        }
+    }
+
+    for w in ways {
+        if in_relation.contains(&w.id) {
+            continue; // Geometry already emitted through its relation.
+        }
+        if !filter.accepts_id(w.id) {
+            continue;
+        }
+        if filter.needs_tags()
+            && !filter.accepts_tags(w.tags.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+        {
+            continue;
+        }
+        let pts: Vec<Point> = w.refs.iter().filter_map(|r| nodes.get(r).copied()).collect();
+        if pts.len() < 2 {
+            continue;
+        }
+        let closed = w.refs.len() >= 4 && w.refs.first() == w.refs.last();
+        let geometry = if closed {
+            Geometry::Polygon(Polygon::new(Ring::new(pts), Vec::new()))
+        } else {
+            Geometry::LineString(LineString::new(pts))
+        };
+        out.push(RawFeature {
+            id: w.id,
+            geometry,
+            offset: w.offset,
+            len: w.len,
+        });
+    }
+    // Deterministic output order: by appearance in the file.
+    out.sort_by_key(|f| f.offset);
+    out
+}
+
+/// Pass 2 over one range with a prebuilt node table (legacy single-
+/// range form used by [`parse`]).
+pub fn parse_elements(
+    input: &[u8],
+    start: usize,
+    end: usize,
+    nodes: &NodeTable,
+    filter: &MetadataFilter,
+) -> Result<Vec<RawFeature>, ParseError> {
+    let ways = collect_ways(input, start, end)?;
+    let relations = collect_relations(input, start, end)?;
+    Ok(assemble(&ways, &relations, nodes, filter))
+}
+
+fn way_ring(way: &WaySpec, nodes: &NodeTable) -> Option<Ring> {
+    let pts: Vec<Point> = way.refs.iter().filter_map(|r| nodes.get(r).copied()).collect();
+    if pts.len() < 3 {
+        return None;
+    }
+    Some(Ring::new(pts))
+}
+
+/// Full two-pass parse of an OSM XML document.
+pub fn parse(input: &[u8], filter: &MetadataFilter) -> Result<Vec<RawFeature>, ParseError> {
+    let nodes = collect_nodes(input, 0, input.len())?;
+    parse_elements(input, 0, input.len(), &nodes, filter)
+}
+
+/// One opening tag with its attributes.
+struct Element {
+    name: String,
+    attrs: Vec<(String, String)>,
+    /// Offset of the `<`.
+    offset: usize,
+    /// True when the tag self-closes (`/>`).
+    self_closing: bool,
+}
+
+impl Element {
+    fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn attr_u64(&self, key: &str) -> Option<u64> {
+        self.attr(key)?.parse().ok()
+    }
+
+    fn attr_f64(&self, key: &str) -> Option<f64> {
+        self.attr(key)?.parse().ok()
+    }
+}
+
+/// A minimal XML scanner sufficient for OSM files: elements,
+/// attributes, comments and XML declarations. No entities or CDATA
+/// (OSM planet files escape attribute values with standard entities,
+/// which we pass through unexpanded — tags are compared byte-wise).
+struct Scanner<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    /// Advances to the next opening element that *starts* before
+    /// `end`. Skips comments, declarations and closing tags.
+    fn next_element(&mut self, end: usize) -> Result<Option<Element>, ParseError> {
+        loop {
+            let lt = match crate::split::find_marker(self.input, b"<", self.pos) {
+                Some(p) if p < end => p,
+                _ => return Ok(None),
+            };
+            self.pos = lt + 1;
+            match self.input.get(self.pos) {
+                Some(b'?') => {
+                    // XML declaration: skip to '>'.
+                    self.skip_to_gt()?;
+                }
+                Some(b'!') => {
+                    // Comment: skip to '-->'.
+                    match crate::split::find_marker(self.input, b"-->", self.pos) {
+                        Some(p) => self.pos = p + 3,
+                        None => return Ok(None),
+                    }
+                }
+                Some(b'/') => {
+                    // Closing tag: skip.
+                    self.skip_to_gt()?;
+                }
+                Some(_) => return self.read_element(lt).map(Some),
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn skip_to_gt(&mut self) -> Result<(), ParseError> {
+        match crate::split::find_marker(self.input, b">", self.pos) {
+            Some(p) => {
+                self.pos = p + 1;
+                Ok(())
+            }
+            None => Err(ParseError::syntax(self.pos as u64, "unterminated tag")),
+        }
+    }
+
+    fn read_element(&mut self, offset: usize) -> Result<Element, ParseError> {
+        let name_start = self.pos;
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.pos += 1;
+        }
+        let name = std::str::from_utf8(&self.input[name_start..self.pos])
+            .map_err(|_| ParseError::syntax(offset as u64, "non-UTF8 tag name"))?
+            .to_owned();
+        let mut attrs = Vec::new();
+        loop {
+            // Skip whitespace.
+            while self
+                .input
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+            match self.input.get(self.pos) {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(Element {
+                        name,
+                        attrs,
+                        offset,
+                        self_closing: false,
+                    });
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.input.get(self.pos) == Some(&b'>') {
+                        self.pos += 1;
+                        return Ok(Element {
+                            name,
+                            attrs,
+                            offset,
+                            self_closing: true,
+                        });
+                    }
+                    return Err(ParseError::syntax(self.pos as u64, "expected '>' after '/'"));
+                }
+                Some(_) => {
+                    // attribute: key="value"
+                    let key_start = self.pos;
+                    while self
+                        .input
+                        .get(self.pos)
+                        .is_some_and(|b| *b != b'=' && !b.is_ascii_whitespace())
+                    {
+                        self.pos += 1;
+                    }
+                    let key = std::str::from_utf8(&self.input[key_start..self.pos])
+                        .map_err(|_| ParseError::syntax(key_start as u64, "non-UTF8 attr"))?
+                        .to_owned();
+                    if self.input.get(self.pos) != Some(&b'=') {
+                        return Err(ParseError::syntax(self.pos as u64, "expected '='"));
+                    }
+                    self.pos += 1;
+                    if self.input.get(self.pos) != Some(&b'"') {
+                        return Err(ParseError::syntax(self.pos as u64, "expected '\"'"));
+                    }
+                    self.pos += 1;
+                    let val_start = self.pos;
+                    while self.input.get(self.pos).is_some_and(|b| *b != b'"') {
+                        self.pos += 1;
+                    }
+                    let value = std::str::from_utf8(&self.input[val_start..self.pos])
+                        .map_err(|_| ParseError::syntax(val_start as u64, "non-UTF8 value"))?
+                        .to_owned();
+                    self.pos += 1; // closing quote
+                    attrs.push((key, value));
+                }
+                None => return Err(ParseError::syntax(self.pos as u64, "unterminated element")),
+            }
+        }
+    }
+
+    /// Skips over an element's content (if not self-closing).
+    fn skip_element(&mut self, elem: &Element) -> Result<(), ParseError> {
+        if elem.self_closing {
+            return Ok(());
+        }
+        let close = format!("</{}>", elem.name);
+        match crate::split::find_marker(self.input, close.as_bytes(), self.pos) {
+            Some(p) => {
+                self.pos = p + close.len();
+                Ok(())
+            }
+            None => Ok(()), // Unclosed container (e.g. <osm>) — scan on.
+        }
+    }
+
+    /// Reads the children of a `<way>`: `<nd ref>` and `<tag k v>`.
+    /// Returns (refs, tags, end position after `</way>`).
+    fn way_children(
+        &mut self,
+        elem: &Element,
+    ) -> Result<(Vec<u64>, Vec<(String, String)>, usize), ParseError> {
+        let mut refs = Vec::new();
+        let mut tags = Vec::new();
+        if elem.self_closing {
+            return Ok((refs, tags, self.pos));
+        }
+        loop {
+            let lt = crate::split::find_marker(self.input, b"<", self.pos)
+                .ok_or_else(|| ParseError::syntax(self.pos as u64, "unterminated way"))?;
+            self.pos = lt + 1;
+            if self.input[self.pos..].starts_with(b"/way>") {
+                self.pos += 5;
+                return Ok((refs, tags, self.pos));
+            }
+            let child = self.read_element(lt)?;
+            match child.name.as_str() {
+                "nd" => {
+                    if let Some(r) = child.attr_u64("ref") {
+                        refs.push(r);
+                    }
+                }
+                "tag" => {
+                    if let (Some(k), Some(v)) = (child.attr("k"), child.attr("v")) {
+                        tags.push((k.to_owned(), v.to_owned()));
+                    }
+                }
+                _ => self.skip_element(&child)?,
+            }
+        }
+    }
+
+    /// Reads the children of a `<relation>`: way members with roles.
+    fn relation_children(
+        &mut self,
+        elem: &Element,
+    ) -> Result<(Vec<(u64, String)>, usize), ParseError> {
+        let mut members = Vec::new();
+        if elem.self_closing {
+            return Ok((members, self.pos));
+        }
+        loop {
+            let lt = crate::split::find_marker(self.input, b"<", self.pos)
+                .ok_or_else(|| ParseError::syntax(self.pos as u64, "unterminated relation"))?;
+            self.pos = lt + 1;
+            if self.input[self.pos..].starts_with(b"/relation>") {
+                self.pos += 10;
+                return Ok((members, self.pos));
+            }
+            let child = self.read_element(lt)?;
+            if child.name == "member" && child.attr("type") == Some("way") {
+                if let Some(r) = child.attr_u64("ref") {
+                    let role = child.attr("role").unwrap_or("outer").to_owned();
+                    members.push((r, role));
+                }
+            } else {
+                self.skip_element(&child)?;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6" generator="atgis-datagen">
+ <node id="1" lat="0.0" lon="0.0"/>
+ <node id="2" lat="0.0" lon="1.0"/>
+ <node id="3" lat="1.0" lon="1.0"/>
+ <node id="4" lat="1.0" lon="0.0"/>
+ <node id="5" lat="0.25" lon="0.25"/>
+ <node id="6" lat="0.25" lon="0.75"/>
+ <node id="7" lat="0.75" lon="0.75"/>
+ <node id="8" lat="0.75" lon="0.25"/>
+ <node id="9" lat="5.0" lon="5.0"/>
+ <node id="10" lat="6.0" lon="6.0"/>
+ <way id="100"><nd ref="1"/><nd ref="2"/><nd ref="3"/><nd ref="4"/><nd ref="1"/><tag k="building" v="yes"/></way>
+ <way id="101"><nd ref="5"/><nd ref="6"/><nd ref="7"/><nd ref="8"/><nd ref="5"/></way>
+ <way id="102"><nd ref="9"/><nd ref="10"/><tag k="highway" v="path"/></way>
+ <relation id="200"><member type="way" ref="100" role="outer"/><member type="way" ref="101" role="inner"/><tag k="type" v="multipolygon"/></relation>
+</osm>
+"#;
+
+    #[test]
+    fn collects_all_nodes() {
+        let nodes = collect_nodes(SAMPLE.as_bytes(), 0, SAMPLE.len()).unwrap();
+        assert_eq!(nodes.len(), 10);
+        assert_eq!(nodes[&1], Point::new(0.0, 0.0));
+        assert_eq!(nodes[&3], Point::new(1.0, 1.0), "lon is x, lat is y");
+    }
+
+    #[test]
+    fn assembles_ways_and_relations() {
+        let features = parse(SAMPLE.as_bytes(), &MetadataFilter::All).unwrap();
+        // Relation 200 (polygon w/ hole) + way 102 (linestring); ways
+        // 100/101 are consumed by the relation.
+        assert_eq!(features.len(), 2);
+        let rel = features.iter().find(|f| f.id == 200).expect("relation");
+        match &rel.geometry {
+            Geometry::Polygon(p) => {
+                assert_eq!(p.holes.len(), 1);
+                assert!((p.area() - 0.75).abs() < 1e-12);
+            }
+            g => panic!("relation should be polygon, got {g:?}"),
+        }
+        let path = features.iter().find(|f| f.id == 102).expect("way");
+        assert!(matches!(path.geometry, Geometry::LineString(_)));
+    }
+
+    #[test]
+    fn closed_way_without_relation_is_polygon() {
+        let doc = r#"<osm>
+<node id="1" lat="0.0" lon="0.0"/>
+<node id="2" lat="0.0" lon="2.0"/>
+<node id="3" lat="2.0" lon="1.0"/>
+<way id="50"><nd ref="1"/><nd ref="2"/><nd ref="3"/><nd ref="1"/></way>
+</osm>"#;
+        let features = parse(doc.as_bytes(), &MetadataFilter::All).unwrap();
+        assert_eq!(features.len(), 1);
+        match &features[0].geometry {
+            Geometry::Polygon(p) => assert!((p.area() - 2.0).abs() < 1e-12),
+            g => panic!("{g:?}"),
+        }
+    }
+
+    #[test]
+    fn tag_filter_applies_to_ways() {
+        let features = parse(
+            SAMPLE.as_bytes(),
+            &MetadataFilter::KeyEquals {
+                key: "highway".into(),
+                value: "path".into(),
+            },
+        )
+        .unwrap();
+        // Relation passes (tag filtering applies to ways only here),
+        // way 102 matches.
+        assert!(features.iter().any(|f| f.id == 102));
+    }
+
+    #[test]
+    fn dangling_node_refs_are_skipped() {
+        let doc = r#"<osm>
+<node id="1" lat="0.0" lon="0.0"/>
+<way id="60"><nd ref="1"/><nd ref="999"/></way>
+</osm>"#;
+        let features = parse(doc.as_bytes(), &MetadataFilter::All).unwrap();
+        assert!(features.is_empty(), "one resolvable point is not enough");
+    }
+
+    #[test]
+    fn comments_and_declaration_are_skipped() {
+        let doc = r#"<?xml version="1.0"?>
+<!-- a comment with <node id="99" lat="9" lon="9"/> inside -->
+<osm><node id="1" lat="1.0" lon="2.0"/></osm>"#;
+        let nodes = collect_nodes(doc.as_bytes(), 0, doc.len()).unwrap();
+        assert_eq!(nodes.len(), 1);
+        assert!(nodes.contains_key(&1));
+    }
+
+    #[test]
+    fn offsets_point_at_way_elements() {
+        let features = parse(SAMPLE.as_bytes(), &MetadataFilter::All).unwrap();
+        for f in &features {
+            let at = &SAMPLE.as_bytes()[f.offset as usize..];
+            assert!(at.starts_with(b"<way") || at.starts_with(b"<relation"));
+        }
+    }
+
+    #[test]
+    fn block_partitioned_node_collection_merges() {
+        let input = SAMPLE.as_bytes();
+        let mid = input.len() / 2;
+        // Align to a line boundary to split cleanly.
+        let cut = crate::split::find_marker(input, b"\n", mid).unwrap() + 1;
+        let mut a = collect_nodes(input, 0, cut).unwrap();
+        let b = collect_nodes(input, cut, input.len()).unwrap();
+        a.extend(b);
+        let whole = collect_nodes(input, 0, input.len()).unwrap();
+        assert_eq!(a, whole);
+    }
+}

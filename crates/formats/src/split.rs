@@ -1,0 +1,231 @@
+//! The split phase (§4.1, Fig. 5): dividing raw input into blocks.
+//!
+//! Fully-associative pipelines split at arbitrary byte offsets
+//! ([`fixed_blocks`], "incrementing a pointer"); partially-associative
+//! pipelines align block starts with *markers* that pin the parser
+//! state ([`marker_blocks`], "executing a regular expression and
+//! lightweight parsing"). Marker search cost is what the Fig. 14 skew
+//! experiments measure.
+
+/// One block of the input: a byte range plus its ordinal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// Block index in input order (merge order follows this).
+    pub index: usize,
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Block {
+    /// The block's byte slice within `input`.
+    pub fn slice<'a>(&self, input: &'a [u8]) -> &'a [u8] {
+        &input[self.start..self.end]
+    }
+
+    /// Block length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the block covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Splits `input` into `n` blocks of (nearly) equal size at arbitrary
+/// byte offsets — the FAT split, O(1) per block.
+pub fn fixed_blocks(input_len: usize, n: usize) -> Vec<Block> {
+    let n = n.max(1);
+    if input_len == 0 {
+        return vec![Block {
+            index: 0,
+            start: 0,
+            end: 0,
+        }];
+    }
+    let chunk = input_len.div_ceil(n);
+    (0..n)
+        .map(|i| Block {
+            index: i,
+            start: (i * chunk).min(input_len),
+            end: ((i + 1) * chunk).min(input_len),
+        })
+        .filter(|b| !b.is_empty() || b.index == 0)
+        .collect()
+}
+
+/// Finds the next occurrence of `marker` in `haystack` at or after
+/// `from`. Naive search with a first-byte skip loop — the "regular
+/// expression" of §4.1 specialised to a literal.
+pub fn find_marker(haystack: &[u8], marker: &[u8], from: usize) -> Option<usize> {
+    if marker.is_empty() || from >= haystack.len() {
+        return None;
+    }
+    let first = marker[0];
+    let mut i = from;
+    let limit = haystack.len().checked_sub(marker.len())?;
+    while i <= limit {
+        if haystack[i] == first && &haystack[i..i + marker.len()] == marker {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Splits `input` into at most `n` blocks whose starts (except the
+/// first) coincide with `marker` occurrences — the PAT split. Every
+/// marker occurrence lies at a block start or strictly inside a block;
+/// no block starts mid-record (provided markers are genuine record
+/// starts, the §3.5 caveat).
+pub fn marker_blocks(input: &[u8], marker: &[u8], n: usize) -> Vec<Block> {
+    let n = n.max(1);
+    let len = input.len();
+    if len == 0 {
+        return vec![Block {
+            index: 0,
+            start: 0,
+            end: 0,
+        }];
+    }
+    let chunk = len.div_ceil(n);
+    let mut starts = vec![0usize];
+    for i in 1..n {
+        let target = i * chunk;
+        if target >= len {
+            break;
+        }
+        match find_marker(input, marker, target) {
+            Some(pos) if pos > *starts.last().expect("non-empty") => starts.push(pos),
+            _ => {}
+        }
+    }
+    let mut blocks = Vec::with_capacity(starts.len());
+    for (i, &s) in starts.iter().enumerate() {
+        let e = starts.get(i + 1).copied().unwrap_or(len);
+        blocks.push(Block {
+            index: i,
+            start: s,
+            end: e,
+        });
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fixed_blocks_cover_input_exactly() {
+        let blocks = fixed_blocks(100, 7);
+        assert_eq!(blocks.first().unwrap().start, 0);
+        assert_eq!(blocks.last().unwrap().end, 100);
+        for w in blocks.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "no gaps or overlaps");
+        }
+    }
+
+    #[test]
+    fn fixed_blocks_of_empty_input() {
+        let blocks = fixed_blocks(0, 4);
+        assert_eq!(blocks.len(), 1);
+        assert!(blocks[0].is_empty());
+    }
+
+    #[test]
+    fn more_blocks_than_bytes() {
+        let blocks = fixed_blocks(3, 10);
+        let total: usize = blocks.iter().map(Block::len).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn find_marker_basic() {
+        let hay = b"aa<r>bb<r>cc";
+        assert_eq!(find_marker(hay, b"<r>", 0), Some(2));
+        assert_eq!(find_marker(hay, b"<r>", 3), Some(7));
+        assert_eq!(find_marker(hay, b"<r>", 8), None);
+        assert_eq!(find_marker(hay, b"", 0), None);
+        assert_eq!(find_marker(b"ab", b"abc", 0), None, "marker longer than input");
+    }
+
+    #[test]
+    fn marker_blocks_start_at_markers() {
+        // Records of 10 bytes each starting with 'R'.
+        let mut input = Vec::new();
+        for i in 0..20 {
+            input.push(b'R');
+            input.extend_from_slice(format!("record{i:03}").as_bytes());
+        }
+        let blocks = marker_blocks(&input, b"R", 4);
+        assert!(blocks.len() >= 2);
+        assert_eq!(blocks[0].start, 0);
+        for b in &blocks[1..] {
+            assert_eq!(input[b.start], b'R', "block must start at a marker");
+        }
+        assert_eq!(blocks.last().unwrap().end, input.len());
+        for w in blocks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn marker_blocks_with_no_marker_yield_one_block() {
+        let input = b"xxxxxxxxxxxxxxxxxxxx";
+        let blocks = marker_blocks(input, b"Q", 4);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].len(), input.len());
+    }
+
+    proptest! {
+        #[test]
+        fn fixed_blocks_partition(len in 0usize..5000, n in 1usize..32) {
+            let blocks = fixed_blocks(len, n);
+            let total: usize = blocks.iter().map(Block::len).sum();
+            prop_assert_eq!(total, len);
+            for w in blocks.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+            }
+        }
+
+        #[test]
+        fn marker_blocks_partition(
+            records in prop::collection::vec(0u8..26, 1..50),
+            n in 1usize..8,
+        ) {
+            let mut input = Vec::new();
+            for &r in &records {
+                input.push(b'#');
+                for _ in 0..r { input.push(b'a'); }
+            }
+            let blocks = marker_blocks(&input, b"#", n);
+            let total: usize = blocks.iter().map(Block::len).sum();
+            prop_assert_eq!(total, input.len());
+            for b in &blocks[1..] {
+                prop_assert_eq!(input[b.start], b'#');
+            }
+        }
+
+        #[test]
+        fn find_marker_agrees_with_std(
+            hay in prop::collection::vec(prop::sample::select(b"ab#".to_vec()), 0..200),
+            from in 0usize..200,
+        ) {
+            let got = find_marker(&hay, b"#a", from);
+            let want = if from < hay.len() {
+                hay[from..]
+                    .windows(2)
+                    .position(|w| w == b"#a")
+                    .map(|p| p + from)
+            } else {
+                None
+            };
+            prop_assert_eq!(got, want);
+        }
+    }
+}

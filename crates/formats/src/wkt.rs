@@ -1,0 +1,505 @@
+//! Well-known text (WKT) rows — the OSM-W dataset flavour.
+//!
+//! "RDBMS with spatial extensions usually handle well-known text …
+//! geometries contained inside comma or tab separated files. This
+//! makes splitting the data a case of searching for newlines" (§2.2).
+//! Each row is `id <TAB> WKT <TAB> key=value;key=value…`.
+//!
+//! * PAT mode splits at newlines and parses rows directly.
+//! * FAT mode splits at arbitrary offsets; the fragment is a
+//!   line-level periodically flushing transducer: the partial first
+//!   line (head) and partial last line (tail) are kept as byte spans
+//!   and joined at merge — spans are contiguous across block
+//!   boundaries, so the spanning row is parsed straight out of the
+//!   input.
+
+use crate::feature::{MetadataFilter, RawFeature};
+use crate::split::{fixed_blocks, marker_blocks, Block};
+use crate::ParseError;
+use atgis_geometry::{Geometry, LineString, MultiPolygon, Point, Polygon, Ring};
+
+/// Parses one `id \t WKT \t tags` row spanning `input[start..end]`
+/// (no trailing newline). Returns `None` for empty/filtered rows.
+pub fn parse_row(
+    input: &[u8],
+    start: usize,
+    end: usize,
+    filter: &MetadataFilter,
+) -> Result<Option<RawFeature>, ParseError> {
+    let row = &input[start..end];
+    if row.iter().all(|b| b.is_ascii_whitespace()) {
+        return Ok(None);
+    }
+    let mut cols = row.split(|&b| b == b'\t');
+    let id_col = cols
+        .next()
+        .ok_or_else(|| ParseError::syntax(start as u64, "missing id column"))?;
+    let wkt_col = cols
+        .next()
+        .ok_or_else(|| ParseError::syntax(start as u64, "missing WKT column"))?;
+    let tags_col = cols.next().unwrap_or(b"");
+
+    let id: u64 = std::str::from_utf8(id_col)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| ParseError::syntax(start as u64, "bad id column"))?;
+    if !filter.accepts_id(id) {
+        return Ok(None);
+    }
+    if filter.needs_tags() {
+        let tags = std::str::from_utf8(tags_col)
+            .map_err(|_| ParseError::syntax(start as u64, "non-UTF8 tags"))?;
+        let pairs = tags
+            .split(';')
+            .filter_map(|kv| kv.split_once('='));
+        if !filter.accepts_tags(pairs) {
+            return Ok(None);
+        }
+    }
+
+    let mut cur = WktCursor {
+        text: std::str::from_utf8(wkt_col)
+            .map_err(|_| ParseError::syntax(start as u64, "non-UTF8 WKT"))?,
+        pos: 0,
+        base: start + (wkt_col.as_ptr() as usize - row.as_ptr() as usize),
+    };
+    let geometry = cur.parse_geometry()?;
+    Ok(Some(RawFeature {
+        id,
+        geometry,
+        offset: start as u64,
+        len: (end - start) as u32,
+    }))
+}
+
+struct WktCursor<'a> {
+    text: &'a str,
+    pos: usize,
+    base: usize,
+}
+
+impl<'a> WktCursor<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::syntax((self.base + self.pos) as u64, msg)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.text[self.pos..].starts_with(' ') {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.text[self.pos..].starts_with(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {c:?}")))
+        }
+    }
+
+    fn keyword(&mut self) -> &'a str {
+        self.skip_ws();
+        let rest = &self.text[self.pos..];
+        let len = rest
+            .bytes()
+            .take_while(|b| b.is_ascii_alphabetic())
+            .count();
+        let kw = &rest[..len];
+        self.pos += len;
+        kw
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        self.skip_ws();
+        let rest = &self.text[self.pos..];
+        let len = rest
+            .bytes()
+            .take_while(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+            .count();
+        if len == 0 {
+            return Err(self.err("expected a number"));
+        }
+        let v = rest[..len]
+            .parse::<f64>()
+            .map_err(|e| self.err(format!("bad number: {e}")))?;
+        self.pos += len;
+        Ok(v)
+    }
+
+    /// `x y` pair.
+    fn point(&mut self) -> Result<Point, ParseError> {
+        let x = self.number()?;
+        let y = self.number()?;
+        Ok(Point::new(x, y))
+    }
+
+    /// `(x y, x y, …)`
+    fn point_list(&mut self) -> Result<Vec<Point>, ParseError> {
+        self.expect('(')?;
+        let mut pts = vec![self.point()?];
+        while self.eat(',') {
+            pts.push(self.point()?);
+        }
+        self.expect(')')?;
+        Ok(pts)
+    }
+
+    /// `((ring),(ring)…)`
+    fn ring_list(&mut self) -> Result<Vec<Vec<Point>>, ParseError> {
+        self.expect('(')?;
+        let mut rings = vec![self.point_list()?];
+        while self.eat(',') {
+            rings.push(self.point_list()?);
+        }
+        self.expect(')')?;
+        Ok(rings)
+    }
+
+    fn parse_geometry(&mut self) -> Result<Geometry, ParseError> {
+        let kw = self.keyword().to_ascii_uppercase();
+        match kw.as_str() {
+            "POINT" => {
+                self.expect('(')?;
+                let p = self.point()?;
+                self.expect(')')?;
+                Ok(Geometry::Point(p))
+            }
+            "LINESTRING" => Ok(Geometry::LineString(LineString::new(self.point_list()?))),
+            "POLYGON" => {
+                let rings = self.ring_list()?;
+                Ok(Geometry::Polygon(rings_to_polygon(rings)))
+            }
+            "MULTIPOLYGON" => {
+                self.expect('(')?;
+                let mut polys = vec![rings_to_polygon(self.ring_list()?)];
+                while self.eat(',') {
+                    polys.push(rings_to_polygon(self.ring_list()?));
+                }
+                self.expect(')')?;
+                Ok(Geometry::MultiPolygon(MultiPolygon::new(polys)))
+            }
+            "GEOMETRYCOLLECTION" => {
+                self.expect('(')?;
+                let mut members = vec![self.parse_geometry()?];
+                while self.eat(',') {
+                    members.push(self.parse_geometry()?);
+                }
+                self.expect(')')?;
+                Ok(Geometry::Collection(members))
+            }
+            other => Err(self.err(format!("unknown WKT keyword {other:?}"))),
+        }
+    }
+}
+
+fn rings_to_polygon(mut rings: Vec<Vec<Point>>) -> Polygon {
+    let exterior = Ring::new(rings.remove(0));
+    let holes = rings.into_iter().map(Ring::new).collect();
+    Polygon::new(exterior, holes)
+}
+
+/// PAT parse: newline-aligned blocks, each row parsed directly.
+pub fn parse_pat(input: &[u8], filter: &MetadataFilter) -> Result<Vec<RawFeature>, ParseError> {
+    let mut out = Vec::new();
+    for block in marker_blocks(input, b"\n", 4) {
+        parse_block_rows(input, block.start, block.end, filter, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Parses every complete row that *starts* within `[start, end)`.
+fn parse_block_rows(
+    input: &[u8],
+    start: usize,
+    end: usize,
+    filter: &MetadataFilter,
+    out: &mut Vec<RawFeature>,
+) -> Result<(), ParseError> {
+    let mut pos = start;
+    while pos < end {
+        // Skip leading newlines (block starts at a marker = newline).
+        while pos < end && input[pos] == b'\n' {
+            pos += 1;
+        }
+        if pos >= end {
+            break;
+        }
+        let row_end = crate::split::find_marker(input, b"\n", pos).unwrap_or(input.len());
+        if let Some(f) = parse_row(input, pos, row_end, filter)? {
+            out.push(f);
+        }
+        pos = row_end + 1;
+    }
+    Ok(())
+}
+
+/// The FAT fragment for WKT: a line-level periodically flushing
+/// transducer whose head/tail are byte spans into the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WktFragment {
+    /// Span of the partial first line `(start, end)`.
+    head: (usize, usize),
+    /// Features from complete rows inside the block.
+    features: Vec<RawFeature>,
+    /// Span of the partial last line.
+    tail: (usize, usize),
+    /// Whether the block contained at least one newline.
+    saw_newline: bool,
+}
+
+/// Builds the FAT fragment for one block.
+pub fn process_block(
+    input: &[u8],
+    block: Block,
+    filter: &MetadataFilter,
+) -> Result<WktFragment, ParseError> {
+    let bytes = block.slice(input);
+    let first_nl = bytes.iter().position(|&b| b == b'\n');
+    match first_nl {
+        None => Ok(WktFragment {
+            head: (block.start, block.end),
+            features: Vec::new(),
+            tail: (block.end, block.end),
+            saw_newline: false,
+        }),
+        Some(nl) => {
+            let last_nl = bytes
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .expect("nl exists");
+            let mut features = Vec::new();
+            parse_block_rows(
+                input,
+                block.start + nl + 1,
+                block.start + last_nl + 1,
+                filter,
+                &mut features,
+            )?;
+            Ok(WktFragment {
+                head: (block.start, block.start + nl),
+                features,
+                tail: (block.start + last_nl + 1, block.end),
+                saw_newline: true,
+            })
+        }
+    }
+}
+
+impl WktFragment {
+    /// Drains the locally-completed features (see
+    /// `geojson::fat::BlockFragment::drain_features` — same pipeline-
+    /// composition role; WKT needs no speculation so there is a single
+    /// stream).
+    pub fn drain_features(&mut self) -> Vec<RawFeature> {
+        std::mem::take(&mut self.features)
+    }
+
+    /// Merges two adjacent fragments; `self` must cover the bytes
+    /// immediately preceding `other`.
+    pub fn merge(
+        mut self,
+        mut other: WktFragment,
+        input: &[u8],
+        filter: &MetadataFilter,
+    ) -> Result<WktFragment, ParseError> {
+        debug_assert_eq!(self.tail.1, other.head.0, "fragments must be adjacent");
+        match (self.saw_newline, other.saw_newline) {
+            (false, false) => Ok(WktFragment {
+                head: (self.head.0, other.head.1),
+                features: Vec::new(),
+                tail: (other.tail.0, other.tail.1),
+                saw_newline: false,
+            }),
+            (false, true) => {
+                other.head.0 = self.head.0;
+                Ok(other)
+            }
+            (true, false) => {
+                self.tail.1 = other.head.1;
+                Ok(self)
+            }
+            (true, true) => {
+                // The spanning row: left tail ++ right head.
+                let (s, e) = (self.tail.0, other.head.1);
+                if let Some(f) = parse_row(input, s, e, filter)? {
+                    self.features.push(f);
+                }
+                self.features.append(&mut other.features);
+                Ok(WktFragment {
+                    head: self.head,
+                    features: self.features,
+                    tail: other.tail,
+                    saw_newline: true,
+                })
+            }
+        }
+    }
+
+    /// Resolves a fully merged fragment: head is the first row, tail
+    /// the last.
+    pub fn finalize(
+        mut self,
+        input: &[u8],
+        filter: &MetadataFilter,
+    ) -> Result<Vec<RawFeature>, ParseError> {
+        let mut out = Vec::new();
+        if let Some(f) = parse_row(input, self.head.0, self.head.1, filter)? {
+            out.push(f);
+        }
+        out.append(&mut self.features);
+        if self.tail.0 < self.tail.1 {
+            if let Some(f) = parse_row(input, self.tail.0, self.tail.1, filter)? {
+                out.push(f);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// FAT parse over `blocks` fixed-offset blocks (sequential merge).
+pub fn parse_fat(
+    input: &[u8],
+    filter: &MetadataFilter,
+    blocks: usize,
+) -> Result<Vec<RawFeature>, ParseError> {
+    let mut merged: Option<WktFragment> = None;
+    for block in fixed_blocks(input.len(), blocks) {
+        let frag = process_block(input, block, filter)?;
+        merged = Some(match merged {
+            None => frag,
+            Some(acc) => acc.merge(frag, input, filter)?,
+        });
+    }
+    match merged {
+        None => Ok(Vec::new()),
+        Some(m) => m.finalize(input, filter),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+1\tPOLYGON((0.0 0.0,1.0 0.0,1.0 1.0,0.0 1.0,0.0 0.0))\tname=sq;building=yes
+2\tLINESTRING(1.1 0.0,1.2 1.0)\t
+3\tPOINT(5.0 6.0)\tname=pt
+4\tMULTIPOLYGON(((2.0 2.0,3.0 2.0,3.0 3.0,2.0 2.0)),((4.0 4.0,5.0 4.0,5.0 5.0,4.0 4.0)))\tbuilding=no
+5\tGEOMETRYCOLLECTION(POINT(9.0 9.0),LINESTRING(1.1 0.0,1.2 1.0))\tnote=listing
+6\tPOLYGON((0.0 0.0,4.0 0.0,4.0 4.0,0.0 4.0),(1.0 1.0,2.0 1.0,2.0 2.0,1.0 2.0))\t
+";
+
+    fn check(features: &[RawFeature]) {
+        assert_eq!(features.len(), 6);
+        assert!(matches!(features[0].geometry, Geometry::Polygon(_)));
+        assert!(matches!(features[1].geometry, Geometry::LineString(_)));
+        assert_eq!(features[2].geometry, Geometry::Point(Point::new(5.0, 6.0)));
+        match &features[3].geometry {
+            Geometry::MultiPolygon(mp) => assert_eq!(mp.polygons.len(), 2),
+            g => panic!("{g:?}"),
+        }
+        assert!(matches!(features[4].geometry, Geometry::Collection(_)));
+        match &features[5].geometry {
+            Geometry::Polygon(p) => {
+                assert_eq!(p.holes.len(), 1);
+                assert!((p.area() - 15.0).abs() < 1e-12);
+            }
+            g => panic!("{g:?}"),
+        }
+    }
+
+    #[test]
+    fn pat_parses_sample() {
+        let f = parse_pat(SAMPLE.as_bytes(), &MetadataFilter::All).unwrap();
+        check(&f);
+    }
+
+    #[test]
+    fn fat_parses_sample_any_block_count() {
+        for blocks in 1..32 {
+            let f = parse_fat(SAMPLE.as_bytes(), &MetadataFilter::All, blocks).unwrap();
+            check(&f);
+        }
+    }
+
+    #[test]
+    fn fat_and_pat_agree() {
+        let a = parse_pat(SAMPLE.as_bytes(), &MetadataFilter::All).unwrap();
+        let b = parse_fat(SAMPLE.as_bytes(), &MetadataFilter::All, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn filters_apply() {
+        let f = parse_pat(
+            SAMPLE.as_bytes(),
+            &MetadataFilter::KeyEquals {
+                key: "building".into(),
+                value: "yes".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].id, 1);
+        let g = parse_fat(SAMPLE.as_bytes(), &MetadataFilter::IdBelow(3), 5).unwrap();
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn offsets_allow_reparsing() {
+        let input = SAMPLE.as_bytes();
+        let features = parse_pat(input, &MetadataFilter::All).unwrap();
+        for f in &features {
+            let again = parse_row(
+                input,
+                f.offset as usize,
+                f.offset as usize + f.len as usize,
+                &MetadataFilter::All,
+            )
+            .unwrap()
+            .unwrap();
+            assert_eq!(again.geometry, f.geometry);
+            assert_eq!(again.id, f.id);
+        }
+    }
+
+    #[test]
+    fn malformed_row_is_an_error() {
+        let bad = b"1\tPOLYGON((0 0,1 0)\t\n";
+        assert!(parse_pat(bad, &MetadataFilter::All).is_err());
+        let worse = b"notanid\tPOINT(1 1)\t\n";
+        assert!(parse_pat(worse, &MetadataFilter::All).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(parse_pat(b"", &MetadataFilter::All).unwrap().is_empty());
+        assert!(parse_fat(b"", &MetadataFilter::All, 4).unwrap().is_empty());
+        assert!(parse_pat(b"\n\n", &MetadataFilter::All).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let doc = "7\tPOINT(1.0 2.0)\t";
+        let f = parse_fat(doc.as_bytes(), &MetadataFilter::All, 3).unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].id, 7);
+    }
+
+    #[test]
+    fn scientific_notation_coordinates() {
+        let doc = "8\tPOINT(1.5e2 -2.5E-1)\t\n";
+        let f = parse_pat(doc.as_bytes(), &MetadataFilter::All).unwrap();
+        assert_eq!(f[0].geometry, Geometry::Point(Point::new(150.0, -0.25)));
+    }
+}

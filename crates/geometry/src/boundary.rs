@@ -1,0 +1,216 @@
+//! ST_Boundary and ST_IsSimple (Table 1, single-geometry operators).
+//!
+//! Both must "consider the geometry in its entirety", which is why the
+//! paper maps them to *stateless* transducers over whole shapes rather
+//! than periodically flushing edge-streams.
+
+use crate::polygon::{Geometry, LineString};
+use crate::segment::{segments_cross_properly, Segment};
+
+/// Returns the boundary of a geometry per OGC semantics:
+/// the endpoints of a linestring (empty when closed), the rings of a
+/// polygon as linestrings, and the union of member boundaries for
+/// multi-geometries. Points have an empty boundary.
+pub fn boundary(g: &Geometry) -> Geometry {
+    match g {
+        Geometry::Point(_) => Geometry::Collection(Vec::new()),
+        Geometry::LineString(ls) => {
+            if ls.is_closed() || ls.points.len() < 2 {
+                Geometry::Collection(Vec::new())
+            } else {
+                Geometry::Collection(vec![
+                    Geometry::Point(ls.points[0]),
+                    Geometry::Point(*ls.points.last().expect("len >= 2")),
+                ])
+            }
+        }
+        Geometry::Polygon(p) => {
+            let mut rings = Vec::with_capacity(1 + p.holes.len());
+            rings.push(ring_to_linestring(&p.exterior.points));
+            for h in &p.holes {
+                rings.push(ring_to_linestring(&h.points));
+            }
+            Geometry::Collection(rings)
+        }
+        Geometry::MultiPolygon(mp) => Geometry::Collection(
+            mp.polygons
+                .iter()
+                .map(|p| boundary(&Geometry::Polygon(p.clone())))
+                .collect(),
+        ),
+        Geometry::Collection(gs) => Geometry::Collection(gs.iter().map(boundary).collect()),
+    }
+}
+
+fn ring_to_linestring(points: &[crate::point::Point]) -> Geometry {
+    let mut pts = points.to_vec();
+    if let Some(&first) = pts.first() {
+        pts.push(first); // Close the ring explicitly.
+    }
+    Geometry::LineString(LineString::new(pts))
+}
+
+/// OGC simplicity: no self-intersections other than shared ring
+/// endpoints. For polygons this checks that no two edges of any ring
+/// cross properly and no two non-adjacent edges touch; for linestrings,
+/// that the path does not revisit any point except a closing endpoint.
+pub fn is_simple(g: &Geometry) -> bool {
+    match g {
+        Geometry::Point(_) => true,
+        Geometry::LineString(ls) => {
+            let segs: Vec<Segment> = ls.segments().collect();
+            !any_improper_self_intersection(&segs, false)
+        }
+        Geometry::Polygon(p) => {
+            let ext: Vec<Segment> = p.exterior.segments().collect();
+            if any_improper_self_intersection(&ext, true) {
+                return false;
+            }
+            for h in &p.holes {
+                let hs: Vec<Segment> = h.segments().collect();
+                if any_improper_self_intersection(&hs, true) {
+                    return false;
+                }
+            }
+            true
+        }
+        Geometry::MultiPolygon(mp) => mp
+            .polygons
+            .iter()
+            .all(|p| is_simple(&Geometry::Polygon(p.clone()))),
+        Geometry::Collection(gs) => gs.iter().all(is_simple),
+    }
+}
+
+/// Quadratic self-intersection test. `cyclic` treats the segment list
+/// as a closed ring, so the first and last segments count as adjacent.
+fn any_improper_self_intersection(segs: &[Segment], cyclic: bool) -> bool {
+    let n = segs.len();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let adjacent = j == i + 1 || (cyclic && i == 0 && j == n - 1);
+            if adjacent {
+                // Adjacent edges legitimately share an endpoint; a
+                // *proper* crossing is still an error.
+                if segments_cross_properly(&segs[i], &segs[j]) {
+                    return true;
+                }
+                continue;
+            }
+            if crate::segment::segments_intersect(&segs[i], &segs[j]) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+    use crate::polygon::{unit_square, Polygon, Ring};
+
+    #[test]
+    fn square_is_simple() {
+        assert!(is_simple(&Geometry::Polygon(unit_square())));
+    }
+
+    #[test]
+    fn bowtie_is_not_simple() {
+        let bowtie = Polygon::from_exterior(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 2.0),
+        ]);
+        assert!(!is_simple(&Geometry::Polygon(bowtie)));
+    }
+
+    #[test]
+    fn open_linestring_simplicity() {
+        let zigzag = Geometry::LineString(LineString::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 0.0),
+        ]));
+        assert!(is_simple(&zigzag));
+        let crossing = Geometry::LineString(LineString::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 2.0),
+        ]));
+        assert!(!is_simple(&crossing));
+    }
+
+    #[test]
+    fn point_is_simple_with_empty_boundary() {
+        let p = Geometry::Point(Point::new(1.0, 1.0));
+        assert!(is_simple(&p));
+        match boundary(&p) {
+            Geometry::Collection(c) => assert!(c.is_empty()),
+            other => panic!("expected empty collection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linestring_boundary_is_its_endpoints() {
+        let ls = Geometry::LineString(LineString::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 3.0),
+        ]));
+        match boundary(&ls) {
+            Geometry::Collection(c) => {
+                assert_eq!(c.len(), 2);
+                assert_eq!(c[0], Geometry::Point(Point::new(0.0, 0.0)));
+                assert_eq!(c[1], Geometry::Point(Point::new(2.0, 3.0)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closed_linestring_has_empty_boundary() {
+        let ls = Geometry::LineString(LineString::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.0, 0.0),
+        ]));
+        match boundary(&ls) {
+            Geometry::Collection(c) => assert!(c.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn polygon_boundary_contains_all_rings() {
+        let hole = Ring::new(vec![
+            Point::new(0.25, 0.25),
+            Point::new(0.75, 0.25),
+            Point::new(0.75, 0.75),
+        ]);
+        let poly = Polygon::new(unit_square().exterior, vec![hole]);
+        match boundary(&Geometry::Polygon(poly)) {
+            Geometry::Collection(c) => {
+                assert_eq!(c.len(), 2);
+                for ring in &c {
+                    match ring {
+                        Geometry::LineString(ls) => assert!(ls.is_closed()),
+                        other => panic!("boundary piece not a linestring: {other:?}"),
+                    }
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boundary_length_equals_perimeter() {
+        let poly = unit_square();
+        let b = boundary(&Geometry::Polygon(poly.clone()));
+        assert_eq!(b.perimeter(), poly.perimeter());
+    }
+}

@@ -1,0 +1,197 @@
+//! Convex hulls (ST_ConvexHull).
+//!
+//! Table 1 of the paper classifies ST_ConvexHull as a periodically
+//! flushing transducer whose processing state is a shape: hulls of point
+//! subsets can be merged by hulling the union of their vertices, which
+//! is exactly how the transducer's associative merge is realised
+//! (`convex_hull(hull_a ∪ hull_b)`).
+
+use crate::point::Point;
+use crate::polygon::Ring;
+
+/// Computes the convex hull of a point set with Andrew's monotone chain
+/// (O(n log n)). Returns a counter-clockwise [`Ring`] without collinear
+/// interior vertices; degenerate inputs (< 3 distinct non-collinear
+/// points) yield a ring with fewer than 3 vertices.
+pub fn convex_hull(points: &[Point]) -> Ring {
+    let mut pts: Vec<Point> = points.iter().copied().filter(Point::is_finite).collect();
+    pts.sort_by(|a, b| a.lex_cmp(b));
+    pts.dedup();
+    let n = pts.len();
+    if n < 3 {
+        return Ring::new(pts);
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && hull[hull.len() - 2].cross(&hull[hull.len() - 1], &p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && hull[hull.len() - 2].cross(&hull[hull.len() - 1], &p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // Last point equals the first.
+    Ring::new(hull)
+}
+
+/// Associative merge of two hulls: the hull of their combined vertex
+/// sets. This is the ⊗ operation of the ST_ConvexHull transducer.
+pub fn merge_hulls(a: &Ring, b: &Ring) -> Ring {
+    let mut pts = Vec::with_capacity(a.len() + b.len());
+    pts.extend_from_slice(&a.points);
+    pts.extend_from_slice(&b.points);
+    convex_hull(&pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+            Point::new(1.0, 1.0), // interior
+            Point::new(0.5, 0.5), // interior
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        assert!(h.is_ccw());
+        assert_eq!(h.area(), 4.0);
+    }
+
+    #[test]
+    fn hull_removes_collinear_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0), // collinear on bottom edge
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::ORIGIN]).len(), 1);
+        let two = convex_hull(&[Point::ORIGIN, Point::new(1.0, 1.0)]);
+        assert_eq!(two.len(), 2);
+        // All collinear.
+        let col = convex_hull(&[
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        ]);
+        assert!(col.len() <= 2, "collinear set has no 2-D hull");
+    }
+
+    #[test]
+    fn duplicate_points_are_ignored() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 0.0),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn merge_matches_hull_of_union() {
+        let a: Vec<Point> = (0..10)
+            .map(|i| Point::new(i as f64, (i * i % 7) as f64))
+            .collect();
+        let b: Vec<Point> = (0..10)
+            .map(|i| Point::new(-(i as f64), (i * 3 % 5) as f64))
+            .collect();
+        let ha = convex_hull(&a);
+        let hb = convex_hull(&b);
+        let merged = merge_hulls(&ha, &hb);
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let direct = convex_hull(&all);
+        assert_eq!(merged.area(), direct.area());
+        assert_eq!(merged.len(), direct.len());
+    }
+
+    fn arb_points() -> impl Strategy<Value = Vec<Point>> {
+        prop::collection::vec(
+            (-100.0..100.0f64, -100.0..100.0f64).prop_map(|(x, y)| Point::new(x, y)),
+            3..60,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn hull_contains_all_points(pts in arb_points()) {
+            let h = convex_hull(&pts);
+            if h.len() >= 3 {
+                for p in &pts {
+                    prop_assert!(h.contains_point(p), "{p} outside hull");
+                }
+            }
+        }
+
+        #[test]
+        fn hull_is_convex(pts in arb_points()) {
+            let h = convex_hull(&pts);
+            if h.len() >= 3 {
+                let n = h.len();
+                for i in 0..n {
+                    let a = h.points[i];
+                    let b = h.points[(i + 1) % n];
+                    let c = h.points[(i + 2) % n];
+                    prop_assert!(a.cross(&b, &c) > 0.0, "non-left turn at {i}");
+                }
+            }
+        }
+
+        #[test]
+        fn hull_is_idempotent(pts in arb_points()) {
+            let h1 = convex_hull(&pts);
+            let h2 = convex_hull(&h1.points);
+            prop_assert_eq!(h1.len(), h2.len());
+            prop_assert!((h1.area() - h2.area()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn merge_is_commutative(a in arb_points(), b in arb_points()) {
+            let ha = convex_hull(&a);
+            let hb = convex_hull(&b);
+            let m1 = merge_hulls(&ha, &hb);
+            let m2 = merge_hulls(&hb, &ha);
+            prop_assert!((m1.area() - m2.area()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn merge_is_associative_in_area(
+            a in arb_points(), b in arb_points(), c in arb_points()
+        ) {
+            let (ha, hb, hc) = (convex_hull(&a), convex_hull(&b), convex_hull(&c));
+            let left = merge_hulls(&merge_hulls(&ha, &hb), &hc);
+            let right = merge_hulls(&ha, &merge_hulls(&hb, &hc));
+            prop_assert!((left.area() - right.area()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Planar and spherical geometry substrate for AT-GIS.
+//!
+//! This crate replaces the role Boost::Geometry plays in the original
+//! AT-GIS prototype (Ogden et al., SIGMOD 2016). It provides:
+//!
+//! * primitive types ([`Point`], [`Mbr`], [`Segment`], [`Ring`],
+//!   [`Polygon`], [`MultiPolygon`], [`Geometry`]) matching the OGC Simple
+//!   Feature Access hierarchy the paper queries over (§2.1);
+//! * spatial predicates (`intersects`, `contains`, `within`, `touches`,
+//!   `crosses`, `overlaps`, `disjoint`, DE-9IM `relate`) used by the
+//!   Table 1 operator catalogue;
+//! * measures (area, perimeter, distance) in both planar and spherical
+//!   coordinate systems, including Andoyer's more accurate geodesic
+//!   formula used by the Fig. 13b experiment;
+//! * set-theoretic operations (intersection, union, difference,
+//!   symmetric difference, buffer) on polygons;
+//! * convex hulls, envelopes, boundaries and simplicity tests.
+//!
+//! All algorithms are written to be *edge-streamable* where the paper
+//! requires it: predicates that Table 1 classifies as "in shape"
+//! associative expose incremental edge-at-a-time state so they can be
+//! wrapped in periodically flushing transducers.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod boundary;
+pub mod hull;
+pub mod mbr;
+pub mod measures;
+pub mod point;
+pub mod polygon;
+pub mod relate;
+pub mod segment;
+pub mod setops;
+pub mod sphere;
+
+pub use boundary::{boundary, is_simple};
+pub use hull::convex_hull;
+pub use mbr::Mbr;
+pub use measures::{perimeter, planar_area, signed_ring_area, DistanceModel};
+pub use point::Point;
+pub use polygon::{Geometry, LineString, MultiPolygon, Polygon, Ring};
+pub use relate::{
+    contains, crosses, disjoint, distance, intersects, overlaps, relate, touches, within,
+    De9Im, IntersectionMatrix,
+};
+pub use segment::{segment_intersection, segments_intersect, Orientation, Segment};
+pub use setops::{buffer, difference, intersection, sym_difference, union};

@@ -1,0 +1,340 @@
+//! Minimum bounding rectangles (MBRs).
+//!
+//! The paper's processing pipelines compute an MBR per geometry with a
+//! periodically flushing transducer (§3.3, "Polygon bounding" example)
+//! and use MBRs for partitioning, join candidate generation and the
+//! column-scan baseline. MBR union is the associative aggregation the
+//! transducer relies on, so [`Mbr::union`] together with [`Mbr::EMPTY`]
+//! forms a commutative monoid — property-tested below.
+
+use crate::point::Point;
+
+/// An axis-aligned minimum bounding rectangle.
+///
+/// The *empty* MBR (containing no points) is represented with inverted
+/// infinite bounds so that `union` with it is an identity operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mbr {
+    /// Minimum x (west edge).
+    pub min_x: f64,
+    /// Minimum y (south edge).
+    pub min_y: f64,
+    /// Maximum x (east edge).
+    pub max_x: f64,
+    /// Maximum y (north edge).
+    pub max_y: f64,
+}
+
+impl Default for Mbr {
+    fn default() -> Self {
+        Mbr::EMPTY
+    }
+}
+
+impl Mbr {
+    /// The identity element of [`Mbr::union`]: a box containing nothing.
+    pub const EMPTY: Mbr = Mbr {
+        min_x: f64::INFINITY,
+        min_y: f64::INFINITY,
+        max_x: f64::NEG_INFINITY,
+        max_y: f64::NEG_INFINITY,
+    };
+
+    /// Creates an MBR from explicit bounds. `min_*` must not exceed
+    /// `max_*` for a non-empty box; no normalisation is performed.
+    #[inline]
+    pub const fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Mbr {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    /// The degenerate MBR covering a single point.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        Mbr::new(p.x, p.y, p.x, p.y)
+    }
+
+    /// Smallest MBR covering all `points`; [`Mbr::EMPTY`] when empty.
+    pub fn from_points(points: &[Point]) -> Self {
+        points
+            .iter()
+            .fold(Mbr::EMPTY, |acc, p| acc.expanded_to(*p))
+    }
+
+    /// True when the box contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x || self.min_y > self.max_y
+    }
+
+    /// Width (`max_x - min_x`); zero for empty boxes.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max_x - self.min_x).max(0.0)
+    }
+
+    /// Height (`max_y - min_y`); zero for empty boxes.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max_y - self.min_y).max(0.0)
+    }
+
+    /// Area of the box; zero for empty or degenerate boxes.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Semi-perimeter (`width + height`), the R-tree insertion margin
+    /// metric.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Centre point; meaningless for empty boxes.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) * 0.5,
+            (self.min_y + self.max_y) * 0.5,
+        )
+    }
+
+    /// The associative, commutative union of two boxes.
+    #[inline]
+    pub fn union(&self, other: &Mbr) -> Mbr {
+        Mbr {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Grows the box in place to cover `p`. The incremental step used by
+    /// the MBR-bounding flushing transducer.
+    #[inline]
+    pub fn expand(&mut self, p: Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Like [`Mbr::expand`] but by value.
+    #[inline]
+    pub fn expanded_to(mut self, p: Point) -> Mbr {
+        self.expand(p);
+        self
+    }
+
+    /// True when the boxes share at least one point (closed-interval
+    /// semantics: touching edges intersect).
+    #[inline]
+    pub fn intersects(&self, other: &Mbr) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// The intersection box, or `None` when disjoint.
+    pub fn intersection(&self, other: &Mbr) -> Option<Mbr> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Mbr {
+            min_x: self.min_x.max(other.min_x),
+            min_y: self.min_y.max(other.min_y),
+            max_x: self.max_x.min(other.max_x),
+            max_y: self.max_y.min(other.max_y),
+        })
+    }
+
+    /// True when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// True when `other` lies entirely inside or on the boundary of
+    /// `self`. The empty box is contained in everything.
+    #[inline]
+    pub fn contains(&self, other: &Mbr) -> bool {
+        other.is_empty()
+            || (other.min_x >= self.min_x
+                && other.max_x <= self.max_x
+                && other.min_y >= self.min_y
+                && other.max_y <= self.max_y)
+    }
+
+    /// Corner points in counter-clockwise order starting at
+    /// `(min_x, min_y)`. Useful for turning boxes into query rings.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            Point::new(self.min_x, self.min_y),
+            Point::new(self.max_x, self.min_y),
+            Point::new(self.max_x, self.max_y),
+            Point::new(self.min_x, self.max_y),
+        ]
+    }
+
+    /// Minimum planar distance from `p` to the box (zero when inside).
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        let dx = (self.min_x - p.x).max(0.0).max(p.x - self.max_x);
+        let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mbr(a: f64, b: f64, c: f64, d: f64) -> Mbr {
+        Mbr::new(a, b, c, d)
+    }
+
+    #[test]
+    fn empty_is_identity_for_union() {
+        let b = mbr(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(Mbr::EMPTY.union(&b), b);
+        assert_eq!(b.union(&Mbr::EMPTY), b);
+        assert!(Mbr::EMPTY.is_empty());
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = mbr(0.0, 0.0, 1.0, 1.0);
+        let b = mbr(2.0, -1.0, 3.0, 0.5);
+        let u = a.union(&b);
+        assert_eq!(u, mbr(0.0, -1.0, 3.0, 1.0));
+        assert!(u.contains(&a) && u.contains(&b));
+    }
+
+    #[test]
+    fn intersection_of_overlapping_boxes() {
+        let a = mbr(0.0, 0.0, 2.0, 2.0);
+        let b = mbr(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(a.intersection(&b), Some(mbr(1.0, 1.0, 2.0, 2.0)));
+    }
+
+    #[test]
+    fn disjoint_boxes_do_not_intersect() {
+        let a = mbr(0.0, 0.0, 1.0, 1.0);
+        let b = mbr(2.0, 2.0, 3.0, 3.0);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.intersection(&b), None);
+    }
+
+    #[test]
+    fn touching_edges_count_as_intersecting() {
+        let a = mbr(0.0, 0.0, 1.0, 1.0);
+        let b = mbr(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.width(), 0.0);
+    }
+
+    #[test]
+    fn point_queries() {
+        let b = mbr(0.0, 0.0, 2.0, 2.0);
+        assert!(b.contains_point(&Point::new(1.0, 1.0)));
+        assert!(b.contains_point(&Point::new(0.0, 2.0)), "boundary counts");
+        assert!(!b.contains_point(&Point::new(2.1, 1.0)));
+        assert_eq!(b.distance_to_point(&Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(b.distance_to_point(&Point::new(5.0, 2.0)), 3.0);
+    }
+
+    #[test]
+    fn measures() {
+        let b = mbr(0.0, 0.0, 2.0, 3.0);
+        assert_eq!(b.width(), 2.0);
+        assert_eq!(b.height(), 3.0);
+        assert_eq!(b.area(), 6.0);
+        assert_eq!(b.margin(), 5.0);
+        assert_eq!(b.center(), Point::new(1.0, 1.5));
+        assert_eq!(Mbr::EMPTY.area(), 0.0);
+    }
+
+    #[test]
+    fn from_points_covers_all_inputs() {
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.0),
+            Point::new(3.0, 2.0),
+        ];
+        let b = Mbr::from_points(&pts);
+        assert_eq!(b, mbr(-2.0, 0.0, 3.0, 5.0));
+        for p in &pts {
+            assert!(b.contains_point(p));
+        }
+        assert!(Mbr::from_points(&[]).is_empty());
+    }
+
+    #[test]
+    fn corners_are_ccw() {
+        let b = mbr(0.0, 0.0, 1.0, 2.0);
+        let c = b.corners();
+        // Shoelace of the corner quad must be positive (CCW).
+        let mut area2 = 0.0;
+        for i in 0..4 {
+            let p = c[i];
+            let q = c[(i + 1) % 4];
+            area2 += p.x * q.y - q.x * p.y;
+        }
+        assert!(area2 > 0.0);
+    }
+
+    fn arb_mbr() -> impl Strategy<Value = Mbr> {
+        (
+            -1000.0..1000.0f64,
+            -1000.0..1000.0f64,
+            0.0..100.0f64,
+            0.0..100.0f64,
+        )
+            .prop_map(|(x, y, w, h)| Mbr::new(x, y, x + w, y + h))
+    }
+
+    proptest! {
+        #[test]
+        fn union_is_associative(a in arb_mbr(), b in arb_mbr(), c in arb_mbr()) {
+            prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        }
+
+        #[test]
+        fn union_is_commutative(a in arb_mbr(), b in arb_mbr()) {
+            prop_assert_eq!(a.union(&b), b.union(&a));
+        }
+
+        #[test]
+        fn union_is_idempotent(a in arb_mbr()) {
+            prop_assert_eq!(a.union(&a), a);
+        }
+
+        #[test]
+        fn intersection_is_subset_of_both(a in arb_mbr(), b in arb_mbr()) {
+            if let Some(i) = a.intersection(&b) {
+                prop_assert!(a.contains(&i));
+                prop_assert!(b.contains(&i));
+            }
+        }
+
+        #[test]
+        fn expand_then_contains(a in arb_mbr(), x in -1000.0..1000.0f64, y in -1000.0..1000.0f64) {
+            let p = Point::new(x, y);
+            let grown = a.expanded_to(p);
+            prop_assert!(grown.contains_point(&p));
+            prop_assert!(grown.contains(&a));
+        }
+    }
+}

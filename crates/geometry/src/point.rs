@@ -1,0 +1,194 @@
+//! 2-D point type used throughout AT-GIS.
+//!
+//! Coordinates are `f64` pairs. For geographic data (the paper's
+//! OpenStreetMap workloads) `x` is longitude and `y` is latitude, both in
+//! degrees; planar algorithms treat them as Cartesian coordinates while
+//! the [`crate::sphere`] module interprets them spherically.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point in 2-D space. `x` = longitude, `y` = latitude for geographic
+/// datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate (longitude in degrees for geographic data).
+    pub x: f64,
+    /// Vertical coordinate (latitude in degrees for geographic data).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Squared Euclidean distance to `other`. Cheaper than
+    /// [`Point::distance`] when only comparisons are needed.
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean (planar) distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// 2-D cross product of `(b - self)` and `(c - self)`.
+    ///
+    /// Positive when the triple `(self, b, c)` turns counter-clockwise,
+    /// negative when clockwise and zero when collinear. This is the
+    /// primitive underlying every orientation test in the crate.
+    #[inline]
+    pub fn cross(&self, b: &Point, c: &Point) -> f64 {
+        (b.x - self.x) * (c.y - self.y) - (b.y - self.y) * (c.x - self.x)
+    }
+
+    /// Dot product of `(b - self)` and `(c - self)`.
+    #[inline]
+    pub fn dot(&self, b: &Point, c: &Point) -> f64 {
+        (b.x - self.x) * (c.x - self.x) + (b.y - self.y) * (c.y - self.y)
+    }
+
+    /// Component-wise minimum, used when growing bounding boxes.
+    #[inline]
+    pub fn min_components(&self, other: &Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum, used when growing bounding boxes.
+    #[inline]
+    pub fn max_components(&self, other: &Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// True when both coordinates are finite (not NaN / infinity).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Lexicographic comparison (x first, then y) used by hull and sweep
+    /// algorithms. Total order assuming finite coordinates.
+    #[inline]
+    pub fn lex_cmp(&self, other: &Point) -> std::cmp::Ordering {
+        self.x
+            .partial_cmp(&other.x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                self.y
+                    .partial_cmp(&other.y)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    #[inline]
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn cross_sign_encodes_turn_direction() {
+        let o = Point::ORIGIN;
+        let east = Point::new(1.0, 0.0);
+        let north = Point::new(0.0, 1.0);
+        assert!(o.cross(&east, &north) > 0.0, "ccw turn is positive");
+        assert!(o.cross(&north, &east) < 0.0, "cw turn is negative");
+        assert_eq!(o.cross(&east, &(east * 2.0)), 0.0, "collinear is zero");
+    }
+
+    #[test]
+    fn component_min_max() {
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(2.0, 3.0);
+        assert_eq!(a.min_components(&b), Point::new(1.0, 3.0));
+        assert_eq!(a.max_components(&b), Point::new(2.0, 5.0));
+    }
+
+    #[test]
+    fn lex_cmp_orders_by_x_then_y() {
+        let a = Point::new(0.0, 9.0);
+        let b = Point::new(1.0, 0.0);
+        let c = Point::new(0.0, 10.0);
+        assert_eq!(a.lex_cmp(&b), std::cmp::Ordering::Less);
+        assert_eq!(a.lex_cmp(&c), std::cmp::Ordering::Less);
+        assert_eq!(a.lex_cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(b - a, Point::new(2.0, -3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,332 @@
+//! Line segments and segment intersection predicates.
+//!
+//! The geometry-relation operators in the paper's Table 1 (ST_Intersects,
+//! ST_Crosses, …) are implemented edge-at-a-time: each incoming edge of a
+//! streamed geometry is tested against the edges of a reference set. The
+//! primitives here are the building blocks of those tests.
+
+use crate::mbr::Mbr;
+use crate::point::Point;
+
+/// Relative orientation of an ordered point triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Counter-clockwise turn.
+    Ccw,
+    /// Clockwise turn.
+    Cw,
+    /// All three points on one line.
+    Collinear,
+}
+
+/// Classifies the turn direction of `(a, b, c)` with a tolerance for
+/// floating-point noise scaled to the magnitude of the inputs.
+#[inline]
+pub fn orientation(a: &Point, b: &Point, c: &Point) -> Orientation {
+    let v = a.cross(b, c);
+    // Scale-aware epsilon: cross products of far-apart coordinates lose
+    // absolute precision proportionally to the coordinate magnitudes.
+    let scale = (b.x - a.x).abs() + (b.y - a.y).abs() + (c.x - a.x).abs() + (c.y - a.y).abs();
+    let eps = f64::EPSILON * 16.0 * scale * scale.max(1.0);
+    if v > eps {
+        Orientation::Ccw
+    } else if v < -eps {
+        Orientation::Cw
+    } else {
+        Orientation::Collinear
+    }
+}
+
+/// A directed line segment from `a` to `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment between two points.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// The segment's bounding box.
+    #[inline]
+    pub fn mbr(&self) -> Mbr {
+        Mbr::from_point(self.a).expanded_to(self.b)
+    }
+
+    /// Segment length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(&self.b)
+    }
+
+    /// True when `p` lies on the closed segment (within orientation
+    /// tolerance).
+    pub fn contains_point(&self, p: &Point) -> bool {
+        if orientation(&self.a, &self.b, p) != Orientation::Collinear {
+            return false;
+        }
+        p.x >= self.a.x.min(self.b.x) - f64::EPSILON
+            && p.x <= self.a.x.max(self.b.x) + f64::EPSILON
+            && p.y >= self.a.y.min(self.b.y) - f64::EPSILON
+            && p.y <= self.a.y.max(self.b.y) + f64::EPSILON
+    }
+
+    /// Minimum distance from `p` to the closed segment.
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        let len_sq = self.a.distance_sq(&self.b);
+        if len_sq == 0.0 {
+            return self.a.distance(p);
+        }
+        let t = ((p.x - self.a.x) * (self.b.x - self.a.x) + (p.y - self.a.y) * (self.b.y - self.a.y))
+            / len_sq;
+        let t = t.clamp(0.0, 1.0);
+        let proj = Point::new(
+            self.a.x + t * (self.b.x - self.a.x),
+            self.a.y + t * (self.b.y - self.a.y),
+        );
+        proj.distance(p)
+    }
+
+    /// Minimum distance between two closed segments (zero when they
+    /// intersect).
+    pub fn distance_to_segment(&self, other: &Segment) -> f64 {
+        if segments_intersect(self, other) {
+            return 0.0;
+        }
+        self.distance_to_point(&other.a)
+            .min(self.distance_to_point(&other.b))
+            .min(other.distance_to_point(&self.a))
+            .min(other.distance_to_point(&self.b))
+    }
+}
+
+/// True when the closed segments share at least one point, including
+/// endpoint touches and collinear overlap. The classic four-orientation
+/// test with collinear special cases.
+pub fn segments_intersect(s1: &Segment, s2: &Segment) -> bool {
+    let o1 = orientation(&s1.a, &s1.b, &s2.a);
+    let o2 = orientation(&s1.a, &s1.b, &s2.b);
+    let o3 = orientation(&s2.a, &s2.b, &s1.a);
+    let o4 = orientation(&s2.a, &s2.b, &s1.b);
+
+    if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear
+        || o1 != o2 && o3 != o4 && o2 != Orientation::Collinear
+    {
+        // General position: proper crossing needs strictly opposite
+        // orientations on both segments. (Collinear cases fall through to
+        // the on-segment checks below.)
+        if o1 != Orientation::Collinear
+            && o2 != Orientation::Collinear
+            && o3 != Orientation::Collinear
+            && o4 != Orientation::Collinear
+        {
+            return true;
+        }
+    }
+
+    (o1 == Orientation::Collinear && s1.contains_point(&s2.a))
+        || (o2 == Orientation::Collinear && s1.contains_point(&s2.b))
+        || (o3 == Orientation::Collinear && s2.contains_point(&s1.a))
+        || (o4 == Orientation::Collinear && s2.contains_point(&s1.b))
+}
+
+/// True when the segments cross at exactly one interior point of both
+/// (a *proper* crossing — endpoint touches and overlaps excluded).
+pub fn segments_cross_properly(s1: &Segment, s2: &Segment) -> bool {
+    let o1 = orientation(&s1.a, &s1.b, &s2.a);
+    let o2 = orientation(&s1.a, &s1.b, &s2.b);
+    let o3 = orientation(&s2.a, &s2.b, &s1.a);
+    let o4 = orientation(&s2.a, &s2.b, &s1.b);
+    o1 != o2
+        && o3 != o4
+        && o1 != Orientation::Collinear
+        && o2 != Orientation::Collinear
+        && o3 != Orientation::Collinear
+        && o4 != Orientation::Collinear
+}
+
+/// Computes the intersection point of two properly crossing segments, or
+/// of touching segments; `None` when disjoint or collinearly overlapping
+/// (no unique point).
+pub fn segment_intersection(s1: &Segment, s2: &Segment) -> Option<Point> {
+    let d1 = s1.b - s1.a;
+    let d2 = s2.b - s2.a;
+    let denom = d1.x * d2.y - d1.y * d2.x;
+    if denom.abs() < f64::EPSILON * 16.0 {
+        return None; // Parallel or collinear.
+    }
+    let t = ((s2.a.x - s1.a.x) * d2.y - (s2.a.y - s1.a.y) * d2.x) / denom;
+    let u = ((s2.a.x - s1.a.x) * d1.y - (s2.a.y - s1.a.y) * d1.x) / denom;
+    let eps = 1e-12;
+    if (-eps..=1.0 + eps).contains(&t) && (-eps..=1.0 + eps).contains(&u) {
+        Some(Point::new(s1.a.x + t * d1.x, s1.a.y + t * d1.y))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn proper_crossing_detected() {
+        let s1 = seg(0.0, 0.0, 2.0, 2.0);
+        let s2 = seg(0.0, 2.0, 2.0, 0.0);
+        assert!(segments_intersect(&s1, &s2));
+        assert!(segments_cross_properly(&s1, &s2));
+        let p = segment_intersection(&s1, &s2).unwrap();
+        assert!((p.x - 1.0).abs() < 1e-12 && (p.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoint_touch_intersects_but_not_properly() {
+        let s1 = seg(0.0, 0.0, 1.0, 1.0);
+        let s2 = seg(1.0, 1.0, 2.0, 0.0);
+        assert!(segments_intersect(&s1, &s2));
+        assert!(!segments_cross_properly(&s1, &s2));
+    }
+
+    #[test]
+    fn collinear_overlap_intersects() {
+        let s1 = seg(0.0, 0.0, 2.0, 0.0);
+        let s2 = seg(1.0, 0.0, 3.0, 0.0);
+        assert!(segments_intersect(&s1, &s2));
+        assert!(!segments_cross_properly(&s1, &s2));
+        assert_eq!(segment_intersection(&s1, &s2), None, "no unique point");
+    }
+
+    #[test]
+    fn collinear_disjoint_does_not_intersect() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(2.0, 0.0, 3.0, 0.0);
+        assert!(!segments_intersect(&s1, &s2));
+    }
+
+    #[test]
+    fn parallel_segments_disjoint() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(0.0, 1.0, 1.0, 1.0);
+        assert!(!segments_intersect(&s1, &s2));
+        assert_eq!(segment_intersection(&s1, &s2), None);
+    }
+
+    #[test]
+    fn t_junction_touch() {
+        // s2 endpoint lies in the interior of s1.
+        let s1 = seg(0.0, 0.0, 2.0, 0.0);
+        let s2 = seg(1.0, 0.0, 1.0, 1.0);
+        assert!(segments_intersect(&s1, &s2));
+        assert!(!segments_cross_properly(&s1, &s2));
+    }
+
+    #[test]
+    fn point_on_segment() {
+        let s = seg(0.0, 0.0, 2.0, 2.0);
+        assert!(s.contains_point(&Point::new(1.0, 1.0)));
+        assert!(s.contains_point(&Point::new(0.0, 0.0)));
+        assert!(!s.contains_point(&Point::new(3.0, 3.0)), "beyond endpoint");
+        assert!(!s.contains_point(&Point::new(1.0, 1.5)));
+    }
+
+    #[test]
+    fn distance_point_to_segment() {
+        let s = seg(0.0, 0.0, 2.0, 0.0);
+        assert_eq!(s.distance_to_point(&Point::new(1.0, 1.0)), 1.0);
+        assert_eq!(s.distance_to_point(&Point::new(-1.0, 0.0)), 1.0);
+        assert_eq!(s.distance_to_point(&Point::new(1.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn distance_between_segments() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(0.0, 2.0, 1.0, 2.0);
+        assert_eq!(s1.distance_to_segment(&s2), 2.0);
+        let s3 = seg(0.5, -1.0, 0.5, 1.0);
+        assert_eq!(s1.distance_to_segment(&s3), 0.0, "crossing = 0");
+    }
+
+    #[test]
+    fn degenerate_zero_length_segment() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(s.length(), 0.0);
+        assert_eq!(s.distance_to_point(&Point::new(4.0, 5.0)), 5.0);
+    }
+
+    proptest! {
+        #[test]
+        fn intersection_is_symmetric(
+            ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+            bx in -100.0..100.0f64, by in -100.0..100.0f64,
+            cx in -100.0..100.0f64, cy in -100.0..100.0f64,
+            dx in -100.0..100.0f64, dy in -100.0..100.0f64,
+        ) {
+            let s1 = seg(ax, ay, bx, by);
+            let s2 = seg(cx, cy, dx, dy);
+            prop_assert_eq!(segments_intersect(&s1, &s2), segments_intersect(&s2, &s1));
+            prop_assert_eq!(
+                segments_cross_properly(&s1, &s2),
+                segments_cross_properly(&s2, &s1)
+            );
+        }
+
+        #[test]
+        fn proper_crossing_implies_intersection(
+            ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+            bx in -100.0..100.0f64, by in -100.0..100.0f64,
+            cx in -100.0..100.0f64, cy in -100.0..100.0f64,
+            dx in -100.0..100.0f64, dy in -100.0..100.0f64,
+        ) {
+            let s1 = seg(ax, ay, bx, by);
+            let s2 = seg(cx, cy, dx, dy);
+            if segments_cross_properly(&s1, &s2) {
+                prop_assert!(segments_intersect(&s1, &s2));
+                let p = segment_intersection(&s1, &s2);
+                prop_assert!(p.is_some(), "proper crossing must yield a point");
+            }
+        }
+
+        #[test]
+        fn intersection_point_lies_near_both_segments(
+            ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+            bx in -100.0..100.0f64, by in -100.0..100.0f64,
+            cx in -100.0..100.0f64, cy in -100.0..100.0f64,
+            dx in -100.0..100.0f64, dy in -100.0..100.0f64,
+        ) {
+            let s1 = seg(ax, ay, bx, by);
+            let s2 = seg(cx, cy, dx, dy);
+            if let Some(p) = segment_intersection(&s1, &s2) {
+                prop_assert!(s1.distance_to_point(&p) < 1e-6);
+                prop_assert!(s2.distance_to_point(&p) < 1e-6);
+            }
+        }
+
+        #[test]
+        fn segment_distance_zero_iff_intersecting(
+            ax in -50.0..50.0f64, ay in -50.0..50.0f64,
+            bx in -50.0..50.0f64, by in -50.0..50.0f64,
+            cx in -50.0..50.0f64, cy in -50.0..50.0f64,
+            dx in -50.0..50.0f64, dy in -50.0..50.0f64,
+        ) {
+            let s1 = seg(ax, ay, bx, by);
+            let s2 = seg(cx, cy, dx, dy);
+            let d = s1.distance_to_segment(&s2);
+            if segments_intersect(&s1, &s2) {
+                prop_assert_eq!(d, 0.0);
+            } else {
+                prop_assert!(d > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Spherical and spheroidal geodesy.
+//!
+//! The paper performs "all of our computation using a spherical
+//! coordinate system", with two linear-distance methods: a cheap
+//! spherical projection (haversine great-circle distance) and the more
+//! accurate, more FLOP-hungry Andoyer formula (§5, Fig. 13). Both are
+//! implemented here, together with spherical polygon area by spherical
+//! excess.
+
+use crate::point::Point;
+
+/// Mean Earth radius in metres (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// WGS-84 semi-major axis in metres.
+pub const WGS84_A: f64 = 6_378_137.0;
+
+/// WGS-84 flattening.
+pub const WGS84_F: f64 = 1.0 / 298.257_223_563;
+
+/// Great-circle (haversine) distance in metres between two lon/lat
+/// points in degrees. This is the paper's default "spherical
+/// projection" distance.
+pub fn haversine_distance(a: &Point, b: &Point) -> f64 {
+    let lat1 = a.y.to_radians();
+    let lat2 = b.y.to_radians();
+    let dlat = (b.y - a.y).to_radians();
+    let dlon = (b.x - a.x).to_radians();
+    let h = (dlat * 0.5).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon * 0.5).sin().powi(2);
+    2.0 * EARTH_RADIUS_M * h.sqrt().min(1.0).asin()
+}
+
+/// Andoyer's first-order flattening correction to the great-circle
+/// distance (Andoyer 1909, as used by Boost::Geometry's `andoyer`
+/// strategy). More accurate than haversine on the WGS-84 spheroid at the
+/// cost of extra floating-point work — the property the paper's
+/// Fig. 13b experiment exploits.
+pub fn andoyer_distance(a: &Point, b: &Point) -> f64 {
+    let lat1 = a.y.to_radians();
+    let lat2 = b.y.to_radians();
+    let dlon = (b.x - a.x).to_radians();
+
+    if dlon.abs() < 1e-15 && (lat1 - lat2).abs() < 1e-15 {
+        return 0.0;
+    }
+
+    // Andoyer-Lambert first-order formula on the WGS-84 spheroid.
+    let f = (lat1 + lat2) * 0.5; // Mean latitude.
+    let g = (lat1 - lat2) * 0.5; // Half latitude difference.
+    let l = dlon * 0.5; // Half longitude difference.
+
+    let sin_g2 = g.sin().powi(2);
+    let cos_g2 = g.cos().powi(2);
+    let sin_f2 = f.sin().powi(2);
+    let cos_f2 = f.cos().powi(2);
+    let sin_l2 = l.sin().powi(2);
+    let cos_l2 = l.cos().powi(2);
+
+    let s = sin_g2 * cos_l2 + cos_f2 * sin_l2;
+    let c = cos_g2 * cos_l2 + sin_f2 * sin_l2;
+    if s == 0.0 || c == 0.0 {
+        return 0.0; // Coincident (s=0) or antipodal-degenerate (c=0).
+    }
+    let omega = (s / c).sqrt().atan();
+    let r = (s * c).sqrt() / omega;
+    let d = 2.0 * omega * WGS84_A;
+    let h1 = (3.0 * r - 1.0) / (2.0 * c);
+    let h2 = (3.0 * r + 1.0) / (2.0 * s);
+    d * (1.0 + WGS84_F * (h1 * sin_f2 * cos_g2 - h2 * cos_f2 * sin_g2))
+}
+
+/// Spherical polygon area (in m²) of a ring given as lon/lat degrees,
+/// by the spherical-excess line integral (Chamberlain & Duquette 2007).
+/// Winding-independent (absolute value).
+pub fn ring_area(points: &[Point]) -> f64 {
+    let n = points.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let p = points[i];
+        let q = points[(i + 1) % n];
+        let lon1 = p.x.to_radians();
+        let lon2 = q.x.to_radians();
+        let lat1 = p.y.to_radians();
+        let lat2 = q.y.to_radians();
+        total += (lon2 - lon1) * (2.0 + lat1.sin() + lat2.sin());
+    }
+    (total * EARTH_RADIUS_M * EARTH_RADIUS_M * 0.5).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const LONDON: Point = Point::new(-0.1278, 51.5074);
+    const PARIS: Point = Point::new(2.3522, 48.8566);
+    const NYC: Point = Point::new(-74.0060, 40.7128);
+
+    #[test]
+    fn haversine_london_paris() {
+        // Known distance ~343.5 km.
+        let d = haversine_distance(&LONDON, &PARIS);
+        assert!((d - 343_500.0).abs() < 2_000.0, "got {d}");
+    }
+
+    #[test]
+    fn haversine_london_nyc() {
+        // Known distance ~5,570 km.
+        let d = haversine_distance(&LONDON, &NYC);
+        assert!((d - 5_570_000.0).abs() < 20_000.0, "got {d}");
+    }
+
+    #[test]
+    fn andoyer_close_to_haversine_but_different() {
+        let h = haversine_distance(&LONDON, &PARIS);
+        let a = andoyer_distance(&LONDON, &PARIS);
+        assert!((h - a).abs() / h < 0.01, "haversine {h} vs andoyer {a}");
+        assert_ne!(h, a);
+    }
+
+    #[test]
+    fn zero_distance_for_identical_points() {
+        assert_eq!(haversine_distance(&LONDON, &LONDON), 0.0);
+        assert_eq!(andoyer_distance(&LONDON, &LONDON), 0.0);
+    }
+
+    #[test]
+    fn one_degree_longitude_at_equator() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let d = haversine_distance(&a, &b);
+        // 1 degree of arc on the mean sphere: 2*pi*R/360 ≈ 111.195 km.
+        assert!((d - 111_195.0).abs() < 100.0, "got {d}");
+    }
+
+    #[test]
+    fn one_degree_longitude_at_60n_is_half() {
+        let a = Point::new(0.0, 60.0);
+        let b = Point::new(1.0, 60.0);
+        let d = haversine_distance(&a, &b);
+        assert!((d - 111_195.0 * 0.5).abs() < 200.0, "got {d}");
+    }
+
+    #[test]
+    fn ring_area_of_one_degree_square() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ];
+        let a = ring_area(&pts);
+        let expect = 111_195.0f64 * 111_195.0;
+        assert!((a - expect).abs() / expect < 0.01, "got {a}");
+    }
+
+    #[test]
+    fn ring_area_winding_independent() {
+        let ccw = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+        ];
+        let cw: Vec<_> = ccw.iter().rev().copied().collect();
+        assert!((ring_area(&ccw) - ring_area(&cw)).abs() < 1.0);
+    }
+
+    #[test]
+    fn degenerate_rings_have_zero_area() {
+        assert_eq!(ring_area(&[]), 0.0);
+        assert_eq!(ring_area(&[Point::new(0.0, 0.0), Point::new(1.0, 1.0)]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn haversine_is_symmetric(
+            lon1 in -179.0..179.0f64, lat1 in -89.0..89.0f64,
+            lon2 in -179.0..179.0f64, lat2 in -89.0..89.0f64,
+        ) {
+            let a = Point::new(lon1, lat1);
+            let b = Point::new(lon2, lat2);
+            let d1 = haversine_distance(&a, &b);
+            let d2 = haversine_distance(&b, &a);
+            prop_assert!((d1 - d2).abs() < 1e-6);
+        }
+
+        #[test]
+        fn haversine_triangle_inequality(
+            lon1 in -179.0..179.0f64, lat1 in -89.0..89.0f64,
+            lon2 in -179.0..179.0f64, lat2 in -89.0..89.0f64,
+            lon3 in -179.0..179.0f64, lat3 in -89.0..89.0f64,
+        ) {
+            let a = Point::new(lon1, lat1);
+            let b = Point::new(lon2, lat2);
+            let c = Point::new(lon3, lat3);
+            let ab = haversine_distance(&a, &b);
+            let bc = haversine_distance(&b, &c);
+            let ac = haversine_distance(&a, &c);
+            prop_assert!(ac <= ab + bc + 1e-6);
+        }
+
+        #[test]
+        fn haversine_bounded_by_half_circumference(
+            lon1 in -180.0..180.0f64, lat1 in -90.0..90.0f64,
+            lon2 in -180.0..180.0f64, lat2 in -90.0..90.0f64,
+        ) {
+            let d = haversine_distance(&Point::new(lon1, lat1), &Point::new(lon2, lat2));
+            prop_assert!(d <= std::f64::consts::PI * EARTH_RADIUS_M + 1.0);
+            prop_assert!(d >= 0.0);
+        }
+
+        #[test]
+        fn andoyer_within_half_percent_of_haversine(
+            lon1 in -170.0..170.0f64, lat1 in -80.0..80.0f64,
+            dlon in 0.1..10.0f64, dlat in 0.1..10.0f64,
+        ) {
+            let a = Point::new(lon1, lat1);
+            let b = Point::new(lon1 + dlon, lat1 + dlat);
+            let h = haversine_distance(&a, &b);
+            let an = andoyer_distance(&a, &b);
+            // The spheroid differs from the sphere by < ~0.6%.
+            prop_assert!((h - an).abs() / h < 0.01, "h={h} a={an}");
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! R-tree substrate for the indexed-DBMS baseline.
+//!
+//! The paper compares AT-GIS against RDBMS whose spatial support rests
+//! on R-trees over geometry bounding boxes (§2.3: "These index
+//! structures operate on the bounding boxes of geometries, providing
+//! an efficient mechanism to select possible matches"). This crate
+//! provides the index those baselines pay for at load time:
+//! sort-tile-recursive (STR) bulk loading for the initial build and
+//! quadratic-split insertion for incremental updates.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use atgis_geometry::Mbr;
+
+/// Maximum entries per node.
+const MAX_ENTRIES: usize = 16;
+/// Minimum entries per node after a split.
+const MIN_ENTRIES: usize = MAX_ENTRIES * 2 / 5;
+
+/// An R-tree mapping bounding boxes to `u64` payloads (feature
+/// offsets or ids).
+#[derive(Debug, Clone)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    root: usize,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    mbr: Mbr,
+    entries: Vec<Entry>,
+    is_leaf: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Entry {
+    /// Leaf entry: box + payload.
+    Item(Mbr, u64),
+    /// Inner entry: child node index.
+    Child(usize),
+}
+
+impl Default for RTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        RTree {
+            nodes: vec![Node {
+                mbr: Mbr::EMPTY,
+                entries: Vec::new(),
+                is_leaf: true,
+            }],
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no items are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bulk-loads items with the sort-tile-recursive algorithm — the
+    /// standard way RDBMS build a spatial index after a full load
+    /// (the load+index phase the paper's Fig. 10 baselines pay).
+    pub fn bulk_load(mut items: Vec<(Mbr, u64)>) -> Self {
+        if items.is_empty() {
+            return RTree::new();
+        }
+        let mut tree = RTree {
+            nodes: Vec::new(),
+            root: 0,
+            len: items.len(),
+        };
+        // STR: sort by x, tile into vertical slices, sort each slice
+        // by y, pack runs of MAX_ENTRIES into leaves.
+        items.sort_by(|a, b| {
+            a.0.center()
+                .x
+                .partial_cmp(&b.0.center().x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let leaf_count = items.len().div_ceil(MAX_ENTRIES);
+        let slice_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let slice_size = items.len().div_ceil(slice_count);
+        let mut level: Vec<usize> = Vec::new();
+        for slice in items.chunks_mut(slice_size.max(1)) {
+            slice.sort_by(|a, b| {
+                a.0.center()
+                    .y
+                    .partial_cmp(&b.0.center().y)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for run in slice.chunks(MAX_ENTRIES) {
+                let mbr = run.iter().fold(Mbr::EMPTY, |acc, (m, _)| acc.union(m));
+                let idx = tree.nodes.len();
+                tree.nodes.push(Node {
+                    mbr,
+                    entries: run.iter().map(|&(m, id)| Entry::Item(m, id)).collect(),
+                    is_leaf: true,
+                });
+                level.push(idx);
+            }
+        }
+        // Pack upper levels until one root remains.
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(MAX_ENTRIES));
+            for group in level.chunks(MAX_ENTRIES) {
+                let mbr = group
+                    .iter()
+                    .fold(Mbr::EMPTY, |acc, &c| acc.union(&tree.nodes[c].mbr));
+                let idx = tree.nodes.len();
+                tree.nodes.push(Node {
+                    mbr,
+                    entries: group.iter().map(|&c| Entry::Child(c)).collect(),
+                    is_leaf: false,
+                });
+                next.push(idx);
+            }
+            level = next;
+        }
+        tree.root = level[0];
+        tree
+    }
+
+    /// Inserts one item (R-tree insertion with quadratic split).
+    pub fn insert(&mut self, mbr: Mbr, id: u64) {
+        self.len += 1;
+        if let Some((split_node, split_mbr)) = self.insert_at(self.root, mbr, id) {
+            // Root split: grow the tree.
+            let old_root = self.root;
+            let old_mbr = self.nodes[old_root].mbr;
+            let new_root = self.nodes.len();
+            self.nodes.push(Node {
+                mbr: old_mbr.union(&split_mbr),
+                entries: vec![Entry::Child(old_root), Entry::Child(split_node)],
+                is_leaf: false,
+            });
+            self.root = new_root;
+        }
+    }
+
+    fn insert_at(&mut self, node: usize, mbr: Mbr, id: u64) -> Option<(usize, Mbr)> {
+        self.nodes[node].mbr = self.nodes[node].mbr.union(&mbr);
+        if self.nodes[node].is_leaf {
+            self.nodes[node].entries.push(Entry::Item(mbr, id));
+            return self.split_if_needed(node);
+        }
+        // Choose the child needing least enlargement.
+        let mut best = usize::MAX;
+        let mut best_enlargement = f64::INFINITY;
+        let mut best_area = f64::INFINITY;
+        for e in &self.nodes[node].entries {
+            if let Entry::Child(c) = e {
+                let child_mbr = self.nodes[*c].mbr;
+                let enlargement = child_mbr.union(&mbr).area() - child_mbr.area();
+                let area = child_mbr.area();
+                if enlargement < best_enlargement
+                    || (enlargement == best_enlargement && area < best_area)
+                {
+                    best = *c;
+                    best_enlargement = enlargement;
+                    best_area = area;
+                }
+            }
+        }
+        debug_assert_ne!(best, usize::MAX);
+        if let Some((split, split_mbr)) = self.insert_at(best, mbr, id) {
+            self.nodes[node].entries.push(Entry::Child(split));
+            self.nodes[node].mbr = self.nodes[node].mbr.union(&split_mbr);
+            return self.split_if_needed(node);
+        }
+        None
+    }
+
+    fn split_if_needed(&mut self, node: usize) -> Option<(usize, Mbr)> {
+        if self.nodes[node].entries.len() <= MAX_ENTRIES {
+            return None;
+        }
+        // Quadratic split: pick the pair of entries wasting the most
+        // area as seeds, then assign greedily.
+        let entries = std::mem::take(&mut self.nodes[node].entries);
+        let mbrs: Vec<Mbr> = entries.iter().map(|e| self.entry_mbr(e)).collect();
+        let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+        for i in 0..entries.len() {
+            for j in (i + 1)..entries.len() {
+                let waste = mbrs[i].union(&mbrs[j]).area() - mbrs[i].area() - mbrs[j].area();
+                if waste > worst {
+                    worst = waste;
+                    s1 = i;
+                    s2 = j;
+                }
+            }
+        }
+        let mut group1 = vec![s1];
+        let mut group2 = vec![s2];
+        let mut mbr1 = mbrs[s1];
+        let mut mbr2 = mbrs[s2];
+        for i in 0..entries.len() {
+            if i == s1 || i == s2 {
+                continue;
+            }
+            let remaining = entries.len() - i;
+            // Force-assign to honour the minimum fill.
+            if group1.len() + remaining <= MIN_ENTRIES {
+                group1.push(i);
+                mbr1 = mbr1.union(&mbrs[i]);
+                continue;
+            }
+            if group2.len() + remaining <= MIN_ENTRIES {
+                group2.push(i);
+                mbr2 = mbr2.union(&mbrs[i]);
+                continue;
+            }
+            let d1 = mbr1.union(&mbrs[i]).area() - mbr1.area();
+            let d2 = mbr2.union(&mbrs[i]).area() - mbr2.area();
+            if d1 <= d2 {
+                group1.push(i);
+                mbr1 = mbr1.union(&mbrs[i]);
+            } else {
+                group2.push(i);
+                mbr2 = mbr2.union(&mbrs[i]);
+            }
+        }
+        let is_leaf = self.nodes[node].is_leaf;
+        self.nodes[node].entries = group1.iter().map(|&i| entries[i]).collect();
+        self.nodes[node].mbr = mbr1;
+        let new_idx = self.nodes.len();
+        self.nodes.push(Node {
+            mbr: mbr2,
+            entries: group2.iter().map(|&i| entries[i]).collect(),
+            is_leaf,
+        });
+        Some((new_idx, mbr2))
+    }
+
+    fn entry_mbr(&self, e: &Entry) -> Mbr {
+        match e {
+            Entry::Item(m, _) => *m,
+            Entry::Child(c) => self.nodes[*c].mbr,
+        }
+    }
+
+    /// Returns the payloads of all items whose boxes intersect
+    /// `query`, in unspecified order.
+    pub fn query(&self, query: &Mbr) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.query_into(query, &mut out);
+        out
+    }
+
+    /// Like [`RTree::query`] but reusing an output buffer.
+    pub fn query_into(&self, query: &Mbr, out: &mut Vec<u64>) {
+        if self.len == 0 {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            if !node.mbr.intersects(query) {
+                continue;
+            }
+            for e in &node.entries {
+                match e {
+                    Entry::Item(m, id) => {
+                        if m.intersects(query) {
+                            out.push(*id);
+                        }
+                    }
+                    Entry::Child(c) => {
+                        if self.nodes[*c].mbr.intersects(query) {
+                            stack.push(*c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tree height (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut n = self.root;
+        while !self.nodes[n].is_leaf {
+            h += 1;
+            n = match self.nodes[n].entries.first() {
+                Some(Entry::Child(c)) => *c,
+                _ => break,
+            };
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_items(n: usize, seed: u64) -> Vec<(Mbr, u64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n as u64)
+            .map(|i| {
+                let x = rng.gen_range(-100.0..100.0);
+                let y = rng.gen_range(-100.0..100.0);
+                let w = rng.gen_range(0.0..5.0);
+                let h = rng.gen_range(0.0..5.0);
+                (Mbr::new(x, y, x + w, y + h), i)
+            })
+            .collect()
+    }
+
+    fn brute_force(items: &[(Mbr, u64)], q: &Mbr) -> Vec<u64> {
+        let mut v: Vec<u64> = items
+            .iter()
+            .filter(|(m, _)| m.intersects(q))
+            .map(|&(_, id)| id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_tree_queries_empty() {
+        let t = RTree::new();
+        assert!(t.is_empty());
+        assert!(t.query(&Mbr::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn bulk_load_matches_brute_force() {
+        let items = random_items(500, 1);
+        let tree = RTree::bulk_load(items.clone());
+        assert_eq!(tree.len(), 500);
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed + 100);
+            let x = rng.gen_range(-100.0..100.0);
+            let y = rng.gen_range(-100.0..100.0);
+            let q = Mbr::new(x, y, x + 20.0, y + 20.0);
+            let mut got = tree.query(&q);
+            got.sort_unstable();
+            assert_eq!(got, brute_force(&items, &q));
+        }
+    }
+
+    #[test]
+    fn incremental_insert_matches_brute_force() {
+        let items = random_items(300, 2);
+        let mut tree = RTree::new();
+        for &(m, id) in &items {
+            tree.insert(m, id);
+        }
+        assert_eq!(tree.len(), 300);
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed + 200);
+            let x = rng.gen_range(-100.0..100.0);
+            let y = rng.gen_range(-100.0..100.0);
+            let q = Mbr::new(x, y, x + 15.0, y + 15.0);
+            let mut got = tree.query(&q);
+            got.sort_unstable();
+            assert_eq!(got, brute_force(&items, &q));
+        }
+    }
+
+    #[test]
+    fn bulk_load_is_balanced() {
+        let tree = RTree::bulk_load(random_items(2000, 3));
+        // STR packs tightly: height should be ~ log_16(125 leaves).
+        assert!(tree.height() <= 4, "height = {}", tree.height());
+    }
+
+    #[test]
+    fn single_item() {
+        let tree = RTree::bulk_load(vec![(Mbr::new(0.0, 0.0, 1.0, 1.0), 42)]);
+        assert_eq!(tree.query(&Mbr::new(0.5, 0.5, 2.0, 2.0)), vec![42]);
+        assert!(tree.query(&Mbr::new(5.0, 5.0, 6.0, 6.0)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_boxes_all_returned() {
+        let m = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        let tree = RTree::bulk_load((0..50).map(|i| (m, i)).collect());
+        assert_eq!(tree.query(&m).len(), 50);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn query_agrees_with_brute_force(
+            n in 0usize..200,
+            seed in 0u64..50,
+            qx in -100.0..100.0f64,
+            qy in -100.0..100.0f64,
+            qw in 0.0..50.0f64,
+            qh in 0.0..50.0f64,
+        ) {
+            let items = random_items(n, seed);
+            let q = Mbr::new(qx, qy, qx + qw, qy + qh);
+            let bulk = RTree::bulk_load(items.clone());
+            let mut got = bulk.query(&q);
+            got.sort_unstable();
+            prop_assert_eq!(&got, &brute_force(&items, &q));
+
+            let mut incr = RTree::new();
+            for &(m, id) in &items {
+                incr.insert(m, id);
+            }
+            let mut got2 = incr.query(&q);
+            got2.sort_unstable();
+            prop_assert_eq!(&got2, &brute_force(&items, &q));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Aggregation transducers (§3.3).
+//!
+//! "An aggregation transducer has a transition function
+//! `δ(q, s) → (a(q, t(s)), ε)` where the transformation function
+//! `t : Σ → Q` converts each input symbol into a state, and an
+//! aggregation function `a : Q × Q → Q` combines states. … if the
+//! function is associative, the transformation only needs to store one
+//! copy of the in-order state."
+//!
+//! The associative fragment of an AGT is therefore simply its state,
+//! which is why [`AggregationTransducer`] requires `Q: Mergeable`.
+
+use crate::merge::Mergeable;
+
+/// An aggregation transducer: transforms each symbol into a partial
+/// state and reduces with the state's associative merge.
+pub struct AggregationTransducer<I, Q, F>
+where
+    Q: Mergeable,
+    F: Fn(&I) -> Q,
+{
+    transform: F,
+    _marker: std::marker::PhantomData<fn(&I) -> Q>,
+}
+
+impl<I, Q, F> AggregationTransducer<I, Q, F>
+where
+    Q: Mergeable,
+    F: Fn(&I) -> Q,
+{
+    /// Wraps the transformation function `t : Σ → Q`.
+    pub fn new(transform: F) -> Self {
+        AggregationTransducer {
+            transform,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Folds one symbol into an existing state.
+    #[inline]
+    pub fn absorb(&self, state: Q, sym: &I) -> Q {
+        state.merge((self.transform)(sym))
+    }
+
+    /// Builds the fragment (= aggregated state) for a block.
+    pub fn fragment(&self, block: &[I]) -> Q {
+        block
+            .iter()
+            .fold(Q::identity(), |acc, s| self.absorb(acc, s))
+    }
+
+    /// Runs associatively over a `blocks`-way split.
+    pub fn run_associative(&self, input: &[I], blocks: usize) -> Q {
+        let chunk = input.len().div_ceil(blocks.max(1)).max(1);
+        crate::merge::merge_tree(input.chunks(chunk).map(|b| self.fragment(b)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::{FSum, Sum};
+    use proptest::prelude::*;
+
+    #[test]
+    fn count_aggregation() {
+        let t = AggregationTransducer::new(|_: &u8| Sum(1));
+        assert_eq!(t.fragment(b"hello"), Sum(5));
+    }
+
+    #[test]
+    fn sum_aggregation() {
+        let t = AggregationTransducer::new(|x: &f64| FSum(*x));
+        assert_eq!(t.fragment(&[1.0, 2.0, 3.5]), FSum(6.5));
+    }
+
+    #[test]
+    fn empty_block_is_identity() {
+        let t = AggregationTransducer::new(|x: &u64| Sum(*x));
+        assert_eq!(t.fragment(&[]), Sum(0));
+    }
+
+    #[test]
+    fn partition_like_list_aggregation() {
+        // The paper's Fig. 3 example: partitions aggregate object-id
+        // lists with list concatenation as ⊗.
+        let t = AggregationTransducer::new(|id: &u32| vec![*id]);
+        let merged = t.fragment(&[1]).merge(t.fragment(&[2]));
+        assert_eq!(merged, vec![1, 2]);
+    }
+
+    proptest! {
+        #[test]
+        fn associative_equals_sequential(
+            input in prop::collection::vec(0u64..1000, 0..300),
+            blocks in 1usize..16,
+        ) {
+            let t = AggregationTransducer::new(|x: &u64| Sum(*x));
+            prop_assert_eq!(t.fragment(&input), t.run_associative(&input, blocks));
+        }
+
+        #[test]
+        fn order_preserved_for_noncommutative_merge(
+            input in prop::collection::vec(0u32..100, 0..100),
+            blocks in 1usize..8,
+        ) {
+            // Vec concatenation is associative but NOT commutative —
+            // the merge order must follow input order.
+            let t = AggregationTransducer::new(|x: &u32| vec![*x]);
+            prop_assert_eq!(t.run_associative(&input, blocks), input);
+        }
+    }
+}

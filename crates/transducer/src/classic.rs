@@ -1,0 +1,339 @@
+//! A direct implementation of §3.1's formal model.
+//!
+//! This module exists to make the paper's construction executable and
+//! testable in its original form: a fragment holds the state-mapping
+//! relation `Q → Q` (for deterministic transducers the relation is a
+//! function) and a set of output tapes *predicated* on the starting
+//! state. It favours clarity over speed — the production lexers use the
+//! table-driven [`crate::dfa`] module instead — and reproduces the
+//! paper's running examples (the `ab`-matching transducer of Fig. 1 and
+//! the composed counting transducer of §3.2) in its tests.
+
+use crate::merge::Mergeable;
+
+/// A deterministic transducer over symbols `S` producing tape values
+/// `O` — the five-tuple `(Q, q0, Σ, Γ, δ)` of §3.1, with `Q` the index
+/// range `0..num_states` and `δ` given by [`Transducer::step`].
+pub trait Transducer {
+    /// Input symbol type (Σ).
+    type Sym;
+    /// Output tape segment type (Γ*, under any associative ⊗).
+    type Out: Mergeable + Clone;
+
+    /// Number of states |Q|. States are `0..num_states`.
+    fn num_states(&self) -> usize;
+    /// The starting state q₀.
+    fn start_state(&self) -> usize;
+    /// The transition function δ: maps (state, symbol) to the next
+    /// state and the tape value emitted by this step.
+    fn step(&self, state: usize, sym: &Self::Sym) -> (usize, Self::Out);
+}
+
+/// A fragment of a classic associative transducer: for every possible
+/// starting state, the finishing state and the (predicated) output
+/// tape accumulated from that start.
+///
+/// The identity fragment maps every state to itself with empty tapes —
+/// the "state mapping relation begins as the identity relation" of
+/// §3.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassicFragment<O> {
+    /// `entries[q] = (finishing state, tape)` when started in state `q`.
+    pub entries: Vec<(usize, O)>,
+}
+
+impl<O: Mergeable + Clone> ClassicFragment<O> {
+    /// The identity fragment over `n` states.
+    pub fn identity(n: usize) -> Self {
+        ClassicFragment {
+            entries: (0..n).map(|q| (q, O::identity())).collect(),
+        }
+    }
+
+    /// Builds the fragment for a single symbol — the per-symbol
+    /// transformation of §3.1 ("we now transform each symbol in the
+    /// input into a fragment independently").
+    pub fn for_symbol<T>(t: &T, sym: &T::Sym) -> Self
+    where
+        T: Transducer<Out = O>,
+    {
+        ClassicFragment {
+            entries: (0..t.num_states()).map(|q| t.step(q, sym)).collect(),
+        }
+    }
+
+    /// Builds the fragment for a block of symbols by folding
+    /// per-symbol steps from every starting state (speculation).
+    pub fn for_block<T>(t: &T, block: &[T::Sym]) -> Self
+    where
+        T: Transducer<Out = O>,
+    {
+        let mut frag = ClassicFragment::identity(t.num_states());
+        for sym in block {
+            frag.apply(t, sym);
+        }
+        frag
+    }
+
+    /// The © operator of §3.1: extends every entry by one input symbol.
+    pub fn apply<T>(&mut self, t: &T, sym: &T::Sym)
+    where
+        T: Transducer<Out = O>,
+    {
+        for entry in &mut self.entries {
+            let (next, out) = t.step(entry.0, sym);
+            entry.0 = next;
+            let prev = std::mem::replace(&mut entry.1, O::identity());
+            entry.1 = prev.merge(out);
+        }
+    }
+
+    /// The ⊗ operator of §3.1: relation composition plus predicated
+    /// tape concatenation. `self` covers the earlier input, `other` the
+    /// later input.
+    pub fn merge_with(&self, other: &ClassicFragment<O>) -> ClassicFragment<O> {
+        ClassicFragment {
+            entries: self
+                .entries
+                .iter()
+                .map(|(mid, tape)| {
+                    let (fin, tail) = &other.entries[*mid];
+                    (*fin, tape.clone().merge(tail.clone()))
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of *distinct* finishing states — the convergence measure
+    /// of §3.1 ("the number of distinct finishing states in a fragment
+    /// cannot increase").
+    pub fn distinct_finishing_states(&self) -> usize {
+        let mut seen: Vec<usize> = self.entries.iter().map(|e| e.0).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Resolves the fragment with the true starting state, returning
+    /// the finishing state and the realised output tape.
+    pub fn resolve(&self, start: usize) -> (usize, O) {
+        let (fin, tape) = &self.entries[start];
+        (*fin, tape.clone())
+    }
+}
+
+impl<O: Mergeable + Clone> Mergeable for ClassicFragment<O> {
+    /// Note: the merge identity must carry no state information, so we
+    /// use an empty marker that [`Mergeable::merge`] treats specially.
+    fn identity() -> Self {
+        ClassicFragment {
+            entries: Vec::new(),
+        }
+    }
+
+    fn merge(self, other: Self) -> Self {
+        if self.entries.is_empty() {
+            return other;
+        }
+        if other.entries.is_empty() {
+            return self;
+        }
+        self.merge_with(&other)
+    }
+}
+
+/// Runs a transducer sequentially from its start state — the baseline
+/// the associative execution must agree with.
+pub fn run_sequential<T: Transducer>(t: &T, input: &[T::Sym]) -> (usize, T::Out) {
+    let mut state = t.start_state();
+    let mut tape = T::Out::identity();
+    for sym in input {
+        let (next, out) = t.step(state, sym);
+        state = next;
+        tape = tape.merge(out);
+    }
+    (state, tape)
+}
+
+/// Runs a transducer associatively: splits `input` into `blocks`
+/// roughly equal pieces, builds fragments independently, merges them
+/// in a balanced tree and resolves against the true start state.
+pub fn run_associative<T: Transducer>(
+    t: &T,
+    input: &[T::Sym],
+    blocks: usize,
+) -> (usize, T::Out) {
+    let blocks = blocks.max(1);
+    let chunk = input.len().div_ceil(blocks).max(1);
+    let frags: Vec<ClassicFragment<T::Out>> = input
+        .chunks(chunk)
+        .map(|b| ClassicFragment::for_block(t, b))
+        .collect();
+    let merged = crate::merge::merge_tree(frags);
+    if merged.entries.is_empty() {
+        return (t.start_state(), T::Out::identity());
+    }
+    merged.resolve(t.start_state())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The Fig. 1 transducer: emits `*` each time the string `ab` is
+    /// seen. States: 1 = no progress, 2 = saw `a`, 3 = emitted (then
+    /// behaves like 1 / 2 depending on input). Re-indexed to 0-based.
+    struct AbMatcher;
+
+    impl Transducer for AbMatcher {
+        type Sym = u8;
+        type Out = Vec<char>;
+
+        fn num_states(&self) -> usize {
+            3
+        }
+        fn start_state(&self) -> usize {
+            0
+        }
+        fn step(&self, state: usize, sym: &u8) -> (usize, Vec<char>) {
+            match (state, *sym) {
+                (0, b'a') | (2, b'a') => (1, vec![]),
+                (1, b'a') => (1, vec![]),
+                (1, b'b') => (2, vec!['*']),
+                _ => (0, vec![]),
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_matching_abab() {
+        // §3.1: on "abab" the final tape is "**" regardless of start.
+        let input = b"abab".to_vec();
+        let (_, tape) = run_sequential(&AbMatcher, &input);
+        assert_eq!(tape, vec!['*', '*']);
+
+        // Per-symbol fragments merged associatively (the paper's
+        // worked table).
+        let frags: Vec<_> = input
+            .iter()
+            .map(|s| ClassicFragment::for_symbol(&AbMatcher, s))
+            .collect();
+        let ab1 = frags[0].merge_with(&frags[1]);
+        let ab2 = frags[2].merge_with(&frags[3]);
+        // "These intermediate results show the property of
+        // convergence": after `ab` every start state finishes in the
+        // same state.
+        assert_eq!(ab1.distinct_finishing_states(), 1);
+        let full = ab1.merge_with(&ab2);
+        for q in 0..3 {
+            let (fin, tape) = full.resolve(q);
+            assert_eq!(fin, 2, "finishing state 3 (0-based 2) for any start");
+            assert_eq!(tape, vec!['*', '*']);
+        }
+    }
+
+    #[test]
+    fn predicated_output_on_b() {
+        // The fragment for a lone `b` emits `*` only when started in
+        // state 2 (0-based 1) — the paper's predicated-output example.
+        let frag = ClassicFragment::for_symbol(&AbMatcher, &b'b');
+        assert_eq!(frag.resolve(0).1, Vec::<char>::new());
+        assert_eq!(frag.resolve(1).1, vec!['*']);
+        assert_eq!(frag.resolve(2).1, Vec::<char>::new());
+    }
+
+    /// §3.2's composition: the counting transducer stacked on the
+    /// matcher. Composition stores the *count fragment* (a `Sum`) on
+    /// the matcher's tape instead of `*` characters.
+    struct AbCounter;
+
+    impl Transducer for AbCounter {
+        type Sym = u8;
+        type Out = crate::merge::Sum;
+
+        fn num_states(&self) -> usize {
+            3
+        }
+        fn start_state(&self) -> usize {
+            0
+        }
+        fn step(&self, state: usize, sym: &u8) -> (usize, crate::merge::Sum) {
+            let (next, tape) = AbMatcher.step(state, sym);
+            (next, crate::merge::Sum(tape.len() as u64))
+        }
+    }
+
+    #[test]
+    fn paper_example_counting_composition() {
+        let input = b"abaabbab".to_vec();
+        let (_, count) = run_sequential(&AbCounter, &input);
+        assert_eq!(count.0, 3, "ab occurs 3 times");
+        let (_, assoc) = run_associative(&AbCounter, &input, 5);
+        assert_eq!(assoc.0, 3);
+    }
+
+    #[test]
+    fn identity_fragment_resolves_to_self() {
+        let id = ClassicFragment::<Vec<char>>::identity(3);
+        for q in 0..3 {
+            let (fin, tape) = id.resolve(q);
+            assert_eq!(fin, q);
+            assert!(tape.is_empty());
+        }
+    }
+
+    #[test]
+    fn convergence_is_monotone() {
+        // Distinct finishing states never increase as symbols are
+        // applied.
+        let mut frag = ClassicFragment::<Vec<char>>::identity(3);
+        let mut prev = frag.distinct_finishing_states();
+        for sym in b"aabbaabxyzab" {
+            frag.apply(&AbMatcher, sym);
+            let cur = frag.distinct_finishing_states();
+            assert!(cur <= prev, "convergence violated: {prev} -> {cur}");
+            prev = cur;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn split_invariance(input in prop::collection::vec(prop::sample::select(
+            vec![b'a', b'b', b'c']), 0..64), cut in 0usize..64) {
+            let cut = cut.min(input.len());
+            let (left, right) = input.split_at(cut);
+            let fl = ClassicFragment::for_block(&AbMatcher, left);
+            let fr = ClassicFragment::for_block(&AbMatcher, right);
+            let merged = fl.merge_with(&fr);
+            let whole = ClassicFragment::for_block(&AbMatcher, &input);
+            prop_assert_eq!(merged, whole);
+        }
+
+        #[test]
+        fn associative_equals_sequential(
+            input in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c']), 0..200),
+            blocks in 1usize..17,
+        ) {
+            let seq = run_sequential(&AbMatcher, &input);
+            let par = run_associative(&AbMatcher, &input, blocks);
+            prop_assert_eq!(seq, par);
+        }
+
+        #[test]
+        fn merge_is_associative(
+            a in prop::collection::vec(prop::sample::select(vec![b'a', b'b']), 0..20),
+            b in prop::collection::vec(prop::sample::select(vec![b'a', b'b']), 0..20),
+            c in prop::collection::vec(prop::sample::select(vec![b'a', b'b']), 0..20),
+        ) {
+            let (fa, fb, fc) = (
+                ClassicFragment::for_block(&AbMatcher, &a),
+                ClassicFragment::for_block(&AbMatcher, &b),
+                ClassicFragment::for_block(&AbMatcher, &c),
+            );
+            let left = fa.merge_with(&fb).merge_with(&fc);
+            let right = fa.merge_with(&fb.merge_with(&fc));
+            prop_assert_eq!(left, right);
+        }
+    }
+}

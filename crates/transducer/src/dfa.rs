@@ -1,0 +1,403 @@
+//! Table-driven byte-level deterministic finite transducers and their
+//! speculative fragments.
+//!
+//! §3.3: "Lexing is handled by finite transducers optimised for small
+//! transition tables. As a transition must be performed after each
+//! byte, precomputation is used for all the transition tables." A
+//! [`ByteDfa`] stores one 256-entry transition row and one 256-entry
+//! action row per state; the associative execution runs a block from
+//! every possible starting state ([`DfaFragment::run_block`]) and
+//! merges per-start tapes with relation composition.
+//!
+//! The fragment exploits *convergence* (§3.1): speculation proceeds
+//! byte-by-byte only until every speculative run has reached the same
+//! state, after which a single shared run covers the rest of the block
+//! and its tape is shared by all starting states — the same
+//! tape-sharing trick the paper implements with output matrices.
+
+use crate::merge::Mergeable;
+
+/// Action id meaning "emit nothing".
+pub const NO_ACTION: u8 = 0;
+
+/// A deterministic byte-level finite transducer with precomputed
+/// transition and action tables.
+#[derive(Debug, Clone)]
+pub struct ByteDfa {
+    n_states: usize,
+    start: u8,
+    /// `trans[state][byte]` = next state.
+    trans: Vec<[u8; 256]>,
+    /// `actions[state][byte]` = action id emitted *on consuming* `byte`
+    /// in `state` (0 = none).
+    actions: Vec<[u8; 256]>,
+}
+
+impl ByteDfa {
+    /// Number of states.
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// The designated starting state.
+    #[inline]
+    pub fn start_state(&self) -> u8 {
+        self.start
+    }
+
+    /// One transition step.
+    #[inline]
+    pub fn step(&self, state: u8, byte: u8) -> (u8, u8) {
+        let s = state as usize;
+        (self.trans[s][byte as usize], self.actions[s][byte as usize])
+    }
+
+    /// Runs sequentially from `state`, invoking `emit(action, position)`
+    /// for every non-zero action. Returns the final state.
+    pub fn run<F: FnMut(u8, u64)>(&self, mut state: u8, bytes: &[u8], base: u64, mut emit: F) -> u8 {
+        for (i, &b) in bytes.iter().enumerate() {
+            let (next, action) = self.step(state, b);
+            if action != NO_ACTION {
+                emit(action, base + i as u64);
+            }
+            state = next;
+        }
+        state
+    }
+}
+
+/// Builder for [`ByteDfa`]. States are added explicitly; transitions
+/// default to self-loops with no action until overridden.
+#[derive(Debug, Clone, Default)]
+pub struct DfaBuilder {
+    trans: Vec<[u8; 256]>,
+    actions: Vec<[u8; 256]>,
+    start: u8,
+}
+
+impl DfaBuilder {
+    /// Creates a builder with `n` states (all self-looping), starting
+    /// in state `start`.
+    pub fn new(n: usize, start: u8) -> Self {
+        assert!(n > 0 && n <= 255, "state count must be in 1..=255");
+        assert!((start as usize) < n);
+        let mut trans = Vec::with_capacity(n);
+        for s in 0..n {
+            trans.push([s as u8; 256]);
+        }
+        DfaBuilder {
+            trans,
+            actions: vec![[NO_ACTION; 256]; n],
+            start,
+        }
+    }
+
+    /// Sets the transition for every byte from `from` to `to`
+    /// (a "default" edge; override specific bytes afterwards).
+    pub fn default_transition(&mut self, from: u8, to: u8) -> &mut Self {
+        self.trans[from as usize] = [to; 256];
+        self
+    }
+
+    /// Sets the transition for one byte.
+    pub fn transition(&mut self, from: u8, byte: u8, to: u8) -> &mut Self {
+        self.trans[from as usize][byte as usize] = to;
+        self
+    }
+
+    /// Sets transitions for every byte in `bytes`.
+    pub fn transitions(&mut self, from: u8, bytes: &[u8], to: u8) -> &mut Self {
+        for &b in bytes {
+            self.trans[from as usize][b as usize] = to;
+        }
+        self
+    }
+
+    /// Attaches an action to one byte consumed in `from`.
+    pub fn action(&mut self, from: u8, byte: u8, action: u8) -> &mut Self {
+        self.actions[from as usize][byte as usize] = action;
+        self
+    }
+
+    /// Attaches an action to every byte in `bytes` consumed in `from`.
+    pub fn action_on(&mut self, from: u8, bytes: &[u8], action: u8) -> &mut Self {
+        for &b in bytes {
+            self.actions[from as usize][b as usize] = action;
+        }
+        self
+    }
+
+    /// Finalises the automaton.
+    pub fn build(self) -> ByteDfa {
+        ByteDfa {
+            n_states: self.trans.len(),
+            start: self.start,
+            trans: self.trans,
+            actions: self.actions,
+        }
+    }
+}
+
+/// A speculative fragment of a byte DFA run over one block: for each
+/// possible starting state, the finishing state and the tape built by a
+/// caller-supplied sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DfaFragment<O> {
+    /// `(start, finish, tape)` triples, one per speculated start state.
+    pub entries: Vec<(u8, u8, O)>,
+}
+
+impl<O: Mergeable + Clone> DfaFragment<O> {
+    /// Builds the fragment for `bytes` speculating from each state in
+    /// `starts`. `build(tape, action, absolute_position, byte)` folds
+    /// emitted actions into the per-start tape; `base` is the block's
+    /// absolute offset in the input, so emitted positions are global.
+    ///
+    /// Runs speculatively byte-by-byte until all runs converge to one
+    /// state, then completes with a single shared run whose tape is
+    /// merged into every entry.
+    pub fn run_block<F>(dfa: &ByteDfa, starts: &[u8], bytes: &[u8], base: u64, mut build: F) -> Self
+    where
+        F: FnMut(&mut O, u8, u64, u8),
+    {
+        let mut states: Vec<u8> = starts.to_vec();
+        let mut tapes: Vec<O> = starts.iter().map(|_| O::identity()).collect();
+        let mut pos = 0usize;
+
+        // Speculative phase: all start states in lockstep until
+        // convergence.
+        while pos < bytes.len() {
+            let converged = states.windows(2).all(|w| w[0] == w[1]);
+            if converged {
+                break;
+            }
+            let b = bytes[pos];
+            for (state, tape) in states.iter_mut().zip(tapes.iter_mut()) {
+                let (next, action) = dfa.step(*state, b);
+                if action != NO_ACTION {
+                    build(tape, action, base + pos as u64, b);
+                }
+                *state = next;
+            }
+            pos += 1;
+        }
+
+        // Shared phase: one run, tape shared by all starts.
+        if pos < bytes.len() {
+            let mut shared = O::identity();
+            let fin = dfa.run(states[0], &bytes[pos..], base + pos as u64, |action, p| {
+                build(&mut shared, action, p, bytes[(p - base) as usize]);
+            });
+            let n = tapes.len();
+            for (i, (state, tape)) in states.iter_mut().zip(tapes.iter_mut()).enumerate() {
+                *state = fin;
+                let prev = std::mem::replace(tape, O::identity());
+                *tape = if i + 1 == n {
+                    prev.merge(std::mem::replace(&mut shared, O::identity()))
+                } else {
+                    prev.merge(shared.clone())
+                };
+            }
+        }
+
+        DfaFragment {
+            entries: starts
+                .iter()
+                .zip(states)
+                .zip(tapes)
+                .map(|((&s, f), t)| (s, f, t))
+                .collect(),
+        }
+    }
+
+    /// Relation composition: for every entry of `self`, chase its
+    /// finishing state through `other`. Returns `None` when `other`
+    /// did not speculate from a state `self` finishes in (a speculation
+    /// set mismatch — callers either speculate on all states or prove
+    /// the set closed under transitions).
+    pub fn try_merge_with(&self, other: &DfaFragment<O>) -> Option<DfaFragment<O>> {
+        let mut entries = Vec::with_capacity(self.entries.len());
+        for (s, mid, tape) in &self.entries {
+            let (_, fin, tail) = other.entries.iter().find(|(rs, _, _)| rs == mid)?;
+            entries.push((*s, *fin, tape.clone().merge(tail.clone())));
+        }
+        Some(DfaFragment { entries })
+    }
+
+    /// Resolves against the true starting state.
+    pub fn resolve(&self, start: u8) -> Option<(u8, &O)> {
+        self.entries
+            .iter()
+            .find(|(s, _, _)| *s == start)
+            .map(|(_, f, o)| (*f, o))
+    }
+
+    /// Distinct finishing states (convergence measure).
+    pub fn distinct_finishing_states(&self) -> usize {
+        let mut fins: Vec<u8> = self.entries.iter().map(|e| e.1).collect();
+        fins.sort_unstable();
+        fins.dedup();
+        fins.len()
+    }
+}
+
+impl<O: Mergeable + Clone> Mergeable for DfaFragment<O> {
+    fn identity() -> Self {
+        DfaFragment {
+            entries: Vec::new(),
+        }
+    }
+
+    fn merge(self, other: Self) -> Self {
+        if self.entries.is_empty() {
+            return other;
+        }
+        if other.entries.is_empty() {
+            return self;
+        }
+        self.try_merge_with(&other)
+            .expect("DFA fragment merge: speculation set not closed under transitions")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A miniature JSON-string lexer: state 0 = outside string,
+    /// 1 = inside string, 2 = inside string after backslash.
+    /// Action 1 = structural comma seen outside a string.
+    fn string_lexer() -> ByteDfa {
+        let mut b = DfaBuilder::new(3, 0);
+        b.transition(0, b'"', 1)
+            .action(0, b',', 1)
+            .default_transition(1, 1)
+            .transition(1, b'"', 0)
+            .transition(1, b'\\', 2)
+            .default_transition(2, 1);
+        b.build()
+    }
+
+    fn count_commas_seq(input: &[u8]) -> u64 {
+        let dfa = string_lexer();
+        let mut n = 0;
+        dfa.run(0, input, 0, |_, _| n += 1);
+        n
+    }
+
+    fn frag(input: &[u8], base: u64) -> DfaFragment<Vec<u64>> {
+        let dfa = string_lexer();
+        DfaFragment::run_block(&dfa, &[0, 1, 2], input, base, |tape: &mut Vec<u64>, _a, pos, _b| {
+            tape.push(pos)
+        })
+    }
+
+    #[test]
+    fn sequential_lexing_skips_quoted_commas() {
+        assert_eq!(count_commas_seq(b"a,b,\"x,y\",c,"), 4);
+        assert_eq!(count_commas_seq(b"\"a,b\""), 0);
+        assert_eq!(count_commas_seq(br#""esc\",still,string",out,"#), 2);
+    }
+
+    #[test]
+    fn fragment_resolves_like_sequential() {
+        let input = br#"k,"v,1",x,"#;
+        let f = frag(input, 0);
+        let (fin, tape) = f.resolve(0).unwrap();
+        assert_eq!(fin, 0);
+        assert_eq!(tape.len() as u64, count_commas_seq(input));
+    }
+
+    #[test]
+    fn speculation_covers_in_string_starts() {
+        // Block starting mid-string: from state 1 the leading `x",` has
+        // its comma counted only after the closing quote.
+        let input = b"x\",a,";
+        let f = frag(input, 0);
+        let (fin0, tape0) = f.resolve(0).unwrap();
+        let (fin1, tape1) = f.resolve(1).unwrap();
+        assert_eq!(fin0, 1, "from outside: quote opens a string");
+        assert_eq!(fin1, 0, "from inside: quote closes the string");
+        assert_eq!(tape0.len(), 0, "everything after the quote is in-string");
+        assert_eq!(tape1.len(), 2);
+    }
+
+    #[test]
+    fn merge_positions_are_absolute() {
+        let left = b"a,b";
+        let right = b",c,";
+        let f = frag(left, 0).merge(frag(right, left.len() as u64));
+        let (_, tape) = f.resolve(0).unwrap();
+        assert_eq!(tape, &vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn identity_merges() {
+        let f = frag(b"a,b,", 0);
+        let id = DfaFragment::<Vec<u64>>::identity();
+        assert_eq!(id.clone().merge(f.clone()), f.clone().merge(id));
+    }
+
+    #[test]
+    fn convergence_after_unescaped_quote() {
+        // Any block containing an unescaped quote outside an escape
+        // forces convergence of {0,1,2}.
+        let f = frag(b"xx\"yy", 0);
+        // After the quote, states 0 and 1 have swapped... they converge
+        // only after enough structure; verify distinct count <= 3 and
+        // the two-quote case fully converges.
+        assert!(f.distinct_finishing_states() <= 3);
+        // Quote parity keeps states 0 and 1 swapped forever, but the
+        // escape state 2 folds into the in-string trajectory after one
+        // byte: three speculative runs converge to two.
+        let g = frag(b"\"a\" , \"b\"", 0);
+        assert_eq!(g.distinct_finishing_states(), 2);
+    }
+
+    fn arb_input() -> impl Strategy<Value = Vec<u8>> {
+        prop::collection::vec(
+            prop::sample::select(b"ab,\"\\ :x".to_vec()),
+            0..120,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn split_invariance(input in arb_input(), cut in 0usize..120) {
+            let cut = cut.min(input.len());
+            let (l, r) = input.split_at(cut);
+            let merged = frag(l, 0).merge(frag(r, cut as u64));
+            let whole = frag(&input, 0);
+            prop_assert_eq!(merged, whole);
+        }
+
+        #[test]
+        fn any_block_count_matches_sequential(input in arb_input(), nblocks in 1usize..8) {
+            let chunk = input.len().div_ceil(nblocks).max(1);
+            let frags: Vec<_> = input
+                .chunks(chunk)
+                .enumerate()
+                .map(|(i, c)| frag(c, (i * chunk) as u64))
+                .collect();
+            let merged = crate::merge::merge_tree(frags);
+            if merged.entries.is_empty() {
+                prop_assert_eq!(count_commas_seq(&input), 0);
+            } else {
+                let (_, tape) = merged.resolve(0).unwrap();
+                prop_assert_eq!(tape.len() as u64, count_commas_seq(&input));
+            }
+        }
+
+        #[test]
+        fn merge_is_associative(a in arb_input(), b in arb_input(), c in arb_input()) {
+            let fa = frag(&a, 0);
+            let fb = frag(&b, a.len() as u64);
+            let fc = frag(&c, (a.len() + b.len()) as u64);
+            let left = fa.clone().merge(fb.clone()).merge(fc.clone());
+            let right = fa.merge(fb.merge(fc));
+            prop_assert_eq!(left, right);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The associative form of pushdown (structural) parsing.
+//!
+//! §3.3 chooses pushdown transducers for parsing spatial formats. A
+//! block of a well-nested token stream cannot know its absolute
+//! nesting depth, but its *effect* on the depth is summarised exactly
+//! by two integers — the minimum relative depth reached (how far the
+//! block "pops" below its entry depth) and the net depth change — and
+//! that summary composes associatively. Events emitted by the parser
+//! (geometry starts, coordinate offsets, …) are tagged with the
+//! block-relative depth at which they occurred and rebased when
+//! fragments merge, so downstream transducers can resolve structural
+//! context once absolute depth becomes known.
+
+use crate::merge::Mergeable;
+
+/// An event emitted at some nesting depth, relative to the containing
+/// fragment's entry depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepthEvent<E> {
+    /// Depth relative to the fragment's entry depth (may be negative
+    /// when the event happened below it).
+    pub depth: i32,
+    /// The event payload.
+    pub payload: E,
+}
+
+/// Associative summary of a block of open/close tokens plus its
+/// depth-tagged events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DyckFragment<E> {
+    /// Minimum relative depth reached (≤ 0).
+    pub min: i32,
+    /// Net depth change of the block.
+    pub net: i32,
+    /// Events in input order, with block-relative depths.
+    pub events: Vec<DepthEvent<E>>,
+}
+
+impl<E> Default for DyckFragment<E> {
+    fn default() -> Self {
+        DyckFragment {
+            min: 0,
+            net: 0,
+            events: Vec::new(),
+        }
+    }
+}
+
+impl<E> DyckFragment<E> {
+    /// Processes an *open* token (depth +1).
+    #[inline]
+    pub fn open(&mut self) {
+        self.net += 1;
+    }
+
+    /// Processes a *close* token (depth −1).
+    #[inline]
+    pub fn close(&mut self) {
+        self.net -= 1;
+        self.min = self.min.min(self.net);
+    }
+
+    /// Records an event at the current relative depth.
+    #[inline]
+    pub fn event(&mut self, payload: E) {
+        self.events.push(DepthEvent {
+            depth: self.net,
+            payload,
+        });
+    }
+
+    /// Current relative depth (== net so far).
+    #[inline]
+    pub fn depth(&self) -> i32 {
+        self.net
+    }
+
+    /// Resolves events against a known absolute entry depth, yielding
+    /// `(absolute_depth, payload)` pairs in input order.
+    pub fn resolve(self, entry_depth: i32) -> impl Iterator<Item = (i32, E)> {
+        self.events
+            .into_iter()
+            .map(move |e| (entry_depth + e.depth, e.payload))
+    }
+
+    /// True when the block is balanced (never pops below entry, ends at
+    /// entry depth).
+    pub fn is_balanced(&self) -> bool {
+        self.min == 0 && self.net == 0
+    }
+}
+
+impl<E> Mergeable for DyckFragment<E> {
+    fn identity() -> Self {
+        DyckFragment::default()
+    }
+
+    fn merge(mut self, other: Self) -> Self {
+        let shift = self.net;
+        self.min = self.min.min(shift + other.min);
+        self.net = shift + other.net;
+        self.events.reserve(other.events.len());
+        self.events.extend(other.events.into_iter().map(|e| DepthEvent {
+            depth: e.depth + shift,
+            payload: e.payload,
+        }));
+        self
+    }
+}
+
+/// Builds a fragment from a token stream where `+1` opens, `-1`
+/// closes and `0` emits an event carrying its stream index. Test and
+/// documentation helper.
+pub fn fragment_from_tokens(tokens: &[i8]) -> DyckFragment<usize> {
+    let mut f = DyckFragment::default();
+    for (i, &t) in tokens.iter().enumerate() {
+        match t {
+            1 => f.open(),
+            -1 => f.close(),
+            _ => f.event(i),
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn balanced_block() {
+        // "(()())" with an event inside.
+        let f = fragment_from_tokens(&[1, 1, -1, 0, 1, -1, -1]);
+        assert!(f.is_balanced());
+        assert_eq!(f.events.len(), 1);
+        assert_eq!(f.events[0].depth, 1);
+    }
+
+    #[test]
+    fn unbalanced_block_records_excursion() {
+        // ")) ((" : pops 2 below entry then opens 2.
+        let f = fragment_from_tokens(&[-1, -1, 1, 1]);
+        assert_eq!(f.min, -2);
+        assert_eq!(f.net, 0);
+        assert!(!f.is_balanced());
+    }
+
+    #[test]
+    fn merge_rebases_event_depths() {
+        let left = fragment_from_tokens(&[1, 1]); // net +2
+        let right = fragment_from_tokens(&[0, -1, 0]); // events at 0 and -1
+        let merged = left.merge(right);
+        assert_eq!(merged.events[0].depth, 2);
+        assert_eq!(merged.events[1].depth, 1);
+        assert_eq!(merged.net, 1);
+    }
+
+    #[test]
+    fn resolve_produces_absolute_depths() {
+        let f = fragment_from_tokens(&[1, 0, 1, 0, -1, -1, 0]);
+        let depths: Vec<i32> = f.resolve(5).map(|(d, _)| d).collect();
+        assert_eq!(depths, vec![6, 7, 5]);
+    }
+
+    fn arb_tokens() -> impl Strategy<Value = Vec<i8>> {
+        prop::collection::vec(prop::sample::select(vec![1i8, -1, 0]), 0..100)
+    }
+
+    fn sequential_depths(tokens: &[i8]) -> (i32, i32, Vec<i32>) {
+        let mut depth = 0;
+        let mut min = 0;
+        let mut events = Vec::new();
+        for &t in tokens {
+            match t {
+                1 => depth += 1,
+                -1 => {
+                    depth -= 1;
+                    min = min.min(depth);
+                }
+                _ => events.push(depth),
+            }
+        }
+        (min, depth, events)
+    }
+
+    proptest! {
+        #[test]
+        fn split_invariance(tokens in arb_tokens(), cut in 0usize..100) {
+            let cut = cut.min(tokens.len());
+            let (l, r) = tokens.split_at(cut);
+            // Right fragment events are indexed locally; rebase indices
+            // by building with global indices for comparability.
+            let mut fl = DyckFragment::default();
+            for (i, &t) in l.iter().enumerate() {
+                match t { 1 => fl.open(), -1 => fl.close(), _ => fl.event(i) }
+            }
+            let mut fr = DyckFragment::default();
+            for (i, &t) in r.iter().enumerate() {
+                match t { 1 => fr.open(), -1 => fr.close(), _ => fr.event(cut + i) }
+            }
+            let merged = fl.merge(fr);
+            let whole = fragment_from_tokens(&tokens);
+            prop_assert_eq!(merged, whole);
+        }
+
+        #[test]
+        fn fragment_matches_sequential(tokens in arb_tokens(), entry in 0i32..10) {
+            let f = fragment_from_tokens(&tokens);
+            let (min, net, depths) = sequential_depths(&tokens);
+            prop_assert_eq!(f.min, min);
+            prop_assert_eq!(f.net, net);
+            let resolved: Vec<i32> = f.resolve(entry).map(|(d, _)| d).collect();
+            let expect: Vec<i32> = depths.iter().map(|d| d + entry).collect();
+            prop_assert_eq!(resolved, expect);
+        }
+
+        #[test]
+        fn merge_is_associative(a in arb_tokens(), b in arb_tokens(), c in arb_tokens()) {
+            let fa = fragment_from_tokens(&a);
+            let fb = fragment_from_tokens(&b);
+            let fc = fragment_from_tokens(&c);
+            let left = fa.clone().merge(fb.clone()).merge(fc.clone());
+            let right = fa.merge(fb.merge(fc));
+            prop_assert_eq!(left, right);
+        }
+    }
+}

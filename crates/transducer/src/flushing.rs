@@ -1,0 +1,376 @@
+//! Periodically flushing transducers (PFTs, §3.3 and Fig. 4).
+//!
+//! A PFT aggregates runs of *processing* symbols delimited by
+//! *flushing* symbols — e.g. points aggregated into one MBR per
+//! geometry, with geometry boundaries as flush markers. The associative
+//! fragment keeps two copies of the aggregation state:
+//!
+//! * the **speculative** (head) state aggregates symbols before the
+//!   first flush in the block — it belongs to a geometry that *started
+//!   in an earlier block*, so its output "is not determined until
+//!   merging";
+//! * the **main** (tail) state aggregates symbols after the last flush;
+//! * completed aggregations between the first and last flush are
+//!   emitted to the fragment's output tape immediately.
+//!
+//! Merging joins the left fragment's tail with the right fragment's
+//! head ("the main state at the end of the first must be merged with
+//! the speculative state at the beginning of the second. The result is
+//! a new aggregation that must be inserted into the output tape
+//! between the tapes of the two merged fragments").
+
+use crate::merge::Mergeable;
+
+/// The aggregation wrapped by a periodically flushing transducer.
+pub trait FlushAggregate {
+    /// Processing symbol type.
+    type Sym;
+    /// Per-run aggregation state; its merge joins two partial runs of
+    /// the same geometry.
+    type State: Mergeable + Clone;
+    /// Output emitted when a run is flushed.
+    type Out;
+
+    /// Folds one processing symbol into the run state.
+    fn absorb(state: &mut Self::State, sym: &Self::Sym);
+    /// Converts a completed run state into an output. `None` suppresses
+    /// the output (e.g. empty runs).
+    fn finish(state: Self::State) -> Option<Self::Out>;
+}
+
+/// The associative fragment of a periodically flushing transducer.
+#[derive(Debug)]
+pub struct PftFragment<A: FlushAggregate> {
+    /// Aggregation of symbols before the first flush (speculative).
+    pub head: A::State,
+    /// Completed outputs between the first and last flush.
+    pub outputs: Vec<A::Out>,
+    /// Aggregation of symbols after the last flush (main).
+    pub tail: A::State,
+    /// Whether any flush symbol was seen (the "additional bit" of
+    /// §3.3).
+    pub seen_flush: bool,
+    /// Whether any symbol at all was absorbed into `head` (needed so
+    /// an all-processing fragment can report emptiness precisely).
+    head_nonempty: bool,
+    /// Whether any symbol was absorbed into `tail` since the last
+    /// flush.
+    tail_nonempty: bool,
+}
+
+impl<A: FlushAggregate> Default for PftFragment<A> {
+    fn default() -> Self {
+        PftFragment {
+            head: A::State::identity(),
+            outputs: Vec::new(),
+            tail: A::State::identity(),
+            seen_flush: false,
+            head_nonempty: false,
+            tail_nonempty: false,
+        }
+    }
+}
+
+impl<A: FlushAggregate> Clone for PftFragment<A>
+where
+    A::Out: Clone,
+{
+    fn clone(&self) -> Self {
+        PftFragment {
+            head: self.head.clone(),
+            outputs: self.outputs.clone(),
+            tail: self.tail.clone(),
+            seen_flush: self.seen_flush,
+            head_nonempty: self.head_nonempty,
+            tail_nonempty: self.tail_nonempty,
+        }
+    }
+}
+
+impl<A: FlushAggregate> PartialEq for PftFragment<A>
+where
+    A::State: PartialEq,
+    A::Out: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head
+            && self.outputs == other.outputs
+            && self.tail == other.tail
+            && self.seen_flush == other.seen_flush
+            && self.head_nonempty == other.head_nonempty
+            && self.tail_nonempty == other.tail_nonempty
+    }
+}
+
+impl<A: FlushAggregate> PftFragment<A> {
+    /// Creates an empty fragment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes one processing symbol.
+    pub fn process(&mut self, sym: &A::Sym) {
+        if self.seen_flush {
+            A::absorb(&mut self.tail, sym);
+            self.tail_nonempty = true;
+        } else {
+            A::absorb(&mut self.head, sym);
+            self.head_nonempty = true;
+        }
+    }
+
+    /// Processes one flushing symbol: completes the current run.
+    pub fn flush(&mut self) {
+        if self.seen_flush {
+            let state = std::mem::replace(&mut self.tail, A::State::identity());
+            if self.tail_nonempty {
+                if let Some(out) = A::finish(state) {
+                    self.outputs.push(out);
+                }
+            }
+            self.tail_nonempty = false;
+        } else {
+            // The head run completes here, but whether it is a whole
+            // geometry (block started exactly at a boundary / input
+            // start) or the tail of an earlier one is unknown until
+            // merge — keep it in `head`.
+            self.seen_flush = true;
+        }
+    }
+
+    /// Builds a fragment from a block of symbols, with `is_flush`
+    /// classifying flush symbols (the `P`/`F` partition of §3.3).
+    pub fn from_block(syms: &[A::Sym], is_flush: impl Fn(&A::Sym) -> bool) -> Self {
+        let mut f = Self::new();
+        for s in syms {
+            if is_flush(s) {
+                f.flush();
+            } else {
+                f.process(s);
+            }
+        }
+        f
+    }
+
+    /// Finalises a fully merged fragment into the output sequence,
+    /// treating the input start as a geometry boundary. A trailing
+    /// partial run (no final flush) is emitted too when non-empty.
+    pub fn finalize(mut self) -> Vec<A::Out> {
+        let mut result = Vec::with_capacity(self.outputs.len() + 2);
+        if self.seen_flush {
+            if self.head_nonempty {
+                if let Some(out) = A::finish(self.head) {
+                    result.push(out);
+                }
+            }
+            result.append(&mut self.outputs);
+            if self.tail_nonempty {
+                if let Some(out) = A::finish(self.tail) {
+                    result.push(out);
+                }
+            }
+        } else if self.head_nonempty {
+            if let Some(out) = A::finish(self.head) {
+                result.push(out);
+            }
+        }
+        result
+    }
+}
+
+impl<A: FlushAggregate> Mergeable for PftFragment<A> {
+    fn identity() -> Self {
+        Self::default()
+    }
+
+    fn merge(mut self, mut other: Self) -> Self {
+        match (self.seen_flush, other.seen_flush) {
+            (false, false) => {
+                // Neither saw a boundary: one continuing run.
+                let head = std::mem::replace(&mut self.head, A::State::identity());
+                self.head = head.merge(other.head);
+                self.head_nonempty |= other.head_nonempty;
+                self
+            }
+            (true, false) => {
+                // Right block is entirely a continuation of our tail.
+                let tail = std::mem::replace(&mut self.tail, A::State::identity());
+                self.tail = tail.merge(other.head);
+                self.tail_nonempty |= other.head_nonempty;
+                self
+            }
+            (false, true) => {
+                // Our whole content is the left part of right's head.
+                let head = std::mem::replace(&mut self.head, A::State::identity());
+                other.head = head.merge(other.head);
+                other.head_nonempty |= self.head_nonempty;
+                other
+            }
+            (true, true) => {
+                // The boundary-spanning run: left tail ++ right head,
+                // flushed by right's first flush symbol.
+                let spanning = std::mem::replace(&mut self.tail, A::State::identity())
+                    .merge(other.head);
+                if self.tail_nonempty || other.head_nonempty {
+                    if let Some(out) = A::finish(spanning) {
+                        self.outputs.push(out);
+                    }
+                }
+                self.outputs.append(&mut other.outputs);
+                self.tail = other.tail;
+                self.tail_nonempty = other.tail_nonempty;
+                self
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::FSum;
+    use proptest::prelude::*;
+
+    /// Test aggregate: sums f64 runs (stands in for MBR building).
+    struct RunSum;
+
+    impl FlushAggregate for RunSum {
+        type Sym = f64;
+        type State = FSum;
+        type Out = f64;
+
+        fn absorb(state: &mut FSum, sym: &f64) {
+            state.0 += sym;
+        }
+        fn finish(state: FSum) -> Option<f64> {
+            Some(state.0)
+        }
+    }
+
+    /// Symbols: NaN = flush, anything else = processing (mirrors the
+    /// paper's P/F symbol partition).
+    fn is_flush(x: &f64) -> bool {
+        x.is_nan()
+    }
+
+    fn sequential(syms: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut acc = 0.0;
+        let mut nonempty = false;
+        for &s in syms {
+            if s.is_nan() {
+                if nonempty {
+                    out.push(acc);
+                }
+                acc = 0.0;
+                nonempty = false;
+            } else {
+                acc += s;
+                nonempty = true;
+            }
+        }
+        if nonempty {
+            out.push(acc);
+        }
+        out
+    }
+
+    #[test]
+    fn fig4_pattern() {
+        // P P P F P P P P F P P P F P P  (Fig. 4) — runs of 3, 4, 3
+        // then a trailing partial run of 2.
+        let f = f64::NAN;
+        let syms = [1., 1., 1., f, 1., 1., 1., 1., f, 1., 1., 1., f, 1., 1.];
+        let frag = PftFragment::<RunSum>::from_block(&syms, is_flush);
+        assert_eq!(frag.finalize(), vec![3.0, 4.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn boundary_spanning_run_completes_at_merge() {
+        let f = f64::NAN;
+        // Geometry of value 5 split 2/3 across the block boundary.
+        let left = PftFragment::<RunSum>::from_block(&[1., f, 2.], is_flush);
+        let right = PftFragment::<RunSum>::from_block(&[3., f, 4.], is_flush);
+        let merged = left.merge(right);
+        assert_eq!(merged.finalize(), vec![1.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn flush_only_fragment() {
+        let f = f64::NAN;
+        let frag = PftFragment::<RunSum>::from_block(&[f, f], is_flush);
+        assert!(frag.finalize().is_empty(), "empty runs are suppressed");
+    }
+
+    #[test]
+    fn no_flush_fragment_is_single_run() {
+        let frag = PftFragment::<RunSum>::from_block(&[1., 2.], is_flush);
+        assert_eq!(frag.finalize(), vec![3.0]);
+    }
+
+    #[test]
+    fn empty_fragment() {
+        let frag = PftFragment::<RunSum>::from_block(&[], is_flush);
+        assert!(frag.finalize().is_empty());
+    }
+
+    #[test]
+    fn merge_with_identity() {
+        let f = f64::NAN;
+        let frag = PftFragment::<RunSum>::from_block(&[1., f, 2.], is_flush);
+        let id = PftFragment::<RunSum>::identity();
+        assert_eq!(
+            id.clone().merge(frag.clone()).finalize(),
+            frag.clone().merge(id).finalize()
+        );
+    }
+
+    fn approx(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())))
+    }
+
+    fn arb_syms() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(
+            prop_oneof![3 => 1.0..10.0f64, 1 => Just(f64::NAN)],
+            0..80,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn split_invariance(syms in arb_syms(), cut in 0usize..80) {
+            let cut = cut.min(syms.len());
+            let (l, r) = syms.split_at(cut);
+            let merged = PftFragment::<RunSum>::from_block(l, is_flush)
+                .merge(PftFragment::<RunSum>::from_block(r, is_flush));
+            let (got, want) = (merged.finalize(), sequential(&syms));
+            prop_assert!(approx(&got, &want), "{got:?} vs {want:?}");
+        }
+
+        #[test]
+        fn multiway_split_matches_sequential(syms in arb_syms(), blocks in 1usize..10) {
+            let chunk = syms.len().div_ceil(blocks).max(1);
+            let frags: Vec<_> = syms
+                .chunks(chunk)
+                .map(|b| PftFragment::<RunSum>::from_block(b, is_flush))
+                .collect();
+            let merged = crate::merge::merge_tree(frags);
+            let (got, want) = (merged.finalize(), sequential(&syms));
+            prop_assert!(approx(&got, &want), "{got:?} vs {want:?}");
+        }
+
+        #[test]
+        fn merge_is_associative(a in arb_syms(), b in arb_syms(), c in arb_syms()) {
+            let fa = PftFragment::<RunSum>::from_block(&a, is_flush);
+            let fb = PftFragment::<RunSum>::from_block(&b, is_flush);
+            let fc = PftFragment::<RunSum>::from_block(&c, is_flush);
+            let left = fa.clone().merge(fb.clone()).merge(fc.clone());
+            let right = fa.merge(fb.merge(fc));
+            let (l, r) = (left.finalize(), right.finalize());
+            prop_assert!(approx(&l, &r), "{l:?} vs {r:?}");
+        }
+    }
+}

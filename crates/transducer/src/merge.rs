@@ -1,0 +1,208 @@
+//! The associative-merge abstraction all fragments share.
+
+/// A value with an associative merge and an identity element — the
+/// algebraic requirement §3.2 places on anything stored on a
+/// transducer's output tape (the string-concatenation operator `:` "can
+/// be replaced by any associative operator ⊗ without invalidating the
+/// transformation").
+///
+/// Laws (property-tested in this crate and downstream):
+///
+/// * associativity: `a.merge(b).merge(c) == a.merge(b.merge(c))`
+/// * identity: `identity().merge(a) == a == a.merge(identity())`
+pub trait Mergeable: Sized {
+    /// The identity element of the merge.
+    fn identity() -> Self;
+    /// Associative combination; `self` is the left (earlier-input)
+    /// operand.
+    fn merge(self, other: Self) -> Self;
+}
+
+impl Mergeable for () {
+    fn identity() -> Self {}
+    fn merge(self, _other: Self) -> Self {}
+}
+
+impl<T> Mergeable for Vec<T> {
+    fn identity() -> Self {
+        Vec::new()
+    }
+    fn merge(mut self, mut other: Self) -> Self {
+        if self.is_empty() {
+            return other;
+        }
+        self.append(&mut other);
+        self
+    }
+}
+
+impl Mergeable for String {
+    fn identity() -> Self {
+        String::new()
+    }
+    fn merge(mut self, other: Self) -> Self {
+        self.push_str(&other);
+        self
+    }
+}
+
+/// Sum monoid over `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sum(pub u64);
+
+impl Mergeable for Sum {
+    fn identity() -> Self {
+        Sum(0)
+    }
+    fn merge(self, other: Self) -> Self {
+        Sum(self.0 + other.0)
+    }
+}
+
+/// Sum monoid over `f64` (associative only up to floating-point
+/// rounding; adequate for the paper's numeric aggregations).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FSum(pub f64);
+
+impl Mergeable for FSum {
+    fn identity() -> Self {
+        FSum(0.0)
+    }
+    fn merge(self, other: Self) -> Self {
+        FSum(self.0 + other.0)
+    }
+}
+
+impl<A: Mergeable, B: Mergeable> Mergeable for (A, B) {
+    fn identity() -> Self {
+        (A::identity(), B::identity())
+    }
+    fn merge(self, other: Self) -> Self {
+        (self.0.merge(other.0), self.1.merge(other.1))
+    }
+}
+
+impl<A: Mergeable, B: Mergeable, C: Mergeable> Mergeable for (A, B, C) {
+    fn identity() -> Self {
+        (A::identity(), B::identity(), C::identity())
+    }
+    fn merge(self, other: Self) -> Self {
+        (
+            self.0.merge(other.0),
+            self.1.merge(other.1),
+            self.2.merge(other.2),
+        )
+    }
+}
+
+impl<T: Mergeable> Mergeable for Option<T> {
+    fn identity() -> Self {
+        None
+    }
+    fn merge(self, other: Self) -> Self {
+        match (self, other) {
+            (Some(a), Some(b)) => Some(a.merge(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        }
+    }
+}
+
+/// Reduces a sequence of fragments with ⊗ in left-to-right order.
+/// Equivalent to any balanced parallel reduction by associativity.
+pub fn merge_all<T: Mergeable>(items: impl IntoIterator<Item = T>) -> T {
+    items
+        .into_iter()
+        .fold(T::identity(), |acc, x| acc.merge(x))
+}
+
+/// Reduces fragments pairwise in a balanced tree, mimicking the merge
+/// phase of a parallel run. Must agree with [`merge_all`] for any
+/// `Mergeable` obeying the laws.
+pub fn merge_tree<T: Mergeable>(mut items: Vec<T>) -> T {
+    if items.is_empty() {
+        return T::identity();
+    }
+    while items.len() > 1 {
+        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+        let mut it = items.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(a.merge(b)),
+                None => next.push(a),
+            }
+        }
+        items = next;
+    }
+    items.pop().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unit_laws() {
+        #[allow(clippy::unit_cmp)]
+        {
+            assert_eq!(<()>::identity().merge(()), ());
+        }
+    }
+
+    #[test]
+    fn vec_merge_concatenates() {
+        let a = vec![1, 2];
+        let b = vec![3];
+        assert_eq!(a.merge(b), vec![1, 2, 3]);
+        assert_eq!(Vec::<i32>::identity().merge(vec![7]), vec![7]);
+    }
+
+    #[test]
+    fn option_merge_combines_inner() {
+        let a: Option<Sum> = Some(Sum(2));
+        let b: Option<Sum> = Some(Sum(3));
+        assert_eq!(a.merge(b), Some(Sum(5)));
+        assert_eq!(None::<Sum>.merge(Some(Sum(1))), Some(Sum(1)));
+        assert_eq!(Some(Sum(1)).merge(None), Some(Sum(1)));
+    }
+
+    #[test]
+    fn tuple_merge_is_componentwise() {
+        let a = (Sum(1), vec!['x']);
+        let b = (Sum(2), vec!['y']);
+        assert_eq!(a.merge(b), (Sum(3), vec!['x', 'y']));
+    }
+
+    #[test]
+    fn merge_tree_handles_sizes() {
+        for n in 0..20u64 {
+            let frags: Vec<Sum> = (0..n).map(Sum).collect();
+            assert_eq!(merge_tree(frags.clone()), merge_all(frags));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn sum_is_associative(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000) {
+            let l = Sum(a).merge(Sum(b)).merge(Sum(c));
+            let r = Sum(a).merge(Sum(b).merge(Sum(c)));
+            prop_assert_eq!(l, r);
+        }
+
+        #[test]
+        fn vec_is_associative(a in prop::collection::vec(0u8..255, 0..10),
+                              b in prop::collection::vec(0u8..255, 0..10),
+                              c in prop::collection::vec(0u8..255, 0..10)) {
+            let l = a.clone().merge(b.clone()).merge(c.clone());
+            let r = a.merge(b.merge(c));
+            prop_assert_eq!(l, r);
+        }
+
+        #[test]
+        fn tree_equals_fold(values in prop::collection::vec(0u64..100, 0..64)) {
+            let frags: Vec<Sum> = values.iter().copied().map(Sum).collect();
+            prop_assert_eq!(merge_tree(frags.clone()), merge_all(frags));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Stateless transducers (§3.3).
+//!
+//! "A stateless transducer is one for which the set of states Q is a
+//! singleton ⊥ … Each input can result in zero or more outputs, giving
+//! it the expressive power of both map and filter." Stateless
+//! transducers have a trivial associative form: no state to speculate
+//! over, so a fragment is just the concatenated output.
+
+/// A stateless transducer: a mapping function from one input symbol to
+/// zero or more output symbols (the paper's `p : Σ → Γ*`).
+pub struct StatelessTransducer<I, O, F>
+where
+    F: Fn(&I, &mut Vec<O>),
+{
+    map: F,
+    _marker: std::marker::PhantomData<fn(&I) -> O>,
+}
+
+impl<I, O, F> StatelessTransducer<I, O, F>
+where
+    F: Fn(&I, &mut Vec<O>),
+{
+    /// Wraps a mapping function. The function pushes any number of
+    /// outputs per input (0 = filter out, 1 = map, >1 = flat-map).
+    pub fn new(map: F) -> Self {
+        StatelessTransducer {
+            map,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Processes one symbol into `out`.
+    #[inline]
+    pub fn process(&self, sym: &I, out: &mut Vec<O>) {
+        (self.map)(sym, out);
+    }
+
+    /// Builds the fragment (= output vector) for a block.
+    pub fn fragment(&self, block: &[I]) -> Vec<O> {
+        let mut out = Vec::new();
+        for s in block {
+            self.process(s, &mut out);
+        }
+        out
+    }
+
+    /// Runs associatively over `blocks`-way split input; by
+    /// statelessness this trivially equals the sequential run.
+    pub fn run_associative(&self, input: &[I], blocks: usize) -> Vec<O> {
+        let chunk = input.len().div_ceil(blocks.max(1)).max(1);
+        crate::merge::merge_all(input.chunks(chunk).map(|b| self.fragment(b)))
+    }
+}
+
+/// Convenience constructor for a pure map.
+pub fn map_transducer<I, O: Clone>(
+    f: impl Fn(&I) -> O,
+) -> StatelessTransducer<I, O, impl Fn(&I, &mut Vec<O>)> {
+    StatelessTransducer::new(move |i, out| out.push(f(i)))
+}
+
+/// Convenience constructor for a filter.
+pub fn filter_transducer<I: Clone>(
+    pred: impl Fn(&I) -> bool,
+) -> StatelessTransducer<I, I, impl Fn(&I, &mut Vec<I>)> {
+    StatelessTransducer::new(move |i, out| {
+        if pred(i) {
+            out.push(i.clone());
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn map_semantics() {
+        let t = map_transducer(|x: &i32| x * 2);
+        assert_eq!(t.fragment(&[1, 2, 3]), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn filter_semantics() {
+        let t = filter_transducer(|x: &i32| x % 2 == 0);
+        assert_eq!(t.fragment(&[1, 2, 3, 4]), vec![2, 4]);
+    }
+
+    #[test]
+    fn flat_map_semantics() {
+        // The paper's point-parser example: one offset expands to a
+        // coordinate pair.
+        let t = StatelessTransducer::new(|x: &i32, out: &mut Vec<i32>| {
+            out.push(*x);
+            out.push(x + 100);
+        });
+        assert_eq!(t.fragment(&[1, 2]), vec![1, 101, 2, 102]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let t = map_transducer(|x: &i32| *x);
+        assert!(t.fragment(&[]).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn associative_equals_sequential(
+            input in prop::collection::vec(-1000i32..1000, 0..200),
+            blocks in 1usize..16,
+        ) {
+            let t = StatelessTransducer::new(|x: &i32, out: &mut Vec<i32>| {
+                if x % 3 != 0 { out.push(x * x) }
+            });
+            let seq = t.fragment(&input);
+            let par = t.run_associative(&input, blocks);
+            prop_assert_eq!(seq, par);
+        }
+    }
+}

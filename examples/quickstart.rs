@@ -1,0 +1,56 @@
+//! Quickstart: run a spatial query directly over a raw GeoJSON file —
+//! no loading, no indexing (the NoDB data-to-query story of §1).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use atgis::{Dataset, Engine, Query};
+use atgis_datagen::{write_geojson, OsmGenerator};
+use atgis_formats::{Format, Mode};
+use atgis_geometry::Mbr;
+
+fn main() {
+    // 1. A raw GeoJSON dataset. In production this would be
+    //    `Dataset::from_file("planet.geojson", Format::GeoJson)`.
+    let objects = OsmGenerator::new(42).generate(10_000);
+    let dataset = Dataset::from_bytes(write_geojson(&objects), Format::GeoJson);
+    println!(
+        "dataset: {} objects, {:.1} MB of raw GeoJSON",
+        10_000,
+        dataset.len() as f64 / 1e6
+    );
+
+    // 2. An engine: threads + execution mode are the only required
+    //    choices. PAT uses marker-aligned splits with an optimised
+    //    parser; FAT handles arbitrary splits speculatively.
+    let engine = Engine::builder()
+        .threads(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2))
+        .mode(Mode::Pat)
+        .build();
+
+    // 3. Containment: everything intersecting a lon/lat box.
+    let region = Mbr::new(-10.0, 40.0, 0.0, 50.0);
+    let started = std::time::Instant::now();
+    let result = engine
+        .execute(&Query::containment(region), &dataset)
+        .expect("query failed");
+    println!(
+        "containment: {} matches in {:?} (data-to-query, no load phase)",
+        result.matches().len(),
+        started.elapsed()
+    );
+
+    // 4. Aggregation: total area + perimeter of the selected shapes,
+    //    computed in the same single pass over the raw bytes.
+    let result = engine
+        .execute(&Query::aggregation(region), &dataset)
+        .expect("query failed");
+    let agg = result.aggregate().expect("aggregate result");
+    println!(
+        "aggregation: {} shapes, total area {:.3} km^2, total perimeter {:.1} km",
+        agg.count,
+        agg.total_area / 1e6,
+        agg.total_perimeter / 1e3
+    );
+}

@@ -1,0 +1,1 @@
+//! Integration test crate for AT-GIS (tests live in `tests/tests/`).

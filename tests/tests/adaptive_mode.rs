@@ -1,0 +1,95 @@
+//! Tests for the §5.5 hybrid: `Mode::Adaptive` must pick PAT on
+//! marker-dense data and FAT on marker-sparse (few huge objects) data,
+//! and must always produce the same answers as both fixed modes.
+
+use atgis::{Dataset, Engine, Query};
+use atgis_datagen::{write_geojson, OsmGenerator, SynthConfig};
+use atgis_formats::{resolve_adaptive, Format, Mode};
+use atgis_geometry::Mbr;
+
+#[test]
+fn dense_markers_resolve_to_pat() {
+    let ds = OsmGenerator::new(1).generate(500);
+    let bytes = write_geojson(&ds);
+    assert_eq!(
+        resolve_adaptive(&bytes, atgis_formats::geojson::FEATURE_MARKER, 4),
+        Mode::Pat
+    );
+}
+
+#[test]
+fn sparse_markers_resolve_to_fat() {
+    // Three giant objects: far fewer markers than blocks wanted.
+    let ds = SynthConfig {
+        objects: 3,
+        sigma: 0.1,
+        mu: 9.0, // ~8000 edges each
+        seed: 6,
+        multipolygon_fraction: 0.0,
+    }
+    .generate();
+    let bytes = write_geojson(&ds);
+    assert_eq!(
+        resolve_adaptive(&bytes, atgis_formats::geojson::FEATURE_MARKER, 16),
+        Mode::Fat
+    );
+}
+
+#[test]
+fn empty_input_resolves_to_fat() {
+    assert_eq!(resolve_adaptive(b"", b"X", 4), Mode::Fat);
+}
+
+#[test]
+fn adaptive_engine_matches_fixed_modes() {
+    let world = Mbr::new(-180.0, -90.0, 180.0, 90.0);
+    let q = Query::containment(world);
+    for (name, ds) in [
+        (
+            "dense",
+            Dataset::from_bytes(
+                write_geojson(&OsmGenerator::new(2).generate(200)),
+                Format::GeoJson,
+            ),
+        ),
+        (
+            "sparse",
+            Dataset::from_bytes(
+                write_geojson(
+                    &SynthConfig {
+                        objects: 5,
+                        sigma: 0.1,
+                        mu: 8.0,
+                        seed: 7,
+                        multipolygon_fraction: 0.0,
+                    }
+                    .generate(),
+                ),
+                Format::GeoJson,
+            ),
+        ),
+    ] {
+        let adaptive = Engine::builder()
+            .mode(Mode::Adaptive)
+            .threads(2)
+            .build()
+            .execute(&q, &ds)
+            .unwrap();
+        let pat = Engine::builder()
+            .mode(Mode::Pat)
+            .build()
+            .execute(&q, &ds)
+            .unwrap();
+        assert_eq!(adaptive.matches(), pat.matches(), "{name}");
+    }
+}
+
+#[test]
+fn adaptive_parse_all_agrees_with_fixed() {
+    let ds = OsmGenerator::new(3).generate(100);
+    let bytes = write_geojson(&ds);
+    let filter = atgis_formats::MetadataFilter::All;
+    let adaptive = atgis_formats::parse_all(&bytes, Format::GeoJson, Mode::Adaptive, &filter).unwrap();
+    let pat = atgis_formats::parse_all(&bytes, Format::GeoJson, Mode::Pat, &filter).unwrap();
+    assert_eq!(adaptive, pat);
+}

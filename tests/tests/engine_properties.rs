@@ -1,0 +1,224 @@
+//! Engine-level property tests: the paper's central correctness claim
+//! is that associative (parallel, speculative) execution is *exact* —
+//! any block count, thread count, mode or store layout must produce
+//! byte-identical results.
+
+use atgis::engine::{PartitionPhase, StoreKind};
+use atgis::{Dataset, Engine, FilterStrategy, Metric, Query};
+use atgis_datagen::{write_geojson, write_wkt, OsmGenerator, SynthConfig};
+use atgis_formats::{Format, Mode};
+use atgis_geometry::{DistanceModel, Mbr};
+use proptest::prelude::*;
+
+fn geojson_dataset(seed: u64, n: usize) -> Dataset {
+    Dataset::from_bytes(
+        write_geojson(&OsmGenerator::new(seed).generate(n)),
+        Format::GeoJson,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn containment_invariant_under_execution_config(
+        seed in 0u64..50,
+        threads in 1usize..5,
+        mult in 1usize..7,
+        fat in proptest::bool::ANY,
+    ) {
+        let ds = geojson_dataset(seed, 60);
+        let region = Mbr::new(-8.0, 42.0, 4.0, 56.0);
+        let q = Query::containment(region);
+        let reference = Engine::builder().build().execute(&q, &ds).unwrap();
+        let engine = Engine::builder()
+            .threads(threads)
+            .block_multiplier(mult)
+            .mode(if fat { Mode::Fat } else { Mode::Pat })
+            .build();
+        let got = engine.execute(&q, &ds).unwrap();
+        prop_assert_eq!(got.matches(), reference.matches());
+    }
+
+    #[test]
+    fn aggregation_invariant_under_strategy_and_blocks(
+        seed in 0u64..30,
+        mult in 1usize..9,
+        streaming in proptest::bool::ANY,
+    ) {
+        let ds = geojson_dataset(seed + 100, 50);
+        let region = Mbr::new(-8.0, 42.0, 4.0, 56.0);
+        let strategy = if streaming {
+            FilterStrategy::Streaming
+        } else {
+            FilterStrategy::Buffered
+        };
+        let q = Query::aggregation_with(
+            region,
+            vec![Metric::Area, Metric::Perimeter, Metric::Count],
+            DistanceModel::Spherical,
+            strategy,
+        );
+        let reference = Engine::builder()
+            .build()
+            .execute(&Query::aggregation_with(
+                region,
+                vec![Metric::Area, Metric::Perimeter, Metric::Count],
+                DistanceModel::Spherical,
+                FilterStrategy::Buffered,
+            ), &ds)
+            .unwrap()
+            .aggregate()
+            .unwrap();
+        let got = Engine::builder()
+            .block_multiplier(mult)
+            .build()
+            .execute(&q, &ds)
+            .unwrap()
+            .aggregate()
+            .unwrap();
+        prop_assert_eq!(got.count, reference.count);
+        prop_assert!((got.total_area - reference.total_area).abs()
+            <= 1e-6 * reference.total_area.abs().max(1.0));
+        prop_assert!((got.total_perimeter - reference.total_perimeter).abs()
+            <= 1e-6 * reference.total_perimeter.abs().max(1.0));
+    }
+
+    #[test]
+    fn join_invariant_under_grid_and_store(
+        seed in 0u64..20,
+        cell in prop::sample::select(vec![0.5f64, 1.0, 2.0, 4.0]),
+        list_store in proptest::bool::ANY,
+        separate in proptest::bool::ANY,
+    ) {
+        let ds = geojson_dataset(seed + 200, 40);
+        let q = Query::join(20);
+        let reference = Engine::builder()
+            .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
+            .cell_size(1.0)
+            .build()
+            .execute(&q, &ds)
+            .unwrap();
+        let engine = Engine::builder()
+            .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
+            .cell_size(cell)
+            .store(if list_store { StoreKind::List } else { StoreKind::Array })
+            .partition_phase(if separate {
+                PartitionPhase::Separate
+            } else {
+                PartitionPhase::Associative
+            })
+            .build();
+        let got = engine.execute(&q, &ds).unwrap();
+        prop_assert_eq!(got.joined(), reference.joined());
+    }
+
+    #[test]
+    fn wkt_fat_block_counts_agree(seed in 0u64..20, mult in 1usize..10) {
+        let gen = OsmGenerator::new(seed + 300).generate(30);
+        let ds = Dataset::from_bytes(write_wkt(&gen), Format::Wkt);
+        let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
+        let got = Engine::builder()
+            .mode(Mode::Fat)
+            .block_multiplier(mult)
+            .build()
+            .execute(&q, &ds)
+            .unwrap();
+        prop_assert_eq!(got.matches().len(), 30);
+    }
+}
+
+#[test]
+fn synth_skew_datasets_parse_in_both_modes() {
+    for sigma in [0.5, 2.0, 4.0] {
+        let ds = SynthConfig {
+            objects: 40,
+            sigma,
+            mu: 3.0,
+            seed: 77,
+            multipolygon_fraction: 0.2,
+        }
+        .generate();
+        let data = Dataset::from_bytes(write_geojson(&ds), Format::GeoJson);
+        let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
+        let pat = Engine::builder().mode(Mode::Pat).build().execute(&q, &data).unwrap();
+        let fat = Engine::builder().mode(Mode::Fat).threads(3).build().execute(&q, &data).unwrap();
+        assert_eq!(pat.matches(), fat.matches(), "sigma={sigma}");
+        assert_eq!(pat.matches().len(), 40);
+    }
+}
+
+#[test]
+fn sort_batch_size_does_not_change_join_results() {
+    let ds = geojson_dataset(900, 60);
+    let q = Query::join(30);
+    let reference = Engine::builder()
+        .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
+        .build()
+        .execute(&q, &ds)
+        .unwrap();
+    for batch in [1usize, 7, 64, 100_000] {
+        let got = Engine::builder()
+            .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
+            .sort_batch(batch)
+            .build()
+            .execute(&q, &ds)
+            .unwrap();
+        assert_eq!(got.joined(), reference.joined(), "sort_batch={batch}");
+    }
+}
+
+#[test]
+fn empty_dataset_is_handled_everywhere() {
+    let empty_json = Dataset::from_bytes(
+        br#"{"type":"FeatureCollection","features":[]}"#.to_vec(),
+        Format::GeoJson,
+    );
+    let empty_wkt = Dataset::from_bytes(Vec::new(), Format::Wkt);
+    let e = Engine::builder().threads(2).build();
+    let region = Mbr::new(-180.0, -90.0, 180.0, 90.0);
+    for ds in [&empty_json, &empty_wkt] {
+        assert!(e.execute(&Query::containment(region), ds).unwrap().matches().is_empty());
+        assert_eq!(
+            e.execute(&Query::aggregation(region), ds).unwrap().aggregate().unwrap().count,
+            0
+        );
+        assert!(e.execute(&Query::join(10), ds).unwrap().joined().is_empty());
+    }
+}
+
+#[test]
+fn malformed_input_reports_errors_not_panics() {
+    let garbage = Dataset::from_bytes(b"this is not geojson at all {{{".to_vec(), Format::GeoJson);
+    let e = Engine::builder().threads(2).build();
+    let q = Query::containment(Mbr::new(-1.0, -1.0, 1.0, 1.0));
+    // Garbage contains no feature marker: PAT yields zero features
+    // (nothing to parse); truncated real features must error.
+    let _ = e.execute(&q, &garbage);
+    let truncated = Dataset::from_bytes(
+        br#"{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"Point","coordi"#.to_vec(),
+        Format::GeoJson,
+    );
+    let r = e.execute(&q, &truncated);
+    assert!(r.is_err(), "truncated feature must surface an error");
+    let bad_wkt = Dataset::from_bytes(b"1\tPOLYGON((broken\t\n".to_vec(), Format::Wkt);
+    assert!(e.execute(&q, &bad_wkt).is_err());
+}
+
+#[test]
+fn combined_query_upper_bounded_by_plain_join() {
+    let ds = geojson_dataset(901, 80);
+    let e = Engine::builder()
+        .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
+        .build();
+    let join_pairs = e.execute(&Query::join(40), &ds).unwrap().joined().len() as u64;
+    match e
+        .execute(&Query::combined(40, 0.0, f64::INFINITY), &ds)
+        .unwrap()
+    {
+        atgis::QueryResult::Combined { pairs, .. } => {
+            assert_eq!(pairs, join_pairs, "no-op filters keep all pairs")
+        }
+        other => panic!("{other:?}"),
+    }
+}

@@ -1,0 +1,71 @@
+//! End-to-end tests for the XPath-style metadata query language
+//! (§4.4) pushed into the parsing stage of both GeoJSON modes.
+
+use atgis_formats::{parse_all, Format, MetadataFilter, Mode, PathQuery};
+
+const DOC: &str = concat!(
+    r#"{"type":"FeatureCollection","features":["#,
+    r#"{"type":"Feature","geometry":{"type":"Point","coordinates":[1.0,1.0]},"id":1,"properties":{"building":"yes","levels":4,"address":{"city":"London"}}},"#,
+    r#"{"type":"Feature","geometry":{"type":"Point","coordinates":[2.0,2.0]},"id":2,"properties":{"building":"no","levels":1}},"#,
+    r#"{"type":"Feature","geometry":{"type":"Point","coordinates":[3.0,3.0]},"id":3,"properties":{"highway":"path"}}"#,
+    r#"]}"#
+);
+
+fn run(query: &str, mode: Mode) -> Vec<u64> {
+    let filter = MetadataFilter::Path(PathQuery::parse(query).unwrap());
+    parse_all(DOC.as_bytes(), Format::GeoJson, mode, &filter)
+        .unwrap()
+        .iter()
+        .map(|f| f.id)
+        .collect()
+}
+
+#[test]
+fn existence_query_filters_features() {
+    assert_eq!(run("building", Mode::Pat), vec![1, 2]);
+    assert_eq!(run("highway", Mode::Pat), vec![3]);
+    assert_eq!(run("missing", Mode::Pat), Vec::<u64>::new());
+}
+
+#[test]
+fn equality_query_filters_features() {
+    assert_eq!(run(r#"building = "yes""#, Mode::Pat), vec![1]);
+    assert_eq!(run(r#"building != "yes""#, Mode::Pat), vec![2]);
+}
+
+#[test]
+fn numeric_query_filters_features() {
+    assert_eq!(run("levels >= 2", Mode::Pat), vec![1]);
+    assert_eq!(run("levels < 2", Mode::Pat), vec![2]);
+}
+
+#[test]
+fn nested_path_query_filters_features() {
+    assert_eq!(run(r#"address.city = "London""#, Mode::Pat), vec![1]);
+    assert_eq!(run(r#"address.city = "Paris""#, Mode::Pat), Vec::<u64>::new());
+}
+
+#[test]
+fn fat_mode_agrees_with_pat_mode() {
+    for q in [
+        "building",
+        r#"building = "yes""#,
+        "levels >= 2",
+        r#"address.city = "London""#,
+    ] {
+        assert_eq!(run(q, Mode::Pat), run(q, Mode::Fat), "query {q}");
+    }
+}
+
+#[test]
+fn wkt_single_segment_fallback() {
+    // WKT tags are flat k=v pairs; single-segment string queries work.
+    let wkt = "1\tPOINT(1 1)\tbuilding=yes;levels=4\n2\tPOINT(2 2)\tbuilding=no\n";
+    let filter = MetadataFilter::Path(PathQuery::parse(r#"building = "yes""#).unwrap());
+    let ids: Vec<u64> = parse_all(wkt.as_bytes(), Format::Wkt, Mode::Pat, &filter)
+        .unwrap()
+        .iter()
+        .map(|f| f.id)
+        .collect();
+    assert_eq!(ids, vec![1]);
+}

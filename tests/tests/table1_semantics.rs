@@ -1,0 +1,232 @@
+//! Cross-crate verification of the Table 1 operator catalogue: every
+//! operator's semantics checked against independent geometric
+//! reasoning, plus the associativity claims verified by executing the
+//! operators through the transducer classes they map to.
+
+use atgis::operators::{PropertyValue, SpatialOperator};
+use atgis_geometry::relate::EdgeRelateState;
+use atgis_geometry::{hull, Geometry, Mbr, Point, Polygon};
+use atgis_transducer::flushing::{FlushAggregate, PftFragment};
+use atgis_transducer::{merge::merge_tree, Mergeable};
+
+fn square(x: f64, y: f64, s: f64) -> Geometry {
+    Geometry::Polygon(Polygon::from_mbr(&Mbr::new(x, y, x + s, y + s)))
+}
+
+#[test]
+fn predicate_truth_table() {
+    use SpatialOperator::*;
+    let a = square(0.0, 0.0, 2.0);
+    let overlapping = square(1.0, 1.0, 2.0);
+    let touching = square(2.0, 0.0, 1.0);
+    let inside = square(0.5, 0.5, 0.5);
+    let far = square(10.0, 10.0, 1.0);
+
+    // (operator, other, expected)
+    let cases = [
+        (Intersects, &overlapping, true),
+        (Intersects, &touching, true),
+        (Intersects, &inside, true),
+        (Intersects, &far, false),
+        (Disjoint, &far, true),
+        (Disjoint, &overlapping, false),
+        (Touches, &touching, true),
+        (Touches, &overlapping, false),
+        (Touches, &far, false),
+        (Overlaps, &overlapping, true),
+        (Overlaps, &inside, false),
+        (Overlaps, &touching, false),
+        (Contains, &inside, true),
+        (Contains, &overlapping, false),
+        (Within, &inside, false), // a is not within inside
+    ];
+    for (op, other, expect) in cases {
+        assert_eq!(
+            op.evaluate_predicate(&a, other),
+            Some(expect),
+            "{} vs {:?}",
+            op.name(),
+            other.mbr()
+        );
+    }
+    assert_eq!(SpatialOperator::Within.evaluate_predicate(&inside, &a), Some(true));
+}
+
+#[test]
+fn envelope_equals_mbr_polygon() {
+    let g = Geometry::Polygon(Polygon::from_exterior(vec![
+        Point::new(0.0, 0.0),
+        Point::new(3.0, 1.0),
+        Point::new(1.0, 4.0),
+    ]));
+    match SpatialOperator::Envelope.evaluate_property(&g) {
+        Some(PropertyValue::Geometry(env)) => {
+            assert_eq!(env.mbr(), g.mbr());
+            assert_eq!(env.area(), g.mbr().area());
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn convex_hull_property_contains_geometry() {
+    let g = Geometry::Polygon(Polygon::from_exterior(vec![
+        Point::new(0.0, 0.0),
+        Point::new(4.0, 0.0),
+        Point::new(2.0, 1.0), // concavity
+        Point::new(4.0, 4.0),
+        Point::new(0.0, 4.0),
+    ]));
+    match SpatialOperator::ConvexHull.evaluate_property(&g) {
+        Some(PropertyValue::Geometry(hull_geom)) => {
+            for p in g.points() {
+                assert!(hull_geom.contains_point(&p));
+            }
+            assert!(hull_geom.area() >= g.area());
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn set_ops_satisfy_algebraic_identities() {
+    let a = Polygon::from_mbr(&Mbr::new(0.0, 0.0, 2.0, 2.0));
+    let b = Polygon::from_mbr(&Mbr::new(1.0, 1.0, 3.0, 3.0));
+    let area = |g: &Geometry| g.area();
+    let inter = SpatialOperator::Intersection.evaluate_setop(&a, &b).unwrap();
+    let uni = SpatialOperator::Union.evaluate_setop(&a, &b).unwrap();
+    let diff = SpatialOperator::Difference.evaluate_setop(&a, &b).unwrap();
+    let sym = SpatialOperator::SymDifference.evaluate_setop(&a, &b).unwrap();
+    assert!((area(&inter) - 1.0).abs() < 1e-9);
+    assert!((area(&uni) - 7.0).abs() < 1e-9);
+    assert!((area(&diff) - 3.0).abs() < 1e-9);
+    assert!((area(&sym) - 6.0).abs() < 1e-9);
+    // |A ∪ B| = |A| + |B| − |A ∩ B|; |AΔB| = |A∪B| − |A∩B|.
+    assert!((area(&uni) - (4.0 + 4.0 - area(&inter))).abs() < 1e-9);
+    assert!((area(&sym) - (area(&uni) - area(&inter))).abs() < 1e-9);
+}
+
+/// The "in shape" associativity claim for ST_Envelope: MBR bounding
+/// over a PFT with flush = geometry boundary, split anywhere inside a
+/// shape.
+struct MbrBounder;
+
+impl FlushAggregate for MbrBounder {
+    type Sym = Point;
+    type State = MbrState;
+    type Out = Mbr;
+    fn absorb(state: &mut MbrState, sym: &Point) {
+        state.0.expand(*sym);
+    }
+    fn finish(state: MbrState) -> Option<Mbr> {
+        (!state.0.is_empty()).then_some(state.0)
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct MbrState(Mbr);
+
+impl Mergeable for MbrState {
+    fn identity() -> Self {
+        MbrState(Mbr::EMPTY)
+    }
+    fn merge(self, other: Self) -> Self {
+        MbrState(self.0.union(&other.0))
+    }
+}
+
+#[test]
+fn st_envelope_as_pft_is_split_invariant_inside_shapes() {
+    // Three geometries of 5/3/4 points, flushed by NaN markers; split
+    // the symbol stream at every position and check the MBR outputs
+    // never change — the "in shape" associativity of Table 1.
+    let flush = Point::new(f64::NAN, f64::NAN);
+    let mut syms: Vec<Point> = Vec::new();
+    let push_shape = |pts: &[(f64, f64)], syms: &mut Vec<Point>| {
+        for &(x, y) in pts {
+            syms.push(Point::new(x, y));
+        }
+        syms.push(flush);
+    };
+    push_shape(&[(0., 0.), (1., 0.), (1., 1.), (0., 1.), (0.5, 2.)], &mut syms);
+    push_shape(&[(5., 5.), (6., 5.), (6., 7.)], &mut syms);
+    push_shape(&[(-3., 0.), (-1., 0.), (-1., -2.), (-3., -2.)], &mut syms);
+
+    let is_flush = |p: &Point| p.x.is_nan();
+    let whole = PftFragment::<MbrBounder>::from_block(&syms, is_flush).finalize();
+    assert_eq!(whole.len(), 3);
+    assert_eq!(whole[0], Mbr::new(0.0, 0.0, 1.0, 2.0));
+    assert_eq!(whole[1], Mbr::new(5.0, 5.0, 6.0, 7.0));
+    assert_eq!(whole[2], Mbr::new(-3.0, -2.0, -1.0, 0.0));
+
+    for cut in 0..=syms.len() {
+        let (l, r) = syms.split_at(cut);
+        let merged = PftFragment::<MbrBounder>::from_block(l, is_flush)
+            .merge(PftFragment::<MbrBounder>::from_block(r, is_flush))
+            .finalize();
+        assert_eq!(merged, whole, "split at {cut}");
+    }
+    // And a many-way split merged as a tree.
+    let frags: Vec<_> = syms
+        .chunks(2)
+        .map(|c| PftFragment::<MbrBounder>::from_block(c, is_flush))
+        .collect();
+    assert_eq!(merge_tree(frags).finalize(), whole);
+}
+
+#[test]
+fn st_convexhull_merge_is_the_hull_of_partial_hulls() {
+    // The Table 1 "shape" processing state for ST_ConvexHull: merging
+    // two partial hulls by hulling their union.
+    let pts: Vec<Point> = (0..200)
+        .map(|i| Point::new(((i * 37) % 101) as f64, ((i * 61) % 97) as f64))
+        .collect();
+    let direct = hull::convex_hull(&pts);
+    for cut in [1, 50, 100, 199] {
+        let (a, b) = pts.split_at(cut);
+        let merged = hull::merge_hulls(&hull::convex_hull(a), &hull::convex_hull(b));
+        assert_eq!(merged.area(), direct.area(), "cut={cut}");
+    }
+}
+
+#[test]
+fn st_intersects_edge_state_is_order_insensitive() {
+    // The Bool×Bool PFT state of the relation operators: fold the
+    // edges of a streamed polygon in two different block orders.
+    let reference = Polygon::from_mbr(&Mbr::new(0.0, 0.0, 2.0, 2.0));
+    let streamed = Polygon::from_exterior(vec![
+        Point::new(1.0, 1.0),
+        Point::new(5.0, 1.0),
+        Point::new(5.0, 5.0),
+        Point::new(1.0, 5.0),
+    ]);
+    let edges: Vec<_> = streamed.all_segments().collect();
+    for cut in 0..edges.len() {
+        let mut left = EdgeRelateState::default();
+        for e in &edges[..cut] {
+            left.process_edge(e, &reference);
+        }
+        let mut right = EdgeRelateState::default();
+        for e in &edges[cut..] {
+            right.process_edge(e, &reference);
+        }
+        let merged = left.merge(&right);
+        assert!(merged.finish_intersects(&streamed, &reference), "cut={cut}");
+    }
+}
+
+#[test]
+fn relate_matrix_consistent_with_predicates() {
+    let a = square(0.0, 0.0, 2.0);
+    for (other, pattern_should_match) in [
+        (square(1.0, 1.0, 2.0), "T********"), // interiors intersect
+        (square(10.0, 0.0, 1.0), "FF*FF****"), // disjoint
+    ] {
+        let m = atgis_geometry::relate(&a, &other);
+        assert!(
+            m.matches(pattern_should_match),
+            "{} should match {pattern_should_match}",
+            m.to_de9im_string()
+        );
+    }
+}
