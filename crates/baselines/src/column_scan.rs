@@ -149,13 +149,13 @@ impl ColumnStore {
         }
         let chunk = self.boxes.len().div_ceil(threads);
         let mut out: Vec<Vec<usize>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .boxes
                 .chunks(chunk)
                 .enumerate()
                 .map(|(k, part)| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         part.iter()
                             .enumerate()
                             .filter(|(_, b)| b.intersects(query))
@@ -164,9 +164,11 @@ impl ColumnStore {
                     })
                 })
                 .collect();
-            out = handles.into_iter().map(|h| h.join().unwrap()).collect();
-        })
-        .expect("scan thread panicked");
+            out = handles
+                .into_iter()
+                .map(|h| h.join().expect("scan thread panicked"))
+                .collect();
+        });
         out.into_iter().flatten().collect()
     }
 }

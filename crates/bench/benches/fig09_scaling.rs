@@ -1,11 +1,53 @@
 //! Fig. 9: scaling of containment (a), aggregation (b) and join (c)
-//! queries with the number of CPU cores, for both FAT and PAT modes.
+//! queries with the number of CPU cores, for both FAT and PAT modes —
+//! plus (d) the parallel speculative-lex scan, old byte loop vs the
+//! vectorised scanner, across thread counts.
 
+use atgis::executor::run_blocks;
 use atgis::{Engine, Query};
 use atgis_bench::Workload;
-use atgis_formats::Mode;
+use atgis_formats::geojson::lexer;
+use atgis_formats::{fixed_blocks, Mode};
 use atgis_geometry::Mbr;
+use atgis_transducer::Mergeable;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Block-parallel speculative lexing (the FAT pipeline's stage 1) at
+/// each thread count, with the seed byte loop and the vectorised
+/// scanner — MB/s shows how far each is from the memory bus.
+fn bench_scan_scaling(c: &mut Criterion) {
+    let w = Workload::build(atgis_bench::scaled(3000));
+    let input = w.osm_g.bytes();
+    let mut group = c.benchmark_group("fig09d_scan_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    for t in thread_counts() {
+        let blocks = fixed_blocks(input.len(), t * 4);
+        for (name, bulk) in [("bytewise", false), ("vectorised", true)] {
+            group.bench_with_input(BenchmarkId::new(name, t), &t, |b, &t| {
+                b.iter(|| {
+                    let (merged, _) = run_blocks(
+                        &blocks,
+                        t,
+                        |blk| {
+                            let bytes = blk.slice(input);
+                            let frag = if bulk {
+                                lexer::lex_block(bytes, blk.start as u64)
+                            } else {
+                                lexer::lex_block_bytewise(bytes, blk.start as u64)
+                            };
+                            Ok::<_, ()>(frag)
+                        },
+                        |a, b| Ok(a.merge(b)),
+                    );
+                    merged.unwrap().map(|f| f.distinct_finishing_states())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 
 fn engine(threads: usize, mode: Mode) -> Engine {
     Engine::builder()
@@ -67,5 +109,5 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling);
+criterion_group!(benches, bench_scan_scaling, bench_scaling);
 criterion_main!(benches);

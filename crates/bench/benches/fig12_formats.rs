@@ -1,9 +1,39 @@
 //! Fig. 12: throughput of each query on each data format (GeoJSON,
-//! WKT, OSM XML, replicated).
+//! WKT, OSM XML, replicated) — plus the structural-scan ablation
+//! comparing the seed's byte-at-a-time DFA loop against the
+//! vectorised skip scanner on the same GeoJSON bytes.
 
 use atgis::{Engine, Query};
 use atgis_bench::Workload;
+use atgis_formats::geojson::lexer;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Old-vs-new structural scan over raw GeoJSON: identical token
+/// stream, only the scan loop differs. MB/s is the number the paper's
+/// "saturate the memory bus" claim lives or dies on.
+fn bench_scan(c: &mut Criterion) {
+    let w = Workload::build(atgis_bench::scaled(1500));
+    let input = w.osm_g.bytes();
+    let dfa = lexer::lexer();
+    let mut group = c.benchmark_group("fig12_structural_scan");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.bench_function("bytewise_seed", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            dfa.run_bytewise(lexer::STATE_OUT, input, 0, |_, _| n += 1);
+            n
+        })
+    });
+    group.bench_function("vectorised", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            dfa.run(lexer::STATE_OUT, input, 0, |_, _| n += 1);
+            n
+        })
+    });
+    group.finish();
+}
 
 fn bench_formats(c: &mut Criterion) {
     let w = Workload::build(atgis_bench::scaled(1500));
@@ -30,5 +60,5 @@ fn bench_formats(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_formats);
+criterion_group!(benches, bench_scan, bench_formats);
 criterion_main!(benches);

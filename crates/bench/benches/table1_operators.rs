@@ -39,11 +39,9 @@ fn bench_operators(c: &mut Criterion) {
     // Ablation: speculative (3-state) vs known-state lexing of the
     // same block — the cost of FAT speculation the paper discusses in
     // §3.3/§5.5.
-    let doc: String = std::iter::repeat(
-        r#"{"type":"Feature","geometry":{"type":"Point","coordinates":[1.0,2.0]},"id":1,"properties":{"k":"v"}},"#,
-    )
-    .take(200)
-    .collect();
+    let doc: String =
+        r#"{"type":"Feature","geometry":{"type":"Point","coordinates":[1.0,2.0]},"id":1,"properties":{"k":"v"}},"#
+            .repeat(200);
     let bytes = doc.as_bytes();
     let mut group = c.benchmark_group("ablation_lexer_speculation");
     group.sample_size(20);

@@ -24,6 +24,14 @@ fn main() {
     let run_all = which == "all";
     println!("AT-GIS evaluation harness (scale = {})", atgis_bench::scale());
     println!("host threads available: {}", host_threads());
+    println!(
+        "dataset backing: {}",
+        if atgis_bench::mmap_enabled() {
+            "memory-mapped temp files (ATGIS_MMAP=1)"
+        } else {
+            "heap buffers (set ATGIS_MMAP=1 to mmap)"
+        }
+    );
     println!();
     if run_all || which == "table1" {
         table1();

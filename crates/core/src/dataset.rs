@@ -1,16 +1,120 @@
 //! Raw datasets: bytes plus format, following the NoDB philosophy —
 //! no conversion, no loading phase, queries run against these bytes
 //! directly (§1, §2.3 "the data [is] left in its original form").
+//!
+//! Two storage backends:
+//!
+//! * [`Dataset::from_bytes`] / [`Dataset::from_file`] — heap-owned
+//!   bytes (the paper's RAM-disk configuration);
+//! * [`Dataset::mmap`] — a read-only memory mapping, so multi-GB
+//!   inputs are paged in on demand by the query scan instead of being
+//!   copied into (and doubling) resident memory. The mapping is done
+//!   with a direct `mmap(2)` FFI call (the build environment is
+//!   offline, so the `memmap2` crate is not available; the libc
+//!   symbols are already linked by std).
 
 use atgis_formats::Format;
 use std::path::Path;
 use std::sync::Arc;
 
+#[cfg(unix)]
+mod mmap_impl {
+    //! Minimal read-only file mapping over raw `mmap(2)`/`munmap(2)`.
+
+    use std::fs::File;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// An owned read-only mapping, unmapped on drop.
+    #[derive(Debug)]
+    pub struct Mapping {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is immutable (PROT_READ, private) for its
+    // whole lifetime, so shared access from any thread is sound.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        /// Maps the whole of `file` read-only. Zero-length files get a
+        /// dangling empty mapping (mmap rejects len 0).
+        pub fn of_file(file: &File) -> std::io::Result<Mapping> {
+            let len = file.metadata()?.len() as usize;
+            if len == 0 {
+                return Ok(Mapping {
+                    ptr: std::ptr::null_mut(),
+                    len: 0,
+                });
+            }
+            // SAFETY: fd is valid for the duration of the call; the
+            // kernel keeps the mapping alive after the fd closes.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(Mapping { ptr, len })
+        }
+
+        /// The mapped bytes.
+        pub fn as_slice(&self) -> &[u8] {
+            if self.len == 0 {
+                return &[];
+            }
+            // SAFETY: ptr/len come from a successful mmap that lives
+            // until drop.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            if !self.ptr.is_null() {
+                // SAFETY: exactly the region returned by mmap.
+                unsafe { munmap(self.ptr, self.len) };
+            }
+        }
+    }
+}
+
+/// The storage backing a dataset's bytes.
+#[derive(Debug, Clone)]
+enum Storage {
+    Owned(Arc<Vec<u8>>),
+    #[cfg(unix)]
+    Mapped(Arc<mmap_impl::Mapping>),
+}
+
 /// A raw spatial dataset held in memory (the paper's RAM-disk
-/// configuration) or read from a file.
+/// configuration) or memory-mapped from a file.
 #[derive(Debug, Clone)]
 pub struct Dataset {
-    bytes: Arc<Vec<u8>>,
+    storage: Storage,
     format: Format,
 }
 
@@ -18,7 +122,7 @@ impl Dataset {
     /// Wraps in-memory bytes.
     pub fn from_bytes(bytes: Vec<u8>, format: Format) -> Self {
         Dataset {
-            bytes: Arc::new(bytes),
+            storage: Storage::Owned(Arc::new(bytes)),
             format,
         }
     }
@@ -26,30 +130,63 @@ impl Dataset {
     /// Reads a file fully into memory.
     pub fn from_file(path: impl AsRef<Path>, format: Format) -> std::io::Result<Self> {
         Ok(Dataset {
-            bytes: Arc::new(std::fs::read(path)?),
+            storage: Storage::Owned(Arc::new(std::fs::read(path)?)),
             format,
         })
     }
 
+    /// Memory-maps a file read-only: queries scan pages straight from
+    /// the page cache, so resident memory is not doubled for large
+    /// inputs. Falls back to [`Dataset::from_file`] on non-Unix
+    /// targets.
+    pub fn mmap(path: impl AsRef<Path>, format: Format) -> std::io::Result<Self> {
+        #[cfg(unix)]
+        {
+            let file = std::fs::File::open(path)?;
+            Ok(Dataset {
+                storage: Storage::Mapped(Arc::new(mmap_impl::Mapping::of_file(&file)?)),
+                format,
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            Dataset::from_file(path, format)
+        }
+    }
+
     /// The raw bytes.
     pub fn bytes(&self) -> &[u8] {
-        &self.bytes
+        match &self.storage {
+            Storage::Owned(v) => v,
+            #[cfg(unix)]
+            Storage::Mapped(m) => m.as_slice(),
+        }
     }
 
     /// Dataset size in bytes (the denominator of the paper's MB/s
     /// throughput numbers).
     pub fn len(&self) -> usize {
-        self.bytes.len()
+        self.bytes().len()
     }
 
     /// True for an empty dataset.
     pub fn is_empty(&self) -> bool {
-        self.bytes.is_empty()
+        self.bytes().is_empty()
     }
 
     /// The serialisation format.
     pub fn format(&self) -> Format {
         self.format
+    }
+
+    /// True when the dataset is served by a memory mapping rather than
+    /// heap-owned bytes.
+    pub fn is_mapped(&self) -> bool {
+        match &self.storage {
+            Storage::Owned(_) => false,
+            #[cfg(unix)]
+            Storage::Mapped(_) => true,
+        }
     }
 }
 
@@ -63,6 +200,7 @@ mod tests {
         assert_eq!(d.bytes(), b"hello");
         assert_eq!(d.len(), 5);
         assert!(!d.is_empty());
+        assert!(!d.is_mapped());
         assert_eq!(d.format(), Format::Wkt);
     }
 
@@ -80,5 +218,35 @@ mod tests {
         let d = Dataset::from_bytes(vec![0u8; 1024], Format::GeoJson);
         let e = d.clone();
         assert!(std::ptr::eq(d.bytes().as_ptr(), e.bytes().as_ptr()));
+    }
+
+    #[test]
+    fn mmap_matches_read() {
+        let path = std::env::temp_dir().join("atgis_dataset_mmap_test.txt");
+        let payload = b"2\tPOINT(3 4)\t\n".repeat(1000);
+        std::fs::write(&path, &payload).unwrap();
+        let mapped = Dataset::mmap(&path, Format::Wkt).unwrap();
+        let owned = Dataset::from_file(&path, Format::Wkt).unwrap();
+        assert_eq!(mapped.bytes(), owned.bytes());
+        assert_eq!(cfg!(unix), mapped.is_mapped());
+        // The mapping survives the clone and the original.
+        let copy = mapped.clone();
+        drop(mapped);
+        assert_eq!(copy.len(), payload.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_empty_file() {
+        let path = std::env::temp_dir().join("atgis_dataset_mmap_empty.txt");
+        std::fs::write(&path, b"").unwrap();
+        let d = Dataset::mmap(&path, Format::GeoJson).unwrap();
+        assert!(d.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_missing_file_errors() {
+        assert!(Dataset::mmap("/nonexistent/atgis/nope.json", Format::GeoJson).is_err());
     }
 }

@@ -2,8 +2,9 @@
 //! pipeline executions over raw datasets (§4).
 
 use crate::dataset::Dataset;
-use crate::executor::run_blocks;
-use crate::join::{pbsm_join, JoinOptions, Reparser};
+use crate::executor::{resolve_threads, run_blocks_on};
+use crate::join::{pbsm_join_on, JoinOptions, Reparser};
+use crate::pool::WorkerPool;
 use crate::partition::{ArrayStore, GridSpec, ListStore, PartEntry, PartitionStore};
 use crate::pipeline::{ContainmentAgg, FatGeoJsonFrag, FatWktFrag, MetricsAgg, QueryAggregate};
 use crate::query::{FilterStrategy, Query};
@@ -69,9 +70,14 @@ impl Default for EngineBuilder {
 }
 
 impl EngineBuilder {
-    /// Worker threads for all parallel phases.
+    /// Worker threads for all parallel phases. `0` means "match the
+    /// machine" (`std::thread::available_parallelism`). The default is
+    /// 1 (fully sequential) so results are reproducible on any host
+    /// unless parallelism is asked for; per-job worker counts are
+    /// always clamped to the number of work items, so small inputs
+    /// never oversubscribe.
     pub fn threads(mut self, n: usize) -> Self {
-        self.threads = n.max(1);
+        self.threads = n;
         self
     }
 
@@ -118,16 +124,22 @@ impl EngineBuilder {
         self
     }
 
-    /// Finalises the engine.
-    pub fn build(self) -> Engine {
-        Engine { config: self }
+    /// Finalises the engine, spawning its persistent worker pool
+    /// (`threads - 1` pool workers; the query-submitting thread is the
+    /// remaining execution unit). The pool outlives individual queries
+    /// and is shared by clones of the engine.
+    pub fn build(mut self) -> Engine {
+        self.threads = resolve_threads(self.threads);
+        let pool = Arc::new(WorkerPool::new(self.threads.saturating_sub(1)));
+        Engine { config: self, pool }
     }
 }
 
-/// The query engine.
+/// The query engine. Cloning shares the underlying worker pool.
 #[derive(Debug, Clone)]
 pub struct Engine {
     config: EngineBuilder,
+    pool: Arc<WorkerPool>,
 }
 
 /// Timing breakdown of one query execution.
@@ -288,7 +300,8 @@ impl Engine {
                 let blocks =
                     marker_blocks(input, atgis_formats::geojson::FEATURE_MARKER, n);
                 let split = started.elapsed();
-                let (merged, mut t) = run_blocks(
+                let (merged, mut t) = run_blocks_on(
+                    &self.pool,
                     &blocks,
                     threads,
                     |b| {
@@ -311,7 +324,8 @@ impl Engine {
                 let started = Instant::now();
                 let blocks = fixed_blocks(input.len(), n);
                 let split = started.elapsed();
-                let (merged, mut t) = run_blocks(
+                let (merged, mut t) = run_blocks_on(
+                    &self.pool,
                     &blocks,
                     threads,
                     |b| FatGeoJsonFrag::process(input, b, filter, &proto),
@@ -330,7 +344,8 @@ impl Engine {
                 let started = Instant::now();
                 let blocks = marker_blocks(input, b"\n", n);
                 let split = started.elapsed();
-                let (merged, mut t) = run_blocks(
+                let (merged, mut t) = run_blocks_on(
+                    &self.pool,
                     &blocks,
                     threads,
                     |b| {
@@ -352,7 +367,8 @@ impl Engine {
                 let started = Instant::now();
                 let blocks = fixed_blocks(input.len(), n);
                 let split = started.elapsed();
-                let (merged, mut t) = run_blocks(
+                let (merged, mut t) = run_blocks_on(
+                    &self.pool,
                     &blocks,
                     threads,
                     |b| FatWktFrag::process(input, b, filter, &proto),
@@ -398,7 +414,8 @@ impl Engine {
 
         // Pass 1: temporary node table (map union is the associative
         // merge).
-        let (nodes, mut t1) = run_blocks(
+        let (nodes, mut t1) = run_blocks_on(
+            &self.pool,
             &blocks,
             threads,
             |b| osmxml::collect_nodes(input, b.start, b.end),
@@ -410,7 +427,8 @@ impl Engine {
         let nodes = nodes?.unwrap_or_default();
 
         // Pass 2: ways and relations.
-        let (ways, t2) = run_blocks(
+        let (ways, t2) = run_blocks_on(
+            &self.pool,
             &blocks,
             threads,
             |b| osmxml::collect_ways(input, b.start, b.end),
@@ -420,7 +438,8 @@ impl Engine {
             },
         );
         let ways = ways?.unwrap_or_default();
-        let (relations, t3) = run_blocks(
+        let (relations, t3) = run_blocks_on(
+            &self.pool,
             &blocks,
             threads,
             |b| osmxml::collect_relations(input, b.start, b.end),
@@ -508,7 +527,8 @@ impl Engine {
             None
         };
         let reparse = make_reparser(input, dataset.format(), xml_table.as_ref());
-        let (pairs, dedup) = pbsm_join(
+        let (pairs, dedup) = pbsm_join_on(
+            &self.pool,
             &agg.store,
             reparse.as_ref(),
             JoinOptions {
@@ -833,10 +853,11 @@ mod tests {
         let mut want = std::collections::HashSet::new();
         for a in &gen.objects {
             for b in &gen.objects {
-                if a.id < 25 && b.id >= 25 {
-                    if atgis_geometry::intersects(&a.geometry, &b.geometry) {
-                        want.insert((a.id, b.id));
-                    }
+                if a.id < 25
+                    && b.id >= 25
+                    && atgis_geometry::intersects(&a.geometry, &b.geometry)
+                {
+                    want.insert((a.id, b.id));
                 }
             }
         }

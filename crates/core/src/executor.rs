@@ -7,15 +7,129 @@
 //! runs the *entire* pipeline for its blocks (§1: "each thread
 //! executes the entire pipeline, for separate blocks of the input
 //! data"); only fragments cross thread boundaries.
+//!
+//! Two deliberate deviations from the paper's prototype, both for
+//! sustained-traffic throughput:
+//!
+//! * threads are **persistent** ([`crate::pool::WorkerPool`]) instead
+//!   of being re-created per query, and result slots are pre-sized and
+//!   written lock-free (the work-queue cursor hands each slot exactly
+//!   one writer);
+//! * the merge phase is a **balanced tree fold** over adjacent
+//!   fragments rather than a sequential left fold — valid because ⊗ is
+//!   associative (§3.2), parallel across pool workers, and shaped only
+//!   by the fragment count so results are bit-identical across thread
+//!   counts.
 
+use crate::pool::{available_parallelism, WorkerPool};
 use crate::stats::Timings;
 use atgis_formats::Block;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
-/// Runs `process` over every block on `threads` worker threads, then
-/// folds the per-block fragments **in block order** with `merge`.
-/// Returns `Ok(None)` for an empty block list.
+/// Resolves a configured thread count: `0` means "match the machine"
+/// (`std::thread::available_parallelism`), anything else is taken
+/// as-is. Guards against the oversubscription of spawning more workers
+/// than there are result slots — the pool additionally clamps per-job
+/// concurrency to the task count.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        available_parallelism()
+    } else {
+        threads
+    }
+}
+
+/// Runs `process` over every block on up to `threads` workers of
+/// `pool`, then folds the per-block fragments as a balanced tree in
+/// block order with `merge`. Returns `Ok(None)` for an empty block
+/// list.
+pub fn run_blocks_on<T, E, P, M>(
+    pool: &WorkerPool,
+    blocks: &[Block],
+    threads: usize,
+    process: P,
+    merge: M,
+) -> (std::result::Result<Option<T>, E>, Timings)
+where
+    T: Send,
+    E: Send,
+    P: Fn(Block) -> std::result::Result<T, E> + Sync,
+    M: Fn(T, T) -> std::result::Result<T, E> + Sync,
+{
+    let threads = resolve_threads(threads);
+    let mut timings = Timings::default();
+
+    // Processing phase: the pool's job cursor is the work queue;
+    // results land in pre-sized lock-free slots.
+    let started = Instant::now();
+    let results = pool.run_collect(blocks.len(), threads, |i| process(blocks[i]));
+    timings.process = started.elapsed();
+
+    // Merge phase: balanced pairwise tree over adjacent fragments,
+    // merged in parallel level by level. The tree's shape depends only
+    // on the block count, so thread count cannot perturb results.
+    let started = Instant::now();
+    let mut layer: Vec<T> = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(f) => layer.push(f),
+            Err(e) => {
+                timings.merge = started.elapsed();
+                return (Err(e), timings);
+            }
+        }
+    }
+    let merged = tree_merge(pool, threads, layer, &merge);
+    timings.merge = started.elapsed();
+    (merged, timings)
+}
+
+/// A pair of adjacent fragments awaiting merge; the `Option` lets the
+/// owning parallel task take them out of the shared vector.
+type MergeCell<T> = Mutex<Option<(T, Option<T>)>>;
+
+/// One level-synchronous round of pairwise merges until a single
+/// fragment remains.
+fn tree_merge<T, E, M>(
+    pool: &WorkerPool,
+    threads: usize,
+    mut layer: Vec<T>,
+    merge: &M,
+) -> std::result::Result<Option<T>, E>
+where
+    T: Send,
+    E: Send,
+    M: Fn(T, T) -> std::result::Result<T, E> + Sync,
+{
+    while layer.len() > 1 {
+        // Move pairs into cells so parallel tasks can take ownership.
+        let mut cells: Vec<MergeCell<T>> = Vec::with_capacity(layer.len() / 2 + 1);
+        let mut it = layer.into_iter();
+        while let Some(a) = it.next() {
+            cells.push(Mutex::new(Some((a, it.next()))));
+        }
+        let merged = pool.run_collect(cells.len(), threads, |i| {
+            let (a, b) = cells[i]
+                .lock()
+                .expect("merge cell poisoned")
+                .take()
+                .expect("each cell taken once");
+            match b {
+                Some(b) => merge(a, b),
+                None => Ok(a), // Odd fragment carries to the next level.
+            }
+        });
+        layer = Vec::with_capacity(merged.len());
+        for r in merged {
+            layer.push(r?);
+        }
+    }
+    Ok(layer.pop())
+}
+
+/// [`run_blocks_on`] against the process-wide shared pool — the
+/// standalone API for callers without an engine.
 pub fn run_blocks<T, E, P, M>(
     blocks: &[Block],
     threads: usize,
@@ -26,105 +140,30 @@ where
     T: Send,
     E: Send,
     P: Fn(Block) -> std::result::Result<T, E> + Sync,
-    M: Fn(T, T) -> std::result::Result<T, E>,
+    M: Fn(T, T) -> std::result::Result<T, E> + Sync,
 {
-    let threads = threads.max(1);
-    let mut timings = Timings::default();
-
-    // Processing phase: a shared atomic cursor is the work queue —
-    // workers claim the next unprocessed block until none remain.
-    let started = Instant::now();
-    let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<std::result::Result<T, E>>> =
-        (0..blocks.len()).map(|_| None).collect();
-
-    if threads == 1 || blocks.len() <= 1 {
-        for (i, &b) in blocks.iter().enumerate() {
-            slots[i] = Some(process(b));
-        }
-    } else {
-        // Hand each worker a disjoint view of the result slots via
-        // chunked raw splitting; the cursor orders claims.
-        let slot_refs: Vec<parking_lot::Mutex<&mut Option<std::result::Result<T, E>>>> =
-            slots.iter_mut().map(parking_lot::Mutex::new).collect();
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads.min(blocks.len()) {
-                scope.spawn(|_| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= blocks.len() {
-                        break;
-                    }
-                    let result = process(blocks[i]);
-                    **slot_refs[i].lock() = Some(result);
-                });
-            }
-        })
-        .expect("worker thread panicked");
-    }
-    timings.process = started.elapsed();
-
-    // Merge phase: in-order left fold (the fragments' ⊗ is
-    // associative, so a tree merge would also be valid; the paper
-    // merges after all blocks are available).
-    let started = Instant::now();
-    let mut acc: Option<T> = None;
-    for slot in slots {
-        let frag = match slot.expect("every block processed") {
-            Ok(f) => f,
-            Err(e) => {
-                timings.merge = started.elapsed();
-                return (Err(e), timings);
-            }
-        };
-        acc = Some(match acc {
-            None => frag,
-            Some(a) => match merge(a, frag) {
-                Ok(m) => m,
-                Err(e) => {
-                    timings.merge = started.elapsed();
-                    return (Err(e), timings);
-                }
-            },
-        });
-    }
-    timings.merge = started.elapsed();
-    (Ok(acc), timings)
+    run_blocks_on(WorkerPool::global(), blocks, threads, process, merge)
 }
 
-/// Runs `work` over the indices `0..n` on `threads` workers, collecting
-/// outputs in index order. A simpler variant of [`run_blocks`] for
-/// partition-parallel stages (the join pipeline fans out over
-/// partitions, not blocks).
+/// Runs `work` over the indices `0..n` on up to `threads` workers of
+/// `pool`, collecting outputs in index order. A simpler variant of
+/// [`run_blocks_on`] for partition-parallel stages (the join pipeline
+/// fans out over partitions, not blocks).
+pub fn run_indexed_on<T, P>(pool: &WorkerPool, n: usize, threads: usize, work: P) -> Vec<T>
+where
+    T: Send,
+    P: Fn(usize) -> T + Sync,
+{
+    pool.run_collect(n, resolve_threads(threads), work)
+}
+
+/// [`run_indexed_on`] against the process-wide shared pool.
 pub fn run_indexed<T, P>(n: usize, threads: usize, work: P) -> Vec<T>
 where
     T: Send,
     P: Fn(usize) -> T + Sync,
 {
-    let threads = threads.max(1);
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    if threads == 1 || n <= 1 {
-        for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(work(i));
-        }
-    } else {
-        let cursor = AtomicUsize::new(0);
-        let slot_refs: Vec<parking_lot::Mutex<&mut Option<T>>> =
-            slots.iter_mut().map(parking_lot::Mutex::new).collect();
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads.min(n) {
-                scope.spawn(|_| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let out = work(i);
-                    **slot_refs[i].lock() = Some(out);
-                });
-            }
-        })
-        .expect("worker thread panicked");
-    }
-    slots.into_iter().map(|s| s.expect("filled")).collect()
+    run_indexed_on(WorkerPool::global(), n, threads, work)
 }
 
 #[cfg(test)]
@@ -148,6 +187,20 @@ mod tests {
             let merged = result.unwrap().unwrap();
             assert_eq!(merged, (0..10).collect::<Vec<_>>(), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn zero_threads_means_machine_parallelism() {
+        assert_eq!(resolve_threads(0), available_parallelism());
+        assert_eq!(resolve_threads(3), 3);
+        let blocks = fixed_blocks(50, 5);
+        let (result, _) = run_blocks(
+            &blocks,
+            0,
+            |b| Ok::<_, ()>(b.len()),
+            |a, b| Ok(a + b),
+        );
+        assert_eq!(result.unwrap(), Some(50));
     }
 
     #[test]
@@ -182,13 +235,43 @@ mod tests {
     #[test]
     fn merge_errors_propagate() {
         let blocks = fixed_blocks(10, 5);
+        // Merge is a tree fold: make the failure reachable under any
+        // parenthesisation by failing whenever block 2 is involved.
         let (result, _) = run_blocks(
             &blocks,
             2,
-            |b| Ok(b.index),
-            |_, b| if b == 2 { Err("merge fail") } else { Ok(b) },
+            |b| Ok(vec![b.index]),
+            |a: Vec<usize>, b| {
+                if a.contains(&2) || b.contains(&2) {
+                    Err("merge fail")
+                } else {
+                    Ok(a.into_iter().chain(b).collect())
+                }
+            },
         );
         assert_eq!(result.unwrap_err(), "merge fail");
+    }
+
+    #[test]
+    fn tree_merge_agrees_with_left_fold_for_associative_ops() {
+        for n in 0..24usize {
+            let blocks = fixed_blocks(n.max(1) * 10, n.max(1));
+            let (result, _) = run_blocks(
+                &blocks,
+                3,
+                |b| Ok::<_, ()>(vec![b.index]),
+                |mut a, b| {
+                    a.extend(b);
+                    Ok(a)
+                },
+            );
+            let merged = result.unwrap().unwrap();
+            assert_eq!(merged, (0..blocks_len(n)).collect::<Vec<_>>(), "n={n}");
+        }
+
+        fn blocks_len(n: usize) -> usize {
+            fixed_blocks(n.max(1) * 10, n.max(1)).len()
+        }
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //!    partitions can match repeatedly; pairs are sorted by offsets and
 //!    deduplicated before the result returns (§4.5).
 
-use crate::executor::run_indexed;
+use crate::executor::run_indexed_on;
 use crate::partition::{PartEntry, PartitionStore};
+use crate::pool::WorkerPool;
 use crate::result::JoinPair;
 use atgis_formats::ParseError;
 use atgis_geometry::relate::intersects;
@@ -53,13 +54,26 @@ impl Default for JoinOptions {
 
 /// Executes the join pipeline over every partition, returning
 /// deduplicated pairs plus the time spent on duplicate elimination.
+/// Runs on the process-wide shared pool; the engine uses
+/// [`pbsm_join_on`] with its own persistent pool.
 pub fn pbsm_join<S: PartitionStore + Sync>(
     store: &S,
     reparse: &Reparser<'_>,
     options: JoinOptions,
 ) -> Result<(Vec<JoinPair>, Duration), ParseError> {
+    pbsm_join_on(WorkerPool::global(), store, reparse, options)
+}
+
+/// [`pbsm_join`] on a caller-supplied worker pool.
+pub fn pbsm_join_on<S: PartitionStore + Sync>(
+    pool: &WorkerPool,
+    store: &S,
+    reparse: &Reparser<'_>,
+    options: JoinOptions,
+) -> Result<(Vec<JoinPair>, Duration), ParseError> {
     let cells = store.num_cells();
-    let per_cell: Vec<Result<Vec<JoinPair>, ParseError>> = run_indexed(
+    let per_cell: Vec<Result<Vec<JoinPair>, ParseError>> = run_indexed_on(
+        pool,
         cells,
         options.threads,
         |cell| join_partition(store, cell, reparse, options.sort_batch),

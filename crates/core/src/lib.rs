@@ -27,9 +27,19 @@
 //!
 //! ## Architecture (§4 of the paper)
 //!
-//! * [`executor`] — the split / processing / merge phases of Fig. 5: a
-//!   work queue of blocks drained by a thread pool, per-thread
-//!   fragments, in-order merge.
+//! * [`pool`] — the **persistent execution runtime**: one
+//!   [`pool::WorkerPool`] per engine, spawned in
+//!   `EngineBuilder::build` and reused by every query. Jobs drain an
+//!   atomic work-queue cursor; results land in pre-sized slots written
+//!   lock-free (each index has exactly one writer), so serving heavy
+//!   query traffic costs no thread churn and no per-slot locks.
+//! * [`executor`] — the split / processing / merge phases of Fig. 5 on
+//!   top of the pool. The merge phase is a balanced **parallel tree
+//!   fold** over adjacent fragments (valid by ⊗-associativity, §3.2);
+//!   its shape depends only on the block count, so results are
+//!   identical at every thread count. `threads == 0` means "match the
+//!   machine", and per-job concurrency is always clamped to the number
+//!   of work items.
 //! * [`pipeline`] — per-block query processing: parse fragments from
 //!   `atgis-formats` composed with query aggregates (Fig. 6's
 //!   stages), including the streaming vs buffered filter trade-off of
@@ -39,6 +49,22 @@
 //! * [`join`] — the two-pass PBSM join pipeline of Fig. 8 (MBR
 //!   compare → sort → re-parse/buffer → refine → dedup).
 //! * [`query`] / [`result`] — Table 3's query forms and their results.
+//! * [`dataset`] — raw bytes plus format; heap-owned or memory-mapped
+//!   ([`Dataset::mmap`]) so multi-GB inputs don't double resident
+//!   memory.
+//!
+//! ## The scan fast path
+//!
+//! All format scanning funnels through two vectorised primitives:
+//! `atgis-transducer`'s per-state skip classes (structural lexing
+//! skips 8 bytes per iteration between interesting bytes — see the
+//! `atgis_transducer::dfa` docs) and `atgis-formats`' SWAR
+//! `memchr`/`find_marker` (marker-aligned splitting, string scanning,
+//! XML tag seeking). The speculative byte-at-a-time slow path still
+//! runs in exactly one place: the *pre-convergence* prefix of a FAT
+//! block, where multiple lexer states advance in lockstep; once the
+//! runs converge — typically within a few bytes of a block start — the
+//! single shared run proceeds through the bulk scanner.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -50,6 +76,7 @@ pub mod join;
 pub mod operators;
 pub mod partition;
 pub mod pipeline;
+pub mod pool;
 pub mod query;
 pub mod result;
 pub mod stats;

@@ -229,7 +229,7 @@ mod tests {
             offset: id * 10,
             len: 5,
             mbr: Mbr::new(x, y, x + size, y + size),
-            left_side: id % 2 == 0,
+            left_side: id.is_multiple_of(2),
         }
     }
 

@@ -1,0 +1,397 @@
+//! The persistent execution runtime: a process-lifetime worker pool
+//! replacing the per-query thread churn of the original Fig. 5
+//! executor.
+//!
+//! The paper's prototype re-creates its processing threads for every
+//! query; under heavy traffic that costs a `clone`/`join` pair plus a
+//! mutex per result slot per query. Here the [`Engine`] owns one
+//! [`WorkerPool`] built once in `EngineBuilder::build`; queries submit
+//! *jobs* (an indexed task set drained through one atomic cursor) and
+//! workers park between jobs. Result slots are written lock-free: the
+//! cursor hands every index to exactly one claimant, so each slot has
+//! a unique writer and plain pointer writes suffice.
+//!
+//! [`Engine`]: crate::engine::Engine
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Type-erased pointer to the job closure. The pointee is guaranteed
+/// by [`WorkerPool::run`] to outlive every access: `run` does not
+/// return until all `n` task completions are counted, and workers
+/// never dereference after the cursor is exhausted.
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is Sync (bound on construction) and the pointer
+// is only dereferenced while the submitting thread keeps the closure
+// alive (see `run`'s completion barrier).
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// One submitted job: `n` indexed tasks drained via an atomic cursor.
+struct Job {
+    /// Monotonic id so a worker runs each job at most once.
+    epoch: u64,
+    task: TaskPtr,
+    n: usize,
+    cursor: AtomicUsize,
+    /// Pool-worker seats (the submitting thread always participates on
+    /// top of these); bounds per-job concurrency below pool size.
+    seats: usize,
+    seats_taken: AtomicUsize,
+    /// Lock-free completion count; the mutex/condvar pair below is
+    /// touched only by the final task and the waiting submitter.
+    done_count: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Job {
+    /// Claims and runs tasks until the cursor is exhausted.
+    fn execute(&self) {
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                break;
+            }
+            // SAFETY: see TaskPtr — the closure outlives the job.
+            let task = unsafe { &*self.task.0 };
+            if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+                self.panicked.store(true, Ordering::Release);
+            }
+            // AcqRel: completing task publishes its slot write; the
+            // final task (and the waiting submitter) acquire all of
+            // them.
+            if self.done_count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+                // Lock before notify so the submitter cannot miss the
+                // wakeup between its check and its wait.
+                let mut finished = self.done.lock().expect("pool poisoned");
+                *finished = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+struct PoolState {
+    job: Option<Arc<Job>>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+/// A persistent pool of worker threads. Workers park between jobs;
+/// submitting a job wakes exactly the workers it can use.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    next_epoch: AtomicUsize,
+    /// Serialises job submissions: the pool publishes one job at a
+    /// time, so concurrent `run` calls from clones of an engine queue
+    /// up instead of silently stealing each other's workers.
+    submit: Mutex<()>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `workers` persistent threads. Zero workers is
+    /// valid: every job then runs inline on the submitting thread.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                job: None,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("atgis-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            next_epoch: AtomicUsize::new(1),
+            submit: Mutex::new(()),
+        }
+    }
+
+    /// The process-wide shared pool used by the free-function executor
+    /// API, sized to the machine (`available_parallelism - 1` workers,
+    /// the submitting thread being the remaining unit).
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| WorkerPool::new(available_parallelism().saturating_sub(1)))
+    }
+
+    /// Number of persistent worker threads (the submitting thread adds
+    /// one more unit of parallelism on top during a job).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `f(0..n)` with at most `concurrency` total threads (pool
+    /// workers plus the calling thread), blocking until every index has
+    /// completed. Panics in tasks are re-raised here after the job
+    /// drains.
+    pub fn run<F: Fn(usize) + Sync>(&self, n: usize, concurrency: usize, f: F) {
+        if n == 0 {
+            return;
+        }
+        let conc = concurrency.max(1).min(n);
+        if conc == 1 || self.handles.is_empty() {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        // SAFETY: erase the closure's lifetime; `run` upholds the
+        // TaskPtr contract (no access after the completion barrier).
+        let task: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(&f as *const F as *const (dyn Fn(usize) + Sync + '_))
+        };
+        let job = Arc::new(Job {
+            epoch: self.next_epoch.fetch_add(1, Ordering::Relaxed) as u64,
+            task: TaskPtr(task),
+            n,
+            cursor: AtomicUsize::new(0),
+            seats: (conc - 1).min(self.handles.len()),
+            seats_taken: AtomicUsize::new(0),
+            done_count: AtomicUsize::new(0),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        // One published job at a time. Must not be called from inside
+        // a pool task of the same pool (queries never nest jobs).
+        let _submit = self.submit.lock().expect("pool poisoned");
+        {
+            let mut st = self.shared.state.lock().expect("pool poisoned");
+            st.job = Some(Arc::clone(&job));
+        }
+        self.shared.work_ready.notify_all();
+
+        // The submitting thread is always a participant.
+        job.execute();
+
+        // Completion barrier: workers may still be finishing claimed
+        // tasks after the cursor drained.
+        {
+            let mut finished = job.done.lock().expect("pool poisoned");
+            while !*finished && job.done_count.load(Ordering::Acquire) < job.n {
+                finished = job.done_cv.wait(finished).expect("pool poisoned");
+            }
+        }
+        {
+            let mut st = self.shared.state.lock().expect("pool poisoned");
+            if st
+                .job
+                .as_ref()
+                .map(|j| j.epoch == job.epoch)
+                .unwrap_or(false)
+            {
+                st.job = None;
+            }
+        }
+        // Release the submission slot before re-raising a task panic,
+        // so the panic does not poison the submit mutex and kill the
+        // pool for later jobs.
+        drop(_submit);
+        if job.panicked.load(Ordering::Acquire) {
+            panic!("worker thread panicked");
+        }
+    }
+
+    /// Runs `f` over `0..n` and collects the outputs in index order.
+    /// Slots are pre-sized and written lock-free (each index has a
+    /// unique claimant via the job cursor).
+    pub fn run_collect<T: Send, F: Fn(usize) -> T + Sync>(
+        &self,
+        n: usize,
+        concurrency: usize,
+        f: F,
+    ) -> Vec<T> {
+        let mut slots: Vec<Option<T>> = Vec::new();
+        slots.resize_with(n, || None);
+        let writer = SlotWriter(slots.as_mut_ptr());
+        self.run(n, concurrency, |i| {
+            // SAFETY: `i` is claimed by exactly one task, so this slot
+            // has a unique writer; the Vec outlives the job because
+            // `run` blocks until all tasks complete.
+            unsafe { *writer.slot(i) = Some(f(i)) };
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index completed"))
+            .collect()
+    }
+}
+
+/// Raw pointer into the slot vector; `Sync` because slot claims are
+/// disjoint (see `run_collect`).
+struct SlotWriter<T>(*mut Option<T>);
+
+unsafe impl<T: Send> Send for SlotWriter<T> {}
+unsafe impl<T: Send> Sync for SlotWriter<T> {}
+
+impl<T> SlotWriter<T> {
+    /// The unique writer pointer for slot `i`.
+    ///
+    /// # Safety
+    /// Caller must hold the exclusive claim on index `i`.
+    unsafe fn slot(&self, i: usize) -> *mut Option<T> {
+        self.0.add(i)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool poisoned");
+            st.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(job) = st.job.as_ref() {
+                    if job.epoch != last_epoch {
+                        break Arc::clone(job);
+                    }
+                }
+                st = shared.work_ready.wait(st).expect("pool poisoned");
+            }
+        };
+        last_epoch = job.epoch;
+        if job.seats_taken.fetch_add(1, Ordering::Relaxed) < job.seats {
+            job.execute();
+        }
+    }
+}
+
+/// `std::thread::available_parallelism` with a serial fallback.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = WorkerPool::new(0);
+        let hits = AtomicU64::new(0);
+        pool.run(10, 4, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn collect_preserves_index_order() {
+        let pool = WorkerPool::new(3);
+        for n in [0usize, 1, 2, 17, 100] {
+            let out = pool.run_collect(n, 4, |i| i * 3);
+            assert_eq!(out, (0..n).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_jobs() {
+        let pool = WorkerPool::new(2);
+        for round in 0..50usize {
+            let out = pool.run_collect(8, 3, move |i| i + round);
+            assert_eq!(out, (0..8).map(|i| i + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn concurrency_is_clamped() {
+        let pool = WorkerPool::new(2);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        pool.run(32, 2, |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "peak > concurrency");
+    }
+
+    #[test]
+    fn concurrent_submissions_serialise_without_losing_work() {
+        let pool = Arc::new(WorkerPool::new(3));
+        let total = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        pool.run(16, 4, |_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 20 * 16);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_drain() {
+        let pool = WorkerPool::new(2);
+        let ran = AtomicU64::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(10, 3, |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 4 {
+                    panic!("task boom");
+                }
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(ran.load(Ordering::Relaxed), 10, "all tasks still drained");
+        // The pool survives a panicked job.
+        let out = pool.run_collect(4, 2, |i| i);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+}

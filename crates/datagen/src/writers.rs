@@ -202,6 +202,9 @@ fn write_wkt_points(out: &mut String, pts: &[Point], close: bool) {
 /// Serialises the dataset as OSM XML (OSM-X): nodes first, then ways,
 /// then multipolygon relations — reproducing the section separation
 /// that makes OSM-X "the most complex format to support" (§4.4).
+/// A flattened object awaiting XML serialisation: id, geometry, tags.
+type WorkItem<'a> = (u64, &'a Geometry, &'a [(String, String)]);
+
 /// Geometry collections and linestring members are flattened to ways;
 /// polygons with holes become relations.
 pub fn write_osm_xml(dataset: &OsmDataset) -> Vec<u8> {
@@ -213,12 +216,12 @@ pub fn write_osm_xml(dataset: &OsmDataset) -> Vec<u8> {
 
     // Flatten geometry collections upfront: XML has no collection
     // concept, so each member becomes an object under a derived id.
-    let mut worklist: Vec<(u64, &Geometry, &[(String, String)])> = Vec::new();
+    let mut worklist: Vec<WorkItem<'_>> = Vec::new();
     fn flatten<'a>(
         id: u64,
         g: &'a Geometry,
         tags: &'a [(String, String)],
-        out: &mut Vec<(u64, &'a Geometry, &'a [(String, String)])>,
+        out: &mut Vec<WorkItem<'a>>,
     ) {
         match g {
             Geometry::Collection(gs) => {

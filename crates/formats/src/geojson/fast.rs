@@ -96,21 +96,24 @@ impl<'a> Cursor<'a> {
     }
 
     /// Parses a string literal, returning its raw (un-unescaped)
-    /// contents.
+    /// contents. The scan jumps straight to the next quote or escape
+    /// via the SWAR [`crate::split::memchr2`], so plain string bytes
+    /// cost 1/8th of a comparison each.
     fn parse_string(&mut self) -> Result<&'a str, ParseError> {
         self.expect(b'"')?;
         let content_start = self.pos;
         loop {
-            match self.peek() {
-                Some(b'"') => {
-                    let s = &self.input[content_start..self.pos];
-                    self.pos += 1;
-                    return std::str::from_utf8(s)
-                        .map_err(|_| self.err("non-UTF8 string"));
+            match crate::split::memchr2(b'"', b'\\', self.input, self.pos) {
+                Some(at) if self.input[at] == b'"' => {
+                    let s = &self.input[content_start..at];
+                    self.pos = at + 1;
+                    return std::str::from_utf8(s).map_err(|_| self.err("non-UTF8 string"));
                 }
-                Some(b'\\') => self.pos += 2,
-                Some(_) => self.pos += 1,
-                None => return Err(self.err("unterminated string")),
+                Some(at) => self.pos = at + 2, // Escape: skip the pair.
+                None => {
+                    self.pos = self.input.len();
+                    return Err(self.err("unterminated string"));
+                }
             }
         }
     }

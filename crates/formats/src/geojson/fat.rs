@@ -65,7 +65,7 @@ pub fn process_block(
 ) -> Result<BlockFragment, ParseError> {
     let lex = lex_block(block.slice(input), block.start as u64);
     let entries = lex
-        .entries
+        .into_entries()
         .into_iter()
         .map(|(start, fin, tokens)| (start, fin, GeoFragment::from_tokens(input, &tokens, filter)))
         .collect();

@@ -110,6 +110,28 @@ pub fn lex_block(bytes: &[u8], base: u64) -> DfaFragment<Vec<Token>> {
     )
 }
 
+/// Reference implementation of [`lex_block`]: independent
+/// byte-at-a-time runs per start state, no skip classes, no tape
+/// sharing — the seed's lexing path, kept for differential tests and
+/// the structural-scan ablation benches.
+pub fn lex_block_bytewise(bytes: &[u8], base: u64) -> DfaFragment<Vec<Token>> {
+    let dfa = lexer();
+    let entries = ALL_STATES
+        .iter()
+        .map(|&s| {
+            let mut tape = Vec::new();
+            let fin = dfa.run_bytewise(s, bytes, base, |action, pos| {
+                tape.push(Token {
+                    kind: TokenKind::from_action(action),
+                    pos,
+                });
+            });
+            (s, fin, tape)
+        })
+        .collect();
+    DfaFragment::from_entries(entries)
+}
+
 /// Lexes from a known state (PAT mode / resolved replay), sequentially.
 pub fn lex_known(bytes: &[u8], base: u64, start: u8) -> (u8, Vec<Token>) {
     let mut tokens = Vec::new();
@@ -187,7 +209,7 @@ mod tests {
         let (fin_seq, toks_seq) = lex_known(input, 0, STATE_OUT);
         let (fin, toks) = frag.resolve(STATE_OUT).unwrap();
         assert_eq!(fin, fin_seq);
-        assert_eq!(toks, &toks_seq);
+        assert_eq!(toks, toks_seq);
     }
 
     proptest! {
@@ -218,10 +240,10 @@ mod tests {
                 .collect();
             let merged = atgis_transducer::merge::merge_tree(frags);
             let (fin_seq, toks_seq) = lex_known(&input, 0, STATE_OUT);
-            if !merged.entries.is_empty() {
+            if !merged.is_identity() {
                 let (fin, toks) = merged.resolve(STATE_OUT).unwrap();
                 prop_assert_eq!(fin, fin_seq);
-                prop_assert_eq!(toks, &toks_seq);
+                prop_assert_eq!(toks, toks_seq);
             } else {
                 prop_assert!(toks_seq.is_empty());
                 prop_assert_eq!(fin_seq, STATE_OUT);

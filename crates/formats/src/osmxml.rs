@@ -263,6 +263,10 @@ struct Element {
     self_closing: bool,
 }
 
+/// A `<way>` body: node refs, tags, and the position just past the
+/// closing tag.
+type WayBody = (Vec<u64>, Vec<(String, String)>, usize);
+
 impl Element {
     fn attr(&self, key: &str) -> Option<&str> {
         self.attrs
@@ -398,9 +402,8 @@ impl<'a> Scanner<'a> {
                     }
                     self.pos += 1;
                     let val_start = self.pos;
-                    while self.input.get(self.pos).is_some_and(|b| *b != b'"') {
-                        self.pos += 1;
-                    }
+                    self.pos = crate::split::memchr(b'"', self.input, self.pos)
+                        .unwrap_or(self.input.len());
                     let value = std::str::from_utf8(&self.input[val_start..self.pos])
                         .map_err(|_| ParseError::syntax(val_start as u64, "non-UTF8 value"))?
                         .to_owned();
@@ -432,7 +435,7 @@ impl<'a> Scanner<'a> {
     fn way_children(
         &mut self,
         elem: &Element,
-    ) -> Result<(Vec<u64>, Vec<(String, String)>, usize), ParseError> {
+    ) -> Result<WayBody, ParseError> {
         let mut refs = Vec::new();
         let mut tags = Vec::new();
         if elem.self_closing {

@@ -57,21 +57,29 @@ pub fn fixed_blocks(input_len: usize, n: usize) -> Vec<Block> {
         .collect()
 }
 
+pub use atgis_transducer::scan::{memchr, memchr2};
+
 /// Finds the next occurrence of `marker` in `haystack` at or after
-/// `from`. Naive search with a first-byte skip loop — the "regular
-/// expression" of §4.1 specialised to a literal.
+/// `from` — the "regular expression" of §4.1 specialised to a literal,
+/// vectorised: candidate positions come from the SWAR [`memchr`] on
+/// the marker's first byte, then the remainder is verified.
 pub fn find_marker(haystack: &[u8], marker: &[u8], from: usize) -> Option<usize> {
     if marker.is_empty() || from >= haystack.len() {
         return None;
     }
     let first = marker[0];
-    let mut i = from;
     let limit = haystack.len().checked_sub(marker.len())?;
+    let mut i = from;
     while i <= limit {
-        if haystack[i] == first && &haystack[i..i + marker.len()] == marker {
-            return Some(i);
+        match memchr(first, haystack, i) {
+            Some(at) if at <= limit => {
+                if &haystack[at..at + marker.len()] == marker {
+                    return Some(at);
+                }
+                i = at + 1;
+            }
+            _ => return None,
         }
-        i += 1;
     }
     None
 }
@@ -201,7 +209,7 @@ mod tests {
             let mut input = Vec::new();
             for &r in &records {
                 input.push(b'#');
-                for _ in 0..r { input.push(b'a'); }
+                input.extend(std::iter::repeat_n(b'a', r as usize));
             }
             let blocks = marker_blocks(&input, b"#", n);
             let total: usize = blocks.iter().map(Block::len).sum();

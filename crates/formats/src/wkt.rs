@@ -264,7 +264,7 @@ pub fn process_block(
     filter: &MetadataFilter,
 ) -> Result<WktFragment, ParseError> {
     let bytes = block.slice(input);
-    let first_nl = bytes.iter().position(|&b| b == b'\n');
+    let first_nl = crate::split::memchr(b'\n', bytes, 0);
     match first_nl {
         None => Ok(WktFragment {
             head: (block.start, block.end),

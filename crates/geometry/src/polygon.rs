@@ -498,7 +498,7 @@ mod tests {
         let cw = ccw.clone().normalised_cw();
         assert!(!cw.is_ccw());
         assert_eq!(cw.area(), 4.0, "area is winding-independent");
-        assert_eq!(cw.normalised_ccw().is_ccw(), true);
+        assert!(cw.normalised_ccw().is_ccw());
     }
 
     #[test]

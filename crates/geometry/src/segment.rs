@@ -115,8 +115,7 @@ pub fn segments_intersect(s1: &Segment, s2: &Segment) -> bool {
     let o3 = orientation(&s2.a, &s2.b, &s1.a);
     let o4 = orientation(&s2.a, &s2.b, &s1.b);
 
-    if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear
-        || o1 != o2 && o3 != o4 && o2 != Orientation::Collinear
+    if o1 != o2 && o3 != o4 && (o1 != Orientation::Collinear || o2 != Orientation::Collinear)
     {
         // General position: proper crossing needs strictly opposite
         // orientations on both segments. (Collinear cases fall through to

@@ -208,6 +208,7 @@ impl RTree {
         let mut group2 = vec![s2];
         let mut mbr1 = mbrs[s1];
         let mut mbr2 = mbrs[s2];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..entries.len() {
             if i == s1 || i == s2 {
                 continue;

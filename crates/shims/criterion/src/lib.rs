@@ -1,0 +1,308 @@
+//! Std-only stand-in for the `criterion` crate.
+//!
+//! The build environment is fully offline, so this vendored shim
+//! implements the subset of criterion this workspace's benches use:
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`/`throughput`/`bench_function`/`bench_with_input`,
+//! `BenchmarkId`, `Throughput::Bytes` and `black_box`.
+//!
+//! Measurement is deliberately simple — warm up, then time
+//! `sample_size` samples and report the median ns/iteration plus MB/s
+//! when a byte throughput is set. `--test` (as passed by
+//! `cargo bench -- --test` smoke runs) executes each benchmark body
+//! once and reports `ok` without timing. A positional CLI argument
+//! filters benchmarks by substring, as with real criterion.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting a
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How a benchmark's work scales per iteration (only bytes are used).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: Mode,
+    samples: usize,
+    result: &'a mut Option<Duration>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    TestOnce,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::TestOnce {
+            black_box(routine());
+            *self.result = Some(Duration::ZERO);
+            return;
+        }
+        // Warm-up: run until ~200ms elapsed to estimate cost and heat
+        // caches, with at least one iteration.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut est = Duration::ZERO;
+        while warm_start.elapsed() < Duration::from_millis(200) {
+            let t = Instant::now();
+            black_box(routine());
+            est = t.elapsed();
+            warm_iters += 1;
+            if warm_iters >= 10_000 {
+                break;
+            }
+        }
+        // Aim for ~20ms per sample so cheap routines are timed in
+        // batches large enough to swamp timer overhead.
+        let per_iter = est.max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (Duration::from_millis(20).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000)
+                as u64;
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(t.elapsed() / iters_per_sample as u32);
+        }
+        samples.sort_unstable();
+        *self.result = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sampling-mode hint (accepted, ignored).
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint (accepted, ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches_filter(&full) {
+            return self;
+        }
+        let mut result = None;
+        let mut b = Bencher {
+            mode: self.criterion.mode,
+            samples: self.sample_size,
+            result: &mut result,
+        };
+        f(&mut b);
+        self.criterion.report(&full, result, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Sampling-mode hint (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum SamplingMode {
+    /// Automatic.
+    Auto,
+    /// Flat sampling.
+    Flat,
+    /// Linear sampling.
+    Linear,
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Measure;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = Mode::TestOnce,
+                "--bench" => {}
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if !self.matches_filter(name) {
+            return self;
+        }
+        let mut result = None;
+        let mut b = Bencher {
+            mode: self.mode,
+            samples: 10,
+            result: &mut result,
+        };
+        f(&mut b);
+        self.report(name, result, None);
+        self
+    }
+
+    fn matches_filter(&self, full_name: &str) -> bool {
+        self.filter
+            .as_deref()
+            .map(|f| full_name.contains(f))
+            .unwrap_or(true)
+    }
+
+    fn report(&self, name: &str, result: Option<Duration>, throughput: Option<Throughput>) {
+        match (self.mode, result) {
+            (Mode::TestOnce, _) => println!("test {name} ... ok"),
+            (Mode::Measure, Some(median)) => {
+                let extra = match throughput {
+                    Some(Throughput::Bytes(bytes)) if !median.is_zero() => {
+                        let mbs = bytes as f64 / (1024.0 * 1024.0) / median.as_secs_f64();
+                        format!("  {mbs:12.1} MB/s")
+                    }
+                    Some(Throughput::Elements(n)) if !median.is_zero() => {
+                        let eps = n as f64 / median.as_secs_f64();
+                        format!("  {eps:12.0} elem/s")
+                    }
+                    _ => String::new(),
+                };
+                println!("{name:<60} {:>12} ns/iter{extra}", median.as_nanos());
+            }
+            (Mode::Measure, None) => println!("{name:<60} (no measurement)"),
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,490 @@
+//! Std-only stand-in for the `proptest` crate.
+//!
+//! The build environment is fully offline, so this vendored shim
+//! implements the subset of proptest this workspace uses: the
+//! [`strategy::Strategy`] trait (ranges, tuples, `prop_map`,
+//! `prop_filter`), `prop::collection::vec`, `prop::sample::select`,
+//! `bool::ANY`, `Just`, weighted [`prop_oneof!`], the [`proptest!`]
+//! test macro and the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * no shrinking — a failing case panics with the generated inputs
+//!   left to the assertion message;
+//! * case generation is deterministic per test name (no persisted
+//!   failure seeds);
+//! * the default case count is 64 (upstream: 256) to keep the suite
+//!   fast; tests that need more set `ProptestConfig::with_cases`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+    use rand::Rng as _;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object-safe: combinators require `Self: Sized`.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects values failing `pred` (re-draws, up to a cap).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) reason: &'static str,
+        pub(crate) pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.new_value(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates: {}", self.reason);
+        }
+    }
+
+    /// A strategy producing one fixed value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted union of same-valued strategies (built by
+    /// [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Union<T> {
+        /// Builds from `(weight, strategy)` pairs.
+        pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = options.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof needs positive total weight");
+            Union { options, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let mut roll = rng.gen_u64() % self.total as u64;
+            for (w, s) in &self.options {
+                if roll < *w as u64 {
+                    return s.new_value(rng);
+                }
+                roll -= *w as u64;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.rng_mut().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+    macro_rules! impl_range_inclusive_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.rng_mut().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case generation and run configuration.
+
+    use super::{Rng, SeedableRng, StdRng};
+
+    /// Per-test deterministic random source.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Seeds from a test's name so each test has a stable stream.
+        pub fn deterministic(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+
+        /// The underlying generator.
+        pub fn rng_mut(&mut self) -> &mut StdRng {
+            &mut self.0
+        }
+
+        /// One raw draw.
+        pub fn gen_u64(&mut self) -> u64 {
+            self.0.gen::<u64>()
+        }
+    }
+
+    /// Run configuration (only the case count is honoured).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Overrides the case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Uniform `bool` strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform `bool` strategy value.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.gen_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Accepted size specifications for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements are drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let n = self.size.lo + (rng.gen_u64() % span) as usize;
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy choosing uniformly from a fixed set.
+    pub struct Select<T>(Vec<T>);
+
+    /// Chooses one element of `options` per case.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0[(rng.gen_u64() % self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// The `proptest::prelude` glob import surface.
+pub mod prelude {
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::test_runner::ProptestConfig;
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace alias used by `prelude::*` importers.
+    pub mod prop {
+        pub use super::super::{bool, collection, sample};
+    }
+}
+
+/// Property-test entry macro. Mirrors proptest's surface grammar:
+/// an optional `#![proptest_config(...)]` header followed by one or
+/// more `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner_rng =
+                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut runner_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Weighted strategy union: `prop_oneof![w1 => s1, w2 => s2, ...]` or
+/// unweighted `prop_oneof![s1, s2, ...]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assertion inside a property body (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+        prop::collection::vec(prop::sample::select(b"abc".to_vec()), 0..10)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, f in -1.0..1.0f64) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_select(v in arb_bytes()) {
+            prop_assert!(v.len() < 10);
+            prop_assert!(v.iter().all(|b| b"abc".contains(b)));
+        }
+
+        #[test]
+        fn tuples_and_map(p in (0u64..5, 0u64..5).prop_map(|(a, b)| a + b)) {
+            prop_assert!(p < 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_header_accepted(b in crate::bool::ANY) {
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn oneof_mixes_options() {
+        let s = prop_oneof![3 => 1.0..10.0f64, 1 => Just(f64::NAN)];
+        let mut rng = crate::test_runner::TestRng::deterministic("oneof");
+        let vals: Vec<f64> = (0..200).map(|_| s.new_value(&mut rng)).collect();
+        assert!(vals.iter().any(|v| v.is_nan()));
+        assert!(vals.iter().any(|v| !v.is_nan()));
+    }
+
+    #[test]
+    fn filter_respects_predicate() {
+        let s = (0u64..100).prop_filter("even", |v| v % 2 == 0);
+        let mut rng = crate::test_runner::TestRng::deterministic("filter");
+        for _ in 0..100 {
+            assert_eq!(s.new_value(&mut rng) % 2, 0);
+        }
+    }
+}

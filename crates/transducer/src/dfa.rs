@@ -4,33 +4,106 @@
 //! §3.3: "Lexing is handled by finite transducers optimised for small
 //! transition tables. As a transition must be performed after each
 //! byte, precomputation is used for all the transition tables." A
-//! [`ByteDfa`] stores one 256-entry transition row and one 256-entry
-//! action row per state; the associative execution runs a block from
+//! [`ByteDfa`] stores one flattened `state × byte` table whose entries
+//! pack the next state and the emitted action into a single `u16`
+//! ([`ByteDfa::step`]); the associative execution runs a block from
 //! every possible starting state ([`DfaFragment::run_block`]) and
 //! merges per-start tapes with relation composition.
 //!
-//! The fragment exploits *convergence* (§3.1): speculation proceeds
-//! byte-by-byte only until every speculative run has reached the same
-//! state, after which a single shared run covers the rest of the block
-//! and its tape is shared by all starting states — the same
-//! tape-sharing trick the paper implements with output matrices.
+//! Two scan optimisations make the hot path memory-bound rather than
+//! dispatch-bound (the skip-to-structural-byte technique of
+//! simdjson/Mison-style raw scanners):
+//!
+//! * **per-state skip classes** — [`DfaBuilder::build`] computes, for
+//!   every state, the 256-bit set of *interesting* bytes (anything
+//!   that leaves the state or emits an action). States with at most
+//!   four interesting bytes get a SWAR scanner that tests 8 input
+//!   bytes per iteration; sparse states fall back to a bitmap probe,
+//!   and dense states to the plain table walk. Skipped bytes are
+//!   provably self-loops with no action, so output is bit-identical.
+//! * **prefix/shared tapes** — the fragment exploits *convergence*
+//!   (§3.1): speculation proceeds byte-by-byte only until every
+//!   speculative run reaches the same state, after which a single
+//!   shared run covers the rest of the block. The shared tape is
+//!   stored **once** per fragment instead of being cloned into every
+//!   per-start entry (the paper's output-matrix tape sharing), and
+//!   merges move tapes instead of cloning them.
 
 use crate::merge::Mergeable;
+use crate::scan::{eq_mask, SWAR_LO};
 
 /// Action id meaning "emit nothing".
 pub const NO_ACTION: u8 = 0;
 
-/// A deterministic byte-level finite transducer with precomputed
-/// transition and action tables.
+/// How the bulk scanner skips a state's uninteresting bytes.
+#[derive(Debug, Clone)]
+enum SkipClass {
+    /// No interesting bytes: the whole rest of the block is skipped.
+    All,
+    /// At most two interesting bytes (broadcast words, padded with a
+    /// duplicate): minimal SWAR mask — the string-interior case.
+    Few2([u64; 2]),
+    /// Three to eight interesting bytes: wider SWAR mask, 8 input
+    /// bytes per iteration, hits consumed bit-by-bit within the word.
+    Few8([u64; 8]),
+    /// Arbitrary sparse set: per-byte 256-bit bitmap probe.
+    Bitmap,
+    /// Mostly interesting bytes: skipping would not pay; walk the
+    /// table directly.
+    Dense,
+}
+
+/// A deterministic byte-level finite transducer with a precomputed
+/// flattened transition+action table.
 #[derive(Debug, Clone)]
 pub struct ByteDfa {
     n_states: usize,
     start: u8,
-    /// `trans[state][byte]` = next state.
-    trans: Vec<[u8; 256]>,
-    /// `actions[state][byte]` = action id emitted *on consuming* `byte`
-    /// in `state` (0 = none).
-    actions: Vec<[u8; 256]>,
+    /// `table[state * 256 + byte]` = `next_state | action << 8`.
+    table: Vec<u16>,
+    /// Per-state interesting-byte sets (bit set ⇒ the byte either
+    /// leaves the state or emits an action).
+    interesting: Vec<[u64; 4]>,
+    /// Per-state scanner selection derived from `interesting`.
+    skip: Vec<SkipClass>,
+}
+
+#[inline]
+fn bit(map: &[u64; 4], b: u8) -> bool {
+    map[(b >> 6) as usize] >> (b & 63) & 1 == 1
+}
+
+/// Little-endian 8-byte load at `pos`.
+///
+/// # Safety
+/// Caller must guarantee `pos + 8 <= bytes.len()`.
+#[inline(always)]
+unsafe fn load_word(bytes: &[u8], pos: usize) -> u64 {
+    debug_assert!(pos + 8 <= bytes.len());
+    u64::from_le(bytes.as_ptr().add(pos).cast::<u64>().read_unaligned())
+}
+
+/// The per-word hit mask: bit `0x80 << 8k` set iff byte `k` of `w`
+/// equals any needle broadcast in `bc` (padding entries are
+/// duplicates; the needle count is a compile-time constant so each
+/// skip class gets an exactly-sized branch-free mask).
+#[inline(always)]
+fn hits<const N: usize>(w: u64, bc: &[u64; N]) -> u64 {
+    let mut out = 0u64;
+    for &b in bc {
+        out |= eq_mask(w, b);
+    }
+    out
+}
+
+/// Position of the first byte whose bit is set in `map`, at or after
+/// `pos` (or `bytes.len()`).
+#[inline]
+fn bitmap_find(map: &[u64; 4], bytes: &[u8], mut pos: usize) -> usize {
+    while pos < bytes.len() && !bit(map, bytes[pos]) {
+        pos += 1;
+    }
+    pos
 }
 
 impl ByteDfa {
@@ -49,13 +122,147 @@ impl ByteDfa {
     /// One transition step.
     #[inline]
     pub fn step(&self, state: u8, byte: u8) -> (u8, u8) {
-        let s = state as usize;
-        (self.trans[s][byte as usize], self.actions[s][byte as usize])
+        let e = self.table[(state as usize) << 8 | byte as usize];
+        (e as u8, (e >> 8) as u8)
+    }
+
+    /// The interesting-byte set of `state` (bytes that leave the state
+    /// or emit an action). Skipping a byte outside this set cannot
+    /// change the run's outcome.
+    #[inline]
+    pub fn interesting_set(&self, state: u8) -> &[u64; 4] {
+        &self.interesting[state as usize]
     }
 
     /// Runs sequentially from `state`, invoking `emit(action, position)`
     /// for every non-zero action. Returns the final state.
+    ///
+    /// The scan is word-at-a-time: for SWAR-class states the 8-byte
+    /// hit mask is computed once and its set bits are consumed in
+    /// place while the state is stable (self-transitions on structural
+    /// bytes, e.g. commas and brackets outside strings, stay inside
+    /// the word loop), so neither skipped runs nor hit-dense runs
+    /// rescan input.
     pub fn run<F: FnMut(u8, u64)>(&self, mut state: u8, bytes: &[u8], base: u64, mut emit: F) -> u8 {
+        let len = bytes.len();
+        let mut pos = 0usize;
+        'class: while pos < len {
+            match &self.skip[state as usize] {
+                // Self-loops with no action forever: nothing left to do.
+                SkipClass::All => return state,
+                SkipClass::Dense => {
+                    while pos < len {
+                        let (next, action) = self.step(state, bytes[pos]);
+                        if action != NO_ACTION {
+                            emit(action, base + pos as u64);
+                        }
+                        pos += 1;
+                        if next != state {
+                            state = next;
+                            continue 'class;
+                        }
+                    }
+                }
+                SkipClass::Few2(bc) => {
+                    match self.run_few(bc, &mut state, bytes, pos, base, &mut emit) {
+                        Some(p) => pos = p,
+                        None => pos = len,
+                    }
+                }
+                SkipClass::Few8(bc) => {
+                    match self.run_few(bc, &mut state, bytes, pos, base, &mut emit) {
+                        Some(p) => pos = p,
+                        None => pos = len,
+                    }
+                }
+                SkipClass::Bitmap => {
+                    let map = &self.interesting[state as usize];
+                    while pos < len {
+                        let b = bytes[pos];
+                        if bit(map, b) {
+                            let (next, action) = self.step(state, b);
+                            if action != NO_ACTION {
+                                emit(action, base + pos as u64);
+                            }
+                            pos += 1;
+                            if next != state {
+                                state = next;
+                                continue 'class;
+                            }
+                        } else {
+                            pos += 1;
+                        }
+                    }
+                }
+            }
+        }
+        state
+    }
+
+    /// Word-mask scan for one SWAR-class state: computes each 8-byte
+    /// hit mask once and consumes its set bits in place while the
+    /// state is stable. Returns `Some(resume_pos)` when the state
+    /// changed (the caller re-dispatches on the new state's class) or
+    /// `None` when the input is exhausted.
+    #[inline(always)]
+    fn run_few<const N: usize, F: FnMut(u8, u64)>(
+        &self,
+        bc: &[u64; N],
+        state: &mut u8,
+        bytes: &[u8],
+        mut pos: usize,
+        base: u64,
+        emit: &mut F,
+    ) -> Option<usize> {
+        let len = bytes.len();
+        while pos + 8 <= len {
+            // SAFETY: the loop condition guarantees 8 readable bytes.
+            let w = unsafe { load_word(bytes, pos) };
+            let mut h = hits(w, bc);
+            while h != 0 {
+                let i = pos + (h.trailing_zeros() >> 3) as usize;
+                let (next, action) = self.step(*state, bytes[i]);
+                if action != NO_ACTION {
+                    emit(action, base + i as u64);
+                }
+                if next != *state {
+                    *state = next;
+                    return Some(i + 1);
+                }
+                h &= h - 1;
+            }
+            pos += 8;
+        }
+        // Sub-word tail.
+        let map = &self.interesting[*state as usize];
+        while pos < len {
+            let b = bytes[pos];
+            if bit(map, b) {
+                let (next, action) = self.step(*state, b);
+                if action != NO_ACTION {
+                    emit(action, base + pos as u64);
+                }
+                pos += 1;
+                if next != *state {
+                    *state = next;
+                    return Some(pos);
+                }
+            } else {
+                pos += 1;
+            }
+        }
+        None
+    }
+
+    /// The pre-optimisation byte-at-a-time loop, kept as the reference
+    /// implementation for differential tests and scan benchmarks.
+    pub fn run_bytewise<F: FnMut(u8, u64)>(
+        &self,
+        mut state: u8,
+        bytes: &[u8],
+        base: u64,
+        mut emit: F,
+    ) -> u8 {
         for (i, &b) in bytes.iter().enumerate() {
             let (next, action) = self.step(state, b);
             if action != NO_ACTION {
@@ -128,24 +335,83 @@ impl DfaBuilder {
         self
     }
 
-    /// Finalises the automaton.
+    /// Finalises the automaton: flattens the tables and computes the
+    /// per-state interesting-byte sets and skip classes the bulk
+    /// scanner uses.
     pub fn build(self) -> ByteDfa {
+        let n = self.trans.len();
+        let mut table = Vec::with_capacity(n * 256);
+        let mut interesting = Vec::with_capacity(n);
+        let mut skip = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut map = [0u64; 4];
+            let mut needles: Vec<u8> = Vec::new();
+            for b in 0..256usize {
+                let next = self.trans[s][b];
+                let action = self.actions[s][b];
+                table.push(next as u16 | (action as u16) << 8);
+                if next != s as u8 || action != NO_ACTION {
+                    map[b >> 6] |= 1u64 << (b & 63);
+                    if needles.len() < 8 {
+                        needles.push(b as u8);
+                    }
+                }
+            }
+            let count = map.iter().map(|w| w.count_ones()).sum::<u32>();
+            skip.push(match count {
+                0 => SkipClass::All,
+                1..=2 => {
+                    let mut bc = [SWAR_LO.wrapping_mul(needles[0] as u64); 2];
+                    for (slot, &n) in bc.iter_mut().zip(&needles) {
+                        *slot = SWAR_LO.wrapping_mul(n as u64);
+                    }
+                    SkipClass::Few2(bc)
+                }
+                3..=8 => {
+                    let mut bc = [SWAR_LO.wrapping_mul(needles[0] as u64); 8];
+                    for (slot, &n) in bc.iter_mut().zip(&needles) {
+                        *slot = SWAR_LO.wrapping_mul(n as u64);
+                    }
+                    SkipClass::Few8(bc)
+                }
+                // Past ~1/3 interesting bytes the probe loop stops
+                // paying for itself; walk the table.
+                9..=96 => SkipClass::Bitmap,
+                _ => SkipClass::Dense,
+            });
+            interesting.push(map);
+        }
         ByteDfa {
-            n_states: self.trans.len(),
+            n_states: n,
             start: self.start,
-            trans: self.trans,
-            actions: self.actions,
+            table,
+            interesting,
+            skip,
         }
     }
 }
 
-/// A speculative fragment of a byte DFA run over one block: for each
-/// possible starting state, the finishing state and the tape built by a
-/// caller-supplied sink.
-#[derive(Debug, Clone, PartialEq)]
+/// A speculative fragment of a byte DFA run over one block.
+///
+/// Per-start tapes are split into a *prefix* (the bytes scanned before
+/// the speculative runs converged, one tape per start state) and a
+/// single *shared* suffix tape covering everything after convergence —
+/// §3.1's output-matrix tape sharing made explicit. The realised tape
+/// of a start state is `prefix ⊗ shared`; [`DfaFragment::resolve`] and
+/// [`DfaFragment::into_entries`] perform that composition on demand,
+/// so building and merging fragments never clones the (typically
+/// dominant) shared tape.
+#[derive(Debug, Clone)]
 pub struct DfaFragment<O> {
-    /// `(start, finish, tape)` triples, one per speculated start state.
-    pub entries: Vec<(u8, u8, O)>,
+    /// `(start, finish, prefix tape)` triples, one per speculated
+    /// start state.
+    entries: Vec<(u8, u8, O)>,
+    /// Tape of the converged suffix, shared by every entry (identity
+    /// when the block never converged).
+    shared: O,
+    /// True when every entry finishes in the same state (the shared
+    /// phase ran, or the block ended exactly at convergence).
+    converged: bool,
 }
 
 impl<O: Mergeable + Clone> DfaFragment<O> {
@@ -154,9 +420,11 @@ impl<O: Mergeable + Clone> DfaFragment<O> {
     /// emitted actions into the per-start tape; `base` is the block's
     /// absolute offset in the input, so emitted positions are global.
     ///
-    /// Runs speculatively byte-by-byte until all runs converge to one
-    /// state, then completes with a single shared run whose tape is
-    /// merged into every entry.
+    /// The speculative phase advances all runs in lockstep, skipping
+    /// bytes that are uninteresting to *every* live state (the
+    /// intersection of the per-state skip sets); once all runs
+    /// converge, a single bulk-scanned shared run covers the rest of
+    /// the block and its tape is stored once.
     pub fn run_block<F>(dfa: &ByteDfa, starts: &[u8], bytes: &[u8], base: u64, mut build: F) -> Self
     where
         F: FnMut(&mut O, u8, u64, u8),
@@ -166,11 +434,20 @@ impl<O: Mergeable + Clone> DfaFragment<O> {
         let mut pos = 0usize;
 
         // Speculative phase: all start states in lockstep until
-        // convergence.
+        // convergence. Bytes uninteresting to every live state are
+        // self-loops with no action for all runs, so they can be
+        // skipped wholesale via the ANDed interesting sets.
+        let mut live = combined_interesting(dfa, &states);
         while pos < bytes.len() {
             let converged = states.windows(2).all(|w| w[0] == w[1]);
             if converged {
                 break;
+            }
+            if !bit(&live, bytes[pos]) {
+                pos = bitmap_find(&live, bytes, pos + 1);
+                if pos >= bytes.len() {
+                    break;
+                }
             }
             let b = bytes[pos];
             for (state, tape) in states.iter_mut().zip(tapes.iter_mut()) {
@@ -180,24 +457,19 @@ impl<O: Mergeable + Clone> DfaFragment<O> {
                 }
                 *state = next;
             }
+            live = combined_interesting(dfa, &states);
             pos += 1;
         }
 
-        // Shared phase: one run, tape shared by all starts.
-        if pos < bytes.len() {
-            let mut shared = O::identity();
+        // Shared phase: one bulk-scanned run, tape stored once.
+        let mut shared = O::identity();
+        let converged = states.windows(2).all(|w| w[0] == w[1]);
+        if converged && pos < bytes.len() {
             let fin = dfa.run(states[0], &bytes[pos..], base + pos as u64, |action, p| {
                 build(&mut shared, action, p, bytes[(p - base) as usize]);
             });
-            let n = tapes.len();
-            for (i, (state, tape)) in states.iter_mut().zip(tapes.iter_mut()).enumerate() {
+            for state in states.iter_mut() {
                 *state = fin;
-                let prev = std::mem::replace(tape, O::identity());
-                *tape = if i + 1 == n {
-                    prev.merge(std::mem::replace(&mut shared, O::identity()))
-                } else {
-                    prev.merge(shared.clone())
-                };
             }
         }
 
@@ -208,7 +480,49 @@ impl<O: Mergeable + Clone> DfaFragment<O> {
                 .zip(tapes)
                 .map(|((&s, f), t)| (s, f, t))
                 .collect(),
+            shared,
+            converged,
         }
+    }
+
+    /// Builds a fragment from fully-realised `(start, finish, tape)`
+    /// entries (no shared suffix) — the representation produced by
+    /// independent per-start runs, e.g. the reference byte-loop lexer.
+    pub fn from_entries(entries: Vec<(u8, u8, O)>) -> Self {
+        let converged = !entries.is_empty() && entries.windows(2).all(|w| w[0].1 == w[1].1);
+        DfaFragment {
+            entries,
+            shared: O::identity(),
+            converged,
+        }
+    }
+
+    /// True for the merge identity (no speculated entries).
+    pub fn is_identity(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(start, finish)` pairs of the speculation relation.
+    pub fn relation(&self) -> impl Iterator<Item = (u8, u8)> + '_ {
+        self.entries.iter().map(|(s, f, _)| (*s, *f))
+    }
+
+    /// Realises the per-start tapes: `prefix ⊗ shared` for every
+    /// entry. The shared tape is moved into the last entry and cloned
+    /// for the others — the only place a shared tape is ever copied.
+    pub fn into_entries(self) -> Vec<(u8, u8, O)> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        let mut shared = Some(self.shared);
+        let mut it = self.entries.into_iter().peekable();
+        while let Some((s, f, prefix)) = it.next() {
+            let suffix = if it.peek().is_some() {
+                shared.as_ref().expect("shared live until last").clone()
+            } else {
+                shared.take().expect("shared live until last")
+            };
+            out.push((s, f, prefix.merge(suffix)));
+        }
+        out
     }
 
     /// Relation composition: for every entry of `self`, chase its
@@ -216,21 +530,88 @@ impl<O: Mergeable + Clone> DfaFragment<O> {
     /// did not speculate from a state `self` finishes in (a speculation
     /// set mismatch — callers either speculate on all states or prove
     /// the set closed under transitions).
-    pub fn try_merge_with(&self, other: &DfaFragment<O>) -> Option<DfaFragment<O>> {
-        let mut entries = Vec::with_capacity(self.entries.len());
-        for (s, mid, tape) in &self.entries {
-            let (_, fin, tail) = other.entries.iter().find(|(rs, _, _)| rs == mid)?;
-            entries.push((*s, *fin, tape.clone().merge(tail.clone())));
+    ///
+    /// Consumes both fragments: tapes are moved, not cloned, except
+    /// when several entries of `self` finish in the same mid state and
+    /// must share one tail (only the small pre-convergence prefixes
+    /// are ever duplicated).
+    pub fn try_merge_with(self, other: DfaFragment<O>) -> Option<DfaFragment<O>> {
+        if self.converged {
+            // All mids are equal: compose the shared chain once —
+            // result shared = self.shared ⊗ other(mid) — with zero
+            // clones of either shared tape.
+            let mid = self.entries.first().map(|e| e.1)?;
+            let (fin, tail) = other.realize_for(mid)?;
+            let entries = self
+                .entries
+                .into_iter()
+                .map(|(s, _, prefix)| (s, fin, prefix))
+                .collect();
+            return Some(DfaFragment {
+                entries,
+                shared: self.shared.merge(tail),
+                converged: true,
+            });
         }
-        Some(DfaFragment { entries })
+
+        // Unconverged left: self.shared is identity and mids may
+        // differ. Each entry's prefix absorbs other's matching prefix
+        // tape; other's shared tape (identity unless other converged,
+        // in which case it is common to every chased entry) hoists
+        // into the result's shared slot unchanged — so the dominant
+        // tape is moved exactly once, never cloned.
+        let other_converged = other.converged;
+        let mut slots: Vec<(u8, u8, Option<O>)> = other
+            .entries
+            .into_iter()
+            .map(|(s, f, p)| (s, f, Some(p)))
+            .collect();
+        // Reference counts decide move-vs-clone: the last entry
+        // chasing a given mid state moves the tail prefix out.
+        let mut refs = vec![0usize; slots.len()];
+        for (_, mid, _) in &self.entries {
+            let j = slots.iter().position(|(st, _, _)| st == mid)?;
+            refs[j] += 1;
+        }
+        let mut entries = Vec::with_capacity(self.entries.len());
+        for (s, mid, prefix) in self.entries {
+            let j = slots
+                .iter()
+                .position(|(st, _, _)| *st == mid)
+                .expect("checked above");
+            refs[j] -= 1;
+            let tail = if refs[j] == 0 {
+                slots[j].2.take().expect("taken once")
+            } else {
+                slots[j].2.as_ref().expect("live until last ref").clone()
+            };
+            entries.push((s, slots[j].1, prefix.merge(tail)));
+        }
+        let converged =
+            other_converged || entries.windows(2).all(|w: &[(u8, u8, O)]| w[0].1 == w[1].1);
+        Some(DfaFragment {
+            entries,
+            shared: other.shared,
+            converged,
+        })
     }
 
-    /// Resolves against the true starting state.
-    pub fn resolve(&self, start: u8) -> Option<(u8, &O)> {
+    /// Realises the tape for the entry starting at `start`, consuming
+    /// the fragment: `prefix ⊗ shared` with both moved, no clones.
+    fn realize_for(self, start: u8) -> Option<(u8, O)> {
+        let shared = self.shared;
+        self.entries
+            .into_iter()
+            .find(|(s, _, _)| *s == start)
+            .map(|(_, f, prefix)| (f, prefix.merge(shared)))
+    }
+
+    /// Resolves against the true starting state, realising its tape.
+    pub fn resolve(&self, start: u8) -> Option<(u8, O)> {
         self.entries
             .iter()
             .find(|(s, _, _)| *s == start)
-            .map(|(_, f, o)| (*f, o))
+            .map(|(_, f, prefix)| (*f, prefix.clone().merge(self.shared.clone())))
     }
 
     /// Distinct finishing states (convergence measure).
@@ -242,10 +623,47 @@ impl<O: Mergeable + Clone> DfaFragment<O> {
     }
 }
 
+/// OR of the interesting sets of the live states: a byte may be
+/// skipped in lockstep only when it is uninteresting to *every* live
+/// run, i.e. outside the union of their interesting sets. (The
+/// speculation set is tiny, so the quadratic dedup beats any table.)
+#[inline]
+fn combined_interesting(dfa: &ByteDfa, states: &[u8]) -> [u64; 4] {
+    let mut map = [0u64; 4];
+    for (i, &s) in states.iter().enumerate() {
+        if states[..i].contains(&s) {
+            continue;
+        }
+        let m = dfa.interesting_set(s);
+        for (acc, w) in map.iter_mut().zip(m) {
+            *acc |= w;
+        }
+    }
+    map
+}
+
+impl<O: Mergeable + Clone + PartialEq> PartialEq for DfaFragment<O> {
+    /// Logical equality over *realised* tapes: fragments that split
+    /// prefix/shared differently but resolve identically are equal.
+    fn eq(&self, other: &Self) -> bool {
+        if self.entries.len() != other.entries.len() {
+            return false;
+        }
+        self.entries.iter().zip(&other.entries).all(|(a, b)| {
+            a.0 == b.0
+                && a.1 == b.1
+                && a.2.clone().merge(self.shared.clone())
+                    == b.2.clone().merge(other.shared.clone())
+        })
+    }
+}
+
 impl<O: Mergeable + Clone> Mergeable for DfaFragment<O> {
     fn identity() -> Self {
         DfaFragment {
             entries: Vec::new(),
+            shared: O::identity(),
+            converged: false,
         }
     }
 
@@ -256,7 +674,7 @@ impl<O: Mergeable + Clone> Mergeable for DfaFragment<O> {
         if other.entries.is_empty() {
             return self;
         }
-        self.try_merge_with(&other)
+        self.try_merge_with(other)
             .expect("DFA fragment merge: speculation set not closed under transitions")
     }
 }
@@ -302,6 +720,59 @@ mod tests {
     }
 
     #[test]
+    fn bulk_scan_matches_bytewise_reference() {
+        let dfa = string_lexer();
+        for input in [
+            &b""[..],
+            b"plain text without anything interesting at all........",
+            b"a,b,\"x,y\",c,",
+            br#""esc\",still,string",out,"#,
+            b"\\\\\\\"\"\",,,",
+            b"ends with quote\"",
+            b"0123456\"78,\\",
+        ] {
+            for start in 0u8..3 {
+                let mut fast = Vec::new();
+                let mut slow = Vec::new();
+                let ff = dfa.run(start, input, 7, |a, p| fast.push((a, p)));
+                let fs = dfa.run_bytewise(start, input, 7, |a, p| slow.push((a, p)));
+                assert_eq!(ff, fs, "final state, start={start}, input={input:?}");
+                assert_eq!(fast, slow, "tape, start={start}, input={input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn skip_classes_are_assigned() {
+        // State 1 (in-string) has exactly two interesting bytes — the
+        // SWAR class; a state with none gets All; a default-transition
+        // state to elsewhere is Dense.
+        let dfa = string_lexer();
+        assert!(matches!(dfa.skip[1], SkipClass::Few2(..)));
+        assert!(matches!(dfa.skip[2], SkipClass::Dense));
+        let sink = DfaBuilder::new(1, 0).build();
+        assert!(matches!(sink.skip[0], SkipClass::All));
+        let mut wide = DfaBuilder::new(2, 0);
+        for b in 0..90u8 {
+            wide.transition(0, b, 1);
+        }
+        let wide = wide.build();
+        assert!(matches!(wide.skip[0], SkipClass::Bitmap));
+    }
+
+    #[test]
+    fn flattened_table_step_agrees_with_builder_spec() {
+        let dfa = string_lexer();
+        assert_eq!(dfa.step(0, b','), (0, 1));
+        assert_eq!(dfa.step(0, b'"'), (1, 0));
+        assert_eq!(dfa.step(1, b'x'), (1, 0));
+        assert_eq!(dfa.step(1, b'\\'), (2, 0));
+        assert_eq!(dfa.step(2, b'"'), (1, 0));
+        assert_eq!(dfa.num_states(), 3);
+        assert_eq!(dfa.start_state(), 0);
+    }
+
+    #[test]
     fn fragment_resolves_like_sequential() {
         let input = br#"k,"v,1",x,"#;
         let f = frag(input, 0);
@@ -330,7 +801,7 @@ mod tests {
         let right = b",c,";
         let f = frag(left, 0).merge(frag(right, left.len() as u64));
         let (_, tape) = f.resolve(0).unwrap();
-        assert_eq!(tape, &vec![1, 3, 5]);
+        assert_eq!(tape, vec![1, 3, 5]);
     }
 
     #[test]
@@ -341,13 +812,21 @@ mod tests {
     }
 
     #[test]
+    fn into_entries_realises_shared_suffix() {
+        let input = b"xx\"shared,part,with,commas";
+        let f = frag(input, 0);
+        let entries = f.clone().into_entries();
+        assert_eq!(entries.len(), 3);
+        for (s, f2, tape) in entries {
+            let (fin, want) = f.resolve(s).unwrap();
+            assert_eq!(f2, fin);
+            assert_eq!(tape, want);
+        }
+    }
+
+    #[test]
     fn convergence_after_unescaped_quote() {
-        // Any block containing an unescaped quote outside an escape
-        // forces convergence of {0,1,2}.
         let f = frag(b"xx\"yy", 0);
-        // After the quote, states 0 and 1 have swapped... they converge
-        // only after enough structure; verify distinct count <= 3 and
-        // the two-quote case fully converges.
         assert!(f.distinct_finishing_states() <= 3);
         // Quote parity keeps states 0 and 1 swapped forever, but the
         // escape state 2 folds into the in-string trajectory after one
@@ -382,7 +861,7 @@ mod tests {
                 .map(|(i, c)| frag(c, (i * chunk) as u64))
                 .collect();
             let merged = crate::merge::merge_tree(frags);
-            if merged.entries.is_empty() {
+            if merged.is_identity() {
                 prop_assert_eq!(count_commas_seq(&input), 0);
             } else {
                 let (_, tape) = merged.resolve(0).unwrap();
@@ -398,6 +877,17 @@ mod tests {
             let left = fa.clone().merge(fb.clone()).merge(fc.clone());
             let right = fa.merge(fb.merge(fc));
             prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn bulk_scan_equals_bytewise_on_random_input(input in arb_input(), start in 0u8..3) {
+            let dfa = string_lexer();
+            let mut fast = Vec::new();
+            let mut slow = Vec::new();
+            let ff = dfa.run(start, &input, 0, |a, p| fast.push((a, p)));
+            let fs = dfa.run_bytewise(start, &input, 0, |a, p| slow.push((a, p)));
+            prop_assert_eq!(ff, fs);
+            prop_assert_eq!(fast, slow);
         }
     }
 }

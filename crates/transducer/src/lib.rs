@@ -18,7 +18,14 @@
 //!   examples;
 //! * [`dfa`] — table-driven byte-level deterministic finite transducers
 //!   and their speculative fragments, used for lexing (§3.3 "finite
-//!   transducers");
+//!   transducers"). The transition+action tables are flattened into a
+//!   single `state × byte → u16` array, and each state carries a
+//!   *skip class* computed at build time (SWAR multi-needle scan,
+//!   bitmap probe, or dense table walk) so the shared post-convergence
+//!   run skips uninteresting bytes 8 at a time instead of stepping the
+//!   automaton per byte. Fragments store one **shared** tape for the
+//!   converged suffix plus small per-start prefixes, and merges move
+//!   tapes instead of cloning them;
 //! * [`dyck`] — the associative form of *pushdown* structural parsing:
 //!   blocks summarise their bracket-depth effect `(min, net)` and tag
 //!   emitted events with block-relative depths that are rebased on
@@ -29,7 +36,10 @@
 //! * [`flushing`] — periodically flushing transducers with the
 //!   speculative/main state pair of Fig. 4 (§3.3);
 //! * [`merge`] — the [`merge::Mergeable`] trait every fragment
-//!   implements, plus blanket impls for tuples, vectors and numbers.
+//!   implements, plus blanket impls for tuples, vectors and numbers;
+//! * [`scan`] — the shared SWAR byte-scanning primitives
+//!   (`memchr`/`memchr2` and the zero-byte-detect masks) that both the
+//!   DFA fast path and the `atgis-formats` scanners build on.
 //!
 //! The defining invariant, property-tested throughout, is
 //! **split-invariance**: for any input `s` and any split `s = s₁ ‖ s₂`,
@@ -46,6 +56,7 @@ pub mod dfa;
 pub mod dyck;
 pub mod flushing;
 pub mod merge;
+pub mod scan;
 pub mod stateless;
 
 pub use aggregation::AggregationTransducer;

@@ -144,9 +144,10 @@ mod tests {
 
     #[test]
     fn unit_laws() {
-        #[allow(clippy::unit_cmp)]
+        #[allow(clippy::unit_cmp, clippy::let_unit_value)]
         {
-            assert_eq!(<()>::identity().merge(()), ());
+            let unit = <()>::identity();
+            assert_eq!(unit.merge(unit), unit);
         }
     }
 

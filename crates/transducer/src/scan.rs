@@ -1,0 +1,106 @@
+//! SWAR byte-scanning primitives shared by the transducer fast path
+//! ([`crate::dfa`]) and the raw-format scanners in `atgis-formats`:
+//! one home for the zero-byte-detection bit trick so the two hot
+//! paths cannot drift apart.
+
+/// Broadcast multiplier: `LO * b` repeats byte `b` in every lane.
+pub const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+/// High-bit mask of every lane.
+pub const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+
+/// Lane mask of the zero bytes of `x`: bit `0x80 << 8k` is set iff
+/// byte `k` of `x` is zero (the classic `(x - LO) & !x & HI`
+/// zero-byte detector — exact, no false positives).
+#[inline(always)]
+pub fn zero_byte_mask(x: u64) -> u64 {
+    x.wrapping_sub(SWAR_LO) & !x & SWAR_HI
+}
+
+/// Lane mask of the bytes of `w` equal to the broadcast needle `bc`
+/// (`bc = SWAR_LO * needle`).
+#[inline(always)]
+pub fn eq_mask(w: u64, bc: u64) -> u64 {
+    zero_byte_mask(w ^ bc)
+}
+
+/// Position of the first occurrence of `needle` at or after `from`,
+/// testing 8 haystack bytes per iteration.
+pub fn memchr(needle: u8, haystack: &[u8], from: usize) -> Option<usize> {
+    let bc = SWAR_LO.wrapping_mul(needle as u64);
+    let mut i = from;
+    while i + 8 <= haystack.len() {
+        let w = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8 bytes"));
+        let hits = eq_mask(w, bc);
+        if hits != 0 {
+            return Some(i + (hits.trailing_zeros() >> 3) as usize);
+        }
+        i += 8;
+    }
+    haystack[i.min(haystack.len())..]
+        .iter()
+        .position(|&b| b == needle)
+        .map(|p| i + p)
+}
+
+/// Position of the first occurrence of `a` or `b` at or after `from`,
+/// 8 bytes per iteration.
+pub fn memchr2(a: u8, b: u8, haystack: &[u8], from: usize) -> Option<usize> {
+    let bca = SWAR_LO.wrapping_mul(a as u64);
+    let bcb = SWAR_LO.wrapping_mul(b as u64);
+    let mut i = from;
+    while i + 8 <= haystack.len() {
+        let w = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8 bytes"));
+        let hits = eq_mask(w, bca) | eq_mask(w, bcb);
+        if hits != 0 {
+            return Some(i + (hits.trailing_zeros() >> 3) as usize);
+        }
+        i += 8;
+    }
+    haystack[i.min(haystack.len())..]
+        .iter()
+        .position(|&x| x == a || x == b)
+        .map(|p| i + p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn memchr_finds_across_word_boundaries() {
+        let hay = b"0123456789abcdef#0123456";
+        assert_eq!(memchr(b'#', hay, 0), Some(16));
+        assert_eq!(memchr(b'#', hay, 17), None);
+        assert_eq!(memchr(b'0', hay, 1), Some(17));
+        assert_eq!(memchr(b'x', b"", 0), None);
+    }
+
+    proptest! {
+        #[test]
+        fn memchr_agrees_with_std(
+            hay in prop::collection::vec(prop::sample::select(b"ab#\x00\xff".to_vec()), 0..80),
+            from in 0usize..80,
+        ) {
+            let want = if from <= hay.len() {
+                hay[from..].iter().position(|&b| b == b'#').map(|p| p + from)
+            } else {
+                None
+            };
+            prop_assert_eq!(memchr(b'#', &hay, from.min(hay.len())), want);
+        }
+
+        #[test]
+        fn memchr2_agrees_with_std(
+            hay in prop::collection::vec(prop::sample::select(b"ab#@\x00".to_vec()), 0..80),
+            from in 0usize..80,
+        ) {
+            let from = from.min(hay.len());
+            let want = hay[from..]
+                .iter()
+                .position(|&b| b == b'#' || b == b'@')
+                .map(|p| p + from);
+            prop_assert_eq!(memchr2(b'#', b'@', &hay, from), want);
+        }
+    }
+}

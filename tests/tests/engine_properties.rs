@@ -128,6 +128,72 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Split-invariance of the vectorised bulk scanner: for random
+    /// GeoJSON-shaped inputs and random block boundaries, the merged
+    /// fragments' token tapes are byte-identical to a single-threaded
+    /// reference scan of the whole input — and to the seed's
+    /// byte-at-a-time lexing path.
+    #[test]
+    fn bulk_scanner_split_invariance(
+        seed in 0u64..40,
+        objects in 1usize..20,
+        nblocks in 1usize..12,
+    ) {
+        use atgis_formats::geojson::lexer;
+        use atgis_transducer::merge::merge_tree;
+
+        let input = write_geojson(&OsmGenerator::new(seed + 7000).generate(objects));
+        let chunk = input.len().div_ceil(nblocks).max(1);
+
+        // Parallel-shaped: vectorised speculative scan per block,
+        // fragments merged as a tree (the executor's merge shape).
+        let frags: Vec<_> = input
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| lexer::lex_block(c, (i * chunk) as u64))
+            .collect();
+        let merged = merge_tree(frags);
+        let (fin, tokens) = merged.resolve(lexer::STATE_OUT).unwrap();
+
+        // Reference: one sequential scan of the whole input.
+        let (fin_seq, tokens_seq) = lexer::lex_known(&input, 0, lexer::STATE_OUT);
+        prop_assert_eq!(fin, fin_seq);
+        prop_assert_eq!(&tokens, &tokens_seq);
+
+        // And the seed byte-loop produces the same fragment per block.
+        let frags_bytewise: Vec<_> = input
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| lexer::lex_block_bytewise(c, (i * chunk) as u64))
+            .collect();
+        let merged_bytewise = merge_tree(frags_bytewise);
+        let (fin_b, tokens_b) = merged_bytewise.resolve(lexer::STATE_OUT).unwrap();
+        prop_assert_eq!(fin, fin_b);
+        prop_assert_eq!(&tokens, &tokens_b);
+    }
+
+    /// Random cut points (not just equal chunks) across random raw
+    /// bytes drawn from the JSON structural alphabet.
+    #[test]
+    fn bulk_scanner_random_cut_invariance(
+        input in prop::collection::vec(
+            prop::sample::select(br#"{}[],:"\ab1.5 e-"#.to_vec()), 0..300),
+        cut in 0usize..300,
+    ) {
+        use atgis_formats::geojson::lexer;
+        use atgis_transducer::Mergeable;
+
+        let cut = cut.min(input.len());
+        let merged = lexer::lex_block(&input[..cut], 0)
+            .merge(lexer::lex_block(&input[cut..], cut as u64));
+        let whole = lexer::lex_block(&input, 0);
+        prop_assert_eq!(merged, whole);
+    }
+}
+
 #[test]
 fn synth_skew_datasets_parse_in_both_modes() {
     for sigma in [0.5, 2.0, 4.0] {
