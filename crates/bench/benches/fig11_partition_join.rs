@@ -1,4 +1,6 @@
-//! Fig. 11: partition-pipeline vs join-pipeline time as threads vary.
+//! Fig. 11: partition-pipeline vs join-pipeline time as threads vary,
+//! reported for both the uniform grid and the skew-adaptive
+//! partition map.
 
 use atgis::{Engine, Query};
 use atgis_bench::Workload;
@@ -11,13 +13,16 @@ fn bench_partition_join(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_join_total");
     group.sample_size(10);
     for t in [1usize, 2, 4] {
-        let e = Engine::builder()
-            .threads(t)
-            .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
-            .build();
-        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
-            b.iter(|| e.execute(&Query::join(threshold), &w.osm_g).unwrap())
-        });
+        for (name, target) in [("uniform", 0usize), ("adaptive", 256)] {
+            let e = Engine::builder()
+                .threads(t)
+                .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
+                .partition_target(target)
+                .build();
+            group.bench_with_input(BenchmarkId::new(name, t), &t, |b, _| {
+                b.iter(|| e.execute(&Query::join(threshold), &w.osm_g).unwrap())
+            });
+        }
     }
     group.finish();
 }

@@ -1,8 +1,10 @@
 //! Fig. 14: FAT vs PAT under dataset skew — few huge objects (a) and
-//! log-normal edge-count skew (b).
+//! log-normal edge-count skew (b) — plus the join-skew experiment (c):
+//! uniform-grid vs skew-adaptive partitioning on a hotspot dataset
+//! where one grid cell holds most of the objects.
 
 use atgis::{Dataset, Engine, Query};
-use atgis_datagen::SynthConfig;
+use atgis_datagen::{write_geojson, OsmGenerator, SynthConfig};
 use atgis_formats::{Format, Mode};
 use atgis_geometry::Mbr;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -42,6 +44,37 @@ fn bench_skew(c: &mut Criterion) {
                 b.iter(|| e.execute(&world, ds).unwrap())
             });
         }
+    }
+    group.finish();
+
+    // (c) Join skew: 85% of the objects packed into a thin corridor
+    // (coastline-style linear clustering). Every corridor object
+    // shares its x-range with every other, so the uniform grid's hot
+    // cells degrade the sweep-based MBR compare to quadratic; the
+    // adaptive map recursively splits them and restores
+    // y-discrimination. Both configurations are reported so the
+    // throughput gap is visible in the output.
+    let mut group = c.benchmark_group("fig14c_join_skew");
+    group.sample_size(10);
+    let n = atgis_bench::scaled(12_000);
+    let mut gen = OsmGenerator::new(77)
+        .with_corridor(0.85, 0.0003, 0.4)
+        .with_object_scale(0.1);
+    gen.road_fraction = 0.0;
+    gen.multipolygon_fraction = 0.0;
+    gen.collection_fraction = 0.0;
+    let ds = Dataset::from_bytes(write_geojson(&gen.generate(n)), Format::GeoJson);
+    let join = Query::join(n as u64 / 2);
+    group.throughput(Throughput::Bytes(ds.len() as u64));
+    for (name, target) in [("uniform", 0usize), ("adaptive", 64)] {
+        let e = Engine::builder()
+            .threads(2)
+            .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
+            .partition_target(target)
+            .build();
+        group.bench_with_input(BenchmarkId::new(name, n), &ds, |b, ds| {
+            b.iter(|| e.execute(&join, ds).unwrap())
+        });
     }
     group.finish();
 }

@@ -34,6 +34,27 @@ fn bench_partitioning(c: &mut Criterion) {
         }
     }
     group.finish();
+
+    // Adaptive-vs-uniform across partition sizes: the coarser the base
+    // grid, the more a hot cell gains from the second-level split.
+    let mut group = c.benchmark_group("fig15_adaptive_partition_map");
+    group.sample_size(10);
+    for cell in [5u32, 10, 40] {
+        for (name, target) in [("uniform", 0usize), ("adaptive", 256)] {
+            let e = Engine::builder()
+                .threads(2)
+                .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
+                .cell_size(cell as f64 / 10.0)
+                .partition_target(target)
+                .build();
+            group.bench_with_input(
+                BenchmarkId::new(name, cell),
+                &e,
+                |b, e| b.iter(|| e.execute(&Query::join(threshold), &w.osm_g).unwrap()),
+            );
+        }
+    }
+    group.finish();
 }
 
 criterion_group!(benches, bench_partitioning);

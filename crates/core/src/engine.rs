@@ -3,13 +3,15 @@
 
 use crate::dataset::Dataset;
 use crate::executor::{resolve_threads, run_blocks_on};
-use crate::join::{pbsm_join_on, JoinOptions, Reparser};
+use crate::join::{pbsm_join_mapped_on, JoinOptions, ProbeStrategy, Reparser};
 use crate::pool::WorkerPool;
-use crate::partition::{ArrayStore, GridSpec, ListStore, PartEntry, PartitionStore};
+use crate::partition::{
+    AdaptiveConfig, ArrayStore, GridSpec, ListStore, PartEntry, PartitionMap, PartitionStore,
+};
 use crate::pipeline::{ContainmentAgg, FatGeoJsonFrag, FatWktFrag, MetricsAgg, QueryAggregate};
 use crate::query::{FilterStrategy, Query};
 use crate::result::{JoinPair, QueryResult};
-use crate::stats::{JoinTimings, Timings};
+use crate::stats::{JoinDecisions, JoinTimings, Timings};
 use crate::Result;
 use atgis_formats::feature::{MetadataFilter, RawFeature};
 use atgis_formats::{fixed_blocks, marker_blocks, Format, Mode, ParseError};
@@ -52,6 +54,8 @@ pub struct EngineBuilder {
     store: StoreKind,
     partition_phase: PartitionPhase,
     sort_batch: usize,
+    adaptive: AdaptiveConfig,
+    probe: ProbeStrategy,
 }
 
 impl Default for EngineBuilder {
@@ -65,6 +69,8 @@ impl Default for EngineBuilder {
             store: StoreKind::Array,
             partition_phase: PartitionPhase::Associative,
             sort_batch: 1 << 16,
+            adaptive: AdaptiveConfig::default(),
+            probe: ProbeStrategy::Auto,
         }
     }
 }
@@ -124,6 +130,28 @@ impl EngineBuilder {
         self
     }
 
+    /// Target objects per join partition for the skew-adaptive
+    /// second-level split: grid cells holding more entries are split
+    /// into their own sub-grid. `0` keeps the pure uniform grid.
+    pub fn partition_target(mut self, n: usize) -> Self {
+        self.adaptive.target_per_cell = n;
+        self
+    }
+
+    /// Full skew-adaptive split configuration (target, sub-grid cap,
+    /// replication budget).
+    pub fn adaptive_config(mut self, cfg: AdaptiveConfig) -> Self {
+        self.adaptive = cfg;
+        self
+    }
+
+    /// MBR COMPARE algorithm selection for joins (sweep vs R-tree
+    /// probe; the default picks per partition by cost).
+    pub fn probe_strategy(mut self, probe: ProbeStrategy) -> Self {
+        self.probe = probe;
+        self
+    }
+
     /// Finalises the engine, spawning its persistent worker pool
     /// (`threads - 1` pool workers; the query-submitting thread is the
     /// remaining execution unit). The pool outlives individual queries
@@ -150,6 +178,8 @@ pub struct ExecutionStats {
     pub pipeline: Timings,
     /// Join-specific timings when the query joins.
     pub join: Option<JoinTimings>,
+    /// Skew-adaptive split and probe decisions when the query joins.
+    pub decisions: Option<JoinDecisions>,
 }
 
 impl Engine {
@@ -185,6 +215,7 @@ impl Engine {
                     ExecutionStats {
                         pipeline: t,
                         join: None,
+                        decisions: None,
                     },
                 ))
             }
@@ -202,6 +233,7 @@ impl Engine {
                     ExecutionStats {
                         pipeline: t,
                         join: None,
+                        decisions: None,
                     },
                 ))
             }
@@ -518,6 +550,12 @@ impl Engine {
             t_partition.merge += started.elapsed();
         }
 
+        // Partition-map refinement: per-cell load statistics, hot-cell
+        // splitting (identity map when adaptive partitioning is off).
+        let started = Instant::now();
+        let map = PartitionMap::adaptive(&grid, &agg.store, &self.config.adaptive);
+        let refine = started.elapsed();
+
         // Pass 2: the join pipeline.
         let started = Instant::now();
         let input = dataset.bytes();
@@ -527,30 +565,35 @@ impl Engine {
             None
         };
         let reparse = make_reparser(input, dataset.format(), xml_table.as_ref());
-        let (pairs, dedup) = pbsm_join_on(
+        let outcome = pbsm_join_mapped_on(
             &self.pool,
             &agg.store,
+            &map,
             reparse.as_ref(),
             JoinOptions {
                 threads: self.config.threads,
                 sort_batch: self.config.sort_batch,
+                probe: self.config.probe,
+                ..JoinOptions::default()
             },
         )?;
-        let join_time = started.elapsed() - dedup;
+        let join_time = started.elapsed() - outcome.dedup;
 
         Ok((
-            pairs,
+            outcome.pairs,
             ExecutionStats {
                 pipeline: t_partition,
                 join: Some(JoinTimings {
                     partition: t_partition,
+                    refine,
                     join: Timings {
                         split: Default::default(),
                         process: join_time,
                         merge: Default::default(),
                     },
-                    dedup,
+                    dedup: outcome.dedup,
                 }),
+                decisions: Some(outcome.decisions),
             },
         ))
     }
@@ -992,6 +1035,51 @@ mod tests {
         // Collections flatten into multiple ways, so >= is correct;
         // ways with <2 resolvable points are dropped.
         assert!(!r.matches().is_empty());
+    }
+
+    #[test]
+    fn adaptive_partitioning_preserves_join_results() {
+        let ds = dataset(120, Format::GeoJson);
+        let q = Query::join(60);
+        let uniform = Engine::builder()
+            .threads(2)
+            .cell_size(4.0)
+            .partition_target(0)
+            .build();
+        // Tiny target to force splits on this small dataset.
+        let adaptive = Engine::builder()
+            .threads(2)
+            .cell_size(4.0)
+            .partition_target(4)
+            .build();
+        let (u, us) = uniform.execute_timed(&q, &ds).unwrap();
+        let (a, ast) = adaptive.execute_timed(&q, &ds).unwrap();
+        assert_eq!(u.joined(), a.joined());
+        let ud = us.decisions.expect("join reports decisions");
+        let ad = ast.decisions.expect("join reports decisions");
+        assert_eq!(ud.map.split_cells, 0, "uniform never splits");
+        assert!(ad.map.split_cells > 0, "tiny target must split: {ad:?}");
+        assert!(ad.map.slots > ud.map.slots);
+    }
+
+    #[test]
+    fn probe_strategies_agree_at_engine_level() {
+        let ds = dataset(80, Format::GeoJson);
+        let q = Query::join(40);
+        let sweep = Engine::builder()
+            .cell_size(4.0)
+            .probe_strategy(crate::join::ProbeStrategy::Sweep)
+            .build();
+        let rtree = Engine::builder()
+            .cell_size(4.0)
+            .probe_strategy(crate::join::ProbeStrategy::RTree)
+            .build();
+        let (s, _) = sweep.execute_timed(&q, &ds).unwrap();
+        let (r, rs) = rtree.execute_timed(&q, &ds).unwrap();
+        assert_eq!(s.joined(), r.joined());
+        let d = rs.decisions.unwrap();
+        assert!(d.rtree_partitions > 0, "forced probe must be recorded: {d:?}");
+        assert_eq!(d.sweep_partitions, 0);
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! produced by the first pass and emits joined pairs:
 //!
 //! 1. **MBR COMPARE** — per partition, find all intersecting
-//!    left/right MBR pairs with a sort + sweep;
+//!    left/right MBR pairs; a cost-based choice picks a sort + sweep
+//!    or, for badly asymmetric sides, an STR-bulk-loaded R-tree over
+//!    the smaller side probed with the larger (see
+//!    [`ProbeStrategy`]);
 //! 2. **SORT** — buffer candidates up to a threshold, then order them
 //!    by the input-file offset of the *larger* side so that objects
 //!    needing re-parsing are processed adjacently and stay in memory
@@ -18,38 +21,129 @@
 //!    deduplicated before the result returns (§4.5).
 
 use crate::executor::run_indexed_on;
-use crate::partition::{PartEntry, PartitionStore};
+use crate::partition::{PartEntry, PartitionMap, PartitionStore};
 use crate::pool::WorkerPool;
 use crate::result::JoinPair;
+use crate::stats::JoinDecisions;
 use atgis_formats::ParseError;
 use atgis_geometry::relate::intersects;
 use atgis_geometry::Geometry;
+use atgis_rtree::RTree;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// A sharded offset→geometry memo shared by every partition of one
+/// join execution: an object replicated into many partitions (the
+/// adaptive map's hot-cell sub-slots, or plain cell straddling) is
+/// re-parsed once instead of once per partition. Shards bound lock
+/// contention; each shard clears itself at a capacity bound, keeping
+/// the §4.5 bounded-memory contract of the PARSER/BUFFER stage.
+struct ReparseCache {
+    shards: Vec<Mutex<HashMap<u64, Geometry>>>,
+    per_shard_cap: usize,
+}
+
+impl ReparseCache {
+    fn new(sort_batch: usize) -> Self {
+        let n = 16usize;
+        ReparseCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_cap: (sort_batch / n).max(64),
+        }
+    }
+
+    fn get_or_parse(
+        &self,
+        offset: u64,
+        len: u32,
+        reparse: &Reparser<'_>,
+    ) -> Result<Geometry, ParseError> {
+        let shard = &self.shards[(offset as usize) & (self.shards.len() - 1)];
+        if let Some(g) = shard.lock().expect("cache shard poisoned").get(&offset) {
+            return Ok(g.clone());
+        }
+        // Parse outside the lock; a racing duplicate parse is rare and
+        // harmless (both produce the same geometry).
+        let g = reparse(offset, len)?;
+        let mut m = shard.lock().expect("cache shard poisoned");
+        if m.len() >= self.per_shard_cap {
+            m.clear();
+        }
+        m.insert(offset, g.clone());
+        Ok(g)
+    }
+}
 
 /// Re-parses one object from its offset span (format-specific; the
 /// engine provides it, for OSM XML it captures the node table).
 pub type Reparser<'a> = dyn Fn(u64, u32) -> Result<Geometry, ParseError> + Sync + 'a;
 
+/// How MBR COMPARE finds intersecting pairs within one partition.
+///
+/// The sort + sweep costs `O(L log L + R log R)` to sort plus a window
+/// scan that degrades toward `O(L·R)` when the two sides' x-extents
+/// overlap heavily. Bulk-loading the smaller side into an R-tree costs
+/// `O(S log S)` once and `O(log S + k)` per probe, which wins when the
+/// sides are badly asymmetric — the shape skewed inputs produce after
+/// hot-cell splitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeStrategy {
+    /// Cost-based choice per partition (see [`JoinOptions::rtree_ratio`]).
+    #[default]
+    Auto,
+    /// Always sort + sweep (the paper's prototype behaviour).
+    Sweep,
+    /// Always STR bulk-load the smaller side and probe with the larger.
+    RTree,
+}
+
 /// Join pipeline configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct JoinOptions {
-    /// Worker threads for the partition-parallel phase.
+    /// Worker threads for the partition-parallel phase. `0` (the
+    /// default) inherits the machine parallelism
+    /// (`std::thread::available_parallelism`), matching what an
+    /// engine-owned pool would provide — joins never silently run
+    /// single-threaded.
     pub threads: usize,
     /// SORT-stage batch size: candidates per sorted block. Smaller
     /// values bound memory at the cost of repeated parsing (§4.5:
     /// "By adjusting the threshold in SORT, the number of stored
     /// objects can be reduced").
     pub sort_batch: usize,
+    /// MBR COMPARE algorithm selection.
+    pub probe: ProbeStrategy,
+    /// [`ProbeStrategy::Auto`] asymmetry threshold: the R-tree probe
+    /// is chosen when the larger side is at least this many times the
+    /// smaller (and the smaller is big enough for the build to pay).
+    pub rtree_ratio: usize,
 }
 
 impl Default for JoinOptions {
     fn default() -> Self {
         JoinOptions {
-            threads: 1,
+            threads: 0,
             sort_batch: 1 << 16,
+            probe: ProbeStrategy::Auto,
+            rtree_ratio: 8,
         }
     }
+}
+
+/// One partition's result: its pairs plus which compare algorithm ran
+/// (`None` when the partition was trivially empty on one side).
+type SlotResult = Result<(Vec<JoinPair>, Option<bool>), ParseError>;
+
+/// Everything one join execution produced.
+#[derive(Debug, Clone)]
+pub struct JoinOutcome {
+    /// Deduplicated joined pairs.
+    pub pairs: Vec<JoinPair>,
+    /// Time spent on the final duplicate elimination.
+    pub dedup: Duration,
+    /// Partition-map shape and per-partition algorithm decisions.
+    pub decisions: JoinDecisions,
 }
 
 /// Executes the join pipeline over every partition, returning
@@ -64,42 +158,74 @@ pub fn pbsm_join<S: PartitionStore + Sync>(
     pbsm_join_on(WorkerPool::global(), store, reparse, options)
 }
 
-/// [`pbsm_join`] on a caller-supplied worker pool.
+/// [`pbsm_join`] on a caller-supplied worker pool (uniform map: one
+/// partition per grid cell).
 pub fn pbsm_join_on<S: PartitionStore + Sync>(
     pool: &WorkerPool,
     store: &S,
     reparse: &Reparser<'_>,
     options: JoinOptions,
 ) -> Result<(Vec<JoinPair>, Duration), ParseError> {
-    let cells = store.num_cells();
-    let per_cell: Vec<Result<Vec<JoinPair>, ParseError>> = run_indexed_on(
+    let map = PartitionMap::uniform(store);
+    pbsm_join_mapped_on(pool, store, &map, reparse, options)
+        .map(|o| (o.pairs, o.dedup))
+}
+
+/// The full join pipeline over an explicit (possibly skew-adaptive)
+/// partition map — the engine's entry point.
+pub fn pbsm_join_mapped_on<S: PartitionStore + Sync>(
+    pool: &WorkerPool,
+    store: &S,
+    map: &PartitionMap,
+    reparse: &Reparser<'_>,
+    options: JoinOptions,
+) -> Result<JoinOutcome, ParseError> {
+    let slots = map.num_slots();
+    let cache = ReparseCache::new(options.sort_batch);
+    let per_slot: Vec<SlotResult> = run_indexed_on(
         pool,
-        cells,
+        slots,
         options.threads,
-        |cell| join_partition(store, cell, reparse, options.sort_batch),
+        |slot| join_partition(store, map, slot, reparse, &cache, &options),
     );
     let mut pairs = Vec::new();
-    for r in per_cell {
-        pairs.extend(r?);
+    let mut decisions = JoinDecisions::from_map(map.stats());
+    for r in per_slot {
+        let (p, probed) = r?;
+        pairs.extend(p);
+        match probed {
+            Some(true) => decisions.rtree_partitions += 1,
+            Some(false) => decisions.sweep_partitions += 1,
+            None => {}
+        }
     }
     // Duplicate elimination (sequential step, timed separately).
     let started = Instant::now();
     pairs.sort_unstable();
     pairs.dedup();
     let dedup = started.elapsed();
-    Ok((pairs, dedup))
+    Ok(JoinOutcome {
+        pairs,
+        dedup,
+        decisions,
+    })
 }
 
 /// Joins one partition: MBR compare → sort → re-parse → refine.
+/// Returns the pairs plus which compare algorithm ran (`None` when the
+/// partition was trivially empty on one side).
 fn join_partition<S: PartitionStore>(
     store: &S,
-    cell: usize,
+    map: &PartitionMap,
+    slot: usize,
     reparse: &Reparser<'_>,
-    sort_batch: usize,
-) -> Result<Vec<JoinPair>, ParseError> {
+    cache: &ReparseCache,
+    options: &JoinOptions,
+) -> SlotResult {
+    let sort_batch = options.sort_batch;
     let mut lefts: Vec<PartEntry> = Vec::new();
     let mut rights: Vec<PartEntry> = Vec::new();
-    store.for_each(cell, |e| {
+    map.for_each_entry(store, slot, |e| {
         if e.left_side {
             lefts.push(*e);
         } else {
@@ -107,13 +233,31 @@ fn join_partition<S: PartitionStore>(
         }
     });
     if lefts.is_empty() || rights.is_empty() {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), None));
     }
 
-    // MBR COMPARE: sweep over min_x.
-    let mut candidates = mbr_compare(&lefts, &rights);
+    // MBR COMPARE: cost-based sweep vs R-tree probe.
+    let rtree = use_rtree(options, lefts.len(), rights.len());
+    let mut candidates = if rtree {
+        mbr_compare_rtree(&lefts, &rights)
+    } else {
+        mbr_compare(&lefts, &rights)
+    };
+    // Reference-point duplicate filter: a pair replicated into several
+    // partitions is kept only by the slot owning the bottom-left
+    // corner of the MBR intersection, so re-parsing and refinement run
+    // once per pair instead of once per copy.
+    if map.supports_owner_filter() {
+        candidates.retain(|(l, r)| {
+            map.owns_point(
+                slot,
+                l.mbr.min_x.max(r.mbr.min_x),
+                l.mbr.min_y.max(r.mbr.min_y),
+            )
+        });
+    }
     if candidates.is_empty() {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), Some(rtree)));
     }
 
     // The larger side becomes the adjacent (sequentially re-parsed)
@@ -131,8 +275,9 @@ fn join_partition<S: PartitionStore>(
         } else {
             batch.sort_unstable_by_key(|(_, r)| r.offset);
         }
-        // PARSER/BUFFER + REFINE.
-        let mut cache: HashMap<u64, Geometry> = HashMap::new();
+        // PARSER/BUFFER + REFINE. Parses go through the join-wide
+        // shared cache so replicated objects parse once per join, not
+        // once per partition.
         let mut adj_geom: Option<(u64, Geometry)> = None;
         for (l, r) in batch.iter() {
             let (adj, other) = if adjacent_left { (l, r) } else { (r, l) };
@@ -141,19 +286,12 @@ fn join_partition<S: PartitionStore>(
             let adj_g = match &adj_geom {
                 Some((off, g)) if *off == adj.offset => g.clone(),
                 _ => {
-                    let g = reparse(adj.offset, adj.len)?;
+                    let g = cache.get_or_parse(adj.offset, adj.len, reparse)?;
                     adj_geom = Some((adj.offset, g.clone()));
                     g
                 }
             };
-            let other_g = match cache.get(&other.offset) {
-                Some(g) => g.clone(),
-                None => {
-                    let g = reparse(other.offset, other.len)?;
-                    cache.insert(other.offset, g.clone());
-                    g
-                }
-            };
+            let other_g = cache.get_or_parse(other.offset, other.len, reparse)?;
             let (lg, rg) = if adjacent_left {
                 (&adj_g, &other_g)
             } else {
@@ -171,7 +309,53 @@ fn join_partition<S: PartitionStore>(
         // "Once a block is processed, the hash map is cleared."
         start = end;
     }
-    Ok(out)
+    Ok((out, Some(rtree)))
+}
+
+/// Resolves the per-partition MBR COMPARE algorithm choice.
+fn use_rtree(options: &JoinOptions, lefts: usize, rights: usize) -> bool {
+    match options.probe {
+        ProbeStrategy::Sweep => false,
+        ProbeStrategy::RTree => true,
+        ProbeStrategy::Auto => {
+            let small = lefts.min(rights);
+            let large = lefts.max(rights);
+            // The build must amortise (small side non-trivial) and the
+            // asymmetry must be bad enough that per-probe log cost
+            // beats the sweep's window scans.
+            small >= 64 && large >= small.saturating_mul(options.rtree_ratio.max(1))
+        }
+    }
+}
+
+/// Finds all MBR-intersecting (left, right) pairs by STR-bulk-loading
+/// the smaller side into an R-tree and probing it with every entry of
+/// the larger side.
+fn mbr_compare_rtree(lefts: &[PartEntry], rights: &[PartEntry]) -> Vec<(PartEntry, PartEntry)> {
+    let small_is_left = lefts.len() <= rights.len();
+    let (small, large) = if small_is_left {
+        (lefts, rights)
+    } else {
+        (rights, lefts)
+    };
+    let tree = RTree::bulk_load(
+        small
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.mbr, i as u64))
+            .collect(),
+    );
+    let mut out = Vec::new();
+    let mut hits = Vec::new();
+    for probe in large {
+        hits.clear();
+        tree.query_into(&probe.mbr, &mut hits);
+        for &h in &hits {
+            let s = small[h as usize];
+            out.push(if small_is_left { (s, *probe) } else { (*probe, s) });
+        }
+    }
+    out
 }
 
 /// Finds all MBR-intersecting (left, right) pairs with a
@@ -356,6 +540,7 @@ mod tests {
                 JoinOptions {
                     threads: 1,
                     sort_batch,
+                    ..JoinOptions::default()
                 },
             )
             .unwrap()
@@ -373,7 +558,7 @@ mod tests {
             &reparse,
             JoinOptions {
                 threads: 1,
-                sort_batch: 1 << 16,
+                ..JoinOptions::default()
             },
         )
         .unwrap()
@@ -383,7 +568,7 @@ mod tests {
             &reparse,
             JoinOptions {
                 threads: 4,
-                sort_batch: 1 << 16,
+                ..JoinOptions::default()
             },
         )
         .unwrap()
@@ -397,5 +582,136 @@ mod tests {
         let reparse = square_reparser(HashMap::new());
         let (pairs, _) = pbsm_join(&store, &reparse, JoinOptions::default()).unwrap();
         assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn default_join_options_inherit_machine_parallelism() {
+        // 0 = available_parallelism at execution time; joins must not
+        // silently run single-threaded (satellite fix).
+        assert_eq!(JoinOptions::default().threads, 0);
+    }
+
+    #[test]
+    fn rtree_compare_agrees_with_sweep() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mk = |id: u64, left: bool, rng: &mut rand::rngs::StdRng| {
+            entry(
+                id,
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(0.1..4.0),
+                left,
+            )
+        };
+        for (nl, nr) in [(1usize, 50usize), (80, 10), (60, 60), (200, 3)] {
+            let lefts: Vec<PartEntry> = (0..nl as u64).map(|i| mk(i, true, &mut rng)).collect();
+            let rights: Vec<PartEntry> =
+                (1000..1000 + nr as u64).map(|i| mk(i, false, &mut rng)).collect();
+            let mut sweep: Vec<(u64, u64)> = mbr_compare(&lefts, &rights)
+                .iter()
+                .map(|(l, r)| (l.id, r.id))
+                .collect();
+            let mut rtree: Vec<(u64, u64)> = mbr_compare_rtree(&lefts, &rights)
+                .iter()
+                .map(|(l, r)| (l.id, r.id))
+                .collect();
+            sweep.sort_unstable();
+            rtree.sort_unstable();
+            assert_eq!(sweep, rtree, "nl={nl} nr={nr}");
+        }
+    }
+
+    #[test]
+    fn auto_probe_requires_asymmetry_and_volume() {
+        let opts = JoinOptions::default();
+        assert!(!use_rtree(&opts, 100, 100), "symmetric: sweep");
+        assert!(!use_rtree(&opts, 10, 1000), "small side too small to pay the build");
+        assert!(use_rtree(&opts, 64, 64 * 8), "asymmetric and big: rtree");
+        let forced = JoinOptions {
+            probe: ProbeStrategy::RTree,
+            ..JoinOptions::default()
+        };
+        assert!(use_rtree(&forced, 1, 1));
+        let sweep = JoinOptions {
+            probe: ProbeStrategy::Sweep,
+            ..JoinOptions::default()
+        };
+        assert!(!use_rtree(&sweep, 64, 1000));
+    }
+
+    #[test]
+    fn probe_strategies_agree_on_join_results() {
+        let (store, squares) = join_fixture::<ArrayStore>();
+        let reparse = square_reparser(squares);
+        let mut results = Vec::new();
+        for probe in [ProbeStrategy::Auto, ProbeStrategy::Sweep, ProbeStrategy::RTree] {
+            let (pairs, _) = pbsm_join(
+                &store,
+                &reparse,
+                JoinOptions {
+                    probe,
+                    ..JoinOptions::default()
+                },
+            )
+            .unwrap();
+            results.push(pairs);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn adaptive_map_join_agrees_with_uniform() {
+        use crate::partition::AdaptiveConfig;
+        // A skewed store: one hot cell packed with overlapping squares
+        // on both sides.
+        let grid = GridSpec::new(Mbr::new(0.0, 0.0, 4.0, 2.0), 2.0);
+        let mut store = ArrayStore::new(grid.num_cells());
+        let mut squares = HashMap::new();
+        for i in 0..60u64 {
+            let left = i % 2 == 0;
+            let x = (i % 10) as f64 * 0.18;
+            let y = (i / 10) as f64 * 0.3;
+            let poly = square_at(x, y, 0.25);
+            let e = PartEntry {
+                id: i,
+                offset: i,
+                len: 0,
+                mbr: poly.mbr(),
+                left_side: left,
+            };
+            for cell in grid.cells_for(&e.mbr) {
+                store.push(cell, e);
+            }
+            squares.insert(i, poly);
+        }
+        let reparse = square_reparser(squares);
+        let pool = WorkerPool::global();
+        let uniform = PartitionMap::uniform(&store);
+        let adaptive = PartitionMap::adaptive(
+            &grid,
+            &store,
+            &AdaptiveConfig {
+                target_per_cell: 8,
+                ..AdaptiveConfig::default()
+            },
+        );
+        assert!(adaptive.stats().split_cells > 0, "{:?}", adaptive.stats());
+        let a = pbsm_join_mapped_on(pool, &store, &uniform, &reparse, JoinOptions::default())
+            .unwrap();
+        let b = pbsm_join_mapped_on(pool, &store, &adaptive, &reparse, JoinOptions::default())
+            .unwrap();
+        assert_eq!(a.pairs, b.pairs);
+        assert!(!a.pairs.is_empty(), "fixture must produce pairs");
+        assert_eq!(
+            b.decisions.map.split_cells,
+            adaptive.stats().split_cells,
+            "decisions carry the map shape"
+        );
+        assert!(
+            b.decisions.sweep_partitions + b.decisions.rtree_partitions > 0,
+            "probe tallies recorded"
+        );
     }
 }

@@ -45,9 +45,17 @@
 //!   stages), including the streaming vs buffered filter trade-off of
 //!   Fig. 7.
 //! * [`partition`] — spatial grid partitioning with array- and
-//!   list-backed stores (§4.4's data-structure trade-off).
+//!   list-backed stores (§4.4's data-structure trade-off), plus the
+//!   **skew-adaptive two-level partition map**: per-cell load
+//!   statistics recursively split hot cells into sub-grids so
+//!   clustered data (Fig. 14) cannot serialise the join, with
+//!   reference-point filtering keeping exactly one copy of every
+//!   replicated candidate pair.
 //! * [`join`] — the two-pass PBSM join pipeline of Fig. 8 (MBR
-//!   compare → sort → re-parse/buffer → refine → dedup).
+//!   compare → sort → re-parse/buffer → refine → dedup), with a
+//!   cost-based per-partition choice between the sort+sweep and an
+//!   `atgis-rtree` STR bulk-load + probe for badly asymmetric sides,
+//!   and a join-wide sharded re-parse cache.
 //! * [`query`] / [`result`] — Table 3's query forms and their results.
 //! * [`dataset`] — raw bytes plus format; heap-owned or memory-mapped
 //!   ([`Dataset::mmap`]) so multi-GB inputs don't double resident
@@ -83,9 +91,11 @@ pub mod stats;
 
 pub use dataset::Dataset;
 pub use engine::{Engine, EngineBuilder};
+pub use join::{JoinOptions, ProbeStrategy};
+pub use partition::{AdaptiveConfig, PartitionMap, PartitionMapStats};
 pub use query::{FilterStrategy, Metric, Query};
 pub use result::{JoinPair, MatchRecord, QueryResult};
-pub use stats::Timings;
+pub use stats::{JoinDecisions, Timings};
 
 /// Crate-level error type.
 #[derive(Debug)]

@@ -2,7 +2,12 @@
 //!
 //! Figs. 11 and 15 report the processing (P) and merge (M) phase times
 //! of each pipeline separately; [`Timings`] captures them.
+//! [`JoinDecisions`] additionally records what the skew-adaptive join
+//! decided — how many hot cells were split and which MBR-compare
+//! algorithm each partition ran — so the Fig. 14 experiments can
+//! attribute throughput differences to specific decisions.
 
+use crate::partition::PartitionMapStats;
 use std::time::Duration;
 
 /// Wall-clock timings of one pipeline execution (Fig. 5's phases).
@@ -29,6 +34,9 @@ impl Timings {
 pub struct JoinTimings {
     /// First pass: parse + bound + partition.
     pub partition: Timings,
+    /// Partition-map refinement between the passes (per-cell load
+    /// statistics + hot-cell splitting; zero for the uniform grid).
+    pub refine: Duration,
     /// Second pass: MBR compare → sort → re-parse → refine.
     pub join: Timings,
     /// Final duplicate elimination.
@@ -38,7 +46,32 @@ pub struct JoinTimings {
 impl JoinTimings {
     /// Total of both pipelines.
     pub fn total(&self) -> Duration {
-        self.partition.total() + self.join.total() + self.dedup
+        self.partition.total() + self.refine + self.join.total() + self.dedup
+    }
+}
+
+/// What the skew-adaptive join decided for one query: the shape of the
+/// refined partition map plus the per-partition MBR COMPARE algorithm
+/// tally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinDecisions {
+    /// Shape of the (possibly refined) partition map.
+    pub map: PartitionMapStats,
+    /// Partitions answered with the sort + sweep.
+    pub sweep_partitions: u64,
+    /// Partitions answered with the R-tree bulk-load + probe.
+    pub rtree_partitions: u64,
+}
+
+impl JoinDecisions {
+    /// Seeds the decision record from a built partition map; the probe
+    /// tallies accumulate as partitions execute.
+    pub fn from_map(map: PartitionMapStats) -> Self {
+        JoinDecisions {
+            map,
+            sweep_partitions: 0,
+            rtree_partitions: 0,
+        }
     }
 }
 
@@ -56,9 +89,25 @@ mod tests {
         assert_eq!(t.total(), Duration::from_millis(24));
         let j = JoinTimings {
             partition: t,
+            refine: Duration::from_millis(4),
             join: t,
             dedup: Duration::from_millis(2),
         };
-        assert_eq!(j.total(), Duration::from_millis(50));
+        assert_eq!(j.total(), Duration::from_millis(54));
+    }
+
+    #[test]
+    fn decisions_seed_from_map_stats() {
+        let map = PartitionMapStats {
+            base_cells: 8,
+            split_cells: 1,
+            slots: 11,
+            max_cell_entries: 100,
+            max_slot_entries: 30,
+        };
+        let d = JoinDecisions::from_map(map);
+        assert_eq!(d.map, map);
+        assert_eq!(d.sweep_partitions, 0);
+        assert_eq!(d.rtree_partitions, 0);
     }
 }

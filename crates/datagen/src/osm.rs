@@ -60,6 +60,22 @@ pub struct OsmGenerator {
     pub multipolygon_fraction: f64,
     /// Fraction of objects that are nested geometry collections.
     pub collection_fraction: f64,
+    /// Fraction of objects concentrated into one tiny hotspot cluster
+    /// (`0` disables): the join-skew workload of Fig. 14, where a
+    /// uniform partition grid serialises on the hotspot's cell.
+    pub hotspot_fraction: f64,
+    /// Longitude scatter radius (degrees) of the hotspot cluster.
+    pub hotspot_radius_x: f64,
+    /// Latitude scatter radius (degrees) of the hotspot cluster. Equal
+    /// radii give a compact blob; a small x with a large y gives a
+    /// *corridor* (coastline/highway-style linear clustering), the
+    /// shape that degrades a sort-and-sweep MBR compare to quadratic.
+    pub hotspot_radius_y: f64,
+    /// Scale factor applied to every generated geometry's footprint
+    /// (building radius, road step, multipolygon member size). `1.0`
+    /// keeps the defaults; small values give dense-but-rarely-touching
+    /// workloads where candidate filtering dominates refinement.
+    pub object_scale: f64,
 }
 
 impl OsmGenerator {
@@ -74,7 +90,41 @@ impl OsmGenerator {
             road_fraction: 0.25,
             multipolygon_fraction: 0.05,
             collection_fraction: 0.02,
+            hotspot_fraction: 0.0,
+            hotspot_radius_x: 0.1,
+            hotspot_radius_y: 0.1,
+            object_scale: 1.0,
         }
+    }
+
+    /// Scales every generated geometry's footprint.
+    pub fn with_object_scale(mut self, scale: f64) -> Self {
+        self.object_scale = scale;
+        self
+    }
+
+    /// Concentrates `fraction` of the objects into a single compact
+    /// cluster scattered ±`radius` degrees around its centre (the
+    /// skewed-join workload knob).
+    pub fn with_hotspot(mut self, fraction: f64, radius: f64) -> Self {
+        self.hotspot_fraction = fraction;
+        self.hotspot_radius_x = radius;
+        self.hotspot_radius_y = radius;
+        self
+    }
+
+    /// Concentrates `fraction` of the objects into a thin vertical
+    /// corridor — linear clustering along a coastline or trunk road.
+    /// `width` and `length` are half-extents: objects scatter
+    /// ±`width` degrees in longitude and ±`length` in latitude around
+    /// the corridor centre. Every object in the corridor shares its
+    /// x-range with every other, the worst case for the sweep-based
+    /// MBR compare on a uniform grid.
+    pub fn with_corridor(mut self, fraction: f64, width: f64, length: f64) -> Self {
+        self.hotspot_fraction = fraction;
+        self.hotspot_radius_x = width;
+        self.hotspot_radius_y = length;
+        self
     }
 
     /// Generates `n` objects.
@@ -91,12 +141,32 @@ impl OsmGenerator {
         let mut objects = Vec::with_capacity(n);
         for i in 0..n {
             let id = i as u64 + 1;
-            let centre = centres[rng.gen_range(0..centres.len())];
-            // Gaussian-ish scatter around the city centre.
+            // The hotspot roll is only drawn when the knob is on, so
+            // the RNG stream (and every generated dataset) is
+            // bit-identical to pre-hotspot generators by default.
+            let (centre, spread_x, spread_y, hotspot) = if self.hotspot_fraction > 0.0
+                && rng.gen::<f64>() < self.hotspot_fraction
+            {
+                (
+                    centres[0],
+                    self.hotspot_radius_x.max(1e-6),
+                    self.hotspot_radius_y.max(1e-6),
+                    true,
+                )
+            } else {
+                (centres[rng.gen_range(0..centres.len())], 0.5, 0.5, false)
+            };
+            // Gaussian-ish scatter around a city centre; uniform fill
+            // along a hotspot/corridor (linear features are roughly
+            // uniform along their length).
             let jitter = |rng: &mut StdRng| {
                 let u: f64 = rng.gen_range(-1.0..1.0);
                 let v: f64 = rng.gen_range(-1.0..1.0);
-                (u * u * u.signum() * 0.5, v * v * v.signum() * 0.5)
+                if hotspot {
+                    (u * spread_x, v * spread_y)
+                } else {
+                    (u * u * u.signum() * spread_x, v * v * v.signum() * spread_y)
+                }
             };
             let (dx, dy) = jitter(&mut rng);
             let at = Point::new(centre.x + dx, centre.y + dy);
@@ -130,7 +200,13 @@ impl OsmGenerator {
 
     /// A small convex building polygon (4–12 vertices).
     fn gen_building(&self, rng: &mut StdRng, at: Point) -> Geometry {
-        Geometry::Polygon(random_polygon(rng, at, 0.0005..0.005, 4..13))
+        Geometry::Polygon(random_polygon(
+            rng,
+            at,
+            0.0005..0.005,
+            4..13,
+            self.object_scale,
+        ))
     }
 
     /// A road polyline (2–30 vertices, random walk).
@@ -142,7 +218,7 @@ impl OsmGenerator {
         for _ in 0..n {
             pts.push(cur);
             heading += rng.gen_range(-0.5..0.5);
-            let step = rng.gen_range(0.0005..0.003);
+            let step = rng.gen_range(0.0005..0.003) * self.object_scale;
             cur = Point::new(cur.x + step * heading.cos(), cur.y + step * heading.sin());
         }
         Geometry::LineString(LineString::new(pts))
@@ -153,8 +229,11 @@ impl OsmGenerator {
         let k = rng.gen_range(2..5);
         let polys = (0..k)
             .map(|i| {
-                let off = Point::new(at.x + i as f64 * 0.02, at.y + (i % 2) as f64 * 0.02);
-                random_polygon(rng, off, 0.002..0.01, 5..20)
+                let off = Point::new(
+                    at.x + i as f64 * 0.02 * self.object_scale,
+                    at.y + (i % 2) as f64 * 0.02 * self.object_scale,
+                );
+                random_polygon(rng, off, 0.002..0.01, 5..20, self.object_scale)
             })
             .collect();
         Geometry::MultiPolygon(MultiPolygon::new(polys))
@@ -176,9 +255,10 @@ fn random_polygon(
     centre: Point,
     radius: std::ops::Range<f64>,
     vertices: std::ops::Range<usize>,
+    scale: f64,
 ) -> Polygon {
     let n = rng.gen_range(vertices);
-    let r = rng.gen_range(radius);
+    let r = rng.gen_range(radius) * scale;
     let pts: Vec<Point> = (0..n)
         .map(|i| {
             let theta = std::f64::consts::TAU * i as f64 / n as f64;
@@ -258,6 +338,45 @@ mod tests {
                 assert!(p.area() > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn hotspot_concentrates_objects() {
+        let ds = OsmGenerator::new(9).with_hotspot(0.7, 0.05).generate(600);
+        // Bucket object centres into 0.2° cells; even when the hotspot
+        // straddles bucket boundaries (≤ 4-way split), its densest
+        // bucket far exceeds any ordinary cluster's densest bucket.
+        let mut buckets = std::collections::HashMap::new();
+        for o in &ds.objects {
+            let c = o.geometry.mbr().center();
+            *buckets
+                .entry(((c.x * 5.0).floor() as i64, (c.y * 5.0).floor() as i64))
+                .or_insert(0usize) += 1;
+        }
+        let max = *buckets.values().max().unwrap();
+        assert!(
+            max >= 600 * 7 / 10 / 5,
+            "hotspot bucket dominates: max bucket {max}"
+        );
+    }
+
+    #[test]
+    fn corridor_is_thin_and_tall() {
+        let mut g = OsmGenerator::new(11).with_corridor(1.0, 0.003, 0.8);
+        g.road_fraction = 0.0;
+        g.multipolygon_fraction = 0.0;
+        g.collection_fraction = 0.0;
+        let ds = g.generate(300);
+        let mbr = ds.mbr();
+        assert!(mbr.width() < 0.1, "corridor stays thin: {mbr:?}");
+        assert!(mbr.height() > 0.5, "corridor stretches in y: {mbr:?}");
+    }
+
+    #[test]
+    fn disabled_hotspot_changes_nothing() {
+        let plain = OsmGenerator::new(42).generate(50);
+        let zeroed = OsmGenerator::new(42).with_hotspot(0.0, 0.3).generate(50);
+        assert_eq!(plain.objects, zeroed.objects);
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Differential-testing harness: every engine query shape runs against
+//! the `atgis-baselines::sequential` oracle (one thread, one parse
+//! pass, nested-loop join) on synthetic datasets, and the results must
+//! be identical across every engine configuration — thread counts,
+//! uniform vs skew-adaptive partitioning, sweep vs R-tree MBR compare,
+//! FAT vs PAT parsing — plus the `ByteDfa` bulk scanner against its
+//! byte-at-a-time reference. Set `ATGIS_MMAP=1` to run the same suite
+//! over memory-mapped datasets instead of heap buffers, covering both
+//! `Dataset` storage paths.
+
+use atgis::{Dataset, Engine, ProbeStrategy, Query};
+use atgis_baselines::{sequential, BaselineAnswer, BaselineQuery};
+use atgis_datagen::{write_geojson, write_osm_xml, write_wkt, OsmGenerator};
+use atgis_formats::{Format, Mode};
+use atgis_geometry::Mbr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread counts exercised for every engine configuration.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Uniform grid (target 0) vs adaptive partitioning with a target tiny
+/// enough to force hot-cell splits on these small datasets.
+const PARTITION_TARGETS: [usize; 2] = [0, 4];
+
+fn mmap_enabled() -> bool {
+    std::env::var("ATGIS_MMAP").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Heap-backed dataset, or a temp-file memory mapping when
+/// `ATGIS_MMAP=1` (the file is unlinked once the mapping is live).
+fn materialize(bytes: Vec<u8>, format: Format) -> Dataset {
+    if mmap_enabled() {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "atgis_differential_{}_{}.dat",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&path, &bytes).is_ok() {
+            let mapped = Dataset::mmap(&path, format);
+            std::fs::remove_file(&path).ok();
+            if let Ok(d) = mapped {
+                return d;
+            }
+        }
+    }
+    Dataset::from_bytes(bytes, format)
+}
+
+fn dataset(seed: u64, n: usize, format: Format) -> Dataset {
+    dataset_with(OsmGenerator::new(seed), n, format)
+}
+
+fn dataset_with(gen: OsmGenerator, n: usize, format: Format) -> Dataset {
+    let ds = gen.generate(n);
+    let bytes = match format {
+        Format::GeoJson => write_geojson(&ds),
+        Format::Wkt => write_wkt(&ds),
+        Format::OsmXml => write_osm_xml(&ds),
+    };
+    materialize(bytes, format)
+}
+
+/// Every engine configuration the suite sweeps: thread counts ×
+/// partitioning schemes × probe strategies (joins only vary by the
+/// latter two; single-pass queries only by threads/mode).
+fn engines() -> Vec<(String, Engine)> {
+    let mut out = Vec::new();
+    for threads in THREADS {
+        for target in PARTITION_TARGETS {
+            for (pname, probe) in [
+                ("auto", ProbeStrategy::Auto),
+                ("sweep", ProbeStrategy::Sweep),
+                ("rtree", ProbeStrategy::RTree),
+            ] {
+                out.push((
+                    format!("threads={threads} target={target} probe={pname}"),
+                    Engine::builder()
+                        .threads(threads)
+                        .cell_size(2.0)
+                        .partition_target(target)
+                        .probe_strategy(probe)
+                        .build(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn oracle(ds: &Dataset, format: Format, q: &BaselineQuery) -> BaselineAnswer {
+    sequential::execute(ds.bytes(), format, q).expect("oracle parses its own input")
+}
+
+#[test]
+fn containment_matches_oracle_everywhere() {
+    let region = Mbr::new(-6.0, 44.0, 4.0, 56.0);
+    for format in [Format::GeoJson, Format::Wkt] {
+        let ds = dataset(301, 90, format);
+        let want = match oracle(&ds, format, &BaselineQuery::containment(region)) {
+            BaselineAnswer::Matches(ids) => ids,
+            other => panic!("{other:?}"),
+        };
+        assert!(!want.is_empty(), "query must select something");
+        for (config, engine) in engines() {
+            let r = engine.execute(&Query::containment(region), &ds).unwrap();
+            let mut got: Vec<u64> = r.matches().iter().map(|m| m.id).collect();
+            got.sort_unstable();
+            assert_eq!(got, want, "containment {format:?} [{config}]");
+        }
+    }
+}
+
+#[test]
+fn count_and_aggregate_match_oracle_everywhere() {
+    let region = Mbr::new(-8.0, 42.0, 6.0, 58.0);
+    for format in [Format::GeoJson, Format::Wkt] {
+        let ds = dataset(302, 80, format);
+        let (want_count, want_area, want_perimeter) =
+            match oracle(&ds, format, &BaselineQuery::aggregation(region)) {
+                BaselineAnswer::Aggregate(c, a, p) => (c, a, p),
+                other => panic!("{other:?}"),
+            };
+        assert!(want_count > 0);
+        for (config, engine) in engines() {
+            let agg = engine
+                .execute(&Query::aggregation(region), &ds)
+                .unwrap()
+                .aggregate()
+                .unwrap();
+            assert_eq!(agg.count, want_count, "count {format:?} [{config}]");
+            // The engine merges fragments as a tree, the oracle folds
+            // left-to-right: float sums may differ in the last ulps.
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+            assert!(
+                close(agg.total_area, want_area),
+                "area {format:?} [{config}]: {} vs {want_area}",
+                agg.total_area
+            );
+            assert!(
+                close(agg.total_perimeter, want_perimeter),
+                "perimeter {format:?} [{config}]: {} vs {want_perimeter}",
+                agg.total_perimeter
+            );
+        }
+    }
+}
+
+#[test]
+fn join_matches_oracle_everywhere() {
+    for format in [Format::GeoJson, Format::Wkt] {
+        // Half the objects share one 0.03° blob so the dataset
+        // actually contains intersecting cross-side pairs.
+        let ds = dataset_with(OsmGenerator::new(303).with_hotspot(0.5, 0.03), 120, format);
+        let threshold = 60;
+        let want = match oracle(&ds, format, &BaselineQuery::Join(threshold)) {
+            BaselineAnswer::Pairs(pairs) => pairs,
+            other => panic!("{other:?}"),
+        };
+        assert!(!want.is_empty(), "join must produce pairs");
+        for (config, engine) in engines() {
+            let r = engine.execute(&Query::join(threshold), &ds).unwrap();
+            let mut got: Vec<(u64, u64)> =
+                r.joined().iter().map(|p| (p.left_id, p.right_id)).collect();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(got, want, "join {format:?} [{config}]");
+        }
+    }
+}
+
+#[test]
+fn skewed_join_matches_oracle_everywhere() {
+    // The corridor workload of the Fig. 14 experiment, small enough
+    // for the nested-loop oracle: the shape that actually exercises
+    // hot-cell splitting and the per-partition probe choice.
+    let mut gen = OsmGenerator::new(304)
+        .with_corridor(0.8, 0.001, 0.3)
+        .with_object_scale(0.3);
+    gen.road_fraction = 0.0;
+    gen.collection_fraction = 0.0;
+    let bytes = write_geojson(&gen.generate(120));
+    let ds = materialize(bytes, Format::GeoJson);
+    let want = match oracle(&ds, Format::GeoJson, &BaselineQuery::Join(60)) {
+        BaselineAnswer::Pairs(pairs) => pairs,
+        other => panic!("{other:?}"),
+    };
+    assert!(!want.is_empty(), "skewed join must produce pairs");
+    for (config, engine) in engines() {
+        let r = engine.execute(&Query::join(60), &ds).unwrap();
+        let mut got: Vec<(u64, u64)> =
+            r.joined().iter().map(|p| (p.left_id, p.right_id)).collect();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got, want, "skewed join [{config}]");
+    }
+}
+
+#[test]
+fn xml_containment_matches_oracle() {
+    let region = Mbr::new(-180.0, -90.0, 180.0, 90.0);
+    let ds = dataset(305, 40, Format::OsmXml);
+    let want = match oracle(&ds, Format::OsmXml, &BaselineQuery::containment(region)) {
+        BaselineAnswer::Matches(ids) => ids,
+        other => panic!("{other:?}"),
+    };
+    for threads in THREADS {
+        let engine = Engine::builder().threads(threads).build();
+        let r = engine.execute(&Query::containment(region), &ds).unwrap();
+        let mut got: Vec<u64> = r.matches().iter().map(|m| m.id).collect();
+        got.sort_unstable();
+        assert_eq!(got, want, "xml containment threads={threads}");
+    }
+}
+
+#[test]
+fn fat_and_pat_modes_match_oracle() {
+    let region = Mbr::new(-6.0, 44.0, 4.0, 56.0);
+    for format in [Format::GeoJson, Format::Wkt] {
+        let ds = dataset(306, 60, format);
+        let want = match oracle(&ds, format, &BaselineQuery::containment(region)) {
+            BaselineAnswer::Matches(ids) => ids,
+            other => panic!("{other:?}"),
+        };
+        for mode in [Mode::Pat, Mode::Fat, Mode::Adaptive] {
+            let engine = Engine::builder().threads(2).mode(mode).build();
+            let r = engine.execute(&Query::containment(region), &ds).unwrap();
+            let mut got: Vec<u64> = r.matches().iter().map(|m| m.id).collect();
+            got.sort_unstable();
+            assert_eq!(got, want, "containment {format:?} mode={mode:?}");
+        }
+    }
+}
+
+#[test]
+fn bulk_scanner_matches_bytewise_reference() {
+    // The GeoJSON structural lexer over a real serialised dataset:
+    // `ByteDfa::run` (SWAR skip classes) must emit exactly the action
+    // tape of the byte-at-a-time reference from every start state.
+    let bytes = write_geojson(&OsmGenerator::new(307).generate(100));
+    let dfa = atgis_formats::geojson::lexer::lexer();
+    let start = dfa.start_state();
+    let mut fast = Vec::new();
+    let mut slow = Vec::new();
+    let f_fin = dfa.run(start, &bytes, 0, |action, pos| fast.push((action, pos)));
+    let s_fin = dfa.run_bytewise(start, &bytes, 0, |action, pos| slow.push((action, pos)));
+    assert_eq!(f_fin, s_fin, "final states diverge");
+    assert_eq!(fast.len(), slow.len(), "action tape lengths diverge");
+    assert_eq!(fast, slow, "action tapes diverge");
+    assert!(!fast.is_empty(), "the lexer must emit actions");
+
+    // And from every state, over a chunk boundary, as FAT blocks do.
+    let mid = bytes.len() / 2;
+    for s in 0..dfa.num_states() as u8 {
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        let ff = dfa.run(s, &bytes[mid..], mid as u64, |a, p| fast.push((a, p)));
+        let fs = dfa.run_bytewise(s, &bytes[mid..], mid as u64, |a, p| slow.push((a, p)));
+        assert_eq!(ff, fs, "state {s}: finals diverge");
+        assert_eq!(fast, slow, "state {s}: tapes diverge");
+    }
+}
