@@ -1,0 +1,126 @@
+//! Batch throughput: one shared scan serving an 8-query mixed batch
+//! vs sequential per-query execution (the multi-tenant serving story
+//! — not a paper figure, the `fig_batch` extension experiment).
+//!
+//! Both groups report aggregate throughput over the same served
+//! workload (8 queries × dataset bytes), so the MB/s ratio between
+//! them IS the batching speedup. The acceptance bar is ≥3× for the
+//! mixed batch; the smoke assertions below additionally pin the
+//! shared scan to a single parse pass and batch results to the
+//! sequential ones.
+
+use atgis::{Dataset, Engine, Query, QueryResult, QuerySession};
+use atgis_datagen::{write_geojson, OsmGenerator};
+use atgis_formats::Format;
+use atgis_geometry::Mbr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// The 8-query mixed batch: all four query kinds, duplicated with
+/// different parameters (the shape of concurrent tenant traffic —
+/// selective regions, as dashboards and tile servers issue; the
+/// paper's ~25% rule resolves them to buffered filtering, so
+/// non-matching features cost one MBR test each).
+fn mixed_batch(n: u64) -> Vec<Query> {
+    vec![
+        Query::containment(Mbr::new(-2.0, 48.0, 2.0, 52.0)),
+        Query::containment(Mbr::new(-8.0, 44.0, -4.0, 48.0)),
+        Query::aggregation(Mbr::new(-2.0, 48.0, 2.0, 52.0)),
+        Query::aggregation(Mbr::new(0.0, 50.0, 4.0, 54.0)),
+        Query::containment(Mbr::new(3.0, 42.0, 7.0, 46.0)),
+        Query::aggregation(Mbr::new(-6.0, 44.0, -2.0, 48.0)),
+        Query::join(n / 8),
+        Query::combined(n / 8, 10.0, 1.0e7),
+    ]
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let n = atgis_bench::scaled(6000);
+    let ds = Dataset::from_bytes(
+        write_geojson(&OsmGenerator::new(2026).generate(n)),
+        Format::GeoJson,
+    );
+    let queries = mixed_batch(n as u64);
+    let engine = Engine::builder()
+        .threads(0)
+        .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
+        .cell_size(1.0)
+        .build();
+
+    // Correctness + amortisation smoke, printed once so the bench
+    // output records what the batch actually did.
+    let sequential: Vec<QueryResult> = queries
+        .iter()
+        .map(|q| engine.execute(q, &ds).unwrap())
+        .collect();
+    let (batched, stats) = engine.execute_batch_timed(&queries, &ds).unwrap();
+    assert_eq!(batched, sequential, "batch must equal per-query execution");
+    assert_eq!(stats.scan_passes, 1, "one structural pass for 8 queries");
+    println!(
+        "fig_batch: {} queries / {} parse pass(es) -> amortisation {:.1}x, shared scan {:.1?}",
+        stats.queries,
+        stats.scan_passes,
+        stats.amortisation_ratio(),
+        stats.shared_scan.total(),
+    );
+    for (i, q) in stats.per_query.iter().enumerate() {
+        println!(
+            "fig_batch:   q{i}: wall {:.1?} (scan {:.1?}, finalize {:.1?}{})",
+            q.wall,
+            q.scan,
+            q.finalize,
+            match &q.join {
+                Some(j) => format!(
+                    ", join {:.1?} + dedup {:.1?}",
+                    j.join.process, j.dedup
+                ),
+                None => String::new(),
+            },
+        );
+    }
+
+    let served_bytes = (ds.len() * queries.len()) as u64;
+    let mut group = c.benchmark_group("fig_batch_mixed8");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(served_bytes));
+    group.bench_with_input(BenchmarkId::new("sequential", n), &ds, |b, ds| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| engine.execute(q, ds).unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("shared_scan", n), &ds, |b, ds| {
+        b.iter(|| engine.execute_batch(&queries, ds).unwrap())
+    });
+    // The serving seam: a session with a warm partition-index cache
+    // answering repeated batches (what a server's steady state sees).
+    let session = QuerySession::new(engine.clone(), ds.clone());
+    session.execute_batch(&queries).unwrap(); // warm the cache
+    group.bench_with_input(BenchmarkId::new("session_warm", n), &ds, |b, _| {
+        b.iter(|| session.execute_batch(&queries).unwrap())
+    });
+    group.finish();
+
+    // Join-only traffic over the warm session: zero parse passes.
+    let joins: Vec<Query> = vec![Query::join(n as u64 / 2), Query::join(n as u64 / 3)];
+    let (_, warm_stats) = session.execute_batch_timed(&joins).unwrap();
+    assert_eq!(
+        warm_stats.scan_passes, 0,
+        "cached index serves join-only batches without re-parsing"
+    );
+    println!(
+        "fig_batch: warm session join-only batch: {} queries / {} parse passes",
+        warm_stats.queries, warm_stats.scan_passes
+    );
+    let mut group = c.benchmark_group("fig_batch_session_joins");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes((ds.len() * joins.len()) as u64));
+    group.bench_with_input(BenchmarkId::new("warm_index", n), &ds, |b, _| {
+        b.iter(|| session.execute_batch(&joins).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

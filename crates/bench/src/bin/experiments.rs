@@ -63,6 +63,9 @@ fn main() {
     if run_all || which == "fig15" {
         fig15();
     }
+    if run_all || which == "fig_batch" {
+        fig_batch();
+    }
 }
 
 fn host_threads() -> usize {
@@ -523,5 +526,87 @@ fn fig15() {
             }
         }
     }
+    println!();
+}
+
+fn fig_batch() {
+    println!("=== fig_batch: shared-scan batch execution (8 mixed queries) ===");
+    let w = Workload::build(scaled(6000));
+    let threshold = (w.objects / 8) as u64;
+    let threads = host_threads();
+    let e = engine(threads, Mode::Pat);
+    let queries = vec![
+        Query::containment(Mbr::new(-2.0, 48.0, 2.0, 52.0)),
+        Query::containment(Mbr::new(-8.0, 44.0, -4.0, 48.0)),
+        Query::aggregation(Mbr::new(-2.0, 48.0, 2.0, 52.0)),
+        Query::aggregation(Mbr::new(0.0, 50.0, 4.0, 54.0)),
+        Query::containment(Mbr::new(3.0, 42.0, 7.0, 46.0)),
+        Query::aggregation(Mbr::new(-6.0, 44.0, -2.0, 48.0)),
+        Query::join(threshold),
+        Query::combined(threshold, 10.0, 1.0e7),
+    ];
+    let served = w.osm_g.len() * queries.len();
+
+    let (seq_results, d_seq) = time_best_of(3, || {
+        queries
+            .iter()
+            .map(|q| e.execute(q, &w.osm_g).unwrap())
+            .collect::<Vec<_>>()
+    });
+    let ((batch_results, stats), d_batch) =
+        time_best_of(3, || e.execute_batch_timed(&queries, &w.osm_g).unwrap());
+    assert_eq!(batch_results, seq_results, "batch must equal sequential");
+
+    println!(
+        "{:>14} {:>12} {:>12} {:>12}",
+        "mode", "time (s)", "agg MB/s", "passes"
+    );
+    println!(
+        "{:>14} {:>12.3} {:>12.1} {:>12}",
+        "sequential",
+        secs(d_seq),
+        throughput_mbs(served, d_seq),
+        queries.len(),
+    );
+    println!(
+        "{:>14} {:>12.3} {:>12.1} {:>12}",
+        "shared scan",
+        secs(d_batch),
+        throughput_mbs(served, d_batch),
+        stats.scan_passes,
+    );
+    println!(
+        "batch speedup: {:.2}x  amortisation: {:.1} queries/pass  shared scan: {:.3}s",
+        secs(d_seq) / secs(d_batch),
+        stats.amortisation_ratio(),
+        secs(stats.shared_scan.total()),
+    );
+    for (i, q) in stats.per_query.iter().enumerate() {
+        let join = q
+            .join
+            .map(|j| format!(" join={:.3}s dedup={:.3}s", secs(j.join.process), secs(j.dedup)))
+            .unwrap_or_default();
+        println!(
+            "  q{i}: wall={:.3}s scan={:.3}s finalize={:.3}s{join}",
+            secs(q.wall),
+            secs(q.scan),
+            secs(q.finalize),
+        );
+    }
+
+    // Steady-state serving: a QuerySession with a warm index cache.
+    let session = atgis::QuerySession::new(e, w.osm_g.clone());
+    session.execute_batch(&queries).unwrap();
+    let (_, d_warm) = time_best_of(3, || session.execute_batch(&queries).unwrap());
+    let joins = vec![Query::join(threshold), Query::join(threshold / 2)];
+    let ((_, warm_stats), d_joins) =
+        time_best_of(3, || session.execute_batch_timed(&joins).unwrap());
+    println!(
+        "warm session: mixed batch {:.3}s ({:.1} MB/s); join-only batch {:.3}s at {} parse passes",
+        secs(d_warm),
+        throughput_mbs(served, d_warm),
+        secs(d_joins),
+        warm_stats.scan_passes,
+    );
     println!();
 }

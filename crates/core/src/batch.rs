@@ -1,0 +1,669 @@
+//! Shared-scan batch execution: one structural parse pass serving N
+//! concurrent queries.
+//!
+//! AT-GIS's throughput comes from doing query processing *inside* the
+//! scan; a multi-tenant server extends that story by amortising the
+//! scan itself. [`Engine::execute_batch`] compiles submitted queries
+//! into a [`BatchPlan`]: every query contributes a per-query
+//! aggregate sink to **one** [`MultiSink`] fan-out, so a single
+//! transducer pass (the engine's configured PAT/FAT/Adaptive mode for
+//! the dataset's format) parses each geometry once and dispatches it
+//! to every member. Join-class queries additionally share one
+//! side-agnostic [`PartitionIndex`] — the partition store plus its
+//! skew-refined [`PartitionMap`] — and one [`ReparseCache`], so the
+//! partition pass, hot-cell splitting and candidate re-parsing are all
+//! paid once per batch instead of once per query. Per-query cost
+//! drops from `O(dataset)` parse + `O(query)` work to `O(query)` work
+//! alone.
+//!
+//! The layering is plan → scan → aggregate:
+//!
+//! 1. **plan** — classify each query ([`Query::scan_class`]), build
+//!    its sink, and register join specs ([`crate::join::JoinSpec`]:
+//!    threshold-resolved sides, refine-stage perimeter bounds);
+//! 2. **scan** — one `single_pass` over the raw bytes with the
+//!    [`MultiSink`] prototype (the partition sink rides along when the
+//!    index is not already cached);
+//! 3. **aggregate** — extract per-query results; join-class queries
+//!    fan out over a flattened (query × partition) job space
+//!    ([`crate::executor::run_grid_on`]) sharing the index and the
+//!    re-parse cache, then deduplicate per query.
+//!
+//! Results are **bit-identical** to per-query [`Engine::execute`]
+//! calls: member sinks see exactly the absorb/combine sequence of a
+//! solo run (the merge-tree shape depends only on the block count),
+//! and join pairs are canonicalised by the final sort + dedup.
+//!
+//! [`QuerySession`] is the serving seam: it pins a dataset, keeps the
+//! [`IndexCache`] warm across batches (a join-only batch over a
+//! cached index runs *zero* parse passes), and is what the async
+//! ingestion work will later feed.
+
+use crate::dataset::Dataset;
+use crate::engine::{
+    make_reparser, Engine, EngineBuilder, PartitionAgg, PartitionPhase, StoreKind,
+};
+use crate::executor::run_grid_on;
+use crate::join::{
+    fold_slot_results, join_partition, JoinOptions, JoinSpec, ReparseCache, Reparser, SlotResult,
+};
+use crate::partition::{ArrayStore, GridSpec, ListStore, PartitionMap, PartitionMapStats, PartitionStore};
+use crate::pipeline::{downcast_sink, AggregateSink, ContainmentAgg, MetricsAgg, MultiSink};
+use crate::query::Query;
+use crate::result::QueryResult;
+use crate::stats::{BatchQueryStats, BatchStats, JoinTimings, Timings};
+use crate::Result;
+use atgis_formats::feature::MetadataFilter;
+use atgis_formats::Format;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The partitioning configuration a [`PartitionIndex`] was built
+/// under — the cache key. Two engines with the same partitioning
+/// knobs can share an index even if they differ in threads or scan
+/// mode, because the index depends only on geometry bounds.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct IndexKey {
+    cell_deg: u64,
+    extent: [u64; 4],
+    store: StoreKind,
+    phase: PartitionPhase,
+    adaptive: crate::partition::AdaptiveConfig,
+}
+
+fn index_key(cfg: &EngineBuilder) -> IndexKey {
+    IndexKey {
+        cell_deg: cfg.cell_deg.to_bits(),
+        extent: [
+            cfg.grid_extent.min_x.to_bits(),
+            cfg.grid_extent.min_y.to_bits(),
+            cfg.grid_extent.max_x.to_bits(),
+            cfg.grid_extent.max_y.to_bits(),
+        ],
+        store: cfg.store,
+        phase: cfg.partition_phase,
+        adaptive: cfg.adaptive,
+    }
+}
+
+/// The store side of a [`PartitionIndex`], matching the engine's
+/// configured [`StoreKind`].
+enum IndexStore {
+    /// Flat per-cell arrays.
+    Array(ArrayStore),
+    /// Chunk lists.
+    List(ListStore),
+}
+
+/// A dataset-level spatial index shared by every join-class query of
+/// a batch (and, inside a [`QuerySession`], across batches): the
+/// side-agnostic partition store plus its skew-refined map. Sides are
+/// resolved per query at join time (`id < threshold`), so queries
+/// with different thresholds — and the combined query's perimeter
+/// bounds, enforced at the refine stage — all read the same index.
+pub struct PartitionIndex {
+    store: IndexStore,
+    map: PartitionMap,
+    /// Time spent on map refinement (load stats + hot-cell splits).
+    refine: Duration,
+    /// OSM XML only: the offset→geometry table re-parsing needs (a
+    /// relation's geometry requires the node table, so single-object
+    /// reparse is impossible). Cached with the index so warm-session
+    /// XML batches skip this pass too.
+    xml_table: Option<Arc<HashMap<u64, atgis_geometry::Geometry>>>,
+}
+
+impl PartitionIndex {
+    /// Shape of the refined partition map.
+    pub fn map_stats(&self) -> PartitionMapStats {
+        self.map.stats()
+    }
+}
+
+/// Dataset-level cache of [`PartitionIndex`]es keyed by partitioning
+/// configuration. [`Engine::execute_batch`] uses a fresh cache per
+/// call (queries of one batch share the index); [`QuerySession`] keeps
+/// one alive so later batches skip the partition pass entirely.
+pub struct IndexCache {
+    inner: Mutex<HashMap<IndexKey, Arc<PartitionIndex>>>,
+}
+
+impl IndexCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        IndexCache {
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of cached indexes.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("index cache poisoned").len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, key: &IndexKey) -> Option<Arc<PartitionIndex>> {
+        self.inner
+            .lock()
+            .expect("index cache poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    fn insert(&self, key: IndexKey, index: Arc<PartitionIndex>) {
+        self.inner
+            .lock()
+            .expect("index cache poisoned")
+            .insert(key, index);
+    }
+}
+
+impl Default for IndexCache {
+    fn default() -> Self {
+        IndexCache::new()
+    }
+}
+
+/// What one query contributes to the batch plan.
+enum Task {
+    /// Containment: sink at this position in the fan-out.
+    Containment { sink: usize },
+    /// Aggregation: sink at this position in the fan-out.
+    Aggregation { sink: usize },
+    /// Join-class query (its spec's position in the join fan-out is
+    /// tracked by `join_query_index`).
+    Join,
+    /// Combined query: join spec plus the union-area post-aggregation.
+    Combined,
+}
+
+/// A reusable query session: one dataset, one engine (and its
+/// persistent worker pool), and a warm [`IndexCache`] — the unit a
+/// multi-tenant server holds per served dataset. Repeated
+/// [`QuerySession::execute_batch`] calls amortise both the structural
+/// scan (within a batch) and the partition index (across batches).
+pub struct QuerySession {
+    engine: Engine,
+    dataset: Dataset,
+    cache: IndexCache,
+}
+
+impl QuerySession {
+    /// Opens a session serving `dataset` with `engine`.
+    pub fn new(engine: Engine, dataset: Dataset) -> Self {
+        QuerySession {
+            engine,
+            dataset,
+            cache: IndexCache::new(),
+        }
+    }
+
+    /// The session's engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The served dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Partition indexes currently cached.
+    pub fn cached_indexes(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Executes one query (a batch of one — join-class queries still
+    /// benefit from the cached partition index).
+    pub fn execute(&self, query: &Query) -> Result<QueryResult> {
+        let mut results = self.execute_batch(std::slice::from_ref(query))?;
+        Ok(results.pop().expect("one result per query"))
+    }
+
+    /// Executes a batch of queries over the session dataset with a
+    /// shared scan (see [`Engine::execute_batch`]), reusing the
+    /// session's cached partition index when join-class queries
+    /// recur.
+    pub fn execute_batch(&self, queries: &[Query]) -> Result<Vec<QueryResult>> {
+        self.execute_batch_timed(queries).map(|(r, _)| r)
+    }
+
+    /// [`QuerySession::execute_batch`] with the amortisation
+    /// breakdown.
+    pub fn execute_batch_timed(
+        &self,
+        queries: &[Query],
+    ) -> Result<(Vec<QueryResult>, BatchStats)> {
+        execute_batch_impl(&self.engine, queries, &self.dataset, &self.cache)
+    }
+}
+
+/// Builds the side-agnostic partition-pass prototype: everything tags
+/// left (`id < u64::MAX`) and no perimeter prefilter runs, so one
+/// index serves every join spec.
+fn partition_proto<S: PartitionStore + Clone>(grid: GridSpec, cfg: &EngineBuilder) -> PartitionAgg<S> {
+    PartitionAgg {
+        grid,
+        store: S::new(grid.num_cells()),
+        entries: Vec::new(),
+        associative: cfg.partition_phase == PartitionPhase::Associative,
+        id_threshold: u64::MAX,
+        min_perimeter_left: None,
+        max_perimeter_right: None,
+    }
+}
+
+/// Finishes a partition sink into store + refined map (scattering the
+/// entry list first under the separate partition phase).
+fn finish_index<S: PartitionStore + Clone>(
+    cfg: &EngineBuilder,
+    grid: GridSpec,
+    mut agg: PartitionAgg<S>,
+) -> (S, PartitionMap, Duration) {
+    if cfg.partition_phase == PartitionPhase::Separate {
+        for e in std::mem::take(&mut agg.entries) {
+            for cell in grid.cells_for(&e.mbr) {
+                agg.store.push(cell, e);
+            }
+        }
+    }
+    let started = Instant::now();
+    let map = PartitionMap::adaptive(&grid, &agg.store, &cfg.adaptive);
+    (agg.store, map, started.elapsed())
+}
+
+/// Runs the flattened (query × partition) join fan-out: one shared
+/// job cursor over every pair, so cheap queries never serialise the
+/// pool behind expensive ones. Each task reports its own duration for
+/// per-query attribution.
+fn run_join_grid<S: PartitionStore + Sync>(
+    engine: &Engine,
+    store: &S,
+    map: &PartitionMap,
+    specs: &[JoinSpec],
+    reparse: &Reparser<'_>,
+    cache: &ReparseCache,
+    options: &JoinOptions,
+) -> Vec<Vec<(Duration, SlotResult)>> {
+    run_grid_on(
+        engine.pool(),
+        specs.len(),
+        map.num_slots(),
+        options.threads,
+        |q, slot| {
+            let started = Instant::now();
+            let r = join_partition(store, map, slot, &specs[q], reparse, cache, options);
+            (started.elapsed(), r)
+        },
+    )
+}
+
+/// The batch executor behind [`Engine::execute_batch`] and
+/// [`QuerySession::execute_batch`]: plan, shared scan, per-query
+/// aggregation (see the module docs for the layering).
+pub(crate) fn execute_batch_impl(
+    engine: &Engine,
+    queries: &[Query],
+    dataset: &Dataset,
+    cache: &IndexCache,
+) -> Result<(Vec<QueryResult>, BatchStats)> {
+    let cfg = engine.config();
+    let mut stats = BatchStats {
+        queries: queries.len() as u64,
+        per_query: vec![BatchQueryStats::default(); queries.len()],
+        ..BatchStats::default()
+    };
+    if queries.is_empty() {
+        return Ok((Vec::new(), stats));
+    }
+
+    // ---- plan: per-query sinks and join specs ----
+    let mut sinks: Vec<Box<dyn AggregateSink>> = Vec::new();
+    let mut tasks: Vec<Task> = Vec::with_capacity(queries.len());
+    let mut join_specs: Vec<JoinSpec> = Vec::new();
+    let mut join_query_index: Vec<usize> = Vec::new();
+    for (qi, q) in queries.iter().enumerate() {
+        match q {
+            Query::Containment { region } => {
+                tasks.push(Task::Containment { sink: sinks.len() });
+                sinks.push(Box::new(ContainmentAgg::new(Arc::new(region.clone()))));
+            }
+            Query::Aggregation {
+                region,
+                metrics,
+                model,
+                strategy,
+            } => {
+                let strategy = engine.resolve_strategy(*strategy, region, dataset);
+                tasks.push(Task::Aggregation { sink: sinks.len() });
+                sinks.push(Box::new(MetricsAgg::new(
+                    Arc::new(region.clone()),
+                    metrics,
+                    *model,
+                    strategy,
+                )));
+            }
+            Query::Join { id_threshold } => {
+                tasks.push(Task::Join);
+                join_specs.push(JoinSpec::threshold(*id_threshold));
+                join_query_index.push(qi);
+            }
+            Query::Combined {
+                id_threshold,
+                min_perimeter_left,
+                max_perimeter_right,
+            } => {
+                tasks.push(Task::Combined);
+                join_specs.push(
+                    JoinSpec::threshold(*id_threshold).with_perimeter_bounds(
+                        Some(*min_perimeter_left),
+                        Some(*max_perimeter_right),
+                    ),
+                );
+                join_query_index.push(qi);
+            }
+        }
+    }
+
+    let needs_index = !join_specs.is_empty();
+    let key = needs_index.then(|| index_key(cfg));
+    let cached = key.as_ref().and_then(|k| cache.get(k));
+    let build_index = needs_index && cached.is_none();
+    let single_pass_sinks = sinks.len();
+
+    // ---- shared scan: every sink rides one parse pass; the
+    // partition sink joins it when the index is not cached ----
+    let grid = GridSpec::new(cfg.grid_extent, cfg.cell_deg);
+    if build_index {
+        match cfg.store {
+            StoreKind::Array => sinks.push(Box::new(partition_proto::<ArrayStore>(grid, cfg))),
+            StoreKind::List => sinks.push(Box::new(partition_proto::<ListStore>(grid, cfg))),
+        }
+    }
+    let mut finished: Vec<Option<Box<dyn AggregateSink>>> = Vec::new();
+    if !sinks.is_empty() {
+        let proto = MultiSink::new(sinks);
+        let (merged, t) = engine.single_pass(dataset, &MetadataFilter::All, proto)?;
+        finished = merged.into_sinks().into_iter().map(Some).collect();
+        stats.scan_passes += 1;
+        stats.shared_scan = t;
+    }
+    let scan_total = stats.shared_scan.total();
+
+    // ---- aggregate: partition index ----
+    let index: Option<Arc<PartitionIndex>> = if needs_index {
+        let index = match cached {
+            Some(i) => i,
+            None => {
+                let sink = finished
+                    .get_mut(single_pass_sinks)
+                    .and_then(Option::take)
+                    .expect("the partition sink rode the scan");
+                let (store, map, refine) = match cfg.store {
+                    StoreKind::Array => {
+                        let agg: PartitionAgg<ArrayStore> = downcast_sink(sink);
+                        let (s, m, r) = finish_index(cfg, grid, agg);
+                        (IndexStore::Array(s), m, r)
+                    }
+                    StoreKind::List => {
+                        let agg: PartitionAgg<ListStore> = downcast_sink(sink);
+                        let (s, m, r) = finish_index(cfg, grid, agg);
+                        (IndexStore::List(s), m, r)
+                    }
+                };
+                // XML joins re-parse through the node table; build it
+                // once and cache it with the index, so warm batches
+                // skip this pass along with the partition pass.
+                let xml_table = if dataset.format() == Format::OsmXml {
+                    stats.scan_passes += 1;
+                    Some(Arc::new(engine.xml_geometry_table(dataset)?))
+                } else {
+                    None
+                };
+                let built = Arc::new(PartitionIndex {
+                    store,
+                    map,
+                    refine,
+                    xml_table,
+                });
+                cache.insert(key.expect("key exists when an index is needed"), built.clone());
+                built
+            }
+        };
+        Some(index)
+    } else {
+        None
+    };
+
+    // ---- aggregate: single-pass query results ----
+    let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
+    for (qi, task) in tasks.iter().enumerate() {
+        let sink = match task {
+            Task::Containment { sink } | Task::Aggregation { sink } => *sink,
+            _ => continue,
+        };
+        let started = Instant::now();
+        let sink = finished
+            .get_mut(sink)
+            .and_then(Option::take)
+            .expect("every single-pass query has a finished sink");
+        results[qi] = Some(match task {
+            Task::Containment { .. } => {
+                let agg: ContainmentAgg = downcast_sink(sink);
+                let mut matches = agg.matches;
+                matches.sort_by_key(|m| m.offset);
+                QueryResult::Matches(matches)
+            }
+            Task::Aggregation { .. } => {
+                let agg: MetricsAgg = downcast_sink(sink);
+                QueryResult::Aggregate(agg.values)
+            }
+            _ => unreachable!(),
+        });
+        let finalize = started.elapsed();
+        stats.per_query[qi] = BatchQueryStats {
+            scan: scan_total,
+            join: None,
+            decisions: None,
+            finalize,
+            wall: scan_total + finalize,
+        };
+    }
+
+    // ---- aggregate: the shared join stage ----
+    if let Some(index) = &index {
+        let input = dataset.bytes();
+        let reparse = make_reparser(input, dataset.format(), index.xml_table.as_deref());
+        let options = JoinOptions {
+            threads: engine.threads(),
+            sort_batch: cfg.sort_batch,
+            probe: cfg.probe,
+            ..JoinOptions::default()
+        };
+        // One re-parse cache for the whole batch: objects probed by
+        // several queries (or replicated into several partitions)
+        // parse once.
+        let shared_cache = ReparseCache::new(options.sort_batch);
+        let grid_results = match &index.store {
+            IndexStore::Array(s) => run_join_grid(
+                engine, s, &index.map, &join_specs, reparse.as_ref(), &shared_cache, &options,
+            ),
+            IndexStore::List(s) => run_join_grid(
+                engine, s, &index.map, &join_specs, reparse.as_ref(), &shared_cache, &options,
+            ),
+        };
+        for (jq, per_slot) in grid_results.into_iter().enumerate() {
+            let qi = join_query_index[jq];
+            let own_process: Duration = per_slot.iter().map(|(d, _)| *d).sum();
+            let outcome =
+                fold_slot_results(&index.map, per_slot.into_iter().map(|(_, r)| r))?;
+            let mut finalize = Duration::ZERO;
+            results[qi] = Some(match &queries[qi] {
+                Query::Join { .. } => QueryResult::Joined(outcome.pairs),
+                Query::Combined { .. } => {
+                    // The final aggregation: ST_Area(ST_Union(l, r))
+                    // over the (canonically sorted) pairs, through the
+                    // shared cache.
+                    let started = Instant::now();
+                    let mut total = 0.0;
+                    for p in &outcome.pairs {
+                        let a = shared_cache.get_or_parse(p.left_offset, u32::MAX, reparse.as_ref())?;
+                        let b =
+                            shared_cache.get_or_parse(p.right_offset, u32::MAX, reparse.as_ref())?;
+                        total += crate::operators::union_area(&a, &b);
+                    }
+                    finalize = started.elapsed();
+                    QueryResult::Combined {
+                        pairs: outcome.pairs.len() as u64,
+                        total_union_area: total,
+                    }
+                }
+                _ => unreachable!("join fan-out only holds join-class queries"),
+            });
+            stats.per_query[qi] = BatchQueryStats {
+                scan: scan_total,
+                join: Some(JoinTimings {
+                    partition: stats.shared_scan,
+                    refine: index.refine,
+                    join: Timings {
+                        split: Duration::ZERO,
+                        process: own_process,
+                        merge: Duration::ZERO,
+                    },
+                    dedup: outcome.dedup,
+                }),
+                decisions: Some(outcome.decisions),
+                finalize,
+                wall: scan_total + own_process + outcome.dedup + finalize,
+            };
+        }
+    }
+
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("every query produced a result"))
+        .collect();
+    Ok((results, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgis_datagen::{write_geojson, OsmGenerator};
+    use atgis_geometry::Mbr;
+
+    fn dataset(seed: u64, n: usize) -> Dataset {
+        let ds = OsmGenerator::new(seed).generate(n);
+        Dataset::from_bytes(write_geojson(&ds), Format::GeoJson)
+    }
+
+    fn mixed_queries(n_objects: u64) -> Vec<Query> {
+        vec![
+            Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0)),
+            Query::aggregation(Mbr::new(-6.0, 44.0, 4.0, 56.0)),
+            Query::join(n_objects / 2),
+            Query::combined(n_objects / 2, 0.0, f64::INFINITY),
+            Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0)),
+        ]
+    }
+
+    #[test]
+    fn batch_matches_sequential_execution() {
+        let ds = dataset(900, 80);
+        let engine = Engine::builder().threads(2).cell_size(2.0).build();
+        let queries = mixed_queries(80);
+        let want: Vec<QueryResult> = queries
+            .iter()
+            .map(|q| engine.execute(q, &ds).unwrap())
+            .collect();
+        let (got, stats) = engine.execute_batch_timed(&queries, &ds).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(stats.scan_passes, 1, "one shared pass for the whole batch");
+        assert_eq!(stats.queries, 5);
+        assert_eq!(stats.amortisation_ratio(), 5.0);
+        assert!(stats.per_query[2].join.is_some());
+        assert!(stats.per_query[0].join.is_none());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let ds = dataset(901, 10);
+        let engine = Engine::builder().build();
+        let (results, stats) = engine.execute_batch_timed(&[], &ds).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(stats.scan_passes, 0);
+    }
+
+    #[test]
+    fn session_caches_partition_index_across_batches() {
+        let ds = dataset(902, 70);
+        let engine = Engine::builder().threads(2).cell_size(2.0).build();
+        let baseline: Vec<QueryResult> = [Query::join(35), Query::join(20)]
+            .iter()
+            .map(|q| engine.execute(q, &ds).unwrap())
+            .collect();
+        let session = QuerySession::new(engine, ds);
+        assert_eq!(session.cached_indexes(), 0);
+        let (first, s1) = session
+            .execute_batch_timed(&[Query::join(35), Query::join(20)])
+            .unwrap();
+        assert_eq!(first, baseline);
+        assert_eq!(s1.scan_passes, 1);
+        assert_eq!(session.cached_indexes(), 1);
+        // Second batch: the cached index serves both joins with zero
+        // parse passes.
+        let (second, s2) = session
+            .execute_batch_timed(&[Query::join(35), Query::join(20)])
+            .unwrap();
+        assert_eq!(second, baseline);
+        assert_eq!(s2.scan_passes, 0);
+        assert_eq!(session.cached_indexes(), 1);
+    }
+
+    #[test]
+    fn session_single_query_matches_engine() {
+        let ds = dataset(903, 60);
+        let engine = Engine::builder().threads(2).build();
+        let q = Query::aggregation(Mbr::new(-8.0, 42.0, 6.0, 58.0));
+        let want = engine.execute(&q, &ds).unwrap();
+        let session = QuerySession::new(engine, ds);
+        assert_eq!(session.execute(&q).unwrap(), want);
+    }
+
+    #[test]
+    fn duplicate_queries_in_one_batch_agree() {
+        let ds = dataset(904, 50);
+        let engine = Engine::builder().threads(2).build();
+        let q = Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0));
+        let results = engine
+            .execute_batch(&[q.clone(), q.clone(), q.clone()], &ds)
+            .unwrap();
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+        assert!(!results[0].matches().is_empty());
+    }
+
+    #[test]
+    fn store_kinds_agree_in_batch() {
+        let ds = dataset(905, 60);
+        let queries = mixed_queries(60);
+        let a = Engine::builder()
+            .store(StoreKind::Array)
+            .cell_size(2.0)
+            .build()
+            .execute_batch(&queries, &ds)
+            .unwrap();
+        let l = Engine::builder()
+            .store(StoreKind::List)
+            .cell_size(2.0)
+            .build()
+            .execute_batch(&queries, &ds)
+            .unwrap();
+        assert_eq!(a, l);
+    }
+}

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Which data structure holds partitions (§4.4 / Fig. 15).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum StoreKind {
     /// Flat arrays: locality, linear-time merge.
     #[default]
@@ -32,7 +32,7 @@ pub enum StoreKind {
 
 /// Whether partitioning runs inside the associative pipeline or as a
 /// separate sequential phase after it (§5.6 / Fig. 15).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PartitionPhase {
     /// Partition transducer inside the pipeline; stores merge
     /// associatively.
@@ -49,13 +49,13 @@ pub struct EngineBuilder {
     threads: usize,
     mode: Mode,
     block_multiplier: usize,
-    cell_deg: f64,
-    grid_extent: Mbr,
-    store: StoreKind,
-    partition_phase: PartitionPhase,
-    sort_batch: usize,
-    adaptive: AdaptiveConfig,
-    probe: ProbeStrategy,
+    pub(crate) cell_deg: f64,
+    pub(crate) grid_extent: Mbr,
+    pub(crate) store: StoreKind,
+    pub(crate) partition_phase: PartitionPhase,
+    pub(crate) sort_batch: usize,
+    pub(crate) adaptive: AdaptiveConfig,
+    pub(crate) probe: ProbeStrategy,
 }
 
 impl Default for EngineBuilder {
@@ -193,9 +193,45 @@ impl Engine {
         self.config.threads
     }
 
+    /// The engine configuration (the batch planner reads partitioning
+    /// knobs from it).
+    pub(crate) fn config(&self) -> &EngineBuilder {
+        &self.config
+    }
+
+    /// The engine's persistent worker pool.
+    pub(crate) fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
     /// Executes a query, discarding timings.
     pub fn execute(&self, query: &Query, dataset: &Dataset) -> Result<QueryResult> {
         self.execute_timed(query, dataset).map(|(r, _)| r)
+    }
+
+    /// Executes a batch of queries over one dataset with a **shared
+    /// structural scan**: all queries ride one parse pass (per-query
+    /// aggregates fan out from each decoded geometry), join-class
+    /// queries share one partition index and one re-parse cache, and
+    /// every result is bit-identical to calling [`Engine::execute`]
+    /// per query. Results come back in submission order.
+    ///
+    /// For repeated batches over the same dataset, prefer
+    /// [`crate::batch::QuerySession`], which additionally caches the
+    /// partition index across calls.
+    pub fn execute_batch(&self, queries: &[Query], dataset: &Dataset) -> Result<Vec<QueryResult>> {
+        self.execute_batch_timed(queries, dataset).map(|(r, _)| r)
+    }
+
+    /// [`Engine::execute_batch`] with the per-query and shared-scan
+    /// amortisation breakdown.
+    pub fn execute_batch_timed(
+        &self,
+        queries: &[Query],
+        dataset: &Dataset,
+    ) -> Result<(Vec<QueryResult>, crate::stats::BatchStats)> {
+        let cache = crate::batch::IndexCache::new();
+        crate::batch::execute_batch_impl(self, queries, dataset, &cache)
     }
 
     /// Executes a query and reports per-phase timings.
@@ -260,7 +296,7 @@ impl Engine {
                 for p in &pairs {
                     let a = &reparse_table[&p.left_offset];
                     let b = &reparse_table[&p.right_offset];
-                    total += union_area(a, b);
+                    total += crate::operators::union_area(a, b);
                 }
                 if let Some(j) = stats.join.as_mut() {
                     j.dedup += started.elapsed();
@@ -279,7 +315,7 @@ impl Engine {
     /// Resolves `FilterStrategy::Auto` with the paper's ~25% rule: the
     /// fraction of the dataset extent selected by the region estimates
     /// selectivity (§5.4: below ~25% selected, buffering wins).
-    fn resolve_strategy(
+    pub(crate) fn resolve_strategy(
         &self,
         strategy: FilterStrategy,
         region: &Polygon,
@@ -432,7 +468,7 @@ impl Engine {
     /// The XML two-pass parse (§4.4): block-parallel node collection
     /// and way/relation collection, then sequential assembly against
     /// the temporary node table.
-    fn parse_xml(
+    pub(crate) fn parse_xml(
         &self,
         dataset: &Dataset,
         filter: &MetadataFilter,
@@ -626,7 +662,7 @@ impl Engine {
         Ok(table)
     }
 
-    fn xml_geometry_table(&self, dataset: &Dataset) -> Result<HashMap<u64, Geometry>> {
+    pub(crate) fn xml_geometry_table(&self, dataset: &Dataset) -> Result<HashMap<u64, Geometry>> {
         let (features, _) = self.parse_xml(dataset, &MetadataFilter::All)?;
         Ok(features
             .into_iter()
@@ -635,26 +671,9 @@ impl Engine {
     }
 }
 
-/// Computes `ST_Area(ST_Union(a, b))` for a joined pair; non-polygon
-/// members fall back to the inclusion–exclusion approximation using
-/// the MBR-free sum (documented deviation: exact union is defined on
-/// polygons).
-fn union_area(a: &Geometry, b: &Geometry) -> f64 {
-    match (a, b) {
-        (Geometry::Polygon(pa), Geometry::Polygon(pb)) => measures::area(
-            &Geometry::MultiPolygon(atgis_geometry::union(pa, pb)),
-            DistanceModel::Spherical,
-        ),
-        _ => {
-            measures::area(a, DistanceModel::Spherical)
-                + measures::area(b, DistanceModel::Spherical)
-        }
-    }
-}
-
 /// Builds the format-specific single-object reparser for the join
 /// pipeline.
-fn make_reparser<'a>(
+pub(crate) fn make_reparser<'a>(
     input: &'a [u8],
     format: Format,
     xml_table: Option<&'a HashMap<u64, Geometry>>,
@@ -725,16 +744,18 @@ fn parse_wkt_rows(
 }
 
 /// Pass-1 aggregate for joins: bounds geometries and partitions them
-/// (associatively, or collecting entries for a separate phase).
+/// (associatively, or collecting entries for a separate phase). The
+/// batch layer reuses it side-agnostically (`id_threshold = u64::MAX`
+/// tags everything left, no filters) to build one shared index.
 #[derive(Clone)]
-struct PartitionAgg<S: PartitionStore + Clone> {
-    grid: GridSpec,
-    store: S,
-    entries: Vec<PartEntry>,
-    associative: bool,
-    id_threshold: u64,
-    min_perimeter_left: Option<f64>,
-    max_perimeter_right: Option<f64>,
+pub(crate) struct PartitionAgg<S: PartitionStore + Clone> {
+    pub(crate) grid: GridSpec,
+    pub(crate) store: S,
+    pub(crate) entries: Vec<PartEntry>,
+    pub(crate) associative: bool,
+    pub(crate) id_threshold: u64,
+    pub(crate) min_perimeter_left: Option<f64>,
+    pub(crate) max_perimeter_right: Option<f64>,
 }
 
 impl<S: PartitionStore + Clone> QueryAggregate for PartitionAgg<S> {

@@ -166,6 +166,41 @@ where
     run_indexed_on(WorkerPool::global(), n, threads, work)
 }
 
+/// Runs `work(outer, inner)` over the full `outer × inner` grid as
+/// ONE flattened job space, collecting results outer-major. The batch
+/// join stage fans out over (query, partition) pairs this way instead
+/// of running per-query passes back to back: a query whose partitions
+/// are few or cheap no longer leaves workers idle while its
+/// predecessor finishes, because every worker drains one shared
+/// cursor over all pairs.
+pub fn run_grid_on<T, P>(
+    pool: &WorkerPool,
+    outer: usize,
+    inner: usize,
+    threads: usize,
+    work: P,
+) -> Vec<Vec<T>>
+where
+    T: Send,
+    P: Fn(usize, usize) -> T + Sync,
+{
+    if outer == 0 || inner == 0 {
+        return (0..outer).map(|_| Vec::new()).collect();
+    }
+    let mut flat = pool.run_collect(outer * inner, resolve_threads(threads), |i| {
+        work(i / inner, i % inner)
+    });
+    // Split rows off the back so each split moves only one row, not
+    // the whole remaining tail.
+    let mut out = Vec::with_capacity(outer);
+    for _ in 0..outer {
+        let row = flat.split_off(flat.len() - inner);
+        out.push(row);
+    }
+    out.reverse();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +315,25 @@ mod tests {
             let out = run_indexed(20, threads, |i| i * i);
             assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn grid_execution_is_outer_major_and_complete() {
+        let pool = WorkerPool::global();
+        for threads in [1, 2, 7] {
+            let grid = run_grid_on(pool, 3, 5, threads, |o, i| (o, i, o * 100 + i));
+            assert_eq!(grid.len(), 3);
+            for (o, row) in grid.iter().enumerate() {
+                assert_eq!(row.len(), 5);
+                for (i, &(ro, ri, v)) in row.iter().enumerate() {
+                    assert_eq!((ro, ri, v), (o, i, o * 100 + i), "threads={threads}");
+                }
+            }
+        }
+        assert_eq!(run_grid_on(pool, 0, 5, 2, |_, _| 0u8).len(), 0);
+        let empty_inner = run_grid_on(pool, 4, 0, 2, |_, _| 0u8);
+        assert_eq!(empty_inner.len(), 4);
+        assert!(empty_inner.iter().all(|r| r.is_empty()));
     }
 
     #[test]

@@ -27,25 +27,28 @@ use crate::result::JoinPair;
 use crate::stats::JoinDecisions;
 use atgis_formats::ParseError;
 use atgis_geometry::relate::intersects;
-use atgis_geometry::Geometry;
+use atgis_geometry::{measures, DistanceModel, Geometry};
 use atgis_rtree::RTree;
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// A sharded offset→geometry memo shared by every partition of one
-/// join execution: an object replicated into many partitions (the
-/// adaptive map's hot-cell sub-slots, or plain cell straddling) is
-/// re-parsed once instead of once per partition. Shards bound lock
-/// contention; each shard clears itself at a capacity bound, keeping
-/// the §4.5 bounded-memory contract of the PARSER/BUFFER stage.
-struct ReparseCache {
+/// join execution — and, in batch execution, by every *query* of one
+/// batch over the same dataset: an object replicated into many
+/// partitions (the adaptive map's hot-cell sub-slots, or plain cell
+/// straddling) or probed by many queries is re-parsed once instead of
+/// once per partition per query. Shards bound lock contention; each
+/// shard clears itself at a capacity bound, keeping the §4.5
+/// bounded-memory contract of the PARSER/BUFFER stage.
+pub struct ReparseCache {
     shards: Vec<Mutex<HashMap<u64, Geometry>>>,
     per_shard_cap: usize,
 }
 
 impl ReparseCache {
-    fn new(sort_batch: usize) -> Self {
+    /// Creates a cache sized for `sort_batch`-candidate batches.
+    pub fn new(sort_batch: usize) -> Self {
         let n = 16usize;
         ReparseCache {
             shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
@@ -53,7 +56,7 @@ impl ReparseCache {
         }
     }
 
-    fn get_or_parse(
+    pub(crate) fn get_or_parse(
         &self,
         offset: u64,
         len: u32,
@@ -78,6 +81,78 @@ impl ReparseCache {
 /// Re-parses one object from its offset span (format-specific; the
 /// engine provides it, for OSM XML it captures the node table).
 pub type Reparser<'a> = dyn Fn(u64, u32) -> Result<Geometry, ParseError> + Sync + 'a;
+
+/// How a partition entry's join side is decided.
+#[derive(Debug, Clone, Copy)]
+pub enum SideRule {
+    /// Entries were tagged during the partition pass
+    /// ([`PartEntry::left_side`]) — the single-query path, where the
+    /// pass knows the query's threshold.
+    Tagged,
+    /// Side derived from the object id at join time (`id < threshold`
+    /// is left) — the batch path, where one side-agnostic partition
+    /// index serves queries with different thresholds.
+    Threshold(u64),
+}
+
+impl SideRule {
+    #[inline]
+    fn is_left(&self, e: &PartEntry) -> bool {
+        match self {
+            SideRule::Tagged => e.left_side,
+            SideRule::Threshold(t) => e.id < *t,
+        }
+    }
+}
+
+/// The per-query semantics of one join execution over a (possibly
+/// shared) partition index: side resolution plus the combined query's
+/// perimeter bounds. In the single-query path the bounds are enforced
+/// during the partition pass (filter-before-join ordering); over a
+/// shared index they move to the refinement stage, where the parsed
+/// geometry is in hand anyway — the accepted pair set is identical
+/// because both filters are per-object predicates.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinSpec {
+    /// Side resolution.
+    pub side: SideRule,
+    /// Keep left objects only when their perimeter exceeds this.
+    pub min_perimeter_left: Option<f64>,
+    /// Keep right objects only when their perimeter is below this.
+    pub max_perimeter_right: Option<f64>,
+}
+
+impl JoinSpec {
+    /// The single-query spec: sides tagged at partition time, no
+    /// refine-stage filters.
+    pub fn tagged() -> Self {
+        JoinSpec {
+            side: SideRule::Tagged,
+            min_perimeter_left: None,
+            max_perimeter_right: None,
+        }
+    }
+
+    /// A batch spec: sides from the id threshold.
+    pub fn threshold(t: u64) -> Self {
+        JoinSpec {
+            side: SideRule::Threshold(t),
+            min_perimeter_left: None,
+            max_perimeter_right: None,
+        }
+    }
+
+    /// Adds the combined query's perimeter bounds.
+    pub fn with_perimeter_bounds(mut self, min_left: Option<f64>, max_right: Option<f64>) -> Self {
+        self.min_perimeter_left = min_left;
+        self.max_perimeter_right = max_right;
+        self
+    }
+
+    fn filters_perimeter(&self) -> bool {
+        self.min_perimeter_left.is_some() || self.max_perimeter_right.is_some()
+    }
+}
 
 /// How MBR COMPARE finds intersecting pairs within one partition.
 ///
@@ -118,6 +193,14 @@ pub struct JoinOptions {
     /// is chosen when the larger side is at least this many times the
     /// smaller (and the smaller is big enough for the build to pay).
     pub rtree_ratio: usize,
+    /// [`ProbeStrategy::Auto`] density threshold, in objects per
+    /// square degree of the partition's owned region: partitions at
+    /// least this dense prefer the R-tree even when the sides are
+    /// symmetric, because tightly packed MBRs overlap heavily in x and
+    /// degrade the sweep's window scans toward `O(L·R)`. Only
+    /// partition maps that know their grid geometry can derive a
+    /// density; `f64::INFINITY` disables the heuristic.
+    pub density_threshold: f64,
 }
 
 impl Default for JoinOptions {
@@ -127,13 +210,30 @@ impl Default for JoinOptions {
             sort_batch: 1 << 16,
             probe: ProbeStrategy::Auto,
             rtree_ratio: 8,
+            density_threshold: 512.0,
         }
     }
 }
 
-/// One partition's result: its pairs plus which compare algorithm ran
-/// (`None` when the partition was trivially empty on one side).
-type SlotResult = Result<(Vec<JoinPair>, Option<bool>), ParseError>;
+/// The MBR COMPARE algorithm one partition ran, with the cost-model
+/// input that picked it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ProbeChoice {
+    /// Sort + sweep.
+    Sweep,
+    /// R-tree probe forced by [`ProbeStrategy::RTree`].
+    RTreeForced,
+    /// R-tree probe chosen by the side-asymmetry rule.
+    RTreeAsymmetry,
+    /// R-tree probe chosen by the partition-density rule alone.
+    RTreeDensity,
+}
+
+/// One partition's result: its pairs, which compare algorithm ran
+/// (`None` when the partition was trivially empty on one side), and
+/// the partition's observed density (objects per square degree; 0
+/// when unknown).
+pub(crate) type SlotResult = Result<(Vec<JoinPair>, Option<ProbeChoice>, f64), ParseError>;
 
 /// Everything one join execution produced.
 #[derive(Debug, Clone)]
@@ -172,7 +272,8 @@ pub fn pbsm_join_on<S: PartitionStore + Sync>(
 }
 
 /// The full join pipeline over an explicit (possibly skew-adaptive)
-/// partition map — the engine's entry point.
+/// partition map — the single-query engine entry point (sides tagged
+/// at partition time, private re-parse cache).
 pub fn pbsm_join_mapped_on<S: PartitionStore + Sync>(
     pool: &WorkerPool,
     store: &S,
@@ -180,22 +281,59 @@ pub fn pbsm_join_mapped_on<S: PartitionStore + Sync>(
     reparse: &Reparser<'_>,
     options: JoinOptions,
 ) -> Result<JoinOutcome, ParseError> {
-    let slots = map.num_slots();
     let cache = ReparseCache::new(options.sort_batch);
+    pbsm_join_spec_on(pool, store, map, &JoinSpec::tagged(), reparse, &cache, options)
+}
+
+/// The join pipeline with explicit per-query semantics and a
+/// caller-owned [`ReparseCache`] — the batch entry point: N queries
+/// over one shared partition index pass their own [`JoinSpec`]s and
+/// share one cache, so replicated objects parse once per *batch*.
+pub fn pbsm_join_spec_on<S: PartitionStore + Sync>(
+    pool: &WorkerPool,
+    store: &S,
+    map: &PartitionMap,
+    spec: &JoinSpec,
+    reparse: &Reparser<'_>,
+    cache: &ReparseCache,
+    options: JoinOptions,
+) -> Result<JoinOutcome, ParseError> {
+    let slots = map.num_slots();
     let per_slot: Vec<SlotResult> = run_indexed_on(
         pool,
         slots,
         options.threads,
-        |slot| join_partition(store, map, slot, reparse, &cache, &options),
+        |slot| join_partition(store, map, slot, spec, reparse, cache, &options),
     );
+    fold_slot_results(map, per_slot.into_iter())
+}
+
+/// Folds per-partition results into the deduplicated outcome —
+/// shared by the slot-parallel path above and the batch layer's
+/// flattened (query × slot) fan-out.
+pub(crate) fn fold_slot_results(
+    map: &PartitionMap,
+    per_slot: impl Iterator<Item = SlotResult>,
+) -> Result<JoinOutcome, ParseError> {
     let mut pairs = Vec::new();
     let mut decisions = JoinDecisions::from_map(map.stats());
     for r in per_slot {
-        let (p, probed) = r?;
+        let (p, probed, density) = r?;
         pairs.extend(p);
+        if density > decisions.max_partition_density {
+            decisions.max_partition_density = density;
+        }
         match probed {
-            Some(true) => decisions.rtree_partitions += 1,
-            Some(false) => decisions.sweep_partitions += 1,
+            Some(ProbeChoice::Sweep) => decisions.sweep_partitions += 1,
+            Some(ProbeChoice::RTreeForced) => decisions.rtree_partitions += 1,
+            Some(ProbeChoice::RTreeAsymmetry) => {
+                decisions.rtree_partitions += 1;
+                decisions.rtree_by_asymmetry += 1;
+            }
+            Some(ProbeChoice::RTreeDensity) => {
+                decisions.rtree_partitions += 1;
+                decisions.rtree_by_density += 1;
+            }
             None => {}
         }
     }
@@ -213,11 +351,13 @@ pub fn pbsm_join_mapped_on<S: PartitionStore + Sync>(
 
 /// Joins one partition: MBR compare → sort → re-parse → refine.
 /// Returns the pairs plus which compare algorithm ran (`None` when the
-/// partition was trivially empty on one side).
-fn join_partition<S: PartitionStore>(
+/// partition was trivially empty on one side) and the partition's
+/// density.
+pub(crate) fn join_partition<S: PartitionStore>(
     store: &S,
     map: &PartitionMap,
     slot: usize,
+    spec: &JoinSpec,
     reparse: &Reparser<'_>,
     cache: &ReparseCache,
     options: &JoinOptions,
@@ -226,19 +366,25 @@ fn join_partition<S: PartitionStore>(
     let mut lefts: Vec<PartEntry> = Vec::new();
     let mut rights: Vec<PartEntry> = Vec::new();
     map.for_each_entry(store, slot, |e| {
-        if e.left_side {
+        if spec.side.is_left(e) {
             lefts.push(*e);
         } else {
             rights.push(*e);
         }
     });
+    // Partition density: total entries over the owned region's area
+    // (0 when the map has no grid geometry to derive areas from).
+    let density = match map.slot_area(slot) {
+        Some(area) if area > 0.0 => (lefts.len() + rights.len()) as f64 / area,
+        _ => 0.0,
+    };
     if lefts.is_empty() || rights.is_empty() {
-        return Ok((Vec::new(), None));
+        return Ok((Vec::new(), None, density));
     }
 
     // MBR COMPARE: cost-based sweep vs R-tree probe.
-    let rtree = use_rtree(options, lefts.len(), rights.len());
-    let mut candidates = if rtree {
+    let choice = use_rtree(options, lefts.len(), rights.len(), density);
+    let mut candidates = if choice != ProbeChoice::Sweep {
         mbr_compare_rtree(&lefts, &rights)
     } else {
         mbr_compare(&lefts, &rights)
@@ -257,12 +403,21 @@ fn join_partition<S: PartitionStore>(
         });
     }
     if candidates.is_empty() {
-        return Ok((Vec::new(), Some(rtree)));
+        return Ok((Vec::new(), Some(choice), density));
     }
 
     // The larger side becomes the adjacent (sequentially re-parsed)
     // stream; the smaller is cached in the hash map.
     let adjacent_left = lefts.len() >= rights.len();
+
+    // Per-object perimeter memo for the combined query's refine-stage
+    // bounds (only allocated when the spec carries filters).
+    let mut perimeters: HashMap<u64, f64> = HashMap::new();
+    let mut perimeter_of = |offset: u64, g: &Geometry| -> f64 {
+        *perimeters
+            .entry(offset)
+            .or_insert_with(|| measures::perimeter(g, DistanceModel::Spherical))
+    };
 
     let mut out = Vec::new();
     let mut start = 0;
@@ -297,6 +452,22 @@ fn join_partition<S: PartitionStore>(
             } else {
                 (&other_g, &adj_g)
             };
+            // The combined query's perimeter bounds, enforced here
+            // when the partition pass could not (shared index): the
+            // predicates are per-object, so rejecting pairs whose
+            // member fails is identical to never partitioning it.
+            if spec.filters_perimeter() {
+                if let Some(min) = spec.min_perimeter_left {
+                    if perimeter_of(l.offset, lg) <= min {
+                        continue;
+                    }
+                }
+                if let Some(max) = spec.max_perimeter_right {
+                    if perimeter_of(r.offset, rg) >= max {
+                        continue;
+                    }
+                }
+            }
             if intersects(lg, rg) {
                 out.push(JoinPair {
                     left_id: l.id,
@@ -309,21 +480,36 @@ fn join_partition<S: PartitionStore>(
         // "Once a block is processed, the hash map is cleared."
         start = end;
     }
-    Ok((out, Some(rtree)))
+    Ok((out, Some(choice), density))
 }
 
-/// Resolves the per-partition MBR COMPARE algorithm choice.
-fn use_rtree(options: &JoinOptions, lefts: usize, rights: usize) -> bool {
+/// Resolves the per-partition MBR COMPARE algorithm choice from side
+/// asymmetry *and* partition density (objects per square degree).
+fn use_rtree(options: &JoinOptions, lefts: usize, rights: usize, density: f64) -> ProbeChoice {
     match options.probe {
-        ProbeStrategy::Sweep => false,
-        ProbeStrategy::RTree => true,
+        ProbeStrategy::Sweep => ProbeChoice::Sweep,
+        ProbeStrategy::RTree => ProbeChoice::RTreeForced,
         ProbeStrategy::Auto => {
             let small = lefts.min(rights);
             let large = lefts.max(rights);
-            // The build must amortise (small side non-trivial) and the
-            // asymmetry must be bad enough that per-probe log cost
-            // beats the sweep's window scans.
-            small >= 64 && large >= small.saturating_mul(options.rtree_ratio.max(1))
+            // The build must amortise: the small side (the one bulk
+            // loaded) has to be non-trivial either way.
+            if small < 64 {
+                return ProbeChoice::Sweep;
+            }
+            // Asymmetry rule: per-probe log cost beats the sweep's
+            // window scans when one side dwarfs the other.
+            if large >= small.saturating_mul(options.rtree_ratio.max(1)) {
+                return ProbeChoice::RTreeAsymmetry;
+            }
+            // Density rule: dense partitions pack MBRs so tightly
+            // that x-intervals overlap pervasively and the sweep's
+            // window scan degrades toward O(L·R) even for symmetric
+            // sides; the R-tree keeps discriminating on both axes.
+            if density >= options.density_threshold {
+                return ProbeChoice::RTreeDensity;
+            }
+            ProbeChoice::Sweep
         }
     }
 }
@@ -625,19 +811,124 @@ mod tests {
     #[test]
     fn auto_probe_requires_asymmetry_and_volume() {
         let opts = JoinOptions::default();
-        assert!(!use_rtree(&opts, 100, 100), "symmetric: sweep");
-        assert!(!use_rtree(&opts, 10, 1000), "small side too small to pay the build");
-        assert!(use_rtree(&opts, 64, 64 * 8), "asymmetric and big: rtree");
+        assert_eq!(use_rtree(&opts, 100, 100, 0.0), ProbeChoice::Sweep, "symmetric: sweep");
+        assert_eq!(
+            use_rtree(&opts, 10, 1000, 0.0),
+            ProbeChoice::Sweep,
+            "small side too small to pay the build"
+        );
+        assert_eq!(
+            use_rtree(&opts, 64, 64 * 8, 0.0),
+            ProbeChoice::RTreeAsymmetry,
+            "asymmetric and big: rtree"
+        );
         let forced = JoinOptions {
             probe: ProbeStrategy::RTree,
             ..JoinOptions::default()
         };
-        assert!(use_rtree(&forced, 1, 1));
+        assert_eq!(use_rtree(&forced, 1, 1, 0.0), ProbeChoice::RTreeForced);
         let sweep = JoinOptions {
             probe: ProbeStrategy::Sweep,
             ..JoinOptions::default()
         };
-        assert!(!use_rtree(&sweep, 64, 1000));
+        assert_eq!(use_rtree(&sweep, 64, 1000, 1e9), ProbeChoice::Sweep);
+    }
+
+    #[test]
+    fn auto_probe_factors_partition_density() {
+        let opts = JoinOptions::default();
+        // Dense symmetric partitions flip to the R-tree...
+        assert_eq!(
+            use_rtree(&opts, 200, 200, opts.density_threshold),
+            ProbeChoice::RTreeDensity
+        );
+        // ...sparse ones stay with the sweep...
+        assert_eq!(
+            use_rtree(&opts, 200, 200, opts.density_threshold * 0.5),
+            ProbeChoice::Sweep
+        );
+        // ...tiny partitions never pay the build regardless of density...
+        assert_eq!(use_rtree(&opts, 8, 8, 1e12), ProbeChoice::Sweep);
+        // ...and asymmetry is attributed before density.
+        assert_eq!(
+            use_rtree(&opts, 64, 64 * 8, 1e12),
+            ProbeChoice::RTreeAsymmetry
+        );
+        // An unknown density (0: no grid geometry) never triggers.
+        let inf = JoinOptions {
+            density_threshold: f64::INFINITY,
+            ..JoinOptions::default()
+        };
+        assert_eq!(use_rtree(&inf, 500, 500, 1e12), ProbeChoice::Sweep);
+    }
+
+    #[test]
+    fn threshold_side_rule_matches_tagged_partitioning() {
+        // A side-agnostic index (all entries tagged left) joined with
+        // SideRule::Threshold must equal the tagged fixture join.
+        let (store, squares) = join_fixture::<ArrayStore>();
+        let grid = GridSpec::new(Mbr::new(0.0, 0.0, 4.0, 2.0), 2.0);
+        let mut untagged = ArrayStore::new(grid.num_cells());
+        for cell in 0..grid.num_cells() {
+            store.for_each(cell, |e| {
+                untagged.push(cell, PartEntry { left_side: true, ..*e })
+            });
+        }
+        let reparse = square_reparser(squares);
+        let pool = WorkerPool::global();
+        let map = PartitionMap::uniform(&store);
+        let tagged = pbsm_join_mapped_on(pool, &store, &map, &reparse, JoinOptions::default())
+            .unwrap();
+        let cache = ReparseCache::new(JoinOptions::default().sort_batch);
+        // The fixture puts ids < 10 on the left.
+        let spec = JoinSpec::threshold(10);
+        let by_threshold = pbsm_join_spec_on(
+            pool,
+            &untagged,
+            &map,
+            &spec,
+            &reparse,
+            &cache,
+            JoinOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(tagged.pairs, by_threshold.pairs);
+        assert!(!tagged.pairs.is_empty());
+    }
+
+    #[test]
+    fn refine_stage_perimeter_bounds_filter_pairs() {
+        let (store, squares) = join_fixture::<ArrayStore>();
+        let reparse = square_reparser(squares);
+        let pool = WorkerPool::global();
+        let map = PartitionMap::uniform(&store);
+        let cache = ReparseCache::new(64);
+        let unfiltered = pbsm_join_spec_on(
+            pool,
+            &store,
+            &map,
+            &JoinSpec::tagged(),
+            &reparse,
+            &cache,
+            JoinOptions::default(),
+        )
+        .unwrap();
+        assert!(!unfiltered.pairs.is_empty());
+        let strict = JoinSpec::tagged().with_perimeter_bounds(Some(1e12), None);
+        let filtered = pbsm_join_spec_on(
+            pool,
+            &store,
+            &map,
+            &strict,
+            &reparse,
+            &cache,
+            JoinOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            filtered.pairs.is_empty(),
+            "an impossible left bound rejects every pair"
+        );
     }
 
     #[test]

@@ -27,6 +27,23 @@
 //!
 //! ## Architecture (§4 of the paper)
 //!
+//! Execution is layered **plan → shared scan → per-query aggregate**:
+//! a query (or a whole batch of queries) is compiled into per-query
+//! aggregate sinks, ONE structural scan drives every sink from the
+//! same parse pass, and per-query work happens in the sinks and the
+//! join pipelines behind them.
+//!
+//! * [`batch`] — the **shared-scan batch layer**: `execute_batch`
+//!   fans every submitted query's aggregate out of a single parse
+//!   pass (the [`pipeline::MultiSink`] fan-out), join-class queries
+//!   share one side-agnostic partition index + re-parse cache, and
+//!   [`batch::QuerySession`] keeps the index cache warm across
+//!   batches. The `QuerySession` lifecycle is: build an [`Engine`],
+//!   pin a [`Dataset`] (`QuerySession::new`), then serve repeated
+//!   `execute_batch` calls — the first join-class batch pays one
+//!   partition pass, later ones reuse the cached
+//!   [`PartitionMap`]; single-pass queries always share the batch's
+//!   one scan. Results are bit-identical to per-query `execute`.
 //! * [`pool`] — the **persistent execution runtime**: one
 //!   [`pool::WorkerPool`] per engine, spawned in
 //!   `EngineBuilder::build` and reused by every query. Jobs drain an
@@ -77,6 +94,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod batch;
 pub mod dataset;
 pub mod engine;
 pub mod executor;
@@ -89,13 +107,14 @@ pub mod query;
 pub mod result;
 pub mod stats;
 
+pub use batch::{IndexCache, PartitionIndex, QuerySession};
 pub use dataset::Dataset;
 pub use engine::{Engine, EngineBuilder};
 pub use join::{JoinOptions, ProbeStrategy};
 pub use partition::{AdaptiveConfig, PartitionMap, PartitionMapStats};
-pub use query::{FilterStrategy, Metric, Query};
+pub use query::{FilterStrategy, Metric, Query, ScanClass};
 pub use result::{JoinPair, MatchRecord, QueryResult};
-pub use stats::{JoinDecisions, Timings};
+pub use stats::{BatchQueryStats, BatchStats, JoinDecisions, Timings};
 
 /// Crate-level error type.
 #[derive(Debug)]

@@ -197,6 +197,25 @@ pub enum PropertyValue {
     Geometry(Geometry),
 }
 
+/// Computes `ST_Area(ST_Union(a, b))` for a joined pair — the
+/// combined query's final aggregation, shared by the single-query and
+/// batch execution paths. Non-polygon members fall back to the
+/// inclusion–exclusion approximation using the MBR-free sum
+/// (documented deviation: exact union is defined on polygons).
+pub fn union_area(a: &Geometry, b: &Geometry) -> f64 {
+    use atgis_geometry::{measures, DistanceModel};
+    match (a, b) {
+        (Geometry::Polygon(pa), Geometry::Polygon(pb)) => measures::area(
+            &Geometry::MultiPolygon(union(pa, pb)),
+            DistanceModel::Spherical,
+        ),
+        _ => {
+            measures::area(a, DistanceModel::Spherical)
+                + measures::area(b, DistanceModel::Spherical)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +290,18 @@ mod tests {
             None => panic!("intersection must evaluate"),
         }
         assert!(SpatialOperator::Intersects.evaluate_setop(&a, &b).is_none());
+    }
+
+    #[test]
+    fn union_area_of_disjoint_squares_sums() {
+        let a = Geometry::Polygon(unit_square());
+        let b = Geometry::Polygon(Polygon::from_mbr(&Mbr::new(5.0, 5.0, 6.0, 6.0)));
+        let sum = union_area(&a, &b);
+        let solo = union_area(&a, &a.clone());
+        // Disjoint squares: union area is the sum of both; a square
+        // unioned with itself keeps its own area.
+        assert!(sum > solo * 1.5, "{sum} vs {solo}");
+        assert!(solo > 0.0);
     }
 
     #[test]

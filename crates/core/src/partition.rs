@@ -170,7 +170,7 @@ impl GridSpec {
 }
 
 /// Configuration of the skew-adaptive second-level split.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AdaptiveConfig {
     /// Target objects per join partition: base cells holding more
     /// entries than this are split into a second-level grid. `0`
@@ -366,6 +366,21 @@ impl PartitionMap {
             Slot::Refined { chain, .. } => chain
                 .iter()
                 .all(|(spec, cell)| spec.cell_of_point(x, y) == *cell),
+        }
+    }
+
+    /// The area (in square degrees) of the region a slot owns, when
+    /// the map knows its grid geometry — the denominator of the join's
+    /// partition-density probe heuristic. `None` for maps built
+    /// without a [`GridSpec`] (e.g. [`PartitionMap::uniform`]), where
+    /// density cannot be derived.
+    pub fn slot_area(&self, slot: usize) -> Option<f64> {
+        let grid = self.grid.as_ref()?;
+        match &self.slots[slot] {
+            Slot::Base(cell) => Some(grid.cell_rect(*cell).area()),
+            Slot::Refined { chain, .. } => {
+                chain.last().map(|(spec, cell)| spec.cell_rect(*cell).area())
+            }
         }
     }
 

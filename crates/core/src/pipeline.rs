@@ -16,6 +16,7 @@ use atgis_formats::wkt::WktFragment;
 use atgis_formats::{Block, ParseError};
 use atgis_geometry::relate::intersects;
 use atgis_geometry::{measures, DistanceModel, Geometry, Polygon};
+use std::any::Any;
 
 /// The downstream (transform + aggregation) stages of a single-pass
 /// pipeline, as an associative aggregate over completed features.
@@ -26,6 +27,131 @@ pub trait QueryAggregate: Send + Sync + Clone {
     fn absorb(&mut self, feature: &RawFeature);
     /// Associative combination (self covers earlier input).
     fn combine(self, other: Self) -> Self;
+}
+
+/// Object-safe view of a [`QueryAggregate`], so aggregates of
+/// *different* concrete types can ride one scan together (the
+/// shared-scan batch fan-out). Implemented for every
+/// `QueryAggregate + 'static` via the blanket impl below; positionally
+/// paired sinks must be the same concrete type — [`MultiSink`]
+/// guarantees this by always combining position `i` with position `i`.
+pub trait AggregateSink: Send + Sync {
+    /// Folds one completed feature in.
+    fn absorb_feature(&mut self, feature: &RawFeature);
+    /// Associative combination with a sink of the same concrete type.
+    fn combine_sink(self: Box<Self>, other: Box<dyn AggregateSink>) -> Box<dyn AggregateSink>;
+    /// Deep clone (fragment prototypes are cloned per block).
+    fn clone_sink(&self) -> Box<dyn AggregateSink>;
+    /// Downcast support for result extraction.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<A: QueryAggregate + 'static> AggregateSink for A {
+    fn absorb_feature(&mut self, feature: &RawFeature) {
+        self.absorb(feature);
+    }
+
+    fn combine_sink(self: Box<Self>, other: Box<dyn AggregateSink>) -> Box<dyn AggregateSink> {
+        let other = other
+            .into_any()
+            .downcast::<A>()
+            .expect("combined sinks share one concrete type per position");
+        Box::new((*self).combine(*other))
+    }
+
+    fn clone_sink(&self) -> Box<dyn AggregateSink> {
+        Box::new(self.clone())
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Takes a finished sink back to its concrete aggregate type.
+pub fn downcast_sink<A: 'static>(sink: Box<dyn AggregateSink>) -> A {
+    *sink
+        .into_any()
+        .downcast::<A>()
+        .expect("sink extraction requested the wrong aggregate type")
+}
+
+/// The multi-sink fan-out of the shared-scan batch layer: one
+/// aggregate that dispatches every completed feature to N per-query
+/// member sinks and combines member-wise. Because it implements
+/// [`QueryAggregate`], it flows through every existing execution path
+/// unchanged — PAT block scans, the speculated FAT fragments
+/// ([`FatGeoJsonFrag`] / [`FatWktFrag`]) and the parallel tree merge —
+/// so one parse pass serves every member query.
+///
+/// Member order is the fan-out contract: `combine` zips positionally,
+/// so member `i` sees exactly the absorb/combine sequence it would
+/// have seen running alone. Results are therefore bit-identical to
+/// per-query execution.
+pub struct MultiSink {
+    sinks: Vec<Box<dyn AggregateSink>>,
+}
+
+impl MultiSink {
+    /// Builds the fan-out over per-query prototype sinks.
+    pub fn new(sinks: Vec<Box<dyn AggregateSink>>) -> Self {
+        MultiSink { sinks }
+    }
+
+    /// Number of member sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// True when no queries ride this scan.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// Surrenders the member sinks, in construction order, for
+    /// per-query result extraction.
+    pub fn into_sinks(self) -> Vec<Box<dyn AggregateSink>> {
+        self.sinks
+    }
+}
+
+impl Clone for MultiSink {
+    fn clone(&self) -> Self {
+        MultiSink {
+            sinks: self.sinks.iter().map(|s| s.clone_sink()).collect(),
+        }
+    }
+}
+
+impl QueryAggregate for MultiSink {
+    fn identity() -> Self {
+        // A width-0 sink would silently zip-truncate real members in
+        // `combine`; the fan-out width is batch state, like the other
+        // parameterized aggregates here.
+        unreachable!("use MultiSink::new — the member sinks are query state")
+    }
+
+    fn absorb(&mut self, feature: &RawFeature) {
+        for sink in &mut self.sinks {
+            sink.absorb_feature(feature);
+        }
+    }
+
+    fn combine(self, other: Self) -> Self {
+        debug_assert_eq!(
+            self.sinks.len(),
+            other.sinks.len(),
+            "fan-out width is fixed for one scan"
+        );
+        MultiSink {
+            sinks: self
+                .sinks
+                .into_iter()
+                .zip(other.sinks)
+                .map(|(a, b)| a.combine_sink(b))
+                .collect(),
+        }
+    }
 }
 
 /// Containment-query aggregate: buffers matching records (§4.4: "it
@@ -386,6 +512,66 @@ mod tests {
         assert_eq!(streaming.values.count, 1);
         assert_eq!(streaming.values.total_area, 1.0);
         assert_eq!(streaming.values.total_perimeter, 4.0);
+    }
+
+    #[test]
+    fn multi_sink_members_match_solo_runs() {
+        let reg = region();
+        let metrics = [Metric::Area, Metric::Perimeter, Metric::Count];
+        let features: Vec<RawFeature> = (0..20)
+            .map(|i| feature(i, (i as f64) * 0.07 - 0.5, 0.0))
+            .collect();
+
+        // Solo runs.
+        let mut solo_c = ContainmentAgg::new(reg.clone());
+        let mut solo_m = MetricsAgg::new(
+            reg.clone(),
+            &metrics,
+            DistanceModel::Planar,
+            FilterStrategy::Streaming,
+        );
+        for f in &features {
+            solo_c.absorb(f);
+            solo_m.absorb(f);
+        }
+
+        // The same queries riding one fan-out, split over two halves
+        // combined associatively (as a two-block scan would).
+        let proto = MultiSink::new(vec![
+            Box::new(ContainmentAgg::new(reg.clone())),
+            Box::new(MetricsAgg::new(
+                reg,
+                &metrics,
+                DistanceModel::Planar,
+                FilterStrategy::Streaming,
+            )),
+        ]);
+        let mut left = proto.clone();
+        let mut right = proto.clone();
+        for f in &features[..9] {
+            left.absorb(f);
+        }
+        for f in &features[9..] {
+            right.absorb(f);
+        }
+        let merged = left.combine(right);
+        let mut sinks = merged.into_sinks().into_iter();
+        let c: ContainmentAgg = downcast_sink(sinks.next().unwrap());
+        let m: MetricsAgg = downcast_sink(sinks.next().unwrap());
+        assert_eq!(c.matches, solo_c.matches);
+        assert_eq!(m.values, solo_m.values);
+    }
+
+    #[test]
+    fn multi_sink_clone_is_deep() {
+        let proto = MultiSink::new(vec![Box::new(ContainmentAgg::new(region()))]);
+        let mut a = proto.clone();
+        a.absorb(&feature(1, 0.0, 0.0));
+        let b = proto.clone();
+        let a_c: ContainmentAgg = downcast_sink(a.into_sinks().pop().unwrap());
+        let b_c: ContainmentAgg = downcast_sink(b.into_sinks().pop().unwrap());
+        assert_eq!(a_c.matches.len(), 1);
+        assert!(b_c.matches.is_empty(), "prototype must stay untouched");
     }
 
     #[test]

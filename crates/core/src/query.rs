@@ -125,6 +125,39 @@ impl Query {
             max_perimeter_right: max_right,
         }
     }
+
+    /// The scan work a query needs — what the batch planner groups by.
+    pub fn scan_class(&self) -> ScanClass {
+        match self {
+            Query::Containment { .. } | Query::Aggregation { .. } => ScanClass::SinglePass,
+            Query::Join { .. } | Query::Combined { .. } => ScanClass::Join,
+        }
+    }
+
+    /// The id threshold of join-class queries; `None` for single-pass
+    /// queries.
+    pub fn join_threshold(&self) -> Option<u64> {
+        match self {
+            Query::Join { id_threshold } | Query::Combined { id_threshold, .. } => {
+                Some(*id_threshold)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// How a query consumes the structural scan — the grouping key of the
+/// shared-scan batch planner. Every class rides the same parse pass;
+/// join-class queries additionally need the partition index and a
+/// second (join) pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanClass {
+    /// Answered entirely by per-feature aggregation during the scan
+    /// (containment, aggregation).
+    SinglePass,
+    /// Needs the partition index plus the PBSM join pipeline (join,
+    /// combined).
+    Join,
 }
 
 #[cfg(test)]
@@ -147,6 +180,18 @@ mod tests {
             Query::combined(5, 1.0, 2.0),
             Query::Combined { .. }
         ));
+    }
+
+    #[test]
+    fn scan_classes_partition_the_query_forms() {
+        let r = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(Query::containment(r).scan_class(), ScanClass::SinglePass);
+        assert_eq!(Query::aggregation(r).scan_class(), ScanClass::SinglePass);
+        assert_eq!(Query::join(4).scan_class(), ScanClass::Join);
+        assert_eq!(Query::combined(4, 0.0, 1.0).scan_class(), ScanClass::Join);
+        assert_eq!(Query::containment(r).join_threshold(), None);
+        assert_eq!(Query::join(4).join_threshold(), Some(4));
+        assert_eq!(Query::combined(9, 0.0, 1.0).join_threshold(), Some(9));
     }
 
     #[test]

@@ -42,8 +42,11 @@ pub struct AggregateValues {
     pub total_perimeter: f64,
 }
 
-/// The result of executing a [`crate::Query`].
-#[derive(Debug, Clone)]
+/// The result of executing a [`crate::Query`]. `PartialEq` compares
+/// results exactly (including float aggregates bit-for-bit) — the
+/// contract the batch layer is held to: `execute_batch(qs)` must
+/// equal `qs.map(execute)` member-wise.
+#[derive(Debug, Clone, PartialEq)]
 pub enum QueryResult {
     /// Containment query output.
     Matches(Vec<MatchRecord>),

@@ -52,8 +52,10 @@ impl JoinTimings {
 
 /// What the skew-adaptive join decided for one query: the shape of the
 /// refined partition map plus the per-partition MBR COMPARE algorithm
-/// tally.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// tally and the inputs the cost model saw (side asymmetry *and*
+/// partition density — objects per square degree of the slot's
+/// region).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct JoinDecisions {
     /// Shape of the (possibly refined) partition map.
     pub map: PartitionMapStats,
@@ -61,6 +63,16 @@ pub struct JoinDecisions {
     pub sweep_partitions: u64,
     /// Partitions answered with the R-tree bulk-load + probe.
     pub rtree_partitions: u64,
+    /// `Auto` R-tree picks attributed to side asymmetry.
+    pub rtree_by_asymmetry: u64,
+    /// `Auto` R-tree picks attributed to partition density alone
+    /// (dense, roughly symmetric partitions where the sweep's window
+    /// scans degrade).
+    pub rtree_by_density: u64,
+    /// Largest observed partition density (objects per square degree)
+    /// across non-empty partitions; 0 when the map carries no grid
+    /// geometry to derive areas from.
+    pub max_partition_density: f64,
 }
 
 impl JoinDecisions {
@@ -69,15 +81,79 @@ impl JoinDecisions {
     pub fn from_map(map: PartitionMapStats) -> Self {
         JoinDecisions {
             map,
-            sweep_partitions: 0,
-            rtree_partitions: 0,
+            ..JoinDecisions::default()
         }
+    }
+}
+
+/// Per-query breakdown inside one batch execution: how much shared
+/// scan the query rode on, plus the work only it caused.
+#[derive(Debug, Clone, Default)]
+pub struct BatchQueryStats {
+    /// The shared structural scan this query was served from (the same
+    /// pass is reported for every member — that is the amortisation).
+    pub scan: Duration,
+    /// Join-pipeline breakdown when the query joins (its `partition`
+    /// field repeats the shared scan; `refine`/`join`/`dedup` are this
+    /// query's own).
+    pub join: Option<JoinTimings>,
+    /// Partition-map shape and probe decisions when the query joins.
+    pub decisions: Option<JoinDecisions>,
+    /// Per-query result finalisation (match ordering, aggregate
+    /// extraction, the combined query's union-area step).
+    pub finalize: Duration,
+    /// Everything attributed to this query: shared scan + own join
+    /// work + finalisation. Join processing inside the flattened
+    /// (query × partition) fan-out is attributed by summing the
+    /// query's own partition tasks, so `wall` is worker-time, not
+    /// elapsed time.
+    pub wall: Duration,
+}
+
+/// What one `execute_batch` call did: per-query breakdowns plus the
+/// shared-scan amortisation the batch achieved.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Queries served by the batch.
+    pub queries: u64,
+    /// Full-input parse passes actually executed (the shared scan, and
+    /// for OSM XML joins the node-table pass; `0` when a cached
+    /// partition index served a join-only batch with no scan at all).
+    pub scan_passes: u64,
+    /// Timings of the one shared scan (zero when no scan ran).
+    pub shared_scan: Timings,
+    /// Per-query breakdowns, in submission order.
+    pub per_query: Vec<BatchQueryStats>,
+}
+
+impl BatchStats {
+    /// Queries served per structural parse pass — the shared-scan
+    /// amortisation ratio. Sequential per-query execution scores 1.0
+    /// (one pass per query); a batch of N single-pass queries scores
+    /// N; a join-only batch over a session-cached partition index
+    /// reports `queries` over the `scan_passes.max(1)` floor.
+    pub fn amortisation_ratio(&self) -> f64 {
+        self.queries as f64 / self.scan_passes.max(1) as f64
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn amortisation_ratio_counts_queries_per_pass() {
+        let mut s = BatchStats {
+            queries: 8,
+            scan_passes: 1,
+            ..BatchStats::default()
+        };
+        assert_eq!(s.amortisation_ratio(), 8.0);
+        s.scan_passes = 0; // cached-index, join-only batch
+        assert_eq!(s.amortisation_ratio(), 8.0);
+        s.scan_passes = 2; // XML join: scan + node-table pass
+        assert_eq!(s.amortisation_ratio(), 4.0);
+    }
 
     #[test]
     fn totals_add_up() {

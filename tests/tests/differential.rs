@@ -8,7 +8,7 @@
 //! over memory-mapped datasets instead of heap buffers, covering both
 //! `Dataset` storage paths.
 
-use atgis::{Dataset, Engine, ProbeStrategy, Query};
+use atgis::{Dataset, Engine, ProbeStrategy, Query, QueryResult, QuerySession};
 use atgis_baselines::{sequential, BaselineAnswer, BaselineQuery};
 use atgis_datagen::{write_geojson, write_osm_xml, write_wkt, OsmGenerator};
 use atgis_formats::{Format, Mode};
@@ -229,6 +229,152 @@ fn fat_and_pat_modes_match_oracle() {
             got.sort_unstable();
             assert_eq!(got, want, "containment {format:?} mode={mode:?}");
         }
+    }
+}
+
+/// Every query-kind mix the batch suite sweeps: each kind alone, every
+/// pair class, and a full 8-query mixed batch with duplicates (the
+/// serving-traffic shape).
+fn batch_mixes(n: u64) -> Vec<Vec<Query>> {
+    let world = Mbr::new(-180.0, -90.0, 180.0, 90.0);
+    let region = Mbr::new(-8.0, 42.0, 6.0, 58.0);
+    vec![
+        vec![Query::containment(region)],
+        vec![Query::aggregation(region)],
+        vec![Query::join(n / 2)],
+        vec![Query::combined(n / 2, 0.0, f64::INFINITY)],
+        vec![Query::containment(region), Query::aggregation(world)],
+        vec![Query::containment(region), Query::join(n / 3)],
+        vec![
+            // The 8-query mixed batch: all kinds, duplicate kinds with
+            // different parameters, duplicate identical queries.
+            Query::containment(region),
+            Query::containment(world),
+            Query::aggregation(region),
+            Query::aggregation(world),
+            Query::join(n / 2),
+            Query::join(n / 4),
+            Query::combined(n / 2, 0.0, f64::INFINITY),
+            Query::containment(region),
+        ],
+    ]
+}
+
+/// `execute_batch(qs)` must be **bit-identical** to `qs.map(execute)`
+/// — exact float equality, exact orders — for every query-kind mix,
+/// across threads × PAT/FAT/Adaptive × uniform/adaptive partitioning,
+/// on both single-pass formats.
+#[test]
+fn batch_execution_matches_sequential_everywhere() {
+    for format in [Format::GeoJson, Format::Wkt] {
+        let n = 90u64;
+        let ds = dataset_with(
+            OsmGenerator::new(308).with_hotspot(0.4, 0.05),
+            n as usize,
+            format,
+        );
+        for threads in THREADS {
+            for target in PARTITION_TARGETS {
+                for mode in [Mode::Pat, Mode::Fat, Mode::Adaptive] {
+                    let engine = Engine::builder()
+                        .threads(threads)
+                        .mode(mode)
+                        .cell_size(2.0)
+                        .partition_target(target)
+                        .build();
+                    for (mi, mix) in batch_mixes(n).iter().enumerate() {
+                        let want: Vec<QueryResult> = mix
+                            .iter()
+                            .map(|q| engine.execute(q, &ds).unwrap())
+                            .collect();
+                        let (got, stats) = engine.execute_batch_timed(mix, &ds).unwrap();
+                        let config = format!(
+                            "{format:?} threads={threads} target={target} mode={mode:?} mix={mi}"
+                        );
+                        assert_eq!(got, want, "batch != sequential [{config}]");
+                        assert_eq!(
+                            stats.scan_passes, 1,
+                            "every mix runs exactly one shared pass [{config}]"
+                        );
+                        assert_eq!(stats.queries as usize, mix.len());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The XML path (two-pass parse + node-table joins) through the batch
+/// layer.
+#[test]
+fn batch_execution_matches_sequential_on_xml() {
+    let ds = dataset(309, 40, Format::OsmXml);
+    let mix = vec![
+        Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0)),
+        Query::aggregation(Mbr::new(-8.0, 42.0, 6.0, 58.0)),
+        Query::join(20),
+    ];
+    for threads in THREADS {
+        let engine = Engine::builder().threads(threads).cell_size(2.0).build();
+        let want: Vec<QueryResult> = mix
+            .iter()
+            .map(|q| engine.execute(q, &ds).unwrap())
+            .collect();
+        let got = engine.execute_batch(&mix, &ds).unwrap();
+        assert_eq!(got, want, "xml batch threads={threads}");
+    }
+
+    // The XML node-table pass is cached with the partition index:
+    // warm-session join-only batches run zero parse passes, same as
+    // the single-pass formats.
+    let engine = Engine::builder().threads(2).cell_size(2.0).build();
+    let join_only = vec![Query::join(20)];
+    let want: Vec<QueryResult> = join_only
+        .iter()
+        .map(|q| engine.execute(q, &ds).unwrap())
+        .collect();
+    let session = QuerySession::new(engine, ds);
+    let (cold, s_cold) = session.execute_batch_timed(&join_only).unwrap();
+    let (warm, s_warm) = session.execute_batch_timed(&join_only).unwrap();
+    assert_eq!(cold, want);
+    assert_eq!(warm, want);
+    assert_eq!(s_cold.scan_passes, 2, "partition pass + node-table pass");
+    assert_eq!(s_warm.scan_passes, 0, "both XML passes cached");
+}
+
+/// A `QuerySession` must keep answering identically while its
+/// partition-index cache warms up (second batch: zero parse passes
+/// for join-only traffic).
+#[test]
+fn session_batches_stay_consistent_across_cache_states() {
+    let n = 80u64;
+    let ds = dataset_with(
+        OsmGenerator::new(310).with_hotspot(0.4, 0.05),
+        n as usize,
+        Format::GeoJson,
+    );
+    for target in PARTITION_TARGETS {
+        let engine = Engine::builder()
+            .threads(2)
+            .cell_size(2.0)
+            .partition_target(target)
+            .build();
+        let joins = vec![Query::join(n / 2), Query::combined(n / 3, 0.0, f64::INFINITY)];
+        let want: Vec<QueryResult> = joins
+            .iter()
+            .map(|q| engine.execute(q, &ds).unwrap())
+            .collect();
+        let session = QuerySession::new(engine, ds.clone());
+        let (cold, s_cold) = session.execute_batch_timed(&joins).unwrap();
+        let (warm, s_warm) = session.execute_batch_timed(&joins).unwrap();
+        assert_eq!(cold, want, "cold cache, target={target}");
+        assert_eq!(warm, want, "warm cache, target={target}");
+        assert_eq!(s_cold.scan_passes, 1);
+        assert_eq!(
+            s_warm.scan_passes, 0,
+            "join-only batch over a cached index re-parses nothing"
+        );
+        assert_eq!(session.cached_indexes(), 1);
     }
 }
 
