@@ -164,8 +164,7 @@ pub fn execute(
                         if b.id < *threshold {
                             continue;
                         }
-                        if am.intersects(&b.geometry.mbr())
-                            && intersects(&a.geometry, &b.geometry)
+                        if am.intersects(&b.geometry.mbr()) && intersects(&a.geometry, &b.geometry)
                         {
                             pairs.push((a.id, b.id));
                         }

@@ -122,10 +122,7 @@ impl ColumnStore {
                     .into_iter()
                     .filter(|&(i, j)| {
                         refinement == Refinement::BoxOnly
-                            || intersects(
-                                &self.features[i].geometry,
-                                &self.features[j].geometry,
-                            )
+                            || intersects(&self.features[i].geometry, &self.features[j].geometry)
                     })
                     .map(|(i, j)| (self.features[i].id, self.features[j].id))
                     .collect();

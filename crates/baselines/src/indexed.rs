@@ -77,9 +77,7 @@ impl IndexedStore {
                     .query(&region.mbr())
                     .into_iter()
                     .map(|i| &self.features[i as usize])
-                    .filter(|f| {
-                        intersects(&f.geometry, &Geometry::Polygon(region.clone()))
-                    })
+                    .filter(|f| intersects(&f.geometry, &Geometry::Polygon(region.clone())))
                     .map(|f| f.id)
                     .collect();
                 ids.sort_unstable();

@@ -68,8 +68,7 @@ pub enum BaselineAnswer {
 }
 
 pub(crate) fn geometry_matches(g: &Geometry, region: &Polygon) -> bool {
-    g.mbr().intersects(&region.mbr())
-        && relate::intersects(g, &Geometry::Polygon(region.clone()))
+    g.mbr().intersects(&region.mbr()) && relate::intersects(g, &Geometry::Polygon(region.clone()))
 }
 
 pub(crate) fn answer_containment(features: &[RawFeature], region: &Polygon) -> BaselineAnswer {

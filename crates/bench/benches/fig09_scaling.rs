@@ -48,7 +48,6 @@ fn bench_scan_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn engine(threads: usize, mode: Mode) -> Engine {
     Engine::builder()
         .threads(threads)
@@ -58,8 +57,13 @@ fn engine(threads: usize, mode: Mode) -> Engine {
 }
 
 fn thread_counts() -> Vec<usize> {
-    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    [1usize, 2, 4].into_iter().filter(|&t| t <= max.max(2)).collect()
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    [1usize, 2, 4]
+        .into_iter()
+        .filter(|&t| t <= max.max(2))
+        .collect()
 }
 
 fn bench_scaling(c: &mut Criterion) {
@@ -73,11 +77,9 @@ fn bench_scaling(c: &mut Criterion) {
     for t in thread_counts() {
         for (mode, name) in [(Mode::Pat, "PAT"), (Mode::Fat, "FAT")] {
             let e = engine(t, mode);
-            group.bench_with_input(
-                BenchmarkId::new(name, t),
-                &t,
-                |b, _| b.iter(|| e.execute(&Query::containment(region), &w.osm_g).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(name, t), &t, |b, _| {
+                b.iter(|| e.execute(&Query::containment(region), &w.osm_g).unwrap())
+            });
         }
     }
     group.finish();
@@ -88,11 +90,9 @@ fn bench_scaling(c: &mut Criterion) {
     for t in thread_counts() {
         for (mode, name) in [(Mode::Pat, "PAT"), (Mode::Fat, "FAT")] {
             let e = engine(t, mode);
-            group.bench_with_input(
-                BenchmarkId::new(name, t),
-                &t,
-                |b, _| b.iter(|| e.execute(&Query::aggregation(region), &w.osm_g).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(name, t), &t, |b, _| {
+                b.iter(|| e.execute(&Query::aggregation(region), &w.osm_g).unwrap())
+            });
         }
     }
     group.finish();

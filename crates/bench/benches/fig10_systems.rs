@@ -3,8 +3,8 @@
 //! simulated-cluster baselines.
 
 use atgis::{Engine, Query};
-use atgis_bench::Workload;
 use atgis_baselines::{cluster_sim, column_scan, indexed, sequential, BaselineQuery};
+use atgis_bench::Workload;
 use atgis_formats::{Format, Mode};
 use atgis_geometry::Mbr;
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -41,7 +41,12 @@ fn bench_formats(c: &mut Criterion) {
     let e = Engine::builder().threads(2).build();
     let mut group = c.benchmark_group("fig12_containment_by_format");
     group.sample_size(10);
-    for (name, ds) in [("osm_g", &w.osm_g), ("osm_w", &w.osm_w), ("osm_x", &w.osm_x), ("osm_rep", &w.osm_rep)] {
+    for (name, ds) in [
+        ("osm_g", &w.osm_g),
+        ("osm_w", &w.osm_w),
+        ("osm_x", &w.osm_x),
+        ("osm_rep", &w.osm_rep),
+    ] {
         group.throughput(Throughput::Bytes(ds.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(name), ds, |b, ds| {
             b.iter(|| e.execute(&Query::containment(region), ds).unwrap())
@@ -51,7 +56,11 @@ fn bench_formats(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig12_aggregation_by_format");
     group.sample_size(10);
-    for (name, ds) in [("osm_g", &w.osm_g), ("osm_w", &w.osm_w), ("osm_x", &w.osm_x)] {
+    for (name, ds) in [
+        ("osm_g", &w.osm_g),
+        ("osm_w", &w.osm_w),
+        ("osm_x", &w.osm_x),
+    ] {
         group.throughput(Throughput::Bytes(ds.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(name), ds, |b, ds| {
             b.iter(|| e.execute(&Query::aggregation(region), ds).unwrap())

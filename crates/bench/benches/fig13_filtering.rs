@@ -18,7 +18,12 @@ fn bench_filtering(c: &mut Criterion) {
         for frac in [100u32, 10, 1] {
             // Region whose area is frac% of the data extent.
             let f = (frac as f64 / 100.0).sqrt();
-            let region = Mbr::new(-5.0 - 11.0 * f, 50.0 - 11.0 * f, -5.0 + 11.0 * f, 50.0 + 11.0 * f);
+            let region = Mbr::new(
+                -5.0 - 11.0 * f,
+                50.0 - 11.0 * f,
+                -5.0 + 11.0 * f,
+                50.0 + 11.0 * f,
+            );
             for (strategy, name) in [
                 (FilterStrategy::Streaming, "streaming"),
                 (FilterStrategy::Buffered, "buffered"),
@@ -29,11 +34,9 @@ fn bench_filtering(c: &mut Criterion) {
                     model,
                     strategy,
                 );
-                group.bench_with_input(
-                    BenchmarkId::new(name, frac),
-                    &q,
-                    |b, q| b.iter(|| e.execute(q, &w.osm_g).unwrap()),
-                );
+                group.bench_with_input(BenchmarkId::new(name, frac), &q, |b, q| {
+                    b.iter(|| e.execute(q, &w.osm_g).unwrap())
+                });
             }
         }
         group.finish();

@@ -10,7 +10,14 @@ use atgis_geometry::Mbr;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn dataset(objects: usize, sigma: f64, mu: f64) -> Dataset {
-    let ds = SynthConfig { objects, sigma, mu, seed: 44, multipolygon_fraction: 0.0 }.generate();
+    let ds = SynthConfig {
+        objects,
+        sigma,
+        mu,
+        seed: 44,
+        multipolygon_fraction: 0.0,
+    }
+    .generate();
     Dataset::from_bytes(atgis_datagen::write_geojson(&ds), Format::GeoJson)
 }
 

@@ -47,11 +47,9 @@ fn bench_partitioning(c: &mut Criterion) {
                 .cell_size(cell as f64 / 10.0)
                 .partition_target(target)
                 .build();
-            group.bench_with_input(
-                BenchmarkId::new(name, cell),
-                &e,
-                |b, e| b.iter(|| e.execute(&Query::join(threshold), &w.osm_g).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(name, cell), &e, |b, e| {
+                b.iter(|| e.execute(&Query::join(threshold), &w.osm_g).unwrap())
+            });
         }
     }
     group.finish();

@@ -69,10 +69,7 @@ fn bench_batch(c: &mut Criterion) {
             q.scan,
             q.finalize,
             match &q.join {
-                Some(j) => format!(
-                    ", join {:.1?} + dedup {:.1?}",
-                    j.join.process, j.dedup
-                ),
+                Some(j) => format!(", join {:.1?} + dedup {:.1?}", j.join.process, j.dedup),
                 None => String::new(),
             },
         );

@@ -1,0 +1,92 @@
+//! `fig_stream`: streamed vs full-buffer execution throughput.
+//!
+//! The streaming path must serve queries at I/O speed without first
+//! materialising the dataset: this bench runs the fig12-style GeoJSON
+//! workload end-to-end from a file — the buffered variant pays
+//! read-everything-then-scan, the streamed variants overlap chunk
+//! ingest with scanning at chunk sizes 64 KiB / 1 MiB / 16 MiB. In
+//! `--test` mode it additionally asserts streamed ≡ buffered results.
+
+use atgis::{Dataset, Engine, FileChunkSource, Query};
+use atgis_bench::Workload;
+use atgis_formats::Format;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_streamed_vs_buffered(c: &mut Criterion) {
+    let w = Workload::build(atgis_bench::scaled(1500));
+    let bytes = w.osm_g.bytes().to_vec();
+    let path =
+        std::env::temp_dir().join(format!("atgis_fig_stream_{}.geojson", std::process::id()));
+    std::fs::write(&path, &bytes).expect("spill workload to disk");
+    let engine = Engine::builder().threads(2).build();
+    let region = w.region();
+    let query = Query::aggregation(region);
+
+    // Sanity: streamed equals buffered before any timing is trusted.
+    let buffered = Dataset::from_file(&path, Format::GeoJson).unwrap();
+    let want = engine.execute(&query, &buffered).unwrap();
+    let mut src = FileChunkSource::open_with_chunk_len(&path, 1 << 16).unwrap();
+    let got = engine
+        .execute_streaming(&query, &mut src, Format::GeoJson)
+        .unwrap();
+    assert_eq!(got, want, "streamed must equal buffered");
+
+    let mut group = c.benchmark_group("fig_stream_aggregation");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("buffered_from_file", |b| {
+        b.iter(|| {
+            let ds = Dataset::from_file(&path, Format::GeoJson).unwrap();
+            engine.execute(&query, &ds).unwrap()
+        })
+    });
+    for (label, chunk) in [
+        ("streamed_64KiB", 1usize << 16),
+        ("streamed_1MiB", 1 << 20),
+        ("streamed_16MiB", 1 << 24),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let mut src = FileChunkSource::open_with_chunk_len(&path, chunk).unwrap();
+                engine
+                    .execute_streaming(&query, &mut src, Format::GeoJson)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    // The join-class pipeline over a streamed source (index sealed at
+    // EOF) vs the buffered run.
+    let threshold = (w.objects / 2) as u64;
+    let join = Query::join(threshold);
+    let want = engine.execute(&join, &buffered).unwrap();
+    let mut src = FileChunkSource::open_with_chunk_len(&path, 1 << 20).unwrap();
+    let got = engine
+        .execute_streaming(&join, &mut src, Format::GeoJson)
+        .unwrap();
+    assert_eq!(got, want, "streamed join must equal buffered join");
+    let mut group = c.benchmark_group("fig_stream_join");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("buffered_from_file", |b| {
+        b.iter(|| {
+            let ds = Dataset::from_file(&path, Format::GeoJson).unwrap();
+            engine.execute(&join, &ds).unwrap()
+        })
+    });
+    group.bench_function("streamed_1MiB", |b| {
+        b.iter(|| {
+            let mut src = FileChunkSource::open_with_chunk_len(&path, 1 << 20).unwrap();
+            engine
+                .execute_streaming(&join, &mut src, Format::GeoJson)
+                .unwrap()
+        })
+    });
+    group.finish();
+
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_streamed_vs_buffered);
+criterion_main!(benches);

@@ -22,9 +22,7 @@ fn bench_operators(c: &mut Criterion) {
     let b = Geometry::Polygon(polygon(64, 0.5));
     let mut group = c.benchmark_group("table1_operator_cost");
     group.sample_size(20);
-    group.bench_function("st_intersects_64v", |bch| {
-        bch.iter(|| intersects(&a, &b))
-    });
+    group.bench_function("st_intersects_64v", |bch| bch.iter(|| intersects(&a, &b)));
     group.bench_function("st_convexhull_1000pts", |bch| {
         let pts: Vec<Point> = (0..1000)
             .map(|i| Point::new((i * 37 % 101) as f64, (i * 61 % 97) as f64))

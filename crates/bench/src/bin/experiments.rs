@@ -2,7 +2,8 @@
 //! of the paper's §5 as text tables.
 //!
 //! ```text
-//! experiments [all|table1|table2|table3|fig9|fig10|fig11|fig12|fig13|fig14|fig15]
+//! experiments [all|table1|table2|table3|fig9|fig10|fig11|fig12|fig13|
+//!              fig14|fig15|fig_batch|fig_stream]
 //! ```
 //!
 //! Scale with `ATGIS_SCALE` (default 1.0). Absolute numbers differ
@@ -12,8 +13,8 @@
 
 use atgis::engine::{PartitionPhase, StoreKind};
 use atgis::{Dataset, Engine, FilterStrategy, Metric, Query, QueryResult};
-use atgis_bench::{scaled, synth_dataset, throughput_mbs, time_best_of, time_once, Workload};
 use atgis_baselines::{cluster_sim, column_scan, indexed, sequential, BaselineQuery};
+use atgis_bench::{scaled, synth_dataset, throughput_mbs, time_best_of, time_once, Workload};
 use atgis_datagen::SynthConfig;
 use atgis_formats::{Format, Mode};
 use atgis_geometry::{DistanceModel, Mbr};
@@ -22,7 +23,10 @@ use std::time::Duration;
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let run_all = which == "all";
-    println!("AT-GIS evaluation harness (scale = {})", atgis_bench::scale());
+    println!(
+        "AT-GIS evaluation harness (scale = {})",
+        atgis_bench::scale()
+    );
     println!("host threads available: {}", host_threads());
     println!(
         "dataset backing: {}",
@@ -65,6 +69,9 @@ fn main() {
     }
     if run_all || which == "fig_batch" {
         fig_batch();
+    }
+    if run_all || which == "fig_stream" {
+        fig_stream();
     }
 }
 
@@ -152,12 +159,19 @@ fn table3() {
     let threshold = (w.objects / 2) as u64;
 
     let (r, d) = time_once(|| e.execute(&Query::containment(region), &w.osm_g).unwrap());
-    println!("containment: {} matches in {:.3}s", r.matches().len(), secs(d));
+    println!(
+        "containment: {} matches in {:.3}s",
+        r.matches().len(),
+        secs(d)
+    );
     let (r, d) = time_once(|| e.execute(&Query::aggregation(region), &w.osm_g).unwrap());
     let a = r.aggregate().unwrap();
     println!(
         "aggregation: count={} area={:.3e} m^2 perimeter={:.3e} m in {:.3}s",
-        a.count, a.total_area, a.total_perimeter, secs(d)
+        a.count,
+        a.total_area,
+        a.total_perimeter,
+        secs(d)
     );
     let (r, d) = time_once(|| e.execute(&Query::join(threshold), &w.osm_g).unwrap());
     println!("join:        {} pairs in {:.3}s", r.joined().len(), secs(d));
@@ -245,7 +259,11 @@ fn fig10() {
         let (_, dc) = time_once(|| sequential::execute(w.osm_g.bytes(), Format::GeoJson, &qc));
         let (_, da) = time_once(|| sequential::execute(w.osm_g.bytes(), Format::GeoJson, &qa));
         let (_, dj) = time_once(|| {
-            sequential::execute(w.osm_g.bytes(), Format::GeoJson, &BaselineQuery::Join(threshold))
+            sequential::execute(
+                w.osm_g.bytes(),
+                Format::GeoJson,
+                &BaselineQuery::Join(threshold),
+            )
         });
         println!(
             "{:<16} {:>12.3} {:>12.3} {:>12.3} {:>14}",
@@ -397,10 +415,7 @@ fn fig13() {
         (DistanceModel::Andoyer, "(b) Andoyer's algorithm"),
     ] {
         println!("--- {label} ---");
-        println!(
-            "{:>10} {:>12} {:>12}",
-            "area sel%", "streaming", "buffered"
-        );
+        println!("{:>10} {:>12} {:>12}", "area sel%", "streaming", "buffered");
         for frac in fractions {
             let width = world.width() * frac.sqrt();
             let height = world.height() * frac.sqrt();
@@ -584,7 +599,13 @@ fn fig_batch() {
     for (i, q) in stats.per_query.iter().enumerate() {
         let join = q
             .join
-            .map(|j| format!(" join={:.3}s dedup={:.3}s", secs(j.join.process), secs(j.dedup)))
+            .map(|j| {
+                format!(
+                    " join={:.3}s dedup={:.3}s",
+                    secs(j.join.process),
+                    secs(j.dedup)
+                )
+            })
             .unwrap_or_default();
         println!(
             "  q{i}: wall={:.3}s scan={:.3}s finalize={:.3}s{join}",
@@ -608,5 +629,108 @@ fn fig_batch() {
         secs(d_joins),
         warm_stats.scan_passes,
     );
+    println!();
+}
+
+fn fig_stream() {
+    use atgis::{FileChunkSource, QueryResult};
+    println!("=== fig_stream: streamed vs full-buffer execution (MB/s) ===");
+    let w = Workload::build(scaled(10000));
+    let bytes = w.osm_g.bytes().to_vec();
+    let path = std::env::temp_dir().join(format!(
+        "atgis_fig_stream_exp_{}.geojson",
+        std::process::id()
+    ));
+    std::fs::write(&path, &bytes).expect("spill workload to disk");
+    let threads = host_threads();
+    let e = engine(threads, Mode::Pat);
+    let region = w.region();
+    let threshold = (w.objects / 2) as u64;
+    let queries = [
+        Query::containment(region),
+        Query::aggregation(region),
+        Query::join(threshold),
+    ];
+
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>11}",
+        "mode", "chunk", "containment", "aggregation", "join", "peak-frag", "VmHWM(MB)"
+    );
+
+    // Streamed first: VmHWM is a high-water mark, so measure the
+    // streamed profile before the buffered run can spike it. The
+    // summary ratio reports the best streamed configuration (chunk
+    // size is an operator knob; the figure shows all of them).
+    let mut streamed_agg = f64::NAN;
+    let mut streamed_agg_label = "-";
+    for (label, chunk) in [
+        ("64KiB", 1usize << 16),
+        ("1MiB", 1 << 20),
+        ("16MiB", 1 << 24),
+    ] {
+        let mut mbs = [0.0f64; 3];
+        let mut peak_frag = 0u64;
+        for (i, q) in queries.iter().enumerate() {
+            let ((_, _, sstats), d) = time_best_of(2, || {
+                let mut src = FileChunkSource::open_with_chunk_len(&path, chunk).unwrap();
+                e.execute_streaming_batch_timed(std::slice::from_ref(q), &mut src, Format::GeoJson)
+                    .unwrap()
+            });
+            mbs[i] = throughput_mbs(bytes.len(), d);
+            peak_frag = peak_frag.max(sstats.peak_fragments);
+        }
+        if streamed_agg.is_nan() || mbs[1] > streamed_agg {
+            streamed_agg = mbs[1];
+            streamed_agg_label = label;
+        }
+        println!(
+            "{:>10} {:>10} {:>12.1} {:>12.1} {:>10.1} {:>10} {:>11}",
+            "streamed",
+            label,
+            mbs[0],
+            mbs[1],
+            mbs[2],
+            peak_frag,
+            atgis_bench::peak_rss_kb()
+                .map(|kb| format!("{:.0}", kb as f64 / 1024.0))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    // Full-buffer reference: read the file, then scan.
+    let mut buf_mbs = [0.0f64; 3];
+    let mut reference: Vec<QueryResult> = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let (r, d) = time_best_of(2, || {
+            let ds = Dataset::from_file(&path, Format::GeoJson).unwrap();
+            e.execute(q, &ds).unwrap()
+        });
+        buf_mbs[i] = throughput_mbs(bytes.len(), d);
+        reference.push(r);
+    }
+    println!(
+        "{:>10} {:>10} {:>12.1} {:>12.1} {:>10.1} {:>10} {:>11}",
+        "buffered",
+        "-",
+        buf_mbs[0],
+        buf_mbs[1],
+        buf_mbs[2],
+        "-",
+        atgis_bench::peak_rss_kb()
+            .map(|kb| format!("{:.0}", kb as f64 / 1024.0))
+            .unwrap_or_else(|| "-".into()),
+    );
+    println!(
+        "streamed/buffered aggregation ratio: {:.2} (best streamed config: {streamed_agg_label} chunks)",
+        streamed_agg / buf_mbs[1]
+    );
+
+    // Equality spot-check at the reporting scale.
+    for (q, want) in queries.iter().zip(&reference) {
+        let mut src = FileChunkSource::open_with_chunk_len(&path, 1 << 20).unwrap();
+        let got = e.execute_streaming(q, &mut src, Format::GeoJson).unwrap();
+        assert_eq!(&got, want, "streamed must equal buffered");
+    }
+    std::fs::remove_file(&path).ok();
     println!();
 }

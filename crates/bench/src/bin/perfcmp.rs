@@ -1,0 +1,244 @@
+//! `perfcmp` — the CI perf-regression gate.
+//!
+//! Compares a current bench JSON file (emitted by the criterion shim's
+//! `--json <path>` / `ATGIS_BENCH_JSON`) against the committed
+//! baseline and **fails (exit 1) on any throughput regression beyond
+//! the tolerance** (default 15%, `--tolerance 0.15` /
+//! `ATGIS_PERF_TOLERANCE`).
+//!
+//! ```text
+//! perfcmp <current.json> [--baseline <path>] [--tolerance 0.15] [--update]
+//! ```
+//!
+//! * entries gate on `mb_per_s` (throughput benches); entries without
+//!   a throughput are listed for context but never gate — wall-clock
+//!   nanoseconds are too host-dependent to diff across machines;
+//! * `--update` rewrites the baseline from the current file (run it
+//!   after an intentional perf change and commit the result);
+//! * benches present only in the current file are reported as new and
+//!   pass; baseline entries **missing** from the current run (renamed
+//!   bench, dropped throughput declaration, filtered run) fail the
+//!   gate — an incomplete run must not green-wash a regression
+//!   silently. Compare a full run, or `--update` the baseline when a
+//!   bench is intentionally removed.
+//!
+//! The JSON is parsed with a purpose-built scanner (the build is
+//! offline — no serde): one object per line, flat string/number
+//! fields, exactly what the shim emits.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    ns_per_iter: f64,
+    mb_per_s: Option<f64>,
+}
+
+/// Extracts `"key":<value>` from a flat JSON object line; strings are
+/// returned without quotes, numbers/null verbatim.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let mut end = 0;
+        let bytes = stripped.as_bytes();
+        while end < bytes.len() {
+            match bytes[end] {
+                b'\\' => end += 2,
+                b'"' => return Some(&stripped[..end]),
+                _ => end += 1,
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn parse(path: &PathBuf) -> Result<BTreeMap<String, Entry>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (Some(bench), Some(name), Some(ns)) = (
+            field(line, "bench"),
+            field(line, "name"),
+            field(line, "ns_per_iter"),
+        ) else {
+            return Err(format!("malformed bench JSON line: {line}"));
+        };
+        let mb_per_s = field(line, "mb_per_s")
+            .filter(|v| *v != "null")
+            .and_then(|v| v.parse::<f64>().ok());
+        let ns_per_iter: f64 = ns
+            .parse()
+            .map_err(|_| format!("bad ns_per_iter in: {line}"))?;
+        // Repeated names (re-runs appending to one file): last wins.
+        out.insert(
+            format!("{bench}::{name}"),
+            Entry {
+                ns_per_iter,
+                mb_per_s,
+            },
+        );
+    }
+    Ok(out)
+}
+
+fn default_baseline() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("BENCH_baseline.json")
+}
+
+fn write_baseline(path: &PathBuf, entries: &BTreeMap<String, Entry>) -> Result<(), String> {
+    let mut out = String::new();
+    for (key, e) in entries {
+        let (bench, name) = key.split_once("::").unwrap_or(("", key));
+        let mbs = e
+            .mb_per_s
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_else(|| "null".into());
+        out.push_str(&format!(
+            "{{\"bench\":\"{bench}\",\"name\":\"{name}\",\"mode\":\"baseline\",\"ns_per_iter\":{},\"mb_per_s\":{mbs}}}\n",
+            e.ns_per_iter as u128,
+        ));
+    }
+    std::fs::write(path, out).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut current: Option<PathBuf> = None;
+    let mut baseline = default_baseline();
+    let mut tolerance: f64 = std::env::var("ATGIS_PERF_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.15);
+    let mut update = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                baseline = PathBuf::from(args.get(i).expect("--baseline needs a path"));
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .expect("--tolerance needs a fraction")
+                    .parse()
+                    .expect("tolerance must be a number");
+            }
+            "--update" => update = true,
+            s if current.is_none() => current = Some(PathBuf::from(s)),
+            s => {
+                eprintln!("unexpected argument: {s}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(current_path) = current else {
+        eprintln!(
+            "usage: perfcmp <current.json> [--baseline <path>] [--tolerance 0.15] [--update]"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let current = match parse(&current_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if update {
+        if let Err(e) = write_baseline(&baseline, &current) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "baseline updated: {} entries -> {}",
+            current.len(),
+            baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let baseline_entries = match parse(&baseline) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e} (run `perfcmp <current.json> --update` to create it)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{:<64} {:>12} {:>12} {:>8}",
+        "benchmark", "base MB/s", "cur MB/s", "delta"
+    );
+    let mut regressions = 0usize;
+    let mut missing = 0usize;
+    let mut compared = 0usize;
+    for (key, base) in &baseline_entries {
+        let Some(base_mbs) = base.mb_per_s else {
+            continue; // wall-clock-only entries never gate
+        };
+        let Some(cur) = current.get(key) else {
+            missing += 1;
+            println!("{key:<64} {base_mbs:>12.1} {:>12} {:>8}", "-", "MISSING");
+            continue;
+        };
+        let Some(cur_mbs) = cur.mb_per_s else {
+            missing += 1;
+            println!("{key:<64} {base_mbs:>12.1} {:>12} {:>8}", "-", "NO-TPUT");
+            continue;
+        };
+        compared += 1;
+        let delta = (cur_mbs - base_mbs) / base_mbs;
+        let flag = if delta < -tolerance {
+            regressions += 1;
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "{key:<64} {base_mbs:>12.1} {cur_mbs:>12.1} {:>7.1}%{flag}",
+            delta * 100.0
+        );
+    }
+    for key in current.keys() {
+        if !baseline_entries.contains_key(key) {
+            println!("{key:<64} {:>12} (new, not gated)", "-");
+        }
+    }
+    println!(
+        "\ncompared {compared} throughput benches against {} (tolerance {:.0}%)",
+        baseline.display(),
+        tolerance * 100.0
+    );
+    if regressions > 0 || missing > 0 {
+        if missing > 0 {
+            eprintln!(
+                "FAIL: {missing} baseline entries had no comparable current measurement \
+                 (incomplete runs cannot prove the absence of a regression)"
+            );
+        }
+        if regressions > 0 {
+            eprintln!(
+                "FAIL: {regressions} benchmark(s) regressed more than {:.0}%",
+                tolerance * 100.0
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+    println!("perf gate passed");
+    ExitCode::SUCCESS
+}

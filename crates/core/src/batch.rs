@@ -4,7 +4,7 @@
 //! AT-GIS's throughput comes from doing query processing *inside* the
 //! scan; a multi-tenant server extends that story by amortising the
 //! scan itself. [`Engine::execute_batch`] compiles submitted queries
-//! into a [`BatchPlan`]: every query contributes a per-query
+//! into a batch plan: every query contributes a per-query
 //! aggregate sink to **one** [`MultiSink`] fan-out, so a single
 //! transducer pass (the engine's configured PAT/FAT/Adaptive mode for
 //! the dataset's format) parses each geometry once and dispatches it
@@ -21,23 +21,37 @@
 //! 1. **plan** — classify each query ([`Query::scan_class`]), build
 //!    its sink, and register join specs ([`crate::join::JoinSpec`]:
 //!    threshold-resolved sides, refine-stage perimeter bounds);
-//! 2. **scan** — one `single_pass` over the raw bytes with the
+//! 2. **scan** — one pass over the raw bytes with the
 //!    [`MultiSink`] prototype (the partition sink rides along when the
-//!    index is not already cached);
+//!    index is not already cached). The pass is either the buffered
+//!    `single_pass` over a materialised [`Dataset`] or the
+//!    **streaming scan** ([`crate::stream::StreamingScan`]) fed chunk
+//!    by chunk from a [`crate::stream::ChunkSource`] — both produce
+//!    the same finished sinks, bit-identically;
 //! 3. **aggregate** — extract per-query results; join-class queries
 //!    fan out over a flattened (query × partition) job space
 //!    ([`crate::executor::run_grid_on`]) sharing the index and the
 //!    re-parse cache, then deduplicate per query.
 //!
 //! Results are **bit-identical** to per-query [`Engine::execute`]
-//! calls: member sinks see exactly the absorb/combine sequence of a
-//! solo run (the merge-tree shape depends only on the block count),
-//! and join pairs are canonicalised by the final sort + dedup.
+//! calls: member sinks see an absorb/combine structure whose final
+//! fold is order-canonical (list aggregates concatenate in document
+//! order, numeric aggregates are exact — see [`crate::exact`]), and
+//! join pairs are canonicalised by the final sort + dedup.
 //!
-//! [`QuerySession`] is the serving seam: it pins a dataset, keeps the
-//! [`IndexCache`] warm across batches (a join-only batch over a
-//! cached index runs *zero* parse passes), and is what the async
-//! ingestion work will later feed.
+//! [`QuerySession`] is the serving seam, with two lifecycles:
+//!
+//! * **pinned** (`QuerySession::new`): a materialised dataset, warm
+//!   [`IndexCache`] across batches (a join-only batch over a cached
+//!   index runs *zero* parse passes);
+//! * **streaming** (`QuerySession::streaming` → `ingest_chunk`* →
+//!   `finish`): the session owns a growing stream buffer. While
+//!   ingesting it answers single-pass queries over the
+//!   feature-complete prefix, and a partition sink rides the
+//!   incremental scan, so `finish` **seals** the index without
+//!   re-reading anything — the cache is extended incrementally rather
+//!   than invalidated wholesale. Join-class queries become available
+//!   the moment `finish` returns.
 
 use crate::dataset::Dataset;
 use crate::engine::{
@@ -47,12 +61,15 @@ use crate::executor::run_grid_on;
 use crate::join::{
     fold_slot_results, join_partition, JoinOptions, JoinSpec, ReparseCache, Reparser, SlotResult,
 };
-use crate::partition::{ArrayStore, GridSpec, ListStore, PartitionMap, PartitionMapStats, PartitionStore};
+use crate::partition::{
+    ArrayStore, GridSpec, ListStore, PartitionMap, PartitionMapStats, PartitionStore,
+};
 use crate::pipeline::{downcast_sink, AggregateSink, ContainmentAgg, MetricsAgg, MultiSink};
-use crate::query::Query;
+use crate::query::{Query, ScanClass};
 use crate::result::QueryResult;
-use crate::stats::{BatchQueryStats, BatchStats, JoinTimings, Timings};
-use crate::Result;
+use crate::stats::{BatchQueryStats, BatchStats, JoinTimings, StreamStats, Timings};
+use crate::stream::{drive, ChunkSource, StreamingScan};
+use crate::{Error, Result};
 use atgis_formats::feature::MetadataFilter;
 use atgis_formats::Format;
 use std::collections::HashMap;
@@ -182,25 +199,146 @@ enum Task {
     Combined,
 }
 
-/// A reusable query session: one dataset, one engine (and its
-/// persistent worker pool), and a warm [`IndexCache`] — the unit a
-/// multi-tenant server holds per served dataset. Repeated
-/// [`QuerySession::execute_batch`] calls amortise both the structural
-/// scan (within a batch) and the partition index (across batches).
+/// The per-query compilation of a batch — everything the scan step
+/// (buffered or streamed) and the aggregate step need.
+struct BatchPlan {
+    sinks: Vec<Box<dyn AggregateSink>>,
+    tasks: Vec<Task>,
+    join_specs: Vec<JoinSpec>,
+    join_query_index: Vec<usize>,
+}
+
+/// Compiles queries into per-query sinks and join specs. Planning
+/// needs only the engine configuration, so the buffered and streaming
+/// scan paths share it verbatim.
+fn plan_queries(engine: &Engine, queries: &[Query]) -> BatchPlan {
+    let mut sinks: Vec<Box<dyn AggregateSink>> = Vec::new();
+    let mut tasks: Vec<Task> = Vec::with_capacity(queries.len());
+    let mut join_specs: Vec<JoinSpec> = Vec::new();
+    let mut join_query_index: Vec<usize> = Vec::new();
+    for (qi, q) in queries.iter().enumerate() {
+        match q {
+            Query::Containment { region } => {
+                tasks.push(Task::Containment { sink: sinks.len() });
+                sinks.push(Box::new(ContainmentAgg::new(Arc::new(region.clone()))));
+            }
+            Query::Aggregation {
+                region,
+                metrics,
+                model,
+                strategy,
+            } => {
+                let strategy = engine.resolve_strategy(*strategy, region);
+                tasks.push(Task::Aggregation { sink: sinks.len() });
+                sinks.push(Box::new(MetricsAgg::new(
+                    Arc::new(region.clone()),
+                    metrics,
+                    *model,
+                    strategy,
+                )));
+            }
+            Query::Join { id_threshold } => {
+                tasks.push(Task::Join);
+                join_specs.push(JoinSpec::threshold(*id_threshold));
+                join_query_index.push(qi);
+            }
+            Query::Combined {
+                id_threshold,
+                min_perimeter_left,
+                max_perimeter_right,
+            } => {
+                tasks.push(Task::Combined);
+                join_specs.push(
+                    JoinSpec::threshold(*id_threshold).with_perimeter_bounds(
+                        Some(*min_perimeter_left),
+                        Some(*max_perimeter_right),
+                    ),
+                );
+                join_query_index.push(qi);
+            }
+        }
+    }
+    BatchPlan {
+        sinks,
+        tasks,
+        join_specs,
+        join_query_index,
+    }
+}
+
+/// A reusable query session: one engine (and its persistent worker
+/// pool), one dataset — pinned up front or streamed in chunk by chunk
+/// — and a warm [`IndexCache`]. The unit a multi-tenant server holds
+/// per served dataset; repeated [`QuerySession::execute_batch`] calls
+/// amortise both the structural scan (within a batch) and the
+/// partition index (across batches).
 pub struct QuerySession {
     engine: Engine,
     dataset: Dataset,
     cache: IndexCache,
+    ingest: Option<SessionIngest>,
+    /// Set when a streaming seal failed: the stream is gone but the
+    /// session only holds a truncated prefix, so serving queries
+    /// would silently cover partial data. Every entry point errors.
+    seal_failed: bool,
+}
+
+/// Mid-ingest state of a streaming session.
+struct SessionIngest {
+    scan: StreamingScan<MultiSink>,
+    format: Format,
 }
 
 impl QuerySession {
-    /// Opens a session serving `dataset` with `engine`.
+    /// Opens a session serving a fully materialised `dataset` with
+    /// `engine`.
     pub fn new(engine: Engine, dataset: Dataset) -> Self {
         QuerySession {
             engine,
             dataset,
             cache: IndexCache::new(),
+            ingest: None,
+            seal_failed: false,
         }
+    }
+
+    /// Opens a **streaming** session: the dataset arrives through
+    /// [`QuerySession::ingest_chunk`] while the session is live.
+    ///
+    /// During ingestion the session answers single-pass queries
+    /// (containment/aggregation) over the feature-complete prefix
+    /// ingested so far, and a side-agnostic partition sink rides the
+    /// incremental scan. Calling [`QuerySession::finish`] seals the
+    /// stream: the partition index is refined from the incrementally
+    /// fed store — no extra parse pass — and join-class queries become
+    /// available, served from the warm cache exactly as in a pinned
+    /// session.
+    pub fn streaming(engine: Engine, format: Format) -> Result<Self> {
+        QuerySession::streaming_sized(engine, format, None)
+    }
+
+    /// [`QuerySession::streaming`] with a known stream size, so the
+    /// buffer reservation is exact.
+    pub fn streaming_sized(
+        engine: Engine,
+        format: Format,
+        size_hint: Option<usize>,
+    ) -> Result<Self> {
+        let cfg = engine.config();
+        let grid = GridSpec::new(cfg.grid_extent, cfg.cell_deg);
+        let sink: Box<dyn AggregateSink> = match cfg.store {
+            StoreKind::Array => Box::new(partition_proto::<ArrayStore>(grid, cfg)),
+            StoreKind::List => Box::new(partition_proto::<ListStore>(grid, cfg)),
+        };
+        let scan = StreamingScan::new(&engine, format, MultiSink::new(vec![sink]), size_hint)?;
+        let dataset = Dataset::from_stream_buffer(scan.buffer().clone(), 0, format);
+        Ok(QuerySession {
+            engine,
+            dataset,
+            cache: IndexCache::new(),
+            ingest: Some(SessionIngest { scan, format }),
+            seal_failed: false,
+        })
     }
 
     /// The session's engine.
@@ -208,7 +346,9 @@ impl QuerySession {
         &self.engine
     }
 
-    /// The served dataset.
+    /// The served dataset. For a streaming session mid-ingest this is
+    /// the feature-complete queryable prefix; after
+    /// [`QuerySession::finish`] it is the sealed full dataset.
     pub fn dataset(&self) -> &Dataset {
         &self.dataset
     }
@@ -216,6 +356,100 @@ impl QuerySession {
     /// Partition indexes currently cached.
     pub fn cached_indexes(&self) -> usize {
         self.cache.len()
+    }
+
+    /// True when the session serves a complete dataset (pinned, or
+    /// streamed and successfully sealed). A session whose seal
+    /// *failed* is neither ingesting nor sealed — every query entry
+    /// point errors.
+    pub fn is_sealed(&self) -> bool {
+        self.ingest.is_none() && !self.seal_failed
+    }
+
+    /// Bytes ingested so far (streaming sessions; pinned sessions
+    /// report the dataset length).
+    pub fn ingested_len(&self) -> usize {
+        match &self.ingest {
+            Some(i) => i.scan.ingested_len(),
+            None => self.dataset.len(),
+        }
+    }
+
+    /// Feeds one chunk into a streaming session: the bytes are
+    /// appended to the stream buffer, newly feature-complete regions
+    /// are scanned into the incremental partition sink on the worker
+    /// pool, and the queryable prefix advances. The pool is released
+    /// between calls, so queries can interleave with ingestion.
+    pub fn ingest_chunk(&mut self, chunk: &[u8]) -> Result<()> {
+        let Some(ingest) = self.ingest.as_mut() else {
+            return Err(Error::Unsupported(
+                "session is sealed; only QuerySession::streaming ingests".into(),
+            ));
+        };
+        ingest.scan.ingest(&self.engine, chunk)?;
+        self.dataset = Dataset::from_stream_buffer(
+            ingest.scan.buffer().clone(),
+            ingest.scan.queryable_len(),
+            ingest.format,
+        );
+        Ok(())
+    }
+
+    /// Seals a streaming session: the tail region is scanned, the
+    /// incrementally fed partition store is refined into a
+    /// [`PartitionIndex`] and installed in the session cache (no
+    /// re-scan — the cache is *extended*, not invalidated), and the
+    /// session dataset becomes the sealed zero-copy view. Join-class
+    /// queries are valid from here on.
+    pub fn finish(&mut self) -> Result<StreamStats> {
+        let Some(ingest) = self.ingest.take() else {
+            return Err(Error::Unsupported("session is already sealed".into()));
+        };
+        // A failed seal (malformed tail, I/O error) must not leave the
+        // session masquerading as sealed over the truncated prefix:
+        // mark it dead so later queries error instead of silently
+        // serving partial data.
+        let (multi, dataset, _timings, stats) = match ingest.scan.seal(&self.engine) {
+            Ok(sealed) => sealed,
+            Err(e) => {
+                self.seal_failed = true;
+                return Err(e);
+            }
+        };
+        self.dataset = dataset;
+        let cfg = self.engine.config();
+        let grid = GridSpec::new(cfg.grid_extent, cfg.cell_deg);
+        let sink = multi
+            .into_sinks()
+            .pop()
+            .expect("the partition sink rode the stream");
+        let (store, map, refine) = match cfg.store {
+            StoreKind::Array => {
+                let agg: PartitionAgg<ArrayStore> = downcast_sink(sink);
+                let (s, m, r) = finish_index(cfg, grid, agg);
+                (IndexStore::Array(s), m, r)
+            }
+            StoreKind::List => {
+                let agg: PartitionAgg<ListStore> = downcast_sink(sink);
+                let (s, m, r) = finish_index(cfg, grid, agg);
+                (IndexStore::List(s), m, r)
+            }
+        };
+        let xml_table = if self.dataset.format() == Format::OsmXml {
+            Some(Arc::new(self.engine.xml_geometry_table(&self.dataset)?))
+        } else {
+            None
+        };
+        self.cache.insert(
+            index_key(cfg),
+            Arc::new(PartitionIndex {
+                store,
+                map,
+                refine,
+                xml_table,
+            }),
+        );
+        Ok(stats)
     }
 
     /// Executes one query (a batch of one — join-class queries still
@@ -228,17 +462,30 @@ impl QuerySession {
     /// Executes a batch of queries over the session dataset with a
     /// shared scan (see [`Engine::execute_batch`]), reusing the
     /// session's cached partition index when join-class queries
-    /// recur.
+    /// recur. On a streaming session mid-ingest, single-pass queries
+    /// run over the queryable prefix and join-class queries error
+    /// until [`QuerySession::finish`] seals the index.
     pub fn execute_batch(&self, queries: &[Query]) -> Result<Vec<QueryResult>> {
         self.execute_batch_timed(queries).map(|(r, _)| r)
     }
 
     /// [`QuerySession::execute_batch`] with the amortisation
     /// breakdown.
-    pub fn execute_batch_timed(
-        &self,
-        queries: &[Query],
-    ) -> Result<(Vec<QueryResult>, BatchStats)> {
+    pub fn execute_batch_timed(&self, queries: &[Query]) -> Result<(Vec<QueryResult>, BatchStats)> {
+        if self.seal_failed {
+            return Err(Error::Unsupported(
+                "streaming session failed to seal; the buffered prefix is \
+                 incomplete and will not be served"
+                    .into(),
+            ));
+        }
+        if self.ingest.is_some() && queries.iter().any(|q| q.scan_class() == ScanClass::Join) {
+            return Err(Error::Unsupported(
+                "join-class queries need the sealed partition index; \
+                 call QuerySession::finish once the stream ends"
+                    .into(),
+            ));
+        }
         execute_batch_impl(&self.engine, queries, &self.dataset, &self.cache)
     }
 }
@@ -246,7 +493,10 @@ impl QuerySession {
 /// Builds the side-agnostic partition-pass prototype: everything tags
 /// left (`id < u64::MAX`) and no perimeter prefilter runs, so one
 /// index serves every join spec.
-fn partition_proto<S: PartitionStore + Clone>(grid: GridSpec, cfg: &EngineBuilder) -> PartitionAgg<S> {
+fn partition_proto<S: PartitionStore + Clone>(
+    grid: GridSpec,
+    cfg: &EngineBuilder,
+) -> PartitionAgg<S> {
     PartitionAgg {
         grid,
         store: S::new(grid.num_cells()),
@@ -303,16 +553,58 @@ fn run_join_grid<S: PartitionStore + Sync>(
     )
 }
 
+/// Everything the scan step needs, prepared identically for the
+/// buffered and streamed paths: the compiled plan (with the partition
+/// sink already appended when an index must be built), the cache
+/// probe, and the grid. One preparation function so the two paths can
+/// never diverge on index keying or sink setup.
+struct ScanPrep {
+    plan: BatchPlan,
+    cached: Option<Arc<PartitionIndex>>,
+    key: Option<IndexKey>,
+    grid: GridSpec,
+    /// Sink count before the partition sink was (possibly) appended —
+    /// the partition sink's position in the finished fan-out.
+    single_pass_sinks: usize,
+}
+
+fn prepare_scan(engine: &Engine, queries: &[Query], cache: &IndexCache) -> ScanPrep {
+    let cfg = engine.config();
+    let mut plan = plan_queries(engine, queries);
+    let needs_index = !plan.join_specs.is_empty();
+    let key = needs_index.then(|| index_key(cfg));
+    let cached = key.as_ref().and_then(|k| cache.get(k));
+    let build_index = needs_index && cached.is_none();
+    let single_pass_sinks = plan.sinks.len();
+    let grid = GridSpec::new(cfg.grid_extent, cfg.cell_deg);
+    if build_index {
+        match cfg.store {
+            StoreKind::Array => plan
+                .sinks
+                .push(Box::new(partition_proto::<ArrayStore>(grid, cfg))),
+            StoreKind::List => plan
+                .sinks
+                .push(Box::new(partition_proto::<ListStore>(grid, cfg))),
+        }
+    }
+    ScanPrep {
+        plan,
+        cached,
+        key,
+        grid,
+        single_pass_sinks,
+    }
+}
+
 /// The batch executor behind [`Engine::execute_batch`] and
-/// [`QuerySession::execute_batch`]: plan, shared scan, per-query
-/// aggregation (see the module docs for the layering).
+/// [`QuerySession::execute_batch`]: plan, buffered shared scan,
+/// per-query aggregation (see the module docs for the layering).
 pub(crate) fn execute_batch_impl(
     engine: &Engine,
     queries: &[Query],
     dataset: &Dataset,
     cache: &IndexCache,
 ) -> Result<(Vec<QueryResult>, BatchStats)> {
-    let cfg = engine.config();
     let mut stats = BatchStats {
         queries: queries.len() as u64,
         per_query: vec![BatchQueryStats::default(); queries.len()],
@@ -322,77 +614,105 @@ pub(crate) fn execute_batch_impl(
         return Ok((Vec::new(), stats));
     }
 
-    // ---- plan: per-query sinks and join specs ----
-    let mut sinks: Vec<Box<dyn AggregateSink>> = Vec::new();
-    let mut tasks: Vec<Task> = Vec::with_capacity(queries.len());
-    let mut join_specs: Vec<JoinSpec> = Vec::new();
-    let mut join_query_index: Vec<usize> = Vec::new();
-    for (qi, q) in queries.iter().enumerate() {
-        match q {
-            Query::Containment { region } => {
-                tasks.push(Task::Containment { sink: sinks.len() });
-                sinks.push(Box::new(ContainmentAgg::new(Arc::new(region.clone()))));
-            }
-            Query::Aggregation {
-                region,
-                metrics,
-                model,
-                strategy,
-            } => {
-                let strategy = engine.resolve_strategy(*strategy, region, dataset);
-                tasks.push(Task::Aggregation { sink: sinks.len() });
-                sinks.push(Box::new(MetricsAgg::new(
-                    Arc::new(region.clone()),
-                    metrics,
-                    *model,
-                    strategy,
-                )));
-            }
-            Query::Join { id_threshold } => {
-                tasks.push(Task::Join);
-                join_specs.push(JoinSpec::threshold(*id_threshold));
-                join_query_index.push(qi);
-            }
-            Query::Combined {
-                id_threshold,
-                min_perimeter_left,
-                max_perimeter_right,
-            } => {
-                tasks.push(Task::Combined);
-                join_specs.push(
-                    JoinSpec::threshold(*id_threshold).with_perimeter_bounds(
-                        Some(*min_perimeter_left),
-                        Some(*max_perimeter_right),
-                    ),
-                );
-                join_query_index.push(qi);
-            }
-        }
-    }
-
-    let needs_index = !join_specs.is_empty();
-    let key = needs_index.then(|| index_key(cfg));
-    let cached = key.as_ref().and_then(|k| cache.get(k));
-    let build_index = needs_index && cached.is_none();
-    let single_pass_sinks = sinks.len();
-
-    // ---- shared scan: every sink rides one parse pass; the
-    // partition sink joins it when the index is not cached ----
-    let grid = GridSpec::new(cfg.grid_extent, cfg.cell_deg);
-    if build_index {
-        match cfg.store {
-            StoreKind::Array => sinks.push(Box::new(partition_proto::<ArrayStore>(grid, cfg))),
-            StoreKind::List => sinks.push(Box::new(partition_proto::<ListStore>(grid, cfg))),
-        }
-    }
+    // ---- plan, then the buffered shared scan: every sink rides one
+    // parse pass (the partition sink too, when the index is not
+    // cached) ----
+    let mut prep = prepare_scan(engine, queries, cache);
     let mut finished: Vec<Option<Box<dyn AggregateSink>>> = Vec::new();
-    if !sinks.is_empty() {
-        let proto = MultiSink::new(sinks);
+    if !prep.plan.sinks.is_empty() {
+        let proto = MultiSink::new(std::mem::take(&mut prep.plan.sinks));
         let (merged, t) = engine.single_pass(dataset, &MetadataFilter::All, proto)?;
         finished = merged.into_sinks().into_iter().map(Some).collect();
         stats.scan_passes += 1;
         stats.shared_scan = t;
     }
+
+    let results = finish_batch(
+        engine,
+        queries,
+        &prep.plan,
+        finished,
+        prep.single_pass_sinks,
+        prep.cached,
+        prep.key,
+        prep.grid,
+        dataset,
+        cache,
+        &mut stats,
+    )?;
+    Ok((results, stats))
+}
+
+/// The streaming batch executor behind
+/// [`Engine::execute_streaming_batch`]: the same plan and aggregate
+/// steps as [`execute_batch_impl`], but the shared scan is fed from a
+/// [`ChunkSource`] as the bytes arrive — fragments for later chunks
+/// spawn while earlier ones merge, and the dataset materialises
+/// **inside** the scan (sealed zero-copy stream buffer) instead of
+/// before it.
+pub(crate) fn execute_streaming_batch_impl(
+    engine: &Engine,
+    queries: &[Query],
+    source: &mut dyn ChunkSource,
+    format: Format,
+    cache: &IndexCache,
+) -> Result<(Vec<QueryResult>, BatchStats, StreamStats)> {
+    let mut stats = BatchStats {
+        queries: queries.len() as u64,
+        per_query: vec![BatchQueryStats::default(); queries.len()],
+        ..BatchStats::default()
+    };
+    if queries.is_empty() {
+        return Ok((Vec::new(), stats, StreamStats::default()));
+    }
+
+    // ---- plan (shared with the buffered path), then the streamed
+    // shared scan ----
+    let mut prep = prepare_scan(engine, queries, cache);
+    let proto = MultiSink::new(std::mem::take(&mut prep.plan.sinks));
+    let mut scan = StreamingScan::new(engine, format, proto, source.size_hint())?;
+    drive(&mut scan, engine, source)?;
+    let (multi, dataset, timings, stream_stats) = scan.seal(engine)?;
+    stats.scan_passes += 1;
+    stats.shared_scan = timings;
+    let finished: Vec<Option<Box<dyn AggregateSink>>> =
+        multi.into_sinks().into_iter().map(Some).collect();
+
+    let results = finish_batch(
+        engine,
+        queries,
+        &prep.plan,
+        finished,
+        prep.single_pass_sinks,
+        prep.cached,
+        prep.key,
+        prep.grid,
+        &dataset,
+        cache,
+        &mut stats,
+    )?;
+    Ok((results, stats, stream_stats))
+}
+
+/// The aggregate step shared by the buffered and streamed scan paths:
+/// build/fetch the partition index, extract single-pass results, run
+/// the flattened join fan-out.
+#[allow(clippy::too_many_arguments)]
+fn finish_batch(
+    engine: &Engine,
+    queries: &[Query],
+    plan: &BatchPlan,
+    mut finished: Vec<Option<Box<dyn AggregateSink>>>,
+    single_pass_sinks: usize,
+    cached: Option<Arc<PartitionIndex>>,
+    key: Option<IndexKey>,
+    grid: GridSpec,
+    dataset: &Dataset,
+    cache: &IndexCache,
+    stats: &mut BatchStats,
+) -> Result<Vec<QueryResult>> {
+    let cfg = engine.config();
+    let needs_index = !plan.join_specs.is_empty();
     let scan_total = stats.shared_scan.total();
 
     // ---- aggregate: partition index ----
@@ -431,7 +751,10 @@ pub(crate) fn execute_batch_impl(
                     refine,
                     xml_table,
                 });
-                cache.insert(key.expect("key exists when an index is needed"), built.clone());
+                cache.insert(
+                    key.expect("key exists when an index is needed"),
+                    built.clone(),
+                );
                 built
             }
         };
@@ -442,7 +765,7 @@ pub(crate) fn execute_batch_impl(
 
     // ---- aggregate: single-pass query results ----
     let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
-    for (qi, task) in tasks.iter().enumerate() {
+    for (qi, task) in plan.tasks.iter().enumerate() {
         let sink = match task {
             Task::Containment { sink } | Task::Aggregation { sink } => *sink,
             _ => continue,
@@ -461,7 +784,7 @@ pub(crate) fn execute_batch_impl(
             }
             Task::Aggregation { .. } => {
                 let agg: MetricsAgg = downcast_sink(sink);
-                QueryResult::Aggregate(agg.values)
+                QueryResult::Aggregate(agg.values())
             }
             _ => unreachable!(),
         });
@@ -491,17 +814,28 @@ pub(crate) fn execute_batch_impl(
         let shared_cache = ReparseCache::new(options.sort_batch);
         let grid_results = match &index.store {
             IndexStore::Array(s) => run_join_grid(
-                engine, s, &index.map, &join_specs, reparse.as_ref(), &shared_cache, &options,
+                engine,
+                s,
+                &index.map,
+                &plan.join_specs,
+                reparse.as_ref(),
+                &shared_cache,
+                &options,
             ),
             IndexStore::List(s) => run_join_grid(
-                engine, s, &index.map, &join_specs, reparse.as_ref(), &shared_cache, &options,
+                engine,
+                s,
+                &index.map,
+                &plan.join_specs,
+                reparse.as_ref(),
+                &shared_cache,
+                &options,
             ),
         };
         for (jq, per_slot) in grid_results.into_iter().enumerate() {
-            let qi = join_query_index[jq];
+            let qi = plan.join_query_index[jq];
             let own_process: Duration = per_slot.iter().map(|(d, _)| *d).sum();
-            let outcome =
-                fold_slot_results(&index.map, per_slot.into_iter().map(|(_, r)| r))?;
+            let outcome = fold_slot_results(&index.map, per_slot.into_iter().map(|(_, r)| r))?;
             let mut finalize = Duration::ZERO;
             results[qi] = Some(match &queries[qi] {
                 Query::Join { .. } => QueryResult::Joined(outcome.pairs),
@@ -512,9 +846,13 @@ pub(crate) fn execute_batch_impl(
                     let started = Instant::now();
                     let mut total = 0.0;
                     for p in &outcome.pairs {
-                        let a = shared_cache.get_or_parse(p.left_offset, u32::MAX, reparse.as_ref())?;
-                        let b =
-                            shared_cache.get_or_parse(p.right_offset, u32::MAX, reparse.as_ref())?;
+                        let a =
+                            shared_cache.get_or_parse(p.left_offset, u32::MAX, reparse.as_ref())?;
+                        let b = shared_cache.get_or_parse(
+                            p.right_offset,
+                            u32::MAX,
+                            reparse.as_ref(),
+                        )?;
                         total += crate::operators::union_area(&a, &b);
                     }
                     finalize = started.elapsed();
@@ -548,7 +886,7 @@ pub(crate) fn execute_batch_impl(
         .into_iter()
         .map(|r| r.expect("every query produced a result"))
         .collect();
-    Ok((results, stats))
+    Ok(results)
 }
 
 #[cfg(test)]
@@ -609,6 +947,7 @@ mod tests {
             .collect();
         let session = QuerySession::new(engine, ds);
         assert_eq!(session.cached_indexes(), 0);
+        assert!(session.is_sealed());
         let (first, s1) = session
             .execute_batch_timed(&[Query::join(35), Query::join(20)])
             .unwrap();
@@ -665,5 +1004,91 @@ mod tests {
             .execute_batch(&queries, &ds)
             .unwrap();
         assert_eq!(a, l);
+    }
+
+    #[test]
+    fn streaming_session_lifecycle() {
+        let gen = OsmGenerator::new(906).generate(60);
+        let bytes = write_geojson(&gen);
+        let engine = Engine::builder().threads(2).cell_size(2.0).build();
+        let reference = Dataset::from_bytes(bytes.clone(), Format::GeoJson);
+
+        let mut session = QuerySession::streaming(engine.clone(), Format::GeoJson).unwrap();
+        assert!(!session.is_sealed());
+        // Joins are rejected until sealed.
+        assert!(session.execute(&Query::join(30)).is_err());
+
+        for chunk in bytes.chunks(777) {
+            session.ingest_chunk(chunk).unwrap();
+        }
+        // Mid-ingest: single-pass queries answer over the prefix, and
+        // the prefix equals a buffered run over the same bytes.
+        let prefix_len = session.dataset().len();
+        assert!(prefix_len > 0);
+        let world = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
+        let prefix_ds = Dataset::from_bytes(bytes[..prefix_len].to_vec(), Format::GeoJson);
+        assert_eq!(
+            session.execute(&world).unwrap(),
+            engine.execute(&world, &prefix_ds).unwrap()
+        );
+
+        let stats = session.finish().unwrap();
+        assert!(session.is_sealed());
+        assert!(stats.chunks > 0);
+        assert_eq!(session.dataset().len(), bytes.len());
+        assert_eq!(session.cached_indexes(), 1, "finish seals the index");
+
+        // Join-class queries now serve from the sealed index with no
+        // further parse passes, bit-identical to buffered execution.
+        let (got, jstats) = session
+            .execute_batch_timed(&[Query::join(30), Query::combined(30, 0.0, f64::INFINITY)])
+            .unwrap();
+        let want: Vec<QueryResult> = [Query::join(30), Query::combined(30, 0.0, f64::INFINITY)]
+            .iter()
+            .map(|q| engine.execute(q, &reference).unwrap())
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(jstats.scan_passes, 0, "sealed index: no parse passes");
+        // Double-finish errors.
+        assert!(session.finish().is_err());
+    }
+
+    #[test]
+    fn failed_seal_refuses_to_serve_the_truncated_prefix() {
+        // A malformed record in the stream surfaces at finish(); the
+        // session must then refuse every query instead of serving the
+        // feature-complete prefix as if it were the whole dataset.
+        let engine = Engine::builder().build();
+        let mut session = QuerySession::streaming(engine, Format::Wkt).unwrap();
+        session
+            .ingest_chunk(b"1\tPOINT(1.5 50.5)\t\nBAD-ID\tPOINT(2 2)\t\n")
+            .unwrap();
+        let err = session.finish();
+        assert!(err.is_err(), "malformed row must fail the seal");
+        assert!(!session.is_sealed(), "a failed seal is not sealed");
+        let world = Query::containment(atgis_geometry::Mbr::new(-180.0, -90.0, 180.0, 90.0));
+        assert!(
+            session.execute(&world).is_err(),
+            "queries after a failed seal must error, not serve partial data"
+        );
+        assert!(session.ingest_chunk(b"more").is_err(), "the stream is gone");
+    }
+
+    #[test]
+    fn streaming_batch_matches_buffered_batch() {
+        let gen = OsmGenerator::new(907).generate(70);
+        let bytes = write_geojson(&gen);
+        let ds = Dataset::from_bytes(bytes.clone(), Format::GeoJson);
+        let engine = Engine::builder().threads(2).cell_size(2.0).build();
+        let queries = mixed_queries(70);
+        let want = engine.execute_batch(&queries, &ds).unwrap();
+        let mut source = crate::stream::SliceChunkSource::new(&bytes, 4096);
+        let (got, stats, sstats) = engine
+            .execute_streaming_batch_timed(&queries, &mut source, Format::GeoJson)
+            .unwrap();
+        assert_eq!(got, want);
+        assert_eq!(stats.scan_passes, 1);
+        assert!(sstats.chunks > 1);
+        assert!(sstats.regions > 0);
     }
 }

@@ -2,7 +2,7 @@
 //! no conversion, no loading phase, queries run against these bytes
 //! directly (§1, §2.3 "the data [is] left in its original form").
 //!
-//! Two storage backends:
+//! Three storage backends:
 //!
 //! * [`Dataset::from_bytes`] / [`Dataset::from_file`] — heap-owned
 //!   bytes (the paper's RAM-disk configuration);
@@ -11,10 +11,18 @@
 //!   copied into (and doubling) resident memory. The mapping is done
 //!   with a direct `mmap(2)` FFI call (the build environment is
 //!   offline, so the `memmap2` crate is not available; the libc
-//!   symbols are already linked by std).
+//!   symbols are already linked by std);
+//! * a [`StreamBuffer`] view — the append-only, stable-address buffer
+//!   the streaming ingestion path fills chunk by chunk
+//!   ([`Dataset::from_reader`], [`Dataset::from_chunk_source`], and
+//!   the `stream` module's scan). A prefix view taken mid-ingest stays
+//!   valid while later chunks append, and sealing the stream wraps the
+//!   very same buffer — the bytes are resident exactly **once**, never
+//!   double-buffered between a reader and the query input.
 
 use atgis_formats::Format;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 #[cfg(unix)]
@@ -102,12 +110,165 @@ mod mmap_impl {
     }
 }
 
+/// An append-only byte buffer with **stable addresses**: capacity is
+/// reserved once up front (virtual memory — untouched pages cost
+/// nothing resident on demand-paged platforms) and never reallocated,
+/// so slices of the published prefix remain valid while later chunks
+/// append. This is the seam between streaming ingestion and query
+/// execution: scan fragments read `[0, published_len)` while the
+/// ingest thread copies the next chunk in behind them.
+///
+/// Concurrency contract: **one appender at a time** (enforced by the
+/// owning scan taking `&mut self`), any number of readers. `append`
+/// writes only beyond the published length and publishes with a
+/// release store; readers snapshot the length with an acquire load, so
+/// every byte below a snapshot is immutable-forever from the reader's
+/// point of view.
+pub struct StreamBuffer {
+    ptr: *mut u8,
+    cap: usize,
+    len: AtomicUsize,
+}
+
+// SAFETY: bytes below the published `len` are never written again, and
+// the only mutation (append past `len`) is release-published; see the
+// concurrency contract above.
+unsafe impl Send for StreamBuffer {}
+unsafe impl Sync for StreamBuffer {}
+
+impl std::fmt::Debug for StreamBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamBuffer")
+            .field("len", &self.len())
+            .field("cap", &self.cap)
+            .finish()
+    }
+}
+
+impl StreamBuffer {
+    /// Reserves a buffer of exactly `cap` bytes. Fails (instead of
+    /// aborting) when the allocator refuses the reservation.
+    pub fn with_capacity(cap: usize) -> std::io::Result<StreamBuffer> {
+        let mut v: Vec<u8> = Vec::new();
+        v.try_reserve_exact(cap).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::OutOfMemory,
+                format!("cannot reserve {cap} byte stream buffer"),
+            )
+        })?;
+        let ptr = v.as_mut_ptr();
+        let cap = v.capacity();
+        std::mem::forget(v);
+        Ok(StreamBuffer {
+            ptr,
+            cap,
+            len: AtomicUsize::new(0),
+        })
+    }
+
+    /// Reserves the largest power-of-two-halving of `want` the
+    /// allocator grants (floor `min`): streams of unknown length get a
+    /// generous virtual reservation without failing on strict-commit
+    /// hosts.
+    pub fn with_capacity_ladder(want: usize, min: usize) -> std::io::Result<StreamBuffer> {
+        let mut cap = want.max(1);
+        loop {
+            match StreamBuffer::with_capacity(cap) {
+                Ok(b) => return Ok(b),
+                Err(e) if cap <= min => return Err(e),
+                Err(_) => cap = (cap / 2).max(min),
+            }
+        }
+    }
+
+    /// Published length in bytes.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reserved capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Appends `bytes`, publishing them to readers. Errors when the
+    /// reservation would be exceeded (the buffer never moves).
+    ///
+    /// Callers must uphold the single-appender contract; within the
+    /// crate every appender goes through a `&mut` owner.
+    pub(crate) fn append(&self, bytes: &[u8]) -> std::io::Result<usize> {
+        let len = self.len.load(Ordering::Relaxed);
+        if bytes.len() > self.cap - len {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::OutOfMemory,
+                format!(
+                    "stream exceeds reserved capacity ({} + {} > {})",
+                    len,
+                    bytes.len(),
+                    self.cap
+                ),
+            ));
+        }
+        if !bytes.is_empty() {
+            // SAFETY: the region [len, len + bytes.len()) is inside the
+            // reservation and unpublished — no reader can observe it
+            // until the release store below.
+            unsafe {
+                std::ptr::copy_nonoverlapping(bytes.as_ptr(), self.ptr.add(len), bytes.len());
+            }
+        }
+        let new_len = len + bytes.len();
+        self.len.store(new_len, Ordering::Release);
+        Ok(new_len)
+    }
+
+    /// The published bytes `[0, end)`; `end` must not exceed a length
+    /// the caller has already observed.
+    pub fn slice_to(&self, end: usize) -> &[u8] {
+        assert!(end <= self.len(), "slice beyond published stream length");
+        if end == 0 {
+            return &[];
+        }
+        // SAFETY: `[0, end)` is published and immutable (see the
+        // concurrency contract).
+        unsafe { std::slice::from_raw_parts(self.ptr, end) }
+    }
+
+    /// All currently published bytes.
+    pub fn bytes(&self) -> &[u8] {
+        self.slice_to(self.len())
+    }
+}
+
+impl Drop for StreamBuffer {
+    fn drop(&mut self) {
+        // SAFETY: exactly the allocation made in `with_capacity`
+        // (length 0 — u8 has no destructor, only the capacity matters).
+        unsafe {
+            drop(Vec::from_raw_parts(self.ptr, 0, self.cap));
+        }
+    }
+}
+
 /// The storage backing a dataset's bytes.
 #[derive(Debug, Clone)]
 enum Storage {
     Owned(Arc<Vec<u8>>),
     #[cfg(unix)]
     Mapped(Arc<mmap_impl::Mapping>),
+    /// A (possibly still growing) stream buffer, exposed up to `len`
+    /// bytes — a stable prefix snapshot.
+    Stream {
+        /// The shared ingest buffer.
+        buf: Arc<StreamBuffer>,
+        /// Snapshot length this view exposes.
+        len: usize,
+    },
 }
 
 /// A raw spatial dataset held in memory (the paper's RAM-disk
@@ -154,12 +315,52 @@ impl Dataset {
         }
     }
 
+    /// Streams `source` chunk by chunk into a [`StreamBuffer`] and
+    /// wraps it — the construction used when a caller wants a dataset
+    /// *from a stream* without first materialising it elsewhere: the
+    /// bytes land in their final resting place directly (no
+    /// read-everything-then-copy double buffering). The reservation
+    /// comes from the source's size hint when it has one.
+    pub fn from_chunk_source(
+        source: &mut dyn crate::stream::ChunkSource,
+        format: Format,
+    ) -> crate::Result<Self> {
+        let buf = crate::stream::reserve(source.size_hint())?;
+        while let Some(chunk) = source.next_chunk().map_err(crate::Error::Io)? {
+            buf.append(&chunk).map_err(crate::Error::Io)?;
+        }
+        let len = buf.len();
+        Ok(Dataset::from_stream_buffer(Arc::new(buf), len, format))
+    }
+
+    /// Reader-based construction: wraps `reader` in a
+    /// [`crate::stream::ReaderChunkSource`] and streams it in. Use
+    /// this (or [`Dataset::from_chunk_source`]) instead of
+    /// [`Dataset::from_file`] + re-feeding when the data is about to be
+    /// consumed by the streaming path anyway.
+    pub fn from_reader(reader: impl std::io::Read + Send, format: Format) -> crate::Result<Self> {
+        let mut source = crate::stream::ReaderChunkSource::new(reader);
+        Dataset::from_chunk_source(&mut source, format)
+    }
+
+    /// Wraps a snapshot of `buf`'s first `len` bytes — zero-copy; the
+    /// streaming scan uses this for both mid-ingest prefix views and
+    /// the sealed full view.
+    pub(crate) fn from_stream_buffer(buf: Arc<StreamBuffer>, len: usize, format: Format) -> Self {
+        debug_assert!(len <= buf.len());
+        Dataset {
+            storage: Storage::Stream { buf, len },
+            format,
+        }
+    }
+
     /// The raw bytes.
     pub fn bytes(&self) -> &[u8] {
         match &self.storage {
             Storage::Owned(v) => v,
             #[cfg(unix)]
             Storage::Mapped(m) => m.as_slice(),
+            Storage::Stream { buf, len } => buf.slice_to(*len),
         }
     }
 
@@ -183,10 +384,16 @@ impl Dataset {
     /// heap-owned bytes.
     pub fn is_mapped(&self) -> bool {
         match &self.storage {
-            Storage::Owned(_) => false,
             #[cfg(unix)]
             Storage::Mapped(_) => true,
+            _ => false,
         }
+    }
+
+    /// True when the dataset is a view over a streaming ingest buffer
+    /// (sealed or prefix).
+    pub fn is_streamed(&self) -> bool {
+        matches!(&self.storage, Storage::Stream { .. })
     }
 }
 
@@ -248,5 +455,62 @@ mod tests {
     #[test]
     fn mmap_missing_file_errors() {
         assert!(Dataset::mmap("/nonexistent/atgis/nope.json", Format::GeoJson).is_err());
+    }
+
+    #[test]
+    fn stream_buffer_appends_with_stable_addresses() {
+        let buf = StreamBuffer::with_capacity(1 << 16).unwrap();
+        assert!(buf.is_empty());
+        buf.append(b"hello ").unwrap();
+        let early = buf.bytes().as_ptr();
+        let early_view = buf.slice_to(6);
+        buf.append(b"world").unwrap();
+        assert_eq!(buf.bytes(), b"hello world");
+        assert_eq!(early, buf.bytes().as_ptr(), "no reallocation ever");
+        assert_eq!(early_view, b"hello ", "prefix view survives appends");
+        assert_eq!(buf.len(), 11);
+    }
+
+    #[test]
+    fn stream_buffer_rejects_overflow_and_zero_cap_is_fine() {
+        let buf = StreamBuffer::with_capacity(4).unwrap();
+        buf.append(b"abcd").unwrap();
+        assert!(buf.append(b"e").is_err());
+        assert_eq!(buf.bytes(), b"abcd", "failed append changes nothing");
+        let empty = StreamBuffer::with_capacity(0).unwrap();
+        assert!(empty.append(b"").is_ok());
+        assert!(empty.bytes().is_empty());
+    }
+
+    #[test]
+    fn stream_buffer_ladder_falls_back() {
+        // An absurd reservation steps down instead of failing outright.
+        let buf = StreamBuffer::with_capacity_ladder(usize::MAX / 2, 1 << 12).unwrap();
+        assert!(buf.capacity() >= 1 << 12);
+        buf.append(b"x").unwrap();
+        assert_eq!(buf.bytes(), b"x");
+    }
+
+    #[test]
+    fn stream_views_snapshot_prefixes() {
+        let buf = Arc::new(StreamBuffer::with_capacity(64).unwrap());
+        buf.append(b"1\tPOINT(1 2)\t\n").unwrap();
+        let prefix = Dataset::from_stream_buffer(buf.clone(), buf.len(), Format::Wkt);
+        assert!(prefix.is_streamed());
+        assert!(!prefix.is_mapped());
+        buf.append(b"2\tPOINT(3 4)\t\n").unwrap();
+        let full = Dataset::from_stream_buffer(buf.clone(), buf.len(), Format::Wkt);
+        assert_eq!(prefix.len(), 14, "snapshot is immune to later appends");
+        assert_eq!(full.len(), 28);
+        assert_eq!(&full.bytes()[..14], prefix.bytes());
+        assert_eq!(prefix.bytes().as_ptr(), full.bytes().as_ptr(), "zero copy");
+    }
+
+    #[test]
+    fn from_reader_matches_from_bytes() {
+        let payload = b"9\tPOINT(5 6)\t\n".repeat(300);
+        let d = Dataset::from_reader(&payload[..], Format::Wkt).unwrap();
+        assert_eq!(d.bytes(), &payload[..]);
+        assert!(d.is_streamed());
     }
 }

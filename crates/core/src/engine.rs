@@ -4,11 +4,11 @@
 use crate::dataset::Dataset;
 use crate::executor::{resolve_threads, run_blocks_on};
 use crate::join::{pbsm_join_mapped_on, JoinOptions, ProbeStrategy, Reparser};
-use crate::pool::WorkerPool;
 use crate::partition::{
     AdaptiveConfig, ArrayStore, GridSpec, ListStore, PartEntry, PartitionMap, PartitionStore,
 };
 use crate::pipeline::{ContainmentAgg, FatGeoJsonFrag, FatWktFrag, MetricsAgg, QueryAggregate};
+use crate::pool::WorkerPool;
 use crate::query::{FilterStrategy, Query};
 use crate::result::{JoinPair, QueryResult};
 use crate::stats::{JoinDecisions, JoinTimings, Timings};
@@ -47,7 +47,7 @@ pub enum PartitionPhase {
 #[derive(Debug, Clone)]
 pub struct EngineBuilder {
     threads: usize,
-    mode: Mode,
+    pub(crate) mode: Mode,
     block_multiplier: usize,
     pub(crate) cell_deg: f64,
     pub(crate) grid_extent: Mbr,
@@ -261,11 +261,11 @@ impl Engine {
                 model,
                 strategy,
             } => {
-                let strategy = self.resolve_strategy(*strategy, region, dataset);
+                let strategy = self.resolve_strategy(*strategy, region);
                 let proto = MetricsAgg::new(Arc::new(region.clone()), metrics, *model, strategy);
                 let (agg, t) = self.single_pass(dataset, &MetadataFilter::All, proto)?;
                 Ok((
-                    QueryResult::Aggregate(agg.values),
+                    QueryResult::Aggregate(agg.values()),
                     ExecutionStats {
                         pipeline: t,
                         join: None,
@@ -319,7 +319,6 @@ impl Engine {
         &self,
         strategy: FilterStrategy,
         region: &Polygon,
-        _dataset: &Dataset,
     ) -> FilterStrategy {
         match strategy {
             FilterStrategy::Auto => {
@@ -336,7 +335,7 @@ impl Engine {
     }
 
     /// Number of blocks for a parallel pass.
-    fn block_count(&self) -> usize {
+    pub(crate) fn block_count(&self) -> usize {
         self.config.threads * self.config.block_multiplier
     }
 
@@ -365,8 +364,7 @@ impl Engine {
         match (dataset.format(), mode) {
             (Format::GeoJson, Mode::Pat) => {
                 let started = Instant::now();
-                let blocks =
-                    marker_blocks(input, atgis_formats::geojson::FEATURE_MARKER, n);
+                let blocks = marker_blocks(input, atgis_formats::geojson::FEATURE_MARKER, n);
                 let split = started.elapsed();
                 let (merged, mut t) = run_blocks_on(
                     &self.pool,
@@ -375,7 +373,11 @@ impl Engine {
                     |b| {
                         let mut features = Vec::new();
                         atgis_formats::geojson::fast::parse_block(
-                            input, b.start, b.end, filter, &mut features,
+                            input,
+                            b.start,
+                            b.end,
+                            filter,
+                            &mut features,
                         )?;
                         let mut a = proto.clone();
                         for f in &features {
@@ -718,7 +720,7 @@ pub(crate) fn make_reparser<'a>(
 }
 
 /// WKT PAT row parsing helper (rows starting within `[start, end)`).
-fn parse_wkt_rows(
+pub(crate) fn parse_wkt_rows(
     input: &[u8],
     start: usize,
     end: usize,
@@ -733,8 +735,7 @@ fn parse_wkt_rows(
         if pos >= end {
             break;
         }
-        let row_end =
-            atgis_formats::split::find_marker(input, b"\n", pos).unwrap_or(input.len());
+        let row_end = atgis_formats::split::find_marker(input, b"\n", pos).unwrap_or(input.len());
         if let Some(f) = atgis_formats::wkt::parse_row(input, pos, row_end, filter)? {
             out.push(f);
         }
@@ -917,10 +918,7 @@ mod tests {
         let mut want = std::collections::HashSet::new();
         for a in &gen.objects {
             for b in &gen.objects {
-                if a.id < 25
-                    && b.id >= 25
-                    && atgis_geometry::intersects(&a.geometry, &b.geometry)
-                {
+                if a.id < 25 && b.id >= 25 && atgis_geometry::intersects(&a.geometry, &b.geometry) {
                     want.insert((a.id, b.id));
                 }
             }
@@ -932,8 +930,14 @@ mod tests {
     fn join_store_kinds_agree() {
         let ds = dataset(50, Format::GeoJson);
         let q = Query::join(25);
-        let array = Engine::builder().store(StoreKind::Array).cell_size(2.0).build();
-        let list = Engine::builder().store(StoreKind::List).cell_size(2.0).build();
+        let array = Engine::builder()
+            .store(StoreKind::Array)
+            .cell_size(2.0)
+            .build();
+        let list = Engine::builder()
+            .store(StoreKind::List)
+            .cell_size(2.0)
+            .build();
         let a = array.execute(&q, &ds).unwrap();
         let l = list.execute(&q, &ds).unwrap();
         assert_eq!(a.joined(), l.joined());
@@ -1099,7 +1103,10 @@ mod tests {
         let (r, rs) = rtree.execute_timed(&q, &ds).unwrap();
         assert_eq!(s.joined(), r.joined());
         let d = rs.decisions.unwrap();
-        assert!(d.rtree_partitions > 0, "forced probe must be recorded: {d:?}");
+        assert!(
+            d.rtree_partitions > 0,
+            "forced probe must be recorded: {d:?}"
+        );
         assert_eq!(d.sweep_partitions, 0);
     }
 

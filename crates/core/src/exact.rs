@@ -1,0 +1,244 @@
+//! Exact (correctly-rounded) floating-point accumulation.
+//!
+//! The streaming execution path cuts the input at *chunk* boundaries
+//! that have nothing to do with the buffered path's block boundaries,
+//! so the two paths combine partial aggregates in different orders and
+//! groupings. Plain `f64` addition is not associative, which would
+//! make "streamed ≡ buffered, bit-identical" impossible to guarantee.
+//! [`ExactSum`] restores associativity: it maintains Shewchuk-style
+//! non-overlapping partials (every `add` is error-free), so the
+//! rounded [`ExactSum::value`] is the **correctly-rounded true sum**
+//! of everything ever added — a function of the input *multiset* only,
+//! independent of addition order, merge shape, thread count or chunk
+//! size. The final rounding follows CPython's `math.fsum` (including
+//! the half-way correction), so two accumulators holding the same
+//! multiset always round identically.
+//!
+//! Cost: `add` walks the partials vector, which stays tiny in practice
+//! (a handful of entries for well-scaled geometric measures); the
+//! aggregation pipelines pay a few nanoseconds per selected feature in
+//! exchange for making every execution strategy bit-reproducible.
+
+/// An exact running sum of `f64` values.
+///
+/// Not meaningful for inputs containing NaN or infinities (they
+/// propagate, as with plain addition) or for sums whose *intermediate
+/// exact value* overflows `f64::MAX`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExactSum {
+    /// Non-overlapping partials in increasing magnitude order.
+    partials: Vec<f64>,
+}
+
+impl ExactSum {
+    /// The empty sum.
+    pub fn new() -> Self {
+        ExactSum::default()
+    }
+
+    /// Starts from one value.
+    pub fn from_value(x: f64) -> Self {
+        let mut s = ExactSum::new();
+        s.add(x);
+        s
+    }
+
+    /// Adds `x` exactly (error-free transformation cascade).
+    pub fn add(&mut self, x: f64) {
+        let mut x = x;
+        let mut i = 0;
+        for j in 0..self.partials.len() {
+            let mut y = self.partials[j];
+            if x.abs() < y.abs() {
+                std::mem::swap(&mut x, &mut y);
+            }
+            let hi = x + y;
+            let lo = y - (hi - x);
+            if lo != 0.0 {
+                self.partials[i] = lo;
+                i += 1;
+            }
+            x = hi;
+        }
+        self.partials.truncate(i);
+        // A zero running total is dropped (as in CPython's fsum): it
+        // carries no information and would break the increasing-
+        // magnitude invariant the final rounding relies on.
+        if x != 0.0 {
+            self.partials.push(x);
+        }
+    }
+
+    /// Adds every partial of `other` — the associative combine. The
+    /// resulting *value* equals the exact sum of both input multisets
+    /// regardless of combine order or nesting.
+    pub fn merge(&mut self, other: &ExactSum) {
+        for &p in &other.partials {
+            self.add(p);
+        }
+    }
+
+    /// The correctly-rounded (round-half-even) sum of everything
+    /// added, per CPython's `math.fsum` final-rounding step.
+    pub fn value(&self) -> f64 {
+        let p = &self.partials;
+        let n = p.len();
+        if n == 0 {
+            return 0.0;
+        }
+        // Sum from the largest partial down, tracking the first
+        // non-zero round-off; correct the half-way case by looking at
+        // the next lower partial's sign.
+        let mut hi = p[n - 1];
+        let mut j = n - 1;
+        let mut lo = 0.0;
+        while j > 0 {
+            j -= 1;
+            let x = hi;
+            let y = p[j];
+            debug_assert!(x.abs() >= y.abs());
+            hi = x + y;
+            let yr = hi - x;
+            lo = y - yr;
+            if lo != 0.0 {
+                break;
+            }
+        }
+        if j > 0 && ((lo < 0.0 && p[j - 1] < 0.0) || (lo > 0.0 && p[j - 1] > 0.0)) {
+            let y = lo * 2.0;
+            let x = hi + y;
+            let yr = x - hi;
+            if y == yr {
+                hi = x;
+            }
+        }
+        hi
+    }
+
+    /// True when nothing has been added (or everything cancelled into
+    /// the single partial `0.0` is still *not* considered empty —
+    /// emptiness is about history, used only for cheap identity
+    /// checks).
+    pub fn is_empty(&self) -> bool {
+        self.partials.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random f64s across wide magnitude ranges.
+    fn values(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let mag = (state % 61) as i32 - 30;
+                let frac = (state >> 11) as f64 / (1u64 << 53) as f64;
+                (frac - 0.5) * 2f64.powi(mag)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn order_invariant_under_permutation_and_grouping() {
+        let vals = values(200, 42);
+        let mut forward = ExactSum::new();
+        for &v in &vals {
+            forward.add(v);
+        }
+        let mut backward = ExactSum::new();
+        for &v in vals.iter().rev() {
+            backward.add(v);
+        }
+        assert_eq!(forward.value().to_bits(), backward.value().to_bits());
+
+        // Arbitrary tree groupings: pairwise tree vs odd-sized splits.
+        for split in [1usize, 3, 7, 50, 199] {
+            let mut a = ExactSum::new();
+            for &v in &vals[..split] {
+                a.add(v);
+            }
+            let mut b = ExactSum::new();
+            for &v in &vals[split..] {
+                b.add(v);
+            }
+            a.merge(&b);
+            assert_eq!(
+                a.value().to_bits(),
+                forward.value().to_bits(),
+                "split={split}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_ill_conditioned_known_sums() {
+        // 1 + 1e100 - 1e100 = 1 exactly.
+        let mut s = ExactSum::new();
+        s.add(1.0);
+        s.add(1e100);
+        s.add(-1e100);
+        assert_eq!(s.value(), 1.0);
+
+        // Many tiny values below one ulp of the big one still count.
+        let mut s = ExactSum::new();
+        s.add(1e16);
+        for _ in 0..1000 {
+            s.add(0.5f64.powi(30));
+        }
+        let exact = 1e16 + 1000.0 * 0.5f64.powi(30);
+        assert_eq!(s.value(), exact);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(ExactSum::new().value(), 0.0);
+        assert!(ExactSum::new().is_empty());
+        let s = ExactSum::from_value(-3.25);
+        assert_eq!(s.value(), -3.25);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn half_even_rounding_is_representation_independent() {
+        // A sum that lands exactly half-way between two doubles: build
+        // it in two very different orders and demand the same bits.
+        let vals = [1.0, 0.5f64.powi(53), 0.5f64.powi(54), -0.5f64.powi(54)];
+        let mut a = ExactSum::new();
+        for &v in &vals {
+            a.add(v);
+        }
+        let mut b = ExactSum::new();
+        for &v in vals.iter().rev() {
+            b.add(v);
+        }
+        assert_eq!(a.value().to_bits(), b.value().to_bits());
+    }
+
+    #[test]
+    fn merge_is_associative_bitwise() {
+        let vals = values(90, 7);
+        let thirds: Vec<ExactSum> = vals
+            .chunks(30)
+            .map(|c| {
+                let mut s = ExactSum::new();
+                for &v in c {
+                    s.add(v);
+                }
+                s
+            })
+            .collect();
+        let mut left = thirds[0].clone();
+        left.merge(&thirds[1]);
+        left.merge(&thirds[2]);
+        let mut right = thirds[1].clone();
+        right.merge(&thirds[2]);
+        let mut outer = thirds[0].clone();
+        outer.merge(&right);
+        assert_eq!(left.value().to_bits(), outer.value().to_bits());
+    }
+}

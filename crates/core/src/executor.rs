@@ -15,17 +15,23 @@
 //!   of being re-created per query, and result slots are pre-sized and
 //!   written lock-free (the work-queue cursor hands each slot exactly
 //!   one writer);
-//! * the merge phase is a **balanced tree fold** over adjacent
-//!   fragments rather than a sequential left fold — valid because ⊗ is
-//!   associative (§3.2), parallel across pool workers, and shaped only
-//!   by the fragment count so results are bit-identical across thread
-//!   counts.
+//! * the merge phase is an **incremental left fold**
+//!   ([`StreamMerger`]): each fragment is folded into its neighbours
+//!   the moment its task completes, in whatever order completions
+//!   arrive. Adjacent runs coalesce immediately, so live fragment
+//!   memory is bounded by the number of *gaps* between completed runs
+//!   — `O(in-flight tasks)`, i.e. `O(workers)`, never `O(blocks)`.
+//!   Because ⊗ is associative (§3.2) and only **adjacent** fragments
+//!   ever merge, the result is identical to a sequential left fold at
+//!   every thread count, and the streaming execution path can feed the
+//!   same merger with chunk fragments as they are scanned.
 
 use crate::pool::{available_parallelism, WorkerPool};
 use crate::stats::Timings;
 use atgis_formats::Block;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Resolves a configured thread count: `0` means "match the machine"
 /// (`std::thread::available_parallelism`), anything else is taken
@@ -40,10 +46,234 @@ pub fn resolve_threads(threads: usize) -> usize {
     }
 }
 
+/// The incremental, out-of-order fragment merger behind every merge
+/// phase — buffered block scans and the streaming chunk scan alike.
+///
+/// Fragments arrive as `(index, fragment)` in *any* order (whichever
+/// task finishes first). The merger keeps maximal runs of contiguous
+/// indices, merging a new fragment into its adjacent runs immediately,
+/// so at any instant it holds one fragment per contiguous run — at
+/// most `in-flight tasks + 1`, never the total fragment count. Only
+/// adjacent fragments are ever combined, in index order, which by
+/// ⊗-associativity makes the final fold bit-identical to a sequential
+/// left fold regardless of arrival order.
+///
+/// A merge or process error poisons the merger: held fragments are
+/// dropped, later pushes are discarded, and [`StreamMerger::finish`]
+/// reports the first error.
+pub struct StreamMerger<T, E> {
+    /// Maximal contiguous runs, keyed by start index, holding
+    /// `(end_exclusive, folded_fragment)`.
+    runs: BTreeMap<usize, (usize, T)>,
+    error: Option<E>,
+    /// Fragments temporarily owned by workers merging outside the
+    /// lock ([`StreamMerger::push_shared`]); counted into the peak so
+    /// the bounded-memory claim covers in-flight merges too.
+    detached: usize,
+    peak_runs: usize,
+    merged: u64,
+    merge_time: Duration,
+}
+
+impl<T, E> Default for StreamMerger<T, E> {
+    fn default() -> Self {
+        StreamMerger::new()
+    }
+}
+
+impl<T, E> StreamMerger<T, E> {
+    /// An empty merger.
+    pub fn new() -> Self {
+        StreamMerger {
+            runs: BTreeMap::new(),
+            error: None,
+            detached: 0,
+            peak_runs: 0,
+            merged: 0,
+            merge_time: Duration::ZERO,
+        }
+    }
+
+    /// Folds fragment `index` in, coalescing with the runs ending at
+    /// `index` and starting at `index + 1` if present.
+    pub fn push<M>(&mut self, index: usize, frag: T, merge: M)
+    where
+        M: Fn(T, T) -> std::result::Result<T, E>,
+    {
+        if self.error.is_some() {
+            return;
+        }
+        let started = Instant::now();
+        let mut start = index;
+        let mut end = index + 1;
+        let mut frag = frag;
+        // Left neighbour: the run ending exactly at `index`.
+        if let Some((&ls, &(le, _))) = self.runs.range(..index).next_back() {
+            if le == index {
+                let (_, (_, left)) = self.runs.remove_entry(&ls).expect("run exists");
+                self.merged += 1;
+                match merge(left, frag) {
+                    Ok(f) => {
+                        frag = f;
+                        start = ls;
+                    }
+                    Err(e) => {
+                        self.poison(e);
+                        self.merge_time += started.elapsed();
+                        return;
+                    }
+                }
+            }
+        }
+        // Right neighbour: the run starting exactly at `end`.
+        if let Some((end_right, right)) = self.runs.remove(&end) {
+            self.merged += 1;
+            match merge(frag, right) {
+                Ok(f) => {
+                    frag = f;
+                    end = end_right;
+                }
+                Err(e) => {
+                    self.poison(e);
+                    self.merge_time += started.elapsed();
+                    return;
+                }
+            }
+        }
+        self.runs.insert(start, (end, frag));
+        self.peak_runs = self.peak_runs.max(self.runs.len() + self.detached);
+        self.merge_time += started.elapsed();
+    }
+
+    /// [`StreamMerger::push`] for a merger shared across pool workers:
+    /// the lock is held only to detach adjacent runs and to reinsert
+    /// the result — the `merge` calls themselves run **outside** the
+    /// lock, so one expensive merge never stalls other workers from
+    /// folding their own fragments or claiming the next task. The
+    /// loop re-checks for new neighbours after every merge round
+    /// (another worker may have completed the adjacent run meanwhile),
+    /// so runs still coalesce maximally.
+    pub fn push_shared<M>(this: &Mutex<Self>, index: usize, frag: T, merge: M)
+    where
+        M: Fn(T, T) -> std::result::Result<T, E>,
+    {
+        let mut start = index;
+        let mut end = index + 1;
+        let mut frag = frag;
+        let mut merges = 0u64;
+        let mut spent = Duration::ZERO;
+        loop {
+            let mut m = this.lock().expect("merger poisoned by panic");
+            if m.error.is_some() {
+                m.merged += merges;
+                m.merge_time += spent;
+                return; // poisoned: drop the fragment
+            }
+            // Detach the adjacent runs, if any, under the lock.
+            let left = match m.runs.range(..start).next_back() {
+                Some((&ls, &(le, _))) if le == start => {
+                    let (_, (_, f)) = m.runs.remove_entry(&ls).expect("run exists");
+                    Some((ls, f))
+                }
+                _ => None,
+            };
+            let right = m.runs.remove(&end);
+            if left.is_none() && right.is_none() {
+                m.runs.insert(start, (end, frag));
+                m.merged += merges;
+                m.merge_time += spent;
+                m.peak_runs = m.peak_runs.max(m.runs.len() + m.detached);
+                return;
+            }
+            // Count every live fragment this worker now owns — its
+            // own plus each detached neighbour — so the observable
+            // peak honestly covers in-flight merges.
+            let owned = 1 + usize::from(left.is_some()) + usize::from(right.is_some());
+            m.detached += owned;
+            m.peak_runs = m.peak_runs.max(m.runs.len() + m.detached);
+            drop(m);
+
+            // Merge outside the lock.
+            let started = Instant::now();
+            let merged: std::result::Result<T, E> = (|| {
+                let mut cur = frag;
+                if let Some((ls, lf)) = left {
+                    merges += 1;
+                    cur = merge(lf, cur)?;
+                    start = ls;
+                }
+                if let Some((re, rf)) = right {
+                    merges += 1;
+                    cur = merge(cur, rf)?;
+                    end = re;
+                }
+                Ok(cur)
+            })();
+            spent += started.elapsed();
+            let mut m = this.lock().expect("merger poisoned by panic");
+            m.detached -= owned;
+            match merged {
+                // Loop: new neighbours may have landed while we merged.
+                Ok(f) => frag = f,
+                Err(e) => {
+                    m.merged += merges;
+                    m.merge_time += spent;
+                    m.poison(e);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Poisons the merger with an error (used for process-phase
+    /// failures too, so the first error of a run wins and fragments
+    /// stop accumulating).
+    pub fn poison(&mut self, e: E) {
+        self.runs.clear();
+        self.error.get_or_insert(e);
+    }
+
+    /// True when a poison error is pending.
+    pub fn is_poisoned(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// Largest number of live runs (fragments) ever held — the bounded
+    /// memory claim of the streaming scan, observable.
+    pub fn peak_runs(&self) -> usize {
+        self.peak_runs
+    }
+
+    /// Number of pairwise merges performed.
+    pub fn merges(&self) -> u64 {
+        self.merged
+    }
+
+    /// Wall time spent inside `merge` calls (and run bookkeeping).
+    pub fn merge_time(&self) -> Duration {
+        self.merge_time
+    }
+
+    /// Finishes the fold. With every index `0..n` pushed exactly once
+    /// this yields the single folded fragment (`None` when nothing was
+    /// pushed); a pending error wins over any partial state.
+    pub fn finish(mut self) -> std::result::Result<Option<T>, E> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        debug_assert!(
+            self.runs.len() <= 1,
+            "finish with {} disjoint runs — an index was never pushed",
+            self.runs.len()
+        );
+        Ok(self.runs.into_iter().next().map(|(_, (_, f))| f))
+    }
+}
+
 /// Runs `process` over every block on up to `threads` workers of
-/// `pool`, then folds the per-block fragments as a balanced tree in
-/// block order with `merge`. Returns `Ok(None)` for an empty block
-/// list.
+/// `pool`, folding the per-block fragments incrementally in block
+/// order with `merge` as completions arrive (see [`StreamMerger`]).
+/// Returns `Ok(None)` for an empty block list.
 pub fn run_blocks_on<T, E, P, M>(
     pool: &WorkerPool,
     blocks: &[Block],
@@ -60,72 +290,27 @@ where
     let threads = resolve_threads(threads);
     let mut timings = Timings::default();
 
-    // Processing phase: the pool's job cursor is the work queue;
-    // results land in pre-sized lock-free slots.
+    // Processing phase: the pool's job cursor is the work queue. Each
+    // completing task folds its fragment straight into the shared
+    // merger, so merging overlaps processing on other workers and
+    // fragments never pile up.
+    let merger: Mutex<StreamMerger<T, E>> = Mutex::new(StreamMerger::new());
     let started = Instant::now();
-    let results = pool.run_collect(blocks.len(), threads, |i| process(blocks[i]));
-    timings.process = started.elapsed();
-
-    // Merge phase: balanced pairwise tree over adjacent fragments,
-    // merged in parallel level by level. The tree's shape depends only
-    // on the block count, so thread count cannot perturb results.
-    let started = Instant::now();
-    let mut layer: Vec<T> = Vec::with_capacity(results.len());
-    for r in results {
-        match r {
-            Ok(f) => layer.push(f),
-            Err(e) => {
-                timings.merge = started.elapsed();
-                return (Err(e), timings);
-            }
-        }
-    }
-    let merged = tree_merge(pool, threads, layer, &merge);
-    timings.merge = started.elapsed();
-    (merged, timings)
-}
-
-/// A pair of adjacent fragments awaiting merge; the `Option` lets the
-/// owning parallel task take them out of the shared vector.
-type MergeCell<T> = Mutex<Option<(T, Option<T>)>>;
-
-/// One level-synchronous round of pairwise merges until a single
-/// fragment remains.
-fn tree_merge<T, E, M>(
-    pool: &WorkerPool,
-    threads: usize,
-    mut layer: Vec<T>,
-    merge: &M,
-) -> std::result::Result<Option<T>, E>
-where
-    T: Send,
-    E: Send,
-    M: Fn(T, T) -> std::result::Result<T, E> + Sync,
-{
-    while layer.len() > 1 {
-        // Move pairs into cells so parallel tasks can take ownership.
-        let mut cells: Vec<MergeCell<T>> = Vec::with_capacity(layer.len() / 2 + 1);
-        let mut it = layer.into_iter();
-        while let Some(a) = it.next() {
-            cells.push(Mutex::new(Some((a, it.next()))));
-        }
-        let merged = pool.run_collect(cells.len(), threads, |i| {
-            let (a, b) = cells[i]
-                .lock()
-                .expect("merge cell poisoned")
-                .take()
-                .expect("each cell taken once");
-            match b {
-                Some(b) => merge(a, b),
-                None => Ok(a), // Odd fragment carries to the next level.
-            }
-        });
-        layer = Vec::with_capacity(merged.len());
-        for r in merged {
-            layer.push(r?);
-        }
-    }
-    Ok(layer.pop())
+    pool.run(blocks.len(), threads, |i| match process(blocks[i]) {
+        Ok(frag) => StreamMerger::push_shared(&merger, i, frag, &merge),
+        Err(e) => merger.lock().expect("merger poisoned by panic").poison(e),
+    });
+    let elapsed = started.elapsed();
+    let merger = merger.into_inner().expect("merger poisoned by panic");
+    // Attribution: merges ran inside the same wall interval, possibly
+    // concurrently on several workers, so the summed merge time is
+    // worker-time and can exceed the wall clock. Clamp it so the
+    // reported phases always partition the actual elapsed wall time
+    // (`total()` stays meaningful for figures and amortisation
+    // ratios).
+    timings.merge = merger.merge_time().min(elapsed);
+    timings.process = elapsed - timings.merge;
+    (merger.finish(), timings)
 }
 
 /// [`run_blocks_on`] against the process-wide shared pool — the
@@ -229,23 +414,13 @@ mod tests {
         assert_eq!(resolve_threads(0), available_parallelism());
         assert_eq!(resolve_threads(3), 3);
         let blocks = fixed_blocks(50, 5);
-        let (result, _) = run_blocks(
-            &blocks,
-            0,
-            |b| Ok::<_, ()>(b.len()),
-            |a, b| Ok(a + b),
-        );
+        let (result, _) = run_blocks(&blocks, 0, |b| Ok::<_, ()>(b.len()), |a, b| Ok(a + b));
         assert_eq!(result.unwrap(), Some(50));
     }
 
     #[test]
     fn empty_blocks_yield_none() {
-        let (result, _) = run_blocks(
-            &[],
-            4,
-            |_| Ok::<_, ()>(0u64),
-            |a, b| Ok(a + b),
-        );
+        let (result, _) = run_blocks(&[], 4, |_| Ok::<_, ()>(0u64), |a, b| Ok(a + b));
         assert_eq!(result.unwrap(), None);
     }
 
@@ -270,8 +445,9 @@ mod tests {
     #[test]
     fn merge_errors_propagate() {
         let blocks = fixed_blocks(10, 5);
-        // Merge is a tree fold: make the failure reachable under any
-        // parenthesisation by failing whenever block 2 is involved.
+        // Merges coalesce adjacent runs in completion order: make the
+        // failure reachable under any adjacency by failing whenever
+        // block 2 is involved.
         let (result, _) = run_blocks(
             &blocks,
             2,
@@ -288,7 +464,62 @@ mod tests {
     }
 
     #[test]
-    fn tree_merge_agrees_with_left_fold_for_associative_ops() {
+    fn stream_merger_folds_out_of_order_pushes_in_index_order() {
+        // Every permutation of 6 fragments must fold to the same
+        // left-to-right concatenation.
+        let perms: Vec<Vec<usize>> = vec![
+            (0..6).collect(),
+            (0..6).rev().collect(),
+            vec![3, 0, 5, 2, 4, 1],
+            vec![1, 3, 5, 0, 2, 4],
+        ];
+        for perm in perms {
+            let mut m: StreamMerger<Vec<usize>, ()> = StreamMerger::new();
+            for &i in &perm {
+                m.push(i, vec![i], |mut a, b| {
+                    a.extend(b);
+                    Ok(a)
+                });
+            }
+            assert_eq!(
+                m.finish().unwrap().unwrap(),
+                vec![0, 1, 2, 3, 4, 5],
+                "{perm:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_merger_memory_is_bounded_by_gaps() {
+        // Pushing evens then odds: after the evens, runs == 3 gaps + …
+        // — the peak equals the maximal number of disjoint runs, not
+        // the fragment count.
+        let mut m: StreamMerger<u64, ()> = StreamMerger::new();
+        let n = 64usize;
+        for i in (0..n).step_by(2) {
+            m.push(i, 1, |a, b| Ok(a + b));
+        }
+        assert_eq!(m.peak_runs(), n / 2);
+        for i in (1..n).step_by(2) {
+            m.push(i, 1, |a, b| Ok(a + b));
+        }
+        // Coalescing kept the peak at the even-phase level.
+        assert_eq!(m.peak_runs(), n / 2);
+        assert_eq!(m.finish().unwrap(), Some(n as u64));
+    }
+
+    #[test]
+    fn stream_merger_poison_discards_fragments() {
+        let mut m: StreamMerger<u64, &'static str> = StreamMerger::new();
+        m.push(0, 7, |a, b| Ok(a + b));
+        m.poison("boom");
+        assert!(m.is_poisoned());
+        m.push(1, 9, |a, b| Ok(a + b)); // dropped
+        assert_eq!(m.finish().unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn incremental_merge_agrees_with_left_fold_for_associative_ops() {
         for n in 0..24usize {
             let blocks = fixed_blocks(n.max(1) * 10, n.max(1));
             let (result, _) = run_blocks(

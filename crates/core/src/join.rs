@@ -267,8 +267,7 @@ pub fn pbsm_join_on<S: PartitionStore + Sync>(
     options: JoinOptions,
 ) -> Result<(Vec<JoinPair>, Duration), ParseError> {
     let map = PartitionMap::uniform(store);
-    pbsm_join_mapped_on(pool, store, &map, reparse, options)
-        .map(|o| (o.pairs, o.dedup))
+    pbsm_join_mapped_on(pool, store, &map, reparse, options).map(|o| (o.pairs, o.dedup))
 }
 
 /// The full join pipeline over an explicit (possibly skew-adaptive)
@@ -282,7 +281,15 @@ pub fn pbsm_join_mapped_on<S: PartitionStore + Sync>(
     options: JoinOptions,
 ) -> Result<JoinOutcome, ParseError> {
     let cache = ReparseCache::new(options.sort_batch);
-    pbsm_join_spec_on(pool, store, map, &JoinSpec::tagged(), reparse, &cache, options)
+    pbsm_join_spec_on(
+        pool,
+        store,
+        map,
+        &JoinSpec::tagged(),
+        reparse,
+        &cache,
+        options,
+    )
 }
 
 /// The join pipeline with explicit per-query semantics and a
@@ -299,12 +306,9 @@ pub fn pbsm_join_spec_on<S: PartitionStore + Sync>(
     options: JoinOptions,
 ) -> Result<JoinOutcome, ParseError> {
     let slots = map.num_slots();
-    let per_slot: Vec<SlotResult> = run_indexed_on(
-        pool,
-        slots,
-        options.threads,
-        |slot| join_partition(store, map, slot, spec, reparse, cache, &options),
-    );
+    let per_slot: Vec<SlotResult> = run_indexed_on(pool, slots, options.threads, |slot| {
+        join_partition(store, map, slot, spec, reparse, cache, &options)
+    });
     fold_slot_results(map, per_slot.into_iter())
 }
 
@@ -538,7 +542,11 @@ fn mbr_compare_rtree(lefts: &[PartEntry], rights: &[PartEntry]) -> Vec<(PartEntr
         tree.query_into(&probe.mbr, &mut hits);
         for &h in &hits {
             let s = small[h as usize];
-            out.push(if small_is_left { (s, *probe) } else { (*probe, s) });
+            out.push(if small_is_left {
+                (s, *probe)
+            } else {
+                (*probe, s)
+            });
         }
     }
     out
@@ -550,8 +558,16 @@ fn mbr_compare(lefts: &[PartEntry], rights: &[PartEntry]) -> Vec<(PartEntry, Par
     let mut ls: Vec<&PartEntry> = lefts.iter().collect();
     let mut rs: Vec<&PartEntry> = rights.iter().collect();
     let key = |e: &&PartEntry| e.mbr.min_x;
-    ls.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal));
-    rs.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal));
+    ls.sort_by(|a, b| {
+        key(a)
+            .partial_cmp(&key(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    rs.sort_by(|a, b| {
+        key(a)
+            .partial_cmp(&key(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut out = Vec::new();
     let mut ri = 0usize;
@@ -615,10 +631,7 @@ mod tests {
 
     #[test]
     fn mbr_compare_finds_all_intersections() {
-        let lefts = vec![
-            entry(1, 0.0, 0.0, 2.0, true),
-            entry(2, 5.0, 5.0, 1.0, true),
-        ];
+        let lefts = vec![entry(1, 0.0, 0.0, 2.0, true), entry(2, 5.0, 5.0, 1.0, true)];
         let rights = vec![
             entry(10, 1.0, 1.0, 2.0, false),
             entry(11, 9.0, 9.0, 1.0, false),
@@ -792,8 +805,9 @@ mod tests {
         };
         for (nl, nr) in [(1usize, 50usize), (80, 10), (60, 60), (200, 3)] {
             let lefts: Vec<PartEntry> = (0..nl as u64).map(|i| mk(i, true, &mut rng)).collect();
-            let rights: Vec<PartEntry> =
-                (1000..1000 + nr as u64).map(|i| mk(i, false, &mut rng)).collect();
+            let rights: Vec<PartEntry> = (1000..1000 + nr as u64)
+                .map(|i| mk(i, false, &mut rng))
+                .collect();
             let mut sweep: Vec<(u64, u64)> = mbr_compare(&lefts, &rights)
                 .iter()
                 .map(|(l, r)| (l.id, r.id))
@@ -811,7 +825,11 @@ mod tests {
     #[test]
     fn auto_probe_requires_asymmetry_and_volume() {
         let opts = JoinOptions::default();
-        assert_eq!(use_rtree(&opts, 100, 100, 0.0), ProbeChoice::Sweep, "symmetric: sweep");
+        assert_eq!(
+            use_rtree(&opts, 100, 100, 0.0),
+            ProbeChoice::Sweep,
+            "symmetric: sweep"
+        );
         assert_eq!(
             use_rtree(&opts, 10, 1000, 0.0),
             ProbeChoice::Sweep,
@@ -871,14 +889,20 @@ mod tests {
         let mut untagged = ArrayStore::new(grid.num_cells());
         for cell in 0..grid.num_cells() {
             store.for_each(cell, |e| {
-                untagged.push(cell, PartEntry { left_side: true, ..*e })
+                untagged.push(
+                    cell,
+                    PartEntry {
+                        left_side: true,
+                        ..*e
+                    },
+                )
             });
         }
         let reparse = square_reparser(squares);
         let pool = WorkerPool::global();
         let map = PartitionMap::uniform(&store);
-        let tagged = pbsm_join_mapped_on(pool, &store, &map, &reparse, JoinOptions::default())
-            .unwrap();
+        let tagged =
+            pbsm_join_mapped_on(pool, &store, &map, &reparse, JoinOptions::default()).unwrap();
         let cache = ReparseCache::new(JoinOptions::default().sort_batch);
         // The fixture puts ids < 10 on the left.
         let spec = JoinSpec::threshold(10);
@@ -936,7 +960,11 @@ mod tests {
         let (store, squares) = join_fixture::<ArrayStore>();
         let reparse = square_reparser(squares);
         let mut results = Vec::new();
-        for probe in [ProbeStrategy::Auto, ProbeStrategy::Sweep, ProbeStrategy::RTree] {
+        for probe in [
+            ProbeStrategy::Auto,
+            ProbeStrategy::Sweep,
+            ProbeStrategy::RTree,
+        ] {
             let (pairs, _) = pbsm_join(
                 &store,
                 &reparse,
@@ -989,10 +1017,10 @@ mod tests {
             },
         );
         assert!(adaptive.stats().split_cells > 0, "{:?}", adaptive.stats());
-        let a = pbsm_join_mapped_on(pool, &store, &uniform, &reparse, JoinOptions::default())
-            .unwrap();
-        let b = pbsm_join_mapped_on(pool, &store, &adaptive, &reparse, JoinOptions::default())
-            .unwrap();
+        let a =
+            pbsm_join_mapped_on(pool, &store, &uniform, &reparse, JoinOptions::default()).unwrap();
+        let b =
+            pbsm_join_mapped_on(pool, &store, &adaptive, &reparse, JoinOptions::default()).unwrap();
         assert_eq!(a.pairs, b.pairs);
         assert!(!a.pairs.is_empty(), "fixture must produce pairs");
         assert_eq!(

@@ -38,12 +38,28 @@
 //!   pass (the [`pipeline::MultiSink`] fan-out), join-class queries
 //!   share one side-agnostic partition index + re-parse cache, and
 //!   [`batch::QuerySession`] keeps the index cache warm across
-//!   batches. The `QuerySession` lifecycle is: build an [`Engine`],
-//!   pin a [`Dataset`] (`QuerySession::new`), then serve repeated
-//!   `execute_batch` calls — the first join-class batch pays one
-//!   partition pass, later ones reuse the cached
-//!   [`PartitionMap`]; single-pass queries always share the batch's
-//!   one scan. Results are bit-identical to per-query `execute`.
+//!   batches. A `QuerySession` has two lifecycles: **pinned** — build
+//!   an [`Engine`], pin a [`Dataset`] (`QuerySession::new`), serve
+//!   repeated `execute_batch` calls (the first join-class batch pays
+//!   one partition pass, later ones reuse the cached
+//!   [`PartitionMap`]); and **streaming** — `QuerySession::streaming`
+//!   → `ingest_chunk`* → `finish`: **ingest** appends chunks to the
+//!   session's stream buffer while a partition sink rides the
+//!   incremental scan and single-pass queries answer over the
+//!   feature-complete prefix; **seal** (`finish`) refines the
+//!   incrementally-fed store into the partition index with no extra
+//!   pass; **query** — join-class traffic then serves from the warm
+//!   cache exactly as in a pinned session. Results are bit-identical
+//!   to per-query `execute` in both lifecycles.
+//! * [`stream`] — **chunk-fed streaming execution**: a
+//!   [`stream::ChunkSource`] (file, reader, bounded in-memory channel)
+//!   feeds an append-only stable-address [`StreamBuffer`], and
+//!   `Engine::execute_streaming{,_batch}` scans regions as bytes
+//!   arrive — PAT regions cut at the last seen record marker, FAT
+//!   regions anywhere — overlapping ingest I/O, scanning and fragment
+//!   merging. Live fragments stay `O(workers)` (see `executor`), and
+//!   streamed results are bit-identical to buffered execution for
+//!   every format × mode × chunk size.
 //! * [`pool`] — the **persistent execution runtime**: one
 //!   [`pool::WorkerPool`] per engine, spawned in
 //!   `EngineBuilder::build` and reused by every query. Jobs drain an
@@ -51,12 +67,17 @@
 //!   lock-free (each index has exactly one writer), so serving heavy
 //!   query traffic costs no thread churn and no per-slot locks.
 //! * [`executor`] — the split / processing / merge phases of Fig. 5 on
-//!   top of the pool. The merge phase is a balanced **parallel tree
-//!   fold** over adjacent fragments (valid by ⊗-associativity, §3.2);
-//!   its shape depends only on the block count, so results are
-//!   identical at every thread count. `threads == 0` means "match the
-//!   machine", and per-job concurrency is always clamped to the number
-//!   of work items.
+//!   top of the pool. The merge phase is an **incremental out-of-order
+//!   left fold** ([`executor::StreamMerger`]): each fragment folds
+//!   into its neighbours the moment its task completes, coalescing
+//!   adjacent runs, so live fragments are bounded by in-flight tasks
+//!   (`O(workers)`, never `O(blocks)` or `O(chunks)`) and merging
+//!   overlaps processing. Only adjacent fragments combine, in index
+//!   order — by ⊗-associativity (§3.2) and the exact numeric
+//!   aggregates ([`exact::ExactSum`]) results are identical at every
+//!   thread count, block count and chunking. `threads == 0` means
+//!   "match the machine", and per-job concurrency is always clamped
+//!   to the number of work items.
 //! * [`pipeline`] — per-block query processing: parse fragments from
 //!   `atgis-formats` composed with query aggregates (Fig. 6's
 //!   stages), including the streaming vs buffered filter trade-off of
@@ -74,9 +95,12 @@
 //!   `atgis-rtree` STR bulk-load + probe for badly asymmetric sides,
 //!   and a join-wide sharded re-parse cache.
 //! * [`query`] / [`result`] — Table 3's query forms and their results.
-//! * [`dataset`] — raw bytes plus format; heap-owned or memory-mapped
+//! * [`dataset`] — raw bytes plus format; heap-owned, memory-mapped
 //!   ([`Dataset::mmap`]) so multi-GB inputs don't double resident
-//!   memory.
+//!   memory, or a zero-copy view over a streaming ingest buffer
+//!   ([`StreamBuffer`] — prefix views mid-ingest, the sealed full view
+//!   after; `Dataset::from_reader` builds one straight from any
+//!   reader, so the streaming path never holds the input twice).
 //!
 //! ## The scan fast path
 //!
@@ -97,6 +121,7 @@
 pub mod batch;
 pub mod dataset;
 pub mod engine;
+pub mod exact;
 pub mod executor;
 pub mod join;
 pub mod operators;
@@ -106,15 +131,21 @@ pub mod pool;
 pub mod query;
 pub mod result;
 pub mod stats;
+pub mod stream;
 
 pub use batch::{IndexCache, PartitionIndex, QuerySession};
-pub use dataset::Dataset;
+pub use dataset::{Dataset, StreamBuffer};
 pub use engine::{Engine, EngineBuilder};
+pub use exact::ExactSum;
 pub use join::{JoinOptions, ProbeStrategy};
 pub use partition::{AdaptiveConfig, PartitionMap, PartitionMapStats};
 pub use query::{FilterStrategy, Metric, Query, ScanClass};
 pub use result::{JoinPair, MatchRecord, QueryResult};
-pub use stats::{BatchQueryStats, BatchStats, JoinDecisions, Timings};
+pub use stats::{BatchQueryStats, BatchStats, JoinDecisions, StreamStats, Timings};
+pub use stream::{
+    chunk_channel, ChannelChunkSource, ChunkSender, ChunkSource, FileChunkSource,
+    ReaderChunkSource, SliceChunkSource,
+};
 
 /// Crate-level error type.
 #[derive(Debug)]

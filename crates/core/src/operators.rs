@@ -7,8 +7,8 @@
 
 use atgis_geometry::{
     boundary, buffer, contains, convex_hull, crosses, difference, disjoint, intersection,
-    intersects, is_simple, overlaps, relate, sym_difference, touches, union, within,
-    Geometry, Polygon,
+    intersects, is_simple, overlaps, relate, sym_difference, touches, union, within, Geometry,
+    Polygon,
 };
 
 /// Transducer classes of §3.3.
@@ -232,7 +232,9 @@ mod tests {
         assert_eq!(ConvexHull.transducer_class(), TransducerClass::Pft);
         assert_eq!(Boundary.transducer_class(), TransducerClass::Slt);
         // (ii) relations: all PFT, in-shape.
-        for op in [Disjoint, Intersects, Touches, Crosses, Within, Contains, Overlaps, Relate, Distance] {
+        for op in [
+            Disjoint, Intersects, Touches, Crosses, Within, Contains, Overlaps, Relate, Distance,
+        ] {
             assert_eq!(op.transducer_class(), TransducerClass::Pft, "{}", op.name());
             assert_eq!(op.associativity(), Associativity::InShape);
         }

@@ -313,8 +313,7 @@ impl PartitionMap {
                 Some(sub_slots) => {
                     stats.split_cells += 1;
                     for (entries, chain) in sub_slots {
-                        stats.max_slot_entries =
-                            stats.max_slot_entries.max(entries.len() as u64);
+                        stats.max_slot_entries = stats.max_slot_entries.max(entries.len() as u64);
                         slots.push(Slot::Refined { entries, chain });
                     }
                 }
@@ -378,9 +377,9 @@ impl PartitionMap {
         let grid = self.grid.as_ref()?;
         match &self.slots[slot] {
             Slot::Base(cell) => Some(grid.cell_rect(*cell).area()),
-            Slot::Refined { chain, .. } => {
-                chain.last().map(|(spec, cell)| spec.cell_rect(*cell).area())
-            }
+            Slot::Refined { chain, .. } => chain
+                .last()
+                .map(|(spec, cell)| spec.cell_rect(*cell).area()),
         }
     }
 
@@ -449,7 +448,9 @@ fn split_entries(
         out.push((entries, chain));
         return;
     }
-    let k = ((load as f64 / cfg.target_per_cell.max(1) as f64).sqrt().ceil() as usize)
+    let k = ((load as f64 / cfg.target_per_cell.max(1) as f64)
+        .sqrt()
+        .ceil() as usize)
         .clamp(2, cfg.max_subdiv.max(2));
     let sub = GridSpec::new(rect, edge / k as f64);
     let mut sub_slots: Vec<Vec<PartEntry>> = vec![Vec::new(); sub.num_cells()];

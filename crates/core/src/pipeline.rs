@@ -8,6 +8,7 @@
 //! whole input. In FAT mode one aggregate is kept per speculated lexer
 //! start state, mirroring the paper's predicated tapes.
 
+use crate::exact::ExactSum;
 use crate::query::{FilterStrategy, Metric};
 use crate::result::{AggregateValues, MatchRecord};
 use atgis_formats::feature::{MetadataFilter, RawFeature};
@@ -204,6 +205,12 @@ impl QueryAggregate for ContainmentAgg {
 
 /// Aggregation-query aggregate: containment test plus numeric
 /// summarisation, with the streaming/buffered trade-off of Fig. 7.
+///
+/// Sums accumulate in [`ExactSum`]s, so the reported values are the
+/// correctly-rounded true sums — identical bits no matter how the scan
+/// was chunked, blocked or threaded. That invariance is what lets the
+/// streaming execution path promise results bit-identical to the
+/// buffered path.
 #[derive(Debug, Clone)]
 pub struct MetricsAgg {
     region: std::sync::Arc<Polygon>,
@@ -211,8 +218,9 @@ pub struct MetricsAgg {
     strategy: FilterStrategy,
     want_area: bool,
     want_perimeter: bool,
-    /// Aggregated values.
-    pub values: AggregateValues,
+    count: u64,
+    area: ExactSum,
+    perimeter: ExactSum,
 }
 
 impl MetricsAgg {
@@ -229,7 +237,18 @@ impl MetricsAgg {
             strategy,
             want_area: metrics.contains(&Metric::Area),
             want_perimeter: metrics.contains(&Metric::Perimeter),
-            values: AggregateValues::default(),
+            count: 0,
+            area: ExactSum::new(),
+            perimeter: ExactSum::new(),
+        }
+    }
+
+    /// The aggregated values (sums correctly rounded).
+    pub fn values(&self) -> AggregateValues {
+        AggregateValues {
+            count: self.count,
+            total_area: self.area.value(),
+            total_perimeter: self.perimeter.value(),
         }
     }
 
@@ -260,9 +279,9 @@ impl QueryAggregate for MetricsAgg {
                     0.0
                 };
                 if self.passes(f) {
-                    self.values.count += 1;
-                    self.values.total_area += area;
-                    self.values.total_perimeter += perimeter;
+                    self.count += 1;
+                    self.area.add(area);
+                    self.perimeter.add(perimeter);
                 }
             }
             FilterStrategy::Buffered | FilterStrategy::Auto => {
@@ -274,13 +293,13 @@ impl QueryAggregate for MetricsAgg {
                 // buffered.
                 if self.passes(f) {
                     let buffered: Geometry = f.geometry.clone();
-                    self.values.count += 1;
+                    self.count += 1;
                     if self.want_area {
-                        self.values.total_area += measures::area(&buffered, self.model);
+                        self.area.add(measures::area(&buffered, self.model));
                     }
                     if self.want_perimeter {
-                        self.values.total_perimeter +=
-                            measures::perimeter(&buffered, self.model);
+                        self.perimeter
+                            .add(measures::perimeter(&buffered, self.model));
                     }
                 }
             }
@@ -288,9 +307,9 @@ impl QueryAggregate for MetricsAgg {
     }
 
     fn combine(mut self, other: Self) -> Self {
-        self.values.count += other.values.count;
-        self.values.total_area += other.values.total_area;
-        self.values.total_perimeter += other.values.total_perimeter;
+        self.count += other.count;
+        self.area.merge(&other.area);
+        self.perimeter.merge(&other.perimeter);
         self
     }
 }
@@ -368,11 +387,7 @@ impl<A: QueryAggregate> FatGeoJsonFrag<A> {
     }
 
     /// Resolves the speculation and finishes the pipeline.
-    pub fn finalize(
-        self,
-        input: &[u8],
-        filter: &MetadataFilter,
-    ) -> Result<A, ParseError> {
+    pub fn finalize(self, input: &[u8], filter: &MetadataFilter) -> Result<A, ParseError> {
         let mut agg = self
             .aggs
             .into_iter()
@@ -508,10 +523,10 @@ mod tests {
             streaming.absorb(f);
             buffered.absorb(f);
         }
-        assert_eq!(streaming.values, buffered.values);
-        assert_eq!(streaming.values.count, 1);
-        assert_eq!(streaming.values.total_area, 1.0);
-        assert_eq!(streaming.values.total_perimeter, 4.0);
+        assert_eq!(streaming.values(), buffered.values());
+        assert_eq!(streaming.values().count, 1);
+        assert_eq!(streaming.values().total_area, 1.0);
+        assert_eq!(streaming.values().total_perimeter, 4.0);
     }
 
     #[test]
@@ -559,7 +574,7 @@ mod tests {
         let c: ContainmentAgg = downcast_sink(sinks.next().unwrap());
         let m: MetricsAgg = downcast_sink(sinks.next().unwrap());
         assert_eq!(c.matches, solo_c.matches);
-        assert_eq!(m.values, solo_m.values);
+        assert_eq!(m.values(), solo_m.values());
     }
 
     #[test]

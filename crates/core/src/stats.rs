@@ -8,6 +8,7 @@
 //! attribute throughput differences to specific decisions.
 
 use crate::partition::PartitionMapStats;
+use atgis_formats::Mode;
 use std::time::Duration;
 
 /// Wall-clock timings of one pipeline execution (Fig. 5's phases).
@@ -84,6 +85,33 @@ impl JoinDecisions {
             ..JoinDecisions::default()
         }
     }
+}
+
+/// What one streaming ingestion did: how the stream arrived, how it
+/// was dispatched, and the evidence for the bounded-memory claim
+/// (live fragments never exceed the in-flight task count, regardless
+/// of how many chunks the stream had).
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    /// Chunks ingested from the source (including empty ones).
+    pub chunks: u64,
+    /// Total bytes ingested.
+    pub bytes: u64,
+    /// Scan regions dispatched to the worker pool.
+    pub regions: u64,
+    /// Pairwise fragment merges performed by the incremental merger.
+    pub merges: u64,
+    /// Peak number of fragments alive in the merger at any instant —
+    /// bounded by in-flight tasks + 1 (`O(workers)`), not by the chunk
+    /// count.
+    pub peak_fragments: u64,
+    /// The execution mode the scan resolved to (`Adaptive` resolves on
+    /// the first ingested bytes; `None` when nothing was scanned
+    /// incrementally, e.g. OSM XML, which parses at seal).
+    pub resolved_mode: Option<Mode>,
+    /// Time the pipelined driver spent blocked waiting on the chunk
+    /// source — the I/O-bound indicator.
+    pub ingest_wait: Duration,
 }
 
 /// Per-query breakdown inside one batch execution: how much shared

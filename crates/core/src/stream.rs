@@ -1,0 +1,884 @@
+//! Streaming ingestion: chunk-fed execution over partial datasets.
+//!
+//! The paper's core property — transducer fragments that start from
+//! *any* byte offset and merge associatively later (§3) — means the
+//! engine never needed the whole buffer before the first byte is
+//! scanned. This module exploits that: a [`ChunkSource`] feeds
+//! fixed-size chunks into a [`StreamBuffer`]
+//! (append-only, stable addresses), and a [`StreamingScan`] dispatches
+//! scan regions to the engine's persistent worker pool *as the bytes
+//! arrive*, folding the resulting fragments through the incremental
+//! out-of-order [`StreamMerger`]. Fragments for chunk *k+1* spawn
+//! while chunk *k* is still being merged; live fragment memory stays
+//! `O(workers)` (one per gap between completed runs), never
+//! `O(chunks)`.
+//!
+//! Region safety per mode:
+//!
+//! * **FAT** — blocks may start anywhere (that is the whole point of
+//!   full associativity), so every appended byte is dispatched
+//!   immediately; speculative head/tail token runs resolve in merges,
+//!   which only read bytes below the merged region's end.
+//! * **PAT** — blocks must start at record markers, and a record
+//!   starting before a marker ends before the next marker. The scan
+//!   therefore dispatches only up to the **last marker seen** and
+//!   holds the tail until more bytes (or EOF) arrive — a chunk
+//!   boundary can fall anywhere, including inside a marker, a UTF-8
+//!   escape or a number, without a fragment ever reading past the
+//!   published prefix.
+//! * **OSM XML** — relations resolve against a *global* node table,
+//!   so the scan only buffers during ingest and runs the ordinary
+//!   two-pass parse at seal.
+//!
+//! Results are **bit-identical** to buffered execution for every
+//! format × mode × chunk size: parse fragments merge associatively,
+//! match/pair lists are canonically ordered, and numeric aggregates
+//! accumulate in [`crate::exact::ExactSum`]s whose correctly-rounded
+//! totals are independent of chunking, blocking and thread count.
+
+use crate::dataset::{Dataset, StreamBuffer};
+use crate::engine::{parse_wkt_rows, Engine};
+use crate::executor::StreamMerger;
+use crate::pipeline::{FatGeoJsonFrag, FatWktFrag, QueryAggregate};
+use crate::stats::{StreamStats, Timings};
+use crate::{Error, Result};
+use atgis_formats::feature::MetadataFilter;
+use atgis_formats::split::find_marker;
+use atgis_formats::{fixed_blocks, marker_blocks, Block, Format, Mode, ParseError};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default virtual reservation for streams of unknown size (64-bit
+/// hosts); untouched pages are never committed, and the ladder backs
+/// off on strict-commit hosts.
+#[cfg(target_pointer_width = "64")]
+const DEFAULT_CAPACITY: usize = 1 << 35; // 32 GiB
+#[cfg(not(target_pointer_width = "64"))]
+const DEFAULT_CAPACITY: usize = 1 << 28; // 256 MiB
+/// Smallest reservation the capacity ladder accepts before giving up.
+const MIN_CAPACITY: usize = 1 << 24; // 16 MiB
+/// Slack added to exact size hints (a file may grow between `stat`
+/// and the final `read`).
+const HINT_SLACK: usize = 1 << 16;
+/// Target bytes per dispatched scan region (larger regions split so
+/// the pool can parallelise inside one chunk).
+const DISPATCH_TARGET: usize = 1 << 20;
+/// Chunks the pipelined driver reads ahead of the scan.
+const READAHEAD_CHUNKS: usize = 4;
+/// Default chunk length for file/reader sources.
+pub const DEFAULT_CHUNK_LEN: usize = 1 << 20;
+
+/// A source of input chunks for streaming ingestion. Implementations
+/// exist for files ([`FileChunkSource`]), arbitrary readers
+/// ([`ReaderChunkSource`]), in-memory slices ([`SliceChunkSource`])
+/// and a bounded in-memory channel fed by another thread
+/// ([`chunk_channel`] — the network-style feed).
+pub trait ChunkSource: Send {
+    /// The next chunk, `None` at end of stream. Empty chunks are
+    /// valid (they ingest zero bytes); chunk boundaries may fall
+    /// anywhere, including mid-token.
+    fn next_chunk(&mut self) -> std::io::Result<Option<Vec<u8>>>;
+
+    /// Total stream size when known up front (files, slices); sizes
+    /// the buffer reservation exactly. Sources of unknown size get
+    /// one up-front virtual reservation ([`DEFAULT_CAPACITY`], with a
+    /// back-off ladder on strict-commit hosts); a stream that
+    /// outgrows it errors cleanly mid-ingest rather than silently
+    /// relocating published bytes — growable chained buffers are a
+    /// known follow-on (the engine retains every byte regardless, so
+    /// the practical ceiling is resident memory, not the
+    /// reservation).
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Reads one chunk from `reader` without zero-filling scratch memory
+/// (the ingest hot path): `take` + `read_to_end` fills a
+/// fresh-capacity buffer directly.
+fn read_chunk(
+    reader: &mut impl std::io::Read,
+    chunk_len: usize,
+) -> std::io::Result<Option<Vec<u8>>> {
+    use std::io::Read as _;
+    let mut buf = Vec::with_capacity(chunk_len);
+    reader
+        .by_ref()
+        .take(chunk_len as u64)
+        .read_to_end(&mut buf)?;
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(buf))
+}
+
+/// Reads a file in fixed-size chunks straight off the file descriptor
+/// — the bytes land in the stream buffer and nowhere else, unlike
+/// `Dataset::from_file` + re-feeding, which would hold the input
+/// twice.
+pub struct FileChunkSource {
+    file: std::fs::File,
+    chunk_len: usize,
+    size: usize,
+}
+
+impl FileChunkSource {
+    /// Opens `path` with the default chunk length.
+    pub fn open(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        FileChunkSource::open_with_chunk_len(path, DEFAULT_CHUNK_LEN)
+    }
+
+    /// Opens `path` reading `chunk_len`-byte chunks.
+    pub fn open_with_chunk_len(
+        path: impl AsRef<std::path::Path>,
+        chunk_len: usize,
+    ) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        let size = file.metadata()?.len() as usize;
+        Ok(FileChunkSource {
+            file,
+            chunk_len: chunk_len.max(1),
+            size,
+        })
+    }
+}
+
+impl ChunkSource for FileChunkSource {
+    fn next_chunk(&mut self) -> std::io::Result<Option<Vec<u8>>> {
+        read_chunk(&mut self.file, self.chunk_len)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.size)
+    }
+}
+
+/// Chunks an arbitrary `Read` (a socket, a decompressor, …). No size
+/// hint: the buffer reservation uses the capacity ladder.
+pub struct ReaderChunkSource<R> {
+    reader: R,
+    chunk_len: usize,
+}
+
+impl<R: std::io::Read + Send> ReaderChunkSource<R> {
+    /// Wraps `reader` with the default chunk length.
+    pub fn new(reader: R) -> Self {
+        ReaderChunkSource {
+            reader,
+            chunk_len: DEFAULT_CHUNK_LEN,
+        }
+    }
+
+    /// Wraps `reader` reading `chunk_len`-byte chunks.
+    pub fn with_chunk_len(reader: R, chunk_len: usize) -> Self {
+        ReaderChunkSource {
+            reader,
+            chunk_len: chunk_len.max(1),
+        }
+    }
+}
+
+impl<R: std::io::Read + Send> ChunkSource for ReaderChunkSource<R> {
+    fn next_chunk(&mut self) -> std::io::Result<Option<Vec<u8>>> {
+        read_chunk(&mut self.reader, self.chunk_len)
+    }
+}
+
+/// Chunks an in-memory slice — the differential-testing source, where
+/// the chunk length *is* the experiment.
+pub struct SliceChunkSource<'a> {
+    data: &'a [u8],
+    chunk_len: usize,
+    pos: usize,
+}
+
+impl<'a> SliceChunkSource<'a> {
+    /// Streams `data` in `chunk_len`-byte chunks.
+    pub fn new(data: &'a [u8], chunk_len: usize) -> Self {
+        SliceChunkSource {
+            data,
+            chunk_len: chunk_len.max(1),
+            pos: 0,
+        }
+    }
+}
+
+impl ChunkSource for SliceChunkSource<'_> {
+    fn next_chunk(&mut self) -> std::io::Result<Option<Vec<u8>>> {
+        if self.pos >= self.data.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + self.chunk_len).min(self.data.len());
+        let chunk = self.data[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(Some(chunk))
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.data.len())
+    }
+}
+
+/// The sending half of [`chunk_channel`]: a network-style feed pushes
+/// chunks from any thread; dropping it ends the stream.
+pub struct ChunkSender(mpsc::SyncSender<Vec<u8>>);
+
+impl ChunkSender {
+    /// Sends one chunk, blocking while the channel is at capacity.
+    /// Errors when the consuming scan has gone away.
+    pub fn send(&self, chunk: Vec<u8>) -> std::io::Result<()> {
+        self.0.send(chunk).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::BrokenPipe, "stream consumer dropped")
+        })
+    }
+}
+
+/// The receiving half of [`chunk_channel`].
+pub struct ChannelChunkSource(mpsc::Receiver<Vec<u8>>);
+
+impl ChunkSource for ChannelChunkSource {
+    fn next_chunk(&mut self) -> std::io::Result<Option<Vec<u8>>> {
+        // A closed channel is a clean end of stream.
+        Ok(self.0.recv().ok())
+    }
+}
+
+/// A bounded in-memory chunk channel: the producer blocks once
+/// `capacity` chunks are in flight, which is the back-pressure a
+/// network ingest loop wants.
+pub fn chunk_channel(capacity: usize) -> (ChunkSender, ChannelChunkSource) {
+    let (tx, rx) = mpsc::sync_channel(capacity.max(1));
+    (ChunkSender(tx), ChannelChunkSource(rx))
+}
+
+/// Reserves a stream buffer for a stream of `size_hint` bytes: exact
+/// (plus [`HINT_SLACK`]) when the size is known, the generous
+/// virtual-reservation ladder otherwise. The single reservation
+/// policy for every ingestion path.
+pub(crate) fn reserve(size_hint: Option<usize>) -> Result<StreamBuffer> {
+    match size_hint {
+        Some(n) => StreamBuffer::with_capacity(n.saturating_add(HINT_SLACK)).map_err(Error::Io),
+        None => {
+            StreamBuffer::with_capacity_ladder(DEFAULT_CAPACITY, MIN_CAPACITY).map_err(Error::Io)
+        }
+    }
+}
+
+/// How the scan cuts dispatchable regions for the resolved mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegionPlan {
+    /// Marker-aligned PAT dispatch: regions end at the last seen
+    /// marker (`boundary_skip` bytes *after* the marker start — 0 for
+    /// GeoJSON feature markers, `marker.len()` for WKT newlines).
+    Pat {
+        marker: &'static [u8],
+        boundary_skip: usize,
+    },
+    /// Arbitrary-offset FAT dispatch: every published byte goes out
+    /// immediately.
+    Fat,
+    /// Buffer only; parse at seal (OSM XML's global node table).
+    Sealed,
+}
+
+/// One scan fragment in flight: the PAT aggregate itself, or a FAT
+/// parse fragment still carrying unresolved block edges.
+enum Frag<A: QueryAggregate> {
+    Pat(A),
+    FatG(Box<FatGeoJsonFrag<A>>),
+    FatW(Box<FatWktFrag<A>>),
+}
+
+fn merge_frag<A: QueryAggregate>(
+    a: Frag<A>,
+    b: Frag<A>,
+    input: &[u8],
+    filter: &MetadataFilter,
+) -> std::result::Result<Frag<A>, ParseError> {
+    match (a, b) {
+        (Frag::Pat(x), Frag::Pat(y)) => Ok(Frag::Pat(x.combine(y))),
+        (Frag::FatG(x), Frag::FatG(y)) => Ok(Frag::FatG(Box::new(x.merge(*y, input, filter)?))),
+        (Frag::FatW(x), Frag::FatW(y)) => Ok(Frag::FatW(Box::new(x.merge(*y, input, filter)?))),
+        _ => unreachable!("one resolved mode per scan"),
+    }
+}
+
+/// An incremental scan over a growing stream: append chunks, dispatch
+/// the newly-safe regions to the worker pool, seal into the final
+/// aggregate plus the (zero-copy) sealed [`Dataset`].
+///
+/// Used directly by `QuerySession::ingest_chunk` (synchronous,
+/// pool released between calls so prefix queries can interleave) and
+/// through [`drive`] by `Engine::execute_streaming*` (pipelined:
+/// a pump thread reads ahead while regions scan and merge).
+pub(crate) struct StreamingScan<A: QueryAggregate + 'static> {
+    buf: Arc<StreamBuffer>,
+    format: Format,
+    filter: MetadataFilter,
+    proto: A,
+    /// Engine-configured mode (possibly `Adaptive`).
+    configured: Mode,
+    plan: Option<RegionPlan>,
+    /// Bytes already covered by dispatched regions.
+    dispatched: usize,
+    /// Next byte to inspect in the marker scan.
+    marker_scan: usize,
+    /// Latest safe PAT cut at or beyond `dispatched`.
+    boundary: usize,
+    /// Next region ordinal (the merger's index space).
+    next_region: usize,
+    merger: Mutex<StreamMerger<Frag<A>, ParseError>>,
+    pub(crate) stats: StreamStats,
+    split_time: std::time::Duration,
+    run_time: std::time::Duration,
+}
+
+impl<A: QueryAggregate + 'static> StreamingScan<A> {
+    /// Opens a scan for `format` with `proto` as the aggregate
+    /// prototype. The buffer reservation is exact when the stream
+    /// size is known (`size_hint`), otherwise a generous virtual
+    /// reservation with a back-off ladder.
+    pub fn new(
+        engine: &Engine,
+        format: Format,
+        proto: A,
+        size_hint: Option<usize>,
+    ) -> Result<Self> {
+        let buf = reserve(size_hint)?;
+        Ok(StreamingScan {
+            buf: Arc::new(buf),
+            format,
+            filter: MetadataFilter::All,
+            proto,
+            configured: engine.config().mode,
+            plan: None,
+            dispatched: 0,
+            marker_scan: 0,
+            boundary: 0,
+            next_region: 0,
+            merger: Mutex::new(StreamMerger::new()),
+            stats: StreamStats::default(),
+            split_time: std::time::Duration::ZERO,
+            run_time: std::time::Duration::ZERO,
+        })
+    }
+
+    /// The shared stream buffer (prefix views hang off it).
+    pub fn buffer(&self) -> &Arc<StreamBuffer> {
+        &self.buf
+    }
+
+    /// Bytes ingested so far.
+    pub fn ingested_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The longest prefix that is safe to query mid-ingest: every
+    /// record in it is complete (PAT boundary discipline). XML streams
+    /// report 0 until sealed — relations resolve against a global node
+    /// table, so no prefix answer would be sound.
+    pub fn queryable_len(&self) -> usize {
+        match self.plan {
+            Some(RegionPlan::Sealed) | None => 0,
+            // Both PAT and FAT prefixes are cut at the marker
+            // boundary: `boundary` tracks it in every non-XML plan.
+            Some(_) => self.boundary,
+        }
+    }
+
+    /// Appends one chunk without dispatching (the pipelined driver
+    /// batches several appends per dispatch).
+    pub fn append_chunk(&mut self, chunk: &[u8]) -> Result<()> {
+        self.buf.append(chunk).map_err(Error::Io)?;
+        self.stats.chunks += 1;
+        self.stats.bytes += chunk.len() as u64;
+        Ok(())
+    }
+
+    /// Appends one chunk and dispatches the newly-safe regions.
+    pub fn ingest(&mut self, engine: &Engine, chunk: &[u8]) -> Result<()> {
+        self.append_chunk(chunk)?;
+        self.dispatch(engine, false)
+    }
+
+    /// Resolves the region plan on first contact with real bytes.
+    fn resolve_plan(&mut self, engine: &Engine) {
+        if self.plan.is_some() {
+            return;
+        }
+        let len = self.buf.len();
+        if len == 0 {
+            return;
+        }
+        let mode = match (self.format, self.configured) {
+            (Format::OsmXml, _) => {
+                self.plan = Some(RegionPlan::Sealed);
+                return;
+            }
+            (_, Mode::Adaptive) => {
+                // Resolve on the bytes seen so far — any choice is
+                // result-identical (PAT and FAT parse the same feature
+                // stream and the aggregates are order-invariant), so
+                // resolving early costs nothing but a different
+                // throughput profile.
+                let marker = self.marker();
+                atgis_formats::resolve_adaptive(self.buf.bytes(), marker, engine.block_count())
+            }
+            (_, m) => m,
+        };
+        self.stats.resolved_mode = Some(mode);
+        self.plan = Some(match mode {
+            Mode::Fat => RegionPlan::Fat,
+            _ => RegionPlan::Pat {
+                marker: self.marker(),
+                boundary_skip: self.marker_skip(),
+            },
+        });
+    }
+
+    fn marker(&self) -> &'static [u8] {
+        match self.format {
+            Format::GeoJson => atgis_formats::geojson::FEATURE_MARKER,
+            _ => b"\n",
+        }
+    }
+
+    /// Bytes between a marker's start and the safe cut point: a WKT
+    /// row *starts after* its preceding newline, a GeoJSON feature
+    /// starts *at* its marker. The single source of the rule for both
+    /// PAT dispatch and the FAT queryable-prefix tracking.
+    fn marker_skip(&self) -> usize {
+        match self.format {
+            Format::Wkt => 1,
+            _ => 0,
+        }
+    }
+
+    /// Advances the marker scan over newly published bytes, updating
+    /// the safe boundary. O(total bytes) across the whole stream.
+    fn advance_boundary(&mut self, marker: &'static [u8], skip: usize) {
+        let len = self.buf.len();
+        let input = self.buf.slice_to(len);
+        let mut from = self.marker_scan;
+        while let Some(at) = find_marker(input, marker, from) {
+            let cut = at + skip;
+            if cut > self.boundary && cut <= len {
+                self.boundary = cut;
+            }
+            from = at + 1;
+        }
+        // A marker may straddle the append point: resume the scan
+        // marker-length-minus-one bytes before the end.
+        self.marker_scan = len
+            .saturating_sub(marker.len().saturating_sub(1))
+            .max(self.marker_scan);
+    }
+
+    /// Dispatches every safe region; with `at_eof` the tail past the
+    /// last marker goes out too.
+    pub fn dispatch(&mut self, engine: &Engine, at_eof: bool) -> Result<()> {
+        self.resolve_plan(engine);
+        let Some(plan) = self.plan else {
+            return Ok(()); // nothing ingested yet
+        };
+        let len = self.buf.len();
+        let started = Instant::now();
+        let end = match plan {
+            RegionPlan::Sealed => {
+                return Ok(());
+            }
+            RegionPlan::Pat {
+                marker,
+                boundary_skip,
+            } => {
+                self.advance_boundary(marker, boundary_skip);
+                if at_eof {
+                    len
+                } else {
+                    self.boundary
+                }
+            }
+            RegionPlan::Fat => {
+                // Track the marker boundary anyway: it defines the
+                // queryable prefix for sessions.
+                let marker = self.marker();
+                let skip = self.marker_skip();
+                self.advance_boundary(marker, skip);
+                len
+            }
+        };
+        if end <= self.dispatched {
+            self.split_time += started.elapsed();
+            return Ok(());
+        }
+        let start = self.dispatched;
+        let region_len = end - start;
+        // Cut the region for pool parallelism: PAT sub-cuts stay
+        // marker-aligned, FAT cuts anywhere.
+        let pieces = region_len
+            .div_ceil(DISPATCH_TARGET)
+            .max(if region_len >= 4 * 1024 {
+                engine.threads().min(region_len / 1024).max(1)
+            } else {
+                1
+            });
+        let blocks: Vec<Block> = match plan {
+            RegionPlan::Pat { marker, .. } => {
+                marker_blocks(&self.buf.slice_to(end)[start..], marker, pieces)
+                    .into_iter()
+                    .filter(|b| !b.is_empty())
+                    .map(|b| Block {
+                        index: 0,
+                        start: b.start + start,
+                        end: b.end + start,
+                    })
+                    .collect()
+            }
+            _ => fixed_blocks(region_len, pieces)
+                .into_iter()
+                .filter(|b| !b.is_empty())
+                .map(|b| Block {
+                    index: 0,
+                    start: b.start + start,
+                    end: b.end + start,
+                })
+                .collect(),
+        };
+        self.dispatched = end;
+        self.split_time += started.elapsed();
+        if blocks.is_empty() {
+            return Ok(());
+        }
+        let base = self.next_region;
+        self.next_region += blocks.len();
+        self.stats.regions += blocks.len() as u64;
+
+        // Run the regions on the pool; each completion folds straight
+        // into the shared merger (see `StreamMerger`), so merging of
+        // earlier regions overlaps the scanning of later ones.
+        let input = self.buf.slice_to(len);
+        let merger = &self.merger;
+        let proto = &self.proto;
+        let filter = &self.filter;
+        let format = self.format;
+        let started = Instant::now();
+        engine.pool().run(blocks.len(), engine.threads(), |i| {
+            let b = blocks[i];
+            let result: std::result::Result<Frag<A>, ParseError> = match plan {
+                RegionPlan::Pat { .. } => process_pat(input, b, format, filter, proto),
+                RegionPlan::Fat => match format {
+                    Format::GeoJson => FatGeoJsonFrag::process(input, b, filter, proto)
+                        .map(|f| Frag::FatG(Box::new(f))),
+                    _ => FatWktFrag::process(input, b, filter, proto)
+                        .map(|f| Frag::FatW(Box::new(f))),
+                },
+                RegionPlan::Sealed => unreachable!("sealed plans dispatch nothing"),
+            };
+            match result {
+                Ok(frag) => StreamMerger::push_shared(merger, base + i, frag, |a, c| {
+                    merge_frag(a, c, input, filter)
+                }),
+                Err(e) => merger.lock().expect("stream merger poisoned").poison(e),
+            }
+        });
+        self.run_time += started.elapsed();
+        Ok(())
+    }
+
+    /// Seals the stream: dispatches the tail, finalises the fold and
+    /// returns the aggregate plus the sealed zero-copy dataset,
+    /// timings and stream statistics. XML (and empty) streams run the
+    /// ordinary buffered pass here.
+    pub fn seal(mut self, engine: &Engine) -> Result<(A, Dataset, Timings, StreamStats)> {
+        self.dispatch(engine, true)?;
+        let len = self.buf.len();
+        let dataset = Dataset::from_stream_buffer(self.buf.clone(), len, self.format);
+        let mut stats = self.stats;
+        let merger = self.merger.into_inner().expect("stream merger poisoned");
+        stats.peak_fragments = merger.peak_runs() as u64;
+        stats.merges = merger.merges();
+        // Summed merge time is worker-time (merges run concurrently);
+        // clamp so the phases partition the actual dispatch wall time.
+        let merge_time = merger.merge_time().min(self.run_time);
+        let mut timings = Timings {
+            split: self.split_time,
+            process: self.run_time - merge_time,
+            merge: merge_time,
+        };
+        let needs_buffered_pass = matches!(self.plan, Some(RegionPlan::Sealed) | None);
+        if needs_buffered_pass {
+            let (agg, t) = engine.single_pass(&dataset, &self.filter, self.proto)?;
+            return Ok((agg, dataset, t, stats));
+        }
+        let started = Instant::now();
+        let input = dataset.bytes();
+        let agg = match merger.finish().map_err(Error::Parse)? {
+            None => self.proto,
+            Some(Frag::Pat(a)) => a,
+            Some(Frag::FatG(f)) => f.finalize(input, &self.filter).map_err(Error::Parse)?,
+            Some(Frag::FatW(f)) => f.finalize(input, &self.filter).map_err(Error::Parse)?,
+        };
+        timings.merge += started.elapsed();
+        Ok((agg, dataset, timings, stats))
+    }
+}
+
+/// PAT region processing: block-local parse, absorb into a clone of
+/// the prototype.
+fn process_pat<A: QueryAggregate>(
+    input: &[u8],
+    b: Block,
+    format: Format,
+    filter: &MetadataFilter,
+    proto: &A,
+) -> std::result::Result<Frag<A>, ParseError> {
+    let mut agg = proto.clone();
+    let mut features = Vec::new();
+    match format {
+        Format::GeoJson => {
+            atgis_formats::geojson::fast::parse_block(input, b.start, b.end, filter, &mut features)?
+        }
+        Format::Wkt => parse_wkt_rows(input, b.start, b.end, filter, &mut features)?,
+        Format::OsmXml => unreachable!("XML never dispatches PAT regions"),
+    }
+    for f in &features {
+        agg.absorb(f);
+    }
+    Ok(Frag::Pat(agg))
+}
+
+impl Engine {
+    /// Executes one query over a dataset that **arrives while the
+    /// query runs**: chunks from `source` feed the scan pipeline as
+    /// they appear, fragments merge incrementally, and join-class
+    /// queries run against the index sealed at end of stream. The
+    /// result is bit-identical to buffering the whole stream and
+    /// calling [`Engine::execute`] — for every format, execution mode
+    /// and chunk size.
+    pub fn execute_streaming(
+        &self,
+        query: &crate::query::Query,
+        source: &mut dyn ChunkSource,
+        format: Format,
+    ) -> Result<crate::result::QueryResult> {
+        let (mut results, _, _) =
+            self.execute_streaming_batch_timed(std::slice::from_ref(query), source, format)?;
+        Ok(results.pop().expect("one result per query"))
+    }
+
+    /// Executes a batch of queries over a streamed dataset with one
+    /// shared chunk-fed scan (the streaming analogue of
+    /// [`Engine::execute_batch`]). Results come back in submission
+    /// order, bit-identical to the buffered batch.
+    pub fn execute_streaming_batch(
+        &self,
+        queries: &[crate::query::Query],
+        source: &mut dyn ChunkSource,
+        format: Format,
+    ) -> Result<Vec<crate::result::QueryResult>> {
+        self.execute_streaming_batch_timed(queries, source, format)
+            .map(|(r, _, _)| r)
+    }
+
+    /// [`Engine::execute_streaming_batch`] with the amortisation
+    /// breakdown and the stream's ingestion statistics (chunk count,
+    /// peak live fragments, ingest wait).
+    pub fn execute_streaming_batch_timed(
+        &self,
+        queries: &[crate::query::Query],
+        source: &mut dyn ChunkSource,
+        format: Format,
+    ) -> Result<(
+        Vec<crate::result::QueryResult>,
+        crate::stats::BatchStats,
+        StreamStats,
+    )> {
+        let cache = crate::batch::IndexCache::new();
+        crate::batch::execute_streaming_batch_impl(self, queries, source, format, &cache)
+    }
+}
+
+/// Drives `scan` from `source` with read-ahead: a pump thread blocks
+/// on the source while the calling thread appends and dispatches, so
+/// ingest I/O overlaps scanning and merging. Several already-arrived
+/// chunks are appended per dispatch to amortise pool submissions.
+pub(crate) fn drive<A: QueryAggregate + 'static>(
+    scan: &mut StreamingScan<A>,
+    engine: &Engine,
+    source: &mut (dyn ChunkSource + '_),
+) -> Result<()> {
+    std::thread::scope(|s| -> Result<()> {
+        let (tx, rx) = mpsc::sync_channel::<std::io::Result<Vec<u8>>>(READAHEAD_CHUNKS);
+        s.spawn(move || loop {
+            match source.next_chunk() {
+                Ok(Some(chunk)) => {
+                    if tx.send(Ok(chunk)).is_err() {
+                        return; // consumer bailed
+                    }
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+            }
+        });
+        loop {
+            let waited = Instant::now();
+            let msg = rx.recv();
+            scan.stats.ingest_wait += waited.elapsed();
+            let Ok(msg) = msg else {
+                return Ok(()); // stream complete
+            };
+            scan.append_chunk(&msg.map_err(Error::Io)?)?;
+            // Batch everything already buffered into this dispatch.
+            while let Ok(more) = rx.try_recv() {
+                scan.append_chunk(&more.map_err(Error::Io)?)?;
+            }
+            scan.dispatch(engine, false)?;
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::ContainmentAgg;
+    use crate::query::Query;
+    use atgis_geometry::{Mbr, Polygon};
+
+    fn world_agg() -> ContainmentAgg {
+        ContainmentAgg::new(Arc::new(Polygon::from_mbr(&Mbr::new(
+            -180.0, -90.0, 180.0, 90.0,
+        ))))
+    }
+
+    fn tiny_geojson() -> Vec<u8> {
+        concat!(
+            r#"{"type":"FeatureCollection","features":["#,
+            r#"{"type":"Feature","geometry":{"type":"Point","coordinates":[1.25,50.5]},"id":1,"properties":{"name":"caf\u00e9"}},"#,
+            r#"{"type":"Feature","geometry":{"type":"Point","coordinates":[2.5,51.5]},"id":2,"properties":{}}"#,
+            r#"]}"#
+        )
+        .as_bytes()
+        .to_vec()
+    }
+
+    #[test]
+    fn queryable_prefix_advances_only_at_markers() {
+        let engine = Engine::builder().threads(2).build();
+        let doc = tiny_geojson();
+        let mut scan =
+            StreamingScan::new(&engine, Format::GeoJson, world_agg(), Some(doc.len())).unwrap();
+        // Feed one byte at a time: the queryable prefix must only ever
+        // sit at 0 or at a feature-marker boundary, never mid-feature.
+        let marker = atgis_formats::geojson::FEATURE_MARKER;
+        let mut marker_positions: Vec<usize> = vec![0];
+        let mut at = 0usize;
+        while let Some(p) = find_marker(&doc, marker, at) {
+            marker_positions.push(p);
+            at = p + 1;
+        }
+        for b in doc.iter() {
+            scan.ingest(&engine, std::slice::from_ref(b)).unwrap();
+            let q = scan.queryable_len();
+            assert!(
+                marker_positions.contains(&q),
+                "queryable prefix {q} is not a marker boundary"
+            );
+        }
+        let (agg, dataset, _, stats) = scan.seal(&engine).unwrap();
+        assert_eq!(agg.matches.len(), 2, "both features parsed once");
+        assert_eq!(dataset.len(), doc.len());
+        assert_eq!(stats.chunks, doc.len() as u64);
+        assert_eq!(stats.resolved_mode, Some(Mode::Pat));
+    }
+
+    #[test]
+    fn chunk_split_inside_utf8_escape_parses_clean() {
+        // Split in the middle of the é escape: the held-back tail
+        // must keep the feature intact.
+        let engine = Engine::builder().build();
+        let doc = tiny_geojson();
+        let escape_at = doc
+            .windows(6)
+            .position(|w| w == br"\u00e9")
+            .expect("escape present");
+        for cut in escape_at..escape_at + 6 {
+            let mut scan =
+                StreamingScan::new(&engine, Format::GeoJson, world_agg(), Some(doc.len())).unwrap();
+            scan.ingest(&engine, &doc[..cut]).unwrap();
+            scan.ingest(&engine, &doc[cut..]).unwrap();
+            let (agg, ..) = scan.seal(&engine).unwrap();
+            assert_eq!(agg.matches.len(), 2, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn chunk_split_inside_wkt_number_parses_clean() {
+        let engine = Engine::builder().build();
+        let doc = b"1\tPOINT(1.2345678 50.8765432)\t\n2\tPOINT(2.5 51.5)\t\n".to_vec();
+        let digit_at = 10usize; // inside "1.2345678"
+        for cut in digit_at..digit_at + 8 {
+            let mut scan =
+                StreamingScan::new(&engine, Format::Wkt, world_agg(), Some(doc.len())).unwrap();
+            scan.ingest(&engine, &doc[..cut]).unwrap();
+            scan.ingest(&engine, &doc[cut..]).unwrap();
+            let (agg, ..) = scan.seal(&engine).unwrap();
+            assert_eq!(agg.matches.len(), 2, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn empty_final_chunk_at_eof_is_harmless() {
+        let engine = Engine::builder().build();
+        let doc = b"1\tPOINT(1.5 50.5)\t\n".to_vec();
+        let mut scan =
+            StreamingScan::new(&engine, Format::Wkt, world_agg(), Some(doc.len())).unwrap();
+        scan.ingest(&engine, &doc).unwrap();
+        scan.ingest(&engine, b"").unwrap();
+        let (agg, dataset, _, stats) = scan.seal(&engine).unwrap();
+        assert_eq!(agg.matches.len(), 1);
+        assert_eq!(dataset.len(), doc.len());
+        assert_eq!(stats.chunks, 2, "the empty chunk still counts");
+    }
+
+    #[test]
+    fn chunk_sender_reports_dropped_consumer() {
+        let (tx, rx) = chunk_channel(1);
+        drop(rx);
+        assert!(tx.send(vec![1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn file_source_reads_exact_chunks_and_hints_size() {
+        let path = std::env::temp_dir().join(format!("atgis_chunk_src_{}.bin", std::process::id()));
+        std::fs::write(&path, b"abcdefghij").unwrap();
+        let mut src = FileChunkSource::open_with_chunk_len(&path, 4).unwrap();
+        assert_eq!(src.size_hint(), Some(10));
+        let mut total = Vec::new();
+        while let Some(c) = src.next_chunk().unwrap() {
+            assert!(c.len() <= 4);
+            total.extend(c);
+        }
+        assert_eq!(total, b"abcdefghij");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_engine_api_smoke() {
+        // The one-query convenience API over a reader source.
+        let engine = Engine::builder().threads(2).build();
+        let doc = tiny_geojson();
+        let mut source = ReaderChunkSource::with_chunk_len(&doc[..], 5);
+        let r = engine
+            .execute_streaming(
+                &Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0)),
+                &mut source,
+                Format::GeoJson,
+            )
+            .unwrap();
+        assert_eq!(r.matches().len(), 2);
+    }
+}

@@ -7,7 +7,7 @@
 //! configurable lon/lat extent (clustered around "city" centres, as
 //! real OSM data clusters around settlements).
 
-use atgis_geometry::{Geometry, LineString, MultiPolygon, Mbr, Point, Polygon, Ring};
+use atgis_geometry::{Geometry, LineString, Mbr, MultiPolygon, Point, Polygon, Ring};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -144,18 +144,17 @@ impl OsmGenerator {
             // The hotspot roll is only drawn when the knob is on, so
             // the RNG stream (and every generated dataset) is
             // bit-identical to pre-hotspot generators by default.
-            let (centre, spread_x, spread_y, hotspot) = if self.hotspot_fraction > 0.0
-                && rng.gen::<f64>() < self.hotspot_fraction
-            {
-                (
-                    centres[0],
-                    self.hotspot_radius_x.max(1e-6),
-                    self.hotspot_radius_y.max(1e-6),
-                    true,
-                )
-            } else {
-                (centres[rng.gen_range(0..centres.len())], 0.5, 0.5, false)
-            };
+            let (centre, spread_x, spread_y, hotspot) =
+                if self.hotspot_fraction > 0.0 && rng.gen::<f64>() < self.hotspot_fraction {
+                    (
+                        centres[0],
+                        self.hotspot_radius_x.max(1e-6),
+                        self.hotspot_radius_y.max(1e-6),
+                        true,
+                    )
+                } else {
+                    (centres[rng.gen_range(0..centres.len())], 0.5, 0.5, false)
+                };
             // Gaussian-ish scatter around a city centre; uniform fill
             // along a hotspot/corridor (linear features are roughly
             // uniform along their length).
@@ -172,26 +171,27 @@ impl OsmGenerator {
             let at = Point::new(centre.x + dx, centre.y + dy);
             let roll: f64 = rng.gen();
             let (geometry, tags) = if roll < self.collection_fraction {
-                (self.gen_collection(&mut rng, at), vec![
-                    ("type".into(), "site".into()),
-                    (name_tag(id)),
-                ])
+                (
+                    self.gen_collection(&mut rng, at),
+                    vec![("type".into(), "site".into()), (name_tag(id))],
+                )
             } else if roll < self.collection_fraction + self.multipolygon_fraction {
-                (self.gen_multipolygon(&mut rng, at), vec![
-                    ("landuse".into(), "forest".into()),
-                    (name_tag(id)),
-                ])
-            } else if roll < self.collection_fraction + self.multipolygon_fraction + self.road_fraction
+                (
+                    self.gen_multipolygon(&mut rng, at),
+                    vec![("landuse".into(), "forest".into()), (name_tag(id))],
+                )
+            } else if roll
+                < self.collection_fraction + self.multipolygon_fraction + self.road_fraction
             {
-                (self.gen_road(&mut rng, at), vec![
-                    ("highway".into(), road_kind(&mut rng)),
-                    (name_tag(id)),
-                ])
+                (
+                    self.gen_road(&mut rng, at),
+                    vec![("highway".into(), road_kind(&mut rng)), (name_tag(id))],
+                )
             } else {
-                (self.gen_building(&mut rng, at), vec![
-                    ("building".into(), "yes".into()),
-                    (name_tag(id)),
-                ])
+                (
+                    self.gen_building(&mut rng, at),
+                    vec![("building".into(), "yes".into()), (name_tag(id))],
+                )
             };
             objects.push(OsmObject { id, geometry, tags });
         }

@@ -333,7 +333,12 @@ fn write_way(out: &mut String, id: u64, node_ids: &[u64], close: bool, tags: &[(
         }
     }
     for (k, v) in tags {
-        let _ = write!(out, "<tag k=\"{}\" v=\"{}\"/>", escape_xml(k), escape_xml(v));
+        let _ = write!(
+            out,
+            "<tag k=\"{}\" v=\"{}\"/>",
+            escape_xml(k),
+            escape_xml(v)
+        );
     }
     out.push_str("</way>\n");
 }
@@ -341,17 +346,27 @@ fn write_way(out: &mut String, id: u64, node_ids: &[u64], close: bool, tags: &[(
 fn write_relation(out: &mut String, id: u64, members: &[(u64, &str)], tags: &[(String, String)]) {
     let _ = write!(out, " <relation id=\"{id}\">");
     for (way_id, role) in members {
-        let _ = write!(out, "<member type=\"way\" ref=\"{way_id}\" role=\"{role}\"/>");
+        let _ = write!(
+            out,
+            "<member type=\"way\" ref=\"{way_id}\" role=\"{role}\"/>"
+        );
     }
     let _ = write!(out, "<tag k=\"type\" v=\"multipolygon\"/>");
     for (k, v) in tags {
-        let _ = write!(out, "<tag k=\"{}\" v=\"{}\"/>", escape_xml(k), escape_xml(v));
+        let _ = write!(
+            out,
+            "<tag k=\"{}\" v=\"{}\"/>",
+            escape_xml(k),
+            escape_xml(v)
+        );
     }
     out.push_str("</relation>\n");
 }
 
 fn escape_xml(s: &str) -> String {
-    s.replace('&', "&amp;").replace('"', "&quot;").replace('<', "&lt;")
+    s.replace('&', "&amp;")
+        .replace('"', "&quot;")
+        .replace('<', "&lt;")
 }
 
 #[cfg(test)]

@@ -70,14 +70,9 @@ impl MetadataFilter {
 
     /// Applies the key/value component given the feature's metadata
     /// pairs.
-    pub fn accepts_tags<'a>(
-        &self,
-        mut tags: impl Iterator<Item = (&'a str, &'a str)>,
-    ) -> bool {
+    pub fn accepts_tags<'a>(&self, mut tags: impl Iterator<Item = (&'a str, &'a str)>) -> bool {
         match self {
-            MetadataFilter::KeyEquals { key, value } => {
-                tags.any(|(k, v)| k == key && v == value)
-            }
+            MetadataFilter::KeyEquals { key, value } => tags.any(|(k, v)| k == key && v == value),
             MetadataFilter::Path(q) => {
                 // Flat tag sources can only satisfy single-segment
                 // paths with existence / string-equality semantics.
@@ -88,12 +83,8 @@ impl MetadataFilter {
                 let key = q.path[0].as_str();
                 match (&q.op, &q.value) {
                     (PathOp::Exists, _) => tags.any(|(k, _)| k == key),
-                    (PathOp::Eq, PathValue::Str(v)) => {
-                        tags.any(|(k, val)| k == key && val == v)
-                    }
-                    (PathOp::Ne, PathValue::Str(v)) => {
-                        tags.any(|(k, val)| k == key && val != v)
-                    }
+                    (PathOp::Eq, PathValue::Str(v)) => tags.any(|(k, val)| k == key && val == v),
+                    (PathOp::Ne, PathValue::Str(v)) => tags.any(|(k, val)| k == key && val != v),
                     _ => false,
                 }
             }

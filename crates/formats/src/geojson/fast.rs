@@ -188,10 +188,7 @@ impl<'a> Cursor<'a> {
 
     /// Parses one feature object starting at the cursor. Returns
     /// `None` when the metadata filter rejects it.
-    fn parse_feature(
-        &mut self,
-        filter: &MetadataFilter,
-    ) -> Result<Option<RawFeature>, ParseError> {
+    fn parse_feature(&mut self, filter: &MetadataFilter) -> Result<Option<RawFeature>, ParseError> {
         let offset = self.pos;
         self.expect(b'{')?;
         let mut geometry = None;
@@ -350,10 +347,7 @@ pub(crate) fn interpret_geometry(
                 "Polygon" => Ok(Geometry::Polygon(as_polygon(&coords)?)),
                 "MultiPolygon" => {
                     let list = as_list(&coords)?;
-                    let polys = list
-                        .iter()
-                        .map(as_polygon)
-                        .collect::<Result<Vec<_>, _>>()?;
+                    let polys = list.iter().map(as_polygon).collect::<Result<Vec<_>, _>>()?;
                     Ok(Geometry::MultiPolygon(MultiPolygon::new(polys)))
                 }
                 other => Err(format!("unsupported geometry type {other:?}")),

@@ -426,8 +426,8 @@ fn parse_feature_tokens(
             "geometry" => geometry = Some(parse_geometry_tokens(&mut c)?),
             "id" => {
                 let (s, e) = c.scalar_span(colon.pos)?;
-                id = parse_float(input, s, e)
-                    .map_err(|_| TokenParseError::Invalid(colon.pos))? as u64;
+                id = parse_float(input, s, e).map_err(|_| TokenParseError::Invalid(colon.pos))?
+                    as u64;
             }
             "properties" => {
                 let open = c.peek().ok_or(TokenParseError::Incomplete)?;
@@ -551,11 +551,7 @@ fn parse_coords_tokens(c: &mut TokCursor<'_>) -> TpResult<Coords> {
         match next.kind {
             TokenKind::ArrOpen => {
                 items.push(parse_coords_tokens(c)?);
-                prev_pos = c
-                    .tokens
-                    .get(c.i - 1)
-                    .map(|t| t.pos)
-                    .unwrap_or(prev_pos);
+                prev_pos = c.tokens.get(c.i - 1).map(|t| t.pos).unwrap_or(prev_pos);
             }
             TokenKind::ArrClose => {
                 if let Some(v) = scalar_between(c.input, prev_pos, next.pos)? {

@@ -100,7 +100,10 @@ mod tests {
         match &features[4].geometry {
             Geometry::Collection(gs) => {
                 assert_eq!(gs.len(), 2);
-                assert!(matches!(gs[0], Geometry::Collection(_)), "nested collection");
+                assert!(
+                    matches!(gs[0], Geometry::Collection(_)),
+                    "nested collection"
+                );
             }
             g => panic!("feature 5 should be a collection, got {g:?}"),
         }
@@ -162,8 +165,14 @@ mod tests {
             assert!(span.starts_with(FEATURE_MARKER));
             // Re-parse the span as a standalone block.
             let mut again = Vec::new();
-            fast::parse_block(input, f.offset as usize, (f.offset + f.len as u64) as usize,
-                &MetadataFilter::All, &mut again).unwrap();
+            fast::parse_block(
+                input,
+                f.offset as usize,
+                (f.offset + f.len as u64) as usize,
+                &MetadataFilter::All,
+                &mut again,
+            )
+            .unwrap();
             assert_eq!(again.len(), 1);
             assert_eq!(again[0].geometry, f.geometry);
         }

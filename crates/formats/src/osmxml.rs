@@ -30,9 +30,9 @@ pub fn collect_nodes(input: &[u8], start: usize, end: usize) -> Result<NodeTable
     let mut scanner = Scanner { input, pos: start };
     while let Some(elem) = scanner.next_element(end)? {
         if elem.name == "node" {
-            let id = elem.attr_u64("id").ok_or_else(|| {
-                ParseError::syntax(elem.offset as u64, "node without id")
-            })?;
+            let id = elem
+                .attr_u64("id")
+                .ok_or_else(|| ParseError::syntax(elem.offset as u64, "node without id"))?;
             let lat = elem.attr_f64("lat");
             let lon = elem.attr_f64("lon");
             if let (Some(lat), Some(lon)) = (lat, lon) {
@@ -109,9 +109,9 @@ pub fn collect_relations(
     while let Some(elem) = scanner.next_element(end)? {
         match elem.name.as_str() {
             "relation" => {
-                let id = elem.attr_u64("id").ok_or_else(|| {
-                    ParseError::syntax(elem.offset as u64, "relation without id")
-                })?;
+                let id = elem
+                    .attr_u64("id")
+                    .ok_or_else(|| ParseError::syntax(elem.offset as u64, "relation without id"))?;
                 let (members, end_pos) = scanner.relation_children(&elem)?;
                 relations.push(RelationSpec {
                     id,
@@ -141,8 +141,7 @@ pub fn assemble(
     nodes: &NodeTable,
     filter: &MetadataFilter,
 ) -> Vec<RawFeature> {
-    let way_index: HashMap<u64, usize> =
-        ways.iter().enumerate().map(|(i, w)| (w.id, i)).collect();
+    let way_index: HashMap<u64, usize> = ways.iter().enumerate().map(|(i, w)| (w.id, i)).collect();
     let mut in_relation: std::collections::HashSet<u64> = std::collections::HashSet::new();
     let mut out = Vec::new();
 
@@ -203,7 +202,11 @@ pub fn assemble(
         {
             continue;
         }
-        let pts: Vec<Point> = w.refs.iter().filter_map(|r| nodes.get(r).copied()).collect();
+        let pts: Vec<Point> = w
+            .refs
+            .iter()
+            .filter_map(|r| nodes.get(r).copied())
+            .collect();
         if pts.len() < 2 {
             continue;
         }
@@ -240,7 +243,11 @@ pub fn parse_elements(
 }
 
 fn way_ring(way: &WaySpec, nodes: &NodeTable) -> Option<Ring> {
-    let pts: Vec<Point> = way.refs.iter().filter_map(|r| nodes.get(r).copied()).collect();
+    let pts: Vec<Point> = way
+        .refs
+        .iter()
+        .filter_map(|r| nodes.get(r).copied())
+        .collect();
     if pts.len() < 3 {
         return None;
     }
@@ -378,7 +385,10 @@ impl<'a> Scanner<'a> {
                             self_closing: true,
                         });
                     }
-                    return Err(ParseError::syntax(self.pos as u64, "expected '>' after '/'"));
+                    return Err(ParseError::syntax(
+                        self.pos as u64,
+                        "expected '>' after '/'",
+                    ));
                 }
                 Some(_) => {
                     // attribute: key="value"
@@ -432,10 +442,7 @@ impl<'a> Scanner<'a> {
 
     /// Reads the children of a `<way>`: `<nd ref>` and `<tag k v>`.
     /// Returns (refs, tags, end position after `</way>`).
-    fn way_children(
-        &mut self,
-        elem: &Element,
-    ) -> Result<WayBody, ParseError> {
+    fn way_children(&mut self, elem: &Element) -> Result<WayBody, ParseError> {
         let mut refs = Vec::new();
         let mut tags = Vec::new();
         if elem.self_closing {

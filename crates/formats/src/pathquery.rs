@@ -98,10 +98,7 @@ impl PathQuery {
                 text[at + sym.len()..].trim_start(),
             ),
         };
-        let path: Vec<String> = path_text
-            .split('.')
-            .map(|s| s.trim().to_owned())
-            .collect();
+        let path: Vec<String> = path_text.split('.').map(|s| s.trim().to_owned()).collect();
         if path.iter().any(|s| s.is_empty()) {
             return Err(ParseError::syntax(0, format!("bad path {path_text:?}")));
         }
@@ -171,8 +168,15 @@ fn parse_value(text: &str) -> Result<PathValue, ParseError> {
 }
 
 fn trim(raw: &[u8]) -> &[u8] {
-    let start = raw.iter().position(|b| !b.is_ascii_whitespace()).unwrap_or(0);
-    let end = raw.iter().rposition(|b| !b.is_ascii_whitespace()).map(|e| e + 1).unwrap_or(0);
+    let start = raw
+        .iter()
+        .position(|b| !b.is_ascii_whitespace())
+        .unwrap_or(0);
+    let end = raw
+        .iter()
+        .rposition(|b| !b.is_ascii_whitespace())
+        .map(|e| e + 1)
+        .unwrap_or(0);
     &raw[start.min(end)..end]
 }
 
@@ -294,7 +298,10 @@ fn skip_value(json: &[u8], i: usize) -> Option<usize> {
         _ => {
             // Scalar: runs to the next , } ] or whitespace.
             let mut j = i;
-            while j < json.len() && !matches!(json[j], b',' | b'}' | b']') && !json[j].is_ascii_whitespace() {
+            while j < json.len()
+                && !matches!(json[j], b',' | b'}' | b']')
+                && !json[j].is_ascii_whitespace()
+            {
                 j += 1;
             }
             Some(j)
@@ -331,7 +338,10 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(PathQuery::parse("").is_err());
         assert!(PathQuery::parse(". = 1").is_err());
-        assert!(PathQuery::parse("a < \"str\"").is_err(), "ordered needs number");
+        assert!(
+            PathQuery::parse("a < \"str\"").is_err(),
+            "ordered needs number"
+        );
         assert!(PathQuery::parse("a = nonsense").is_err());
     }
 
@@ -339,17 +349,32 @@ mod tests {
     fn existence() {
         assert!(PathQuery::parse("building").unwrap().matches_json(PROPS));
         assert!(!PathQuery::parse("missing").unwrap().matches_json(PROPS));
-        assert!(PathQuery::parse("address.city").unwrap().matches_json(PROPS));
-        assert!(!PathQuery::parse("address.street").unwrap().matches_json(PROPS));
-        assert!(PathQuery::parse("renovated").unwrap().matches_json(PROPS), "null exists");
+        assert!(PathQuery::parse("address.city")
+            .unwrap()
+            .matches_json(PROPS));
+        assert!(!PathQuery::parse("address.street")
+            .unwrap()
+            .matches_json(PROPS));
+        assert!(
+            PathQuery::parse("renovated").unwrap().matches_json(PROPS),
+            "null exists"
+        );
     }
 
     #[test]
     fn string_equality() {
-        assert!(PathQuery::parse(r#"building = "yes""#).unwrap().matches_json(PROPS));
-        assert!(!PathQuery::parse(r#"building = "no""#).unwrap().matches_json(PROPS));
-        assert!(PathQuery::parse(r#"building != "no""#).unwrap().matches_json(PROPS));
-        assert!(PathQuery::parse(r#"address.city = "London""#).unwrap().matches_json(PROPS));
+        assert!(PathQuery::parse(r#"building = "yes""#)
+            .unwrap()
+            .matches_json(PROPS));
+        assert!(!PathQuery::parse(r#"building = "no""#)
+            .unwrap()
+            .matches_json(PROPS));
+        assert!(PathQuery::parse(r#"building != "no""#)
+            .unwrap()
+            .matches_json(PROPS));
+        assert!(PathQuery::parse(r#"address.city = "London""#)
+            .unwrap()
+            .matches_json(PROPS));
     }
 
     #[test]
@@ -373,9 +398,15 @@ mod tests {
 
     #[test]
     fn booleans_and_null() {
-        assert!(PathQuery::parse("vacant = false").unwrap().matches_json(PROPS));
-        assert!(!PathQuery::parse("vacant = true").unwrap().matches_json(PROPS));
-        assert!(PathQuery::parse("renovated = null").unwrap().matches_json(PROPS));
+        assert!(PathQuery::parse("vacant = false")
+            .unwrap()
+            .matches_json(PROPS));
+        assert!(!PathQuery::parse("vacant = true")
+            .unwrap()
+            .matches_json(PROPS));
+        assert!(PathQuery::parse("renovated = null")
+            .unwrap()
+            .matches_json(PROPS));
     }
 
     #[test]
@@ -390,7 +421,9 @@ mod tests {
 
     #[test]
     fn nested_non_object_path_fails_cleanly() {
-        assert!(!PathQuery::parse("building.sub").unwrap().matches_json(PROPS));
+        assert!(!PathQuery::parse("building.sub")
+            .unwrap()
+            .matches_json(PROPS));
         assert!(!PathQuery::parse("x").unwrap().matches_json(b"not json"));
         assert!(!PathQuery::parse("x").unwrap().matches_json(b"[1,2]"));
     }

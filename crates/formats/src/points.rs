@@ -42,10 +42,7 @@ pub fn parse_point(input: &[u8], offsets: PointOffsets) -> Result<Point, ParseEr
 
 /// Batch form used by pipelines: maps offset streams to point streams
 /// independently per element (hence trivially data-parallel).
-pub fn parse_points(
-    input: &[u8],
-    offsets: &[PointOffsets],
-) -> Result<Vec<Point>, ParseError> {
+pub fn parse_points(input: &[u8], offsets: &[PointOffsets]) -> Result<Vec<Point>, ParseError> {
     offsets.iter().map(|&o| parse_point(input, o)).collect()
 }
 
@@ -92,8 +89,14 @@ mod tests {
     fn batch_is_elementwise() {
         let input = b"1 2 3 4";
         let offs = [
-            PointOffsets { x: (0, 1), y: (2, 3) },
-            PointOffsets { x: (4, 5), y: (6, 7) },
+            PointOffsets {
+                x: (0, 1),
+                y: (2, 3),
+            },
+            PointOffsets {
+                x: (4, 5),
+                y: (6, 7),
+            },
         ];
         let pts = parse_points(input, &offs).unwrap();
         assert_eq!(pts, vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)]);

@@ -159,7 +159,11 @@ mod tests {
         assert_eq!(find_marker(hay, b"<r>", 3), Some(7));
         assert_eq!(find_marker(hay, b"<r>", 8), None);
         assert_eq!(find_marker(hay, b"", 0), None);
-        assert_eq!(find_marker(b"ab", b"abc", 0), None, "marker longer than input");
+        assert_eq!(
+            find_marker(b"ab", b"abc", 0),
+            None,
+            "marker longer than input"
+        );
     }
 
     #[test]

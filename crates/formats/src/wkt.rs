@@ -49,9 +49,7 @@ pub fn parse_row(
     if filter.needs_tags() {
         let tags = std::str::from_utf8(tags_col)
             .map_err(|_| ParseError::syntax(start as u64, "non-UTF8 tags"))?;
-        let pairs = tags
-            .split(';')
-            .filter_map(|kv| kv.split_once('='));
+        let pairs = tags.split(';').filter_map(|kv| kv.split_once('='));
         if !filter.accepts_tags(pairs) {
             return Ok(None);
         }
@@ -110,10 +108,7 @@ impl<'a> WktCursor<'a> {
     fn keyword(&mut self) -> &'a str {
         self.skip_ws();
         let rest = &self.text[self.pos..];
-        let len = rest
-            .bytes()
-            .take_while(|b| b.is_ascii_alphabetic())
-            .count();
+        let len = rest.bytes().take_while(|b| b.is_ascii_alphabetic()).count();
         let kw = &rest[..len];
         self.pos += len;
         kw
@@ -273,10 +268,7 @@ pub fn process_block(
             saw_newline: false,
         }),
         Some(nl) => {
-            let last_nl = bytes
-                .iter()
-                .rposition(|&b| b == b'\n')
-                .expect("nl exists");
+            let last_nl = bytes.iter().rposition(|&b| b == b'\n').expect("nl exists");
             let mut features = Vec::new();
             parse_block_rows(
                 input,

@@ -25,9 +25,7 @@ pub fn convex_hull(points: &[Point]) -> Ring {
     let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
     // Lower hull.
     for &p in &pts {
-        while hull.len() >= 2
-            && hull[hull.len() - 2].cross(&hull[hull.len() - 1], &p) <= 0.0
-        {
+        while hull.len() >= 2 && hull[hull.len() - 2].cross(&hull[hull.len() - 1], &p) <= 0.0 {
             hull.pop();
         }
         hull.push(p);

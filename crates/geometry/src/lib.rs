@@ -42,8 +42,8 @@ pub use measures::{perimeter, planar_area, signed_ring_area, DistanceModel};
 pub use point::Point;
 pub use polygon::{Geometry, LineString, MultiPolygon, Polygon, Ring};
 pub use relate::{
-    contains, crosses, disjoint, distance, intersects, overlaps, relate, touches, within,
-    De9Im, IntersectionMatrix,
+    contains, crosses, disjoint, distance, intersects, overlaps, relate, touches, within, De9Im,
+    IntersectionMatrix,
 };
 pub use segment::{segment_intersection, segments_intersect, Orientation, Segment};
 pub use setops::{buffer, difference, intersection, sym_difference, union};

@@ -60,9 +60,7 @@ impl Mbr {
 
     /// Smallest MBR covering all `points`; [`Mbr::EMPTY`] when empty.
     pub fn from_points(points: &[Point]) -> Self {
-        points
-            .iter()
-            .fold(Mbr::EMPTY, |acc, p| acc.expanded_to(*p))
+        points.iter().fold(Mbr::EMPTY, |acc, p| acc.expanded_to(*p))
     }
 
     /// True when the box contains no points.

@@ -83,7 +83,10 @@ pub fn perimeter(g: &Geometry, model: DistanceModel) -> f64 {
 /// Perimeter of a polygon (all rings) under the given distance model.
 pub fn polygon_perimeter(p: &Polygon, model: DistanceModel) -> f64 {
     ring_perimeter(&p.exterior, model)
-        + p.holes.iter().map(|h| ring_perimeter(h, model)).sum::<f64>()
+        + p.holes
+            .iter()
+            .map(|h| ring_perimeter(h, model))
+            .sum::<f64>()
 }
 
 /// Perimeter of one ring under the given distance model.

@@ -149,8 +149,7 @@ impl EdgeRelateState {
     /// Final intersects decision, completing the paper's algorithm with
     /// the reference-inside-streamed probe.
     pub fn finish_intersects(&self, streamed: &Polygon, reference: &Polygon) -> bool {
-        if self.any_edge_intersects || self.any_vertex_strictly_inside || self.all_vertices_inside
-        {
+        if self.any_edge_intersects || self.any_vertex_strictly_inside || self.all_vertices_inside {
             return true;
         }
         // Reference may be entirely inside the streamed geometry: probe
@@ -439,15 +438,17 @@ pub fn relate(a: &Geometry, b: &Geometry) -> IntersectionMatrix {
             // Approximation: boundaries pass through interiors whenever
             // the shapes properly overlap.
         }
-        let eb_in_b_interior = a.points().iter().any(|p| {
-            b.contains_point(p) && !on_geometry_boundary(b, p)
-        });
+        let eb_in_b_interior = a
+            .points()
+            .iter()
+            .any(|p| b.contains_point(p) && !on_geometry_boundary(b, p));
         if eb_in_b_interior {
             m.dim[1][0] = 1;
         }
-        let ea_in_a_interior = b.points().iter().any(|p| {
-            a.contains_point(p) && !on_geometry_boundary(a, p)
-        });
+        let ea_in_a_interior = b
+            .points()
+            .iter()
+            .any(|p| a.contains_point(p) && !on_geometry_boundary(a, p));
         if ea_in_a_interior {
             m.dim[0][1] = 1;
         }
@@ -497,7 +498,10 @@ mod tests {
         let inner = square(4.0, 4.0, 1.0);
         assert!(within(&inner, &outer));
         assert!(contains(&outer, &inner));
-        assert!(intersects(&inner, &outer), "containment implies intersection");
+        assert!(
+            intersects(&inner, &outer),
+            "containment implies intersection"
+        );
         assert!(!overlaps(&inner, &outer), "containment is not overlap");
         assert!(!touches(&inner, &outer));
     }

@@ -83,7 +83,8 @@ impl Segment {
         if len_sq == 0.0 {
             return self.a.distance(p);
         }
-        let t = ((p.x - self.a.x) * (self.b.x - self.a.x) + (p.y - self.a.y) * (self.b.y - self.a.y))
+        let t = ((p.x - self.a.x) * (self.b.x - self.a.x)
+            + (p.y - self.a.y) * (self.b.y - self.a.y))
             / len_sq;
         let t = t.clamp(0.0, 1.0);
         let proj = Point::new(
@@ -115,8 +116,7 @@ pub fn segments_intersect(s1: &Segment, s2: &Segment) -> bool {
     let o3 = orientation(&s2.a, &s2.b, &s1.a);
     let o4 = orientation(&s2.a, &s2.b, &s1.b);
 
-    if o1 != o2 && o3 != o4 && (o1 != Orientation::Collinear || o2 != Orientation::Collinear)
-    {
+    if o1 != o2 && o3 != o4 && (o1 != Orientation::Collinear || o2 != Orientation::Collinear) {
         // General position: proper crossing needs strictly opposite
         // orientations on both segments. (Collinear cases fall through to
         // the on-segment checks below.)

@@ -152,7 +152,12 @@ fn overlay(a: &Polygon, b: &Polygon, keep_a: Keep, keep_b: Keep) -> MultiPolygon
     let mut edges = select_edges(&split_edges(a, b), b, keep_a);
     edges.extend(select_edges(&split_edges(b, a), a, keep_b));
     let rings = stitch(edges);
-    MultiPolygon::new(rings.into_iter().map(|r| Polygon::new(r, Vec::new())).collect())
+    MultiPolygon::new(
+        rings
+            .into_iter()
+            .map(|r| Polygon::new(r, Vec::new()))
+            .collect(),
+    )
 }
 
 /// ST_Intersection: the region common to both polygons. Returns an
@@ -219,7 +224,12 @@ pub fn difference(a: &Polygon, b: &Polygon) -> MultiPolygon {
     if rings.is_empty() {
         MultiPolygon::new(vec![a.clone()])
     } else {
-        MultiPolygon::new(rings.into_iter().map(|r| Polygon::new(r, Vec::new())).collect())
+        MultiPolygon::new(
+            rings
+                .into_iter()
+                .map(|r| Polygon::new(r, Vec::new()))
+                .collect(),
+        )
     }
 }
 
@@ -356,7 +366,11 @@ mod tests {
         let a = square(0.0, 0.0, 2.0);
         let b = square(1.0, 1.0, 2.0);
         let u = union(&a, &b);
-        assert!((u.area() - 7.0).abs() < 1e-9, "4 + 4 - 1 = 7, got {}", u.area());
+        assert!(
+            (u.area() - 7.0).abs() < 1e-9,
+            "4 + 4 - 1 = 7, got {}",
+            u.area()
+        );
     }
 
     #[test]
@@ -404,7 +418,11 @@ mod tests {
         let a = square(0.0, 0.0, 2.0);
         let b = square(1.0, 1.0, 2.0);
         let s = sym_difference(&a, &b);
-        assert!((s.area() - 6.0).abs() < 1e-9, "2*(4-1) = 6, got {}", s.area());
+        assert!(
+            (s.area() - 6.0).abs() < 1e-9,
+            "2*(4-1) = 6, got {}",
+            s.area()
+        );
     }
 
     #[test]
@@ -444,7 +462,11 @@ mod tests {
         let p = Polygon::from_exterior(vec![Point::new(1.0, 1.0)]);
         let b = buffer(&p, 2.0, 16);
         let expect = std::f64::consts::PI * 4.0;
-        assert!((b.area() - expect).abs() / expect < 0.02, "got {}", b.area());
+        assert!(
+            (b.area() - expect).abs() / expect < 0.02,
+            "got {}",
+            b.area()
+        );
     }
 
     /// Offsets for `square(dx, dy, s)` against `square(0, 0, 2)` that

@@ -171,7 +171,10 @@ mod tests {
     #[test]
     fn degenerate_rings_have_zero_area() {
         assert_eq!(ring_area(&[]), 0.0);
-        assert_eq!(ring_area(&[Point::new(0.0, 0.0), Point::new(1.0, 1.0)]), 0.0);
+        assert_eq!(
+            ring_area(&[Point::new(0.0, 0.0), Point::new(1.0, 1.0)]),
+            0.0
+        );
     }
 
     proptest! {

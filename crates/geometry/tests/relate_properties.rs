@@ -96,14 +96,8 @@ fn intersects_brute(a: &Polygon, b: &Polygon) -> bool {
             }
         }
     }
-    a.exterior
-        .points
-        .iter()
-        .any(|p| point_in_poly_brute(*p, b))
-        || b.exterior
-            .points
-            .iter()
-            .any(|p| point_in_poly_brute(*p, a))
+    a.exterior.points.iter().any(|p| point_in_poly_brute(*p, b))
+        || b.exterior.points.iter().any(|p| point_in_poly_brute(*p, a))
 }
 
 // ---- properties ---------------------------------------------------

@@ -158,11 +158,7 @@ pub fn run_sequential<T: Transducer>(t: &T, input: &[T::Sym]) -> (usize, T::Out)
 /// Runs a transducer associatively: splits `input` into `blocks`
 /// roughly equal pieces, builds fragments independently, merges them
 /// in a balanced tree and resolves against the true start state.
-pub fn run_associative<T: Transducer>(
-    t: &T,
-    input: &[T::Sym],
-    blocks: usize,
-) -> (usize, T::Out) {
+pub fn run_associative<T: Transducer>(t: &T, input: &[T::Sym], blocks: usize) -> (usize, T::Out) {
     let blocks = blocks.max(1);
     let chunk = input.len().div_ceil(blocks).max(1);
     let frags: Vec<ClassicFragment<T::Out>> = input

@@ -143,7 +143,13 @@ impl ByteDfa {
     /// bytes, e.g. commas and brackets outside strings, stay inside
     /// the word loop), so neither skipped runs nor hit-dense runs
     /// rescan input.
-    pub fn run<F: FnMut(u8, u64)>(&self, mut state: u8, bytes: &[u8], base: u64, mut emit: F) -> u8 {
+    pub fn run<F: FnMut(u8, u64)>(
+        &self,
+        mut state: u8,
+        bytes: &[u8],
+        base: u64,
+        mut emit: F,
+    ) -> u8 {
         let len = bytes.len();
         let mut pos = 0usize;
         'class: while pos < len {
@@ -652,8 +658,7 @@ impl<O: Mergeable + Clone + PartialEq> PartialEq for DfaFragment<O> {
         self.entries.iter().zip(&other.entries).all(|(a, b)| {
             a.0 == b.0
                 && a.1 == b.1
-                && a.2.clone().merge(self.shared.clone())
-                    == b.2.clone().merge(other.shared.clone())
+                && a.2.clone().merge(self.shared.clone()) == b.2.clone().merge(other.shared.clone())
         })
     }
 }
@@ -707,9 +712,13 @@ mod tests {
 
     fn frag(input: &[u8], base: u64) -> DfaFragment<Vec<u64>> {
         let dfa = string_lexer();
-        DfaFragment::run_block(&dfa, &[0, 1, 2], input, base, |tape: &mut Vec<u64>, _a, pos, _b| {
-            tape.push(pos)
-        })
+        DfaFragment::run_block(
+            &dfa,
+            &[0, 1, 2],
+            input,
+            base,
+            |tape: &mut Vec<u64>, _a, pos, _b| tape.push(pos),
+        )
     }
 
     #[test]
@@ -836,10 +845,7 @@ mod tests {
     }
 
     fn arb_input() -> impl Strategy<Value = Vec<u8>> {
-        prop::collection::vec(
-            prop::sample::select(b"ab,\"\\ :x".to_vec()),
-            0..120,
-        )
+        prop::collection::vec(prop::sample::select(b"ab,\"\\ :x".to_vec()), 0..120)
     }
 
     proptest! {

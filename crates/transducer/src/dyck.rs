@@ -100,10 +100,11 @@ impl<E> Mergeable for DyckFragment<E> {
         self.min = self.min.min(shift + other.min);
         self.net = shift + other.net;
         self.events.reserve(other.events.len());
-        self.events.extend(other.events.into_iter().map(|e| DepthEvent {
-            depth: e.depth + shift,
-            payload: e.payload,
-        }));
+        self.events
+            .extend(other.events.into_iter().map(|e| DepthEvent {
+                depth: e.depth + shift,
+                payload: e.payload,
+            }));
         self
     }
 }

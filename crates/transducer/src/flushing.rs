@@ -209,8 +209,8 @@ impl<A: FlushAggregate> Mergeable for PftFragment<A> {
             (true, true) => {
                 // The boundary-spanning run: left tail ++ right head,
                 // flushed by right's first flush symbol.
-                let spanning = std::mem::replace(&mut self.tail, A::State::identity())
-                    .merge(other.head);
+                let spanning =
+                    std::mem::replace(&mut self.tail, A::State::identity()).merge(other.head);
                 if self.tail_nonempty || other.head_nonempty {
                     if let Some(out) = A::finish(spanning) {
                         self.outputs.push(out);
@@ -333,10 +333,7 @@ mod tests {
     }
 
     fn arb_syms() -> impl Strategy<Value = Vec<f64>> {
-        prop::collection::vec(
-            prop_oneof![3 => 1.0..10.0f64, 1 => Just(f64::NAN)],
-            0..80,
-        )
+        prop::collection::vec(prop_oneof![3 => 1.0..10.0f64, 1 => Just(f64::NAN)], 0..80)
     }
 
     proptest! {

@@ -111,9 +111,7 @@ impl<T: Mergeable> Mergeable for Option<T> {
 /// Reduces a sequence of fragments with ⊗ in left-to-right order.
 /// Equivalent to any balanced parallel reduction by associativity.
 pub fn merge_all<T: Mergeable>(items: impl IntoIterator<Item = T>) -> T {
-    items
-        .into_iter()
-        .fold(T::identity(), |acc, x| acc.merge(x))
+    items.into_iter().fold(T::identity(), |acc, x| acc.merge(x))
 }
 
 /// Reduces fragments pairwise in a balanced tree, mimicking the merge

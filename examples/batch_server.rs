@@ -85,7 +85,10 @@ fn main() {
     let probe = traffic_tick(1, objects);
     let batched = session.execute_batch(&probe).expect("batch");
     for (q, want) in probe.iter().zip(&batched) {
-        let solo = session.engine().execute(q, session.dataset()).expect("solo");
+        let solo = session
+            .engine()
+            .execute(q, session.dataset())
+            .expect("solo");
         assert_eq!(&solo, want, "batch answers must equal solo execution");
     }
     println!("verified: batched results identical to per-query execution");

@@ -15,9 +15,15 @@ use atgis_geometry::Mbr;
 fn main() {
     let objects = OsmGenerator::new(3).generate(5_000);
     let datasets = [
-        ("GeoJSON", Dataset::from_bytes(write_geojson(&objects), Format::GeoJson)),
+        (
+            "GeoJSON",
+            Dataset::from_bytes(write_geojson(&objects), Format::GeoJson),
+        ),
         ("WKT", Dataset::from_bytes(write_wkt(&objects), Format::Wkt)),
-        ("OSM XML", Dataset::from_bytes(write_osm_xml(&objects), Format::OsmXml)),
+        (
+            "OSM XML",
+            Dataset::from_bytes(write_osm_xml(&objects), Format::OsmXml),
+        ),
     ];
     let region = Mbr::new(-10.0, 40.0, 0.0, 50.0);
     let query = Query::containment(region);
@@ -55,5 +61,8 @@ fn main() {
     let a = pat.execute(&query, g).expect("pat");
     let b = fat.execute(&query, g).expect("fat");
     assert_eq!(a.matches(), b.matches());
-    println!("\nPAT and FAT agree on {} matches — speculation is exact.", a.matches().len());
+    println!(
+        "\nPAT and FAT agree on {} matches — speculation is exact.",
+        a.matches().len()
+    );
 }

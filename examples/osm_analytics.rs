@@ -61,8 +61,8 @@ fn main() {
         .expect("filtered pass");
     println!(
         "buildings: {} covering {:.2} km^2 (split {:?}, process {:?}, merge {:?})",
-        agg.values.count,
-        agg.values.total_area / 1e6,
+        agg.values().count,
+        agg.values().total_area / 1e6,
         timings.split,
         timings.process,
         timings.merge,

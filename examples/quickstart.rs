@@ -25,7 +25,11 @@ fn main() {
     //    choices. PAT uses marker-aligned splits with an optimised
     //    parser; FAT handles arbitrary splits speculatively.
     let engine = Engine::builder()
-        .threads(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2))
+        .threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+        )
         .mode(Mode::Pat)
         .build();
 

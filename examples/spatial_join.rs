@@ -41,7 +41,7 @@ fn main() {
     println!("  dedup:              {:?}", join_stats.dedup);
     for pair in result.joined().iter().take(5) {
         println!(
-        "  e.g. object {} intersects object {}",
+            "  e.g. object {} intersects object {}",
             pair.left_id, pair.right_id
         );
     }

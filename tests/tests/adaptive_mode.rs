@@ -89,7 +89,8 @@ fn adaptive_parse_all_agrees_with_fixed() {
     let ds = OsmGenerator::new(3).generate(100);
     let bytes = write_geojson(&ds);
     let filter = atgis_formats::MetadataFilter::All;
-    let adaptive = atgis_formats::parse_all(&bytes, Format::GeoJson, Mode::Adaptive, &filter).unwrap();
+    let adaptive =
+        atgis_formats::parse_all(&bytes, Format::GeoJson, Mode::Adaptive, &filter).unwrap();
     let pat = atgis_formats::parse_all(&bytes, Format::GeoJson, Mode::Pat, &filter).unwrap();
     assert_eq!(adaptive, pat);
 }

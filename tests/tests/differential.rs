@@ -23,7 +23,9 @@ const THREADS: [usize; 3] = [1, 2, 8];
 const PARTITION_TARGETS: [usize; 2] = [0, 4];
 
 fn mmap_enabled() -> bool {
-    std::env::var("ATGIS_MMAP").map(|v| v == "1").unwrap_or(false)
+    std::env::var("ATGIS_MMAP")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Heap-backed dataset, or a temp-file memory mapping when
@@ -188,8 +190,7 @@ fn skewed_join_matches_oracle_everywhere() {
     assert!(!want.is_empty(), "skewed join must produce pairs");
     for (config, engine) in engines() {
         let r = engine.execute(&Query::join(60), &ds).unwrap();
-        let mut got: Vec<(u64, u64)> =
-            r.joined().iter().map(|p| (p.left_id, p.right_id)).collect();
+        let mut got: Vec<(u64, u64)> = r.joined().iter().map(|p| (p.left_id, p.right_id)).collect();
         got.sort_unstable();
         got.dedup();
         assert_eq!(got, want, "skewed join [{config}]");
@@ -359,7 +360,10 @@ fn session_batches_stay_consistent_across_cache_states() {
             .cell_size(2.0)
             .partition_target(target)
             .build();
-        let joins = vec![Query::join(n / 2), Query::combined(n / 3, 0.0, f64::INFINITY)];
+        let joins = vec![
+            Query::join(n / 2),
+            Query::combined(n / 3, 0.0, f64::INFINITY),
+        ];
         let want: Vec<QueryResult> = joins
             .iter()
             .map(|q| engine.execute(q, &ds).unwrap())

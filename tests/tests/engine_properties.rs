@@ -207,8 +207,17 @@ fn synth_skew_datasets_parse_in_both_modes() {
         .generate();
         let data = Dataset::from_bytes(write_geojson(&ds), Format::GeoJson);
         let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
-        let pat = Engine::builder().mode(Mode::Pat).build().execute(&q, &data).unwrap();
-        let fat = Engine::builder().mode(Mode::Fat).threads(3).build().execute(&q, &data).unwrap();
+        let pat = Engine::builder()
+            .mode(Mode::Pat)
+            .build()
+            .execute(&q, &data)
+            .unwrap();
+        let fat = Engine::builder()
+            .mode(Mode::Fat)
+            .threads(3)
+            .build()
+            .execute(&q, &data)
+            .unwrap();
         assert_eq!(pat.matches(), fat.matches(), "sigma={sigma}");
         assert_eq!(pat.matches().len(), 40);
     }
@@ -244,9 +253,17 @@ fn empty_dataset_is_handled_everywhere() {
     let e = Engine::builder().threads(2).build();
     let region = Mbr::new(-180.0, -90.0, 180.0, 90.0);
     for ds in [&empty_json, &empty_wkt] {
-        assert!(e.execute(&Query::containment(region), ds).unwrap().matches().is_empty());
+        assert!(e
+            .execute(&Query::containment(region), ds)
+            .unwrap()
+            .matches()
+            .is_empty());
         assert_eq!(
-            e.execute(&Query::aggregation(region), ds).unwrap().aggregate().unwrap().count,
+            e.execute(&Query::aggregation(region), ds)
+                .unwrap()
+                .aggregate()
+                .unwrap()
+                .count,
             0
         );
         assert!(e.execute(&Query::join(10), ds).unwrap().joined().is_empty());

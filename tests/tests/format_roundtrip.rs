@@ -90,7 +90,13 @@ fn cross_format_geometry_agreement() {
         &MetadataFilter::All,
     )
     .unwrap();
-    let wkt = parse_all(&write_wkt(&ds), Format::Wkt, Mode::Pat, &MetadataFilter::All).unwrap();
+    let wkt = parse_all(
+        &write_wkt(&ds),
+        Format::Wkt,
+        Mode::Pat,
+        &MetadataFilter::All,
+    )
+    .unwrap();
     assert_eq!(geojson.len(), wkt.len());
     for (g, w) in geojson.iter().zip(&wkt) {
         assert_eq!(g.id, w.id);

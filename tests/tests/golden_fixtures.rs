@@ -14,10 +14,7 @@ const OSM: &[u8] = include_bytes!("../fixtures/small.osm");
 
 /// `(id, mbr)` pairs sorted by id.
 fn summarize(features: &[RawFeature]) -> Vec<(u64, Mbr)> {
-    let mut v: Vec<(u64, Mbr)> = features
-        .iter()
-        .map(|f| (f.id, f.geometry.mbr()))
-        .collect();
+    let mut v: Vec<(u64, Mbr)> = features.iter().map(|f| (f.id, f.geometry.mbr())).collect();
     v.sort_by_key(|(id, _)| *id);
     v
 }
@@ -42,7 +39,10 @@ fn assert_matches(got: &[(u64, Mbr)], want: &[(u64, Mbr)], label: &str) {
             (gm.max_x, wm.max_x),
             (gm.max_y, wm.max_y),
         ] {
-            assert!((g - w).abs() < 1e-9, "{label}: id {gid} mbr {gm:?} vs {wm:?}");
+            assert!(
+                (g - w).abs() < 1e-9,
+                "{label}: id {gid} mbr {gm:?} vs {wm:?}"
+            );
         }
     }
 }

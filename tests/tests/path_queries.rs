@@ -42,7 +42,10 @@ fn numeric_query_filters_features() {
 #[test]
 fn nested_path_query_filters_features() {
     assert_eq!(run(r#"address.city = "London""#, Mode::Pat), vec![1]);
-    assert_eq!(run(r#"address.city = "Paris""#, Mode::Pat), Vec::<u64>::new());
+    assert_eq!(
+        run(r#"address.city = "Paris""#, Mode::Pat),
+        Vec::<u64>::new()
+    );
 }
 
 #[test]

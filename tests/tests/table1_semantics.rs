@@ -49,7 +49,10 @@ fn predicate_truth_table() {
             other.mbr()
         );
     }
-    assert_eq!(SpatialOperator::Within.evaluate_predicate(&inside, &a), Some(true));
+    assert_eq!(
+        SpatialOperator::Within.evaluate_predicate(&inside, &a),
+        Some(true)
+    );
 }
 
 #[test]
@@ -93,10 +96,14 @@ fn set_ops_satisfy_algebraic_identities() {
     let a = Polygon::from_mbr(&Mbr::new(0.0, 0.0, 2.0, 2.0));
     let b = Polygon::from_mbr(&Mbr::new(1.0, 1.0, 3.0, 3.0));
     let area = |g: &Geometry| g.area();
-    let inter = SpatialOperator::Intersection.evaluate_setop(&a, &b).unwrap();
+    let inter = SpatialOperator::Intersection
+        .evaluate_setop(&a, &b)
+        .unwrap();
     let uni = SpatialOperator::Union.evaluate_setop(&a, &b).unwrap();
     let diff = SpatialOperator::Difference.evaluate_setop(&a, &b).unwrap();
-    let sym = SpatialOperator::SymDifference.evaluate_setop(&a, &b).unwrap();
+    let sym = SpatialOperator::SymDifference
+        .evaluate_setop(&a, &b)
+        .unwrap();
     assert!((area(&inter) - 1.0).abs() < 1e-9);
     assert!((area(&uni) - 7.0).abs() < 1e-9);
     assert!((area(&diff) - 3.0).abs() < 1e-9);
@@ -148,7 +155,10 @@ fn st_envelope_as_pft_is_split_invariant_inside_shapes() {
         }
         syms.push(flush);
     };
-    push_shape(&[(0., 0.), (1., 0.), (1., 1.), (0., 1.), (0.5, 2.)], &mut syms);
+    push_shape(
+        &[(0., 0.), (1., 0.), (1., 1.), (0., 1.), (0.5, 2.)],
+        &mut syms,
+    );
     push_shape(&[(5., 5.), (6., 5.), (6., 7.)], &mut syms);
     push_shape(&[(-3., 0.), (-1., 0.), (-1., -2.), (-3., -2.)], &mut syms);
 
@@ -219,7 +229,7 @@ fn st_intersects_edge_state_is_order_insensitive() {
 fn relate_matrix_consistent_with_predicates() {
     let a = square(0.0, 0.0, 2.0);
     for (other, pattern_should_match) in [
-        (square(1.0, 1.0, 2.0), "T********"), // interiors intersect
+        (square(1.0, 1.0, 2.0), "T********"),  // interiors intersect
         (square(10.0, 0.0, 1.0), "FF*FF****"), // disjoint
     ] {
         let m = atgis_geometry::relate(&a, &other);
