@@ -21,6 +21,11 @@
 //!   configurable per-job startup latency and per-record shuffle
 //!   cost, the overheads that dominate Hadoop-GIS/SpatialHadoop in
 //!   Fig. 10.
+//!
+//! See `ARCHITECTURE.md` at the repository root for how this crate
+//! fits into the workspace as the oracle/baseline support crate of the four-layer design,
+//! plus the ingest → seal → query lifecycle and the data flow of a
+//! scheduled batch.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]

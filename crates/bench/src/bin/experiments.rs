@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! experiments [all|table1|table2|table3|fig9|fig10|fig11|fig12|fig13|
-//!              fig14|fig15|fig_batch|fig_stream]
+//!              fig14|fig15|fig_batch|fig_sched|fig_stream]
 //! ```
 //!
 //! Scale with `ATGIS_SCALE` (default 1.0). Absolute numbers differ
@@ -69,6 +69,9 @@ fn main() {
     }
     if run_all || which == "fig_batch" {
         fig_batch();
+    }
+    if run_all || which == "fig_sched" {
+        fig_sched();
     }
     if run_all || which == "fig_stream" {
         fig_stream();
@@ -628,6 +631,90 @@ fn fig_batch() {
         throughput_mbs(served, d_warm),
         secs(d_joins),
         warm_stats.scan_passes,
+    );
+    println!();
+}
+
+fn fig_sched() {
+    use atgis::{QueryScheduler, SchedulerConfig};
+    println!("=== fig_sched: scheduled vs unscheduled duplicate-heavy batch (16 queries) ===");
+    let w = Workload::build(scaled(6000));
+    let threshold = (w.objects / 8) as u64;
+    let e = engine(host_threads(), Mode::Pat);
+    // 16 submissions, 6 unique predicates: 4× join, 4× combined,
+    // 4× one aggregation tile, 2× one containment tile, 2 one-offs.
+    let mut queries = Vec::new();
+    queries.extend((0..4).map(|_| Query::join(threshold)));
+    queries.extend((0..4).map(|_| Query::combined(threshold, 10.0, 1.0e7)));
+    queries.extend((0..4).map(|_| Query::aggregation(Mbr::new(-6.0, 44.0, 4.0, 56.0))));
+    queries.extend((0..2).map(|_| Query::containment(Mbr::new(-2.0, 48.0, 2.0, 52.0))));
+    queries.push(Query::containment(Mbr::new(-8.0, 44.0, -4.0, 48.0)));
+    queries.push(Query::aggregation(Mbr::new(0.0, 50.0, 4.0, 54.0)));
+    let served = w.osm_g.len() * queries.len();
+
+    // Symmetric footing: the unscheduled side is a warm QuerySession
+    // (partition index cached, same as the scheduler's session), so
+    // the ratio isolates dedup + admission, not PR 3's index caching.
+    let plain = atgis::QuerySession::new(e.clone(), w.osm_g.clone());
+    plain.execute_batch(&queries).unwrap(); // warm the index
+    let (unscheduled, d_plain) = time_best_of(3, || plain.execute_batch(&queries).unwrap());
+    let sched = QueryScheduler::with_config(
+        e.clone(),
+        SchedulerConfig {
+            cache: false, // measure scheduling work, not cache hits
+            ..SchedulerConfig::default()
+        },
+    );
+    let id = sched.register(w.osm_g.clone());
+    sched.execute_batch(id, &queries).unwrap(); // warm its index too
+    let ((scheduled, stats), d_sched) =
+        time_best_of(3, || sched.execute_batch_timed(id, &queries).unwrap());
+    assert_eq!(scheduled, unscheduled, "scheduling must not change results");
+
+    println!(
+        "{:>14} {:>12} {:>12} {:>8} {:>8}",
+        "mode", "time (s)", "agg MB/s", "executed", "passes"
+    );
+    println!(
+        "{:>14} {:>12.3} {:>12.1} {:>8} {:>8}",
+        "unscheduled",
+        secs(d_plain),
+        throughput_mbs(served, d_plain),
+        queries.len(),
+        1,
+    );
+    println!(
+        "{:>14} {:>12.3} {:>12.1} {:>8} {:>8}",
+        "scheduled",
+        secs(d_sched),
+        throughput_mbs(served, d_sched),
+        stats.unique_queries,
+        stats.scan_passes,
+    );
+    println!(
+        "scheduling speedup: {:.2}x  dedup {} of {}  waves {}  latency p50/p95/max \
+         {:.3}s/{:.3}s/{:.3}s",
+        secs(d_plain) / secs(d_sched),
+        stats.dedup_hits,
+        stats.queries,
+        stats.waves.len(),
+        secs(stats.latency_percentile(50.0)),
+        secs(stats.latency_percentile(95.0)),
+        secs(stats.latency_percentile(100.0)),
+    );
+
+    // Steady state: full policies, warm aggregate cache + warm index.
+    let warm = QueryScheduler::new(e);
+    let wid = warm.register(w.osm_g.clone());
+    warm.execute_batch(wid, &queries).unwrap();
+    let ((_, wstats), d_warm) =
+        time_best_of(3, || warm.execute_batch_timed(wid, &queries).unwrap());
+    println!(
+        "warm scheduler: {:.3}s ({:.1} MB/s) — {} cache hits, {} parse passes",
+        secs(d_warm),
+        throughput_mbs(served, d_warm),
+        wstats.cache_hits,
+        wstats.scan_passes,
     );
     println!();
 }

@@ -25,7 +25,7 @@
 //!    [`MultiSink`] prototype (the partition sink rides along when the
 //!    index is not already cached). The pass is either the buffered
 //!    `single_pass` over a materialised [`Dataset`] or the
-//!    **streaming scan** ([`crate::stream::StreamingScan`]) fed chunk
+//!    **streaming scan** (`crate::stream::StreamingScan`) fed chunk
 //!    by chunk from a [`crate::stream::ChunkSource`] — both produce
 //!    the same finished sinks, bit-identically;
 //! 3. **aggregate** — extract per-query results; join-class queries
@@ -272,6 +272,32 @@ fn plan_queries(engine: &Engine, queries: &[Query]) -> BatchPlan {
 /// per served dataset; repeated [`QuerySession::execute_batch`] calls
 /// amortise both the structural scan (within a batch) and the
 /// partition index (across batches).
+///
+/// ```
+/// use atgis::{Dataset, Engine, Query, QuerySession};
+/// use atgis_formats::Format;
+/// use atgis_geometry::Mbr;
+///
+/// let bytes = atgis_datagen::write_geojson(&atgis_datagen::OsmGenerator::new(6).generate(90));
+/// let dataset = Dataset::from_bytes(bytes, Format::GeoJson);
+/// let engine = Engine::builder().threads(2).cell_size(2.0).build();
+/// let session = QuerySession::new(engine, dataset);
+///
+/// let joins = vec![Query::join(45), Query::join(30)];
+/// // First join-class batch: one shared pass builds the partition
+/// // index and both joins read it.
+/// let (cold, s1) = session.execute_batch_timed(&joins).unwrap();
+/// assert_eq!(s1.scan_passes, 1);
+/// // Repeat traffic: the cached index serves the joins with ZERO
+/// // parse passes, and results stay bit-identical.
+/// let (warm, s2) = session.execute_batch_timed(&joins).unwrap();
+/// assert_eq!(s2.scan_passes, 0);
+/// assert_eq!(cold, warm);
+/// ```
+///
+/// For the **streaming** lifecycle (`ingest_chunk`* → `finish`), see
+/// [`QuerySession::streaming`]; a sealed session can be handed to a
+/// [`crate::scheduler::QueryScheduler`] for multi-tenant serving.
 pub struct QuerySession {
     engine: Engine,
     dataset: Dataset,

@@ -1,6 +1,6 @@
 //! Raw datasets: bytes plus format, following the NoDB philosophy —
 //! no conversion, no loading phase, queries run against these bytes
-//! directly (§1, §2.3 "the data [is] left in its original form").
+//! directly (§1, §2.3 "the data \[is\] left in its original form").
 //!
 //! Three storage backends:
 //!

@@ -163,7 +163,29 @@ impl EngineBuilder {
     }
 }
 
-/// The query engine. Cloning shares the underlying worker pool.
+/// The query engine: a configuration plus a persistent worker pool,
+/// executing Table 3 queries over raw [`Dataset`] bytes. Cloning
+/// shares the underlying worker pool.
+///
+/// ```
+/// use atgis::{Dataset, Engine, Query};
+/// use atgis_formats::{Format, Mode};
+/// use atgis_geometry::Mbr;
+///
+/// let bytes = atgis_datagen::write_geojson(&atgis_datagen::OsmGenerator::new(3).generate(100));
+/// let dataset = Dataset::from_bytes(bytes, Format::GeoJson);
+/// let engine = Engine::builder().threads(2).mode(Mode::Pat).build();
+///
+/// let matches = engine
+///     .execute(&Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0)), &dataset)
+///     .unwrap();
+/// assert!(!matches.matches().is_empty());
+///
+/// let joined = engine.execute(&Query::join(50), &dataset).unwrap();
+/// for pair in joined.joined() {
+///     assert!(pair.left_id < 50 && pair.right_id >= 50);
+/// }
+/// ```
 #[derive(Debug, Clone)]
 pub struct Engine {
     config: EngineBuilder,
@@ -204,6 +226,12 @@ impl Engine {
         &self.pool
     }
 
+    /// Area of the configured partition-grid extent (the scheduler's
+    /// selectivity denominator).
+    pub(crate) fn grid_extent_area(&self) -> f64 {
+        self.config.grid_extent.area()
+    }
+
     /// Executes a query, discarding timings.
     pub fn execute(&self, query: &Query, dataset: &Dataset) -> Result<QueryResult> {
         self.execute_timed(query, dataset).map(|(r, _)| r)
@@ -218,7 +246,31 @@ impl Engine {
     ///
     /// For repeated batches over the same dataset, prefer
     /// [`crate::batch::QuerySession`], which additionally caches the
-    /// partition index across calls.
+    /// partition index across calls; for multi-tenant traffic
+    /// (duplicate predicates, repeated batches, outlier isolation),
+    /// hold a [`crate::scheduler::QueryScheduler`].
+    ///
+    /// ```
+    /// use atgis::{Dataset, Engine, Query};
+    /// use atgis_formats::Format;
+    /// use atgis_geometry::Mbr;
+    ///
+    /// let bytes = atgis_datagen::write_geojson(&atgis_datagen::OsmGenerator::new(4).generate(80));
+    /// let dataset = Dataset::from_bytes(bytes, Format::GeoJson);
+    /// let engine = Engine::builder().threads(2).build();
+    /// let queries = vec![
+    ///     Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0)),
+    ///     Query::aggregation(Mbr::new(-6.0, 44.0, 4.0, 56.0)),
+    ///     Query::join(40),
+    /// ];
+    ///
+    /// // One parse pass serves all three queries…
+    /// let batched = engine.execute_batch(&queries, &dataset).unwrap();
+    /// // …and every result is bit-identical to executing alone.
+    /// for (q, batch_result) in queries.iter().zip(&batched) {
+    ///     assert_eq!(&engine.execute(q, &dataset).unwrap(), batch_result);
+    /// }
+    /// ```
     pub fn execute_batch(&self, queries: &[Query], dataset: &Dataset) -> Result<Vec<QueryResult>> {
         self.execute_batch_timed(queries, dataset).map(|(r, _)| r)
     }
@@ -232,6 +284,45 @@ impl Engine {
     ) -> Result<(Vec<QueryResult>, crate::stats::BatchStats)> {
         let cache = crate::batch::IndexCache::new();
         crate::batch::execute_batch_impl(self, queries, dataset, &cache)
+    }
+
+    /// Executes batches over **multiple datasets** in one call: each
+    /// `(dataset, queries)` group routes through a transient
+    /// [`crate::scheduler::QueryScheduler`] — predicates deduplicate
+    /// within each group and admission may split scan-heavy outliers
+    /// into their own waves — and results come back grouped exactly
+    /// like the input. For long-lived serving (warm partition indexes
+    /// and the cross-batch aggregate cache), hold a
+    /// [`crate::scheduler::QueryScheduler`] instead.
+    pub fn execute_multi_batch(
+        &self,
+        groups: &[(&Dataset, &[Query])],
+    ) -> Result<Vec<Vec<QueryResult>>> {
+        self.execute_multi_batch_timed(groups).map(|(r, _)| r)
+    }
+
+    /// [`Engine::execute_multi_batch`] with the combined scheduling
+    /// breakdown.
+    pub fn execute_multi_batch_timed(
+        &self,
+        groups: &[(&Dataset, &[Query])],
+    ) -> Result<(Vec<Vec<QueryResult>>, crate::stats::SchedulerStats)> {
+        use crate::scheduler::{QueryScheduler, ScheduledQuery};
+        let scheduler = QueryScheduler::new(self.clone());
+        let mut batch = Vec::new();
+        let mut sizes = Vec::with_capacity(groups.len());
+        for (dataset, queries) in groups {
+            let id = scheduler.register((*dataset).clone());
+            sizes.push(queries.len());
+            batch.extend(queries.iter().map(|q| ScheduledQuery::new(id, q.clone())));
+        }
+        let (flat, stats) = scheduler.execute_multi_timed(&batch)?;
+        let mut flat = flat.into_iter();
+        let grouped = sizes
+            .into_iter()
+            .map(|n| flat.by_ref().take(n).collect())
+            .collect();
+        Ok((grouped, stats))
     }
 
     /// Executes a query and reports per-phase timings.

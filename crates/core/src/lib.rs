@@ -27,12 +27,27 @@
 //!
 //! ## Architecture (§4 of the paper)
 //!
+//! See `ARCHITECTURE.md` at the repository root for the full
+//! four-layer map (transducer → formats → core scan/merge →
+//! batch/stream/scheduler), the ingest → seal → query lifecycle and
+//! the data-flow diagram of a scheduled batch.
+//!
 //! Execution is layered **plan → shared scan → per-query aggregate**:
 //! a query (or a whole batch of queries) is compiled into per-query
 //! aggregate sinks, ONE structural scan drives every sink from the
 //! same parse pass, and per-query work happens in the sinks and the
 //! join pipelines behind them.
 //!
+//! * [`scheduler`] — the **multi-tenant scheduling layer** above the
+//!   batch: [`scheduler::QueryScheduler`] deduplicates identical
+//!   predicates (one sink, fanned out to every submitter), serves
+//!   repeated single-pass traffic from a bounded
+//!   [`scheduler::AggregateCache`] keyed by predicate × dataset
+//!   generation (updates bump the generation, so stale aggregates are
+//!   impossible), admission-controls batches into waves so a
+//!   scan-heavy outlier cannot stall the cheap majority, and lifts
+//!   batches to **multiple datasets** in one call
+//!   ([`Engine::execute_multi_batch`]).
 //! * [`batch`] — the **shared-scan batch layer**: `execute_batch`
 //!   fans every submitted query's aggregate out of a single parse
 //!   pass (the [`pipeline::MultiSink`] fan-out), join-class queries
@@ -130,6 +145,7 @@ pub mod pipeline;
 pub mod pool;
 pub mod query;
 pub mod result;
+pub mod scheduler;
 pub mod stats;
 pub mod stream;
 
@@ -141,7 +157,12 @@ pub use join::{JoinOptions, ProbeStrategy};
 pub use partition::{AdaptiveConfig, PartitionMap, PartitionMapStats};
 pub use query::{FilterStrategy, Metric, Query, ScanClass};
 pub use result::{JoinPair, MatchRecord, QueryResult};
-pub use stats::{BatchQueryStats, BatchStats, JoinDecisions, StreamStats, Timings};
+pub use scheduler::{
+    AggregateCache, AggregateCacheStats, DatasetId, QueryScheduler, ScheduledQuery, SchedulerConfig,
+};
+pub use stats::{
+    BatchQueryStats, BatchStats, JoinDecisions, SchedulerStats, StreamStats, Timings, WaveStats,
+};
 pub use stream::{
     chunk_channel, ChannelChunkSource, ChunkSender, ChunkSource, FileChunkSource,
     ReaderChunkSource, SliceChunkSource,

@@ -1,0 +1,1371 @@
+//! Multi-tenant query scheduling: admission control, predicate
+//! deduplication and cross-batch aggregate reuse over the shared-scan
+//! batch layer.
+//!
+//! [`crate::batch`] amortises the structural scan *within* one batch;
+//! this module decides **what each batch should contain** and reuses
+//! work *across* batches and *across* tenants. A [`QueryScheduler`]
+//! sits between callers (a multi-tenant server front end) and
+//! [`QuerySession`]/[`Engine::execute_batch`], applying three policies
+//! before any work is dispatched:
+//!
+//! 1. **Predicate deduplication** — queries with an identical
+//!    (region, operator-class) key (the full predicate: region
+//!    geometry, requested metrics, distance model, join threshold,
+//!    perimeter bounds) share **one** aggregate sink in the underlying
+//!    shared scan; the finished result fans out to every submitter on
+//!    completion. Ten tenants asking for the same tile cost one
+//!    query's work.
+//! 2. **Cross-batch aggregate reuse** — a bounded [`AggregateCache`]
+//!    keyed by predicate × dataset **generation** holds finished
+//!    single-pass results (containment matches, aggregation values),
+//!    so repeated traffic skips the scan entirely — the single-pass
+//!    mirror of the join-side [`crate::batch::IndexCache`]. Replacing
+//!    a dataset ([`QueryScheduler::update`]) bumps its generation and
+//!    drops every cached aggregate for it, so a mutated or re-ingested
+//!    dataset can never serve stale answers.
+//! 3. **Admission control** — each query is costed (in
+//!    scan-equivalents, from the dataset's size, the query region's
+//!    selectivity against the partition-grid extent, and — once a join
+//!    has run — the measured join/scan cost ratio of this dataset).
+//!    A scan-heavy outlier is admitted into its **own wave** so the
+//!    cheap majority amortises one shared pass without stalling behind
+//!    it; per-wave [`crate::stats::WaveStats`] and the scheduler-level
+//!    completion-latency percentiles make the stall-free claim
+//!    measurable.
+//!
+//! Because every wave executes through the bit-exact shared-scan
+//! batch machinery, deduplication shares the *same* sink a solo run
+//! would build, and cached results are the deterministic outputs of
+//! earlier identical executions, scheduled results are
+//! **bit-identical** to per-query [`Engine::execute`] — the
+//! differential suite holds the scheduler to that across threads ×
+//! modes × formats.
+//!
+//! The scheduler also lifts batch execution to **multiple datasets**
+//! in one call: [`QueryScheduler::execute_multi`] takes
+//! `(dataset, query)` pairs, groups them per dataset, routes each
+//! group through the policies above, and returns results in
+//! submission order (see also [`Engine::execute_multi_batch`] for the
+//! engine-level one-shot form).
+//!
+//! ```
+//! use atgis::{Dataset, Engine, Query, QueryScheduler};
+//! use atgis_formats::Format;
+//! use atgis_geometry::Mbr;
+//!
+//! let bytes = atgis_datagen::write_geojson(&atgis_datagen::OsmGenerator::new(7).generate(120));
+//! let dataset = Dataset::from_bytes(bytes, Format::GeoJson);
+//! let scheduler = QueryScheduler::new(Engine::builder().threads(2).build());
+//! let id = scheduler.register(dataset);
+//!
+//! // Four tenants, two distinct predicates: one shared scan, two sinks.
+//! let tile = Query::aggregation(Mbr::new(-10.0, 40.0, 10.0, 60.0));
+//! let world = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
+//! let batch = vec![tile.clone(), world.clone(), tile.clone(), world.clone()];
+//! let (results, stats) = scheduler.execute_batch_timed(id, &batch).unwrap();
+//! assert_eq!(results[0], results[2]);
+//! assert_eq!(stats.dedup_hits, 2);
+//!
+//! // The same traffic again: served from the aggregate cache, no scan.
+//! let (_, warm) = scheduler.execute_batch_timed(id, &batch).unwrap();
+//! assert_eq!(warm.cache_hits, 4);
+//! assert_eq!(warm.scan_passes, 0);
+//! ```
+
+use crate::batch::QuerySession;
+use crate::dataset::Dataset;
+use crate::engine::Engine;
+use crate::query::{FilterStrategy, Metric, Query, ScanClass};
+use crate::result::QueryResult;
+use crate::stats::{SchedulerStats, StreamStats, WaveStats};
+use crate::stream::ChunkSource;
+use crate::{Error, Result};
+use atgis_formats::Format;
+use atgis_geometry::Polygon;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Handle to a dataset registered with a [`QueryScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetId(u64);
+
+/// One `(dataset, query)` pair of a multi-dataset batch
+/// ([`QueryScheduler::execute_multi`]).
+#[derive(Debug, Clone)]
+pub struct ScheduledQuery {
+    /// Which registered dataset the query runs against.
+    pub dataset: DatasetId,
+    /// The query itself.
+    pub query: Query,
+}
+
+impl ScheduledQuery {
+    /// Pairs a query with the dataset it targets.
+    pub fn new(dataset: DatasetId, query: Query) -> Self {
+        ScheduledQuery { dataset, query }
+    }
+}
+
+/// Scheduling policy knobs. The defaults enable every policy with
+/// conservative thresholds: dedup and caching always help (they are
+/// bit-exact), and admission only isolates a query when it is
+/// expected to out-cost the **rest of its batch combined**, because a
+/// split wave pays an extra structural pass.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Share one sink between queries with identical predicates.
+    pub dedup: bool,
+    /// Serve repeated single-pass predicates from the
+    /// [`AggregateCache`].
+    pub cache: bool,
+    /// Maximum finished aggregates the cache retains (least recently
+    /// used entries are evicted beyond this).
+    pub cache_capacity: usize,
+    /// Split scan-heavy outliers into their own waves.
+    pub admission: bool,
+    /// A query is admitted to the shared wave only while its
+    /// estimated cost stays within this ratio of the wave built so
+    /// far (ascending-cost admission); costlier queries are isolated
+    /// into their own waves.
+    pub outlier_ratio: f64,
+    /// Prior cost of a join-class query, in scan-equivalents, used
+    /// until the scheduler has observed a real join on the dataset.
+    pub join_cost_weight: f64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            dedup: true,
+            cache: true,
+            cache_capacity: 256,
+            admission: true,
+            outlier_ratio: 4.0,
+            join_cost_weight: 4.0,
+        }
+    }
+}
+
+/// The canonical identity of a query's predicate — the dedup and
+/// cache key. Two queries with equal keys are guaranteed to produce
+/// bit-identical results on the same dataset generation, because the
+/// key covers every parameter their aggregate sinks read.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum QueryKey {
+    Containment {
+        region: RegionKey,
+    },
+    Aggregation {
+        region: RegionKey,
+        want_area: bool,
+        want_perimeter: bool,
+        model: u8,
+        strategy: u8,
+    },
+    Join {
+        threshold: u64,
+    },
+    Combined {
+        threshold: u64,
+        min_perimeter: u64,
+        max_perimeter: u64,
+    },
+}
+
+/// A polygon (exterior ring + holes) as exact f64 bit patterns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct RegionKey(Vec<Vec<(u64, u64)>>);
+
+fn region_key(region: &Polygon) -> RegionKey {
+    let ring = |r: &atgis_geometry::polygon::Ring| {
+        r.points
+            .iter()
+            .map(|p| (p.x.to_bits(), p.y.to_bits()))
+            .collect::<Vec<_>>()
+    };
+    let mut rings = Vec::with_capacity(1 + region.holes.len());
+    rings.push(ring(&region.exterior));
+    rings.extend(region.holes.iter().map(ring));
+    RegionKey(rings)
+}
+
+fn query_key(q: &Query) -> QueryKey {
+    match q {
+        Query::Containment { region } => QueryKey::Containment {
+            region: region_key(region),
+        },
+        Query::Aggregation {
+            region,
+            metrics,
+            model,
+            strategy,
+        } => QueryKey::Aggregation {
+            region: region_key(region),
+            // MetricsAgg only reads whether area/perimeter are
+            // requested (count is always tracked), so the key
+            // normalises the metric list to exactly that.
+            want_area: metrics.contains(&Metric::Area),
+            want_perimeter: metrics.contains(&Metric::Perimeter),
+            model: *model as u8,
+            strategy: match strategy {
+                FilterStrategy::Streaming => 0,
+                FilterStrategy::Buffered => 1,
+                FilterStrategy::Auto => 2,
+            },
+        },
+        Query::Join { id_threshold } => QueryKey::Join {
+            threshold: *id_threshold,
+        },
+        Query::Combined {
+            id_threshold,
+            min_perimeter_left,
+            max_perimeter_right,
+        } => QueryKey::Combined {
+            threshold: *id_threshold,
+            min_perimeter: min_perimeter_left.to_bits(),
+            max_perimeter: max_perimeter_right.to_bits(),
+        },
+    }
+}
+
+/// Cache key: predicate × dataset × dataset generation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct AggCacheKey {
+    dataset: DatasetId,
+    generation: u64,
+    query: QueryKey,
+}
+
+struct CachedAggregate {
+    result: QueryResult,
+    last_used: u64,
+}
+
+struct AggCacheInner {
+    map: HashMap<AggCacheKey, CachedAggregate>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+/// Bounded cache of finished single-pass aggregates, keyed by
+/// predicate × dataset generation — the single-pass counterpart of
+/// the join-side [`crate::batch::IndexCache`]. Entries are evicted
+/// least-recently-used beyond the configured capacity, and every
+/// entry of a dataset is dropped the moment its generation moves
+/// ([`QueryScheduler::update`]), so a re-ingested dataset can never
+/// serve stale aggregates.
+pub struct AggregateCache {
+    inner: Mutex<AggCacheInner>,
+    capacity: usize,
+}
+
+/// Observability counters of an [`AggregateCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregateCacheStats {
+    /// Live entries.
+    pub entries: usize,
+    /// Capacity bound (entries).
+    pub capacity: usize,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Entries dropped by generation invalidation.
+    pub invalidations: u64,
+}
+
+impl AggregateCache {
+    /// An empty cache retaining at most `capacity` aggregates.
+    pub fn new(capacity: usize) -> Self {
+        AggregateCache {
+            inner: Mutex::new(AggCacheInner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                invalidations: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> AggregateCacheStats {
+        let inner = self.inner.lock().expect("aggregate cache poisoned");
+        AggregateCacheStats {
+            entries: inner.map.len(),
+            capacity: self.capacity,
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            invalidations: inner.invalidations,
+        }
+    }
+
+    fn get(&self, key: &AggCacheKey) -> Option<QueryResult> {
+        let mut inner = self.inner.lock().expect("aggregate cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let r = entry.result.clone();
+                inner.hits += 1;
+                Some(r)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: AggCacheKey, result: QueryResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("aggregate cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            key,
+            CachedAggregate {
+                result,
+                last_used: tick,
+            },
+        );
+        while inner.map.len() > self.capacity {
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, v)| v.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("cache over capacity is non-empty");
+            inner.map.remove(&oldest);
+            inner.evictions += 1;
+        }
+    }
+
+    /// Drops every cached aggregate belonging to `dataset` (any
+    /// generation).
+    fn invalidate_dataset(&self, dataset: DatasetId) {
+        let mut inner = self.inner.lock().expect("aggregate cache poisoned");
+        let before = inner.map.len();
+        inner.map.retain(|k, _| k.dataset != dataset);
+        inner.invalidations += (before - inner.map.len()) as u64;
+    }
+}
+
+/// Per-dataset scheduling state: the serving session (with its warm
+/// partition-index cache), the generation counter the aggregate cache
+/// keys on, and the measured join cost the admission model refines
+/// itself with.
+struct SchedEntry {
+    session: QuerySession,
+    generation: u64,
+    /// Exponentially-weighted measured cost of a join-class query on
+    /// this dataset, in scan-equivalents. `None` until a join has
+    /// actually run; admission then stops guessing
+    /// ([`SchedulerConfig::join_cost_weight`]) and uses evidence.
+    observed_join_cost: Mutex<Option<f64>>,
+}
+
+impl SchedEntry {
+    fn observe_join_cost(&self, scan: Duration, join_wall: Duration, threads: usize) {
+        let scan_s = scan.as_secs_f64();
+        if scan_s <= 0.0 {
+            return;
+        }
+        // `join_wall` sums **worker time** across the flattened
+        // (query × partition) fan-out, while `scan` is elapsed phase
+        // time; divide by the worker count so the ratio compares
+        // elapsed-equivalents — otherwise a parallel join would be
+        // costed ~`threads`× too high and permanently isolated.
+        let wall_s = join_wall.as_secs_f64() / threads.max(1) as f64;
+        let units = (wall_s / scan_s).max(1.0);
+        let mut slot = self.observed_join_cost.lock().expect("cost slot poisoned");
+        *slot = Some(match *slot {
+            Some(prev) => 0.5 * prev + 0.5 * units,
+            None => units,
+        });
+    }
+}
+
+/// The multi-tenant scheduler: owns one [`Engine`], any number of
+/// registered datasets (each a [`QuerySession`] with a warm partition
+/// index), a shared [`AggregateCache`], and the admission/dedup
+/// policies of [`SchedulerConfig`]. See the module docs for the
+/// policy walk-through and a usage example.
+pub struct QueryScheduler {
+    engine: Engine,
+    config: SchedulerConfig,
+    cache: AggregateCache,
+    entries: Mutex<HashMap<DatasetId, Arc<SchedEntry>>>,
+    next_id: AtomicU64,
+}
+
+impl QueryScheduler {
+    /// A scheduler with the default policy configuration.
+    pub fn new(engine: Engine) -> Self {
+        QueryScheduler::with_config(engine, SchedulerConfig::default())
+    }
+
+    /// A scheduler with explicit policy knobs.
+    pub fn with_config(engine: Engine, config: SchedulerConfig) -> Self {
+        let cache = AggregateCache::new(if config.cache {
+            config.cache_capacity
+        } else {
+            0
+        });
+        QueryScheduler {
+            engine,
+            config,
+            cache,
+            entries: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The scheduler's engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The active policy configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Aggregate-cache counters (hits, evictions, invalidations).
+    pub fn cache_stats(&self) -> AggregateCacheStats {
+        self.cache.stats()
+    }
+
+    /// Registers a dataset for scheduled serving, pinning it in a
+    /// fresh [`QuerySession`] (generation 1).
+    pub fn register(&self, dataset: Dataset) -> DatasetId {
+        self.install(QuerySession::new(self.engine.clone(), dataset), 1)
+    }
+
+    /// Adopts an existing session — typically a **streaming** session
+    /// that has been sealed (`ingest_chunk`* → `finish`), so its warm
+    /// partition index carries over into scheduled serving. Errors if
+    /// the session is still ingesting or failed to seal: the
+    /// scheduler never serves partial data.
+    pub fn adopt(&self, session: QuerySession) -> Result<DatasetId> {
+        if !session.is_sealed() {
+            return Err(Error::Unsupported(
+                "only sealed sessions can be scheduled; finish() the stream first".into(),
+            ));
+        }
+        Ok(self.install(session, 1))
+    }
+
+    fn install(&self, session: QuerySession, generation: u64) -> DatasetId {
+        let id = DatasetId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.entries.lock().expect("scheduler poisoned").insert(
+            id,
+            Arc::new(SchedEntry {
+                session,
+                generation,
+                observed_join_cost: Mutex::new(None),
+            }),
+        );
+        id
+    }
+
+    /// Replaces the dataset behind `id` with new content, **bumping
+    /// its generation**: every cached aggregate and the session's
+    /// partition-index cache for the old bytes are dropped, so no
+    /// query can ever observe the old dataset again.
+    pub fn update(&self, id: DatasetId, dataset: Dataset) -> Result<()> {
+        let mut entries = self.entries.lock().expect("scheduler poisoned");
+        let entry = entries
+            .get(&id)
+            .ok_or_else(|| Error::Unsupported(format!("unknown dataset id {id:?}")))?;
+        let generation = entry.generation + 1;
+        entries.insert(
+            id,
+            Arc::new(SchedEntry {
+                session: QuerySession::new(self.engine.clone(), dataset),
+                generation,
+                observed_join_cost: Mutex::new(None),
+            }),
+        );
+        drop(entries);
+        self.cache.invalidate_dataset(id);
+        Ok(())
+    }
+
+    /// Unregisters a dataset, dropping its session and cached
+    /// aggregates.
+    pub fn remove(&self, id: DatasetId) -> Result<()> {
+        let removed = self
+            .entries
+            .lock()
+            .expect("scheduler poisoned")
+            .remove(&id)
+            .is_some();
+        if !removed {
+            return Err(Error::Unsupported(format!("unknown dataset id {id:?}")));
+        }
+        self.cache.invalidate_dataset(id);
+        Ok(())
+    }
+
+    /// The current generation of a registered dataset (1 for a fresh
+    /// registration, +1 per [`QueryScheduler::update`]).
+    pub fn generation(&self, id: DatasetId) -> Option<u64> {
+        self.entries
+            .lock()
+            .expect("scheduler poisoned")
+            .get(&id)
+            .map(|e| e.generation)
+    }
+
+    fn entry(&self, id: DatasetId) -> Result<Arc<SchedEntry>> {
+        self.entries
+            .lock()
+            .expect("scheduler poisoned")
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::Unsupported(format!("unknown dataset id {id:?}")))
+    }
+
+    /// Caches a finished aggregate only while `id` is still registered
+    /// at `generation`. The registry lock is held across the check and
+    /// the insert, so a concurrent [`QueryScheduler::update`] /
+    /// [`QueryScheduler::remove`] either runs its invalidation *after*
+    /// this insert (and drops it) or has already swapped the entry
+    /// (and the insert is skipped) — an in-flight batch can never park
+    /// a dead generation's result in the bounded cache.
+    fn insert_if_current(
+        &self,
+        id: DatasetId,
+        generation: u64,
+        key: AggCacheKey,
+        result: QueryResult,
+    ) {
+        let entries = self.entries.lock().expect("scheduler poisoned");
+        if entries.get(&id).map(|e| e.generation) == Some(generation) {
+            self.cache.insert(key, result);
+        }
+    }
+
+    /// Schedules one query (a batch of one still benefits from the
+    /// aggregate cache and the session's partition index).
+    pub fn execute(&self, id: DatasetId, query: &Query) -> Result<QueryResult> {
+        let mut results = self.execute_batch(id, std::slice::from_ref(query))?;
+        Ok(results.pop().expect("one result per query"))
+    }
+
+    /// Schedules a batch against one dataset: predicates deduplicate,
+    /// cached aggregates short-circuit, the rest is admitted in waves
+    /// (see the module docs). Results come back in submission order,
+    /// bit-identical to per-query [`Engine::execute`].
+    pub fn execute_batch(&self, id: DatasetId, queries: &[Query]) -> Result<Vec<QueryResult>> {
+        self.execute_batch_timed(id, queries).map(|(r, _)| r)
+    }
+
+    /// [`QueryScheduler::execute_batch`] with the scheduling
+    /// breakdown: dedup/cache hits, per-wave batch stats, completion
+    /// latencies.
+    pub fn execute_batch_timed(
+        &self,
+        id: DatasetId,
+        queries: &[Query],
+    ) -> Result<(Vec<QueryResult>, SchedulerStats)> {
+        let entry = self.entry(id)?;
+        let started = Instant::now();
+        let mut stats = SchedulerStats::new(queries.len());
+        let results = self.run_group(&entry, id, queries, started, &mut stats)?;
+        Ok((results, stats))
+    }
+
+    /// Schedules a batch spanning **multiple datasets** in one call:
+    /// pairs group by dataset, each group runs through the full
+    /// policy stack, and results return in submission order.
+    pub fn execute_multi(&self, batch: &[ScheduledQuery]) -> Result<Vec<QueryResult>> {
+        self.execute_multi_timed(batch).map(|(r, _)| r)
+    }
+
+    /// [`QueryScheduler::execute_multi`] with the combined scheduling
+    /// breakdown (waves of all groups, latencies in submission
+    /// order).
+    pub fn execute_multi_timed(
+        &self,
+        batch: &[ScheduledQuery],
+    ) -> Result<(Vec<QueryResult>, SchedulerStats)> {
+        let started = Instant::now();
+        let mut stats = SchedulerStats::new(batch.len());
+        // Group by dataset, preserving submission order within each
+        // group (first-appearance order across groups).
+        let mut order: Vec<DatasetId> = Vec::new();
+        let mut groups: HashMap<DatasetId, (Vec<usize>, Vec<Query>)> = HashMap::new();
+        for (i, sq) in batch.iter().enumerate() {
+            let (indexes, queries) = groups.entry(sq.dataset).or_insert_with(|| {
+                order.push(sq.dataset);
+                (Vec::new(), Vec::new())
+            });
+            indexes.push(i);
+            queries.push(sq.query.clone());
+        }
+        // Fail fast: resolve every dataset id before any work is
+        // dispatched, so an unknown (or concurrently removed) id
+        // cannot discard earlier groups' finished results.
+        let resolved: Vec<(DatasetId, Arc<SchedEntry>)> = order
+            .iter()
+            .map(|&id| Ok((id, self.entry(id)?)))
+            .collect::<Result<_>>()?;
+        let mut results: Vec<Option<QueryResult>> = (0..batch.len()).map(|_| None).collect();
+        for (id, entry) in resolved {
+            let (indexes, queries) = groups.remove(&id).expect("group exists");
+            let mut group_stats = SchedulerStats::new(queries.len());
+            let group_results = self.run_group(&entry, id, &queries, started, &mut group_stats)?;
+            for (slot, result) in indexes.iter().zip(group_results) {
+                results[*slot] = Some(result);
+            }
+            for (slot, latency) in indexes.iter().zip(group_stats.latencies) {
+                stats.latencies[*slot] = latency;
+            }
+            stats.unique_queries += group_stats.unique_queries;
+            stats.dedup_hits += group_stats.dedup_hits;
+            stats.cache_hits += group_stats.cache_hits;
+            stats.scan_passes += group_stats.scan_passes;
+            stats.waves.extend(group_stats.waves);
+        }
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("every query produced a result"))
+            .collect();
+        Ok((results, stats))
+    }
+
+    /// Schedules a batch over a **one-shot streamed** dataset:
+    /// predicates deduplicate so every distinct sink rides the single
+    /// chunk-fed pass ([`Engine::execute_streaming_batch`]), and the
+    /// duplicates fan out on completion. A stream is consumed exactly
+    /// once, so admission cannot split waves and nothing persists for
+    /// the aggregate cache — for repeated traffic over streamed data,
+    /// seal a [`QuerySession::streaming`] session and
+    /// [`QueryScheduler::adopt`] it instead.
+    pub fn execute_streaming_batch(
+        &self,
+        queries: &[Query],
+        source: &mut dyn ChunkSource,
+        format: Format,
+    ) -> Result<(Vec<QueryResult>, SchedulerStats, StreamStats)> {
+        let started = Instant::now();
+        let mut stats = SchedulerStats::new(queries.len());
+        let keys: Vec<QueryKey> = queries.iter().map(query_key).collect();
+        let key_refs: Vec<&QueryKey> = keys.iter().collect();
+        let (unique, representative) = self.dedup_plan(&key_refs, &mut stats);
+        let unique_queries: Vec<Query> = unique.iter().map(|&i| queries[i].clone()).collect();
+        let (unique_results, batch_stats, stream_stats) = self
+            .engine
+            .execute_streaming_batch_timed(&unique_queries, source, format)?;
+        let elapsed = started.elapsed();
+        stats.scan_passes = batch_stats.scan_passes;
+        stats.waves.push(WaveStats {
+            queries: unique.len() as u64,
+            estimated_cost: 0.0,
+            elapsed,
+            batch: batch_stats,
+        });
+        let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
+        for (&qi, result) in unique.iter().zip(unique_results) {
+            results[qi] = Some(result);
+            stats.latencies[qi] = elapsed;
+        }
+        for (i, rep) in representative.iter().enumerate() {
+            if results[i].is_none() {
+                results[i] = Some(
+                    results[*rep]
+                        .clone()
+                        .expect("representative resolved before its duplicates"),
+                );
+                stats.latencies[i] = elapsed;
+            }
+        }
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("every query produced a result"))
+            .collect();
+        Ok((results, stats, stream_stats))
+    }
+
+    /// Deduplicates a list of predicate keys: returns the indexes of
+    /// the unique representatives (submission order) and, for every
+    /// entry, the index of its representative (itself when unique).
+    /// With dedup disabled every query represents itself.
+    fn dedup_plan(
+        &self,
+        keys: &[&QueryKey],
+        stats: &mut SchedulerStats,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let mut unique: Vec<usize> = Vec::with_capacity(keys.len());
+        let mut representative: Vec<usize> = Vec::with_capacity(keys.len());
+        if !self.config.dedup {
+            unique.extend(0..keys.len());
+            representative.extend(0..keys.len());
+            stats.unique_queries = keys.len() as u64;
+            return (unique, representative);
+        }
+        let mut seen: HashMap<&QueryKey, usize> = HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            match seen.entry(key) {
+                std::collections::hash_map::Entry::Occupied(rep) => {
+                    representative.push(*rep.get());
+                    stats.dedup_hits += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(i);
+                    representative.push(i);
+                    unique.push(i);
+                }
+            }
+        }
+        stats.unique_queries = unique.len() as u64;
+        (unique, representative)
+    }
+
+    /// Estimated cost of one query in scan-equivalents — what
+    /// admission weighs. Single-pass queries cost a fraction of the
+    /// scan proportional to their selectivity against the
+    /// partition-grid extent; join-class queries cost the measured
+    /// join/scan ratio of this dataset when one has run, or the
+    /// configured prior.
+    fn estimate_cost(&self, entry: &SchedEntry, q: &Query) -> f64 {
+        match q.scan_class() {
+            ScanClass::SinglePass => {
+                let extent = self.engine.grid_extent_area();
+                let sel = match q {
+                    Query::Containment { region } | Query::Aggregation { region, .. } => {
+                        let area = region.mbr().area();
+                        if extent > 0.0 {
+                            (area / extent).clamp(0.0, 1.0)
+                        } else {
+                            1.0
+                        }
+                    }
+                    _ => 1.0,
+                };
+                0.15 + 0.85 * sel
+            }
+            ScanClass::Join => entry
+                .observed_join_cost
+                .lock()
+                .expect("cost slot poisoned")
+                .unwrap_or(self.config.join_cost_weight),
+        }
+    }
+
+    /// The shared per-dataset execution path behind both
+    /// [`QueryScheduler::execute_batch_timed`] and each group of
+    /// [`QueryScheduler::execute_multi_timed`]: cache probe → dedup →
+    /// admission waves → fan-out.
+    fn run_group(
+        &self,
+        entry: &SchedEntry,
+        id: DatasetId,
+        queries: &[Query],
+        started: Instant,
+        stats: &mut SchedulerStats,
+    ) -> Result<Vec<QueryResult>> {
+        let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
+        let mut latencies: Vec<Duration> = vec![Duration::ZERO; queries.len()];
+
+        // ---- canonical predicate keys: computed once per query,
+        // shared by the cache probe, dedup and the cache insert ----
+        let keys: Vec<QueryKey> = queries.iter().map(query_key).collect();
+
+        // ---- cross-batch reuse: probe the aggregate cache ----
+        let mut pending: Vec<usize> = Vec::with_capacity(queries.len());
+        // Missed probe keys, parallel to `pending`, reused verbatim
+        // when the finished result is inserted after its wave.
+        let mut pending_cache_keys: Vec<Option<AggCacheKey>> = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let cacheable = self.config.cache && q.scan_class() == ScanClass::SinglePass;
+            if cacheable {
+                let key = AggCacheKey {
+                    dataset: id,
+                    generation: entry.generation,
+                    query: keys[i].clone(),
+                };
+                if let Some(hit) = self.cache.get(&key) {
+                    results[i] = Some(hit);
+                    latencies[i] = started.elapsed();
+                    stats.cache_hits += 1;
+                    continue;
+                }
+                pending.push(i);
+                pending_cache_keys.push(Some(key));
+            } else {
+                pending.push(i);
+                pending_cache_keys.push(None);
+            }
+        }
+
+        // ---- predicate dedup over the cache misses ----
+        let pending_keys: Vec<&QueryKey> = pending.iter().map(|&i| &keys[i]).collect();
+        let mut sub = SchedulerStats::new(pending.len());
+        let (unique, representative) = self.dedup_plan(&pending_keys, &mut sub);
+        stats.unique_queries += sub.unique_queries;
+        stats.dedup_hits += sub.dedup_hits;
+
+        // ---- admission: cost the unique queries, form waves ----
+        let costs: Vec<f64> = unique
+            .iter()
+            .map(|&u| self.estimate_cost(entry, &queries[pending[u]]))
+            .collect();
+        let waves = form_waves(&costs, &self.config);
+
+        // ---- execute the waves, fanning results out as each
+        // completes ----
+        for wave in waves {
+            let wave_queries: Vec<Query> = wave
+                .iter()
+                .map(|&w| queries[pending[unique[w]]].clone())
+                .collect();
+            let (wave_results, batch_stats) = entry.session.execute_batch_timed(&wave_queries)?;
+            let elapsed = started.elapsed();
+            let scan = batch_stats.shared_scan.total();
+            stats.scan_passes += batch_stats.scan_passes;
+            for (pos, ((&w, q), result)) in
+                wave.iter().zip(&wave_queries).zip(wave_results).enumerate()
+            {
+                let p = unique[w];
+                let qi = pending[p];
+                if q.scan_class() == ScanClass::Join {
+                    // Feed the admission model with the measured cost.
+                    // `per_query` is indexed by position within this
+                    // wave; a warm-index wave ran no scan (`scan` is
+                    // zero) and is skipped by the observer — a ratio
+                    // against a zero denominator would poison the
+                    // model.
+                    if let Some(per_query) = batch_stats.per_query.get(pos) {
+                        entry.observe_join_cost(scan, per_query.wall, self.engine.threads());
+                    }
+                } else if let Some(key) = pending_cache_keys[p].take() {
+                    self.insert_if_current(id, entry.generation, key, result.clone());
+                }
+                results[qi] = Some(result);
+                latencies[qi] = elapsed;
+            }
+            stats.waves.push(WaveStats {
+                queries: wave.len() as u64,
+                estimated_cost: wave.iter().map(|&w| costs[w]).sum(),
+                elapsed,
+                batch: batch_stats,
+            });
+        }
+
+        // ---- dedup fan-out: duplicates clone their representative's
+        // finished result ----
+        for (p, rep) in representative.iter().enumerate() {
+            let qi = pending[p];
+            if results[qi].is_none() {
+                let rep_qi = pending[*rep];
+                results[qi] = Some(
+                    results[rep_qi]
+                        .clone()
+                        .expect("representative resolved before its duplicates"),
+                );
+                latencies[qi] = latencies[rep_qi];
+            }
+        }
+
+        stats.latencies = latencies;
+        results
+            .into_iter()
+            .map(|r| r.ok_or_else(|| Error::Unsupported("query was never scheduled".into())))
+            .collect()
+    }
+}
+
+/// Admission control's wave former, over the estimated costs of the
+/// unique queries of one batch. Queries are admitted into the shared
+/// wave in ascending cost order while each one costs at most
+/// [`SchedulerConfig::outlier_ratio`] × the wave built so far —
+/// the invariant is that **no wave member out-costs the rest of its
+/// wave by more than the configured ratio**, so a scan-heavy outlier
+/// can never stall the cheap majority. Rejected queries each run in
+/// their own wave. The shared (cheap) wave runs **first** and outlier
+/// waves follow in ascending cost order, so completion latency is
+/// monotone in cost. Returns waves as index lists into `costs`.
+fn form_waves(costs: &[f64], config: &SchedulerConfig) -> Vec<Vec<usize>> {
+    if costs.is_empty() {
+        return Vec::new();
+    }
+    if !config.admission || costs.len() == 1 {
+        return vec![(0..costs.len()).collect()];
+    }
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| costs[a].total_cmp(&costs[b]));
+    let mut shared: Vec<usize> = Vec::new();
+    let mut shared_cost = 0.0;
+    let mut outliers: Vec<usize> = Vec::new();
+    for &i in &order {
+        if shared.is_empty() || costs[i] <= config.outlier_ratio * shared_cost {
+            shared.push(i);
+            shared_cost += costs[i];
+        } else {
+            // `order` is ascending, so every later query is at least
+            // as expensive and would be rejected too: the shared wave
+            // is exactly the maximal affordable prefix.
+            outliers.push(i);
+        }
+    }
+    shared.sort_unstable(); // back to submission order
+    let mut waves = vec![shared];
+    for o in outliers {
+        waves.push(vec![o]);
+    }
+    waves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgis_datagen::{write_geojson, OsmGenerator};
+    use atgis_geometry::Mbr;
+
+    fn dataset(seed: u64, n: usize) -> Dataset {
+        let ds = OsmGenerator::new(seed).generate(n);
+        Dataset::from_bytes(write_geojson(&ds), Format::GeoJson)
+    }
+
+    fn engine() -> Engine {
+        Engine::builder().threads(2).cell_size(2.0).build()
+    }
+
+    #[test]
+    fn query_keys_identify_predicates_exactly() {
+        let a = Query::containment(Mbr::new(0.0, 0.0, 1.0, 1.0));
+        let b = Query::containment(Mbr::new(0.0, 0.0, 1.0, 1.0));
+        let c = Query::containment(Mbr::new(0.0, 0.0, 1.0, 2.0));
+        assert_eq!(query_key(&a), query_key(&b));
+        assert_ne!(query_key(&a), query_key(&c));
+        // Containment and aggregation over the same region are
+        // different predicates.
+        assert_ne!(
+            query_key(&a),
+            query_key(&Query::aggregation(Mbr::new(0.0, 0.0, 1.0, 1.0)))
+        );
+        // Metric sets normalise: ordering does not matter, the
+        // area/perimeter selection does.
+        use crate::query::Metric;
+        use atgis_geometry::DistanceModel;
+        let m1 = Query::aggregation_with(
+            Mbr::new(0.0, 0.0, 1.0, 1.0),
+            vec![Metric::Area, Metric::Perimeter],
+            DistanceModel::Spherical,
+            FilterStrategy::Auto,
+        );
+        let m2 = Query::aggregation_with(
+            Mbr::new(0.0, 0.0, 1.0, 1.0),
+            vec![Metric::Perimeter, Metric::Area, Metric::Count],
+            DistanceModel::Spherical,
+            FilterStrategy::Auto,
+        );
+        let m3 = Query::aggregation_with(
+            Mbr::new(0.0, 0.0, 1.0, 1.0),
+            vec![Metric::Area],
+            DistanceModel::Spherical,
+            FilterStrategy::Auto,
+        );
+        assert_eq!(query_key(&m1), query_key(&m2));
+        assert_ne!(query_key(&m1), query_key(&m3));
+        // Join thresholds and perimeter bounds are part of the key.
+        assert_eq!(query_key(&Query::join(5)), query_key(&Query::join(5)));
+        assert_ne!(query_key(&Query::join(5)), query_key(&Query::join(6)));
+        assert_ne!(
+            query_key(&Query::combined(5, 0.0, 1.0)),
+            query_key(&Query::combined(5, 0.0, 2.0))
+        );
+        assert_ne!(
+            query_key(&Query::join(5)),
+            query_key(&Query::combined(5, 0.0, f64::INFINITY))
+        );
+    }
+
+    #[test]
+    fn wave_former_isolates_outliers() {
+        let cfg = SchedulerConfig::default(); // outlier_ratio 4.0
+                                              // Uniform costs: one wave.
+        assert_eq!(form_waves(&[1.0, 1.0, 1.0], &cfg), vec![vec![0, 1, 2]]);
+        // A giant (10 > 4 × 2.0): isolated, cheap wave first.
+        assert_eq!(
+            form_waves(&[1.0, 10.0, 1.0], &cfg),
+            vec![vec![0, 2], vec![1]]
+        );
+        // Two giants over one cheap query: both isolated (20 > 4 × 1,
+        // 30 > 4 × 1), ascending cost order.
+        assert_eq!(
+            form_waves(&[30.0, 1.0, 20.0], &cfg),
+            vec![vec![1], vec![2], vec![0]]
+        );
+        // A balanced pair of heavies amortises fine with company:
+        // 4 ≤ 4 × 2 once the cheap pair is admitted.
+        assert_eq!(
+            form_waves(&[1.0, 4.0, 1.0, 4.0], &cfg),
+            vec![vec![0, 1, 2, 3]]
+        );
+        // Admission off: always one wave.
+        let off = SchedulerConfig {
+            admission: false,
+            ..SchedulerConfig::default()
+        };
+        assert_eq!(form_waves(&[1.0, 100.0], &off), vec![vec![0, 1]]);
+        // Singleton and empty edge cases.
+        assert_eq!(form_waves(&[5.0], &cfg), vec![vec![0]]);
+        assert!(form_waves(&[], &cfg).is_empty());
+    }
+
+    #[test]
+    fn scheduled_batch_matches_sequential_execution() {
+        let ds = dataset(910, 80);
+        let engine = engine();
+        let queries = vec![
+            Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0)),
+            Query::aggregation(Mbr::new(-6.0, 44.0, 4.0, 56.0)),
+            Query::join(40),
+            Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0)), // dup of 0
+            Query::combined(40, 0.0, f64::INFINITY),
+            Query::join(40), // dup of 2
+        ];
+        let want: Vec<QueryResult> = queries
+            .iter()
+            .map(|q| engine.execute(q, &ds).unwrap())
+            .collect();
+        let scheduler = QueryScheduler::new(engine);
+        let id = scheduler.register(ds);
+        let (got, stats) = scheduler.execute_batch_timed(id, &queries).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(stats.queries, 6);
+        assert_eq!(stats.unique_queries, 4);
+        assert_eq!(stats.dedup_hits, 2);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.latencies.len(), 6);
+        assert!(stats.latencies.iter().all(|l| *l > Duration::ZERO));
+    }
+
+    #[test]
+    fn repeated_single_pass_traffic_serves_from_cache() {
+        let ds = dataset(911, 60);
+        let engine = engine();
+        let q = Query::aggregation(Mbr::new(-8.0, 42.0, 6.0, 58.0));
+        let want = engine.execute(&q, &ds).unwrap();
+        let scheduler = QueryScheduler::new(engine);
+        let id = scheduler.register(ds);
+        let (first, s1) = scheduler
+            .execute_batch_timed(id, std::slice::from_ref(&q))
+            .unwrap();
+        assert_eq!(first[0], want);
+        assert_eq!(s1.cache_hits, 0);
+        assert_eq!(s1.scan_passes, 1);
+        let (second, s2) = scheduler
+            .execute_batch_timed(id, std::slice::from_ref(&q))
+            .unwrap();
+        assert_eq!(second[0], want);
+        assert_eq!(s2.cache_hits, 1);
+        assert_eq!(s2.scan_passes, 0, "cache hit skips the scan entirely");
+        assert!(s2.waves.is_empty());
+        let cache = scheduler.cache_stats();
+        assert_eq!(cache.hits, 1);
+        assert_eq!(cache.entries, 1);
+    }
+
+    #[test]
+    fn update_bumps_generation_and_never_serves_stale_aggregates() {
+        let ds_a = dataset(912, 50);
+        let ds_b = dataset(913, 70); // different content
+        let engine = engine();
+        let world = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
+        let want_a = engine.execute(&world, &ds_a).unwrap();
+        let want_b = engine.execute(&world, &ds_b).unwrap();
+        assert_ne!(want_a, want_b, "the two generations must differ");
+
+        let scheduler = QueryScheduler::new(engine);
+        let id = scheduler.register(ds_a);
+        assert_eq!(scheduler.generation(id), Some(1));
+        assert_eq!(scheduler.execute(id, &world).unwrap(), want_a);
+        // Warm the cache, then mutate the dataset.
+        assert_eq!(scheduler.execute(id, &world).unwrap(), want_a);
+        assert_eq!(scheduler.cache_stats().hits, 1);
+
+        scheduler.update(id, ds_b).unwrap();
+        assert_eq!(scheduler.generation(id), Some(2));
+        assert_eq!(
+            scheduler.cache_stats().entries,
+            0,
+            "update drops the old generation's aggregates"
+        );
+        assert_eq!(
+            scheduler.execute(id, &world).unwrap(),
+            want_b,
+            "the new generation must serve fresh results"
+        );
+    }
+
+    #[test]
+    fn cache_is_bounded_and_evicts_lru() {
+        let cache = AggregateCache::new(2);
+        let key = |n: u64| AggCacheKey {
+            dataset: DatasetId(1),
+            generation: 1,
+            query: query_key(&Query::join(n)),
+        };
+        let r = QueryResult::Matches(Vec::new());
+        cache.insert(key(1), r.clone());
+        cache.insert(key(2), r.clone());
+        assert!(cache.get(&key(1)).is_some(), "keep 1 recently used");
+        cache.insert(key(3), r.clone());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(cache.get(&key(2)).is_none(), "2 was the LRU victim");
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_cache_stores_nothing() {
+        let cache = AggregateCache::new(0);
+        let key = AggCacheKey {
+            dataset: DatasetId(1),
+            generation: 1,
+            query: query_key(&Query::join(1)),
+        };
+        cache.insert(key.clone(), QueryResult::Matches(Vec::new()));
+        assert!(cache.get(&key).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn multi_dataset_batch_routes_per_dataset() {
+        let ds_a = dataset(914, 40);
+        let ds_b = dataset(915, 60);
+        let engine = engine();
+        let qa = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
+        let qb = Query::aggregation(Mbr::new(-10.0, 40.0, 10.0, 60.0));
+        let want = vec![
+            engine.execute(&qa, &ds_a).unwrap(),
+            engine.execute(&qb, &ds_b).unwrap(),
+            engine.execute(&qa, &ds_b).unwrap(),
+            engine.execute(&qa, &ds_a).unwrap(), // dup of 0 on A
+        ];
+        let scheduler = QueryScheduler::new(engine);
+        let a = scheduler.register(ds_a);
+        let b = scheduler.register(ds_b);
+        let batch = vec![
+            ScheduledQuery::new(a, qa.clone()),
+            ScheduledQuery::new(b, qb.clone()),
+            ScheduledQuery::new(b, qa.clone()),
+            ScheduledQuery::new(a, qa.clone()),
+        ];
+        let (got, stats) = scheduler.execute_multi_timed(&batch).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(stats.queries, 4);
+        assert_eq!(stats.dedup_hits, 1, "the duplicate is per-dataset");
+        assert_eq!(stats.unique_queries, 3);
+        assert_eq!(stats.latencies.len(), 4);
+    }
+
+    #[test]
+    fn unknown_and_removed_ids_error() {
+        let scheduler = QueryScheduler::new(engine());
+        let bogus = DatasetId(99);
+        assert!(scheduler.execute_batch(bogus, &[]).is_err());
+        assert!(scheduler.update(bogus, dataset(916, 5)).is_err());
+        assert!(scheduler.remove(bogus).is_err());
+        let id = scheduler.register(dataset(917, 5));
+        scheduler.remove(id).unwrap();
+        assert!(scheduler
+            .execute(id, &Query::containment(Mbr::new(0.0, 0.0, 1.0, 1.0)))
+            .is_err());
+        assert_eq!(scheduler.generation(id), None);
+    }
+
+    #[test]
+    fn admission_splits_observed_outlier_into_its_own_wave() {
+        let ds = dataset(918, 120);
+        let engine = engine();
+        let cheap = Query::containment(Mbr::new(-1.0, 49.0, 1.0, 51.0));
+        let cheap2 = Query::containment(Mbr::new(-2.0, 48.0, 0.0, 50.0));
+        let join = Query::join(60);
+        let want: Vec<QueryResult> = [&cheap, &cheap2, &join]
+            .iter()
+            .map(|q| engine.execute(q, &ds).unwrap())
+            .collect();
+        // A prior that makes the join an outlier against two cheap
+        // containments (cost ≈ 0.15 each): 40 > 2 × 0.3.
+        let scheduler = QueryScheduler::with_config(
+            engine,
+            SchedulerConfig {
+                cache: false,
+                join_cost_weight: 40.0,
+                ..SchedulerConfig::default()
+            },
+        );
+        let id = scheduler.register(ds);
+        let (got, stats) = scheduler
+            .execute_batch_timed(id, &[cheap.clone(), cheap2.clone(), join.clone()])
+            .unwrap();
+        assert_eq!(got, want, "wave splits must not change results");
+        assert_eq!(stats.waves.len(), 2, "cheap wave + outlier wave");
+        assert_eq!(stats.waves[0].queries, 2);
+        assert_eq!(stats.waves[1].queries, 1);
+        // The cheap queries completed strictly before the outlier.
+        assert!(stats.latencies[0] <= stats.latencies[2]);
+        assert!(stats.latencies[1] <= stats.latencies[2]);
+        assert!(stats.waves[0].elapsed <= stats.waves[1].elapsed);
+        // The measured join cost replaced the prior: it was recorded
+        // (the solo wave ran a real scan) and is the sane measured
+        // ratio, not the inflated 40.0 prior.
+        let observed = scheduler
+            .entry(id)
+            .unwrap()
+            .observed_join_cost
+            .lock()
+            .unwrap()
+            .expect("the cold join wave must feed the admission model");
+        assert!(
+            (1.0..40.0).contains(&observed),
+            "measured join/scan ratio should be modest, got {observed}"
+        );
+        let (_, stats2) = scheduler
+            .execute_batch_timed(id, &[cheap, cheap2, join])
+            .unwrap();
+        assert!(stats2.scan_passes <= stats.scan_passes);
+    }
+
+    #[test]
+    fn warm_join_waves_do_not_poison_the_cost_model() {
+        // A warm-index join wave runs zero scan passes; its wall time
+        // must NOT be ratio'd against a zero (or clamped-to-1ns) scan,
+        // which would cost every later join astronomically and
+        // force-split batches that amortise fine.
+        let ds = dataset(921, 100);
+        let engine = engine();
+        let scheduler = QueryScheduler::new(engine);
+        let id = scheduler.register(ds);
+        let join = Query::join(50);
+        scheduler.execute(id, &join).unwrap(); // cold: builds index, observes
+        let cold = scheduler
+            .entry(id)
+            .unwrap()
+            .observed_join_cost
+            .lock()
+            .unwrap()
+            .expect("cold join observed");
+        scheduler.execute(id, &join).unwrap(); // warm: zero-scan wave
+        let warm = scheduler
+            .entry(id)
+            .unwrap()
+            .observed_join_cost
+            .lock()
+            .unwrap()
+            .expect("observation survives");
+        assert_eq!(
+            cold, warm,
+            "a zero-scan wave must not update the join/scan ratio"
+        );
+        assert!(warm < 1e3, "cost model poisoned: {warm}");
+        // The direct guard: a zero scan never records.
+        let entry = scheduler.entry(id).unwrap();
+        entry.observe_join_cost(Duration::ZERO, Duration::from_millis(5), 2);
+        assert_eq!(
+            *entry.observed_join_cost.lock().unwrap(),
+            Some(warm),
+            "zero-denominator observations are discarded"
+        );
+    }
+
+    #[test]
+    fn stale_generation_results_never_enter_the_cache() {
+        // An in-flight batch holding a pre-update entry must not park
+        // its finished aggregates in the cache after update() has
+        // invalidated that generation.
+        let engine = engine();
+        let scheduler = QueryScheduler::new(engine);
+        let id = scheduler.register(dataset(922, 20));
+        scheduler.update(id, dataset(923, 30)).unwrap(); // now generation 2
+        let key = AggCacheKey {
+            dataset: id,
+            generation: 1,
+            query: query_key(&Query::containment(Mbr::new(0.0, 0.0, 1.0, 1.0))),
+        };
+        // Simulates the racing batch finishing with its stale handle.
+        scheduler.insert_if_current(id, 1, key, QueryResult::Matches(Vec::new()));
+        assert_eq!(
+            scheduler.cache_stats().entries,
+            0,
+            "generation-1 results must be dropped, not cached"
+        );
+        // The current generation still caches normally.
+        let key2 = AggCacheKey {
+            dataset: id,
+            generation: 2,
+            query: query_key(&Query::containment(Mbr::new(0.0, 0.0, 1.0, 1.0))),
+        };
+        scheduler.insert_if_current(id, 2, key2, QueryResult::Matches(Vec::new()));
+        assert_eq!(scheduler.cache_stats().entries, 1);
+        // And a removed dataset accepts nothing.
+        scheduler.remove(id).unwrap();
+        let key3 = AggCacheKey {
+            dataset: id,
+            generation: 2,
+            query: query_key(&Query::join(1)),
+        };
+        scheduler.insert_if_current(id, 2, key3, QueryResult::Matches(Vec::new()));
+        assert_eq!(scheduler.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn adopt_requires_a_sealed_session() {
+        let engine = engine();
+        let streaming = QuerySession::streaming(engine.clone(), Format::GeoJson).unwrap();
+        let scheduler = QueryScheduler::new(engine.clone());
+        assert!(
+            scheduler.adopt(streaming).is_err(),
+            "mid-ingest sessions cannot be scheduled"
+        );
+        let pinned = QuerySession::new(engine, dataset(919, 10));
+        assert!(scheduler.adopt(pinned).is_ok());
+    }
+
+    #[test]
+    fn streaming_scheduled_batch_dedups_over_one_pass() {
+        let gen = OsmGenerator::new(920).generate(70);
+        let bytes = write_geojson(&gen);
+        let ds = Dataset::from_bytes(bytes.clone(), Format::GeoJson);
+        let engine = engine();
+        let q = Query::aggregation(Mbr::new(-10.0, 40.0, 10.0, 60.0));
+        let j = Query::join(35);
+        let queries = vec![q.clone(), j.clone(), q.clone(), j.clone()];
+        let want: Vec<QueryResult> = queries
+            .iter()
+            .map(|x| engine.execute(x, &ds).unwrap())
+            .collect();
+        let scheduler = QueryScheduler::new(engine);
+        let mut source = crate::stream::SliceChunkSource::new(&bytes, 1024);
+        let (got, stats, sstats) = scheduler
+            .execute_streaming_batch(&queries, &mut source, Format::GeoJson)
+            .unwrap();
+        assert_eq!(got, want);
+        assert_eq!(stats.dedup_hits, 2);
+        assert_eq!(stats.unique_queries, 2);
+        assert_eq!(stats.waves.len(), 1, "a stream is one wave by nature");
+        assert!(sstats.chunks > 1);
+    }
+}

@@ -165,6 +165,83 @@ impl BatchStats {
     }
 }
 
+/// One admission wave of a scheduled batch: the unique queries it
+/// carried, the cost estimate admission grouped it by, and the
+/// underlying shared-scan [`BatchStats`].
+#[derive(Debug, Clone, Default)]
+pub struct WaveStats {
+    /// Unique queries executed in this wave.
+    pub queries: u64,
+    /// Summed estimated cost (scan-equivalents) admission assigned to
+    /// the wave's members (0 for streamed waves, which are never
+    /// split).
+    pub estimated_cost: f64,
+    /// Wall-clock time from batch submission to this wave's
+    /// completion — the latency every query in the wave observed.
+    pub elapsed: Duration,
+    /// The wave's shared-scan execution breakdown.
+    pub batch: BatchStats,
+}
+
+/// What one scheduled batch did: how many submitted queries collapsed
+/// through predicate dedup and the aggregate cache, how admission
+/// split the remainder into waves, and the completion latency of
+/// every submitted query (the stall-free evidence — a cheap query's
+/// latency is its own wave's, not the batch maximum).
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerStats {
+    /// Queries submitted.
+    pub queries: u64,
+    /// Queries actually executed (after dedup and cache hits).
+    pub unique_queries: u64,
+    /// Queries answered by sharing another submission's sink
+    /// (predicate dedup).
+    pub dedup_hits: u64,
+    /// Queries answered from the cross-batch aggregate cache without
+    /// any execution.
+    pub cache_hits: u64,
+    /// Structural parse passes across all waves.
+    pub scan_passes: u64,
+    /// Per-wave breakdowns, in execution order (cheap wave first,
+    /// then outliers by ascending estimated cost).
+    pub waves: Vec<WaveStats>,
+    /// Completion latency of every **submitted** query, in submission
+    /// order: the wall-clock from batch submission until the wave
+    /// resolving that query (or its cache/dedup source) finished.
+    pub latencies: Vec<Duration>,
+}
+
+impl SchedulerStats {
+    /// An empty record for a batch of `queries` submissions.
+    pub fn new(queries: usize) -> Self {
+        SchedulerStats {
+            queries: queries as u64,
+            latencies: vec![Duration::ZERO; queries],
+            ..SchedulerStats::default()
+        }
+    }
+
+    /// Submitted queries served per structural parse pass — the
+    /// scheduler-level amortisation (dedup and cache hits push this
+    /// *above* the batch-layer ratio, because they add served queries
+    /// without adding scans).
+    pub fn amortisation_ratio(&self) -> f64 {
+        self.queries as f64 / self.scan_passes.max(1) as f64
+    }
+
+    /// The `p`-th percentile (0–100, nearest-rank) of the per-query
+    /// completion latencies; zero for an empty batch.
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +275,34 @@ mod tests {
             dedup: Duration::from_millis(2),
         };
         assert_eq!(j.total(), Duration::from_millis(54));
+    }
+
+    #[test]
+    fn scheduler_latency_percentiles_use_nearest_rank() {
+        let mut s = SchedulerStats::new(4);
+        s.latencies = vec![
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(30),
+            Duration::from_millis(40),
+        ];
+        assert_eq!(s.latency_percentile(50.0), Duration::from_millis(20));
+        assert_eq!(s.latency_percentile(95.0), Duration::from_millis(40));
+        assert_eq!(s.latency_percentile(100.0), Duration::from_millis(40));
+        assert_eq!(s.latency_percentile(0.0), Duration::from_millis(10));
+        assert_eq!(
+            SchedulerStats::new(0).latency_percentile(50.0),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn scheduler_amortisation_counts_all_submissions() {
+        let mut s = SchedulerStats::new(16);
+        s.scan_passes = 1;
+        assert_eq!(s.amortisation_ratio(), 16.0);
+        s.scan_passes = 0; // all-cache batch
+        assert_eq!(s.amortisation_ratio(), 16.0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! engine never needed the whole buffer before the first byte is
 //! scanned. This module exploits that: a [`ChunkSource`] feeds
 //! fixed-size chunks into a [`StreamBuffer`]
-//! (append-only, stable addresses), and a [`StreamingScan`] dispatches
+//! (append-only, stable addresses), and a `StreamingScan` dispatches
 //! scan regions to the engine's persistent worker pool *as the bytes
 //! arrive*, folding the resulting fragments through the incremental
 //! out-of-order [`StreamMerger`]. Fragments for chunk *k+1* spawn
@@ -82,7 +82,7 @@ pub trait ChunkSource: Send {
 
     /// Total stream size when known up front (files, slices); sizes
     /// the buffer reservation exactly. Sources of unknown size get
-    /// one up-front virtual reservation ([`DEFAULT_CAPACITY`], with a
+    /// one up-front virtual reservation (`DEFAULT_CAPACITY`, with a
     /// back-off ladder on strict-commit hosts); a stream that
     /// outgrows it errors cleanly mid-ingest rather than silently
     /// relocating published bytes — growable chained buffers are a
@@ -656,6 +656,28 @@ impl Engine {
     /// result is bit-identical to buffering the whole stream and
     /// calling [`Engine::execute`] — for every format, execution mode
     /// and chunk size.
+    ///
+    /// ```
+    /// use atgis::{Engine, Query, SliceChunkSource};
+    /// use atgis_formats::Format;
+    /// use atgis_geometry::Mbr;
+    ///
+    /// let bytes = atgis_datagen::write_geojson(&atgis_datagen::OsmGenerator::new(5).generate(80));
+    /// let engine = Engine::builder().threads(2).build();
+    /// let query = Query::aggregation(Mbr::new(-10.0, 40.0, 10.0, 60.0));
+    ///
+    /// // Feed the bytes in 1 KiB chunks, scanning as they arrive…
+    /// let mut source = SliceChunkSource::new(&bytes, 1024);
+    /// let streamed = engine
+    ///     .execute_streaming(&query, &mut source, Format::GeoJson)
+    ///     .unwrap();
+    ///
+    /// // …bit-identical to buffering everything first.
+    /// let buffered = engine
+    ///     .execute(&query, &atgis::Dataset::from_bytes(bytes, Format::GeoJson))
+    ///     .unwrap();
+    /// assert_eq!(streamed, buffered);
+    /// ```
     pub fn execute_streaming(
         &self,
         query: &crate::query::Query,

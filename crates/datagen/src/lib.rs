@@ -9,6 +9,11 @@
 //! nested feature collections, free-form metadata, node/way/relation
 //! indirection for XML — at any configurable size, deterministically
 //! from a seed.
+//!
+//! See `ARCHITECTURE.md` at the repository root for how this crate
+//! fits into the workspace as the workload-generation support crate of the four-layer design,
+//! plus the ingest → seal → query lifecycle and the data flow of a
+//! scheduled batch.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]

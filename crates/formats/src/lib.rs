@@ -18,6 +18,11 @@
 //! Both modes produce the same stream of [`RawFeature`]s tagged with
 //! their byte offsets, which downstream pipelines use for
 //! identification and join-time re-parsing (§4.2).
+//!
+//! See `ARCHITECTURE.md` at the repository root for how this crate
+//! fits into the workspace as layer 2 of the four-layer design (transducer → formats → core scan/merge → batch/stream/scheduler),
+//! plus the ingest → seal → query lifecycle and the data flow of a
+//! scheduled batch.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]

@@ -1,7 +1,7 @@
 //! The stateless point parser (§3.3, "Point parser" example).
 //!
 //! "A point parser is a transducer that takes streams of point offsets
-//! and produces a stream of point values. It … isolate[s] the
+//! and produces a stream of point values. It … isolate\[s\] the
 //! structural parsing, performed by finite and pushdown transducers,
 //! from handling floating point values. It is stateless as each offset
 //! can be parsed into a point value independently."

@@ -20,6 +20,11 @@
 //! requires it: predicates that Table 1 classifies as "in shape"
 //! associative expose incremental edge-at-a-time state so they can be
 //! wrapped in periodically flushing transducers.
+//!
+//! See `ARCHITECTURE.md` at the repository root for how this crate
+//! fits into the workspace as the geometry support crate of the four-layer design,
+//! plus the ingest → seal → query lifecycle and the data flow of a
+//! scheduled batch.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]

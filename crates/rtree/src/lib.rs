@@ -7,6 +7,11 @@
 //! provides the index those baselines pay for at load time:
 //! sort-tile-recursive (STR) bulk loading for the initial build and
 //! quadratic-split insertion for incremental updates.
+//!
+//! See `ARCHITECTURE.md` at the repository root for how this crate
+//! fits into the workspace as the R-tree support crate of the four-layer design,
+//! plus the ingest → seal → query lifecycle and the data flow of a
+//! scheduled batch.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]

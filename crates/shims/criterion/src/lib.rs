@@ -12,6 +12,10 @@
 //! `cargo bench -- --test` smoke runs) executes each benchmark body
 //! once and reports `ok` without timing. A positional CLI argument
 //! filters benchmarks by substring, as with real criterion.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the workspace
+//! layer map; this crate is one of the vendored offline dependency
+//! shims supporting it.
 
 use std::time::{Duration, Instant};
 

@@ -15,6 +15,10 @@
 //!   failure seeds);
 //! * the default case count is 64 (upstream: 256) to keep the suite
 //!   fast; tests that need more set `ProptestConfig::with_cases`.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the workspace
+//! layer map; this crate is one of the vendored offline dependency
+//! shims supporting it.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -281,7 +285,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::test_runner::TestRng;
 
-    /// Accepted size specifications for [`vec`].
+    /// Accepted size specifications for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

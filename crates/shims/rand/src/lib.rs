@@ -7,6 +7,10 @@
 //! primitive types that appear in the codebase. The stream differs from
 //! upstream `rand`'s StdRng, which is fine: callers rely on determinism
 //! per seed, not on a specific stream.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the workspace
+//! layer map; this crate is one of the vendored offline dependency
+//! shims supporting it.
 
 /// Seedable random generators.
 pub trait SeedableRng: Sized {

@@ -46,6 +46,11 @@
 //! `fragment(s₁) ⊗ fragment(s₂) = fragment(s)`, and ⊗ is associative,
 //! so any parenthesisation of block merges yields the sequential
 //! result.
+//!
+//! See `ARCHITECTURE.md` at the repository root for how this crate
+//! fits into the workspace as layer 1 of the four-layer design (transducer → formats → core scan/merge → batch/stream/scheduler),
+//! plus the ingest → seal → query lifecycle and the data flow of a
+//! scheduled batch.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]

@@ -8,7 +8,10 @@
 //! over memory-mapped datasets instead of heap buffers, covering both
 //! `Dataset` storage paths.
 
-use atgis::{Dataset, Engine, ProbeStrategy, Query, QueryResult, QuerySession};
+use atgis::{
+    Dataset, Engine, ProbeStrategy, Query, QueryResult, QueryScheduler, QuerySession,
+    ScheduledQuery, SchedulerConfig,
+};
 use atgis_baselines::{sequential, BaselineAnswer, BaselineQuery};
 use atgis_datagen::{write_geojson, write_osm_xml, write_wkt, OsmGenerator};
 use atgis_formats::{Format, Mode};
@@ -380,6 +383,298 @@ fn session_batches_stay_consistent_across_cache_states() {
         );
         assert_eq!(session.cached_indexes(), 1);
     }
+}
+
+/// The duplicate-heavy traffic shape the scheduler's policies exist
+/// for: every query kind, exact duplicates of each (different
+/// submitters, identical predicates), and one scan-heavy join.
+fn duplicate_heavy_mix(n: u64) -> Vec<Query> {
+    let region = Mbr::new(-8.0, 42.0, 6.0, 58.0);
+    let world = Mbr::new(-180.0, -90.0, 180.0, 90.0);
+    vec![
+        Query::containment(region),
+        Query::aggregation(region),
+        Query::containment(region), // dup of 0
+        Query::join(n / 2),
+        Query::aggregation(world),
+        Query::combined(n / 2, 0.0, f64::INFINITY),
+        Query::aggregation(region), // dup of 1
+        Query::join(n / 2),         // dup of 3
+        Query::containment(world),
+        Query::combined(n / 2, 0.0, f64::INFINITY), // dup of 5
+    ]
+}
+
+/// Every scheduling policy combination the suite sweeps: each policy
+/// alone, all together, all off, and an admission configuration that
+/// force-splits joins into their own waves.
+fn scheduler_configs() -> Vec<(String, SchedulerConfig)> {
+    let base = SchedulerConfig::default();
+    vec![
+        ("all-on".into(), base.clone()),
+        (
+            "dedup-only".into(),
+            SchedulerConfig {
+                cache: false,
+                admission: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "cache-only".into(),
+            SchedulerConfig {
+                dedup: false,
+                admission: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "admission-split".into(),
+            SchedulerConfig {
+                // A huge join prior forces every join-class query into
+                // its own wave — the maximal wave split.
+                join_cost_weight: 1e6,
+                ..base.clone()
+            },
+        ),
+        (
+            "all-off".into(),
+            SchedulerConfig {
+                dedup: false,
+                cache: false,
+                admission: false,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Scheduled execution — predicate dedup, aggregate caching,
+/// admission waves, in every combination — must stay **bit-identical**
+/// to `qs.map(execute)` across threads × modes × formats, on the
+/// first (cold) batch and on the repeat (cache-served) batch.
+#[test]
+fn scheduled_batch_execution_matches_sequential_everywhere() {
+    for format in [Format::GeoJson, Format::Wkt] {
+        let n = 90u64;
+        let ds = dataset_with(
+            OsmGenerator::new(311).with_hotspot(0.4, 0.05),
+            n as usize,
+            format,
+        );
+        let mix = duplicate_heavy_mix(n);
+        for threads in THREADS {
+            for mode in [Mode::Pat, Mode::Fat, Mode::Adaptive] {
+                let engine = Engine::builder()
+                    .threads(threads)
+                    .mode(mode)
+                    .cell_size(2.0)
+                    .build();
+                let want: Vec<QueryResult> = mix
+                    .iter()
+                    .map(|q| engine.execute(q, &ds).unwrap())
+                    .collect();
+                for (cname, config) in scheduler_configs() {
+                    let scheduler = QueryScheduler::with_config(engine.clone(), config);
+                    let id = scheduler.register(ds.clone());
+                    let label =
+                        format!("{format:?} threads={threads} mode={mode:?} config={cname}");
+                    let (cold, s_cold) = scheduler.execute_batch_timed(id, &mix).unwrap();
+                    assert_eq!(cold, want, "cold scheduled != sequential [{label}]");
+                    let (warm, s_warm) = scheduler.execute_batch_timed(id, &mix).unwrap();
+                    assert_eq!(warm, want, "warm scheduled != sequential [{label}]");
+                    assert_eq!(s_cold.queries as usize, mix.len());
+                    assert_eq!(s_cold.latencies.len(), mix.len());
+                    if scheduler.config().dedup {
+                        assert_eq!(s_cold.dedup_hits, 4, "[{label}]");
+                    }
+                    if scheduler.config().cache {
+                        // Six single-pass submissions over three
+                        // distinct predicates... plus the fourth
+                        // distinct world-containment: all served from
+                        // cache on the repeat.
+                        assert_eq!(s_warm.cache_hits, 6, "[{label}]");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A mutated (updated / re-ingested) dataset bumps its generation:
+/// the aggregate cache must **never** serve results computed against
+/// the old bytes.
+#[test]
+fn scheduled_batch_cache_invalidation_on_dataset_update() {
+    let region = Mbr::new(-8.0, 42.0, 6.0, 58.0);
+    for format in [Format::GeoJson, Format::Wkt] {
+        let ds_v1 = dataset(312, 60, format);
+        let ds_v2 = dataset(313, 85, format); // the "re-ingested" content
+        let engine = Engine::builder().threads(2).cell_size(2.0).build();
+        let queries = vec![
+            Query::containment(region),
+            Query::aggregation(region),
+            Query::containment(region),
+        ];
+        let want_v1: Vec<QueryResult> = queries
+            .iter()
+            .map(|q| engine.execute(q, &ds_v1).unwrap())
+            .collect();
+        let want_v2: Vec<QueryResult> = queries
+            .iter()
+            .map(|q| engine.execute(q, &ds_v2).unwrap())
+            .collect();
+        assert_ne!(want_v1, want_v2, "generations must be distinguishable");
+
+        let scheduler = QueryScheduler::new(engine);
+        let id = scheduler.register(ds_v1);
+        assert_eq!(scheduler.execute_batch(id, &queries).unwrap(), want_v1);
+        // Warm every predicate into the cache.
+        let (_, warm) = scheduler.execute_batch_timed(id, &queries).unwrap();
+        assert_eq!(warm.cache_hits, 3, "{format:?}: cache must be warm");
+
+        scheduler.update(id, ds_v2).unwrap();
+        let (fresh, stats) = scheduler.execute_batch_timed(id, &queries).unwrap();
+        assert_eq!(
+            fresh, want_v2,
+            "{format:?}: updated dataset must serve fresh results, never gen-1 cache"
+        );
+        assert_eq!(stats.cache_hits, 0, "{format:?}: old entries were dropped");
+    }
+}
+
+/// The streaming lifecycle feeding the scheduler: ingest → seal →
+/// adopt. Scheduled batches over the sealed session must equal
+/// buffered sequential execution, and re-ingesting (a new seal of
+/// different content) must invalidate the previous generation's
+/// aggregates.
+#[test]
+fn scheduled_batch_over_sealed_streaming_session() {
+    let n = 70usize;
+    let gen_v1 = OsmGenerator::new(314).generate(n);
+    let bytes_v1 = write_geojson(&gen_v1);
+    let gen_v2 = OsmGenerator::new(315).generate(n + 20);
+    let bytes_v2 = write_geojson(&gen_v2);
+    let engine = Engine::builder().threads(2).cell_size(2.0).build();
+    let mix = duplicate_heavy_mix(n as u64);
+    let ds_v1 = Dataset::from_bytes(bytes_v1.clone(), Format::GeoJson);
+    let ds_v2 = Dataset::from_bytes(bytes_v2.clone(), Format::GeoJson);
+    let want_v1: Vec<QueryResult> = mix
+        .iter()
+        .map(|q| engine.execute(q, &ds_v1).unwrap())
+        .collect();
+    let want_v2: Vec<QueryResult> = mix
+        .iter()
+        .map(|q| engine.execute(q, &ds_v2).unwrap())
+        .collect();
+
+    // Ingest chunk by chunk, seal, adopt into the scheduler.
+    let mut session = QuerySession::streaming(engine.clone(), Format::GeoJson).unwrap();
+    for chunk in bytes_v1.chunks(777) {
+        session.ingest_chunk(chunk).unwrap();
+    }
+    session.finish().unwrap();
+    let scheduler = QueryScheduler::new(engine.clone());
+    let id = scheduler.adopt(session).unwrap();
+    let (got, stats) = scheduler.execute_batch_timed(id, &mix).unwrap();
+    assert_eq!(got, want_v1, "scheduled-over-sealed != buffered sequential");
+    assert_eq!(
+        stats.scan_passes, 1,
+        "single-pass queries ride one shared pass; the sealed partition \
+         index serves the joins with no partition pass of their own"
+    );
+    let (warm, _) = scheduler.execute_batch_timed(id, &mix).unwrap();
+    assert_eq!(warm, want_v1);
+
+    // Re-ingest: a new stream seals different content; updating the
+    // registration bumps the generation.
+    let mut session = QuerySession::streaming(engine, Format::GeoJson).unwrap();
+    for chunk in bytes_v2.chunks(1024) {
+        session.ingest_chunk(chunk).unwrap();
+    }
+    session.finish().unwrap();
+    scheduler.update(id, session.dataset().clone()).unwrap();
+    let (fresh, stats) = scheduler.execute_batch_timed(id, &mix).unwrap();
+    assert_eq!(
+        fresh, want_v2,
+        "re-ingested stream must never serve the old generation's aggregates"
+    );
+    assert_eq!(stats.cache_hits, 0);
+}
+
+/// Multi-dataset batches: one call spanning several registered
+/// datasets (and `Engine::execute_multi_batch`'s one-shot form) must
+/// equal per-dataset sequential execution, with dedup scoped per
+/// dataset.
+#[test]
+fn scheduled_multi_dataset_batch_matches_sequential() {
+    let n = 60u64;
+    let ds_g = dataset(316, n as usize, Format::GeoJson);
+    let ds_w = dataset(317, 80, Format::Wkt);
+    let engine = Engine::builder().threads(2).cell_size(2.0).build();
+    let region = Mbr::new(-8.0, 42.0, 6.0, 58.0);
+    let qa = Query::containment(region);
+    let qb = Query::aggregation(region);
+    let qj = Query::join(n / 2);
+
+    // Interleaved submission order across the two datasets, with a
+    // cross-dataset "duplicate" (same predicate, different dataset —
+    // must NOT dedup).
+    let scheduler = QueryScheduler::new(engine.clone());
+    let g = scheduler.register(ds_g.clone());
+    let w = scheduler.register(ds_w.clone());
+    let batch = vec![
+        ScheduledQuery::new(g, qa.clone()),
+        ScheduledQuery::new(w, qa.clone()),
+        ScheduledQuery::new(g, qj.clone()),
+        ScheduledQuery::new(w, qb.clone()),
+        ScheduledQuery::new(g, qa.clone()), // true dup (same dataset)
+    ];
+    let want = vec![
+        engine.execute(&qa, &ds_g).unwrap(),
+        engine.execute(&qa, &ds_w).unwrap(),
+        engine.execute(&qj, &ds_g).unwrap(),
+        engine.execute(&qb, &ds_w).unwrap(),
+        engine.execute(&qa, &ds_g).unwrap(),
+    ];
+    let (got, stats) = scheduler.execute_multi_timed(&batch).unwrap();
+    assert_eq!(got, want, "multi-dataset scheduled != sequential");
+    assert_eq!(
+        stats.dedup_hits, 1,
+        "identical predicates on different datasets are different work"
+    );
+    assert_ne!(got[0], got[1], "the two datasets answer differently");
+
+    // The engine-level lift returns the same results grouped.
+    let groups: Vec<(&Dataset, &[Query])> = vec![
+        (&ds_g, std::slice::from_ref(&qa)),
+        (&ds_w, std::slice::from_ref(&qb)),
+    ];
+    let grouped = engine.execute_multi_batch(&groups).unwrap();
+    assert_eq!(grouped.len(), 2);
+    assert_eq!(grouped[0][0], engine.execute(&qa, &ds_g).unwrap());
+    assert_eq!(grouped[1][0], engine.execute(&qb, &ds_w).unwrap());
+}
+
+/// The XML path (two-pass parse, node-table joins) through the
+/// scheduler.
+#[test]
+fn scheduled_batch_matches_sequential_on_xml() {
+    let n = 40u64;
+    let ds = dataset(318, n as usize, Format::OsmXml);
+    let engine = Engine::builder().threads(2).cell_size(2.0).build();
+    let mix = duplicate_heavy_mix(n);
+    let want: Vec<QueryResult> = mix
+        .iter()
+        .map(|q| engine.execute(q, &ds).unwrap())
+        .collect();
+    let scheduler = QueryScheduler::new(engine);
+    let id = scheduler.register(ds);
+    let (cold, _) = scheduler.execute_batch_timed(id, &mix).unwrap();
+    let (warm, s_warm) = scheduler.execute_batch_timed(id, &mix).unwrap();
+    assert_eq!(cold, want, "xml scheduled != sequential");
+    assert_eq!(warm, want, "xml warm scheduled != sequential");
+    assert!(s_warm.cache_hits > 0);
 }
 
 #[test]
