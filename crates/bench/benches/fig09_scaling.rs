@@ -4,6 +4,7 @@
 //! vectorised scanner, across thread counts.
 
 use atgis::executor::run_blocks;
+use atgis::pool::JobFault;
 use atgis::{Engine, Query};
 use atgis_bench::Workload;
 use atgis_formats::geojson::lexer;
@@ -36,7 +37,7 @@ fn bench_scan_scaling(c: &mut Criterion) {
                             } else {
                                 lexer::lex_block_bytewise(bytes, blk.start as u64)
                             };
-                            Ok::<_, ()>(frag)
+                            Ok::<_, JobFault>(frag)
                         },
                         |a, b| Ok(a.merge(b)),
                     );

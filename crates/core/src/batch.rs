@@ -53,6 +53,7 @@
 //!   than invalidated wholesale. Join-class queries become available
 //!   the moment `finish` returns.
 
+use crate::cancel::CancelToken;
 use crate::dataset::Dataset;
 use crate::engine::{
     make_reparser, Engine, EngineBuilder, PartitionAgg, PartitionPhase, StoreKind,
@@ -65,8 +66,9 @@ use crate::partition::{
     ArrayStore, GridSpec, ListStore, PartitionMap, PartitionMapStats, PartitionStore,
 };
 use crate::pipeline::{downcast_sink, AggregateSink, ContainmentAgg, MetricsAgg, MultiSink};
+use crate::pool::{recover, JobFault};
 use crate::query::{Query, ScanClass};
-use crate::result::QueryResult;
+use crate::result::{QueryError, QueryResult};
 use crate::stats::{BatchQueryStats, BatchStats, JoinTimings, StreamStats, Timings};
 use crate::stream::{drive, ChunkSource, StreamingScan};
 use crate::{Error, Result};
@@ -156,7 +158,7 @@ impl IndexCache {
 
     /// Number of cached indexes.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("index cache poisoned").len()
+        recover(self.inner.lock()).len()
     }
 
     /// True when nothing is cached.
@@ -165,18 +167,11 @@ impl IndexCache {
     }
 
     fn get(&self, key: &IndexKey) -> Option<Arc<PartitionIndex>> {
-        self.inner
-            .lock()
-            .expect("index cache poisoned")
-            .get(key)
-            .cloned()
+        recover(self.inner.lock()).get(key).cloned()
     }
 
     fn insert(&self, key: IndexKey, index: Arc<PartitionIndex>) {
-        self.inner
-            .lock()
-            .expect("index cache poisoned")
-            .insert(key, index);
+        recover(self.inner.lock()).insert(key, index);
     }
 }
 
@@ -408,7 +403,7 @@ impl QuerySession {
     /// between calls, so queries can interleave with ingestion.
     pub fn ingest_chunk(&mut self, chunk: &[u8]) -> Result<()> {
         let Some(ingest) = self.ingest.as_mut() else {
-            return Err(Error::Unsupported(
+            return Err(Error::InvalidState(
                 "session is sealed; only QuerySession::streaming ingests".into(),
             ));
         };
@@ -429,7 +424,7 @@ impl QuerySession {
     /// queries are valid from here on.
     pub fn finish(&mut self) -> Result<StreamStats> {
         let Some(ingest) = self.ingest.take() else {
-            return Err(Error::Unsupported("session is already sealed".into()));
+            return Err(Error::InvalidState("session is already sealed".into()));
         };
         // A failed seal (malformed tail, I/O error) must not leave the
         // session masquerading as sealed over the truncated prefix:
@@ -449,6 +444,13 @@ impl QuerySession {
             .into_sinks()
             .pop()
             .expect("the partition sink rode the stream");
+        // A panicked partition sink means the index is unbuildable;
+        // the session cannot serve join-class queries over it, so the
+        // seal fails like a truncated stream would.
+        if let Some(m) = sink.panic_message() {
+            self.seal_failed = true;
+            return Err(Error::TaskPanicked(m.to_string()));
+        }
         let (store, map, refine) = match cfg.store {
             StoreKind::Array => {
                 let agg: PartitionAgg<ArrayStore> = downcast_sink(sink);
@@ -462,7 +464,9 @@ impl QuerySession {
             }
         };
         let xml_table = if self.dataset.format() == Format::OsmXml {
-            Some(Arc::new(self.engine.xml_geometry_table(&self.dataset)?))
+            Some(Arc::new(
+                self.engine.xml_geometry_table(&self.dataset, None)?,
+            ))
         } else {
             None
         };
@@ -498,22 +502,93 @@ impl QuerySession {
     /// [`QuerySession::execute_batch`] with the amortisation
     /// breakdown.
     pub fn execute_batch_timed(&self, queries: &[Query]) -> Result<(Vec<QueryResult>, BatchStats)> {
+        self.guard_lifecycle(queries)?;
+        let (results, stats) =
+            execute_batch_impl(&self.engine, queries, &self.dataset, &self.cache, None)?;
+        Ok((collapse_query_results(results)?, stats))
+    }
+
+    /// [`QuerySession::execute_batch`] under a cooperative
+    /// [`CancelToken`] shared by the whole batch (see
+    /// [`Engine::execute_cancellable`] for the cancellation contract).
+    pub fn execute_batch_cancellable(
+        &self,
+        queries: &[Query],
+        token: &CancelToken,
+    ) -> Result<Vec<QueryResult>> {
+        self.guard_lifecycle(queries)?;
+        let (results, _) = execute_batch_impl(
+            &self.engine,
+            queries,
+            &self.dataset,
+            &self.cache,
+            Some(token),
+        )?;
+        collapse_query_results(results)
+    }
+
+    /// The **fault-isolated** batch entry point: per-query
+    /// `Result`s instead of one all-or-nothing `Result`. A panic in
+    /// one query's sink yields `Err(`[`QueryError::Panicked`]`)` for
+    /// that query alone — its batch mates complete bit-identically to
+    /// solo execution, and the session (pool, caches, dataset) stays
+    /// fully serviceable. Whole-batch failures (parse/I/O errors,
+    /// cancellation, deadline) still surface as the outer `Err`.
+    pub fn execute_batch_isolated(
+        &self,
+        queries: &[Query],
+        token: Option<&CancelToken>,
+    ) -> Result<Vec<std::result::Result<QueryResult, QueryError>>> {
+        self.execute_batch_isolated_timed(queries, token)
+            .map(|(r, _)| r)
+    }
+
+    /// [`QuerySession::execute_batch_isolated`] with the amortisation
+    /// breakdown.
+    pub fn execute_batch_isolated_timed(
+        &self,
+        queries: &[Query],
+        token: Option<&CancelToken>,
+    ) -> Result<(
+        Vec<std::result::Result<QueryResult, QueryError>>,
+        BatchStats,
+    )> {
+        self.guard_lifecycle(queries)?;
+        execute_batch_impl(&self.engine, queries, &self.dataset, &self.cache, token)
+    }
+
+    /// Rejects calls that violate the session lifecycle with
+    /// [`Error::InvalidState`] (never a panic): serving after a failed
+    /// seal, or join-class queries mid-ingest.
+    fn guard_lifecycle(&self, queries: &[Query]) -> Result<()> {
         if self.seal_failed {
-            return Err(Error::Unsupported(
+            return Err(Error::InvalidState(
                 "streaming session failed to seal; the buffered prefix is \
                  incomplete and will not be served"
                     .into(),
             ));
         }
         if self.ingest.is_some() && queries.iter().any(|q| q.scan_class() == ScanClass::Join) {
-            return Err(Error::Unsupported(
+            return Err(Error::InvalidState(
                 "join-class queries need the sealed partition index; \
                  call QuerySession::finish once the stream ends"
                     .into(),
             ));
         }
-        execute_batch_impl(&self.engine, queries, &self.dataset, &self.cache)
+        Ok(())
     }
+}
+
+/// Collapses fault-isolated per-query results into the all-or-nothing
+/// form of the compatibility entry points: the first failed query
+/// fails the call.
+pub(crate) fn collapse_query_results(
+    results: Vec<std::result::Result<QueryResult, QueryError>>,
+) -> Result<Vec<QueryResult>> {
+    results
+        .into_iter()
+        .map(|r| r.map_err(Error::from))
+        .collect()
 }
 
 /// Builds the side-agnostic partition-pass prototype: everything tags
@@ -557,6 +632,7 @@ fn finish_index<S: PartitionStore + Clone>(
 /// job cursor over every pair, so cheap queries never serialise the
 /// pool behind expensive ones. Each task reports its own duration for
 /// per-query attribution.
+#[allow(clippy::too_many_arguments)]
 fn run_join_grid<S: PartitionStore + Sync>(
     engine: &Engine,
     store: &S,
@@ -565,12 +641,14 @@ fn run_join_grid<S: PartitionStore + Sync>(
     reparse: &Reparser<'_>,
     cache: &ReparseCache,
     options: &JoinOptions,
-) -> Vec<Vec<(Duration, SlotResult)>> {
+    token: Option<&CancelToken>,
+) -> std::result::Result<Vec<Vec<(Duration, SlotResult)>>, JobFault> {
     run_grid_on(
         engine.pool(),
         specs.len(),
         map.num_slots(),
         options.threads,
+        token,
         |q, slot| {
             let started = Instant::now();
             let r = join_partition(store, map, slot, &specs[q], reparse, cache, options);
@@ -630,7 +708,11 @@ pub(crate) fn execute_batch_impl(
     queries: &[Query],
     dataset: &Dataset,
     cache: &IndexCache,
-) -> Result<(Vec<QueryResult>, BatchStats)> {
+    token: Option<&CancelToken>,
+) -> Result<(
+    Vec<std::result::Result<QueryResult, QueryError>>,
+    BatchStats,
+)> {
     let mut stats = BatchStats {
         queries: queries.len() as u64,
         per_query: vec![BatchQueryStats::default(); queries.len()],
@@ -647,7 +729,8 @@ pub(crate) fn execute_batch_impl(
     let mut finished: Vec<Option<Box<dyn AggregateSink>>> = Vec::new();
     if !prep.plan.sinks.is_empty() {
         let proto = MultiSink::new(std::mem::take(&mut prep.plan.sinks));
-        let (merged, t) = engine.single_pass(dataset, &MetadataFilter::All, proto)?;
+        let (merged, t) =
+            engine.single_pass_cancellable(dataset, &MetadataFilter::All, proto, token)?;
         finished = merged.into_sinks().into_iter().map(Some).collect();
         stats.scan_passes += 1;
         stats.shared_scan = t;
@@ -665,6 +748,7 @@ pub(crate) fn execute_batch_impl(
         dataset,
         cache,
         &mut stats,
+        token,
     )?;
     Ok((results, stats))
 }
@@ -682,7 +766,8 @@ pub(crate) fn execute_streaming_batch_impl(
     source: &mut dyn ChunkSource,
     format: Format,
     cache: &IndexCache,
-) -> Result<(Vec<QueryResult>, BatchStats, StreamStats)> {
+    token: Option<&CancelToken>,
+) -> Result<(Vec<crate::result::QueryOutcome>, BatchStats, StreamStats)> {
     let mut stats = BatchStats {
         queries: queries.len() as u64,
         per_query: vec![BatchQueryStats::default(); queries.len()],
@@ -697,8 +782,8 @@ pub(crate) fn execute_streaming_batch_impl(
     let mut prep = prepare_scan(engine, queries, cache);
     let proto = MultiSink::new(std::mem::take(&mut prep.plan.sinks));
     let mut scan = StreamingScan::new(engine, format, proto, source.size_hint())?;
-    drive(&mut scan, engine, source)?;
-    let (multi, dataset, timings, stream_stats) = scan.seal(engine)?;
+    drive(&mut scan, engine, source, token)?;
+    let (multi, dataset, timings, stream_stats) = scan.seal_cancellable(engine, token)?;
     stats.scan_passes += 1;
     stats.shared_scan = timings;
     let finished: Vec<Option<Box<dyn AggregateSink>>> =
@@ -716,13 +801,18 @@ pub(crate) fn execute_streaming_batch_impl(
         &dataset,
         cache,
         &mut stats,
+        token,
     )?;
     Ok((results, stats, stream_stats))
 }
 
 /// The aggregate step shared by the buffered and streamed scan paths:
 /// build/fetch the partition index, extract single-pass results, run
-/// the flattened join fan-out.
+/// the flattened join fan-out. Per-query fault isolation happens
+/// here: a member sink that panicked mid-scan (now a
+/// [`AggregateSink::panic_message`] tombstone) turns into that
+/// query's `Err(`[`QueryError::Panicked`]`)` — its batch mates'
+/// results are extracted normally.
 #[allow(clippy::too_many_arguments)]
 fn finish_batch(
     engine: &Engine,
@@ -736,7 +826,8 @@ fn finish_batch(
     dataset: &Dataset,
     cache: &IndexCache,
     stats: &mut BatchStats,
-) -> Result<Vec<QueryResult>> {
+    token: Option<&CancelToken>,
+) -> Result<Vec<std::result::Result<QueryResult, QueryError>>> {
     let cfg = engine.config();
     let needs_index = !plan.join_specs.is_empty();
     let scan_total = stats.shared_scan.total();
@@ -750,6 +841,13 @@ fn finish_batch(
                     .get_mut(single_pass_sinks)
                     .and_then(Option::take)
                     .expect("the partition sink rode the scan");
+                // The shared partition sink serves every join-class
+                // query; if it panicked there is nothing per-query to
+                // salvage — the whole batch fails (structured, no
+                // poisoned state left behind).
+                if let Some(m) = sink.panic_message() {
+                    return Err(Error::TaskPanicked(m.to_string()));
+                }
                 let (store, map, refine) = match cfg.store {
                     StoreKind::Array => {
                         let agg: PartitionAgg<ArrayStore> = downcast_sink(sink);
@@ -767,7 +865,7 @@ fn finish_batch(
                 // skip this pass along with the partition pass.
                 let xml_table = if dataset.format() == Format::OsmXml {
                     stats.scan_passes += 1;
-                    Some(Arc::new(engine.xml_geometry_table(dataset)?))
+                    Some(Arc::new(engine.xml_geometry_table(dataset, token)?))
                 } else {
                     None
                 };
@@ -790,7 +888,8 @@ fn finish_batch(
     };
 
     // ---- aggregate: single-pass query results ----
-    let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
+    let mut results: Vec<Option<std::result::Result<QueryResult, QueryError>>> =
+        (0..queries.len()).map(|_| None).collect();
     for (qi, task) in plan.tasks.iter().enumerate() {
         let sink = match task {
             Task::Containment { sink } | Task::Aggregation { sink } => *sink,
@@ -801,7 +900,13 @@ fn finish_batch(
             .get_mut(sink)
             .and_then(Option::take)
             .expect("every single-pass query has a finished sink");
-        results[qi] = Some(match task {
+        // Member-level failure domain: a panicked sink fails exactly
+        // this query; everyone else's extraction proceeds.
+        if let Some(m) = sink.panic_message() {
+            results[qi] = Some(Err(QueryError::Panicked(m.to_string())));
+            continue;
+        }
+        results[qi] = Some(Ok(match task {
             Task::Containment { .. } => {
                 let agg: ContainmentAgg = downcast_sink(sink);
                 let mut matches = agg.matches;
@@ -813,7 +918,7 @@ fn finish_batch(
                 QueryResult::Aggregate(agg.values())
             }
             _ => unreachable!(),
-        });
+        }));
         let finalize = started.elapsed();
         stats.per_query[qi] = BatchQueryStats {
             scan: scan_total,
@@ -847,6 +952,7 @@ fn finish_batch(
                 reparse.as_ref(),
                 &shared_cache,
                 &options,
+                token,
             ),
             IndexStore::List(s) => run_join_grid(
                 engine,
@@ -856,14 +962,16 @@ fn finish_batch(
                 reparse.as_ref(),
                 &shared_cache,
                 &options,
+                token,
             ),
-        };
+        }
+        .map_err(Error::from)?;
         for (jq, per_slot) in grid_results.into_iter().enumerate() {
             let qi = plan.join_query_index[jq];
             let own_process: Duration = per_slot.iter().map(|(d, _)| *d).sum();
             let outcome = fold_slot_results(&index.map, per_slot.into_iter().map(|(_, r)| r))?;
             let mut finalize = Duration::ZERO;
-            results[qi] = Some(match &queries[qi] {
+            results[qi] = Some(Ok(match &queries[qi] {
                 Query::Join { .. } => QueryResult::Joined(outcome.pairs),
                 Query::Combined { .. } => {
                     // The final aggregation: ST_Area(ST_Union(l, r))
@@ -872,6 +980,9 @@ fn finish_batch(
                     let started = Instant::now();
                     let mut total = 0.0;
                     for p in &outcome.pairs {
+                        if let Some(t) = token {
+                            t.check()?;
+                        }
                         let a =
                             shared_cache.get_or_parse(p.left_offset, u32::MAX, reparse.as_ref())?;
                         let b = shared_cache.get_or_parse(
@@ -888,7 +999,7 @@ fn finish_batch(
                     }
                 }
                 _ => unreachable!("join fan-out only holds join-class queries"),
-            });
+            }));
             stats.per_query[qi] = BatchQueryStats {
                 scan: scan_total,
                 join: Some(JoinTimings {
@@ -1098,6 +1209,119 @@ mod tests {
             "queries after a failed seal must error, not serve partial data"
         );
         assert!(session.ingest_chunk(b"more").is_err(), "the stream is gone");
+    }
+
+    #[test]
+    fn tombstoned_member_sink_fails_only_its_query() {
+        // Drives finish_batch's member-level failure domain directly:
+        // query 1's sink "panicked" mid-scan (tombstoned), queries 0
+        // and 2 must come out bit-identical to their solo runs.
+        let ds = dataset(930, 60);
+        let engine = Engine::builder().threads(2).build();
+        let queries = vec![
+            Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0)),
+            Query::containment(Mbr::new(-6.0, 44.0, 4.0, 56.0)),
+            Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0)),
+        ];
+        let solo: Vec<QueryResult> = queries
+            .iter()
+            .map(|q| engine.execute(q, &ds).unwrap())
+            .collect();
+        let cache = IndexCache::new();
+        let mut prep = prepare_scan(&engine, &queries, &cache);
+        let proto = MultiSink::new(std::mem::take(&mut prep.plan.sinks));
+        let (merged, t) = engine
+            .single_pass_cancellable(&ds, &MetadataFilter::All, proto, None)
+            .unwrap();
+        let mut finished: Vec<Option<Box<dyn AggregateSink>>> =
+            merged.into_sinks().into_iter().map(Some).collect();
+        finished[1] = Some(Box::new(crate::pipeline::FailedSink::new("sink bomb")));
+        let mut stats = BatchStats {
+            queries: 3,
+            scan_passes: 1,
+            shared_scan: t,
+            per_query: vec![BatchQueryStats::default(); 3],
+        };
+        let results = finish_batch(
+            &engine,
+            &queries,
+            &prep.plan,
+            finished,
+            prep.single_pass_sinks,
+            prep.cached,
+            prep.key,
+            prep.grid,
+            &ds,
+            &cache,
+            &mut stats,
+            None,
+        )
+        .unwrap();
+        assert_eq!(results[0].as_ref().unwrap(), &solo[0]);
+        assert_eq!(results[2].as_ref().unwrap(), &solo[2]);
+        match &results[1] {
+            Err(QueryError::Panicked(m)) => assert!(m.contains("sink bomb"), "payload: {m}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // The engine (and its pool) stays fully serviceable.
+        assert_eq!(
+            engine.execute_batch(&queries, &ds).unwrap(),
+            solo,
+            "a later batch on the same engine is unaffected"
+        );
+    }
+
+    #[test]
+    fn cancelled_batch_returns_structured_error_and_engine_survives() {
+        let ds = dataset(931, 60);
+        let engine = Engine::builder().threads(2).build();
+        let queries = mixed_queries(60);
+        let token = crate::CancelToken::new();
+        token.cancel();
+        match engine.execute_batch_cancellable(&queries, &ds, &token) {
+            Err(Error::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // Same engine, fresh token: full results, bit-identical.
+        let want: Vec<QueryResult> = queries
+            .iter()
+            .map(|q| engine.execute(q, &ds).unwrap())
+            .collect();
+        let got = engine
+            .execute_batch_cancellable(&queries, &ds, &crate::CancelToken::new())
+            .unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn elapsed_deadline_fails_the_batch_with_deadline_exceeded() {
+        let ds = dataset(932, 60);
+        let engine = Engine::builder().threads(2).build();
+        let token = crate::CancelToken::with_deadline(std::time::Duration::ZERO);
+        match engine.execute_batch_cancellable(&mixed_queries(60), &ds, &token) {
+            Err(Error::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_ingest_join_and_double_finish_are_invalid_state() {
+        let engine = Engine::builder().build();
+        let mut session = QuerySession::streaming(engine, Format::Wkt).unwrap();
+        session.ingest_chunk(b"1\tPOINT(1.5 50.5)\t\n").unwrap();
+        match session.execute(&Query::join(10)) {
+            Err(Error::InvalidState(m)) => assert!(m.contains("sealed"), "message: {m}"),
+            other => panic!("expected InvalidState, got {other:?}"),
+        }
+        session.finish().unwrap();
+        match session.ingest_chunk(b"2\tPOINT(2 2)\t\n") {
+            Err(Error::InvalidState(_)) => {}
+            other => panic!("expected InvalidState, got {other:?}"),
+        }
+        match session.finish() {
+            Err(Error::InvalidState(_)) => {}
+            other => panic!("expected InvalidState, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The AT-GIS engine: translates Table 3 queries into parallel
 //! pipeline executions over raw datasets (§4).
 
+use crate::cancel::CancelToken;
 use crate::dataset::Dataset;
 use crate::executor::{resolve_threads, run_blocks_on};
 use crate::join::{pbsm_join_mapped_on, JoinOptions, ProbeStrategy, Reparser};
@@ -12,7 +13,7 @@ use crate::pool::WorkerPool;
 use crate::query::{FilterStrategy, Query};
 use crate::result::{JoinPair, QueryResult};
 use crate::stats::{JoinDecisions, JoinTimings, Timings};
-use crate::Result;
+use crate::{Error, Result};
 use atgis_formats::feature::{MetadataFilter, RawFeature};
 use atgis_formats::{fixed_blocks, marker_blocks, Format, Mode, ParseError};
 use atgis_geometry::{measures, DistanceModel, Geometry, Mbr, Polygon};
@@ -237,6 +238,38 @@ impl Engine {
         self.execute_timed(query, dataset).map(|(r, _)| r)
     }
 
+    /// [`Engine::execute`] under a cooperative [`CancelToken`]: the
+    /// scan observes the token at region/block granularity, so a
+    /// cancelled (or past-deadline) query stops within one in-flight
+    /// work unit and returns [`Error::Cancelled`] /
+    /// [`Error::DeadlineExceeded`] instead of its result. The engine,
+    /// its pool and any shared caches remain fully usable afterwards.
+    ///
+    /// ```
+    /// use atgis::{CancelToken, Dataset, Engine, Error, Query};
+    /// use atgis_formats::Format;
+    /// use atgis_geometry::Mbr;
+    ///
+    /// let bytes = atgis_datagen::write_geojson(&atgis_datagen::OsmGenerator::new(9).generate(50));
+    /// let dataset = Dataset::from_bytes(bytes, Format::GeoJson);
+    /// let engine = Engine::builder().build();
+    /// let token = CancelToken::new();
+    /// token.cancel();
+    /// let err = engine
+    ///     .execute_cancellable(&Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0)), &dataset, &token)
+    ///     .unwrap_err();
+    /// assert!(matches!(err, Error::Cancelled));
+    /// ```
+    pub fn execute_cancellable(
+        &self,
+        query: &Query,
+        dataset: &Dataset,
+        token: &CancelToken,
+    ) -> Result<QueryResult> {
+        self.execute_timed_cancellable(query, dataset, Some(token))
+            .map(|(r, _)| r)
+    }
+
     /// Executes a batch of queries over one dataset with a **shared
     /// structural scan**: all queries ride one parse pass (per-query
     /// aggregates fan out from each decoded geometry), join-class
@@ -283,7 +316,42 @@ impl Engine {
         dataset: &Dataset,
     ) -> Result<(Vec<QueryResult>, crate::stats::BatchStats)> {
         let cache = crate::batch::IndexCache::new();
-        crate::batch::execute_batch_impl(self, queries, dataset, &cache)
+        let (results, stats) =
+            crate::batch::execute_batch_impl(self, queries, dataset, &cache, None)?;
+        Ok((crate::batch::collapse_query_results(results)?, stats))
+    }
+
+    /// [`Engine::execute_batch`] under a cooperative [`CancelToken`]
+    /// shared by the whole batch (see [`Engine::execute_cancellable`]
+    /// for the cancellation contract).
+    pub fn execute_batch_cancellable(
+        &self,
+        queries: &[Query],
+        dataset: &Dataset,
+        token: &CancelToken,
+    ) -> Result<Vec<QueryResult>> {
+        let cache = crate::batch::IndexCache::new();
+        let (results, _) =
+            crate::batch::execute_batch_impl(self, queries, dataset, &cache, Some(token))?;
+        crate::batch::collapse_query_results(results)
+    }
+
+    /// The **fault-isolated** batch form: per-query `Result`s instead
+    /// of one all-or-nothing `Result`. A panic in one query's
+    /// aggregate sink yields `Err(`[`crate::QueryError::Panicked`]`)`
+    /// for that query alone; its batch mates complete bit-identically
+    /// to solo execution and the engine (pool included) stays fully
+    /// serviceable. Whole-batch failures — parse/I/O errors,
+    /// cancellation, an elapsed deadline — surface as the outer `Err`.
+    pub fn execute_batch_isolated(
+        &self,
+        queries: &[Query],
+        dataset: &Dataset,
+        token: Option<&CancelToken>,
+    ) -> Result<Vec<std::result::Result<QueryResult, crate::QueryError>>> {
+        let cache = crate::batch::IndexCache::new();
+        let (results, _) = crate::batch::execute_batch_impl(self, queries, dataset, &cache, token)?;
+        Ok(results)
     }
 
     /// Executes batches over **multiple datasets** in one call: each
@@ -331,10 +399,23 @@ impl Engine {
         query: &Query,
         dataset: &Dataset,
     ) -> Result<(QueryResult, ExecutionStats)> {
+        self.execute_timed_cancellable(query, dataset, None)
+    }
+
+    /// [`Engine::execute_timed`] under an optional [`CancelToken`]
+    /// (see [`Engine::execute_cancellable`] for the cancellation
+    /// contract).
+    pub fn execute_timed_cancellable(
+        &self,
+        query: &Query,
+        dataset: &Dataset,
+        token: Option<&CancelToken>,
+    ) -> Result<(QueryResult, ExecutionStats)> {
         match query {
             Query::Containment { region } => {
                 let proto = ContainmentAgg::new(Arc::new(region.clone()));
-                let (agg, t) = self.single_pass(dataset, &MetadataFilter::All, proto)?;
+                let (agg, t) =
+                    self.single_pass_cancellable(dataset, &MetadataFilter::All, proto, token)?;
                 let mut matches = agg.matches;
                 matches.sort_by_key(|m| m.offset);
                 Ok((
@@ -354,7 +435,8 @@ impl Engine {
             } => {
                 let strategy = self.resolve_strategy(*strategy, region);
                 let proto = MetricsAgg::new(Arc::new(region.clone()), metrics, *model, strategy);
-                let (agg, t) = self.single_pass(dataset, &MetadataFilter::All, proto)?;
+                let (agg, t) =
+                    self.single_pass_cancellable(dataset, &MetadataFilter::All, proto, token)?;
                 Ok((
                     QueryResult::Aggregate(agg.values()),
                     ExecutionStats {
@@ -365,7 +447,7 @@ impl Engine {
                 ))
             }
             Query::Join { id_threshold } => {
-                let (pairs, stats) = self.run_join(dataset, *id_threshold, None, None)?;
+                let (pairs, stats) = self.run_join(dataset, *id_threshold, None, None, token)?;
                 Ok((QueryResult::Joined(pairs), stats))
             }
             Query::Combined {
@@ -378,13 +460,17 @@ impl Engine {
                     *id_threshold,
                     Some(*min_perimeter_left),
                     Some(*max_perimeter_right),
+                    token,
                 )?;
                 // Final aggregation over joined pairs:
                 // ST_Area(ST_Union(d1, d2)).
                 let started = Instant::now();
-                let reparse_table = self.geometry_table(dataset, &pairs)?;
+                let reparse_table = self.geometry_table(dataset, &pairs, token)?;
                 let mut total = 0.0;
                 for p in &pairs {
+                    if let Some(t) = token {
+                        t.check()?;
+                    }
                     let a = &reparse_table[&p.left_offset];
                     let b = &reparse_table[&p.right_offset];
                     total += crate::operators::union_area(a, b);
@@ -439,6 +525,22 @@ impl Engine {
         filter: &MetadataFilter,
         proto: A,
     ) -> Result<(A, Timings)> {
+        self.single_pass_cancellable(dataset, filter, proto, None)
+    }
+
+    /// [`Engine::single_pass`] under an optional [`CancelToken`]: the
+    /// token is observed between blocks (a tripped token skips every
+    /// not-yet-started block and the pass returns
+    /// [`Error::Cancelled`] / [`Error::DeadlineExceeded`]), and a
+    /// panicking aggregate fails only this pass
+    /// ([`Error::TaskPanicked`]) — the pool survives.
+    pub fn single_pass_cancellable<A: QueryAggregate>(
+        &self,
+        dataset: &Dataset,
+        filter: &MetadataFilter,
+        proto: A,
+        token: Option<&CancelToken>,
+    ) -> Result<(A, Timings)> {
         let input = dataset.bytes();
         let threads = self.config.threads;
         let n = self.block_count();
@@ -461,6 +563,7 @@ impl Engine {
                     &self.pool,
                     &blocks,
                     threads,
+                    token,
                     |b| {
                         let mut features = Vec::new();
                         atgis_formats::geojson::fast::parse_block(
@@ -474,7 +577,7 @@ impl Engine {
                         for f in &features {
                             a.absorb(f);
                         }
-                        Ok::<_, ParseError>(a)
+                        Ok::<_, Error>(a)
                     },
                     |a, b| Ok(a.combine(b)),
                 );
@@ -489,8 +592,9 @@ impl Engine {
                     &self.pool,
                     &blocks,
                     threads,
-                    |b| FatGeoJsonFrag::process(input, b, filter, &proto),
-                    |a, b| a.merge(b, input, filter),
+                    token,
+                    |b| FatGeoJsonFrag::process(input, b, filter, &proto).map_err(Error::Parse),
+                    |a, b| a.merge(b, input, filter).map_err(Error::Parse),
                 );
                 t.split = split;
                 let started = Instant::now();
@@ -509,6 +613,7 @@ impl Engine {
                     &self.pool,
                     &blocks,
                     threads,
+                    token,
                     |b| {
                         let mut a = proto.clone();
                         let mut features = Vec::new();
@@ -517,7 +622,7 @@ impl Engine {
                         for f in &features {
                             a.absorb(f);
                         }
-                        Ok::<_, ParseError>(a)
+                        Ok::<_, Error>(a)
                     },
                     |a, b| Ok(a.combine(b)),
                 );
@@ -532,8 +637,9 @@ impl Engine {
                     &self.pool,
                     &blocks,
                     threads,
-                    |b| FatWktFrag::process(input, b, filter, &proto),
-                    |a, b| a.merge(b, input, filter),
+                    token,
+                    |b| FatWktFrag::process(input, b, filter, &proto).map_err(Error::Parse),
+                    |a, b| a.merge(b, input, filter).map_err(Error::Parse),
                 );
                 t.split = split;
                 let started = Instant::now();
@@ -545,7 +651,7 @@ impl Engine {
                 Ok((agg, t))
             }
             (Format::OsmXml, _) => {
-                let (features, t) = self.parse_xml(dataset, filter)?;
+                let (features, t) = self.parse_xml(dataset, filter, token)?;
                 let started = Instant::now();
                 let mut a = proto;
                 for f in &features {
@@ -565,6 +671,7 @@ impl Engine {
         &self,
         dataset: &Dataset,
         filter: &MetadataFilter,
+        token: Option<&CancelToken>,
     ) -> Result<(Vec<RawFeature>, Timings)> {
         use atgis_formats::osmxml;
         let input = dataset.bytes();
@@ -579,7 +686,8 @@ impl Engine {
             &self.pool,
             &blocks,
             threads,
-            |b| osmxml::collect_nodes(input, b.start, b.end),
+            token,
+            |b| osmxml::collect_nodes(input, b.start, b.end).map_err(Error::Parse),
             |mut a, b| {
                 a.extend(b);
                 Ok(a)
@@ -592,7 +700,8 @@ impl Engine {
             &self.pool,
             &blocks,
             threads,
-            |b| osmxml::collect_ways(input, b.start, b.end),
+            token,
+            |b| osmxml::collect_ways(input, b.start, b.end).map_err(Error::Parse),
             |mut a: Vec<_>, mut b| {
                 a.append(&mut b);
                 Ok(a)
@@ -603,7 +712,8 @@ impl Engine {
             &self.pool,
             &blocks,
             threads,
-            |b| osmxml::collect_relations(input, b.start, b.end),
+            token,
+            |b| osmxml::collect_relations(input, b.start, b.end).map_err(Error::Parse),
             |mut a: Vec<_>, mut b| {
                 a.append(&mut b);
                 Ok(a)
@@ -627,6 +737,7 @@ impl Engine {
         id_threshold: u64,
         min_perimeter_left: Option<f64>,
         max_perimeter_right: Option<f64>,
+        token: Option<&CancelToken>,
     ) -> Result<(Vec<JoinPair>, ExecutionStats)> {
         let grid = GridSpec::new(self.config.grid_extent, self.config.cell_deg);
         match self.config.store {
@@ -636,6 +747,7 @@ impl Engine {
                 id_threshold,
                 min_perimeter_left,
                 max_perimeter_right,
+                token,
             ),
             StoreKind::List => self.run_join_with_store::<ListStore>(
                 dataset,
@@ -643,10 +755,12 @@ impl Engine {
                 id_threshold,
                 min_perimeter_left,
                 max_perimeter_right,
+                token,
             ),
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_join_with_store<S: PartitionStore + Sync + Clone + 'static>(
         &self,
         dataset: &Dataset,
@@ -654,6 +768,7 @@ impl Engine {
         id_threshold: u64,
         min_perimeter_left: Option<f64>,
         max_perimeter_right: Option<f64>,
+        token: Option<&CancelToken>,
     ) -> Result<(Vec<JoinPair>, ExecutionStats)> {
         // Pass 1: parse + bound + partition.
         let proto: PartitionAgg<S> = PartitionAgg {
@@ -665,7 +780,8 @@ impl Engine {
             min_perimeter_left,
             max_perimeter_right,
         };
-        let (mut agg, mut t_partition) = self.single_pass(dataset, &MetadataFilter::All, proto)?;
+        let (mut agg, mut t_partition) =
+            self.single_pass_cancellable(dataset, &MetadataFilter::All, proto, token)?;
         if self.config.partition_phase == PartitionPhase::Separate {
             // Sequential partitioning step (§4.4: "it is possible to
             // perform the partitioning as a sequential step after the
@@ -689,7 +805,7 @@ impl Engine {
         let started = Instant::now();
         let input = dataset.bytes();
         let xml_table = if dataset.format() == Format::OsmXml {
-            Some(self.xml_geometry_table(dataset)?)
+            Some(self.xml_geometry_table(dataset, token)?)
         } else {
             None
         };
@@ -705,6 +821,7 @@ impl Engine {
                 probe: self.config.probe,
                 ..JoinOptions::default()
             },
+            token,
         )?;
         let join_time = started.elapsed() - outcome.dedup;
 
@@ -734,6 +851,7 @@ impl Engine {
         &self,
         dataset: &Dataset,
         pairs: &[JoinPair],
+        token: Option<&CancelToken>,
     ) -> Result<HashMap<u64, Geometry>> {
         let needed: std::collections::HashSet<u64> = pairs
             .iter()
@@ -741,7 +859,7 @@ impl Engine {
             .collect();
         let input = dataset.bytes();
         let xml_table = if dataset.format() == Format::OsmXml {
-            Some(self.xml_geometry_table(dataset)?)
+            Some(self.xml_geometry_table(dataset, token)?)
         } else {
             None
         };
@@ -750,13 +868,20 @@ impl Engine {
         // Lengths are recoverable from the collected features; for
         // GeoJSON/WKT the reparser only needs the offset.
         for off in needed {
+            if let Some(t) = token {
+                t.check()?;
+            }
             table.insert(off, reparse(off, u32::MAX)?);
         }
         Ok(table)
     }
 
-    pub(crate) fn xml_geometry_table(&self, dataset: &Dataset) -> Result<HashMap<u64, Geometry>> {
-        let (features, _) = self.parse_xml(dataset, &MetadataFilter::All)?;
+    pub(crate) fn xml_geometry_table(
+        &self,
+        dataset: &Dataset,
+        token: Option<&CancelToken>,
+    ) -> Result<HashMap<u64, Geometry>> {
+        let (features, _) = self.parse_xml(dataset, &MetadataFilter::All, token)?;
         Ok(features
             .into_iter()
             .map(|f| (f.offset, f.geometry))

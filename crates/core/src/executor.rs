@@ -26,7 +26,8 @@
 //!   every thread count, and the streaming execution path can feed the
 //!   same merger with chunk fragments as they are scanned.
 
-use crate::pool::{available_parallelism, WorkerPool};
+use crate::cancel::CancelToken;
+use crate::pool::{available_parallelism, recover, JobFault, WorkerPool};
 use crate::stats::Timings;
 use atgis_formats::Block;
 use std::collections::BTreeMap;
@@ -163,7 +164,7 @@ impl<T, E> StreamMerger<T, E> {
         let mut merges = 0u64;
         let mut spent = Duration::ZERO;
         loop {
-            let mut m = this.lock().expect("merger poisoned by panic");
+            let mut m = recover(this.lock());
             if m.error.is_some() {
                 m.merged += merges;
                 m.merge_time += spent;
@@ -210,7 +211,7 @@ impl<T, E> StreamMerger<T, E> {
                 Ok(cur)
             })();
             spent += started.elapsed();
-            let mut m = this.lock().expect("merger poisoned by panic");
+            let mut m = recover(this.lock());
             m.detached -= owned;
             match merged {
                 // Loop: new neighbours may have landed while we merged.
@@ -274,16 +275,24 @@ impl<T, E> StreamMerger<T, E> {
 /// `pool`, folding the per-block fragments incrementally in block
 /// order with `merge` as completions arrive (see [`StreamMerger`]).
 /// Returns `Ok(None)` for an empty block list.
+///
+/// Workers poll `token` (when given) before each block, so a
+/// cancelled or past-deadline scan stops within one in-flight block
+/// per thread. Pool faults — a task panic, an interruption — convert
+/// into `E` via its `From<JobFault>` impl, so callers see one error
+/// channel for process errors, merge errors and execution faults
+/// alike.
 pub fn run_blocks_on<T, E, P, M>(
     pool: &WorkerPool,
     blocks: &[Block],
     threads: usize,
+    token: Option<&CancelToken>,
     process: P,
     merge: M,
 ) -> (std::result::Result<Option<T>, E>, Timings)
 where
     T: Send,
-    E: Send,
+    E: Send + From<JobFault>,
     P: Fn(Block) -> std::result::Result<T, E> + Sync,
     M: Fn(T, T) -> std::result::Result<T, E> + Sync,
 {
@@ -296,12 +305,15 @@ where
     // fragments never pile up.
     let merger: Mutex<StreamMerger<T, E>> = Mutex::new(StreamMerger::new());
     let started = Instant::now();
-    pool.run(blocks.len(), threads, |i| match process(blocks[i]) {
-        Ok(frag) => StreamMerger::push_shared(&merger, i, frag, &merge),
-        Err(e) => merger.lock().expect("merger poisoned by panic").poison(e),
+    let fault = pool.run_cancellable(blocks.len(), threads, token, |i| {
+        crate::fault_point!("executor.block");
+        match process(blocks[i]) {
+            Ok(frag) => StreamMerger::push_shared(&merger, i, frag, &merge),
+            Err(e) => recover(merger.lock()).poison(e),
+        }
     });
     let elapsed = started.elapsed();
-    let merger = merger.into_inner().expect("merger poisoned by panic");
+    let merger = recover(merger.into_inner());
     // Attribution: merges ran inside the same wall interval, possibly
     // concurrently on several workers, so the summed merge time is
     // worker-time and can exceed the wall clock. Clamp it so the
@@ -310,11 +322,19 @@ where
     // ratios).
     timings.merge = merger.merge_time().min(elapsed);
     timings.process = elapsed - timings.merge;
-    (merger.finish(), timings)
+    // A pool fault outranks the merger's contents: an interrupted or
+    // panicked job has holes, so its partial fold must not be
+    // finished (or even asserted on).
+    let result = match fault {
+        Err(f) => Err(E::from(f)),
+        Ok(()) => merger.finish(),
+    };
+    (result, timings)
 }
 
 /// [`run_blocks_on`] against the process-wide shared pool — the
-/// standalone API for callers without an engine.
+/// standalone API for callers without an engine. Not cancellable;
+/// build an [`crate::Engine`] for token-carrying execution.
 pub fn run_blocks<T, E, P, M>(
     blocks: &[Block],
     threads: usize,
@@ -323,32 +343,39 @@ pub fn run_blocks<T, E, P, M>(
 ) -> (std::result::Result<Option<T>, E>, Timings)
 where
     T: Send,
-    E: Send,
+    E: Send + From<JobFault>,
     P: Fn(Block) -> std::result::Result<T, E> + Sync,
     M: Fn(T, T) -> std::result::Result<T, E> + Sync,
 {
-    run_blocks_on(WorkerPool::global(), blocks, threads, process, merge)
+    run_blocks_on(WorkerPool::global(), blocks, threads, None, process, merge)
 }
 
 /// Runs `work` over the indices `0..n` on up to `threads` workers of
 /// `pool`, collecting outputs in index order. A simpler variant of
 /// [`run_blocks_on`] for partition-parallel stages (the join pipeline
-/// fans out over partitions, not blocks).
-pub fn run_indexed_on<T, P>(pool: &WorkerPool, n: usize, threads: usize, work: P) -> Vec<T>
+/// fans out over partitions, not blocks). Returns the structured
+/// fault when a task panicked or `token` tripped.
+pub fn run_indexed_on<T, P>(
+    pool: &WorkerPool,
+    n: usize,
+    threads: usize,
+    token: Option<&CancelToken>,
+    work: P,
+) -> Result<Vec<T>, JobFault>
 where
     T: Send,
     P: Fn(usize) -> T + Sync,
 {
-    pool.run_collect(n, resolve_threads(threads), work)
+    pool.run_collect_cancellable(n, resolve_threads(threads), token, work)
 }
 
 /// [`run_indexed_on`] against the process-wide shared pool.
-pub fn run_indexed<T, P>(n: usize, threads: usize, work: P) -> Vec<T>
+pub fn run_indexed<T, P>(n: usize, threads: usize, work: P) -> Result<Vec<T>, JobFault>
 where
     T: Send,
     P: Fn(usize) -> T + Sync,
 {
-    run_indexed_on(WorkerPool::global(), n, threads, work)
+    run_indexed_on(WorkerPool::global(), n, threads, None, work)
 }
 
 /// Runs `work(outer, inner)` over the full `outer × inner` grid as
@@ -357,24 +384,27 @@ where
 /// of running per-query passes back to back: a query whose partitions
 /// are few or cheap no longer leaves workers idle while its
 /// predecessor finishes, because every worker drains one shared
-/// cursor over all pairs.
+/// cursor over all pairs. Returns the structured fault when a task
+/// panicked or `token` tripped mid-grid.
 pub fn run_grid_on<T, P>(
     pool: &WorkerPool,
     outer: usize,
     inner: usize,
     threads: usize,
+    token: Option<&CancelToken>,
     work: P,
-) -> Vec<Vec<T>>
+) -> Result<Vec<Vec<T>>, JobFault>
 where
     T: Send,
     P: Fn(usize, usize) -> T + Sync,
 {
     if outer == 0 || inner == 0 {
-        return (0..outer).map(|_| Vec::new()).collect();
+        return Ok((0..outer).map(|_| Vec::new()).collect());
     }
-    let mut flat = pool.run_collect(outer * inner, resolve_threads(threads), |i| {
-        work(i / inner, i % inner)
-    });
+    let mut flat =
+        pool.run_collect_cancellable(outer * inner, resolve_threads(threads), token, |i| {
+            work(i / inner, i % inner)
+        })?;
     // Split rows off the back so each split moves only one row, not
     // the whole remaining tail.
     let mut out = Vec::with_capacity(outer);
@@ -383,13 +413,28 @@ where
         out.push(row);
     }
     out.reverse();
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cancel::Interrupt;
     use atgis_formats::fixed_blocks;
+
+    /// Test error: a user-side message or a pool fault, so the tests
+    /// can distinguish the two channels structurally.
+    #[derive(Debug, PartialEq)]
+    enum TErr {
+        Msg(&'static str),
+        Fault(JobFault),
+    }
+
+    impl From<JobFault> for TErr {
+        fn from(f: JobFault) -> Self {
+            TErr::Fault(f)
+        }
+    }
 
     #[test]
     fn sums_blocks_in_order() {
@@ -398,7 +443,7 @@ mod tests {
             let (result, _) = run_blocks(
                 &blocks,
                 threads,
-                |b| Ok::<_, ()>(vec![b.index]),
+                |b| Ok::<_, JobFault>(vec![b.index]),
                 |mut a, b| {
                     a.extend(b);
                     Ok(a)
@@ -414,13 +459,13 @@ mod tests {
         assert_eq!(resolve_threads(0), available_parallelism());
         assert_eq!(resolve_threads(3), 3);
         let blocks = fixed_blocks(50, 5);
-        let (result, _) = run_blocks(&blocks, 0, |b| Ok::<_, ()>(b.len()), |a, b| Ok(a + b));
+        let (result, _) = run_blocks(&blocks, 0, |b| Ok::<_, JobFault>(b.len()), |a, b| Ok(a + b));
         assert_eq!(result.unwrap(), Some(50));
     }
 
     #[test]
     fn empty_blocks_yield_none() {
-        let (result, _) = run_blocks(&[], 4, |_| Ok::<_, ()>(0u64), |a, b| Ok(a + b));
+        let (result, _) = run_blocks(&[], 4, |_| Ok::<_, JobFault>(0u64), |a, b| Ok(a + b));
         assert_eq!(result.unwrap(), None);
     }
 
@@ -432,14 +477,14 @@ mod tests {
             2,
             |b| {
                 if b.index == 3 {
-                    Err("boom")
+                    Err(TErr::Msg("boom"))
                 } else {
                     Ok(b.index)
                 }
             },
             |a, _| Ok(a),
         );
-        assert_eq!(result.unwrap_err(), "boom");
+        assert_eq!(result.unwrap_err(), TErr::Msg("boom"));
     }
 
     #[test]
@@ -454,13 +499,66 @@ mod tests {
             |b| Ok(vec![b.index]),
             |a: Vec<usize>, b| {
                 if a.contains(&2) || b.contains(&2) {
-                    Err("merge fail")
+                    Err(TErr::Msg("merge fail"))
                 } else {
                     Ok(a.into_iter().chain(b).collect())
                 }
             },
         );
-        assert_eq!(result.unwrap_err(), "merge fail");
+        assert_eq!(result.unwrap_err(), TErr::Msg("merge fail"));
+    }
+
+    #[test]
+    fn task_panics_surface_as_faults_not_pool_death() {
+        let pool = WorkerPool::new(2);
+        let blocks = fixed_blocks(100, 10);
+        let (result, _) = run_blocks_on(
+            &pool,
+            &blocks,
+            3,
+            None,
+            |b| {
+                if b.index == 4 {
+                    panic!("process blew up");
+                }
+                Ok::<_, TErr>(b.index)
+            },
+            |a, _| Ok(a),
+        );
+        assert_eq!(
+            result.unwrap_err(),
+            TErr::Fault(JobFault::Panicked("process blew up".to_string()))
+        );
+        // The same pool still serves the next scan.
+        let (ok, _) = run_blocks_on(
+            &pool,
+            &blocks,
+            3,
+            None,
+            |b| Ok::<_, JobFault>(b.len()),
+            |a, b| Ok(a + b),
+        );
+        assert_eq!(ok.unwrap(), Some(100));
+    }
+
+    #[test]
+    fn cancelled_scan_interrupts_instead_of_finishing() {
+        let pool = WorkerPool::new(2);
+        let blocks = fixed_blocks(100, 10);
+        let token = CancelToken::new();
+        token.cancel();
+        let (result, _) = run_blocks_on(
+            &pool,
+            &blocks,
+            3,
+            Some(&token),
+            |b| Ok::<_, TErr>(b.len()),
+            |a, b| Ok(a + b),
+        );
+        assert_eq!(
+            result.unwrap_err(),
+            TErr::Fault(JobFault::Interrupted(Interrupt::Cancelled))
+        );
     }
 
     #[test]
@@ -525,7 +623,7 @@ mod tests {
             let (result, _) = run_blocks(
                 &blocks,
                 3,
-                |b| Ok::<_, ()>(vec![b.index]),
+                |b| Ok::<_, JobFault>(vec![b.index]),
                 |mut a, b| {
                     a.extend(b);
                     Ok(a)
@@ -543,7 +641,7 @@ mod tests {
     #[test]
     fn indexed_execution_preserves_order() {
         for threads in [1, 3, 7] {
-            let out = run_indexed(20, threads, |i| i * i);
+            let out = run_indexed(20, threads, |i| i * i).unwrap();
             assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
         }
     }
@@ -552,7 +650,7 @@ mod tests {
     fn grid_execution_is_outer_major_and_complete() {
         let pool = WorkerPool::global();
         for threads in [1, 2, 7] {
-            let grid = run_grid_on(pool, 3, 5, threads, |o, i| (o, i, o * 100 + i));
+            let grid = run_grid_on(pool, 3, 5, threads, None, |o, i| (o, i, o * 100 + i)).unwrap();
             assert_eq!(grid.len(), 3);
             for (o, row) in grid.iter().enumerate() {
                 assert_eq!(row.len(), 5);
@@ -561,10 +659,22 @@ mod tests {
                 }
             }
         }
-        assert_eq!(run_grid_on(pool, 0, 5, 2, |_, _| 0u8).len(), 0);
-        let empty_inner = run_grid_on(pool, 4, 0, 2, |_, _| 0u8);
+        assert_eq!(
+            run_grid_on(pool, 0, 5, 2, None, |_, _| 0u8).unwrap().len(),
+            0
+        );
+        let empty_inner = run_grid_on(pool, 4, 0, 2, None, |_, _| 0u8).unwrap();
         assert_eq!(empty_inner.len(), 4);
         assert!(empty_inner.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn grid_cancellation_returns_the_fault() {
+        let pool = WorkerPool::global();
+        let token = CancelToken::new();
+        token.cancel();
+        let fault = run_grid_on(pool, 3, 5, 2, Some(&token), |_, _| 0u8).unwrap_err();
+        assert_eq!(fault, JobFault::Interrupted(Interrupt::Cancelled));
     }
 
     #[test]
@@ -575,7 +685,7 @@ mod tests {
             2,
             |b| {
                 std::thread::sleep(std::time::Duration::from_millis(1));
-                Ok::<_, ()>(b.len())
+                Ok::<_, JobFault>(b.len())
             },
             |a, b| Ok(a + b),
         );

@@ -20,11 +20,13 @@
 //!    partitions can match repeatedly; pairs are sorted by offsets and
 //!    deduplicated before the result returns (§4.5).
 
+use crate::cancel::CancelToken;
 use crate::executor::run_indexed_on;
 use crate::partition::{PartEntry, PartitionMap, PartitionStore};
-use crate::pool::WorkerPool;
+use crate::pool::{recover, WorkerPool};
 use crate::result::JoinPair;
 use crate::stats::JoinDecisions;
+use crate::Error;
 use atgis_formats::ParseError;
 use atgis_geometry::relate::intersects;
 use atgis_geometry::{measures, DistanceModel, Geometry};
@@ -63,13 +65,13 @@ impl ReparseCache {
         reparse: &Reparser<'_>,
     ) -> Result<Geometry, ParseError> {
         let shard = &self.shards[(offset as usize) & (self.shards.len() - 1)];
-        if let Some(g) = shard.lock().expect("cache shard poisoned").get(&offset) {
+        if let Some(g) = recover(shard.lock()).get(&offset) {
             return Ok(g.clone());
         }
         // Parse outside the lock; a racing duplicate parse is rare and
         // harmless (both produce the same geometry).
         let g = reparse(offset, len)?;
-        let mut m = shard.lock().expect("cache shard poisoned");
+        let mut m = recover(shard.lock());
         if m.len() >= self.per_shard_cap {
             m.clear();
         }
@@ -254,7 +256,7 @@ pub fn pbsm_join<S: PartitionStore + Sync>(
     store: &S,
     reparse: &Reparser<'_>,
     options: JoinOptions,
-) -> Result<(Vec<JoinPair>, Duration), ParseError> {
+) -> crate::Result<(Vec<JoinPair>, Duration)> {
     pbsm_join_on(WorkerPool::global(), store, reparse, options)
 }
 
@@ -265,21 +267,25 @@ pub fn pbsm_join_on<S: PartitionStore + Sync>(
     store: &S,
     reparse: &Reparser<'_>,
     options: JoinOptions,
-) -> Result<(Vec<JoinPair>, Duration), ParseError> {
+) -> crate::Result<(Vec<JoinPair>, Duration)> {
     let map = PartitionMap::uniform(store);
-    pbsm_join_mapped_on(pool, store, &map, reparse, options).map(|o| (o.pairs, o.dedup))
+    pbsm_join_mapped_on(pool, store, &map, reparse, options, None).map(|o| (o.pairs, o.dedup))
 }
 
 /// The full join pipeline over an explicit (possibly skew-adaptive)
 /// partition map — the single-query engine entry point (sides tagged
-/// at partition time, private re-parse cache).
+/// at partition time, private re-parse cache). The optional
+/// [`CancelToken`] is observed between partitions: a tripped token
+/// skips every not-yet-started partition and the join returns
+/// [`Error::Cancelled`] / [`Error::DeadlineExceeded`].
 pub fn pbsm_join_mapped_on<S: PartitionStore + Sync>(
     pool: &WorkerPool,
     store: &S,
     map: &PartitionMap,
     reparse: &Reparser<'_>,
     options: JoinOptions,
-) -> Result<JoinOutcome, ParseError> {
+    token: Option<&CancelToken>,
+) -> crate::Result<JoinOutcome> {
     let cache = ReparseCache::new(options.sort_batch);
     pbsm_join_spec_on(
         pool,
@@ -289,6 +295,7 @@ pub fn pbsm_join_mapped_on<S: PartitionStore + Sync>(
         reparse,
         &cache,
         options,
+        token,
     )
 }
 
@@ -296,6 +303,7 @@ pub fn pbsm_join_mapped_on<S: PartitionStore + Sync>(
 /// caller-owned [`ReparseCache`] — the batch entry point: N queries
 /// over one shared partition index pass their own [`JoinSpec`]s and
 /// share one cache, so replicated objects parse once per *batch*.
+#[allow(clippy::too_many_arguments)]
 pub fn pbsm_join_spec_on<S: PartitionStore + Sync>(
     pool: &WorkerPool,
     store: &S,
@@ -304,12 +312,13 @@ pub fn pbsm_join_spec_on<S: PartitionStore + Sync>(
     reparse: &Reparser<'_>,
     cache: &ReparseCache,
     options: JoinOptions,
-) -> Result<JoinOutcome, ParseError> {
+    token: Option<&CancelToken>,
+) -> crate::Result<JoinOutcome> {
     let slots = map.num_slots();
-    let per_slot: Vec<SlotResult> = run_indexed_on(pool, slots, options.threads, |slot| {
+    let per_slot: Vec<SlotResult> = run_indexed_on(pool, slots, options.threads, token, |slot| {
         join_partition(store, map, slot, spec, reparse, cache, &options)
-    });
-    fold_slot_results(map, per_slot.into_iter())
+    })?;
+    fold_slot_results(map, per_slot.into_iter()).map_err(Error::Parse)
 }
 
 /// Folds per-partition results into the deduplicated outcome —
@@ -902,7 +911,8 @@ mod tests {
         let pool = WorkerPool::global();
         let map = PartitionMap::uniform(&store);
         let tagged =
-            pbsm_join_mapped_on(pool, &store, &map, &reparse, JoinOptions::default()).unwrap();
+            pbsm_join_mapped_on(pool, &store, &map, &reparse, JoinOptions::default(), None)
+                .unwrap();
         let cache = ReparseCache::new(JoinOptions::default().sort_batch);
         // The fixture puts ids < 10 on the left.
         let spec = JoinSpec::threshold(10);
@@ -914,6 +924,7 @@ mod tests {
             &reparse,
             &cache,
             JoinOptions::default(),
+            None,
         )
         .unwrap();
         assert_eq!(tagged.pairs, by_threshold.pairs);
@@ -935,6 +946,7 @@ mod tests {
             &reparse,
             &cache,
             JoinOptions::default(),
+            None,
         )
         .unwrap();
         assert!(!unfiltered.pairs.is_empty());
@@ -947,6 +959,7 @@ mod tests {
             &reparse,
             &cache,
             JoinOptions::default(),
+            None,
         )
         .unwrap();
         assert!(
@@ -1017,10 +1030,24 @@ mod tests {
             },
         );
         assert!(adaptive.stats().split_cells > 0, "{:?}", adaptive.stats());
-        let a =
-            pbsm_join_mapped_on(pool, &store, &uniform, &reparse, JoinOptions::default()).unwrap();
-        let b =
-            pbsm_join_mapped_on(pool, &store, &adaptive, &reparse, JoinOptions::default()).unwrap();
+        let a = pbsm_join_mapped_on(
+            pool,
+            &store,
+            &uniform,
+            &reparse,
+            JoinOptions::default(),
+            None,
+        )
+        .unwrap();
+        let b = pbsm_join_mapped_on(
+            pool,
+            &store,
+            &adaptive,
+            &reparse,
+            JoinOptions::default(),
+            None,
+        )
+        .unwrap();
         assert_eq!(a.pairs, b.pairs);
         assert!(!a.pairs.is_empty(), "fixture must produce pairs");
         assert_eq!(

@@ -134,10 +134,13 @@
 #![warn(clippy::all)]
 
 pub mod batch;
+pub mod cancel;
 pub mod dataset;
 pub mod engine;
 pub mod exact;
 pub mod executor;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod join;
 pub mod operators;
 pub mod partition;
@@ -150,13 +153,14 @@ pub mod stats;
 pub mod stream;
 
 pub use batch::{IndexCache, PartitionIndex, QuerySession};
+pub use cancel::{CancelToken, Interrupt};
 pub use dataset::{Dataset, StreamBuffer};
 pub use engine::{Engine, EngineBuilder};
 pub use exact::ExactSum;
 pub use join::{JoinOptions, ProbeStrategy};
 pub use partition::{AdaptiveConfig, PartitionMap, PartitionMapStats};
 pub use query::{FilterStrategy, Metric, Query, ScanClass};
-pub use result::{JoinPair, MatchRecord, QueryResult};
+pub use result::{JoinPair, MatchRecord, QueryError, QueryOutcome, QueryResult};
 pub use scheduler::{
     AggregateCache, AggregateCacheStats, DatasetId, QueryScheduler, ScheduledQuery, SchedulerConfig,
 };
@@ -168,6 +172,20 @@ pub use stream::{
     ReaderChunkSource, SliceChunkSource,
 };
 
+/// A named fault-injection hook. Compiles to nothing unless the
+/// `fault-injection` feature is on; with it, the hook consults the
+/// `fault` module's failpoint registry (a single relaxed atomic load
+/// while disarmed) and may panic or stall as the armed `FaultAction`
+/// dictates. Place only inside worker task bodies, where a panic is
+/// caught and isolated by the pool.
+#[macro_export]
+macro_rules! fault_point {
+    ($name:expr) => {
+        #[cfg(feature = "fault-injection")]
+        $crate::fault::fire($name);
+    };
+}
+
 /// Crate-level error type.
 #[derive(Debug)]
 pub enum Error {
@@ -177,6 +195,31 @@ pub enum Error {
     Io(std::io::Error),
     /// The query is not supported for this dataset/mode combination.
     Unsupported(String),
+    /// The call violated an object's lifecycle (e.g. a join on a
+    /// mid-ingest streaming session, querying a failed session).
+    InvalidState(String),
+    /// Execution was cancelled via a [`cancel::CancelToken`].
+    Cancelled,
+    /// The [`cancel::CancelToken`] deadline elapsed mid-execution.
+    DeadlineExceeded,
+    /// A worker task panicked; the payload is the panic message. The
+    /// pool, the engine and every shared cache survive — only the
+    /// affected query fails.
+    TaskPanicked(String),
+}
+
+impl Error {
+    /// The per-query [`QueryError`] form of this error, when it has
+    /// one (the cloneable cancellation/deadline/panic subset used by
+    /// fault-isolated batch results).
+    pub fn as_query_error(&self) -> Option<QueryError> {
+        match self {
+            Error::Cancelled => Some(QueryError::Cancelled),
+            Error::DeadlineExceeded => Some(QueryError::DeadlineExceeded),
+            Error::TaskPanicked(m) => Some(QueryError::Panicked(m.clone())),
+            _ => None,
+        }
+    }
 }
 
 impl From<atgis_formats::ParseError> for Error {
@@ -191,12 +234,44 @@ impl From<std::io::Error> for Error {
     }
 }
 
+impl From<Interrupt> for Error {
+    fn from(i: Interrupt) -> Self {
+        match i {
+            Interrupt::Cancelled => Error::Cancelled,
+            Interrupt::DeadlineExceeded => Error::DeadlineExceeded,
+        }
+    }
+}
+
+impl From<pool::JobFault> for Error {
+    fn from(f: pool::JobFault) -> Self {
+        match f {
+            pool::JobFault::Panicked(m) => Error::TaskPanicked(m),
+            pool::JobFault::Interrupted(i) => i.into(),
+        }
+    }
+}
+
+impl From<QueryError> for Error {
+    fn from(e: QueryError) -> Self {
+        match e {
+            QueryError::Cancelled => Error::Cancelled,
+            QueryError::DeadlineExceeded => Error::DeadlineExceeded,
+            QueryError::Panicked(m) => Error::TaskPanicked(m),
+        }
+    }
+}
+
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Error::Parse(e) => write!(f, "parse error: {e}"),
             Error::Io(e) => write!(f, "io error: {e}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::InvalidState(m) => write!(f, "invalid state: {m}"),
+            Error::Cancelled => write!(f, "cancelled"),
+            Error::DeadlineExceeded => write!(f, "deadline exceeded"),
+            Error::TaskPanicked(m) => write!(f, "worker task panicked: {m}"),
         }
     }
 }

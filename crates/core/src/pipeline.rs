@@ -45,6 +45,12 @@ pub trait AggregateSink: Send + Sync {
     fn clone_sink(&self) -> Box<dyn AggregateSink>;
     /// Downcast support for result extraction.
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
+    /// The panic message when this sink is the tombstone a panicked
+    /// [`MultiSink`] member was replaced with; `None` for live sinks.
+    /// Extraction code must check this before downcasting.
+    fn panic_message(&self) -> Option<&str> {
+        None
+    }
 }
 
 impl<A: QueryAggregate + 'static> AggregateSink for A {
@@ -75,6 +81,51 @@ pub fn downcast_sink<A: 'static>(sink: Box<dyn AggregateSink>) -> A {
         .into_any()
         .downcast::<A>()
         .expect("sink extraction requested the wrong aggregate type")
+}
+
+/// Tombstone for a [`MultiSink`] member whose aggregate panicked
+/// mid-scan: it absorbs nothing, combines to itself (failure is
+/// sticky, the earliest message wins), and reports the panic via
+/// [`AggregateSink::panic_message`]. This is how a panic in one
+/// query's sink fails only that query — the scan, its batch mates and
+/// the worker pool all complete normally.
+pub(crate) struct FailedSink {
+    message: String,
+}
+
+impl FailedSink {
+    /// A tombstone carrying the panic payload of the member it
+    /// replaced.
+    /// Only reachable from unit tests: production tombstones are
+    /// minted inside `MultiSink` when a member sink panics.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        FailedSink {
+            message: message.into(),
+        }
+    }
+}
+
+impl AggregateSink for FailedSink {
+    fn absorb_feature(&mut self, _feature: &RawFeature) {}
+
+    fn combine_sink(self: Box<Self>, _other: Box<dyn AggregateSink>) -> Box<dyn AggregateSink> {
+        self
+    }
+
+    fn clone_sink(&self) -> Box<dyn AggregateSink> {
+        Box::new(FailedSink {
+            message: self.message.clone(),
+        })
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+
+    fn panic_message(&self) -> Option<&str> {
+        Some(&self.message)
+    }
 }
 
 /// The multi-sink fan-out of the shared-scan batch layer: one
@@ -133,12 +184,22 @@ impl QueryAggregate for MultiSink {
     }
 
     fn absorb(&mut self, feature: &RawFeature) {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
         for sink in &mut self.sinks {
-            sink.absorb_feature(feature);
+            // Member-level failure domain: a panicking member becomes
+            // a FailedSink tombstone and the scan keeps feeding its
+            // batch mates. AssertUnwindSafe is sound because the
+            // half-mutated member is replaced, never observed again.
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| sink.absorb_feature(feature))) {
+                *sink = Box::new(FailedSink {
+                    message: crate::pool::panic_message(&*p),
+                });
+            }
         }
     }
 
     fn combine(self, other: Self) -> Self {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
         debug_assert_eq!(
             self.sinks.len(),
             other.sinks.len(),
@@ -149,7 +210,23 @@ impl QueryAggregate for MultiSink {
                 .sinks
                 .into_iter()
                 .zip(other.sinks)
-                .map(|(a, b)| a.combine_sink(b))
+                .map(|(a, b)| {
+                    // Sticky failure, earliest (document-order) side
+                    // wins — checked up front so a live sink never
+                    // tries to downcast a tombstone.
+                    if a.panic_message().is_some() {
+                        return a;
+                    }
+                    if b.panic_message().is_some() {
+                        return b;
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| a.combine_sink(b))) {
+                        Ok(s) => s,
+                        Err(p) => Box::new(FailedSink {
+                            message: crate::pool::panic_message(&*p),
+                        }),
+                    }
+                })
                 .collect(),
         }
     }
@@ -587,6 +664,79 @@ mod tests {
         let b_c: ContainmentAgg = downcast_sink(b.into_sinks().pop().unwrap());
         assert_eq!(a_c.matches.len(), 1);
         assert!(b_c.matches.is_empty(), "prototype must stay untouched");
+    }
+
+    /// Aggregate that panics on a specific feature id — the fault
+    /// model for member-isolation tests.
+    #[derive(Clone)]
+    struct BombAgg {
+        bomb_id: u64,
+        seen: u64,
+    }
+
+    impl QueryAggregate for BombAgg {
+        fn identity() -> Self {
+            BombAgg {
+                bomb_id: u64::MAX,
+                seen: 0,
+            }
+        }
+
+        fn absorb(&mut self, f: &RawFeature) {
+            assert!(f.id != self.bomb_id, "sink bomb");
+            self.seen += 1;
+        }
+
+        fn combine(mut self, other: Self) -> Self {
+            self.seen += other.seen;
+            self
+        }
+    }
+
+    #[test]
+    fn panicking_member_fails_alone_and_batch_mates_survive() {
+        let mut multi = MultiSink::new(vec![
+            Box::new(ContainmentAgg::new(region())),
+            Box::new(BombAgg {
+                bomb_id: 1,
+                seen: 0,
+            }),
+            Box::new(ContainmentAgg::new(region())),
+        ]);
+        for i in 0..5 {
+            multi.absorb(&feature(i, 0.0, 0.0));
+        }
+        let sinks = multi.into_sinks();
+        assert!(sinks[0].panic_message().is_none());
+        let msg = sinks[2].panic_message();
+        assert!(sinks[1]
+            .panic_message()
+            .expect("bombed")
+            .contains("sink bomb"));
+        assert!(msg.is_none());
+        let healthy: ContainmentAgg = downcast_sink(sinks.into_iter().next().unwrap());
+        assert_eq!(healthy.matches.len(), 5, "batch mates saw every feature");
+    }
+
+    #[test]
+    fn failure_is_sticky_across_combines() {
+        let proto = MultiSink::new(vec![Box::new(BombAgg {
+            bomb_id: 7,
+            seen: 0,
+        })]);
+        let mut left = proto.clone();
+        let mut right = proto.clone();
+        left.absorb(&feature(7, 0.0, 0.0)); // bombs the left member
+        right.absorb(&feature(8, 0.0, 0.0));
+        let merged = left.combine(right);
+        let sinks = merged.into_sinks();
+        assert!(
+            sinks[0]
+                .panic_message()
+                .expect("sticky")
+                .contains("sink bomb"),
+            "a failed member stays failed through combine"
+        );
     }
 
     #[test]

@@ -42,6 +42,45 @@ pub struct AggregateValues {
     pub total_perimeter: f64,
 }
 
+/// Why one query of a fault-isolated batch failed while its batch
+/// mates kept running. Unlike [`crate::Error`] this is `Clone` +
+/// `PartialEq`: a deduplicated predicate's failure fans out to every
+/// submitter exactly like a success would, and tests compare failure
+/// shapes structurally.
+///
+/// The failure **domain** is the point: a `Panicked` sink takes down
+/// only its own query (the pool, the session and the shared caches
+/// all survive), and `Cancelled`/`DeadlineExceeded` report
+/// cooperative early exit via a [`crate::cancel::CancelToken`], not a
+/// fault in the engine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum QueryError {
+    /// The query's [`crate::cancel::CancelToken`] was cancelled.
+    Cancelled,
+    /// The query's [`crate::cancel::CancelToken`] deadline elapsed.
+    DeadlineExceeded,
+    /// The query's own sink (or a task working solely for it)
+    /// panicked; the payload is the panic message.
+    Panicked(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Cancelled => write!(f, "query cancelled"),
+            QueryError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            QueryError::Panicked(m) => write!(f, "query task panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// One query's outcome in a fault-isolated batch (`*_isolated` entry
+/// points): the result, or the query-attributable failure that took
+/// down only this member.
+pub type QueryOutcome = std::result::Result<QueryResult, QueryError>;
+
 /// The result of executing a [`crate::Query`]. `PartialEq` compares
 /// results exactly (including float aggregates bit-for-bit) — the
 /// contract the batch layer is held to: `execute_batch(qs)` must

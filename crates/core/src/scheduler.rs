@@ -74,10 +74,12 @@
 //! ```
 
 use crate::batch::QuerySession;
+use crate::cancel::CancelToken;
 use crate::dataset::Dataset;
 use crate::engine::Engine;
+use crate::pool::recover;
 use crate::query::{FilterStrategy, Metric, Query, ScanClass};
-use crate::result::QueryResult;
+use crate::result::{QueryError, QueryResult};
 use crate::stats::{SchedulerStats, StreamStats, WaveStats};
 use crate::stream::ChunkSource;
 use crate::{Error, Result};
@@ -300,7 +302,7 @@ impl AggregateCache {
 
     /// Counters snapshot.
     pub fn stats(&self) -> AggregateCacheStats {
-        let inner = self.inner.lock().expect("aggregate cache poisoned");
+        let inner = recover(self.inner.lock());
         AggregateCacheStats {
             entries: inner.map.len(),
             capacity: self.capacity,
@@ -312,7 +314,7 @@ impl AggregateCache {
     }
 
     fn get(&self, key: &AggCacheKey) -> Option<QueryResult> {
-        let mut inner = self.inner.lock().expect("aggregate cache poisoned");
+        let mut inner = recover(self.inner.lock());
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(key) {
@@ -333,7 +335,7 @@ impl AggregateCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("aggregate cache poisoned");
+        let mut inner = recover(self.inner.lock());
         inner.tick += 1;
         let tick = inner.tick;
         inner.map.insert(
@@ -358,7 +360,7 @@ impl AggregateCache {
     /// Drops every cached aggregate belonging to `dataset` (any
     /// generation).
     fn invalidate_dataset(&self, dataset: DatasetId) {
-        let mut inner = self.inner.lock().expect("aggregate cache poisoned");
+        let mut inner = recover(self.inner.lock());
         let before = inner.map.len();
         inner.map.retain(|k, _| k.dataset != dataset);
         inner.invalidations += (before - inner.map.len()) as u64;
@@ -392,7 +394,7 @@ impl SchedEntry {
         // costed ~`threads`× too high and permanently isolated.
         let wall_s = join_wall.as_secs_f64() / threads.max(1) as f64;
         let units = (wall_s / scan_s).max(1.0);
-        let mut slot = self.observed_join_cost.lock().expect("cost slot poisoned");
+        let mut slot = recover(self.observed_join_cost.lock());
         *slot = Some(match *slot {
             Some(prev) => 0.5 * prev + 0.5 * units,
             None => units,
@@ -472,7 +474,7 @@ impl QueryScheduler {
 
     fn install(&self, session: QuerySession, generation: u64) -> DatasetId {
         let id = DatasetId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        self.entries.lock().expect("scheduler poisoned").insert(
+        recover(self.entries.lock()).insert(
             id,
             Arc::new(SchedEntry {
                 session,
@@ -488,7 +490,7 @@ impl QueryScheduler {
     /// partition-index cache for the old bytes are dropped, so no
     /// query can ever observe the old dataset again.
     pub fn update(&self, id: DatasetId, dataset: Dataset) -> Result<()> {
-        let mut entries = self.entries.lock().expect("scheduler poisoned");
+        let mut entries = recover(self.entries.lock());
         let entry = entries
             .get(&id)
             .ok_or_else(|| Error::Unsupported(format!("unknown dataset id {id:?}")))?;
@@ -509,12 +511,7 @@ impl QueryScheduler {
     /// Unregisters a dataset, dropping its session and cached
     /// aggregates.
     pub fn remove(&self, id: DatasetId) -> Result<()> {
-        let removed = self
-            .entries
-            .lock()
-            .expect("scheduler poisoned")
-            .remove(&id)
-            .is_some();
+        let removed = recover(self.entries.lock()).remove(&id).is_some();
         if !removed {
             return Err(Error::Unsupported(format!("unknown dataset id {id:?}")));
         }
@@ -525,17 +522,11 @@ impl QueryScheduler {
     /// The current generation of a registered dataset (1 for a fresh
     /// registration, +1 per [`QueryScheduler::update`]).
     pub fn generation(&self, id: DatasetId) -> Option<u64> {
-        self.entries
-            .lock()
-            .expect("scheduler poisoned")
-            .get(&id)
-            .map(|e| e.generation)
+        recover(self.entries.lock()).get(&id).map(|e| e.generation)
     }
 
     fn entry(&self, id: DatasetId) -> Result<Arc<SchedEntry>> {
-        self.entries
-            .lock()
-            .expect("scheduler poisoned")
+        recover(self.entries.lock())
             .get(&id)
             .cloned()
             .ok_or_else(|| Error::Unsupported(format!("unknown dataset id {id:?}")))
@@ -555,7 +546,7 @@ impl QueryScheduler {
         key: AggCacheKey,
         result: QueryResult,
     ) {
-        let entries = self.entries.lock().expect("scheduler poisoned");
+        let entries = recover(self.entries.lock());
         if entries.get(&id).map(|e| e.generation) == Some(generation) {
             self.cache.insert(key, result);
         }
@@ -584,10 +575,61 @@ impl QueryScheduler {
         id: DatasetId,
         queries: &[Query],
     ) -> Result<(Vec<QueryResult>, SchedulerStats)> {
+        let (results, stats) = self.execute_batch_isolated_timed(id, queries, None)?;
+        Ok((crate::batch::collapse_query_results(results)?, stats))
+    }
+
+    /// [`QueryScheduler::execute_batch`] under a cooperative
+    /// [`CancelToken`] (optionally deadline-carrying) shared by the
+    /// whole batch: the token is observed at region/partition
+    /// granularity inside every wave, so a cancelled or past-deadline
+    /// batch stops within one in-flight work unit per worker and
+    /// returns [`Error::Cancelled`] / [`Error::DeadlineExceeded`].
+    pub fn execute_batch_cancellable(
+        &self,
+        id: DatasetId,
+        queries: &[Query],
+        token: &CancelToken,
+    ) -> Result<Vec<QueryResult>> {
+        let (results, _) = self.execute_batch_isolated_timed(id, queries, Some(token))?;
+        crate::batch::collapse_query_results(results)
+    }
+
+    /// The **fault-isolated** scheduled batch: per-query `Result`s
+    /// plus the scheduling breakdown. A panic in one query's
+    /// aggregate sink fails only that query (and its dedup
+    /// duplicates, which share the sink) with
+    /// [`QueryError::Panicked`]; batch mates complete bit-identically
+    /// to solo execution and the scheduler stays fully serviceable.
+    /// When the `token` trips mid-batch, queries already resolved
+    /// keep their results and the rest report
+    /// [`QueryError::Cancelled`] / [`QueryError::DeadlineExceeded`].
+    /// [`SchedulerStats::cancelled`],
+    /// [`SchedulerStats::deadline_exceeded`] and
+    /// [`SchedulerStats::task_panics`] tally the failures. Only
+    /// non-query failures (unknown id, I/O or parse errors) surface
+    /// as the outer `Err`.
+    pub fn execute_batch_isolated_timed(
+        &self,
+        id: DatasetId,
+        queries: &[Query],
+        token: Option<&CancelToken>,
+    ) -> Result<(
+        Vec<std::result::Result<QueryResult, QueryError>>,
+        SchedulerStats,
+    )> {
         let entry = self.entry(id)?;
         let started = Instant::now();
         let mut stats = SchedulerStats::new(queries.len());
-        let results = self.run_group(&entry, id, queries, started, &mut stats)?;
+        let results = self.run_group(&entry, id, queries, started, &mut stats, token)?;
+        for r in &results {
+            match r {
+                Err(QueryError::Cancelled) => stats.cancelled += 1,
+                Err(QueryError::DeadlineExceeded) => stats.deadline_exceeded += 1,
+                Err(QueryError::Panicked(_)) => stats.task_panics += 1,
+                Ok(_) => {}
+            }
+        }
         Ok((results, stats))
     }
 
@@ -630,7 +672,9 @@ impl QueryScheduler {
         for (id, entry) in resolved {
             let (indexes, queries) = groups.remove(&id).expect("group exists");
             let mut group_stats = SchedulerStats::new(queries.len());
-            let group_results = self.run_group(&entry, id, &queries, started, &mut group_stats)?;
+            let group_results =
+                self.run_group(&entry, id, &queries, started, &mut group_stats, None)?;
+            let group_results = crate::batch::collapse_query_results(group_results)?;
             for (slot, result) in indexes.iter().zip(group_results) {
                 results[*slot] = Some(result);
             }
@@ -761,18 +805,21 @@ impl QueryScheduler {
                 };
                 0.15 + 0.85 * sel
             }
-            ScanClass::Join => entry
-                .observed_join_cost
-                .lock()
-                .expect("cost slot poisoned")
-                .unwrap_or(self.config.join_cost_weight),
+            ScanClass::Join => {
+                recover(entry.observed_join_cost.lock()).unwrap_or(self.config.join_cost_weight)
+            }
         }
     }
 
     /// The shared per-dataset execution path behind both
     /// [`QueryScheduler::execute_batch_timed`] and each group of
     /// [`QueryScheduler::execute_multi_timed`]: cache probe → dedup →
-    /// admission waves → fan-out.
+    /// admission waves → fan-out. Results are per-query: a sink
+    /// panic, a cancellation or an elapsed deadline fails the
+    /// affected queries (an interrupted wave fails all of its
+    /// members) without discarding what already completed; only
+    /// non-query failures propagate as the outer `Err`.
+    #[allow(clippy::too_many_arguments)]
     fn run_group(
         &self,
         entry: &SchedEntry,
@@ -780,8 +827,10 @@ impl QueryScheduler {
         queries: &[Query],
         started: Instant,
         stats: &mut SchedulerStats,
-    ) -> Result<Vec<QueryResult>> {
-        let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
+        token: Option<&CancelToken>,
+    ) -> Result<Vec<std::result::Result<QueryResult, QueryError>>> {
+        let mut results: Vec<Option<std::result::Result<QueryResult, QueryError>>> =
+            (0..queries.len()).map(|_| None).collect();
         let mut latencies: Vec<Duration> = vec![Duration::ZERO; queries.len()];
 
         // ---- canonical predicate keys: computed once per query,
@@ -802,7 +851,7 @@ impl QueryScheduler {
                     query: keys[i].clone(),
                 };
                 if let Some(hit) = self.cache.get(&key) {
-                    results[i] = Some(hit);
+                    results[i] = Some(Ok(hit));
                     latencies[i] = started.elapsed();
                     stats.cache_hits += 1;
                     continue;
@@ -836,7 +885,29 @@ impl QueryScheduler {
                 .iter()
                 .map(|&w| queries[pending[unique[w]]].clone())
                 .collect();
-            let (wave_results, batch_stats) = entry.session.execute_batch_timed(&wave_queries)?;
+            let (wave_results, batch_stats) = match entry
+                .session
+                .execute_batch_isolated_timed(&wave_queries, token)
+            {
+                Ok(outcome) => outcome,
+                // A batch-wide query failure (cancellation, deadline,
+                // partition-sink panic) fails every member of this
+                // wave; later waves observe the same tripped token
+                // and fail fast the same way, so results already
+                // resolved are never discarded.
+                Err(e) => match e.as_query_error() {
+                    Some(qe) => {
+                        let elapsed = started.elapsed();
+                        for &w in &wave {
+                            let qi = pending[unique[w]];
+                            results[qi] = Some(Err(qe.clone()));
+                            latencies[qi] = elapsed;
+                        }
+                        continue;
+                    }
+                    None => return Err(e),
+                },
+            };
             let elapsed = started.elapsed();
             let scan = batch_stats.shared_scan.total();
             stats.scan_passes += batch_stats.scan_passes;
@@ -855,8 +926,10 @@ impl QueryScheduler {
                     if let Some(per_query) = batch_stats.per_query.get(pos) {
                         entry.observe_join_cost(scan, per_query.wall, self.engine.threads());
                     }
-                } else if let Some(key) = pending_cache_keys[p].take() {
-                    self.insert_if_current(id, entry.generation, key, result.clone());
+                } else if let Ok(ref finished) = result {
+                    if let Some(key) = pending_cache_keys[p].take() {
+                        self.insert_if_current(id, entry.generation, key, finished.clone());
+                    }
                 }
                 results[qi] = Some(result);
                 latencies[qi] = elapsed;

@@ -112,6 +112,11 @@ pub struct StreamStats {
     /// Time the pipelined driver spent blocked waiting on the chunk
     /// source — the I/O-bound indicator.
     pub ingest_wait: Duration,
+    /// Transient chunk-read errors (`Interrupted`/`WouldBlock`/
+    /// `TimedOut`) absorbed by the bounded retry-with-backoff in the
+    /// pipelined driver; each retry that eventually succeeded (or
+    /// exhausted the bound) counts once.
+    pub retries: u64,
 }
 
 /// Per-query breakdown inside one batch execution: how much shared
@@ -209,6 +214,17 @@ pub struct SchedulerStats {
     /// order: the wall-clock from batch submission until the wave
     /// resolving that query (or its cache/dedup source) finished.
     pub latencies: Vec<Duration>,
+    /// Queries that ended with [`crate::QueryError::Cancelled`]
+    /// because the batch's [`crate::CancelToken`] was cancelled.
+    pub cancelled: u64,
+    /// Queries that ended with
+    /// [`crate::QueryError::DeadlineExceeded`] because the token's
+    /// deadline elapsed mid-execution.
+    pub deadline_exceeded: u64,
+    /// Queries that ended with [`crate::QueryError::Panicked`]: their
+    /// aggregate sink panicked, and the failure was confined to the
+    /// query (batch mates and the worker pool were unaffected).
+    pub task_panics: u64,
 }
 
 impl SchedulerStats {

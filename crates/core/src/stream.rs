@@ -36,18 +36,21 @@
 //! accumulate in [`crate::exact::ExactSum`]s whose correctly-rounded
 //! totals are independent of chunking, blocking and thread count.
 
+use crate::cancel::CancelToken;
 use crate::dataset::{Dataset, StreamBuffer};
 use crate::engine::{parse_wkt_rows, Engine};
 use crate::executor::StreamMerger;
 use crate::pipeline::{FatGeoJsonFrag, FatWktFrag, QueryAggregate};
+use crate::pool::recover;
 use crate::stats::{StreamStats, Timings};
 use crate::{Error, Result};
 use atgis_formats::feature::MetadataFilter;
 use atgis_formats::split::find_marker;
 use atgis_formats::{fixed_blocks, marker_blocks, Block, Format, Mode, ParseError};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Default virtual reservation for streams of unknown size (64-bit
 /// hosts); untouched pages are never committed, and the ladder backs
@@ -66,6 +69,13 @@ const HINT_SLACK: usize = 1 << 16;
 const DISPATCH_TARGET: usize = 1 << 20;
 /// Chunks the pipelined driver reads ahead of the scan.
 const READAHEAD_CHUNKS: usize = 4;
+/// Transient chunk-read errors (`Interrupted`, `WouldBlock`,
+/// `TimedOut`) are retried this many times with doubling backoff
+/// before the error surfaces; each retry is tallied into
+/// [`StreamStats::retries`].
+const MAX_READ_RETRIES: u32 = 4;
+/// First-retry backoff; doubles per attempt (100 µs, 200 µs, …).
+const RETRY_BACKOFF_BASE: Duration = Duration::from_micros(100);
 /// Default chunk length for file/reader sources.
 pub const DEFAULT_CHUNK_LEN: usize = 1 << 20;
 
@@ -399,7 +409,7 @@ impl<A: QueryAggregate + 'static> StreamingScan<A> {
     /// Appends one chunk and dispatches the newly-safe regions.
     pub fn ingest(&mut self, engine: &Engine, chunk: &[u8]) -> Result<()> {
         self.append_chunk(chunk)?;
-        self.dispatch(engine, false)
+        self.dispatch(engine, false, None)
     }
 
     /// Resolves the region plan on first contact with real bytes.
@@ -476,8 +486,17 @@ impl<A: QueryAggregate + 'static> StreamingScan<A> {
     }
 
     /// Dispatches every safe region; with `at_eof` the tail past the
-    /// last marker goes out too.
-    pub fn dispatch(&mut self, engine: &Engine, at_eof: bool) -> Result<()> {
+    /// last marker goes out too. The `token` (when present) is polled
+    /// by every pool claimant before each region, so a cancelled or
+    /// past-deadline scan stops within one in-flight region per
+    /// worker and returns [`Error::Cancelled`] /
+    /// [`Error::DeadlineExceeded`].
+    pub fn dispatch(
+        &mut self,
+        engine: &Engine,
+        at_eof: bool,
+        token: Option<&CancelToken>,
+    ) -> Result<()> {
         self.resolve_plan(engine);
         let Some(plan) = self.plan else {
             return Ok(()); // nothing ingested yet
@@ -563,39 +582,53 @@ impl<A: QueryAggregate + 'static> StreamingScan<A> {
         let filter = &self.filter;
         let format = self.format;
         let started = Instant::now();
-        engine.pool().run(blocks.len(), engine.threads(), |i| {
-            let b = blocks[i];
-            let result: std::result::Result<Frag<A>, ParseError> = match plan {
-                RegionPlan::Pat { .. } => process_pat(input, b, format, filter, proto),
-                RegionPlan::Fat => match format {
-                    Format::GeoJson => FatGeoJsonFrag::process(input, b, filter, proto)
-                        .map(|f| Frag::FatG(Box::new(f))),
-                    _ => FatWktFrag::process(input, b, filter, proto)
-                        .map(|f| Frag::FatW(Box::new(f))),
-                },
-                RegionPlan::Sealed => unreachable!("sealed plans dispatch nothing"),
-            };
-            match result {
-                Ok(frag) => StreamMerger::push_shared(merger, base + i, frag, |a, c| {
-                    merge_frag(a, c, input, filter)
-                }),
-                Err(e) => merger.lock().expect("stream merger poisoned").poison(e),
-            }
-        });
+        let run = engine
+            .pool()
+            .run_cancellable(blocks.len(), engine.threads(), token, |i| {
+                crate::fault_point!("stream.region");
+                let b = blocks[i];
+                let result: std::result::Result<Frag<A>, ParseError> = match plan {
+                    RegionPlan::Pat { .. } => process_pat(input, b, format, filter, proto),
+                    RegionPlan::Fat => match format {
+                        Format::GeoJson => FatGeoJsonFrag::process(input, b, filter, proto)
+                            .map(|f| Frag::FatG(Box::new(f))),
+                        _ => FatWktFrag::process(input, b, filter, proto)
+                            .map(|f| Frag::FatW(Box::new(f))),
+                    },
+                    RegionPlan::Sealed => unreachable!("sealed plans dispatch nothing"),
+                };
+                match result {
+                    Ok(frag) => StreamMerger::push_shared(merger, base + i, frag, |a, c| {
+                        merge_frag(a, c, input, filter)
+                    }),
+                    Err(e) => recover(merger.lock()).poison(e),
+                }
+            });
         self.run_time += started.elapsed();
-        Ok(())
+        run.map_err(Error::from)
     }
 
     /// Seals the stream: dispatches the tail, finalises the fold and
     /// returns the aggregate plus the sealed zero-copy dataset,
     /// timings and stream statistics. XML (and empty) streams run the
     /// ordinary buffered pass here.
-    pub fn seal(mut self, engine: &Engine) -> Result<(A, Dataset, Timings, StreamStats)> {
-        self.dispatch(engine, true)?;
+    pub fn seal(self, engine: &Engine) -> Result<(A, Dataset, Timings, StreamStats)> {
+        self.seal_cancellable(engine, None)
+    }
+
+    /// [`StreamingScan::seal`] under an optional [`CancelToken`]: the
+    /// tail dispatch and the XML buffered pass observe the token at
+    /// region granularity.
+    pub fn seal_cancellable(
+        mut self,
+        engine: &Engine,
+        token: Option<&CancelToken>,
+    ) -> Result<(A, Dataset, Timings, StreamStats)> {
+        self.dispatch(engine, true, token)?;
         let len = self.buf.len();
         let dataset = Dataset::from_stream_buffer(self.buf.clone(), len, self.format);
         let mut stats = self.stats;
-        let merger = self.merger.into_inner().expect("stream merger poisoned");
+        let merger = recover(self.merger.into_inner());
         stats.peak_fragments = merger.peak_runs() as u64;
         stats.merges = merger.merges();
         // Summed merge time is worker-time (merges run concurrently);
@@ -608,7 +641,8 @@ impl<A: QueryAggregate + 'static> StreamingScan<A> {
         };
         let needs_buffered_pass = matches!(self.plan, Some(RegionPlan::Sealed) | None);
         if needs_buffered_pass {
-            let (agg, t) = engine.single_pass(&dataset, &self.filter, self.proto)?;
+            let (agg, t) =
+                engine.single_pass_cancellable(&dataset, &self.filter, self.proto, token)?;
             return Ok((agg, dataset, t, stats));
         }
         let started = Instant::now();
@@ -717,7 +751,93 @@ impl Engine {
         StreamStats,
     )> {
         let cache = crate::batch::IndexCache::new();
-        crate::batch::execute_streaming_batch_impl(self, queries, source, format, &cache)
+        let (results, batch_stats, stream_stats) = crate::batch::execute_streaming_batch_impl(
+            self, queries, source, format, &cache, None,
+        )?;
+        Ok((
+            crate::batch::collapse_query_results(results)?,
+            batch_stats,
+            stream_stats,
+        ))
+    }
+
+    /// [`Engine::execute_streaming`] under a cooperative
+    /// [`CancelToken`]: the token is observed per chunk in the ingest
+    /// loop and per region in the scan fan-out, so a cancelled or
+    /// past-deadline stream stops within one work unit and returns
+    /// [`Error::Cancelled`] / [`Error::DeadlineExceeded`].
+    pub fn execute_streaming_cancellable(
+        &self,
+        query: &crate::query::Query,
+        source: &mut dyn ChunkSource,
+        format: Format,
+        token: &CancelToken,
+    ) -> Result<crate::result::QueryResult> {
+        let cache = crate::batch::IndexCache::new();
+        let (results, _, _) = crate::batch::execute_streaming_batch_impl(
+            self,
+            std::slice::from_ref(query),
+            source,
+            format,
+            &cache,
+            Some(token),
+        )?;
+        let mut results = crate::batch::collapse_query_results(results)?;
+        Ok(results.pop().expect("one result per query"))
+    }
+
+    /// The **fault-isolated** streaming batch: per-query `Result`s
+    /// (a panicking aggregate sink fails only its own query), plus
+    /// the batch and stream statistics — including the transient
+    /// chunk-read retry count ([`StreamStats::retries`]). Whole-batch
+    /// failures (I/O, parse, cancellation, deadline) surface as the
+    /// outer `Err`.
+    pub fn execute_streaming_batch_isolated(
+        &self,
+        queries: &[crate::query::Query],
+        source: &mut dyn ChunkSource,
+        format: Format,
+        token: Option<&CancelToken>,
+    ) -> Result<(
+        Vec<crate::result::QueryOutcome>,
+        crate::stats::BatchStats,
+        StreamStats,
+    )> {
+        let cache = crate::batch::IndexCache::new();
+        crate::batch::execute_streaming_batch_impl(self, queries, source, format, &cache, token)
+    }
+}
+
+/// `true` for I/O errors the streaming pump treats as transient and
+/// retries with backoff rather than failing the whole stream.
+fn is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// `source.next_chunk()` with bounded retry-with-backoff for
+/// transient errors: up to [`MAX_READ_RETRIES`] attempts, sleeping
+/// [`RETRY_BACKOFF_BASE`]·2ⁿ between them, every retry tallied into
+/// `retries`. Non-transient errors (and transient ones past the
+/// bound) surface unchanged.
+fn next_chunk_with_retry(
+    source: &mut (dyn ChunkSource + '_),
+    retries: &AtomicU64,
+) -> std::io::Result<Option<Vec<u8>>> {
+    let mut attempt = 0u32;
+    loop {
+        match source.next_chunk() {
+            Err(e) if attempt < MAX_READ_RETRIES && is_transient(&e) => {
+                attempt += 1;
+                retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(RETRY_BACKOFF_BASE * (1 << (attempt - 1)));
+            }
+            other => return other,
+        }
     }
 }
 
@@ -725,15 +845,24 @@ impl Engine {
 /// on the source while the calling thread appends and dispatches, so
 /// ingest I/O overlaps scanning and merging. Several already-arrived
 /// chunks are appended per dispatch to amortise pool submissions.
+///
+/// Robustness: transient chunk-read errors retry with bounded
+/// backoff ([`StreamStats::retries`] counts them), and the `token`
+/// is observed once per chunk batch — cancelling mid-stream stops
+/// the ingest loop within one chunk and drops the read-ahead
+/// channel, which unblocks and retires the pump thread.
 pub(crate) fn drive<A: QueryAggregate + 'static>(
     scan: &mut StreamingScan<A>,
     engine: &Engine,
     source: &mut (dyn ChunkSource + '_),
+    token: Option<&CancelToken>,
 ) -> Result<()> {
-    std::thread::scope(|s| -> Result<()> {
+    let retries = AtomicU64::new(0);
+    let result = std::thread::scope(|s| -> Result<()> {
         let (tx, rx) = mpsc::sync_channel::<std::io::Result<Vec<u8>>>(READAHEAD_CHUNKS);
+        let retry_counter = &retries;
         s.spawn(move || loop {
-            match source.next_chunk() {
+            match next_chunk_with_retry(source, retry_counter) {
                 Ok(Some(chunk)) => {
                     if tx.send(Ok(chunk)).is_err() {
                         return; // consumer bailed
@@ -747,6 +876,9 @@ pub(crate) fn drive<A: QueryAggregate + 'static>(
             }
         });
         loop {
+            if let Some(t) = token {
+                t.check()?;
+            }
             let waited = Instant::now();
             let msg = rx.recv();
             scan.stats.ingest_wait += waited.elapsed();
@@ -758,9 +890,11 @@ pub(crate) fn drive<A: QueryAggregate + 'static>(
             while let Ok(more) = rx.try_recv() {
                 scan.append_chunk(&more.map_err(Error::Io)?)?;
             }
-            scan.dispatch(engine, false)?;
+            scan.dispatch(engine, false, token)?;
         }
-    })
+    });
+    scan.stats.retries += retries.load(Ordering::Relaxed);
+    result
 }
 
 #[cfg(test)]

@@ -1,0 +1,322 @@
+//! Robustness suite: cooperative cancellation, deadlines, and the
+//! per-query failure domain — exercised end to end through the public
+//! entry points (`Engine`, `QuerySession`, `QueryScheduler`,
+//! streaming). The invariants under test:
+//!
+//! - a tripped [`CancelToken`] surfaces as structured
+//!   `Error::Cancelled` / `Error::DeadlineExceeded`, never a panic, a
+//!   hang, or a partial result served as complete;
+//! - cancellation observed at any chunk boundary either completes
+//!   bit-identically to the oracle or cancels cleanly — no third
+//!   outcome;
+//! - the engine, its worker pool, and the scheduler stay fully
+//!   serviceable after every cancelled, timed-out, or failed batch:
+//!   the next identical batch is bit-identical to solo execution.
+
+use atgis::stream::ChunkSource;
+use atgis::{
+    chunk_channel, CancelToken, Dataset, Engine, Error, Query, QueryError, QueryResult,
+    QueryScheduler, QuerySession, SliceChunkSource,
+};
+use atgis_datagen::{write_geojson, OsmGenerator};
+use atgis_formats::Format;
+use atgis_geometry::Mbr;
+
+fn engine(threads: usize) -> Engine {
+    Engine::builder().threads(threads).cell_size(2.0).build()
+}
+
+fn bytes(seed: u64, n: usize) -> Vec<u8> {
+    write_geojson(&OsmGenerator::new(seed).generate(n))
+}
+
+fn queries(n_objects: u64) -> Vec<Query> {
+    vec![
+        Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0)),
+        Query::aggregation(Mbr::new(-6.0, 44.0, 4.0, 56.0)),
+        Query::join(n_objects / 2),
+        Query::combined(n_objects / 2, 0.0, f64::INFINITY),
+    ]
+}
+
+/// Wraps a [`ChunkSource`] and trips the token just before chunk
+/// `after` is handed out — the feature-independent twin of the
+/// fault-injection harness's `CancelAfterChunks`, so the
+/// every-boundary sweep also runs in default builds.
+struct CancelAt<S> {
+    inner: S,
+    token: CancelToken,
+    after: u64,
+    served: u64,
+}
+
+impl<S: ChunkSource> ChunkSource for CancelAt<S> {
+    fn next_chunk(&mut self) -> std::io::Result<Option<Vec<u8>>> {
+        if self.served == self.after {
+            self.token.cancel();
+        }
+        self.served += 1;
+        self.inner.next_chunk()
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        self.inner.size_hint()
+    }
+}
+
+#[test]
+fn pre_cancelled_batch_errors_and_engine_serves_the_next_one() {
+    let e = engine(2);
+    let ds = Dataset::from_bytes(bytes(1201, 60), Format::GeoJson);
+    let qs = queries(60);
+    let token = CancelToken::new();
+    token.cancel();
+    match e.execute_batch_cancellable(&qs, &ds, &token) {
+        Err(Error::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    // Same engine, same pool: the rerun is bit-identical to solo.
+    let want: Vec<QueryResult> = qs.iter().map(|q| e.execute(q, &ds).unwrap()).collect();
+    assert_eq!(
+        e.execute_batch_cancellable(&qs, &ds, &CancelToken::new())
+            .unwrap(),
+        want
+    );
+}
+
+#[test]
+fn elapsed_deadline_is_its_own_error() {
+    let e = engine(2);
+    let ds = Dataset::from_bytes(bytes(1202, 60), Format::GeoJson);
+    let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+    match e.execute_batch_cancellable(&queries(60), &ds, &token) {
+        Err(Error::DeadlineExceeded) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    // Explicit cancellation outranks an elapsed deadline.
+    token.cancel();
+    match e.execute_batch_cancellable(&queries(60), &ds, &token) {
+        Err(Error::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn isolated_batch_is_all_ok_and_identical_when_nothing_fails() {
+    let e = engine(2);
+    let ds = Dataset::from_bytes(bytes(1203, 60), Format::GeoJson);
+    let qs = queries(60);
+    let want: Vec<QueryResult> = qs.iter().map(|q| e.execute(q, &ds).unwrap()).collect();
+    let isolated = e.execute_batch_isolated(&qs, &ds, None).unwrap();
+    let got: Vec<QueryResult> = isolated.into_iter().map(|r| r.unwrap()).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn streaming_cancellation_stops_between_chunks() {
+    // The consumer checks the token once per chunk: a token cancelled
+    // after chunk 3 must surface Cancelled without draining the rest
+    // of the stream, even though the producer keeps sending.
+    let data = bytes(1204, 80);
+    let e = engine(2);
+    let token = CancelToken::new();
+    let mut source = CancelAt {
+        inner: SliceChunkSource::new(&data, 512),
+        token: token.clone(),
+        after: 3,
+        served: 0,
+    };
+    let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
+    match e.execute_streaming_cancellable(&q, &mut source, Format::GeoJson, &token) {
+        Err(Error::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    // The engine still streams the full dataset afterwards.
+    let ds = Dataset::from_bytes(data.clone(), Format::GeoJson);
+    let want = e.execute(&q, &ds).unwrap();
+    let mut clean = SliceChunkSource::new(&data, 512);
+    assert_eq!(
+        e.execute_streaming(&q, &mut clean, Format::GeoJson)
+            .unwrap(),
+        want
+    );
+}
+
+#[test]
+fn cancellation_at_every_chunk_boundary_is_clean() {
+    // Sweep the cancellation point across every chunk boundary of the
+    // stream: each run must either complete bit-identically to the
+    // buffered oracle or return Cancelled — never hang, panic, or
+    // return a silently truncated result.
+    let data = bytes(1205, 40);
+    let chunk_len = 256;
+    let n_chunks = data.len().div_ceil(chunk_len) as u64;
+    let e = engine(2);
+    let q = Query::aggregation(Mbr::new(-180.0, -90.0, 180.0, 90.0));
+    let oracle = e
+        .execute(&q, &Dataset::from_bytes(data.clone(), Format::GeoJson))
+        .unwrap();
+    let mut cancelled = 0u64;
+    for after in 0..=n_chunks {
+        let token = CancelToken::new();
+        let mut source = CancelAt {
+            inner: SliceChunkSource::new(&data, chunk_len),
+            token: token.clone(),
+            after,
+            served: 0,
+        };
+        match e.execute_streaming_cancellable(&q, &mut source, Format::GeoJson, &token) {
+            Ok(result) => assert_eq!(result, oracle, "boundary {after}: wrong result"),
+            Err(Error::Cancelled) => cancelled += 1,
+            Err(other) => panic!("boundary {after}: unexpected error {other:?}"),
+        }
+    }
+    assert!(cancelled > 0, "the sweep never observed a cancellation");
+    // The pool survived every aborted run.
+    let mut clean = SliceChunkSource::new(&data, chunk_len);
+    assert_eq!(
+        e.execute_streaming(&q, &mut clean, Format::GeoJson)
+            .unwrap(),
+        oracle
+    );
+}
+
+#[test]
+fn channel_fed_stream_honours_cancellation_while_producer_blocks() {
+    // A bounded channel with a slow consumer: cancel mid-stream and
+    // the consumer must exit promptly (freeing the channel) instead of
+    // deadlocking against a blocked producer.
+    let data = bytes(1206, 60);
+    let e = engine(2);
+    let token = CancelToken::new();
+    let (tx, mut rx) = chunk_channel(1);
+    let producer = {
+        let data = data.clone();
+        std::thread::spawn(move || {
+            for chunk in data.chunks(128) {
+                if tx.send(chunk.to_vec()).is_err() {
+                    return; // consumer hung up — expected on cancel
+                }
+            }
+        })
+    };
+    token.cancel();
+    let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
+    match e.execute_streaming_cancellable(&q, &mut rx, Format::GeoJson, &token) {
+        Err(Error::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    drop(rx);
+    producer.join().expect("producer must not deadlock");
+}
+
+#[test]
+fn scheduler_counts_cancellations_and_stays_serviceable() {
+    let e = engine(2);
+    let scheduler = QueryScheduler::new(e.clone());
+    let ds = Dataset::from_bytes(bytes(1207, 60), Format::GeoJson);
+    let id = scheduler.register(ds.clone());
+    let qs = queries(60);
+
+    let token = CancelToken::new();
+    token.cancel();
+    let (results, stats) = scheduler
+        .execute_batch_isolated_timed(id, &qs, Some(&token))
+        .unwrap();
+    assert_eq!(results.len(), qs.len());
+    for r in &results {
+        assert!(
+            matches!(r, Err(QueryError::Cancelled)),
+            "pre-cancelled batch must fail every member: {r:?}"
+        );
+    }
+    assert_eq!(stats.cancelled, qs.len() as u64);
+    assert_eq!(stats.deadline_exceeded, 0);
+    assert_eq!(stats.task_panics, 0);
+
+    // Deadline flavour.
+    let strict = CancelToken::with_deadline(std::time::Duration::ZERO);
+    let (results, stats) = scheduler
+        .execute_batch_isolated_timed(id, &qs, Some(&strict))
+        .unwrap();
+    assert!(results
+        .iter()
+        .all(|r| matches!(r, Err(QueryError::DeadlineExceeded))));
+    assert_eq!(stats.deadline_exceeded, qs.len() as u64);
+
+    // The collapsing entry point maps the same condition to the
+    // structured batch error.
+    let again = CancelToken::new();
+    again.cancel();
+    match scheduler.execute_batch_cancellable(id, &qs, &again) {
+        Err(Error::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+
+    // And after all that abuse the scheduler still serves the batch
+    // bit-identically to solo execution.
+    let want: Vec<QueryResult> = qs.iter().map(|q| e.execute(q, &ds).unwrap()).collect();
+    assert_eq!(scheduler.execute_batch(id, &qs).unwrap(), want);
+    let stats = scheduler.stats_probe(id, &qs);
+    assert_eq!(stats.cancelled, 0);
+}
+
+/// Small extension trait so the test above can read a clean-run
+/// counter without caring about the tuple shape.
+trait StatsProbe {
+    fn stats_probe(&self, id: atgis::DatasetId, qs: &[Query]) -> atgis::SchedulerStats;
+}
+
+impl StatsProbe for QueryScheduler {
+    fn stats_probe(&self, id: atgis::DatasetId, qs: &[Query]) -> atgis::SchedulerStats {
+        self.execute_batch_timed(id, qs).unwrap().1
+    }
+}
+
+#[test]
+fn streaming_session_misuse_is_invalid_state_not_a_panic() {
+    let mut session = QuerySession::streaming(engine(2), Format::GeoJson).unwrap();
+    let data = bytes(1208, 40);
+    for chunk in data.chunks(512) {
+        session.ingest_chunk(chunk).unwrap();
+    }
+    // Join-class queries need the sealed index.
+    match session.execute(&Query::join(20)) {
+        Err(Error::InvalidState(_)) => {}
+        other => panic!("expected InvalidState, got {other:?}"),
+    }
+    session.finish().unwrap();
+    // Ingest-after-seal and double-finish are lifecycle errors too.
+    assert!(matches!(
+        session.ingest_chunk(b"{}"),
+        Err(Error::InvalidState(_))
+    ));
+    assert!(matches!(session.finish(), Err(Error::InvalidState(_))));
+    // After the misuse the session still answers correctly.
+    let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
+    let want = engine(2)
+        .execute(&q, &Dataset::from_bytes(data, Format::GeoJson))
+        .unwrap();
+    assert_eq!(session.execute(&q).unwrap(), want);
+}
+
+#[test]
+fn session_cancellable_batch_round_trip() {
+    let e = engine(2);
+    let ds = Dataset::from_bytes(bytes(1209, 50), Format::GeoJson);
+    let qs = queries(50);
+    let want: Vec<QueryResult> = qs.iter().map(|q| e.execute(q, &ds).unwrap()).collect();
+    let session = QuerySession::new(e, ds);
+    let token = CancelToken::new();
+    token.cancel();
+    match session.execute_batch_cancellable(&qs, &token) {
+        Err(Error::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    assert_eq!(
+        session
+            .execute_batch_cancellable(&qs, &CancelToken::new())
+            .unwrap(),
+        want
+    );
+}
