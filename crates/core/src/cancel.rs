@@ -81,9 +81,14 @@ impl CancelToken {
     }
 
     /// A token that additionally trips once `budget` has elapsed from
-    /// now.
+    /// now. A budget too large to represent as an `Instant` (e.g. a
+    /// client sending `u64::MAX` milliseconds as a "no timeout"
+    /// sentinel) means **no deadline**, never a panic.
     pub fn with_deadline(budget: Duration) -> Self {
-        CancelToken::deadline_at(Instant::now() + budget)
+        match Instant::now().checked_add(budget) {
+            Some(at) => CancelToken::deadline_at(at),
+            None => CancelToken::new(),
+        }
     }
 
     /// A token that additionally trips at the given instant.
@@ -180,6 +185,22 @@ mod tests {
         assert_eq!(t.check(), Err(Interrupt::DeadlineExceeded));
         let future = CancelToken::with_deadline(Duration::from_secs(3600));
         assert!(future.check().is_ok());
+    }
+
+    #[test]
+    fn oversized_budgets_mean_no_deadline_not_a_panic() {
+        // `Instant::now() + Duration::MAX` overflows; the token must
+        // degrade to "no deadline" (the natural reading of a huge
+        // client-supplied timeout) instead of panicking.
+        let t = CancelToken::with_deadline(Duration::MAX);
+        assert_eq!(t.deadline(), None);
+        assert!(t.check().is_ok());
+        t.cancel();
+        assert_eq!(t.check(), Err(Interrupt::Cancelled));
+        // A representable-but-huge budget still yields a deadline.
+        let far = CancelToken::with_deadline(Duration::from_secs(86_400 * 365));
+        assert!(far.deadline().is_some());
+        assert!(far.check().is_ok());
     }
 
     #[test]

@@ -160,9 +160,10 @@ pub use exact::ExactSum;
 pub use join::{JoinOptions, ProbeStrategy};
 pub use partition::{AdaptiveConfig, PartitionMap, PartitionMapStats};
 pub use query::{FilterStrategy, Metric, Query, ScanClass};
-pub use result::{JoinPair, MatchRecord, QueryError, QueryOutcome, QueryResult};
+pub use result::{AggregateValues, JoinPair, MatchRecord, QueryError, QueryOutcome, QueryResult};
 pub use scheduler::{
-    AggregateCache, AggregateCacheStats, DatasetId, QueryScheduler, ScheduledQuery, SchedulerConfig,
+    AggregateCache, AggregateCacheStats, DatasetId, Priority, QueryScheduler, ScheduledQuery,
+    SchedulerConfig,
 };
 pub use stats::{
     BatchQueryStats, BatchStats, JoinDecisions, SchedulerStats, StreamStats, Timings, WaveStats,

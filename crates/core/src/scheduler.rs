@@ -94,20 +94,67 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DatasetId(u64);
 
+/// The SLO class of a scheduled query — what a tenant *bought*, as
+/// opposed to what the query *costs* (admission's scan-equivalents).
+/// Admission orders waves **by class before cost**: every
+/// `Interactive` wave runs before any `Batch` wave, so an interactive
+/// query never queues behind a batch outlier's solo wave, and a
+/// serving front end can reject `Batch` submissions under load
+/// (backpressure) while still admitting interactive traffic.
+///
+/// The derived order (`Interactive < Batch`) is the scheduling order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Latency-sensitive traffic: scheduled ahead of every batch
+    /// wave. The default — an unclassified query is someone waiting.
+    #[default]
+    Interactive,
+    /// Throughput traffic: runs after interactive waves and is the
+    /// class load-shedding rejects first.
+    Batch,
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Priority::Interactive => write!(f, "interactive"),
+            Priority::Batch => write!(f, "batch"),
+        }
+    }
+}
+
 /// One `(dataset, query)` pair of a multi-dataset batch
-/// ([`QueryScheduler::execute_multi`]).
+/// ([`QueryScheduler::execute_multi`]), carrying the submitting
+/// tenant's SLO class.
 #[derive(Debug, Clone)]
 pub struct ScheduledQuery {
     /// Which registered dataset the query runs against.
     pub dataset: DatasetId,
     /// The query itself.
     pub query: Query,
+    /// The SLO class admission orders waves by
+    /// ([`Priority::Interactive`] by default).
+    pub priority: Priority,
 }
 
 impl ScheduledQuery {
-    /// Pairs a query with the dataset it targets.
+    /// Pairs a query with the dataset it targets, at
+    /// [`Priority::Interactive`].
     pub fn new(dataset: DatasetId, query: Query) -> Self {
-        ScheduledQuery { dataset, query }
+        ScheduledQuery {
+            dataset,
+            query,
+            priority: Priority::Interactive,
+        }
+    }
+
+    /// Pairs a query with its dataset at an explicit SLO class.
+    pub fn with_priority(dataset: DatasetId, query: Query, priority: Priority) -> Self {
+        ScheduledQuery {
+            dataset,
+            query,
+            priority,
+        }
     }
 }
 
@@ -618,10 +665,42 @@ impl QueryScheduler {
         Vec<std::result::Result<QueryResult, QueryError>>,
         SchedulerStats,
     )> {
+        let classes = vec![Priority::default(); queries.len()];
+        self.execute_batch_prioritized(id, queries, &classes, token)
+    }
+
+    /// [`QueryScheduler::execute_batch_isolated_timed`] with an
+    /// explicit SLO class per query (`classes` parallels `queries`).
+    /// Admission forms waves **per class, interactive first**: every
+    /// [`Priority::Interactive`] wave (shared wave, then outliers by
+    /// ascending cost) completes before any [`Priority::Batch`] wave
+    /// starts, so an interactive query never queues behind a batch
+    /// outlier's solo wave. A predicate submitted at both classes is
+    /// deduplicated into its **highest-priority** submission's wave —
+    /// sharing a sink can only move a query *earlier*. Per-class
+    /// completion-latency percentiles come back via
+    /// [`SchedulerStats::class_latency_percentiles`].
+    pub fn execute_batch_prioritized(
+        &self,
+        id: DatasetId,
+        queries: &[Query],
+        classes: &[Priority],
+        token: Option<&CancelToken>,
+    ) -> Result<(
+        Vec<std::result::Result<QueryResult, QueryError>>,
+        SchedulerStats,
+    )> {
+        if classes.len() != queries.len() {
+            return Err(Error::Unsupported(format!(
+                "{} queries but {} priority classes",
+                queries.len(),
+                classes.len()
+            )));
+        }
         let entry = self.entry(id)?;
         let started = Instant::now();
         let mut stats = SchedulerStats::new(queries.len());
-        let results = self.run_group(&entry, id, queries, started, &mut stats, token)?;
+        let results = self.run_group(&entry, id, queries, classes, started, &mut stats, token)?;
         for r in &results {
             match r {
                 Err(QueryError::Cancelled) => stats.cancelled += 1,
@@ -652,14 +731,17 @@ impl QueryScheduler {
         // Group by dataset, preserving submission order within each
         // group (first-appearance order across groups).
         let mut order: Vec<DatasetId> = Vec::new();
-        let mut groups: HashMap<DatasetId, (Vec<usize>, Vec<Query>)> = HashMap::new();
+        #[allow(clippy::type_complexity)]
+        let mut groups: HashMap<DatasetId, (Vec<usize>, Vec<Query>, Vec<Priority>)> =
+            HashMap::new();
         for (i, sq) in batch.iter().enumerate() {
-            let (indexes, queries) = groups.entry(sq.dataset).or_insert_with(|| {
+            let (indexes, queries, classes) = groups.entry(sq.dataset).or_insert_with(|| {
                 order.push(sq.dataset);
-                (Vec::new(), Vec::new())
+                (Vec::new(), Vec::new(), Vec::new())
             });
             indexes.push(i);
             queries.push(sq.query.clone());
+            classes.push(sq.priority);
         }
         // Fail fast: resolve every dataset id before any work is
         // dispatched, so an unknown (or concurrently removed) id
@@ -670,16 +752,26 @@ impl QueryScheduler {
             .collect::<Result<_>>()?;
         let mut results: Vec<Option<QueryResult>> = (0..batch.len()).map(|_| None).collect();
         for (id, entry) in resolved {
-            let (indexes, queries) = groups.remove(&id).expect("group exists");
+            let (indexes, queries, classes) = groups.remove(&id).expect("group exists");
             let mut group_stats = SchedulerStats::new(queries.len());
-            let group_results =
-                self.run_group(&entry, id, &queries, started, &mut group_stats, None)?;
+            let group_results = self.run_group(
+                &entry,
+                id,
+                &queries,
+                &classes,
+                started,
+                &mut group_stats,
+                None,
+            )?;
             let group_results = crate::batch::collapse_query_results(group_results)?;
             for (slot, result) in indexes.iter().zip(group_results) {
                 results[*slot] = Some(result);
             }
             for (slot, latency) in indexes.iter().zip(group_stats.latencies) {
                 stats.latencies[*slot] = latency;
+            }
+            for (slot, class) in indexes.iter().zip(classes) {
+                stats.classes[*slot] = class;
             }
             stats.unique_queries += group_stats.unique_queries;
             stats.dedup_hits += group_stats.dedup_hits;
@@ -721,6 +813,7 @@ impl QueryScheduler {
         stats.scan_passes = batch_stats.scan_passes;
         stats.waves.push(WaveStats {
             queries: unique.len() as u64,
+            priority: Priority::default(),
             estimated_cost: 0.0,
             elapsed,
             batch: batch_stats,
@@ -782,12 +875,20 @@ impl QueryScheduler {
         (unique, representative)
     }
 
-    /// Estimated cost of one query in scan-equivalents — what
-    /// admission weighs. Single-pass queries cost a fraction of the
-    /// scan proportional to their selectivity against the
-    /// partition-grid extent; join-class queries cost the measured
-    /// join/scan ratio of this dataset when one has run, or the
-    /// configured prior.
+    /// Estimated cost of one query against a registered dataset, in
+    /// scan-equivalents — exactly what the admission controller would
+    /// charge it. Single-pass queries cost a fraction of the scan
+    /// proportional to their selectivity against the partition-grid
+    /// extent; join-class queries cost the measured join/scan ratio
+    /// of this dataset when one has run, or the configured prior. A
+    /// serving front end reuses this as its backpressure currency:
+    /// queued cost summed in the same units the wave former reasons
+    /// in, compared against a load-shedding budget.
+    pub fn estimate_query_cost(&self, id: DatasetId, query: &Query) -> Result<f64> {
+        let entry = self.entry(id)?;
+        Ok(self.estimate_cost(&entry, query))
+    }
+
     fn estimate_cost(&self, entry: &SchedEntry, q: &Query) -> f64 {
         match q.scan_class() {
             ScanClass::SinglePass => {
@@ -825,6 +926,7 @@ impl QueryScheduler {
         entry: &SchedEntry,
         id: DatasetId,
         queries: &[Query],
+        classes: &[Priority],
         started: Instant,
         stats: &mut SchedulerStats,
         token: Option<&CancelToken>,
@@ -832,6 +934,7 @@ impl QueryScheduler {
         let mut results: Vec<Option<std::result::Result<QueryResult, QueryError>>> =
             (0..queries.len()).map(|_| None).collect();
         let mut latencies: Vec<Duration> = vec![Duration::ZERO; queries.len()];
+        stats.classes.copy_from_slice(classes);
 
         // ---- canonical predicate keys: computed once per query,
         // shared by the cache probe, dedup and the cache insert ----
@@ -871,12 +974,26 @@ impl QueryScheduler {
         stats.unique_queries += sub.unique_queries;
         stats.dedup_hits += sub.dedup_hits;
 
-        // ---- admission: cost the unique queries, form waves ----
+        // ---- admission: cost the unique queries, form waves
+        // ordered by class before cost ----
         let costs: Vec<f64> = unique
             .iter()
             .map(|&u| self.estimate_cost(entry, &queries[pending[u]]))
             .collect();
-        let waves = form_waves(&costs, &self.config);
+        // A deduplicated predicate executes once, in its
+        // representative's wave — so the effective class of a unique
+        // query is the **highest** priority among every submission it
+        // answers (dedup may only move a query earlier, never park an
+        // interactive submitter behind batch waves).
+        let mut unique_classes: Vec<Priority> =
+            unique.iter().map(|&u| classes[pending[u]]).collect();
+        for (p, &rep) in representative.iter().enumerate() {
+            let u = unique
+                .binary_search(&rep)
+                .expect("representatives are unique entries");
+            unique_classes[u] = unique_classes[u].min(classes[pending[p]]);
+        }
+        let waves = form_waves(&costs, &unique_classes, &self.config);
 
         // ---- execute the waves, fanning results out as each
         // completes ----
@@ -936,6 +1053,7 @@ impl QueryScheduler {
             }
             stats.waves.push(WaveStats {
                 queries: wave.len() as u64,
+                priority: unique_classes[wave[0]],
                 estimated_cost: wave.iter().map(|&w| costs[w]).sum(),
                 elapsed,
                 batch: batch_stats,
@@ -965,43 +1083,61 @@ impl QueryScheduler {
     }
 }
 
-/// Admission control's wave former, over the estimated costs of the
-/// unique queries of one batch. Queries are admitted into the shared
-/// wave in ascending cost order while each one costs at most
-/// [`SchedulerConfig::outlier_ratio`] × the wave built so far —
-/// the invariant is that **no wave member out-costs the rest of its
-/// wave by more than the configured ratio**, so a scan-heavy outlier
-/// can never stall the cheap majority. Rejected queries each run in
-/// their own wave. The shared (cheap) wave runs **first** and outlier
-/// waves follow in ascending cost order, so completion latency is
-/// monotone in cost. Returns waves as index lists into `costs`.
-fn form_waves(costs: &[f64], config: &SchedulerConfig) -> Vec<Vec<usize>> {
-    if costs.is_empty() {
-        return Vec::new();
-    }
-    if !config.admission || costs.len() == 1 {
-        return vec![(0..costs.len()).collect()];
-    }
-    let mut order: Vec<usize> = (0..costs.len()).collect();
-    order.sort_by(|&a, &b| costs[a].total_cmp(&costs[b]));
-    let mut shared: Vec<usize> = Vec::new();
-    let mut shared_cost = 0.0;
-    let mut outliers: Vec<usize> = Vec::new();
-    for &i in &order {
-        if shared.is_empty() || costs[i] <= config.outlier_ratio * shared_cost {
-            shared.push(i);
-            shared_cost += costs[i];
-        } else {
-            // `order` is ascending, so every later query is at least
-            // as expensive and would be rejected too: the shared wave
-            // is exactly the maximal affordable prefix.
-            outliers.push(i);
+/// Admission control's wave former, over the estimated costs and SLO
+/// classes of the unique queries of one batch. Waves are ordered **by
+/// class before cost**: every [`Priority::Interactive`] wave runs
+/// before any [`Priority::Batch`] wave, so an interactive query never
+/// queues behind a batch outlier's solo wave — class is what the
+/// tenant bought, cost only orders waves *within* a class.
+///
+/// Within each class the invariant is unchanged from cost-only
+/// admission: queries are admitted into the class's shared wave in
+/// ascending cost order while each one costs at most
+/// [`SchedulerConfig::outlier_ratio`] × the wave built so far — **no
+/// wave member out-costs the rest of its wave by more than the
+/// configured ratio**, so a scan-heavy outlier can never stall the
+/// cheap majority. Rejected queries each run in their own wave; the
+/// shared (cheap) wave runs first and outlier waves follow in
+/// ascending cost order, so completion latency is monotone in cost
+/// within a class. With a single class the output is identical to the
+/// pre-class wave former. Classes never share a wave (even with
+/// admission disabled): sharing would couple an interactive query's
+/// completion to batch work. Returns waves as index lists into
+/// `costs`.
+fn form_waves(costs: &[f64], classes: &[Priority], config: &SchedulerConfig) -> Vec<Vec<usize>> {
+    debug_assert_eq!(costs.len(), classes.len());
+    let mut waves: Vec<Vec<usize>> = Vec::new();
+    for class in [Priority::Interactive, Priority::Batch] {
+        let members: Vec<usize> = (0..costs.len()).filter(|&i| classes[i] == class).collect();
+        if members.is_empty() {
+            continue;
         }
-    }
-    shared.sort_unstable(); // back to submission order
-    let mut waves = vec![shared];
-    for o in outliers {
-        waves.push(vec![o]);
+        if !config.admission || members.len() == 1 {
+            waves.push(members);
+            continue;
+        }
+        let mut order = members;
+        order.sort_by(|&a, &b| costs[a].total_cmp(&costs[b]));
+        let mut shared: Vec<usize> = Vec::new();
+        let mut shared_cost = 0.0;
+        let mut outliers: Vec<usize> = Vec::new();
+        for &i in &order {
+            if shared.is_empty() || costs[i] <= config.outlier_ratio * shared_cost {
+                shared.push(i);
+                shared_cost += costs[i];
+            } else {
+                // `order` is ascending, so every later query is at
+                // least as expensive and would be rejected too: the
+                // shared wave is exactly the maximal affordable
+                // prefix.
+                outliers.push(i);
+            }
+        }
+        shared.sort_unstable(); // back to submission order
+        waves.push(shared);
+        for o in outliers {
+            waves.push(vec![o]);
+        }
     }
     waves
 }
@@ -1071,37 +1207,190 @@ mod tests {
         );
     }
 
+    /// Single-class wave forming (every caller before SLO classes
+    /// existed): the classed wave former must reproduce the cost-only
+    /// behavior exactly.
+    fn uniform(costs: &[f64], cfg: &SchedulerConfig) -> Vec<Vec<usize>> {
+        form_waves(costs, &vec![Priority::Interactive; costs.len()], cfg)
+    }
+
     #[test]
     fn wave_former_isolates_outliers() {
         let cfg = SchedulerConfig::default(); // outlier_ratio 4.0
                                               // Uniform costs: one wave.
-        assert_eq!(form_waves(&[1.0, 1.0, 1.0], &cfg), vec![vec![0, 1, 2]]);
+        assert_eq!(uniform(&[1.0, 1.0, 1.0], &cfg), vec![vec![0, 1, 2]]);
         // A giant (10 > 4 × 2.0): isolated, cheap wave first.
-        assert_eq!(
-            form_waves(&[1.0, 10.0, 1.0], &cfg),
-            vec![vec![0, 2], vec![1]]
-        );
+        assert_eq!(uniform(&[1.0, 10.0, 1.0], &cfg), vec![vec![0, 2], vec![1]]);
         // Two giants over one cheap query: both isolated (20 > 4 × 1,
         // 30 > 4 × 1), ascending cost order.
         assert_eq!(
-            form_waves(&[30.0, 1.0, 20.0], &cfg),
+            uniform(&[30.0, 1.0, 20.0], &cfg),
             vec![vec![1], vec![2], vec![0]]
         );
         // A balanced pair of heavies amortises fine with company:
         // 4 ≤ 4 × 2 once the cheap pair is admitted.
-        assert_eq!(
-            form_waves(&[1.0, 4.0, 1.0, 4.0], &cfg),
-            vec![vec![0, 1, 2, 3]]
-        );
+        assert_eq!(uniform(&[1.0, 4.0, 1.0, 4.0], &cfg), vec![vec![0, 1, 2, 3]]);
         // Admission off: always one wave.
         let off = SchedulerConfig {
             admission: false,
             ..SchedulerConfig::default()
         };
-        assert_eq!(form_waves(&[1.0, 100.0], &off), vec![vec![0, 1]]);
+        assert_eq!(uniform(&[1.0, 100.0], &off), vec![vec![0, 1]]);
         // Singleton and empty edge cases.
-        assert_eq!(form_waves(&[5.0], &cfg), vec![vec![0]]);
-        assert!(form_waves(&[], &cfg).is_empty());
+        assert_eq!(uniform(&[5.0], &cfg), vec![vec![0]]);
+        assert!(uniform(&[], &cfg).is_empty());
+    }
+
+    #[test]
+    fn wave_former_orders_classes_before_cost() {
+        use Priority::{Batch, Interactive};
+        let cfg = SchedulerConfig::default();
+        // A batch outlier (100) never precedes interactive work, even
+        // though cost-only admission would run the cheap shared wave
+        // first and the interactive outlier (50) after the batch one.
+        assert_eq!(
+            form_waves(
+                &[1.0, 100.0, 50.0, 1.0],
+                &[Interactive, Batch, Interactive, Batch],
+                &cfg
+            ),
+            vec![vec![0], vec![2], vec![3], vec![1]],
+            "interactive waves (shared, then outlier) strictly precede batch waves"
+        );
+        // Within each class the cost-only invariant is unchanged.
+        assert_eq!(
+            form_waves(
+                &[1.0, 1.0, 10.0, 2.0, 2.0, 30.0],
+                &[Interactive, Interactive, Interactive, Batch, Batch, Batch],
+                &cfg
+            ),
+            vec![vec![0, 1], vec![2], vec![3, 4], vec![5]]
+        );
+        // Classes never share a wave, even with admission disabled.
+        let off = SchedulerConfig {
+            admission: false,
+            ..SchedulerConfig::default()
+        };
+        assert_eq!(
+            form_waves(&[1.0, 1.0], &[Batch, Interactive], &off),
+            vec![vec![1], vec![0]]
+        );
+        // All-batch input degrades to the cost-only shape.
+        assert_eq!(
+            form_waves(&[1.0, 10.0, 1.0], &[Batch, Batch, Batch], &cfg),
+            vec![vec![0, 2], vec![1]]
+        );
+    }
+
+    #[test]
+    fn prioritized_batch_runs_interactive_first_and_stays_bit_identical() {
+        use Priority::{Batch, Interactive};
+        let ds = dataset(930, 80);
+        let engine = engine();
+        let queries = vec![
+            Query::join(40),                                       // batch outlier
+            Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0)), // interactive
+            Query::aggregation(Mbr::new(-6.0, 44.0, 4.0, 56.0)),   // interactive
+            Query::containment(Mbr::new(-8.0, 42.0, 8.0, 58.0)),   // batch
+        ];
+        let classes = vec![Batch, Interactive, Interactive, Batch];
+        let want: Vec<QueryResult> = queries
+            .iter()
+            .map(|q| engine.execute(q, &ds).unwrap())
+            .collect();
+        let scheduler = QueryScheduler::with_config(
+            engine,
+            SchedulerConfig {
+                cache: false,
+                join_cost_weight: 40.0,
+                ..SchedulerConfig::default()
+            },
+        );
+        let id = scheduler.register(ds);
+        let (got, stats) = scheduler
+            .execute_batch_prioritized(id, &queries, &classes, None)
+            .unwrap();
+        let got: Vec<QueryResult> = got.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, want, "class scheduling must not change results");
+        assert_eq!(stats.classes, classes);
+        // Wave order: interactive shared wave, then the batch
+        // containment, then the batch join outlier.
+        assert_eq!(stats.waves.first().map(|w| w.priority), Some(Interactive));
+        assert_eq!(stats.waves.last().map(|w| w.priority), Some(Batch));
+        // Every interactive query completed no later than any batch
+        // query — the "never queues behind a batch outlier" claim.
+        let interactive_max = stats.latencies[1].max(stats.latencies[2]);
+        let batch_min = stats.latencies[0].min(stats.latencies[3]);
+        assert!(
+            interactive_max <= batch_min,
+            "interactive {interactive_max:?} must not wait on batch {batch_min:?}"
+        );
+        // Per-class percentile report sees the same split.
+        let [i95] = stats.class_latency_percentiles(Interactive, &[95.0])[..] else {
+            panic!("one percentile requested")
+        };
+        let [b95] = stats.class_latency_percentiles(Batch, &[95.0])[..] else {
+            panic!("one percentile requested")
+        };
+        assert!(i95 <= b95);
+    }
+
+    #[test]
+    fn dedup_across_classes_promotes_to_the_interactive_wave() {
+        use Priority::{Batch, Interactive};
+        let ds = dataset(931, 60);
+        let engine = engine();
+        let tile = Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0));
+        let want = engine.execute(&tile, &ds).unwrap();
+        let scheduler = QueryScheduler::with_config(
+            engine,
+            SchedulerConfig {
+                cache: false,
+                ..SchedulerConfig::default()
+            },
+        );
+        let id = scheduler.register(ds);
+        // The same predicate submitted at batch AND interactive
+        // class: one execution, scheduled as interactive (a shared
+        // sink may only move a query earlier).
+        let queries = vec![tile.clone(), tile.clone()];
+        let (got, stats) = scheduler
+            .execute_batch_prioritized(id, &queries, &[Batch, Interactive], None)
+            .unwrap();
+        assert_eq!(stats.dedup_hits, 1);
+        assert_eq!(stats.waves.len(), 1);
+        assert_eq!(stats.waves[0].priority, Interactive);
+        for r in got {
+            assert_eq!(r.unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn mismatched_class_list_is_rejected() {
+        let scheduler = QueryScheduler::new(engine());
+        let id = scheduler.register(dataset(932, 10));
+        let q = Query::containment(Mbr::new(0.0, 0.0, 1.0, 1.0));
+        assert!(scheduler
+            .execute_batch_prioritized(id, std::slice::from_ref(&q), &[], None)
+            .is_err());
+    }
+
+    #[test]
+    fn estimated_cost_is_exposed_for_backpressure() {
+        let scheduler = QueryScheduler::new(engine());
+        let id = scheduler.register(dataset(933, 20));
+        let cheap = scheduler
+            .estimate_query_cost(id, &Query::containment(Mbr::new(0.0, 50.0, 1.0, 51.0)))
+            .unwrap();
+        let join = scheduler.estimate_query_cost(id, &Query::join(10)).unwrap();
+        assert!(cheap > 0.0);
+        assert!(
+            join > cheap,
+            "a join prior ({join}) must out-cost a tiny containment ({cheap})"
+        );
+        assert!(scheduler
+            .estimate_query_cost(DatasetId(999), &Query::join(1))
+            .is_err());
     }
 
     #[test]

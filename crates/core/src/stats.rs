@@ -8,6 +8,7 @@
 //! attribute throughput differences to specific decisions.
 
 use crate::partition::PartitionMapStats;
+use crate::scheduler::Priority;
 use atgis_formats::Mode;
 use std::time::Duration;
 
@@ -184,6 +185,9 @@ pub struct WaveStats {
     /// Wall-clock time from batch submission to this wave's
     /// completion — the latency every query in the wave observed.
     pub elapsed: Duration,
+    /// The SLO class every member of this wave was admitted under
+    /// (waves never mix classes; interactive waves run first).
+    pub priority: Priority,
     /// The wave's shared-scan execution breakdown.
     pub batch: BatchStats,
 }
@@ -214,6 +218,10 @@ pub struct SchedulerStats {
     /// order: the wall-clock from batch submission until the wave
     /// resolving that query (or its cache/dedup source) finished.
     pub latencies: Vec<Duration>,
+    /// SLO class of every submitted query, parallel to `latencies`
+    /// (all [`Priority::Interactive`] for the unprioritized entry
+    /// points).
+    pub classes: Vec<Priority>,
     /// Queries that ended with [`crate::QueryError::Cancelled`]
     /// because the batch's [`crate::CancelToken`] was cancelled.
     pub cancelled: u64,
@@ -233,8 +241,18 @@ impl SchedulerStats {
         SchedulerStats {
             queries: queries as u64,
             latencies: vec![Duration::ZERO; queries],
+            classes: vec![Priority::default(); queries],
             ..SchedulerStats::default()
         }
+    }
+
+    /// Appends one served query to a cumulative record — how a serving
+    /// tier folds per-request completions into the stats it reports,
+    /// without ever constructing a fake batch.
+    pub fn record(&mut self, class: Priority, latency: Duration) {
+        self.queries += 1;
+        self.latencies.push(latency);
+        self.classes.push(class);
     }
 
     /// Submitted queries served per structural parse pass — the
@@ -248,14 +266,56 @@ impl SchedulerStats {
     /// The `p`-th percentile (0–100, nearest-rank) of the per-query
     /// completion latencies; zero for an empty batch.
     pub fn latency_percentile(&self, p: f64) -> Duration {
-        if self.latencies.is_empty() {
-            return Duration::ZERO;
-        }
         let mut sorted = self.latencies.clone();
         sorted.sort();
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        sorted[rank.clamp(1, sorted.len()) - 1]
+        nearest_rank(&sorted, p)
     }
+
+    /// Nearest-rank percentiles for several `ps` at once, sorting the
+    /// latency vector **once** — the shape a stats endpoint polls (p50
+    /// / p95 / p99 per class per tick), where per-call re-sorting is
+    /// quadratic noise. Each returned entry is exactly what
+    /// [`SchedulerStats::latency_percentile`] returns for the same
+    /// `p`.
+    pub fn latency_percentiles(&self, ps: &[f64]) -> Vec<Duration> {
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        ps.iter().map(|&p| nearest_rank(&sorted, p)).collect()
+    }
+
+    /// Completion latencies of the queries submitted under `class`, in
+    /// submission order.
+    pub fn class_latencies(&self, class: Priority) -> Vec<Duration> {
+        self.latencies
+            .iter()
+            .zip(&self.classes)
+            .filter(|&(_, &c)| c == class)
+            .map(|(&l, _)| l)
+            .collect()
+    }
+
+    /// Nearest-rank percentiles over only the queries submitted under
+    /// `class`, sorting once; all zeros when the class had no
+    /// submissions. This is the per-class SLO report: an interactive
+    /// p95 that stays below the batch p95 under load is the
+    /// class-ordered admission working.
+    pub fn class_latency_percentiles(&self, class: Priority, ps: &[f64]) -> Vec<Duration> {
+        let mut sorted = self.class_latencies(class);
+        sorted.sort();
+        ps.iter().map(|&p| nearest_rank(&sorted, p)).collect()
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted slice: the exact
+/// formula [`SchedulerStats::latency_percentile`] has always used
+/// (`ceil(p/100 × n)` clamped to `[1, n]`, 1-indexed), zero for an
+/// empty slice.
+fn nearest_rank(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 #[cfg(test)]
@@ -309,6 +369,60 @@ mod tests {
         assert_eq!(
             SchedulerStats::new(0).latency_percentile(50.0),
             Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn multi_percentile_report_matches_the_single_call_exactly() {
+        let mut s = SchedulerStats::new(0);
+        // Unsorted on purpose: both paths must sort identically.
+        for ms in [40u64, 10, 30, 20, 25] {
+            s.record(Priority::Interactive, Duration::from_millis(ms));
+        }
+        let ps = [0.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0];
+        let report = s.latency_percentiles(&ps);
+        for (&p, &got) in ps.iter().zip(&report) {
+            assert_eq!(got, s.latency_percentile(p), "p{p} diverged");
+        }
+        assert!(SchedulerStats::new(0)
+            .latency_percentiles(&ps)
+            .iter()
+            .all(|&d| d == Duration::ZERO));
+    }
+
+    #[test]
+    fn per_class_percentiles_split_the_tenants() {
+        let mut s = SchedulerStats::new(0);
+        for ms in [10u64, 12, 11] {
+            s.record(Priority::Interactive, Duration::from_millis(ms));
+        }
+        for ms in [100u64, 130, 120] {
+            s.record(Priority::Batch, Duration::from_millis(ms));
+        }
+        assert_eq!(s.queries, 6);
+        assert_eq!(
+            s.class_latencies(Priority::Interactive),
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(12),
+                Duration::from_millis(11)
+            ]
+        );
+        let i = s.class_latency_percentiles(Priority::Interactive, &[50.0, 95.0]);
+        let b = s.class_latency_percentiles(Priority::Batch, &[50.0, 95.0]);
+        assert_eq!(
+            i,
+            vec![Duration::from_millis(11), Duration::from_millis(12)]
+        );
+        assert_eq!(
+            b,
+            vec![Duration::from_millis(120), Duration::from_millis(130)]
+        );
+        // A class with no submissions reports zeros, not a panic.
+        let empty = SchedulerStats::new(0);
+        assert_eq!(
+            empty.class_latency_percentiles(Priority::Batch, &[95.0]),
+            vec![Duration::ZERO]
         );
     }
 

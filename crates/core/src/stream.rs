@@ -823,20 +823,30 @@ fn is_transient(e: &std::io::Error) -> bool {
 /// transient errors: up to [`MAX_READ_RETRIES`] attempts, sleeping
 /// [`RETRY_BACKOFF_BASE`]·2ⁿ between them, every retry tallied into
 /// `retries`. Non-transient errors (and transient ones past the
-/// bound) surface unchanged.
+/// bound) surface unchanged as [`Error::Io`].
+///
+/// The `token` is polled **before every attempt and between retry
+/// sleeps**: a cancelled or past-deadline stream (e.g. a disconnected
+/// client) returns [`Error::Cancelled`] / [`Error::DeadlineExceeded`]
+/// immediately instead of burning the whole backoff ladder against a
+/// flaky source nobody is waiting on.
 fn next_chunk_with_retry(
     source: &mut (dyn ChunkSource + '_),
     retries: &AtomicU64,
-) -> std::io::Result<Option<Vec<u8>>> {
+    token: Option<&CancelToken>,
+) -> Result<Option<Vec<u8>>> {
     let mut attempt = 0u32;
     loop {
+        if let Some(t) = token {
+            t.check()?;
+        }
         match source.next_chunk() {
             Err(e) if attempt < MAX_READ_RETRIES && is_transient(&e) => {
                 attempt += 1;
                 retries.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(RETRY_BACKOFF_BASE * (1 << (attempt - 1)));
             }
-            other => return other,
+            other => return other.map_err(Error::Io),
         }
     }
 }
@@ -859,10 +869,15 @@ pub(crate) fn drive<A: QueryAggregate + 'static>(
 ) -> Result<()> {
     let retries = AtomicU64::new(0);
     let result = std::thread::scope(|s| -> Result<()> {
-        let (tx, rx) = mpsc::sync_channel::<std::io::Result<Vec<u8>>>(READAHEAD_CHUNKS);
+        let (tx, rx) = mpsc::sync_channel::<Result<Vec<u8>>>(READAHEAD_CHUNKS);
         let retry_counter = &retries;
+        // The pump observes the same token as the consumer loop, so a
+        // cancellation that lands mid-backoff (a disconnected client
+        // on a flaky source) stops the retry ladder, not just the
+        // dispatch loop.
+        let pump_token = token.cloned();
         s.spawn(move || loop {
-            match next_chunk_with_retry(source, retry_counter) {
+            match next_chunk_with_retry(source, retry_counter, pump_token.as_ref()) {
                 Ok(Some(chunk)) => {
                     if tx.send(Ok(chunk)).is_err() {
                         return; // consumer bailed
@@ -885,10 +900,10 @@ pub(crate) fn drive<A: QueryAggregate + 'static>(
             let Ok(msg) = msg else {
                 return Ok(()); // stream complete
             };
-            scan.append_chunk(&msg.map_err(Error::Io)?)?;
+            scan.append_chunk(&msg?)?;
             // Batch everything already buffered into this dispatch.
             while let Ok(more) = rx.try_recv() {
-                scan.append_chunk(&more.map_err(Error::Io)?)?;
+                scan.append_chunk(&more?)?;
             }
             scan.dispatch(engine, false, token)?;
         }
@@ -998,6 +1013,82 @@ mod tests {
         assert_eq!(agg.matches.len(), 1);
         assert_eq!(dataset.len(), doc.len());
         assert_eq!(stats.chunks, 2, "the empty chunk still counts");
+    }
+
+    /// A source that fails every read with a transient error — the
+    /// worst case for the retry ladder — while counting attempts.
+    struct AlwaysTransientSource {
+        attempts: u64,
+    }
+
+    impl ChunkSource for AlwaysTransientSource {
+        fn next_chunk(&mut self) -> std::io::Result<Option<Vec<u8>>> {
+            self.attempts += 1;
+            Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "transient",
+            ))
+        }
+    }
+
+    #[test]
+    fn retry_ladder_observes_a_pre_cancelled_token() {
+        // A disconnected client's cancelled stream must not burn the
+        // whole backoff ladder before noticing: with the token already
+        // tripped, not a single read attempt (or sleep) happens.
+        let mut source = AlwaysTransientSource { attempts: 0 };
+        let retries = AtomicU64::new(0);
+        let token = CancelToken::new();
+        token.cancel();
+        let got = next_chunk_with_retry(&mut source, &retries, Some(&token));
+        assert!(matches!(got, Err(Error::Cancelled)), "{got:?}");
+        assert_eq!(source.attempts, 0, "no read happens after cancellation");
+        assert_eq!(retries.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn retry_ladder_observes_cancellation_between_attempts() {
+        // Cancel from another thread while the ladder is mid-backoff:
+        // the retry loop must notice between attempts instead of
+        // exhausting all retries first.
+        let mut source = AlwaysTransientSource { attempts: 0 };
+        let retries = AtomicU64::new(0);
+        let token = CancelToken::new();
+        let canceller = token.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_micros(50));
+            canceller.cancel();
+        });
+        let got = next_chunk_with_retry(&mut source, &retries, Some(&token));
+        handle.join().unwrap();
+        assert!(matches!(got, Err(Error::Cancelled)), "{got:?}");
+        assert!(
+            source.attempts <= MAX_READ_RETRIES as u64,
+            "cancellation must stop the ladder, saw {} attempts",
+            source.attempts
+        );
+    }
+
+    #[test]
+    fn retry_ladder_observes_an_elapsed_deadline() {
+        let mut source = AlwaysTransientSource { attempts: 0 };
+        let retries = AtomicU64::new(0);
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        let got = next_chunk_with_retry(&mut source, &retries, Some(&token));
+        assert!(matches!(got, Err(Error::DeadlineExceeded)), "{got:?}");
+        assert_eq!(source.attempts, 0);
+    }
+
+    #[test]
+    fn untokened_retry_ladder_still_exhausts_and_surfaces() {
+        // Without a token the pre-fix behavior is preserved: the
+        // bounded ladder runs dry and the transient error surfaces.
+        let mut source = AlwaysTransientSource { attempts: 0 };
+        let retries = AtomicU64::new(0);
+        let got = next_chunk_with_retry(&mut source, &retries, None);
+        assert!(matches!(got, Err(Error::Io(_))), "{got:?}");
+        assert_eq!(source.attempts, (MAX_READ_RETRIES + 1) as u64);
+        assert_eq!(retries.load(Ordering::Relaxed), MAX_READ_RETRIES as u64);
     }
 
     #[test]

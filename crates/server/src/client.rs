@@ -1,0 +1,183 @@
+//! A minimal blocking client for the wire protocol — what a driver
+//! program, a test harness, or another process embeds to talk to a
+//! running [`crate::Server`].
+//!
+//! ```no_run
+//! use atgis_server::{Client, Priority, QuerySpec, NO_TIMEOUT};
+//! use atgis_geometry::Mbr;
+//!
+//! let mut client = Client::connect("127.0.0.1:7878").unwrap();
+//! let spec = QuerySpec::Containment(Mbr::new(-2.0, 48.0, 2.0, 52.0));
+//! let reply = client
+//!     .query(0, &spec, Priority::Interactive, NO_TIMEOUT)
+//!     .unwrap();
+//! match reply {
+//!     Ok(result) => println!("{} matches", result.matches().len()),
+//!     Err(e) => eprintln!("server refused: {} ({})", e.code, e.message),
+//! }
+//! ```
+
+use crate::protocol::{
+    self, encode_cancel, encode_stats_request, encode_submit, ErrorCode, QuerySpec, Response,
+    StatsReport, MAX_RESPONSE_FRAME,
+};
+use atgis::{Priority, QueryResult};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A structured refusal from the server: the wire [`ErrorCode`] plus
+/// its human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerError {
+    /// Machine-readable failure class.
+    pub code: ErrorCode,
+    /// Human-readable detail from the server.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// A blocking connection to an AT-GIS server. Request ids are
+/// assigned per connection; responses can arrive out of submission
+/// order (the dispatcher answers cheap waves first), so the client
+/// buffers frames it reads while waiting for a specific id.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    pending: VecDeque<Response>,
+}
+
+impl Client {
+    /// Connects to a serving address.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            next_id: 1,
+            pending: VecDeque::new(),
+        })
+    }
+
+    /// Submits a query without waiting; returns the request id whose
+    /// [`Response`] will carry the answer. `timeout_ms` of
+    /// [`protocol::NO_TIMEOUT`] means no deadline.
+    pub fn submit(
+        &mut self,
+        dataset: u64,
+        query: &QuerySpec,
+        priority: Priority,
+        timeout_ms: u64,
+    ) -> std::io::Result<u64> {
+        let req_id = self.next_id;
+        self.next_id += 1;
+        self.send(&encode_submit(req_id, dataset, priority, timeout_ms, query))?;
+        Ok(req_id)
+    }
+
+    /// Asks the server to cancel an in-flight request. Advisory —
+    /// completed requests are unaffected and produce no extra
+    /// response.
+    pub fn cancel(&mut self, req_id: u64) -> std::io::Result<()> {
+        self.send(&encode_cancel(req_id))
+    }
+
+    /// Submits and waits for this request's outcome, buffering any
+    /// other responses that arrive first.
+    pub fn query(
+        &mut self,
+        dataset: u64,
+        query: &QuerySpec,
+        priority: Priority,
+        timeout_ms: u64,
+    ) -> std::io::Result<Result<QueryResult, ServerError>> {
+        let req_id = self.submit(dataset, query, priority, timeout_ms)?;
+        self.wait(req_id)
+    }
+
+    /// Waits for the response to a specific previously-submitted
+    /// request id, buffering unrelated responses.
+    pub fn wait(&mut self, req_id: u64) -> std::io::Result<Result<QueryResult, ServerError>> {
+        // First, anything already buffered for this id.
+        if let Some(pos) = self.pending.iter().position(|r| match r {
+            Response::Result { req_id: id, .. } | Response::Error { req_id: id, .. } => {
+                *id == req_id
+            }
+            Response::Stats(_) => false,
+        }) {
+            let resp = self.pending.remove(pos).unwrap();
+            return Ok(Self::unpack(resp));
+        }
+        loop {
+            let resp = self.read_response()?;
+            match &resp {
+                Response::Result { req_id: id, .. } | Response::Error { req_id: id, .. }
+                    if *id == req_id =>
+                {
+                    return Ok(Self::unpack(resp));
+                }
+                _ => self.pending.push_back(resp),
+            }
+        }
+    }
+
+    /// Fetches the server's cumulative statistics.
+    pub fn stats(&mut self) -> std::io::Result<StatsReport> {
+        self.send(&encode_stats_request())?;
+        loop {
+            match self.read_response()? {
+                Response::Stats(report) => return Ok(report),
+                other => self.pending.push_back(other),
+            }
+        }
+    }
+
+    /// Reads the next response frame off the wire (or the buffer of
+    /// frames skipped by earlier targeted waits).
+    pub fn read_response(&mut self) -> std::io::Result<Response> {
+        if let Some(buffered) = self.pending.pop_front() {
+            return Ok(buffered);
+        }
+        let mut len = [0u8; 4];
+        self.stream.read_exact(&mut len)?;
+        let len = u32::from_be_bytes(len);
+        if len == 0 || len > MAX_RESPONSE_FRAME {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("response frame length {len} outside (0, {MAX_RESPONSE_FRAME}]"),
+            ));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.stream.read_exact(&mut payload)?;
+        protocol::parse_response(&payload)
+            .map_err(|we| std::io::Error::new(ErrorKind::InvalidData, we.to_string()))
+    }
+
+    fn unpack(resp: Response) -> Result<QueryResult, ServerError> {
+        match resp {
+            Response::Result { result, .. } => Ok(result),
+            Response::Error { code, message, .. } => Err(ServerError { code, message }),
+            Response::Stats(_) => unreachable!("stats responses are filtered by the callers"),
+        }
+    }
+
+    fn send(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        self.stream
+            .write_all(&(payload.len() as u32).to_be_bytes())?;
+        self.stream.write_all(payload)?;
+        self.stream.flush()
+    }
+
+    /// The underlying stream, for tests that need to write raw bytes
+    /// or drop the connection abruptly.
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}
