@@ -115,8 +115,11 @@ impl Client {
             let resp = self.pending.remove(pos).unwrap();
             return Ok(Self::unpack(resp));
         }
+        // Not buffered: read straight off the socket. (Going through
+        // `read_response` here would pop the just-buffered unrelated
+        // responses back out and spin forever rotating them.)
         loop {
-            let resp = self.read_response()?;
+            let resp = self.read_socket_response()?;
             match &resp {
                 Response::Result { req_id: id, .. } | Response::Error { req_id: id, .. }
                     if *id == req_id =>
@@ -131,8 +134,21 @@ impl Client {
     /// Fetches the server's cumulative statistics.
     pub fn stats(&mut self) -> std::io::Result<StatsReport> {
         self.send(&encode_stats_request())?;
+        // A stale buffered report (skipped by an earlier targeted
+        // wait) is consumed first; otherwise read the socket directly
+        // — the pending buffer holds only non-Stats frames by now.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|r| matches!(r, Response::Stats(_)))
+        {
+            match self.pending.remove(pos).unwrap() {
+                Response::Stats(report) => return Ok(report),
+                _ => unreachable!("position matched a Stats frame"),
+            }
+        }
         loop {
-            match self.read_response()? {
+            match self.read_socket_response()? {
                 Response::Stats(report) => return Ok(report),
                 other => self.pending.push_back(other),
             }
@@ -145,6 +161,13 @@ impl Client {
         if let Some(buffered) = self.pending.pop_front() {
             return Ok(buffered);
         }
+        self.read_socket_response()
+    }
+
+    /// Reads the next frame from the socket, bypassing the pending
+    /// buffer — the loop in [`Client::wait`] / [`Client::stats`] has
+    /// already scanned it.
+    fn read_socket_response(&mut self) -> std::io::Result<Response> {
         let mut len = [0u8; 4];
         self.stream.read_exact(&mut len)?;
         let len = u32::from_be_bytes(len);

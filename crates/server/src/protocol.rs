@@ -64,8 +64,9 @@ pub enum ErrorCode {
     /// The query's worker task panicked; the failure was confined to
     /// this request.
     Panicked,
-    /// Any other engine error (parse failure, unsupported query, …);
-    /// the message carries the detail.
+    /// Any other failure: engine errors (parse failure, unsupported
+    /// query), protocol misuse (a request id already in flight), or a
+    /// result too large to frame; the message carries the detail.
     Internal,
 }
 

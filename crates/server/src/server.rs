@@ -21,11 +21,12 @@
 
 use crate::protocol::{
     self, duration_to_us, encode_error, encode_result, encode_stats_report, ClassReport, ErrorCode,
-    Request, StatsReport, MAX_REQUEST_FRAME,
+    Request, StatsReport, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
 };
 use atgis::cancel::Interrupt;
 use atgis::{
-    CancelToken, Dataset, DatasetId, Priority, Query, QueryError, QueryScheduler, SchedulerStats,
+    CancelToken, Dataset, DatasetId, Priority, Query, QueryError, QueryResult, QueryScheduler,
+    SchedulerStats,
 };
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
@@ -409,6 +410,18 @@ fn submit(
     timeout_ms: u64,
     query: &protocol::QuerySpec,
 ) {
+    // A second submit reusing a live id would overwrite its token in
+    // the live map; the first completion would then release the map
+    // entry and a later CANCEL (or disconnect cleanup) would miss the
+    // still-running second request. Reject it up front.
+    if live.lock().unwrap().contains_key(&req_id) {
+        let _ = reply.send(encode_error(
+            req_id,
+            ErrorCode::Internal,
+            &format!("request id {req_id} is already in flight on this connection"),
+        ));
+        return;
+    }
     let Some(id) = shared.datasets.lock().unwrap().get(&dataset).copied() else {
         let _ = reply.send(encode_error(
             req_id,
@@ -528,6 +541,53 @@ fn respond_error(req: &PendingRequest, code: ErrorCode, msg: &str) {
     let _ = req.reply.send(encode_error(req.req_id, code, msg));
 }
 
+/// Encodes a successful result, or reports its encoded size when it
+/// exceeds `cap` — sending an over-cap frame anyway would make the
+/// client reject the length prefix as a desynced stream and kill the
+/// connection, so the caller turns `Err` into a structured error.
+fn result_payload(req_id: u64, result: &QueryResult, cap: usize) -> Result<Vec<u8>, usize> {
+    let payload = encode_result(req_id, result);
+    if payload.len() > cap {
+        Err(payload.len())
+    } else {
+        Ok(payload)
+    }
+}
+
+fn respond_result(req: &PendingRequest, result: &QueryResult) {
+    match result_payload(req.req_id, result, MAX_RESPONSE_FRAME as usize) {
+        Ok(payload) => {
+            let _ = req.reply.send(payload);
+        }
+        Err(size) => respond_error(
+            req,
+            ErrorCode::Internal,
+            &format!(
+                "result frame of {size} bytes exceeds the {MAX_RESPONSE_FRAME}-byte response cap"
+            ),
+        ),
+    }
+}
+
+/// Re-checks a grouped member's token after the shared dispatch.
+/// Grouped requests share scans and cannot abort each other mid-wave,
+/// so a member whose token tripped (cancel *or* deadline) while the
+/// group executed has its otherwise-successful result discarded here,
+/// matching the solo path and the pre-dispatch weeding.
+fn post_dispatch_outcome(
+    result: Result<QueryResult, QueryError>,
+    token: &CancelToken,
+) -> Result<QueryResult, QueryError> {
+    match result {
+        Ok(r) => match token.interrupted() {
+            None => Ok(r),
+            Some(Interrupt::Cancelled) => Err(QueryError::Cancelled),
+            Some(Interrupt::DeadlineExceeded) => Err(QueryError::DeadlineExceeded),
+        },
+        other => other,
+    }
+}
+
 /// Returns the request's cost to the backpressure pool and drops its
 /// live-map entry.
 fn release(shared: &Arc<Shared>, req: &PendingRequest) {
@@ -566,16 +626,13 @@ fn run_group(shared: &Arc<Shared>, dataset: DatasetId, group: Vec<PendingRequest
                 // Latency the client observed: time queued + the
                 // completion time of the wave that resolved it.
                 let latency = dispatched.duration_since(req.enqueued) + sstats.latencies[i];
-                let outcome = match result {
-                    Ok(_) if req.token.is_cancelled() => Err(QueryError::Cancelled),
-                    other => other,
-                };
+                let outcome = post_dispatch_outcome(result, &req.token);
                 let mut stats = shared.stats.lock().unwrap();
                 stats.sched.record(req.class, latency);
                 match &outcome {
                     Ok(result) => {
                         drop(stats);
-                        let _ = req.reply.send(encode_result(req.req_id, result));
+                        respond_result(req, result);
                     }
                     Err(qe) => {
                         let code = match qe {
@@ -611,5 +668,63 @@ fn run_group(shared: &Arc<Shared>, dataset: DatasetId, group: Vec<PendingRequest
                 release(shared, req);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgis::MatchRecord;
+    use atgis_geometry::Mbr;
+
+    #[test]
+    fn post_dispatch_outcome_discards_stale_grouped_results() {
+        let ok = || Ok(QueryResult::Matches(Vec::new()));
+
+        let fresh = CancelToken::new();
+        assert!(post_dispatch_outcome(ok(), &fresh).is_ok());
+
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        assert!(matches!(
+            post_dispatch_outcome(ok(), &cancelled),
+            Err(QueryError::Cancelled)
+        ));
+
+        // A deadline that elapsed while the group executed maps to
+        // DeadlineExceeded, exactly like the solo path.
+        let expired = CancelToken::with_deadline(Duration::ZERO);
+        assert!(matches!(
+            post_dispatch_outcome(ok(), &expired),
+            Err(QueryError::DeadlineExceeded)
+        ));
+
+        // Errors pass through untouched.
+        assert!(matches!(
+            post_dispatch_outcome(Err(QueryError::Cancelled), &expired),
+            Err(QueryError::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn over_cap_results_become_errors_not_oversized_frames() {
+        let records = vec![
+            MatchRecord {
+                id: 1,
+                offset: 0,
+                len: 10,
+                mbr: Mbr::new(0.0, 0.0, 1.0, 1.0),
+            };
+            4
+        ];
+        let result = QueryResult::Matches(records);
+        let encoded = result_payload(9, &result, usize::MAX).unwrap();
+        // One byte under the encoded size must be rejected with the
+        // true size, one byte over must pass.
+        assert_eq!(
+            result_payload(9, &result, encoded.len() - 1),
+            Err(encoded.len())
+        );
+        assert!(result_payload(9, &result, encoded.len()).is_ok());
     }
 }

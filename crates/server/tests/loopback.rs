@@ -8,13 +8,16 @@
 //! counter without affecting other tenants, and deadline / overload
 //! failures map to distinct wire error codes.
 
-use atgis::{Dataset, Engine, Priority, QueryScheduler};
+use atgis::{Dataset, Engine, Priority, QueryResult, QueryScheduler};
 use atgis_datagen::{write_geojson, OsmGenerator};
 use atgis_formats::Format;
 use atgis_geometry::Mbr;
-use atgis_server::{Client, ErrorCode, QuerySpec, Server, ServerConfig, ServerHandle, NO_TIMEOUT};
+use atgis_server::protocol::{self, Request, StatsReport};
+use atgis_server::{
+    Client, ErrorCode, QuerySpec, Response, Server, ServerConfig, ServerHandle, NO_TIMEOUT,
+};
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
 fn engine() -> Engine {
@@ -258,6 +261,133 @@ fn cancel_frame_aborts_an_inflight_query() {
         .query(0, &spec, Priority::Interactive, NO_TIMEOUT)
         .unwrap()
         .is_ok());
+    handle.shutdown();
+}
+
+/// A scripted server that answers every pair of submits in *reverse*
+/// order (a dummy `Combined` result echoing the request id) and every
+/// stats request with `served = 42` — the advertised out-of-order
+/// case, made deterministic.
+fn spawn_reversing_server() -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let write_frame = |stream: &mut TcpStream, payload: Vec<u8>| {
+            stream
+                .write_all(&(payload.len() as u32).to_be_bytes())
+                .unwrap();
+            stream.write_all(&payload).unwrap();
+        };
+        let mut batch = Vec::new();
+        loop {
+            let mut len = [0u8; 4];
+            if stream.read_exact(&mut len).is_err() {
+                break; // client gone — done
+            }
+            let mut payload = vec![0u8; u32::from_be_bytes(len) as usize];
+            stream.read_exact(&mut payload).unwrap();
+            match protocol::parse_request(&payload).unwrap() {
+                Request::Submit { req_id, .. } => {
+                    batch.push(req_id);
+                    if batch.len() == 2 {
+                        for id in batch.drain(..).rev() {
+                            let result = QueryResult::Combined {
+                                pairs: id,
+                                total_union_area: 0.0,
+                            };
+                            write_frame(&mut stream, protocol::encode_result(id, &result));
+                        }
+                    }
+                }
+                Request::Stats => {
+                    let report = StatsReport {
+                        served: 42,
+                        ..StatsReport::default()
+                    };
+                    write_frame(&mut stream, protocol::encode_stats_report(&report));
+                }
+                Request::Cancel { .. } => {}
+            }
+        }
+    });
+    (addr, handle)
+}
+
+#[test]
+fn waits_keep_reading_the_socket_past_buffered_responses() {
+    // Regression: wait() and stats() used to re-pop the pending
+    // buffer they had already scanned, so once any unrelated response
+    // was buffered they spun forever rotating it instead of reading
+    // the stream. Run the client on its own thread so a regression
+    // fails the test instead of hanging it.
+    let (addr, server) = spawn_reversing_server();
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let client_thread = std::thread::spawn(move || {
+        let echo = |id| QueryResult::Combined {
+            pairs: id,
+            total_union_area: 0.0,
+        };
+        let spec = QuerySpec::Join(1);
+        let mut client = Client::connect(addr).unwrap();
+        let a = client
+            .submit(0, &spec, Priority::Interactive, NO_TIMEOUT)
+            .unwrap();
+        let b = client
+            .submit(0, &spec, Priority::Interactive, NO_TIMEOUT)
+            .unwrap();
+        // The server answers b first: waiting on a must buffer b's
+        // response and keep reading.
+        assert_eq!(client.wait(a).unwrap().unwrap(), echo(a));
+        assert_eq!(client.wait(b).unwrap().unwrap(), echo(b));
+
+        // Same out-of-order dance, but leave d's response buffered
+        // when asking for stats.
+        let c = client
+            .submit(0, &spec, Priority::Interactive, NO_TIMEOUT)
+            .unwrap();
+        let d = client
+            .submit(0, &spec, Priority::Interactive, NO_TIMEOUT)
+            .unwrap();
+        assert_eq!(client.wait(c).unwrap().unwrap(), echo(c));
+        assert_eq!(client.stats().unwrap().served, 42);
+        // The buffered response survived the stats call intact.
+        assert_eq!(client.wait(d).unwrap().unwrap(), echo(d));
+        done_tx.send(()).unwrap();
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("client livelocked on a buffered out-of-order response");
+    client_thread.join().expect("client thread");
+    server.join().expect("scripted server");
+}
+
+#[test]
+fn duplicate_inflight_req_id_is_rejected() {
+    let handle = serve(78, 2_000, ServerConfig::default());
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    // Two submits reusing id 7, sent back to back so the second is
+    // parsed while the first (a join pass over the whole dataset) is
+    // still in flight: the second must be refused — admitting it
+    // would orphan one of the two tokens in the live map.
+    let frame = protocol::encode_submit(7, 0, Priority::Batch, NO_TIMEOUT, &QuerySpec::Join(1_000));
+    for _ in 0..2 {
+        raw.write_all(&(frame.len() as u32).to_be_bytes()).unwrap();
+        raw.write_all(&frame).unwrap();
+    }
+    match read_raw_response(&mut raw) {
+        Some(Response::Error { req_id, code, .. }) => {
+            assert_eq!(req_id, 7);
+            assert_eq!(code, ErrorCode::Internal);
+        }
+        other => panic!("expected a duplicate-id rejection, got {other:?}"),
+    }
+    // The original request is unaffected: its result still arrives on
+    // the same connection.
+    match read_raw_response(&mut raw) {
+        Some(Response::Result { req_id, .. }) => assert_eq!(req_id, 7),
+        other => panic!("expected the original request's result, got {other:?}"),
+    }
     handle.shutdown();
 }
 
