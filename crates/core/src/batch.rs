@@ -631,7 +631,11 @@ fn finish_index<S: PartitionStore + Clone>(
 /// Runs the flattened (query × partition) join fan-out: one shared
 /// job cursor over every pair, so cheap queries never serialise the
 /// pool behind expensive ones. Each task reports its own duration for
-/// per-query attribution.
+/// per-query attribution. Only **occupied** slots are fanned out —
+/// on the default (sparse) grid the vast majority of slots are empty,
+/// and dispatching + clocking a task per empty slot used to cost more
+/// than the whole join pass; an empty slot can only contribute the
+/// empty `SlotResult`, which the fold ignores.
 #[allow(clippy::too_many_arguments)]
 fn run_join_grid<S: PartitionStore + Sync>(
     engine: &Engine,
@@ -643,15 +647,16 @@ fn run_join_grid<S: PartitionStore + Sync>(
     options: &JoinOptions,
     token: Option<&CancelToken>,
 ) -> std::result::Result<Vec<Vec<(Duration, SlotResult)>>, JobFault> {
+    let occupied = map.occupied_slots(store);
     run_grid_on(
         engine.pool(),
         specs.len(),
-        map.num_slots(),
+        occupied.len(),
         options.threads,
         token,
-        |q, slot| {
+        |q, i| {
             let started = Instant::now();
-            let r = join_partition(store, map, slot, &specs[q], reparse, cache, options);
+            let r = join_partition(store, map, occupied[i], &specs[q], reparse, cache, options);
             (started.elapsed(), r)
         },
     )

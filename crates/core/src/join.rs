@@ -314,10 +314,14 @@ pub fn pbsm_join_spec_on<S: PartitionStore + Sync>(
     options: JoinOptions,
     token: Option<&CancelToken>,
 ) -> crate::Result<JoinOutcome> {
-    let slots = map.num_slots();
-    let per_slot: Vec<SlotResult> = run_indexed_on(pool, slots, options.threads, token, |slot| {
-        join_partition(store, map, slot, spec, reparse, cache, &options)
-    })?;
+    // Fan out over occupied slots only: the default grid is sparse
+    // (tens of thousands of cells, a handful holding entries) and an
+    // empty slot contributes nothing to the fold.
+    let occupied = map.occupied_slots(store);
+    let per_slot: Vec<SlotResult> =
+        run_indexed_on(pool, occupied.len(), options.threads, token, |i| {
+            join_partition(store, map, occupied[i], spec, reparse, cache, &options)
+        })?;
     fold_slot_results(map, per_slot.into_iter()).map_err(Error::Parse)
 }
 

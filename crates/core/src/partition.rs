@@ -383,6 +383,27 @@ impl PartitionMap {
         }
     }
 
+    /// Number of entries in one slot, answered without visiting them
+    /// (O(1) for the array store, O(#chunks) for the list store).
+    pub fn slot_len<S: PartitionStore>(&self, store: &S, slot: usize) -> usize {
+        match &self.slots[slot] {
+            Slot::Base(cell) => store.cell_len(*cell),
+            Slot::Refined { entries, .. } => entries.len(),
+        }
+    }
+
+    /// The slots holding at least one entry. On the sparse grids the
+    /// default extent produces (tens of thousands of cells, a handful
+    /// occupied) the join fans out over this list instead of every
+    /// slot — an empty slot can only produce the empty
+    /// [`crate::join::JoinOutcome`] contribution, so skipping it is
+    /// observationally free.
+    pub fn occupied_slots<S: PartitionStore>(&self, store: &S) -> Vec<usize> {
+        (0..self.slots.len())
+            .filter(|&s| self.slot_len(store, s) > 0)
+            .collect()
+    }
+
     /// Visits every entry of one slot (insertion order for base cells,
     /// scatter order for refined sub-cells).
     pub fn for_each_entry<S: PartitionStore>(
@@ -494,6 +515,15 @@ pub trait PartitionStore: Send + Sync + Sized {
     fn num_cells(&self) -> usize;
     /// Total entries across all cells.
     fn len(&self) -> usize;
+    /// Number of entries in one cell. The default counts through
+    /// [`PartitionStore::for_each`]; stores with per-cell storage
+    /// should answer in O(1) — the join fan-out probes every slot for
+    /// emptiness before spawning tasks.
+    fn cell_len(&self, cell: usize) -> usize {
+        let mut n = 0;
+        self.for_each(cell, |_| n += 1);
+        n
+    }
     /// True when no entries are stored.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -544,6 +574,10 @@ impl PartitionStore for ArrayStore {
     fn len(&self) -> usize {
         self.cells.iter().map(Vec::len).sum()
     }
+
+    fn cell_len(&self, cell: usize) -> usize {
+        self.cells[cell].len()
+    }
 }
 
 /// Chunk-list store: each cell holds a list of chunk handles; merging
@@ -591,6 +625,10 @@ impl PartitionStore for ListStore {
 
     fn len(&self) -> usize {
         self.cells.iter().flatten().map(Vec::len).sum()
+    }
+
+    fn cell_len(&self, cell: usize) -> usize {
+        self.cells[cell].iter().map(Vec::len).sum()
     }
 }
 

@@ -1,0 +1,120 @@
+//! SIMD ≡ SWAR differential test: the full query pipeline must
+//! produce bit-identical results whichever scanning kernel the
+//! dispatcher picks.
+//!
+//! The kernel probe is cached once per process, so the comparison
+//! re-executes this test binary as a child with `ATGIS_NO_SIMD=1`
+//! (forcing the SWAR fallback) and compares a digest of every query
+//! result against the parent's (SIMD on machines that have it). Under
+//! a suite-wide `ATGIS_NO_SIMD=1` run (the CI fallback job) both
+//! sides are SWAR and the test degenerates to a determinism check.
+
+use atgis::{Dataset, Engine, Query, QueryResult};
+use atgis_datagen::{write_geojson, write_osm_xml, write_wkt, OsmGenerator};
+use atgis_formats::Format;
+use atgis_geometry::Mbr;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+const ROLE_VAR: &str = "ATGIS_DIFF_ROLE";
+const DIGEST_PREFIX: &str = "ATGIS_DIFF_DIGEST=";
+
+fn engine() -> Engine {
+    Engine::builder()
+        .threads(2)
+        .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
+        .cell_size(1.0)
+        .build()
+}
+
+/// Runs the query battery over every format and folds the `Debug`
+/// rendering of each result (exact offsets, exact aggregates, exact
+/// join pairs) into one digest. `DefaultHasher` uses fixed keys, so
+/// the value is stable between two runs of the same binary.
+fn battery_digest() -> u64 {
+    let engine = engine();
+    let objects = OsmGenerator::new(41).generate(2_000);
+    let datasets = [
+        (Format::GeoJson, write_geojson(&objects)),
+        (Format::Wkt, write_wkt(&objects)),
+        (Format::OsmXml, write_osm_xml(&objects)),
+    ];
+    let queries = [
+        Query::containment(Mbr::new(-6.0, 44.0, 4.0, 56.0)),
+        Query::aggregation(Mbr::new(-2.0, 48.0, 2.0, 52.0)),
+        Query::join(1_000),
+    ];
+    let mut h = DefaultHasher::new();
+    for (format, bytes) in datasets {
+        let ds = Dataset::from_bytes(bytes.clone(), format);
+        // Buffered solo + batched: both pipelines ride the kernels.
+        for q in &queries {
+            let r = engine.execute(q, &ds).unwrap();
+            format!("{format:?}/{q:?}/{r:?}").hash(&mut h);
+        }
+        let batched = engine.execute_batch(&queries, &ds).unwrap();
+        format!("{format:?}/batch/{batched:?}").hash(&mut h);
+        // Streamed: the same battery fed chunkwise.
+        let path =
+            std::env::temp_dir().join(format!("atgis_diff_{}_{format:?}.raw", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        for q in &queries {
+            let mut src = atgis::FileChunkSource::open_with_chunk_len(&path, 64 << 10).unwrap();
+            let r: QueryResult = engine.execute_streaming(q, &mut src, format).unwrap();
+            format!("{format:?}/stream/{q:?}/{r:?}").hash(&mut h);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+    h.finish()
+}
+
+#[test]
+fn query_results_are_bit_identical_under_forced_swar() {
+    if std::env::var_os(ROLE_VAR).is_some_and(|v| v == "child") {
+        // Child role: the env knob must actually have forced the
+        // fallback, otherwise the comparison is vacuous.
+        assert_eq!(
+            atgis_transducer::simd::kernel(),
+            atgis_transducer::simd::Kernel::Swar,
+            "ATGIS_NO_SIMD=1 must force the SWAR kernel"
+        );
+        println!("{DIGEST_PREFIX}{:x}", battery_digest());
+        return;
+    }
+
+    let mine = battery_digest();
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args([
+            "--exact",
+            "query_results_are_bit_identical_under_forced_swar",
+            "--nocapture",
+        ])
+        .env("ATGIS_NO_SIMD", "1")
+        .env(ROLE_VAR, "child")
+        .output()
+        .expect("spawn SWAR child");
+    assert!(
+        out.status.success(),
+        "SWAR child failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The harness may emit its own text around the digest (the
+    // `test … ok` line is not newline-separated from captured output),
+    // so scan within lines rather than anchoring to line starts.
+    let theirs = stdout
+        .lines()
+        .find_map(|l| {
+            let at = l.find(DIGEST_PREFIX)?;
+            let rest = &l[at + DIGEST_PREFIX.len()..];
+            Some(rest.split_whitespace().next().unwrap_or(""))
+        })
+        .expect("child digest line");
+    assert_eq!(
+        format!("{mine:x}"),
+        theirs,
+        "SIMD and SWAR kernels produced different query results"
+    );
+}

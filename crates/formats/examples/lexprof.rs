@@ -1,0 +1,61 @@
+//! Ad-hoc timing probe for the speculative lexer (not shipped in
+//! benches; run manually with `cargo run --release -p atgis-formats
+//! --example lexprof`).
+
+use atgis_formats::geojson::lexer;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let doc: String =
+        r#"{"type":"Feature","geometry":{"type":"Point","coordinates":[1.0,2.0]},"id":1,"properties":{"k":"v"}},"#
+            .repeat(200);
+    let bytes = doc.as_bytes();
+    let mb = bytes.len() as f64 / 1e6;
+    let iters = 2000;
+
+    // Warm.
+    for _ in 0..50 {
+        black_box(lexer::lex_block(black_box(bytes), 0));
+    }
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(lexer::lex_block(black_box(bytes), 0));
+    }
+    let dt = t.elapsed().as_secs_f64() / iters as f64;
+    println!("lex_block       : {:8.1} MB/s", mb / dt);
+
+    // Count-only emit through the same run_block machinery: isolates
+    // Token construction + Vec pushes from the scan itself.
+    use atgis_transducer::DfaFragment;
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(DfaFragment::run_block(
+            lexer::lexer(),
+            &lexer::ALL_STATES,
+            black_box(bytes),
+            0,
+            |_tape: &mut Vec<u64>, _a, _pos, _b| {},
+        ));
+    }
+    let dt = t.elapsed().as_secs_f64() / iters as f64;
+    println!("count-only block: {:8.1} MB/s", mb / dt);
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(lexer::lex_known(black_box(bytes), 0, lexer::STATE_OUT));
+    }
+    let dt = t.elapsed().as_secs_f64() / iters as f64;
+    println!("lex_known       : {:8.1} MB/s", mb / dt);
+
+    // Two independent full-length known-state runs ≈ the no-lockstep
+    // alternative for the never-converging pair.
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(lexer::lex_known(black_box(bytes), 0, lexer::STATE_OUT));
+        black_box(lexer::lex_known(black_box(bytes), 0, lexer::STATE_STR));
+    }
+    let dt = t.elapsed().as_secs_f64() / iters as f64;
+    println!("2x lex_known    : {:8.1} MB/s", mb / dt);
+}

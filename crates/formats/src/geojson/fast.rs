@@ -123,12 +123,9 @@ impl<'a> Cursor<'a> {
     fn parse_scalar_text(&mut self) -> Result<&'a str, ParseError> {
         self.skip_ws();
         let start = self.pos;
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E' | b'a'..=b'z')
-        ) {
-            self.pos += 1;
-        }
+        // Lane-at-a-time scalar-run scan: number bytes plus lowercase
+        // letters (`true` / `false` / `null`).
+        self.pos += atgis_transducer::scan::json_scalar_span(self.input, self.pos);
         if start == self.pos {
             return Err(self.err("expected a scalar value"));
         }

@@ -108,7 +108,7 @@ impl<'a> WktCursor<'a> {
     fn keyword(&mut self) -> &'a str {
         self.skip_ws();
         let rest = &self.text[self.pos..];
-        let len = rest.bytes().take_while(|b| b.is_ascii_alphabetic()).count();
+        let len = atgis_transducer::scan::alpha_span(rest.as_bytes(), 0);
         let kw = &rest[..len];
         self.pos += len;
         kw
@@ -117,10 +117,8 @@ impl<'a> WktCursor<'a> {
     fn number(&mut self) -> Result<f64, ParseError> {
         self.skip_ws();
         let rest = &self.text[self.pos..];
-        let len = rest
-            .bytes()
-            .take_while(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
-            .count();
+        // Lane-at-a-time number-run scan (digits and `+ - . e E`).
+        let len = atgis_transducer::scan::number_span(rest.as_bytes(), 0);
         if len == 0 {
             return Err(self.err("expected a number"));
         }

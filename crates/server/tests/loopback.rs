@@ -174,13 +174,22 @@ fn malformed_frames_get_structured_errors_never_hangs() {
 
 #[test]
 fn mid_query_disconnect_increments_cancelled_without_hurting_others() {
-    let handle = serve(73, 6_000, ServerConfig::default());
+    // Large enough that the doomed join is still running when the
+    // disconnect lands — the join pipeline is fast enough now that a
+    // small dataset would finish inside the dispatch window.
+    let objects = 60_000;
+    let handle = serve(73, objects, ServerConfig::default());
     let addr = handle.addr();
 
     // Tenant A submits an expensive solo join and vanishes.
     let mut doomed = Client::connect(addr).unwrap();
     doomed
-        .submit(0, &QuerySpec::Join(3_000), Priority::Batch, NO_TIMEOUT)
+        .submit(
+            0,
+            &QuerySpec::Join((objects / 2) as u64),
+            Priority::Batch,
+            NO_TIMEOUT,
+        )
         .unwrap();
     std::thread::sleep(Duration::from_millis(50)); // let it dispatch
     drop(doomed); // disconnect trips the request's CancelToken
@@ -191,7 +200,7 @@ fn mid_query_disconnect_increments_cancelled_without_hurting_others() {
 
     // Tenant B is unaffected: same server, correct result.
     let spec = QuerySpec::Aggregation(Mbr::new(-2.0, 48.0, 2.0, 52.0));
-    let ds = dataset(73, 6_000);
+    let ds = dataset(73, objects);
     let want = engine().execute(&spec.to_query(), &ds).unwrap();
     let mut survivor = Client::connect(addr).unwrap();
     let got = survivor

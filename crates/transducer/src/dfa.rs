@@ -10,42 +10,56 @@
 //! every possible starting state ([`DfaFragment::run_block`]) and
 //! merges per-start tapes with relation composition.
 //!
-//! Two scan optimisations make the hot path memory-bound rather than
+//! Three scan optimisations make the hot path memory-bound rather than
 //! dispatch-bound (the skip-to-structural-byte technique of
 //! simdjson/Mison-style raw scanners):
 //!
 //! * **per-state skip classes** — [`DfaBuilder::build`] computes, for
 //!   every state, the 256-bit set of *interesting* bytes (anything
 //!   that leaves the state or emits an action). States with at most
-//!   four interesting bytes get a SWAR scanner that tests 8 input
-//!   bytes per iteration; sparse states fall back to a bitmap probe,
-//!   and dense states to the plain table walk. Skipped bytes are
-//!   provably self-loops with no action, so output is bit-identical.
+//!   eight interesting bytes get a multi-needle lane scanner (AVX2 /
+//!   SSE2 / SWAR, runtime-dispatched via [`crate::simd::kernel`]) that
+//!   tests a full lane of input per iteration; sparse states fall back
+//!   to a bitmap probe, and dense states to the plain table walk.
+//!   Skipped bytes are provably self-loops with no action, so output
+//!   is bit-identical across kernels.
 //! * **prefix/shared tapes** — the fragment exploits *convergence*
-//!   (§3.1): speculation proceeds byte-by-byte only until every
+//!   (§3.1): speculation proceeds in lockstep only until every
 //!   speculative run reaches the same state, after which a single
 //!   shared run covers the rest of the block. The shared tape is
 //!   stored **once** per fragment instead of being cloned into every
 //!   per-start entry (the paper's output-matrix tape sharing), and
 //!   merges move tapes instead of cloning them.
+//! * **speculation pruning + vectorised lockstep** — duplicate start
+//!   states and speculative runs that collapse onto the same
+//!   trajectory before emitting anything (e.g. a JSON escape state
+//!   folding into the in-string state after one byte) are deduplicated
+//!   into a single run, and the lockstep phase skips bytes
+//!   uninteresting to *every* live run with the same lane kernels as
+//!   the shared phase whenever the union interesting set fits eight
+//!   needles — so even speculation that never converges (JSON quote
+//!   parity) scans at lane speed instead of probing bytewise.
 
 use crate::merge::Mergeable;
-use crate::scan::{eq_mask, SWAR_LO};
+use crate::simd::{self, HitMasker};
 
 /// Action id meaning "emit nothing".
 pub const NO_ACTION: u8 = 0;
 
-/// How the bulk scanner skips a state's uninteresting bytes.
+/// How the bulk scanner skips a state's uninteresting bytes. The
+/// `Few*` classes store the raw needle bytes (padded with duplicates);
+/// broadcast vectors are built at scan entry for whichever kernel the
+/// runtime dispatch selects.
 #[derive(Debug, Clone)]
 enum SkipClass {
     /// No interesting bytes: the whole rest of the block is skipped.
     All,
-    /// At most two interesting bytes (broadcast words, padded with a
-    /// duplicate): minimal SWAR mask — the string-interior case.
-    Few2([u64; 2]),
-    /// Three to eight interesting bytes: wider SWAR mask, 8 input
-    /// bytes per iteration, hits consumed bit-by-bit within the word.
-    Few8([u64; 8]),
+    /// At most two interesting bytes — the string-interior case.
+    Few2([u8; 2]),
+    /// Three or four interesting bytes.
+    Few4([u8; 4]),
+    /// Five to eight interesting bytes.
+    Few8([u8; 8]),
     /// Arbitrary sparse set: per-byte 256-bit bitmap probe.
     Bitmap,
     /// Mostly interesting bytes: skipping would not pay; walk the
@@ -66,44 +80,29 @@ pub struct ByteDfa {
     interesting: Vec<[u64; 4]>,
     /// Per-state scanner selection derived from `interesting`.
     skip: Vec<SkipClass>,
+    /// The fused-scan plan, when the union of every needle-class
+    /// state's interesting set itself fits eight needles.
+    fused: Option<FusedScan>,
+}
+
+/// Plan for the fused scan: one fixed needle set covering every
+/// needle-class (and all-skip) state, so a run crossing those states
+/// (e.g. JSON in/out-of-string flips) stays inside a single lane loop
+/// with a single masker. Hits are filtered per-state with the bitmap —
+/// a union hit that is boring for the *current* state is a provable
+/// silent self-loop, so skipping it is exact.
+#[derive(Debug, Clone)]
+struct FusedScan {
+    needles: [u8; 8],
+    n: usize,
+    /// Per-state: true when the fused loop may run this state (its
+    /// interesting set is contained in the union needle set).
+    covered: Vec<bool>,
 }
 
 #[inline]
 fn bit(map: &[u64; 4], b: u8) -> bool {
     map[(b >> 6) as usize] >> (b & 63) & 1 == 1
-}
-
-/// Little-endian 8-byte load at `pos`.
-///
-/// # Safety
-/// Caller must guarantee `pos + 8 <= bytes.len()`.
-#[inline(always)]
-unsafe fn load_word(bytes: &[u8], pos: usize) -> u64 {
-    debug_assert!(pos + 8 <= bytes.len());
-    u64::from_le(bytes.as_ptr().add(pos).cast::<u64>().read_unaligned())
-}
-
-/// The per-word hit mask: bit `0x80 << 8k` set iff byte `k` of `w`
-/// equals any needle broadcast in `bc` (padding entries are
-/// duplicates; the needle count is a compile-time constant so each
-/// skip class gets an exactly-sized branch-free mask).
-#[inline(always)]
-fn hits<const N: usize>(w: u64, bc: &[u64; N]) -> u64 {
-    let mut out = 0u64;
-    for &b in bc {
-        out |= eq_mask(w, b);
-    }
-    out
-}
-
-/// Position of the first byte whose bit is set in `map`, at or after
-/// `pos` (or `bytes.len()`).
-#[inline]
-fn bitmap_find(map: &[u64; 4], bytes: &[u8], mut pos: usize) -> usize {
-    while pos < bytes.len() && !bit(map, bytes[pos]) {
-        pos += 1;
-    }
-    pos
 }
 
 impl ByteDfa {
@@ -126,6 +125,19 @@ impl ByteDfa {
         (e as u8, (e >> 8) as u8)
     }
 
+    /// [`Self::step`] without the bounds check, for the hot scan
+    /// loops. Sound because [`DfaBuilder`] validates every transition
+    /// target, so reachable states always index inside the table.
+    #[inline(always)]
+    fn step_fast(&self, state: u8, byte: u8) -> (u8, u8) {
+        let idx = (state as usize) << 8 | byte as usize;
+        debug_assert!(idx < self.table.len());
+        // SAFETY: states are validated `< n_states` at build time and
+        // the table has `n_states * 256` entries.
+        let e = unsafe { *self.table.get_unchecked(idx) };
+        (e as u8, (e >> 8) as u8)
+    }
+
     /// The interesting-byte set of `state` (bytes that leave the state
     /// or emit an action). Skipping a byte outside this set cannot
     /// change the run's outcome.
@@ -137,12 +149,13 @@ impl ByteDfa {
     /// Runs sequentially from `state`, invoking `emit(action, position)`
     /// for every non-zero action. Returns the final state.
     ///
-    /// The scan is word-at-a-time: for SWAR-class states the 8-byte
-    /// hit mask is computed once and its set bits are consumed in
-    /// place while the state is stable (self-transitions on structural
-    /// bytes, e.g. commas and brackets outside strings, stay inside
-    /// the word loop), so neither skipped runs nor hit-dense runs
-    /// rescan input.
+    /// The scan is a lane at a time: for needle-class states the hit
+    /// mask of a whole input lane (8/16/32 bytes depending on the
+    /// dispatched kernel) is computed once and its set bits are
+    /// consumed in place while the state is stable (self-transitions
+    /// on structural bytes, e.g. commas and brackets outside strings,
+    /// stay inside the lane loop), so neither skipped runs nor
+    /// hit-dense runs rescan input.
     pub fn run<F: FnMut(u8, u64)>(
         &self,
         mut state: u8,
@@ -153,6 +166,22 @@ impl ByteDfa {
         let len = bytes.len();
         let mut pos = 0usize;
         'class: while pos < len {
+            // Fused fast path: while the state is covered by the union
+            // needle set, one fixed masker survives state flips (e.g.
+            // JSON quote transitions) — no per-flip re-dispatch or
+            // masker rebuild. Exits only into uncovered (dense/bitmap)
+            // states or at end of input.
+            if let Some(f) = &self.fused {
+                if f.covered[state as usize] {
+                    match self.run_fused(f, &mut state, bytes, pos, base, &mut emit) {
+                        Some(p) => {
+                            pos = p;
+                            continue 'class;
+                        }
+                        None => return state,
+                    }
+                }
+            }
             match &self.skip[state as usize] {
                 // Self-loops with no action forever: nothing left to do.
                 SkipClass::All => return state,
@@ -169,14 +198,20 @@ impl ByteDfa {
                         }
                     }
                 }
-                SkipClass::Few2(bc) => {
-                    match self.run_few(bc, &mut state, bytes, pos, base, &mut emit) {
+                SkipClass::Few2(nd) => {
+                    match self.run_few(nd, &mut state, bytes, pos, base, &mut emit) {
                         Some(p) => pos = p,
                         None => pos = len,
                     }
                 }
-                SkipClass::Few8(bc) => {
-                    match self.run_few(bc, &mut state, bytes, pos, base, &mut emit) {
+                SkipClass::Few4(nd) => {
+                    match self.run_few(nd, &mut state, bytes, pos, base, &mut emit) {
+                        Some(p) => pos = p,
+                        None => pos = len,
+                    }
+                }
+                SkipClass::Few8(nd) => {
+                    match self.run_few(nd, &mut state, bytes, pos, base, &mut emit) {
                         Some(p) => pos = p,
                         None => pos = len,
                     }
@@ -205,15 +240,78 @@ impl ByteDfa {
         state
     }
 
-    /// Word-mask scan for one SWAR-class state: computes each 8-byte
-    /// hit mask once and consumes its set bits in place while the
-    /// state is stable. Returns `Some(resume_pos)` when the state
-    /// changed (the caller re-dispatches on the new state's class) or
-    /// `None` when the input is exhausted.
-    #[inline(always)]
+    /// Kernel dispatch for one needle-class state: AVX2 when detected,
+    /// SSE2 on x86_64 otherwise, portable SWAR elsewhere (or when
+    /// `ATGIS_NO_SIMD` forces the fallback).
+    #[inline]
     fn run_few<const N: usize, F: FnMut(u8, u64)>(
         &self,
-        bc: &[u64; N],
+        needles: &[u8; N],
+        state: &mut u8,
+        bytes: &[u8],
+        pos: usize,
+        base: u64,
+        emit: &mut F,
+    ) -> Option<usize> {
+        match simd::kernel() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: dispatch guarantees AVX2 was detected.
+            simd::Kernel::Avx2 => unsafe {
+                self.run_few_avx2(needles, state, bytes, pos, base, emit)
+            },
+            #[cfg(target_arch = "x86_64")]
+            simd::Kernel::Sse2 => self.run_few_masked(
+                simd::x86::Sse2Masker::new(needles),
+                state,
+                bytes,
+                pos,
+                base,
+                emit,
+            ),
+            _ => self.run_few_masked(
+                simd::SwarMasker::new(needles),
+                state,
+                bytes,
+                pos,
+                base,
+                emit,
+            ),
+        }
+    }
+
+    /// AVX2 instantiation of [`Self::run_few_masked`]: the
+    /// `#[target_feature]` wrapper lets the `#[inline(always)]`
+    /// generic body (and the masker's intrinsics) compile with AVX2
+    /// codegen.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (guaranteed by [`simd::kernel`]).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_few_avx2<const N: usize, F: FnMut(u8, u64)>(
+        &self,
+        needles: &[u8; N],
+        state: &mut u8,
+        bytes: &[u8],
+        pos: usize,
+        base: u64,
+        emit: &mut F,
+    ) -> Option<usize> {
+        // SAFETY: caller guarantees AVX2.
+        let m = unsafe { simd::x86::Avx2Masker::new(needles) };
+        self.run_few_masked(m, state, bytes, pos, base, emit)
+    }
+
+    /// Lane-mask scan for one needle-class state, generic over the
+    /// scanning kernel: computes each lane's hit mask once and
+    /// consumes its set bits in place while the state is stable.
+    /// Returns `Some(resume_pos)` when the state changed (the caller
+    /// re-dispatches on the new state's class) or `None` when the
+    /// input is exhausted.
+    #[inline(always)]
+    fn run_few_masked<M: HitMasker, F: FnMut(u8, u64)>(
+        &self,
+        m: M,
         state: &mut u8,
         bytes: &[u8],
         mut pos: usize,
@@ -221,13 +319,16 @@ impl ByteDfa {
         emit: &mut F,
     ) -> Option<usize> {
         let len = bytes.len();
-        while pos + 8 <= len {
-            // SAFETY: the loop condition guarantees 8 readable bytes.
-            let w = unsafe { load_word(bytes, pos) };
-            let mut h = hits(w, bc);
+        while pos + M::WIDTH <= len {
+            // SAFETY: the loop condition guarantees a full lane of
+            // readable bytes; AVX2 maskers are only constructed inside
+            // AVX2-dispatched contexts.
+            let mut h = unsafe { m.mask(bytes.as_ptr().add(pos)) };
             while h != 0 {
-                let i = pos + (h.trailing_zeros() >> 3) as usize;
-                let (next, action) = self.step(*state, bytes[i]);
+                let i = pos + M::index_of(h);
+                // SAFETY: `i < pos + M::WIDTH <= len`.
+                let b = unsafe { *bytes.get_unchecked(i) };
+                let (next, action) = self.step_fast(*state, b);
                 if action != NO_ACTION {
                     emit(action, base + i as u64);
                 }
@@ -237,9 +338,9 @@ impl ByteDfa {
                 }
                 h &= h - 1;
             }
-            pos += 8;
+            pos += M::WIDTH;
         }
-        // Sub-word tail.
+        // Sub-lane tail.
         let map = &self.interesting[*state as usize];
         while pos < len {
             let b = bytes[pos];
@@ -252,6 +353,172 @@ impl ByteDfa {
                 if next != *state {
                     *state = next;
                     return Some(pos);
+                }
+            } else {
+                pos += 1;
+            }
+        }
+        None
+    }
+
+    /// Width dispatch for the fused scan: picks the narrowest needle
+    /// count class that holds the union set (the needle array is
+    /// duplicate-padded, so slicing it is always valid).
+    #[inline]
+    fn run_fused<F: FnMut(u8, u64)>(
+        &self,
+        f: &FusedScan,
+        state: &mut u8,
+        bytes: &[u8],
+        pos: usize,
+        base: u64,
+        emit: &mut F,
+    ) -> Option<usize> {
+        let nd = &f.needles;
+        match f.n {
+            1..=2 => {
+                let nd2: [u8; 2] = [nd[0], nd[1]];
+                self.run_fused_kernel(&nd2, &f.covered, state, bytes, pos, base, emit)
+            }
+            3..=4 => {
+                let nd4: [u8; 4] = [nd[0], nd[1], nd[2], nd[3]];
+                self.run_fused_kernel(&nd4, &f.covered, state, bytes, pos, base, emit)
+            }
+            _ => self.run_fused_kernel(nd, &f.covered, state, bytes, pos, base, emit),
+        }
+    }
+
+    /// Kernel dispatch for the fused scan (mirrors [`Self::run_few`]).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn run_fused_kernel<const N: usize, F: FnMut(u8, u64)>(
+        &self,
+        needles: &[u8; N],
+        covered: &[bool],
+        state: &mut u8,
+        bytes: &[u8],
+        pos: usize,
+        base: u64,
+        emit: &mut F,
+    ) -> Option<usize> {
+        match simd::kernel() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: dispatch guarantees AVX2 was detected.
+            simd::Kernel::Avx2 => unsafe {
+                self.run_fused_avx2(needles, covered, state, bytes, pos, base, emit)
+            },
+            #[cfg(target_arch = "x86_64")]
+            simd::Kernel::Sse2 => self.run_fused_masked(
+                simd::x86::Sse2Masker::new(needles),
+                covered,
+                state,
+                bytes,
+                pos,
+                base,
+                emit,
+            ),
+            _ => self.run_fused_masked(
+                simd::SwarMasker::new(needles),
+                covered,
+                state,
+                bytes,
+                pos,
+                base,
+                emit,
+            ),
+        }
+    }
+
+    /// AVX2 instantiation of [`Self::run_fused_masked`].
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (guaranteed by [`simd::kernel`]).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn run_fused_avx2<const N: usize, F: FnMut(u8, u64)>(
+        &self,
+        needles: &[u8; N],
+        covered: &[bool],
+        state: &mut u8,
+        bytes: &[u8],
+        pos: usize,
+        base: u64,
+        emit: &mut F,
+    ) -> Option<usize> {
+        // SAFETY: caller guarantees AVX2.
+        let m = unsafe { simd::x86::Avx2Masker::new(needles) };
+        self.run_fused_masked(m, covered, state, bytes, pos, base, emit)
+    }
+
+    /// The fused lane loop: scans with the *union* needle masker and
+    /// filters each hit against the current state's interesting bitmap
+    /// (a union hit outside that bitmap is a silent self-loop for the
+    /// current state, so skipping it is exact). State flips among
+    /// covered states swap the bitmap and carry on inside the same
+    /// loop; only a transition into an uncovered (dense/bitmap-class)
+    /// state returns, with `Some(resume_pos)`. `None` means the input
+    /// is exhausted.
+    ///
+    /// Soundness of continuing mid-lane after a flip: the hit mask
+    /// holds *every* union byte in the lane, and the union contains
+    /// the new covered state's whole interesting set, so no byte the
+    /// new state cares about was dropped from `h`.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn run_fused_masked<M: HitMasker, F: FnMut(u8, u64)>(
+        &self,
+        m: M,
+        covered: &[bool],
+        state: &mut u8,
+        bytes: &[u8],
+        mut pos: usize,
+        base: u64,
+        emit: &mut F,
+    ) -> Option<usize> {
+        let len = bytes.len();
+        let mut map = &self.interesting[*state as usize];
+        while pos + M::WIDTH <= len {
+            // SAFETY: the loop condition guarantees a full lane of
+            // readable bytes; AVX2 maskers only exist in AVX2 contexts.
+            let mut h = unsafe { m.mask(bytes.as_ptr().add(pos)) };
+            while h != 0 {
+                let i = pos + M::index_of(h);
+                h &= h - 1;
+                // SAFETY: `i < pos + M::WIDTH <= len`.
+                let b = unsafe { *bytes.get_unchecked(i) };
+                if !bit(map, b) {
+                    continue;
+                }
+                let (next, action) = self.step_fast(*state, b);
+                if action != NO_ACTION {
+                    emit(action, base + i as u64);
+                }
+                if next != *state {
+                    *state = next;
+                    if !covered[next as usize] {
+                        return Some(i + 1);
+                    }
+                    map = &self.interesting[next as usize];
+                }
+            }
+            pos += M::WIDTH;
+        }
+        // Sub-lane tail.
+        while pos < len {
+            let b = bytes[pos];
+            if bit(map, b) {
+                let (next, action) = self.step_fast(*state, b);
+                if action != NO_ACTION {
+                    emit(action, base + pos as u64);
+                }
+                pos += 1;
+                if next != *state {
+                    *state = next;
+                    if !covered[next as usize] {
+                        return Some(pos);
+                    }
+                    map = &self.interesting[next as usize];
                 }
             } else {
                 pos += 1;
@@ -309,18 +576,30 @@ impl DfaBuilder {
     /// Sets the transition for every byte from `from` to `to`
     /// (a "default" edge; override specific bytes afterwards).
     pub fn default_transition(&mut self, from: u8, to: u8) -> &mut Self {
+        assert!(
+            (to as usize) < self.trans.len(),
+            "transition target out of range"
+        );
         self.trans[from as usize] = [to; 256];
         self
     }
 
     /// Sets the transition for one byte.
     pub fn transition(&mut self, from: u8, byte: u8, to: u8) -> &mut Self {
+        assert!(
+            (to as usize) < self.trans.len(),
+            "transition target out of range"
+        );
         self.trans[from as usize][byte as usize] = to;
         self
     }
 
     /// Sets transitions for every byte in `bytes`.
     pub fn transitions(&mut self, from: u8, bytes: &[u8], to: u8) -> &mut Self {
+        assert!(
+            (to as usize) < self.trans.len(),
+            "transition target out of range"
+        );
         for &b in bytes {
             self.trans[from as usize][b as usize] = to;
         }
@@ -366,20 +645,9 @@ impl DfaBuilder {
             let count = map.iter().map(|w| w.count_ones()).sum::<u32>();
             skip.push(match count {
                 0 => SkipClass::All,
-                1..=2 => {
-                    let mut bc = [SWAR_LO.wrapping_mul(needles[0] as u64); 2];
-                    for (slot, &n) in bc.iter_mut().zip(&needles) {
-                        *slot = SWAR_LO.wrapping_mul(n as u64);
-                    }
-                    SkipClass::Few2(bc)
-                }
-                3..=8 => {
-                    let mut bc = [SWAR_LO.wrapping_mul(needles[0] as u64); 8];
-                    for (slot, &n) in bc.iter_mut().zip(&needles) {
-                        *slot = SWAR_LO.wrapping_mul(n as u64);
-                    }
-                    SkipClass::Few8(bc)
-                }
+                1..=2 => SkipClass::Few2(padded_needles(&needles)),
+                3..=4 => SkipClass::Few4(padded_needles(&needles)),
+                5..=8 => SkipClass::Few8(padded_needles(&needles)),
                 // Past ~1/3 interesting bytes the probe loop stops
                 // paying for itself; walk the table.
                 9..=96 => SkipClass::Bitmap,
@@ -387,14 +655,59 @@ impl DfaBuilder {
             });
             interesting.push(map);
         }
+
+        // Fused-scan plan: union the interesting sets of every state
+        // the fused loop can run (needle-class and all-skip states).
+        // If the union still fits eight needles, one fixed masker
+        // covers state flips among those states — the JSON lexer's
+        // OUT/STR pair unions to exactly the eight structural bytes.
+        let covered: Vec<bool> = skip
+            .iter()
+            .map(|c| {
+                matches!(
+                    c,
+                    SkipClass::All | SkipClass::Few2(_) | SkipClass::Few4(_) | SkipClass::Few8(_)
+                )
+            })
+            .collect();
+        let mut union = [0u64; 4];
+        for (s, cov) in covered.iter().enumerate() {
+            if *cov {
+                for (acc, w) in union.iter_mut().zip(&interesting[s]) {
+                    *acc |= w;
+                }
+            }
+        }
+        let fused = match needle_set(&union) {
+            Some((needles, count)) if count >= 1 => Some(FusedScan {
+                needles,
+                n: count,
+                covered,
+            }),
+            _ => None,
+        };
+
         ByteDfa {
             n_states: n,
             start: self.start,
             table,
             interesting,
             skip,
+            fused,
         }
     }
+}
+
+/// Copies `needles` into a fixed-size array, padding the remainder by
+/// repeating the last needle (duplicate compares are wasted work but
+/// never false hits). `needles` must be non-empty and at most `N`
+/// long.
+#[inline]
+fn padded_needles<const N: usize>(needles: &[u8]) -> [u8; N] {
+    debug_assert!(!needles.is_empty() && needles.len() <= N);
+    let mut out = [needles[needles.len() - 1]; N];
+    out[..needles.len()].copy_from_slice(needles);
+    out
 }
 
 /// A speculative fragment of a byte DFA run over one block.
@@ -420,72 +733,144 @@ pub struct DfaFragment<O> {
     converged: bool,
 }
 
+/// One distinct speculative trajectory inside
+/// [`DfaFragment::run_block`]. Several start states may alias the same
+/// run: duplicates in `starts`, or runs that collapsed onto the same
+/// state before emitting anything.
+struct Run<O> {
+    state: u8,
+    tape: O,
+    /// True once any action has been folded into `tape`; runs with
+    /// equal states may only be deduplicated while both are still
+    /// silent (their pasts are provably identical: empty).
+    emitted: bool,
+}
+
 impl<O: Mergeable + Clone> DfaFragment<O> {
     /// Builds the fragment for `bytes` speculating from each state in
     /// `starts`. `build(tape, action, absolute_position, byte)` folds
     /// emitted actions into the per-start tape; `base` is the block's
     /// absolute offset in the input, so emitted positions are global.
     ///
-    /// The speculative phase advances all runs in lockstep, skipping
-    /// bytes that are uninteresting to *every* live state (the
-    /// intersection of the per-state skip sets); once all runs
-    /// converge, a single bulk-scanned shared run covers the rest of
-    /// the block and its tape is stored once.
+    /// The speculative phase advances all *distinct* runs in lockstep
+    /// — duplicate start states share a run from the first byte, and
+    /// runs that land in the same state before emitting anything are
+    /// folded as they collapse (the cheap lookahead pruning: a JSON
+    /// escape start folds into the in-string start after one
+    /// non-special byte). Bytes uninteresting to every live run are
+    /// self-loops with no action for all of them, so the lockstep skip
+    /// scans with the same lane kernels as the shared phase whenever
+    /// the union interesting set fits eight needles, and falls back to
+    /// the bitmap probe otherwise. Once all runs converge, a single
+    /// bulk-scanned shared run covers the rest of the block and its
+    /// tape is stored once.
     pub fn run_block<F>(dfa: &ByteDfa, starts: &[u8], bytes: &[u8], base: u64, mut build: F) -> Self
     where
         F: FnMut(&mut O, u8, u64, u8),
     {
-        let mut states: Vec<u8> = starts.to_vec();
-        let mut tapes: Vec<O> = starts.iter().map(|_| O::identity()).collect();
-        let mut pos = 0usize;
+        let len = bytes.len();
+        // Distinct trajectories + alias map from `starts` indices.
+        let mut runs: Vec<Run<O>> = Vec::new();
+        let mut alias: Vec<usize> = Vec::with_capacity(starts.len());
+        let mut seen: Vec<u8> = Vec::new();
+        for &s in starts {
+            if let Some(j) = seen.iter().position(|&x| x == s) {
+                alias.push(j);
+            } else {
+                alias.push(runs.len());
+                seen.push(s);
+                runs.push(Run {
+                    state: s,
+                    tape: O::identity(),
+                    emitted: false,
+                });
+            }
+        }
 
-        // Speculative phase: all start states in lockstep until
-        // convergence. Bytes uninteresting to every live state are
-        // self-loops with no action for all runs, so they can be
-        // skipped wholesale via the ANDed interesting sets.
-        let mut live = combined_interesting(dfa, &states);
-        while pos < bytes.len() {
-            let converged = states.windows(2).all(|w| w[0] == w[1]);
-            if converged {
-                break;
-            }
-            if !bit(&live, bytes[pos]) {
-                pos = bitmap_find(&live, bytes, pos + 1);
-                if pos >= bytes.len() {
-                    break;
+        // Speculative phase: all distinct runs in lockstep until they
+        // fold into one or all reach the same state.
+        let mut pos = 0usize;
+        while pos < len && !states_all_equal(&runs) {
+            // Fused lockstep: while every live run sits in a state
+            // covered by the DFA's union needle set, one fixed masker
+            // survives state flips (quote parity flips OUT↔STR without
+            // ever converging) — no per-flip masker rebuild.
+            if let Some(f) = &dfa.fused {
+                if runs.iter().all(|r| f.covered[r.state as usize]) {
+                    pos =
+                        lockstep_fused(dfa, f, &mut runs, &mut alias, bytes, pos, base, &mut build);
+                    continue;
                 }
             }
-            let b = bytes[pos];
-            for (state, tape) in states.iter_mut().zip(tapes.iter_mut()) {
-                let (next, action) = dfa.step(*state, b);
-                if action != NO_ACTION {
-                    build(tape, action, base + pos as u64, b);
+            let live = combined_interesting(dfa, &runs);
+            match needle_set(&live) {
+                Some((_, 0)) => {
+                    // No live run has interesting bytes left: the rest
+                    // of the block is a silent self-loop for everyone.
+                    pos = len;
                 }
-                *state = next;
+                Some((nd, n)) => {
+                    pos = lockstep_dispatch(
+                        dfa, &live, &nd, n, &mut runs, &mut alias, bytes, pos, base, &mut build,
+                    );
+                }
+                None => {
+                    // Dense union (e.g. a default-transition escape
+                    // state is live): step this byte for every run,
+                    // then re-evaluate — folding usually retires the
+                    // dense state within a byte or two.
+                    let b = bytes[pos];
+                    step_all_at(dfa, &mut runs, &mut alias, b, base + pos as u64, &mut build);
+                    pos += 1;
+                }
             }
-            live = combined_interesting(dfa, &states);
-            pos += 1;
         }
 
         // Shared phase: one bulk-scanned run, tape stored once.
         let mut shared = O::identity();
-        let converged = states.windows(2).all(|w| w[0] == w[1]);
-        if converged && pos < bytes.len() {
-            let fin = dfa.run(states[0], &bytes[pos..], base + pos as u64, |action, p| {
-                build(&mut shared, action, p, bytes[(p - base) as usize]);
-            });
-            for state in states.iter_mut() {
-                *state = fin;
+        let converged = states_all_equal(&runs);
+        if converged && pos < len {
+            let fin = dfa.run(
+                runs[0].state,
+                &bytes[pos..],
+                base + pos as u64,
+                |action, p| {
+                    build(&mut shared, action, p, bytes[(p - base) as usize]);
+                },
+            );
+            for run in runs.iter_mut() {
+                run.state = fin;
             }
         }
 
+        // Realise entries through the alias map; each run's tape moves
+        // into its last aliased entry and is cloned for the others.
+        let mut refs = vec![0usize; runs.len()];
+        for &j in &alias {
+            refs[j] += 1;
+        }
+        let mut slots: Vec<(u8, Option<O>)> =
+            runs.into_iter().map(|r| (r.state, Some(r.tape))).collect();
+        let entries = starts
+            .iter()
+            .zip(&alias)
+            .map(|(&s, &j)| {
+                refs[j] -= 1;
+                let tape = if refs[j] == 0 {
+                    slots[j].1.take().expect("tape moved once")
+                } else {
+                    slots[j]
+                        .1
+                        .as_ref()
+                        .expect("tape live until last ref")
+                        .clone()
+                };
+                (s, slots[j].0, tape)
+            })
+            .collect();
+
         DfaFragment {
-            entries: starts
-                .iter()
-                .zip(states)
-                .zip(tapes)
-                .map(|((&s, f), t)| (s, f, t))
-                .collect(),
+            entries,
             shared,
             converged,
         }
@@ -629,18 +1014,521 @@ impl<O: Mergeable + Clone> DfaFragment<O> {
     }
 }
 
-/// OR of the interesting sets of the live states: a byte may be
-/// skipped in lockstep only when it is uninteresting to *every* live
-/// run, i.e. outside the union of their interesting sets. (The
-/// speculation set is tiny, so the quadratic dedup beats any table.)
+/// True when every live run is in the same state (vacuously true for a
+/// single run).
 #[inline]
-fn combined_interesting(dfa: &ByteDfa, states: &[u8]) -> [u64; 4] {
-    let mut map = [0u64; 4];
-    for (i, &s) in states.iter().enumerate() {
-        if states[..i].contains(&s) {
-            continue;
+fn states_all_equal<O>(runs: &[Run<O>]) -> bool {
+    runs.windows(2).all(|w| w[0].state == w[1].state)
+}
+
+/// Steps every live run on byte `b` (emitting into its tape), folds
+/// runs that collapsed onto the same still-silent trajectory, and
+/// reports whether any run changed state — the caller's signal that
+/// the union interesting set (and its needle masker) may be stale.
+#[inline(always)]
+fn step_all_at<O: Mergeable + Clone, F: FnMut(&mut O, u8, u64, u8)>(
+    dfa: &ByteDfa,
+    runs: &mut Vec<Run<O>>,
+    alias: &mut [usize],
+    b: u8,
+    at: u64,
+    build: &mut F,
+) -> bool {
+    let mut changed = false;
+    for run in runs.iter_mut() {
+        let (next, action) = dfa.step_fast(run.state, b);
+        if action != NO_ACTION {
+            build(&mut run.tape, action, at, b);
+            run.emitted = true;
         }
-        let m = dfa.interesting_set(s);
+        if next != run.state {
+            run.state = next;
+            changed = true;
+        }
+    }
+    if changed {
+        fold_runs(runs, alias);
+    }
+    changed
+}
+
+/// Deduplicates runs that are in the same state with both tapes still
+/// empty: their pasts (nothing emitted) and futures (same state in a
+/// deterministic machine) are identical, so one run serves both start
+/// states. Alias entries are remapped to the surviving run.
+fn fold_runs<O>(runs: &mut Vec<Run<O>>, alias: &mut [usize]) {
+    let mut i = 0;
+    while i < runs.len() {
+        let mut k = i + 1;
+        while k < runs.len() {
+            if runs[i].state == runs[k].state && !runs[i].emitted && !runs[k].emitted {
+                runs.remove(k);
+                for a in alias.iter_mut() {
+                    if *a == k {
+                        *a = i;
+                    } else if *a > k {
+                        *a -= 1;
+                    }
+                }
+            } else {
+                k += 1;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Extracts the needle bytes of `map` when they fit a lane scanner:
+/// `Some((needles, count))` for at most 8 set bits (count may be 0),
+/// `None` for denser sets.
+fn needle_set(map: &[u64; 4]) -> Option<([u8; 8], usize)> {
+    let count = map.iter().map(|w| w.count_ones()).sum::<u32>() as usize;
+    if count > 8 {
+        return None;
+    }
+    let mut nd = [0u8; 8];
+    let mut n = 0;
+    for (wi, &word) in map.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            nd[n] = (wi as u8) << 6 | w.trailing_zeros() as u8;
+            n += 1;
+            w &= w - 1;
+        }
+    }
+    // Pad with a duplicate so unused compare slots never false-hit.
+    let pad = nd[n.saturating_sub(1)];
+    for slot in nd.iter_mut().skip(n.max(1)) {
+        *slot = pad;
+    }
+    Some((nd, n))
+}
+
+/// Width dispatch for the fused lockstep (mirrors
+/// [`ByteDfa::run_fused`]): scans with the DFA-wide union needle set,
+/// which outlives state flips among covered states.
+#[allow(clippy::too_many_arguments)]
+fn lockstep_fused<O: Mergeable + Clone, F: FnMut(&mut O, u8, u64, u8)>(
+    dfa: &ByteDfa,
+    f: &FusedScan,
+    runs: &mut Vec<Run<O>>,
+    alias: &mut [usize],
+    bytes: &[u8],
+    pos: usize,
+    base: u64,
+    build: &mut F,
+) -> usize {
+    let nd = &f.needles;
+    match f.n {
+        1..=2 => {
+            let nd2: [u8; 2] = [nd[0], nd[1]];
+            lockstep_fused_kernel(dfa, &nd2, &f.covered, runs, alias, bytes, pos, base, build)
+        }
+        3..=4 => {
+            let nd4: [u8; 4] = [nd[0], nd[1], nd[2], nd[3]];
+            lockstep_fused_kernel(dfa, &nd4, &f.covered, runs, alias, bytes, pos, base, build)
+        }
+        _ => lockstep_fused_kernel(dfa, nd, &f.covered, runs, alias, bytes, pos, base, build),
+    }
+}
+
+/// Kernel dispatch for the fused lockstep.
+#[allow(clippy::too_many_arguments)]
+fn lockstep_fused_kernel<const N: usize, O: Mergeable + Clone, F: FnMut(&mut O, u8, u64, u8)>(
+    dfa: &ByteDfa,
+    nd: &[u8; N],
+    covered: &[bool],
+    runs: &mut Vec<Run<O>>,
+    alias: &mut [usize],
+    bytes: &[u8],
+    pos: usize,
+    base: u64,
+    build: &mut F,
+) -> usize {
+    match simd::kernel() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: dispatch guarantees AVX2 was detected.
+        simd::Kernel::Avx2 => unsafe {
+            lockstep_fused_avx2(dfa, nd, covered, runs, alias, bytes, pos, base, build)
+        },
+        #[cfg(target_arch = "x86_64")]
+        simd::Kernel::Sse2 => lockstep_fused_masked(
+            dfa,
+            simd::x86::Sse2Masker::new(nd),
+            covered,
+            runs,
+            alias,
+            bytes,
+            pos,
+            base,
+            build,
+        ),
+        _ => lockstep_fused_masked(
+            dfa,
+            simd::SwarMasker::new(nd),
+            covered,
+            runs,
+            alias,
+            bytes,
+            pos,
+            base,
+            build,
+        ),
+    }
+}
+
+/// AVX2 instantiation of [`lockstep_fused_masked`].
+///
+/// # Safety
+/// The CPU must support AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn lockstep_fused_avx2<
+    const N: usize,
+    O: Mergeable + Clone,
+    F: FnMut(&mut O, u8, u64, u8),
+>(
+    dfa: &ByteDfa,
+    nd: &[u8; N],
+    covered: &[bool],
+    runs: &mut Vec<Run<O>>,
+    alias: &mut [usize],
+    bytes: &[u8],
+    pos: usize,
+    base: u64,
+    build: &mut F,
+) -> usize {
+    // SAFETY: caller guarantees AVX2.
+    let m = unsafe { simd::x86::Avx2Masker::new(nd) };
+    lockstep_fused_masked(dfa, m, covered, runs, alias, bytes, pos, base, build)
+}
+
+/// Fused lockstep lane loop: scans with the DFA-wide union masker and
+/// filters hits against the live runs' combined interesting set (a hit
+/// outside it is a silent self-loop for every live run). State changes
+/// recompute the combined set and carry on inside the same loop; the
+/// scan only returns when speculation converges, a run enters an
+/// uncovered state, or the input is exhausted.
+///
+/// Mid-lane continuation is sound for the same reason as
+/// [`ByteDfa::run_fused_masked`]: the hit mask holds every union byte
+/// of the lane, and the union contains every covered state's whole
+/// interesting set.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn lockstep_fused_masked<M: HitMasker, O: Mergeable + Clone, F: FnMut(&mut O, u8, u64, u8)>(
+    dfa: &ByteDfa,
+    m: M,
+    covered: &[bool],
+    runs: &mut Vec<Run<O>>,
+    alias: &mut [usize],
+    bytes: &[u8],
+    mut pos: usize,
+    base: u64,
+    build: &mut F,
+) -> usize {
+    let len = bytes.len();
+    // Steady state: exactly two runs that have both emitted can never
+    // fold, so all run bookkeeping drops away (the JSON quote-parity
+    // pair lives here for whole blocks).
+    if let [r0, r1] = runs.as_mut_slice() {
+        if r0.emitted && r1.emitted {
+            return lockstep_fused2_masked(dfa, m, covered, r0, r1, bytes, pos, base, build);
+        }
+    }
+    let mut live = combined_interesting(dfa, runs);
+    while pos + M::WIDTH <= len {
+        // SAFETY: the loop condition guarantees a full lane of
+        // readable bytes; AVX2 maskers only exist in AVX2 contexts.
+        let mut h = unsafe { m.mask(bytes.as_ptr().add(pos)) };
+        while h != 0 {
+            let i = pos + M::index_of(h);
+            h &= h - 1;
+            // SAFETY: `i < pos + M::WIDTH <= len`.
+            let b = unsafe { *bytes.get_unchecked(i) };
+            if !bit(&live, b) {
+                continue;
+            }
+            if step_all_at(dfa, runs, alias, b, base + i as u64, build) {
+                if states_all_equal(runs) || runs.iter().any(|r| !covered[r.state as usize]) {
+                    return i + 1;
+                }
+                if let [r0, r1] = runs.as_mut_slice() {
+                    if r0.emitted && r1.emitted {
+                        return lockstep_fused2_masked(
+                            dfa,
+                            m,
+                            covered,
+                            r0,
+                            r1,
+                            bytes,
+                            i + 1,
+                            base,
+                            build,
+                        );
+                    }
+                }
+                live = combined_interesting(dfa, runs);
+            }
+        }
+        pos += M::WIDTH;
+    }
+    // Sub-lane tail: bitmap probe over the combined live set.
+    while pos < len {
+        let b = bytes[pos];
+        if bit(&live, b) {
+            let changed = step_all_at(dfa, runs, alias, b, base + pos as u64, build);
+            pos += 1;
+            if changed {
+                if states_all_equal(runs) || runs.iter().any(|r| !covered[r.state as usize]) {
+                    return pos;
+                }
+                live = combined_interesting(dfa, runs);
+            }
+        } else {
+            pos += 1;
+        }
+    }
+    pos
+}
+
+/// The two-run steady-state lockstep: both runs have emitted (no fold
+/// is possible any more), so their states live in registers and each
+/// hit is just two table steps — no `Vec` walk, no fold or alias
+/// bookkeeping. Returns on convergence (`s0 == s1`), on a transition
+/// into an uncovered state, or at end of input.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn lockstep_fused2_masked<M: HitMasker, O: Mergeable + Clone, F: FnMut(&mut O, u8, u64, u8)>(
+    dfa: &ByteDfa,
+    m: M,
+    covered: &[bool],
+    r0: &mut Run<O>,
+    r1: &mut Run<O>,
+    bytes: &[u8],
+    mut pos: usize,
+    base: u64,
+    build: &mut F,
+) -> usize {
+    let len = bytes.len();
+    let mut s0 = r0.state;
+    let mut s1 = r1.state;
+    let mut live = union2(dfa, s0, s1);
+    macro_rules! hit {
+        ($b:expr, $i:expr, $resume:expr) => {{
+            let (n0, a0) = dfa.step_fast(s0, $b);
+            let (n1, a1) = dfa.step_fast(s1, $b);
+            if a0 != NO_ACTION {
+                build(&mut r0.tape, a0, base + $i as u64, $b);
+            }
+            if a1 != NO_ACTION {
+                build(&mut r1.tape, a1, base + $i as u64, $b);
+            }
+            if n0 != s0 || n1 != s1 {
+                s0 = n0;
+                s1 = n1;
+                if s0 == s1 || !covered[s0 as usize] || !covered[s1 as usize] {
+                    r0.state = s0;
+                    r1.state = s1;
+                    return $resume;
+                }
+                live = union2(dfa, s0, s1);
+            }
+        }};
+    }
+    while pos + M::WIDTH <= len {
+        // SAFETY: the loop condition guarantees a full lane of
+        // readable bytes; AVX2 maskers only exist in AVX2 contexts.
+        let mut h = unsafe { m.mask(bytes.as_ptr().add(pos)) };
+        while h != 0 {
+            let i = pos + M::index_of(h);
+            h &= h - 1;
+            // SAFETY: `i < pos + M::WIDTH <= len`.
+            let b = unsafe { *bytes.get_unchecked(i) };
+            if !bit(&live, b) {
+                continue;
+            }
+            hit!(b, i, i + 1);
+        }
+        pos += M::WIDTH;
+    }
+    while pos < len {
+        let b = bytes[pos];
+        if bit(&live, b) {
+            hit!(b, pos, pos + 1);
+        }
+        pos += 1;
+    }
+    r0.state = s0;
+    r1.state = s1;
+    pos
+}
+
+/// OR of two states' interesting sets.
+#[inline(always)]
+fn union2(dfa: &ByteDfa, s0: u8, s1: u8) -> [u64; 4] {
+    let a = &dfa.interesting[s0 as usize];
+    let b = &dfa.interesting[s1 as usize];
+    [a[0] | b[0], a[1] | b[1], a[2] | b[2], a[3] | b[3]]
+}
+
+/// Picks the needle width and kernel for one lockstep span and runs it.
+/// Returns the resume position: either the input is exhausted, or a
+/// state changed / runs folded and the caller must re-derive the union
+/// set.
+#[allow(clippy::too_many_arguments)]
+fn lockstep_dispatch<O: Mergeable + Clone, F: FnMut(&mut O, u8, u64, u8)>(
+    dfa: &ByteDfa,
+    live: &[u64; 4],
+    nd: &[u8; 8],
+    n: usize,
+    runs: &mut Vec<Run<O>>,
+    alias: &mut [usize],
+    bytes: &[u8],
+    pos: usize,
+    base: u64,
+    build: &mut F,
+) -> usize {
+    match n {
+        1..=2 => {
+            let nd2: [u8; 2] = [nd[0], nd[1.min(n - 1)]];
+            lockstep_kernel(dfa, live, &nd2, runs, alias, bytes, pos, base, build)
+        }
+        3..=4 => {
+            let nd4: [u8; 4] = [nd[0], nd[1], nd[2], nd[3.min(n - 1)]];
+            lockstep_kernel(dfa, live, &nd4, runs, alias, bytes, pos, base, build)
+        }
+        _ => lockstep_kernel(dfa, live, nd, runs, alias, bytes, pos, base, build),
+    }
+}
+
+/// Kernel dispatch for one lockstep span (mirrors
+/// [`ByteDfa::run_few`]).
+#[allow(clippy::too_many_arguments)]
+fn lockstep_kernel<const N: usize, O: Mergeable + Clone, F: FnMut(&mut O, u8, u64, u8)>(
+    dfa: &ByteDfa,
+    live: &[u64; 4],
+    nd: &[u8; N],
+    runs: &mut Vec<Run<O>>,
+    alias: &mut [usize],
+    bytes: &[u8],
+    pos: usize,
+    base: u64,
+    build: &mut F,
+) -> usize {
+    match simd::kernel() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: dispatch guarantees AVX2 was detected.
+        simd::Kernel::Avx2 => unsafe {
+            lockstep_avx2(dfa, live, nd, runs, alias, bytes, pos, base, build)
+        },
+        #[cfg(target_arch = "x86_64")]
+        simd::Kernel::Sse2 => lockstep_masked(
+            dfa,
+            simd::x86::Sse2Masker::new(nd),
+            live,
+            runs,
+            alias,
+            bytes,
+            pos,
+            base,
+            build,
+        ),
+        _ => lockstep_masked(
+            dfa,
+            simd::SwarMasker::new(nd),
+            live,
+            runs,
+            alias,
+            bytes,
+            pos,
+            base,
+            build,
+        ),
+    }
+}
+
+/// AVX2 instantiation of [`lockstep_masked`].
+///
+/// # Safety
+/// The CPU must support AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn lockstep_avx2<const N: usize, O: Mergeable + Clone, F: FnMut(&mut O, u8, u64, u8)>(
+    dfa: &ByteDfa,
+    live: &[u64; 4],
+    nd: &[u8; N],
+    runs: &mut Vec<Run<O>>,
+    alias: &mut [usize],
+    bytes: &[u8],
+    pos: usize,
+    base: u64,
+    build: &mut F,
+) -> usize {
+    // SAFETY: caller guarantees AVX2.
+    let m = unsafe { simd::x86::Avx2Masker::new(nd) };
+    lockstep_masked(dfa, m, live, runs, alias, bytes, pos, base, build)
+}
+
+/// One vectorised lockstep span: scans lanes for bytes in the union
+/// interesting set, stepping *every* live run at each hit (bytes
+/// outside the set are silent self-loops for all of them). Returns as
+/// soon as any run changes state or folds — the union set may have
+/// changed, so the caller rebuilds the masker — or when the input is
+/// exhausted.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn lockstep_masked<M: HitMasker, O: Mergeable + Clone, F: FnMut(&mut O, u8, u64, u8)>(
+    dfa: &ByteDfa,
+    m: M,
+    live: &[u64; 4],
+    runs: &mut Vec<Run<O>>,
+    alias: &mut [usize],
+    bytes: &[u8],
+    mut pos: usize,
+    base: u64,
+    build: &mut F,
+) -> usize {
+    let len = bytes.len();
+    while pos + M::WIDTH <= len {
+        // SAFETY: the loop condition guarantees a full lane of
+        // readable bytes; AVX2 maskers only exist in AVX2 contexts.
+        let mut h = unsafe { m.mask(bytes.as_ptr().add(pos)) };
+        while h != 0 {
+            let i = pos + M::index_of(h);
+            if step_all_at(dfa, runs, alias, bytes[i], base + i as u64, build) {
+                return i + 1;
+            }
+            h &= h - 1;
+        }
+        pos += M::WIDTH;
+    }
+    // Sub-lane tail: bitmap probe over the union set.
+    while pos < len {
+        let b = bytes[pos];
+        if bit(live, b) {
+            let changed = step_all_at(dfa, runs, alias, b, base + pos as u64, build);
+            pos += 1;
+            if changed {
+                return pos;
+            }
+        } else {
+            pos += 1;
+        }
+    }
+    pos
+}
+
+/// OR of the interesting sets of the live runs: a byte may be skipped
+/// in lockstep only when it is uninteresting to *every* live run, i.e.
+/// outside the union of their interesting sets.
+#[inline]
+fn combined_interesting<O>(dfa: &ByteDfa, runs: &[Run<O>]) -> [u64; 4] {
+    let mut map = [0u64; 4];
+    for run in runs {
+        let m = dfa.interesting_set(run.state);
         for (acc, w) in map.iter_mut().zip(m) {
             *acc |= w;
         }
@@ -721,6 +1609,23 @@ mod tests {
         )
     }
 
+    /// Reference fragment: independent bytewise runs per start state,
+    /// fully realised. `run_block` must be logically equal to this for
+    /// every input and every kernel.
+    fn reference_frag(input: &[u8], base: u64) -> DfaFragment<Vec<u64>> {
+        let dfa = string_lexer();
+        DfaFragment::from_entries(
+            [0u8, 1, 2]
+                .iter()
+                .map(|&s| {
+                    let mut tape = Vec::new();
+                    let fin = dfa.run_bytewise(s, input, base, |_a, p| tape.push(p));
+                    (s, fin, tape)
+                })
+                .collect(),
+        )
+    }
+
     #[test]
     fn sequential_lexing_skips_quoted_commas() {
         assert_eq!(count_commas_seq(b"a,b,\"x,y\",c,"), 4);
@@ -754,8 +1659,8 @@ mod tests {
     #[test]
     fn skip_classes_are_assigned() {
         // State 1 (in-string) has exactly two interesting bytes — the
-        // SWAR class; a state with none gets All; a default-transition
-        // state to elsewhere is Dense.
+        // two-needle class; a state with none gets All; a
+        // default-transition state to elsewhere is Dense.
         let dfa = string_lexer();
         assert!(matches!(dfa.skip[1], SkipClass::Few2(..)));
         assert!(matches!(dfa.skip[2], SkipClass::Dense));
@@ -767,6 +1672,12 @@ mod tests {
         }
         let wide = wide.build();
         assert!(matches!(wide.skip[0], SkipClass::Bitmap));
+        let mut three = DfaBuilder::new(2, 0);
+        three.transitions(0, b"abc", 1);
+        assert!(matches!(three.build().skip[0], SkipClass::Few4(..)));
+        let mut six = DfaBuilder::new(2, 0);
+        six.transitions(0, b"abcdef", 1);
+        assert!(matches!(six.build().skip[0], SkipClass::Few8(..)));
     }
 
     #[test]
@@ -844,6 +1755,49 @@ mod tests {
         assert_eq!(g.distinct_finishing_states(), 2);
     }
 
+    #[test]
+    fn run_block_handles_duplicate_start_states() {
+        let dfa = string_lexer();
+        let input = b"a,\"b,\"c,";
+        let f = DfaFragment::run_block(
+            &dfa,
+            &[0, 1, 0, 2, 1],
+            input,
+            0,
+            |tape: &mut Vec<u64>, _a, pos, _b| tape.push(pos),
+        );
+        let entries = f.into_entries();
+        assert_eq!(entries.len(), 5);
+        assert_eq!(entries[0].0, 0);
+        assert_eq!(entries[2].0, 0);
+        assert_eq!(entries[0], entries[2], "aliased starts realise identically");
+        for (s, fin, tape) in entries {
+            let mut want = Vec::new();
+            let wf = dfa.run_bytewise(s, input, 0, |_a, p| want.push(p));
+            assert_eq!(fin, wf);
+            assert_eq!(tape, want);
+        }
+    }
+
+    #[test]
+    fn vectorised_lockstep_matches_reference_on_unconverging_input() {
+        // Quote parity keeps OUT/STR speculation unconverged for the
+        // whole block, driving the full-lane lockstep path; mix long
+        // silent spans (lane skips) with hit-dense spans.
+        let mut input = Vec::new();
+        for i in 0..64 {
+            input.extend_from_slice(b"plain text with no structure at all............");
+            input.extend_from_slice(b"\"k\":1,\"v\":2,,,");
+            if i % 7 == 0 {
+                input.extend_from_slice(b"\\\"esc\\\\");
+            }
+        }
+        for cut in [0, 1, 7, 15, 16, 17, 31, 32, 33, 63, 64, input.len()] {
+            let sub = &input[cut..];
+            assert_eq!(frag(sub, 3), reference_frag(sub, 3), "offset {cut}");
+        }
+    }
+
     fn arb_input() -> impl Strategy<Value = Vec<u8>> {
         prop::collection::vec(prop::sample::select(b"ab,\"\\ :x".to_vec()), 0..120)
     }
@@ -894,6 +1848,11 @@ mod tests {
             let fs = dfa.run_bytewise(start, &input, 0, |a, p| slow.push((a, p)));
             prop_assert_eq!(ff, fs);
             prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn run_block_equals_independent_bytewise_runs(input in arb_input(), base in 0u64..1000) {
+            prop_assert_eq!(frag(&input, base), reference_frag(&input, base));
         }
     }
 }

@@ -37,9 +37,14 @@
 //!   speculative/main state pair of Fig. 4 (§3.3);
 //! * [`merge`] — the [`merge::Mergeable`] trait every fragment
 //!   implements, plus blanket impls for tuples, vectors and numbers;
-//! * [`scan`] — the shared SWAR byte-scanning primitives
-//!   (`memchr`/`memchr2` and the zero-byte-detect masks) that both the
-//!   DFA fast path and the `atgis-formats` scanners build on.
+//! * [`scan`] — the shared byte-scanning primitives
+//!   (`memchr`/`memchr2`/`memchr_n`, lexeme span classes, and the
+//!   zero-byte-detect masks) that both the DFA fast path and the
+//!   `atgis-formats` scanners build on;
+//! * [`simd`] — the runtime-dispatched explicit SIMD kernels behind
+//!   [`scan`] (SSE2 baseline + AVX2 behind a cached
+//!   `is_x86_feature_detected!` probe, SWAR as the portable fallback,
+//!   `ATGIS_NO_SIMD=1` forcing the fallback for differential testing).
 //!
 //! The defining invariant, property-tested throughout, is
 //! **split-invariance**: for any input `s` and any split `s = s₁ ‖ s₂`,
@@ -62,6 +67,7 @@ pub mod dyck;
 pub mod flushing;
 pub mod merge;
 pub mod scan;
+pub mod simd;
 pub mod stateless;
 
 pub use aggregation::AggregationTransducer;
