@@ -17,10 +17,9 @@
 //!   (multi-threaded), optionally refining with full geometry (the
 //!   paper's `-B` vs `-G` variants). Joins build the full candidate
 //!   cross product in memory, reproducing MonetDB's failure mode;
-//! * [`cluster_sim`] — a Hadoop-like map/reduce execution with
-//!   configurable per-job startup latency and per-record shuffle
-//!   cost, the overheads that dominate Hadoop-GIS/SpatialHadoop in
-//!   Fig. 10.
+//! * the Hadoop-like map/reduce comparator (`cluster_sim`) lives in
+//!   the bench harness (`atgis-bench`), not here: it is a figure
+//!   comparator only, never an oracle for correctness tests.
 //!
 //! See `ARCHITECTURE.md` at the repository root for how this crate
 //! fits into the workspace as the oracle/baseline support crate of the four-layer design,
@@ -30,7 +29,6 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-pub mod cluster_sim;
 pub mod column_scan;
 pub mod indexed;
 pub mod sequential;

@@ -6,7 +6,7 @@
 use atgis::executor::run_blocks;
 use atgis::pool::JobFault;
 use atgis::{Engine, Query};
-use atgis_bench::Workload;
+use atgis_bench::{RunExt, Workload};
 use atgis_formats::geojson::lexer;
 use atgis_formats::{fixed_blocks, Mode};
 use atgis_geometry::Mbr;
@@ -79,7 +79,7 @@ fn bench_scaling(c: &mut Criterion) {
         for (mode, name) in [(Mode::Pat, "PAT"), (Mode::Fat, "FAT")] {
             let e = engine(t, mode);
             group.bench_with_input(BenchmarkId::new(name, t), &t, |b, _| {
-                b.iter(|| e.execute(&Query::containment(region), &w.osm_g).unwrap())
+                b.iter(|| e.exec1(&Query::containment(region), &w.osm_g).unwrap())
             });
         }
     }
@@ -92,7 +92,7 @@ fn bench_scaling(c: &mut Criterion) {
         for (mode, name) in [(Mode::Pat, "PAT"), (Mode::Fat, "FAT")] {
             let e = engine(t, mode);
             group.bench_with_input(BenchmarkId::new(name, t), &t, |b, _| {
-                b.iter(|| e.execute(&Query::aggregation(region), &w.osm_g).unwrap())
+                b.iter(|| e.exec1(&Query::aggregation(region), &w.osm_g).unwrap())
             });
         }
     }
@@ -104,7 +104,7 @@ fn bench_scaling(c: &mut Criterion) {
     for t in thread_counts() {
         let e = engine(t, Mode::Pat);
         group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
-            b.iter(|| e.execute(&Query::join(threshold), &w.osm_g).unwrap())
+            b.iter(|| e.exec1(&Query::join(threshold), &w.osm_g).unwrap())
         });
     }
     group.finish();

@@ -3,8 +3,9 @@
 //! simulated-cluster baselines.
 
 use atgis::{Engine, Query};
-use atgis_baselines::{cluster_sim, column_scan, indexed, sequential, BaselineQuery};
-use atgis_bench::Workload;
+use atgis_baselines::{column_scan, indexed, sequential, BaselineQuery};
+use atgis_bench::cluster_sim;
+use atgis_bench::{RunExt, Workload};
 use atgis_formats::{Format, Mode};
 use atgis_geometry::Mbr;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -19,11 +20,11 @@ fn bench_systems(c: &mut Criterion) {
 
     let pat = Engine::builder().threads(threads).mode(Mode::Pat).build();
     group.bench_function("atgis_pat", |b| {
-        b.iter(|| pat.execute(&Query::containment(region), &w.osm_g).unwrap())
+        b.iter(|| pat.exec1(&Query::containment(region), &w.osm_g).unwrap())
     });
     let fat = Engine::builder().threads(threads).mode(Mode::Fat).build();
     group.bench_function("atgis_fat", |b| {
-        b.iter(|| fat.execute(&Query::containment(region), &w.osm_g).unwrap())
+        b.iter(|| fat.exec1(&Query::containment(region), &w.osm_g).unwrap())
     });
     group.bench_function("sequential", |b| {
         b.iter(|| {
@@ -89,7 +90,7 @@ fn bench_systems(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_aggregation");
     group.sample_size(10);
     group.bench_function("atgis_pat", |b| {
-        b.iter(|| pat.execute(&Query::aggregation(region), &w.osm_g).unwrap())
+        b.iter(|| pat.exec1(&Query::aggregation(region), &w.osm_g).unwrap())
     });
     group.bench_function("sequential", |b| {
         b.iter(|| {
@@ -114,7 +115,7 @@ fn bench_systems(c: &mut Criterion) {
         .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
         .build();
     group.bench_function("atgis", |b| {
-        b.iter(|| pat_grid.execute(&Query::join(threshold), &w.osm_g).unwrap())
+        b.iter(|| pat_grid.exec1(&Query::join(threshold), &w.osm_g).unwrap())
     });
     group.bench_function("indexed_query_only", |b| {
         b.iter(|| store.execute(&BaselineQuery::Join(threshold)))

@@ -3,7 +3,7 @@
 //! partition map.
 
 use atgis::{Engine, Query};
-use atgis_bench::Workload;
+use atgis_bench::{RunExt, Workload};
 use atgis_geometry::Mbr;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -20,7 +20,7 @@ fn bench_partition_join(c: &mut Criterion) {
                 .partition_target(target)
                 .build();
             group.bench_with_input(BenchmarkId::new(name, t), &t, |b, _| {
-                b.iter(|| e.execute(&Query::join(threshold), &w.osm_g).unwrap())
+                b.iter(|| e.exec1(&Query::join(threshold), &w.osm_g).unwrap())
             });
         }
     }

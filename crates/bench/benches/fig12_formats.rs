@@ -4,7 +4,7 @@
 //! vectorised skip scanner on the same GeoJSON bytes.
 
 use atgis::{Engine, Query};
-use atgis_bench::Workload;
+use atgis_bench::{RunExt, Workload};
 use atgis_formats::geojson::lexer;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -49,7 +49,7 @@ fn bench_formats(c: &mut Criterion) {
     ] {
         group.throughput(Throughput::Bytes(ds.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(name), ds, |b, ds| {
-            b.iter(|| e.execute(&Query::containment(region), ds).unwrap())
+            b.iter(|| e.exec1(&Query::containment(region), ds).unwrap())
         });
     }
     group.finish();
@@ -63,7 +63,7 @@ fn bench_formats(c: &mut Criterion) {
     ] {
         group.throughput(Throughput::Bytes(ds.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(name), ds, |b, ds| {
-            b.iter(|| e.execute(&Query::aggregation(region), ds).unwrap())
+            b.iter(|| e.exec1(&Query::aggregation(region), ds).unwrap())
         });
     }
     group.finish();

@@ -2,7 +2,7 @@
 //! under the spherical-projection and Andoyer distance models.
 
 use atgis::{Engine, FilterStrategy, Metric, Query};
-use atgis_bench::Workload;
+use atgis_bench::{RunExt, Workload};
 use atgis_geometry::{DistanceModel, Mbr};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -35,7 +35,7 @@ fn bench_filtering(c: &mut Criterion) {
                     strategy,
                 );
                 group.bench_with_input(BenchmarkId::new(name, frac), &q, |b, q| {
-                    b.iter(|| e.execute(q, &w.osm_g).unwrap())
+                    b.iter(|| e.exec1(q, &w.osm_g).unwrap())
                 });
             }
         }

@@ -4,6 +4,7 @@
 //! where one grid cell holds most of the objects.
 
 use atgis::{Dataset, Engine, Query};
+use atgis_bench::RunExt;
 use atgis_datagen::{write_geojson, OsmGenerator, SynthConfig};
 use atgis_formats::{Format, Mode};
 use atgis_geometry::Mbr;
@@ -34,7 +35,7 @@ fn bench_skew(c: &mut Criterion) {
         for (mode, name) in [(Mode::Fat, "FAT"), (Mode::Pat, "PAT")] {
             let e = Engine::builder().threads(2).mode(mode).build();
             group.bench_with_input(BenchmarkId::new(name, n), &ds, |b, ds| {
-                b.iter(|| e.execute(&world, ds).unwrap())
+                b.iter(|| e.exec1(&world, ds).unwrap())
             });
         }
     }
@@ -48,7 +49,7 @@ fn bench_skew(c: &mut Criterion) {
         for (mode, name) in [(Mode::Fat, "FAT"), (Mode::Pat, "PAT")] {
             let e = Engine::builder().threads(2).mode(mode).build();
             group.bench_with_input(BenchmarkId::new(name, sigma), &ds, |b, ds| {
-                b.iter(|| e.execute(&world, ds).unwrap())
+                b.iter(|| e.exec1(&world, ds).unwrap())
             });
         }
     }
@@ -80,7 +81,7 @@ fn bench_skew(c: &mut Criterion) {
             .partition_target(target)
             .build();
         group.bench_with_input(BenchmarkId::new(name, n), &ds, |b, ds| {
-            b.iter(|| e.execute(&join, ds).unwrap())
+            b.iter(|| e.exec1(&join, ds).unwrap())
         });
     }
     group.finish();

@@ -3,7 +3,7 @@
 
 use atgis::engine::{PartitionPhase, StoreKind};
 use atgis::{Engine, Query};
-use atgis_bench::Workload;
+use atgis_bench::{RunExt, Workload};
 use atgis_geometry::Mbr;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -28,7 +28,7 @@ fn bench_partitioning(c: &mut Criterion) {
                 group.bench_with_input(
                     BenchmarkId::new(format!("{sname}_{pname}"), cell),
                     &e,
-                    |b, e| b.iter(|| e.execute(&Query::join(threshold), &w.osm_g).unwrap()),
+                    |b, e| b.iter(|| e.exec1(&Query::join(threshold), &w.osm_g).unwrap()),
                 );
             }
         }
@@ -48,7 +48,7 @@ fn bench_partitioning(c: &mut Criterion) {
                 .partition_target(target)
                 .build();
             group.bench_with_input(BenchmarkId::new(name, cell), &e, |b, e| {
-                b.iter(|| e.execute(&Query::join(threshold), &w.osm_g).unwrap())
+                b.iter(|| e.exec1(&Query::join(threshold), &w.osm_g).unwrap())
             });
         }
     }

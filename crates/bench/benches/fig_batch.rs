@@ -10,6 +10,7 @@
 //! sequential ones.
 
 use atgis::{Dataset, Engine, Query, QueryResult, QuerySession};
+use atgis_bench::{RunExt, SessionRunExt};
 use atgis_datagen::{write_geojson, OsmGenerator};
 use atgis_formats::Format;
 use atgis_geometry::Mbr;
@@ -50,9 +51,9 @@ fn bench_batch(c: &mut Criterion) {
     // output records what the batch actually did.
     let sequential: Vec<QueryResult> = queries
         .iter()
-        .map(|q| engine.execute(q, &ds).unwrap())
+        .map(|q| engine.exec1(q, &ds).unwrap())
         .collect();
-    let (batched, stats) = engine.execute_batch_timed(&queries, &ds).unwrap();
+    let (batched, stats) = engine.execb_timed(&queries, &ds).unwrap();
     assert_eq!(batched, sequential, "batch must equal per-query execution");
     assert_eq!(stats.scan_passes, 1, "one structural pass for 8 queries");
     println!(
@@ -83,25 +84,25 @@ fn bench_batch(c: &mut Criterion) {
         b.iter(|| {
             queries
                 .iter()
-                .map(|q| engine.execute(q, ds).unwrap())
+                .map(|q| engine.exec1(q, ds).unwrap())
                 .collect::<Vec<_>>()
         })
     });
     group.bench_with_input(BenchmarkId::new("shared_scan", n), &ds, |b, ds| {
-        b.iter(|| engine.execute_batch(&queries, ds).unwrap())
+        b.iter(|| engine.execb(&queries, ds).unwrap())
     });
     // The serving seam: a session with a warm partition-index cache
     // answering repeated batches (what a server's steady state sees).
     let session = QuerySession::new(engine.clone(), ds.clone());
-    session.execute_batch(&queries).unwrap(); // warm the cache
+    session.execb(&queries).unwrap(); // warm the cache
     group.bench_with_input(BenchmarkId::new("session_warm", n), &ds, |b, _| {
-        b.iter(|| session.execute_batch(&queries).unwrap())
+        b.iter(|| session.execb(&queries).unwrap())
     });
     group.finish();
 
     // Join-only traffic over the warm session: zero parse passes.
     let joins: Vec<Query> = vec![Query::join(n as u64 / 2), Query::join(n as u64 / 3)];
-    let (_, warm_stats) = session.execute_batch_timed(&joins).unwrap();
+    let (_, warm_stats) = session.execb_timed(&joins).unwrap();
     assert_eq!(
         warm_stats.scan_passes, 0,
         "cached index serves join-only batches without re-parsing"
@@ -114,7 +115,7 @@ fn bench_batch(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Bytes((ds.len() * joins.len()) as u64));
     group.bench_with_input(BenchmarkId::new("warm_index", n), &ds, |b, _| {
-        b.iter(|| session.execute_batch(&joins).unwrap())
+        b.iter(|| session.execb(&joins).unwrap())
     });
     group.finish();
 }

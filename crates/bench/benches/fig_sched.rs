@@ -20,6 +20,7 @@
 //! single-pass traffic skips execution entirely.
 
 use atgis::{Dataset, Engine, Query, QueryResult, QueryScheduler, QuerySession, SchedulerConfig};
+use atgis_bench::{RunExt, SchedRunExt, SessionRunExt};
 use atgis_datagen::{write_geojson, OsmGenerator};
 use atgis_formats::Format;
 use atgis_geometry::Mbr;
@@ -69,10 +70,10 @@ fn bench_sched(c: &mut Criterion) {
     // bit-identical to the unscheduled batch (itself proven identical
     // to per-query execution by the differential suite).
     let session = QuerySession::new(engine.clone(), ds.clone());
-    let (unscheduled, ustats) = session.execute_batch_timed(&queries).unwrap(); // warms the index
+    let (unscheduled, ustats) = session.execb_timed(&queries).unwrap(); // warms the index
     let sequential: Vec<QueryResult> = queries
         .iter()
-        .map(|q| engine.execute(q, &ds).unwrap())
+        .map(|q| engine.exec1(q, &ds).unwrap())
         .collect();
     assert_eq!(unscheduled, sequential, "batch must equal sequential");
     // Dedup-only scheduler for the headline comparison: the aggregate
@@ -87,7 +88,7 @@ fn bench_sched(c: &mut Criterion) {
         },
     );
     let id = scheduler.register(ds.clone());
-    let (scheduled, sstats) = scheduler.execute_batch_timed(id, &queries).unwrap();
+    let (scheduled, sstats) = scheduler.execb_timed(id, &queries).unwrap();
     assert_eq!(scheduled, unscheduled, "scheduling must not change results");
     println!(
         "fig_sched: {} submissions -> {} unique ({} dedup hits), {} wave(s), \
@@ -119,10 +120,10 @@ fn bench_sched(c: &mut Criterion) {
     // Symmetric footing: both sides serve from a warm partition
     // index; the delta is dedup + admission alone.
     group.bench_with_input(BenchmarkId::new("unscheduled", n), &ds, |b, _| {
-        b.iter(|| session.execute_batch(&queries).unwrap())
+        b.iter(|| session.execb(&queries).unwrap())
     });
     group.bench_with_input(BenchmarkId::new("scheduled", n), &ds, |b, _| {
-        b.iter(|| scheduler.execute_batch(id, &queries).unwrap())
+        b.iter(|| scheduler.execb(id, &queries).unwrap())
     });
     group.finish();
 
@@ -131,8 +132,8 @@ fn bench_sched(c: &mut Criterion) {
     // cache, repeated joins from the session's partition index.
     let warm_sched = QueryScheduler::new(engine.clone());
     let warm_id = warm_sched.register(ds.clone());
-    warm_sched.execute_batch(warm_id, &queries).unwrap();
-    let (_, wstats) = warm_sched.execute_batch_timed(warm_id, &queries).unwrap();
+    warm_sched.execb(warm_id, &queries).unwrap();
+    let (_, wstats) = warm_sched.execb_timed(warm_id, &queries).unwrap();
     println!(
         "fig_sched: warm scheduler: {} cache hits + {} dedup hits of {} submissions, \
          {} scan pass(es)",
@@ -143,7 +144,7 @@ fn bench_sched(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Bytes(served_bytes));
     group.bench_with_input(BenchmarkId::new("scheduled_warm", n), &ds, |b, _| {
-        b.iter(|| warm_sched.execute_batch(warm_id, &queries).unwrap())
+        b.iter(|| warm_sched.execb(warm_id, &queries).unwrap())
     });
     group.finish();
 }

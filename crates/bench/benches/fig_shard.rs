@@ -1,0 +1,186 @@
+//! Sharded scatter–gather throughput: the engine's intra-process
+//! shard execution ([`atgis::ShardSet`]) across shard counts, against
+//! the cluster map/reduce comparator it retires
+//! ([`atgis_bench::cluster_sim`]).
+//!
+//! The smoke assertions pin the three claims the sharded path makes:
+//!
+//! 1. **bit-identity** — every shard count returns exactly the
+//!    single-node results (associative transducers + `ExactSum`);
+//! 2. **pruning** — a selective region query never scatters to a
+//!    shard whose MBR it cannot intersect, observable in
+//!    [`atgis::stats::ShardStats`];
+//! 3. **it beats the cluster model** — one sharded node outruns the
+//!    simulated cluster even *before* the cluster pays its modelled
+//!    startup + shuffle overhead (with it, the gap is the paper's
+//!    Fig. 10 story).
+//!
+//! The `fig_shard_vs_cluster` group times compute only (the cluster's
+//! modelled overhead is returned as data, not slept), mirroring
+//! `fig10_containment/cluster_sim_compute`.
+
+use atgis::{Dataset, ExecOptions, Query, QuerySession};
+use atgis_baselines::BaselineQuery;
+use atgis_bench::cluster_sim;
+use atgis_datagen::{write_geojson, OsmGenerator};
+use atgis_formats::Format;
+use atgis_geometry::Mbr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::{Duration, Instant};
+
+/// A spatially coherent GeoJSON dataset: generated objects sorted by
+/// centroid longitude before serialisation, the storage order of a
+/// real regional export. Byte-range shards then carry tight MBRs and
+/// region queries prune; on shuffled storage the shard MBRs all span
+/// the world and sharding degrades (gracefully, still bit-identical)
+/// to scatter-everywhere.
+fn sorted_dataset(objects: usize) -> Dataset {
+    let mut ds = OsmGenerator::new(2016).generate(objects);
+    ds.objects.sort_by(|a, b| {
+        let ax = a.geometry.mbr().center().x;
+        let bx = b.geometry.mbr().center().x;
+        ax.partial_cmp(&bx).expect("finite centroids")
+    });
+    Dataset::from_bytes(write_geojson(&ds), Format::GeoJson)
+}
+
+/// Mixed batch with selective regions (so MBR pruning has something
+/// to prune) plus a join (which always scatters everywhere).
+fn shard_batch(objects: u64) -> Vec<Query> {
+    vec![
+        Query::containment(Mbr::new(-2.0, 48.0, 2.0, 52.0)),
+        Query::containment(Mbr::new(-10.0, 40.0, -8.0, 42.0)),
+        Query::aggregation(Mbr::new(0.0, 50.0, 4.0, 54.0)),
+        Query::aggregation(Mbr::new(6.0, 56.0, 10.0, 60.0)),
+        Query::join(objects / 2),
+    ]
+}
+
+fn best_of<T>(n: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..n {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(t.elapsed());
+        out = Some(v);
+    }
+    (out.unwrap(), best)
+}
+
+fn bench_shard(c: &mut Criterion) {
+    let objects = atgis_bench::scaled(1500);
+    let dataset = sorted_dataset(objects);
+    let region = Mbr::new(-10.0, 40.0, 0.0, 50.0);
+    let queries = shard_batch(objects as u64);
+    let engine = atgis::Engine::builder()
+        .threads(2)
+        .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
+        .cell_size(1.0)
+        .build();
+    let session = QuerySession::new(engine.clone(), dataset.clone());
+
+    // Smoke 1+2: bit-identity across shard counts, pruning observable.
+    let single = session
+        .run(&queries, &ExecOptions::new())
+        .and_then(|o| o.collapse())
+        .expect("single-node batch");
+    for shards in [1usize, 2, 4, 8] {
+        let out = session
+            .run(&queries, &ExecOptions::new().sharded(shards).timed())
+            .expect("sharded batch");
+        if shards > 1 {
+            let stats = out.shard_stats().expect("sharded run reports stats");
+            assert!(
+                stats.pruned > 0,
+                "selective regions must prune some (query, shard) pairs: {stats:?}"
+            );
+            println!(
+                "fig_shard: shards={} scattered={} pruned={} gathered={}",
+                stats.shards, stats.scattered, stats.pruned, stats.gathered
+            );
+        }
+        assert_eq!(
+            out.collapse().expect("sharded batch"),
+            single,
+            "sharded execution must be bit-identical at {shards} shards"
+        );
+    }
+
+    // Smoke 3: one sharded node vs the simulated cluster, same
+    // containment query. The cluster's compute alone must not win;
+    // with its modelled overhead added the gap only grows.
+    let probe = Query::containment(region);
+    let (_, atgis_best) = best_of(3, || {
+        session
+            .run(std::slice::from_ref(&probe), &ExecOptions::new().sharded(8))
+            .and_then(|o| o.into_single())
+            .expect("sharded probe")
+    });
+    let (cluster, cluster_best) = best_of(3, || {
+        cluster_sim::execute(
+            dataset.bytes(),
+            Format::GeoJson,
+            &BaselineQuery::containment(region),
+            &cluster_sim::ClusterConfig::default(),
+        )
+        .expect("cluster probe")
+    });
+    let cluster_with_overhead = cluster_best + cluster.simulated_overhead;
+    println!(
+        "fig_shard: atgis_sharded {atgis_best:.1?} vs cluster compute {cluster_best:.1?} \
+         (+{:.1?} modelled overhead)",
+        cluster.simulated_overhead
+    );
+    assert!(
+        atgis_best <= cluster_with_overhead,
+        "sharded single node must beat the cluster model: \
+         {atgis_best:?} vs {cluster_with_overhead:?}"
+    );
+
+    let mut group = c.benchmark_group("fig_shard_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes((dataset.len() * queries.len()) as u64));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &n| {
+            b.iter(|| {
+                session
+                    .run(&queries, &ExecOptions::new().sharded(n))
+                    .and_then(|o| o.collapse())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig_shard_vs_cluster");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(dataset.len() as u64));
+    group.bench_function("atgis_sharded", |b| {
+        b.iter(|| {
+            session
+                .run(std::slice::from_ref(&probe), &ExecOptions::new().sharded(8))
+                .and_then(|o| o.into_single())
+                .unwrap()
+        })
+    });
+    group.bench_function("cluster_sim_compute", |b| {
+        b.iter(|| {
+            cluster_sim::execute(
+                dataset.bytes(),
+                Format::GeoJson,
+                &BaselineQuery::containment(region),
+                &cluster_sim::ClusterConfig {
+                    job_startup: Duration::ZERO,
+                    shuffle_per_record: Duration::ZERO,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard);
+criterion_main!(benches);

@@ -8,7 +8,7 @@
 //! `--test` mode it additionally asserts streamed ≡ buffered results.
 
 use atgis::{Dataset, Engine, FileChunkSource, Query};
-use atgis_bench::Workload;
+use atgis_bench::{RunExt, StreamRunExt, Workload};
 use atgis_formats::Format;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -24,11 +24,9 @@ fn bench_streamed_vs_buffered(c: &mut Criterion) {
 
     // Sanity: streamed equals buffered before any timing is trusted.
     let buffered = Dataset::from_file(&path, Format::GeoJson).unwrap();
-    let want = engine.execute(&query, &buffered).unwrap();
+    let want = engine.exec1(&query, &buffered).unwrap();
     let mut src = FileChunkSource::open_with_chunk_len(&path, 1 << 16).unwrap();
-    let got = engine
-        .execute_streaming(&query, &mut src, Format::GeoJson)
-        .unwrap();
+    let got = engine.stream1(&query, &mut src, Format::GeoJson).unwrap();
     assert_eq!(got, want, "streamed must equal buffered");
 
     let mut group = c.benchmark_group("fig_stream_aggregation");
@@ -37,7 +35,7 @@ fn bench_streamed_vs_buffered(c: &mut Criterion) {
     group.bench_function("buffered_from_file", |b| {
         b.iter(|| {
             let ds = Dataset::from_file(&path, Format::GeoJson).unwrap();
-            engine.execute(&query, &ds).unwrap()
+            engine.exec1(&query, &ds).unwrap()
         })
     });
     for (label, chunk) in [
@@ -48,9 +46,7 @@ fn bench_streamed_vs_buffered(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(label), &chunk, |b, &chunk| {
             b.iter(|| {
                 let mut src = FileChunkSource::open_with_chunk_len(&path, chunk).unwrap();
-                engine
-                    .execute_streaming(&query, &mut src, Format::GeoJson)
-                    .unwrap()
+                engine.stream1(&query, &mut src, Format::GeoJson).unwrap()
             })
         });
     }
@@ -60,11 +56,9 @@ fn bench_streamed_vs_buffered(c: &mut Criterion) {
     // EOF) vs the buffered run.
     let threshold = (w.objects / 2) as u64;
     let join = Query::join(threshold);
-    let want = engine.execute(&join, &buffered).unwrap();
+    let want = engine.exec1(&join, &buffered).unwrap();
     let mut src = FileChunkSource::open_with_chunk_len(&path, 1 << 20).unwrap();
-    let got = engine
-        .execute_streaming(&join, &mut src, Format::GeoJson)
-        .unwrap();
+    let got = engine.stream1(&join, &mut src, Format::GeoJson).unwrap();
     assert_eq!(got, want, "streamed join must equal buffered join");
     let mut group = c.benchmark_group("fig_stream_join");
     group.sample_size(10);
@@ -72,15 +66,13 @@ fn bench_streamed_vs_buffered(c: &mut Criterion) {
     group.bench_function("buffered_from_file", |b| {
         b.iter(|| {
             let ds = Dataset::from_file(&path, Format::GeoJson).unwrap();
-            engine.execute(&join, &ds).unwrap()
+            engine.exec1(&join, &ds).unwrap()
         })
     });
     group.bench_function("streamed_1MiB", |b| {
         b.iter(|| {
             let mut src = FileChunkSource::open_with_chunk_len(&path, 1 << 20).unwrap();
-            engine
-                .execute_streaming(&join, &mut src, Format::GeoJson)
-                .unwrap()
+            engine.stream1(&join, &mut src, Format::GeoJson).unwrap()
         })
     });
     group.finish();

@@ -1,8 +1,8 @@
 //! Ad-hoc phase breakdown for the streamed vs buffered join (run
 //! manually: `cargo run --release -p atgis-bench --example streamprof`).
 
-use atgis::{Dataset, Engine, FileChunkSource, Query};
-use atgis_bench::Workload;
+use atgis::{Dataset, Engine, ExecOptions, FileChunkSource, Query};
+use atgis_bench::{RunExt, StreamRunExt, Workload};
 use atgis_formats::Format;
 use std::time::Instant;
 
@@ -20,29 +20,39 @@ fn main() {
 
     for _ in 0..3 {
         let ds = Dataset::from_file(&path, Format::GeoJson).unwrap();
-        engine.execute(&join, &ds).unwrap();
+        engine.exec1(&join, &ds).unwrap();
     }
 
     let iters = 20;
     let t = Instant::now();
     for _ in 0..iters {
         let ds = Dataset::from_file(&path, Format::GeoJson).unwrap();
-        engine.execute(&join, &ds).unwrap();
+        engine.exec1(&join, &ds).unwrap();
     }
     let per = t.elapsed().as_secs_f64() / iters as f64;
     println!("buffered: {:7.1} MB/s", mb / per);
     {
         let ds = Dataset::from_file(&path, Format::GeoJson).unwrap();
-        let (_, es) = engine.execute_timed(&join, &ds).unwrap();
+        let out = engine
+            .run(
+                std::slice::from_ref(&join),
+                &ds,
+                &ExecOptions::new().timed(),
+            )
+            .unwrap();
+        let es = out.batch.expect("timed run reports batch stats");
         println!(
             "  solo pipeline: split={:?} process={:?} merge={:?} join={:?}",
-            es.pipeline.split, es.pipeline.process, es.pipeline.merge, es.join
+            es.shared_scan.split,
+            es.shared_scan.process,
+            es.shared_scan.merge,
+            es.per_query[0].join
         );
     }
     let (_, bstats) = {
         let ds = Dataset::from_file(&path, Format::GeoJson).unwrap();
         engine
-            .execute_batch_timed(std::slice::from_ref(&join), &ds)
+            .execb_timed(std::slice::from_ref(&join), &ds)
             .unwrap()
     };
     println!(
@@ -54,16 +64,14 @@ fn main() {
     let t = Instant::now();
     for _ in 0..iters {
         let mut src = FileChunkSource::open_with_chunk_len(&path, 1 << 20).unwrap();
-        engine
-            .execute_streaming(&join, &mut src, Format::GeoJson)
-            .unwrap();
+        engine.stream1(&join, &mut src, Format::GeoJson).unwrap();
     }
     let per = t.elapsed().as_secs_f64() / iters as f64;
     println!("streamed: {:7.1} MB/s", mb / per);
     let (_, sstats, st) = {
         let mut src = FileChunkSource::open_with_chunk_len(&path, 1 << 20).unwrap();
         engine
-            .execute_streaming_batch_timed(std::slice::from_ref(&join), &mut src, Format::GeoJson)
+            .streamb_timed(std::slice::from_ref(&join), &mut src, Format::GeoJson)
             .unwrap()
     };
     println!(

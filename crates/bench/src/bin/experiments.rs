@@ -12,9 +12,13 @@
 //! targets recorded in EXPERIMENTS.md.
 
 use atgis::engine::{PartitionPhase, StoreKind};
-use atgis::{Dataset, Engine, FilterStrategy, Metric, Query, QueryResult};
-use atgis_baselines::{cluster_sim, column_scan, indexed, sequential, BaselineQuery};
-use atgis_bench::{scaled, synth_dataset, throughput_mbs, time_best_of, time_once, Workload};
+use atgis::{Dataset, Engine, ExecOptions, FilterStrategy, Metric, Query, QueryResult};
+use atgis_baselines::{column_scan, indexed, sequential, BaselineQuery};
+use atgis_bench::cluster_sim;
+use atgis_bench::{
+    scaled, synth_dataset, throughput_mbs, time_best_of, time_once, RunExt, SchedRunExt,
+    SessionRunExt, StreamRunExt, Workload,
+};
 use atgis_datagen::SynthConfig;
 use atgis_formats::{Format, Mode};
 use atgis_geometry::{DistanceModel, Mbr};
@@ -161,13 +165,13 @@ fn table3() {
     let region = w.region();
     let threshold = (w.objects / 2) as u64;
 
-    let (r, d) = time_once(|| e.execute(&Query::containment(region), &w.osm_g).unwrap());
+    let (r, d) = time_once(|| e.exec1(&Query::containment(region), &w.osm_g).unwrap());
     println!(
         "containment: {} matches in {:.3}s",
         r.matches().len(),
         secs(d)
     );
-    let (r, d) = time_once(|| e.execute(&Query::aggregation(region), &w.osm_g).unwrap());
+    let (r, d) = time_once(|| e.exec1(&Query::aggregation(region), &w.osm_g).unwrap());
     let a = r.aggregate().unwrap();
     println!(
         "aggregation: count={} area={:.3e} m^2 perimeter={:.3e} m in {:.3}s",
@@ -176,10 +180,10 @@ fn table3() {
         a.total_perimeter,
         secs(d)
     );
-    let (r, d) = time_once(|| e.execute(&Query::join(threshold), &w.osm_g).unwrap());
+    let (r, d) = time_once(|| e.exec1(&Query::join(threshold), &w.osm_g).unwrap());
     println!("join:        {} pairs in {:.3}s", r.joined().len(), secs(d));
     let (r, d) = time_once(|| {
-        e.execute(&Query::combined(threshold, 10.0, 1.0e7), &w.osm_g)
+        e.exec1(&Query::combined(threshold, 10.0, 1.0e7), &w.osm_g)
             .unwrap()
     });
     if let QueryResult::Combined {
@@ -209,11 +213,11 @@ fn fig9() {
     for t in thread_sweep() {
         let pat = engine(t, Mode::Pat);
         let fat = engine(t, Mode::Fat);
-        let (_, d_cp) = time_best_of(2, || pat.execute(&Query::containment(region), &w.osm_g));
-        let (_, d_cf) = time_best_of(2, || fat.execute(&Query::containment(region), &w.osm_g));
-        let (_, d_ap) = time_best_of(2, || pat.execute(&Query::aggregation(region), &w.osm_g));
-        let (_, d_af) = time_best_of(2, || fat.execute(&Query::aggregation(region), &w.osm_g));
-        let (_, d_j) = time_once(|| pat.execute(&Query::join(threshold), &w.osm_g));
+        let (_, d_cp) = time_best_of(2, || pat.exec1(&Query::containment(region), &w.osm_g));
+        let (_, d_cf) = time_best_of(2, || fat.exec1(&Query::containment(region), &w.osm_g));
+        let (_, d_ap) = time_best_of(2, || pat.exec1(&Query::aggregation(region), &w.osm_g));
+        let (_, d_af) = time_best_of(2, || fat.exec1(&Query::aggregation(region), &w.osm_g));
+        let (_, d_j) = time_once(|| pat.exec1(&Query::join(threshold), &w.osm_g));
         println!(
             "{:>7} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>10.1}",
             t,
@@ -242,9 +246,9 @@ fn fig10() {
     // AT-GIS PAT and FAT: zero load phase.
     for (name, mode) in [("AT-GIS-PAT", Mode::Pat), ("AT-GIS-FAT", Mode::Fat)] {
         let e = engine(threads, mode);
-        let (_, dc) = time_best_of(2, || e.execute(&Query::containment(region), &w.osm_g));
-        let (_, da) = time_best_of(2, || e.execute(&Query::aggregation(region), &w.osm_g));
-        let (_, dj) = time_once(|| e.execute(&Query::join(threshold), &w.osm_g));
+        let (_, dc) = time_best_of(2, || e.exec1(&Query::containment(region), &w.osm_g));
+        let (_, da) = time_best_of(2, || e.exec1(&Query::aggregation(region), &w.osm_g));
+        let (_, dj) = time_once(|| e.exec1(&Query::join(threshold), &w.osm_g));
         println!(
             "{:<16} {:>12.3} {:>12.3} {:>12.3} {:>14}",
             name,
@@ -354,9 +358,17 @@ fn fig11() {
     );
     for t in thread_sweep() {
         let e = engine(t, Mode::Pat);
-        let ((_, stats), _) =
-            time_once(|| e.execute_timed(&Query::join(threshold), &w.osm_g).unwrap());
-        let j = stats.join.expect("join stats");
+        let (stats, _) = time_once(|| {
+            e.run(
+                &[Query::join(threshold)],
+                &w.osm_g,
+                &ExecOptions::new().timed(),
+            )
+            .unwrap()
+            .batch
+            .expect("timed run reports batch stats")
+        });
+        let j = stats.per_query[0].join.expect("join stats");
         println!(
             "{:>7} {:>12.3} {:>12.3} {:>12.3}",
             t,
@@ -390,10 +402,10 @@ fn fig12() {
             w.objects
         };
         let threshold = (objects / 2) as u64;
-        let (_, dc) = time_best_of(2, || e.execute(&Query::containment(region), ds));
-        let (_, da) = time_best_of(2, || e.execute(&Query::aggregation(region), ds));
-        let (_, dj) = time_once(|| e.execute(&Query::join(threshold), ds));
-        let (_, dk) = time_once(|| e.execute(&Query::combined(threshold, 10.0, 1.0e7), ds));
+        let (_, dc) = time_best_of(2, || e.exec1(&Query::containment(region), ds));
+        let (_, da) = time_best_of(2, || e.exec1(&Query::aggregation(region), ds));
+        let (_, dj) = time_once(|| e.exec1(&Query::join(threshold), ds));
+        let (_, dk) = time_once(|| e.exec1(&Query::combined(threshold, 10.0, 1.0e7), ds));
         println!(
             "{:<10} {:>12.1} {:>12.1} {:>12.1} {:>10.1}",
             name,
@@ -438,7 +450,7 @@ fn fig13() {
                     strategy,
                 );
                 let e = engine(threads, Mode::Pat);
-                let (_, d) = time_best_of(2, || e.execute(&q, &w.osm_g).unwrap());
+                let (_, d) = time_best_of(2, || e.exec1(&q, &w.osm_g).unwrap());
                 throughput_mbs(w.osm_g.len(), d)
             };
             println!(
@@ -472,8 +484,8 @@ fn fig14() {
         .generate();
         let data = Dataset::from_bytes(atgis_datagen::write_geojson(&ds), Format::GeoJson);
         let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
-        let (_, d_fat) = time_once(|| engine(threads, Mode::Fat).execute(&q, &data).unwrap());
-        let (_, d_pat) = time_once(|| engine(threads, Mode::Pat).execute(&q, &data).unwrap());
+        let (_, d_fat) = time_once(|| engine(threads, Mode::Fat).exec1(&q, &data).unwrap());
+        let (_, d_pat) = time_once(|| engine(threads, Mode::Pat).exec1(&q, &data).unwrap());
         println!(
             "{:>10} {:>12.1} {:>12.1}",
             n,
@@ -495,8 +507,8 @@ fn fig14() {
         .generate();
         let data = Dataset::from_bytes(atgis_datagen::write_geojson(&ds), Format::GeoJson);
         let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
-        let (_, d_fat) = time_once(|| engine(threads, Mode::Fat).execute(&q, &data).unwrap());
-        let (_, d_pat) = time_once(|| engine(threads, Mode::Pat).execute(&q, &data).unwrap());
+        let (_, d_fat) = time_once(|| engine(threads, Mode::Fat).exec1(&q, &data).unwrap());
+        let (_, d_pat) = time_once(|| engine(threads, Mode::Pat).exec1(&q, &data).unwrap());
         println!(
             "{:>10.1} {:>12.1} {:>12.1}",
             sigma,
@@ -531,8 +543,15 @@ fn fig15() {
                     .store(store)
                     .partition_phase(phase)
                     .build();
-                let (_, stats) = e.execute_timed(&Query::join(threshold), &w.osm_g).unwrap();
-                let j = stats.join.expect("join stats");
+                let out = e
+                    .run(
+                        &[Query::join(threshold)],
+                        &w.osm_g,
+                        &ExecOptions::new().timed(),
+                    )
+                    .unwrap();
+                let stats = out.batch.expect("timed run reports batch stats");
+                let j = stats.per_query[0].join.expect("join stats");
                 println!(
                     "{:>10.2} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
                     cell,
@@ -568,11 +587,11 @@ fn fig_batch() {
     let (seq_results, d_seq) = time_best_of(3, || {
         queries
             .iter()
-            .map(|q| e.execute(q, &w.osm_g).unwrap())
+            .map(|q| e.exec1(q, &w.osm_g).unwrap())
             .collect::<Vec<_>>()
     });
     let ((batch_results, stats), d_batch) =
-        time_best_of(3, || e.execute_batch_timed(&queries, &w.osm_g).unwrap());
+        time_best_of(3, || e.execb_timed(&queries, &w.osm_g).unwrap());
     assert_eq!(batch_results, seq_results, "batch must equal sequential");
 
     println!(
@@ -620,11 +639,10 @@ fn fig_batch() {
 
     // Steady-state serving: a QuerySession with a warm index cache.
     let session = atgis::QuerySession::new(e, w.osm_g.clone());
-    session.execute_batch(&queries).unwrap();
-    let (_, d_warm) = time_best_of(3, || session.execute_batch(&queries).unwrap());
+    session.execb(&queries).unwrap();
+    let (_, d_warm) = time_best_of(3, || session.execb(&queries).unwrap());
     let joins = vec![Query::join(threshold), Query::join(threshold / 2)];
-    let ((_, warm_stats), d_joins) =
-        time_best_of(3, || session.execute_batch_timed(&joins).unwrap());
+    let ((_, warm_stats), d_joins) = time_best_of(3, || session.execb_timed(&joins).unwrap());
     println!(
         "warm session: mixed batch {:.3}s ({:.1} MB/s); join-only batch {:.3}s at {} parse passes",
         secs(d_warm),
@@ -656,8 +674,8 @@ fn fig_sched() {
     // (partition index cached, same as the scheduler's session), so
     // the ratio isolates dedup + admission, not PR 3's index caching.
     let plain = atgis::QuerySession::new(e.clone(), w.osm_g.clone());
-    plain.execute_batch(&queries).unwrap(); // warm the index
-    let (unscheduled, d_plain) = time_best_of(3, || plain.execute_batch(&queries).unwrap());
+    plain.execb(&queries).unwrap(); // warm the index
+    let (unscheduled, d_plain) = time_best_of(3, || plain.execb(&queries).unwrap());
     let sched = QueryScheduler::with_config(
         e.clone(),
         SchedulerConfig {
@@ -666,9 +684,9 @@ fn fig_sched() {
         },
     );
     let id = sched.register(w.osm_g.clone());
-    sched.execute_batch(id, &queries).unwrap(); // warm its index too
+    sched.execb(id, &queries).unwrap(); // warm its index too
     let ((scheduled, stats), d_sched) =
-        time_best_of(3, || sched.execute_batch_timed(id, &queries).unwrap());
+        time_best_of(3, || sched.execb_timed(id, &queries).unwrap());
     assert_eq!(scheduled, unscheduled, "scheduling must not change results");
 
     println!(
@@ -706,9 +724,8 @@ fn fig_sched() {
     // Steady state: full policies, warm aggregate cache + warm index.
     let warm = QueryScheduler::new(e);
     let wid = warm.register(w.osm_g.clone());
-    warm.execute_batch(wid, &queries).unwrap();
-    let ((_, wstats), d_warm) =
-        time_best_of(3, || warm.execute_batch_timed(wid, &queries).unwrap());
+    warm.execb(wid, &queries).unwrap();
+    let ((_, wstats), d_warm) = time_best_of(3, || warm.execb_timed(wid, &queries).unwrap());
     println!(
         "warm scheduler: {:.3}s ({:.1} MB/s) — {} cache hits, {} parse passes",
         secs(d_warm),
@@ -760,7 +777,7 @@ fn fig_stream() {
         for (i, q) in queries.iter().enumerate() {
             let ((_, _, sstats), d) = time_best_of(2, || {
                 let mut src = FileChunkSource::open_with_chunk_len(&path, chunk).unwrap();
-                e.execute_streaming_batch_timed(std::slice::from_ref(q), &mut src, Format::GeoJson)
+                e.streamb_timed(std::slice::from_ref(q), &mut src, Format::GeoJson)
                     .unwrap()
             });
             mbs[i] = throughput_mbs(bytes.len(), d);
@@ -790,7 +807,7 @@ fn fig_stream() {
     for (i, q) in queries.iter().enumerate() {
         let (r, d) = time_best_of(2, || {
             let ds = Dataset::from_file(&path, Format::GeoJson).unwrap();
-            e.execute(q, &ds).unwrap()
+            e.exec1(q, &ds).unwrap()
         });
         buf_mbs[i] = throughput_mbs(bytes.len(), d);
         reference.push(r);
@@ -815,7 +832,7 @@ fn fig_stream() {
     // Equality spot-check at the reporting scale.
     for (q, want) in queries.iter().zip(&reference) {
         let mut src = FileChunkSource::open_with_chunk_len(&path, 1 << 20).unwrap();
-        let got = e.execute_streaming(q, &mut src, Format::GeoJson).unwrap();
+        let got = e.stream1(q, &mut src, Format::GeoJson).unwrap();
         assert_eq!(&got, want, "streamed must equal buffered");
     }
     std::fs::remove_file(&path).ok();

@@ -16,12 +16,24 @@
 //! scan, which is the *lower bound* for any cluster execution; the
 //! Fig. 10 harness uses calibrated non-zero values (documented in
 //! EXPERIMENTS.md) so the relative ordering of the paper survives.
+//!
+//! This module lives in the **bench harness**, not the baselines
+//! crate: it is a Fig. 10 / Fig. 14 comparator only, and the sharded
+//! scatter–gather execution inside the engine
+//! ([`atgis::ShardSet`]) is what the library itself offers where a
+//! cluster would otherwise be reached for.
 
-use crate::{geometry_matches, BaselineAnswer, BaselineQuery};
+use atgis_baselines::{BaselineAnswer, BaselineQuery};
 use atgis_formats::{parse_all, Format, MetadataFilter, Mode, ParseError};
 use atgis_geometry::relate::intersects;
-use atgis_geometry::{measures, DistanceModel};
+use atgis_geometry::{measures, relate, DistanceModel, Geometry, Polygon};
 use std::time::Duration;
+
+/// The same predicate the other baselines use (private there): MBR
+/// prefilter, then exact geometry intersection.
+fn geometry_matches(g: &Geometry, region: &Polygon) -> bool {
+    g.mbr().intersects(&region.mbr()) && relate::intersects(g, &Geometry::Polygon(region.clone()))
+}
 
 /// Cluster cost model.
 #[derive(Debug, Clone, Copy)]
@@ -192,7 +204,7 @@ pub fn execute(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sequential;
+    use atgis_baselines::sequential;
     use atgis_datagen::{write_geojson, OsmGenerator};
     use atgis_geometry::Mbr;
 

@@ -58,6 +58,7 @@ use crate::dataset::Dataset;
 use crate::engine::{
     make_reparser, Engine, EngineBuilder, PartitionAgg, PartitionPhase, StoreKind,
 };
+use crate::exec::{self, ExecOptions, RunOutcome};
 use crate::executor::run_grid_on;
 use crate::join::{
     fold_slot_results, join_partition, JoinOptions, JoinSpec, ReparseCache, Reparser, SlotResult,
@@ -65,11 +66,16 @@ use crate::join::{
 use crate::partition::{
     ArrayStore, GridSpec, ListStore, PartitionMap, PartitionMapStats, PartitionStore,
 };
-use crate::pipeline::{downcast_sink, AggregateSink, ContainmentAgg, MetricsAgg, MultiSink};
+use crate::pipeline::{
+    downcast_sink, AggregateSink, ContainmentAgg, FailedSink, MetricsAgg, MultiSink, QueryAggregate,
+};
 use crate::pool::{recover, JobFault};
 use crate::query::{Query, ScanClass};
-use crate::result::{QueryError, QueryResult};
-use crate::stats::{BatchQueryStats, BatchStats, JoinTimings, StreamStats, Timings};
+use crate::result::{QueryError, QueryOutcome, QueryResult};
+use crate::shard::ShardSet;
+use crate::stats::{
+    BatchQueryStats, BatchStats, JoinTimings, ShardStats, ShardTiming, StreamStats, Timings,
+};
 use crate::stream::{drive, ChunkSource, StreamingScan};
 use crate::{Error, Result};
 use atgis_formats::feature::MetadataFilter;
@@ -135,6 +141,14 @@ pub struct PartitionIndex {
 
 impl PartitionIndex {
     /// Shape of the refined partition map.
+    pub(crate) fn occupied_slots(&self) -> Vec<usize> {
+        match &self.store {
+            IndexStore::Array(s) => self.map.occupied_slots(s),
+            IndexStore::List(s) => self.map.occupied_slots(s),
+        }
+    }
+
+    /// Shape of the (possibly refined) partition map.
     pub fn map_stats(&self) -> PartitionMapStats {
         self.map.stats()
     }
@@ -264,12 +278,12 @@ fn plan_queries(engine: &Engine, queries: &[Query]) -> BatchPlan {
 /// A reusable query session: one engine (and its persistent worker
 /// pool), one dataset — pinned up front or streamed in chunk by chunk
 /// — and a warm [`IndexCache`]. The unit a multi-tenant server holds
-/// per served dataset; repeated [`QuerySession::execute_batch`] calls
-/// amortise both the structural scan (within a batch) and the
-/// partition index (across batches).
+/// per served dataset; repeated [`QuerySession::run`] calls amortise
+/// both the structural scan (within a batch) and the partition index
+/// (across batches).
 ///
 /// ```
-/// use atgis::{Dataset, Engine, Query, QuerySession};
+/// use atgis::{Dataset, Engine, ExecOptions, Query, QuerySession};
 /// use atgis_formats::Format;
 /// use atgis_geometry::Mbr;
 ///
@@ -279,15 +293,17 @@ fn plan_queries(engine: &Engine, queries: &[Query]) -> BatchPlan {
 /// let session = QuerySession::new(engine, dataset);
 ///
 /// let joins = vec![Query::join(45), Query::join(30)];
+/// let opts = ExecOptions::new().timed();
 /// // First join-class batch: one shared pass builds the partition
 /// // index and both joins read it.
-/// let (cold, s1) = session.execute_batch_timed(&joins).unwrap();
-/// assert_eq!(s1.scan_passes, 1);
+/// let out = session.run(&joins, &opts).unwrap();
+/// assert_eq!(out.batch.as_ref().unwrap().scan_passes, 1);
+/// let cold = out.collapse().unwrap();
 /// // Repeat traffic: the cached index serves the joins with ZERO
 /// // parse passes, and results stay bit-identical.
-/// let (warm, s2) = session.execute_batch_timed(&joins).unwrap();
-/// assert_eq!(s2.scan_passes, 0);
-/// assert_eq!(cold, warm);
+/// let out = session.run(&joins, &opts).unwrap();
+/// assert_eq!(out.batch.as_ref().unwrap().scan_passes, 0);
+/// assert_eq!(cold, out.collapse().unwrap());
 /// ```
 ///
 /// For the **streaming** lifecycle (`ingest_chunk`* → `finish`), see
@@ -302,6 +318,10 @@ pub struct QuerySession {
     /// session only holds a truncated prefix, so serving queries
     /// would silently cover partial data. Every entry point errors.
     seal_failed: bool,
+    /// Shard layouts built for this dataset, keyed by requested shard
+    /// count — the bounding pass runs once per count, like the
+    /// partition index runs once per configuration.
+    shard_sets: Mutex<HashMap<usize, Arc<ShardSet>>>,
 }
 
 /// Mid-ingest state of a streaming session.
@@ -320,6 +340,7 @@ impl QuerySession {
             cache: IndexCache::new(),
             ingest: None,
             seal_failed: false,
+            shard_sets: Mutex::new(HashMap::new()),
         }
     }
 
@@ -359,6 +380,7 @@ impl QuerySession {
             cache: IndexCache::new(),
             ingest: Some(SessionIngest { scan, format }),
             seal_failed: false,
+            shard_sets: Mutex::new(HashMap::new()),
         })
     }
 
@@ -438,6 +460,9 @@ impl QuerySession {
             }
         };
         self.dataset = dataset;
+        // Any shard layout bounded the (shorter) streaming prefix;
+        // rebuild on demand against the sealed dataset.
+        recover(self.shard_sets.lock()).clear();
         let cfg = self.engine.config();
         let grid = GridSpec::new(cfg.grid_extent, cfg.cell_deg);
         let sink = multi
@@ -484,9 +509,10 @@ impl QuerySession {
 
     /// Executes one query (a batch of one — join-class queries still
     /// benefit from the cached partition index).
+    #[deprecated(note = "use QuerySession::run with ExecOptions")]
     pub fn execute(&self, query: &Query) -> Result<QueryResult> {
-        let mut results = self.execute_batch(std::slice::from_ref(query))?;
-        Ok(results.pop().expect("one result per query"))
+        self.run(std::slice::from_ref(query), &ExecOptions::new())?
+            .into_single()
     }
 
     /// Executes a batch of queries over the session dataset with a
@@ -495,36 +521,31 @@ impl QuerySession {
     /// recur. On a streaming session mid-ingest, single-pass queries
     /// run over the queryable prefix and join-class queries error
     /// until [`QuerySession::finish`] seals the index.
+    #[deprecated(note = "use QuerySession::run with ExecOptions")]
     pub fn execute_batch(&self, queries: &[Query]) -> Result<Vec<QueryResult>> {
-        self.execute_batch_timed(queries).map(|(r, _)| r)
+        self.run(queries, &ExecOptions::new())?.collapse()
     }
 
     /// [`QuerySession::execute_batch`] with the amortisation
     /// breakdown.
+    #[deprecated(note = "use QuerySession::run with ExecOptions::new().timed()")]
     pub fn execute_batch_timed(&self, queries: &[Query]) -> Result<(Vec<QueryResult>, BatchStats)> {
-        self.guard_lifecycle(queries)?;
-        let (results, stats) =
-            execute_batch_impl(&self.engine, queries, &self.dataset, &self.cache, None)?;
-        Ok((collapse_query_results(results)?, stats))
+        let out = self.run(queries, &ExecOptions::new().timed())?;
+        let stats = out.batch.clone().expect("timed run reports batch stats");
+        Ok((out.collapse()?, stats))
     }
 
     /// [`QuerySession::execute_batch`] under a cooperative
     /// [`CancelToken`] shared by the whole batch (see
     /// [`Engine::execute_cancellable`] for the cancellation contract).
+    #[deprecated(note = "use QuerySession::run with ExecOptions::new().cancellable(token)")]
     pub fn execute_batch_cancellable(
         &self,
         queries: &[Query],
         token: &CancelToken,
     ) -> Result<Vec<QueryResult>> {
-        self.guard_lifecycle(queries)?;
-        let (results, _) = execute_batch_impl(
-            &self.engine,
-            queries,
-            &self.dataset,
-            &self.cache,
-            Some(token),
-        )?;
-        collapse_query_results(results)
+        self.run(queries, &ExecOptions::new().cancellable(token))?
+            .collapse()
     }
 
     /// The **fault-isolated** batch entry point: per-query
@@ -534,17 +555,22 @@ impl QuerySession {
     /// solo execution, and the session (pool, caches, dataset) stays
     /// fully serviceable. Whole-batch failures (parse/I/O errors,
     /// cancellation, deadline) still surface as the outer `Err`.
+    #[deprecated(note = "use QuerySession::run with ExecOptions::new().isolated()")]
     pub fn execute_batch_isolated(
         &self,
         queries: &[Query],
         token: Option<&CancelToken>,
     ) -> Result<Vec<std::result::Result<QueryResult, QueryError>>> {
-        self.execute_batch_isolated_timed(queries, token)
-            .map(|(r, _)| r)
+        let out = self.run(
+            queries,
+            &ExecOptions::new().isolated().cancellable_opt(token),
+        )?;
+        Ok(out.outcomes)
     }
 
     /// [`QuerySession::execute_batch_isolated`] with the amortisation
     /// breakdown.
+    #[deprecated(note = "use QuerySession::run with ExecOptions::new().isolated().timed()")]
     pub fn execute_batch_isolated_timed(
         &self,
         queries: &[Query],
@@ -553,7 +579,65 @@ impl QuerySession {
         Vec<std::result::Result<QueryResult, QueryError>>,
         BatchStats,
     )> {
+        let out = self.run(
+            queries,
+            &ExecOptions::new().isolated().timed().cancellable_opt(token),
+        )?;
+        let stats = out.batch.expect("timed run reports batch stats");
+        Ok((out.outcomes, stats))
+    }
+
+    /// The unified entry point: executes `queries` under
+    /// [`ExecOptions`] — cancellation/deadline, fault isolation,
+    /// timing, and sharded scatter–gather all come from the options
+    /// struct instead of a method-name permutation.
+    pub fn run(&self, queries: &[Query], opts: &ExecOptions) -> Result<RunOutcome> {
+        let token = opts.effective_token();
+        let shards = opts.shards.resolve(self.engine.threads());
+        let (outcomes, stats) = self.run_isolated_core(queries, token.as_ref(), shards)?;
+        exec::finish_run(outcomes, Some(stats), None, None, opts)
+    }
+
+    /// The session's cached shard layout for `count` shards, building
+    /// (and caching) it on first use. The bounding pass runs outside
+    /// the lock; a racing duplicate build is harmless (last insert
+    /// wins, both layouts are identical).
+    fn shard_set(&self, count: usize, token: Option<&CancelToken>) -> Result<Arc<ShardSet>> {
+        if let Some(set) = recover(self.shard_sets.lock()).get(&count) {
+            return Ok(set.clone());
+        }
+        let built = Arc::new(ShardSet::build(&self.engine, &self.dataset, count, token)?);
+        recover(self.shard_sets.lock())
+            .entry(count)
+            .or_insert_with(|| built.clone());
+        Ok(built)
+    }
+
+    /// Fault-isolated execution core shared by [`QuerySession::run`]
+    /// and the scheduler: sharded scatter–gather when `shards > 1` on
+    /// a sealed dataset, the ordinary shared scan otherwise. Streaming
+    /// sessions mid-ingest never shard — the queryable prefix moves
+    /// under the layout.
+    pub(crate) fn run_isolated_core(
+        &self,
+        queries: &[Query],
+        token: Option<&CancelToken>,
+        shards: usize,
+    ) -> Result<(Vec<QueryOutcome>, BatchStats)> {
         self.guard_lifecycle(queries)?;
+        if shards > 1 && self.ingest.is_none() {
+            let set = self.shard_set(shards, token)?;
+            if set.len() > 1 {
+                return execute_sharded_impl(
+                    &self.engine,
+                    queries,
+                    &self.dataset,
+                    &self.cache,
+                    &set,
+                    token,
+                );
+            }
+        }
         execute_batch_impl(&self.engine, queries, &self.dataset, &self.cache, token)
     }
 
@@ -577,18 +661,6 @@ impl QuerySession {
         }
         Ok(())
     }
-}
-
-/// Collapses fault-isolated per-query results into the all-or-nothing
-/// form of the compatibility entry points: the first failed query
-/// fails the call.
-pub(crate) fn collapse_query_results(
-    results: Vec<std::result::Result<QueryResult, QueryError>>,
-) -> Result<Vec<QueryResult>> {
-    results
-        .into_iter()
-        .map(|r| r.map_err(Error::from))
-        .collect()
 }
 
 /// Builds the side-agnostic partition-pass prototype: everything tags
@@ -646,17 +718,17 @@ fn run_join_grid<S: PartitionStore + Sync>(
     cache: &ReparseCache,
     options: &JoinOptions,
     token: Option<&CancelToken>,
+    slots: &[usize],
 ) -> std::result::Result<Vec<Vec<(Duration, SlotResult)>>, JobFault> {
-    let occupied = map.occupied_slots(store);
     run_grid_on(
         engine.pool(),
         specs.len(),
-        occupied.len(),
+        slots.len(),
         options.threads,
         token,
         |q, i| {
             let started = Instant::now();
-            let r = join_partition(store, map, occupied[i], &specs[q], reparse, cache, options);
+            let r = join_partition(store, map, slots[i], &specs[q], reparse, cache, options);
             (started.elapsed(), r)
         },
     )
@@ -754,6 +826,7 @@ pub(crate) fn execute_batch_impl(
         cache,
         &mut stats,
         token,
+        None,
     )?;
     Ok((results, stats))
 }
@@ -807,8 +880,228 @@ pub(crate) fn execute_streaming_batch_impl(
         cache,
         &mut stats,
         token,
+        None,
     )?;
     Ok((results, stats, stream_stats))
+}
+
+/// Tombstone-aware gather of one shard's sink into the accumulated
+/// base — the same per-member contract as [`MultiSink::combine`]:
+/// sticky failure (earliest shard wins), and a panic inside the
+/// combine itself becomes a tombstone instead of poisoning the batch.
+fn gather_sink(
+    base: Box<dyn AggregateSink>,
+    shard: Box<dyn AggregateSink>,
+) -> Box<dyn AggregateSink> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    if base.panic_message().is_some() {
+        return base;
+    }
+    if shard.panic_message().is_some() {
+        return shard;
+    }
+    match catch_unwind(AssertUnwindSafe(|| base.combine_sink(shard))) {
+        Ok(s) => s,
+        Err(p) => Box::new(FailedSink::new(crate::pool::panic_message(&*p))),
+    }
+}
+
+/// The sharded scatter–gather executor: every shard of `set` scans
+/// only its own byte range into **fresh** per-query sinks (the
+/// aggregate identity), pruned queries never scatter, and the
+/// gathered per-query sinks are bit-identical to one shared scan
+/// because the underlying transducers are associative (see
+/// [`crate::shard`]). Fault isolation is per shard: a panic while
+/// scanning one shard tombstones only the queries scattered there.
+pub(crate) fn execute_sharded_impl(
+    engine: &Engine,
+    queries: &[Query],
+    dataset: &Dataset,
+    cache: &IndexCache,
+    set: &ShardSet,
+    token: Option<&CancelToken>,
+) -> Result<(Vec<QueryOutcome>, BatchStats)> {
+    let nshards = set.len();
+    let mut stats = BatchStats {
+        queries: queries.len() as u64,
+        per_query: vec![BatchQueryStats::default(); queries.len()],
+        shards: Some(ShardStats {
+            shards: nshards as u64,
+            per_shard: vec![ShardTiming::default(); nshards],
+            ..ShardStats::default()
+        }),
+        ..BatchStats::default()
+    };
+    if queries.is_empty() {
+        return Ok((Vec::new(), stats));
+    }
+
+    let mut prep = prepare_scan(engine, queries, cache);
+    let build_index = prep.plan.sinks.len() > prep.single_pass_sinks;
+
+    // ---- prune: which shards each query scatters to ----
+    let masks: Vec<Vec<bool>> = queries.iter().map(|q| set.scatter_mask(q)).collect();
+    {
+        let ss = stats.shards.as_mut().expect("initialised above");
+        for (s, timing) in ss.per_shard.iter_mut().enumerate() {
+            timing.queries = masks.iter().filter(|m| m[s]).count() as u64;
+        }
+        for m in &masks {
+            let hits = m.iter().filter(|&&b| b).count() as u64;
+            ss.scattered += hits;
+            ss.pruned += nshards as u64 - hits;
+            ss.gathered += hits.saturating_sub(1);
+        }
+    }
+    let mut sink_owner = vec![usize::MAX; prep.single_pass_sinks];
+    for (qi, task) in prep.plan.tasks.iter().enumerate() {
+        if let Task::Containment { sink } | Task::Aggregation { sink } = task {
+            sink_owner[*sink] = qi;
+        }
+    }
+
+    // The global plan's fresh sinks are the gather bases (a fresh sink
+    // is the aggregate's identity element).
+    let mut finished: Vec<Option<Box<dyn AggregateSink>>> = std::mem::take(&mut prep.plan.sinks)
+        .into_iter()
+        .map(Some)
+        .collect();
+
+    // ---- scatter ----
+    // XML needs the whole node table for relations, so the parse runs
+    // once globally; shards then absorb their own features by offset.
+    let any_member = build_index || sink_owner.iter().any(|&qi| masks[qi].iter().any(|&b| b));
+    let xml_features = if dataset.format() == Format::OsmXml && any_member {
+        let (features, t) = engine.parse_xml(dataset, &MetadataFilter::All, token)?;
+        stats.shared_scan.split += t.split;
+        stats.shared_scan.process += t.process;
+        stats.shared_scan.merge += t.merge;
+        Some(features)
+    } else {
+        None
+    };
+    let mut scanned = xml_features.is_some();
+    let cfg = engine.config();
+    for (s, shard) in set.shards().iter().enumerate() {
+        // Members scattered to this shard, as positions in `finished`.
+        let mut members: Vec<usize> = (0..prep.single_pass_sinks)
+            .filter(|&g| masks[sink_owner[g]][s])
+            .collect();
+        if build_index {
+            members.push(prep.single_pass_sinks);
+        }
+        if members.is_empty() {
+            continue;
+        }
+        // Fresh identity sinks for this shard's scan.
+        let mut fresh = plan_queries(engine, queries);
+        let mut shard_sinks: Vec<Box<dyn AggregateSink>> = Vec::with_capacity(members.len());
+        for &g in &members {
+            if g < prep.single_pass_sinks {
+                shard_sinks.push(std::mem::replace(
+                    &mut fresh.sinks[g],
+                    Box::new(FailedSink::new("taken")),
+                ));
+            } else {
+                shard_sinks.push(match cfg.store {
+                    StoreKind::Array => Box::new(partition_proto::<ArrayStore>(prep.grid, cfg)),
+                    StoreKind::List => Box::new(partition_proto::<ListStore>(prep.grid, cfg)),
+                });
+            }
+        }
+        let proto = MultiSink::new(shard_sinks);
+        let shard_token = token.map(CancelToken::child);
+        // Shard-targeted failpoint: arming `shard.scan.N` fails shard
+        // N alone, so per-shard fault isolation is testable
+        // deterministically (the `executor.block` point fires inside
+        // every shard's scan and would tombstone the whole batch).
+        #[cfg(feature = "fault-injection")]
+        if let Err(p) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::fault::fire(&format!("shard.scan.{s}"))
+        })) {
+            let msg = crate::pool::panic_message(&*p);
+            for &g in &members {
+                finished[g] = Some(Box::new(FailedSink::new(msg.clone())));
+            }
+            continue;
+        }
+        let scan = match &xml_features {
+            Some(features) => {
+                let started = Instant::now();
+                let mut sink = proto;
+                for f in features {
+                    if (shard.start as u64) <= f.offset && f.offset < (shard.end as u64) {
+                        QueryAggregate::absorb(&mut sink, f);
+                    }
+                }
+                if let Some(t) = shard_token.as_ref() {
+                    t.check()?;
+                }
+                Ok((
+                    sink,
+                    Timings {
+                        split: Duration::ZERO,
+                        process: started.elapsed(),
+                        merge: Duration::ZERO,
+                    },
+                ))
+            }
+            None => engine.scan_range_cancellable(
+                dataset,
+                shard.start,
+                shard.end,
+                &MetadataFilter::All,
+                proto,
+                shard_token.as_ref(),
+            ),
+        };
+        match scan {
+            Ok((merged, t)) => {
+                scanned = true;
+                if xml_features.is_none() {
+                    stats.shared_scan.split += t.split;
+                    stats.shared_scan.process += t.process;
+                    stats.shared_scan.merge += t.merge;
+                }
+                let ss = stats.shards.as_mut().expect("initialised above");
+                ss.per_shard[s].scan = t;
+                // ---- gather: member-wise associative combine ----
+                for (&g, sink) in members.iter().zip(merged.into_sinks()) {
+                    let base = finished[g].take().expect("gather base exists");
+                    finished[g] = Some(gather_sink(base, sink));
+                }
+            }
+            // Per-shard fault isolation: a panic on this shard
+            // tombstones exactly the queries scattered here.
+            Err(Error::TaskPanicked(msg)) => {
+                for &g in &members {
+                    finished[g] = Some(Box::new(FailedSink::new(msg.clone())));
+                }
+            }
+            // Interrupts and parse errors keep whole-batch semantics.
+            Err(e) => return Err(e),
+        }
+    }
+    if scanned {
+        stats.scan_passes += 1;
+    }
+
+    let results = finish_batch(
+        engine,
+        queries,
+        &prep.plan,
+        finished,
+        prep.single_pass_sinks,
+        prep.cached,
+        prep.key,
+        prep.grid,
+        dataset,
+        cache,
+        &mut stats,
+        token,
+        Some(set),
+    )?;
+    Ok((results, stats))
 }
 
 /// The aggregate step shared by the buffered and streamed scan paths:
@@ -832,25 +1125,37 @@ fn finish_batch(
     cache: &IndexCache,
     stats: &mut BatchStats,
     token: Option<&CancelToken>,
+    shard_set: Option<&ShardSet>,
 ) -> Result<Vec<std::result::Result<QueryResult, QueryError>>> {
     let cfg = engine.config();
     let needs_index = !plan.join_specs.is_empty();
     let scan_total = stats.shared_scan.total();
+    let mut results: Vec<Option<std::result::Result<QueryResult, QueryError>>> =
+        (0..queries.len()).map(|_| None).collect();
 
     // ---- aggregate: partition index ----
     let index: Option<Arc<PartitionIndex>> = if needs_index {
         let index = match cached {
-            Some(i) => i,
-            None => {
+            Some(i) => Some(i),
+            None => 'build: {
                 let sink = finished
                     .get_mut(single_pass_sinks)
                     .and_then(Option::take)
                     .expect("the partition sink rode the scan");
                 // The shared partition sink serves every join-class
                 // query; if it panicked there is nothing per-query to
-                // salvage — the whole batch fails (structured, no
-                // poisoned state left behind).
+                // salvage. Single-node, the whole batch fails
+                // (structured, no poisoned state left behind); under
+                // shard isolation the panic happened on one shard, so
+                // only the join-class queries — which all depend on
+                // the index — are tombstoned.
                 if let Some(m) = sink.panic_message() {
+                    if shard_set.is_some() {
+                        for &qi in &plan.join_query_index {
+                            results[qi] = Some(Err(QueryError::Panicked(m.to_string())));
+                        }
+                        break 'build None;
+                    }
                     return Err(Error::TaskPanicked(m.to_string()));
                 }
                 let (store, map, refine) = match cfg.store {
@@ -884,17 +1189,15 @@ fn finish_batch(
                     key.expect("key exists when an index is needed"),
                     built.clone(),
                 );
-                built
+                Some(built)
             }
         };
-        Some(index)
+        index
     } else {
         None
     };
 
     // ---- aggregate: single-pass query results ----
-    let mut results: Vec<Option<std::result::Result<QueryResult, QueryError>>> =
-        (0..queries.len()).map(|_| None).collect();
     for (qi, task) in plan.tasks.iter().enumerate() {
         let sink = match task {
             Task::Containment { sink } | Task::Aggregation { sink } => *sink,
@@ -948,29 +1251,80 @@ fn finish_batch(
         // several queries (or replicated into several partitions)
         // parse once.
         let shared_cache = ReparseCache::new(options.sort_batch);
-        let grid_results = match &index.store {
-            IndexStore::Array(s) => run_join_grid(
-                engine,
-                s,
-                &index.map,
-                &plan.join_specs,
-                reparse.as_ref(),
-                &shared_cache,
-                &options,
-                token,
-            ),
-            IndexStore::List(s) => run_join_grid(
-                engine,
-                s,
-                &index.map,
-                &plan.join_specs,
-                reparse.as_ref(),
-                &shared_cache,
-                &options,
-                token,
-            ),
+        let occupied = index.occupied_slots();
+        // Single-node: one fan-out over every occupied slot. Sharded:
+        // the occupied slots are distributed round-robin across
+        // shards; each shard joins its own slots and the per-slot
+        // results concatenate before the (order-canonical) per-query
+        // fold — bit-identical to the single fan-out. A panicking
+        // shard tombstones the join-class queries (they all depend on
+        // every shard's slots) instead of failing the batch.
+        let slot_groups: Vec<Vec<usize>> = match shard_set {
+            Some(set) => (0..set.len())
+                .map(|s| set.own_slots(s, &occupied))
+                .collect(),
+            None => vec![occupied],
+        };
+        let mut grid_results: Vec<Vec<(Duration, SlotResult)>> =
+            (0..plan.join_specs.len()).map(|_| Vec::new()).collect();
+        let mut join_panic: Option<String> = None;
+        for (shard_idx, slots) in slot_groups.iter().enumerate() {
+            if slots.is_empty() {
+                continue;
+            }
+            let shard_results = match &index.store {
+                IndexStore::Array(s) => run_join_grid(
+                    engine,
+                    s,
+                    &index.map,
+                    &plan.join_specs,
+                    reparse.as_ref(),
+                    &shared_cache,
+                    &options,
+                    token,
+                    slots,
+                ),
+                IndexStore::List(s) => run_join_grid(
+                    engine,
+                    s,
+                    &index.map,
+                    &plan.join_specs,
+                    reparse.as_ref(),
+                    &shared_cache,
+                    &options,
+                    token,
+                    slots,
+                ),
+            };
+            match shard_results {
+                Ok(per_query) => {
+                    if shard_set.is_some() {
+                        if let Some(ss) = stats.shards.as_mut() {
+                            ss.per_shard[shard_idx].join +=
+                                per_query.iter().flatten().map(|(d, _)| *d).sum();
+                        }
+                    }
+                    for (jq, v) in per_query.into_iter().enumerate() {
+                        grid_results[jq].extend(v);
+                    }
+                }
+                Err(JobFault::Panicked(msg)) if shard_set.is_some() => {
+                    join_panic = Some(msg);
+                    break;
+                }
+                Err(e) => return Err(Error::from(e)),
+            }
         }
-        .map_err(Error::from)?;
+        if let Some(msg) = join_panic {
+            for &qi in &plan.join_query_index {
+                results[qi] = Some(Err(QueryError::Panicked(msg.clone())));
+            }
+            let results = results
+                .into_iter()
+                .map(|r| r.expect("every query produced a result"))
+                .collect();
+            return Ok(results);
+        }
         for (jq, per_slot) in grid_results.into_iter().enumerate() {
             let qi = plan.join_query_index[jq];
             let own_process: Duration = per_slot.iter().map(|(d, _)| *d).sum();
@@ -1034,6 +1388,7 @@ fn finish_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{RunExt, SessionRunExt};
     use atgis_datagen::{write_geojson, OsmGenerator};
     use atgis_geometry::Mbr;
 
@@ -1059,9 +1414,9 @@ mod tests {
         let queries = mixed_queries(80);
         let want: Vec<QueryResult> = queries
             .iter()
-            .map(|q| engine.execute(q, &ds).unwrap())
+            .map(|q| engine.exec1(q, &ds).unwrap())
             .collect();
-        let (got, stats) = engine.execute_batch_timed(&queries, &ds).unwrap();
+        let (got, stats) = engine.execb_timed(&queries, &ds).unwrap();
         assert_eq!(got, want);
         assert_eq!(stats.scan_passes, 1, "one shared pass for the whole batch");
         assert_eq!(stats.queries, 5);
@@ -1074,7 +1429,7 @@ mod tests {
     fn empty_batch_is_empty() {
         let ds = dataset(901, 10);
         let engine = Engine::builder().build();
-        let (results, stats) = engine.execute_batch_timed(&[], &ds).unwrap();
+        let (results, stats) = engine.execb_timed(&[], &ds).unwrap();
         assert!(results.is_empty());
         assert_eq!(stats.scan_passes, 0);
     }
@@ -1085,13 +1440,13 @@ mod tests {
         let engine = Engine::builder().threads(2).cell_size(2.0).build();
         let baseline: Vec<QueryResult> = [Query::join(35), Query::join(20)]
             .iter()
-            .map(|q| engine.execute(q, &ds).unwrap())
+            .map(|q| engine.exec1(q, &ds).unwrap())
             .collect();
         let session = QuerySession::new(engine, ds);
         assert_eq!(session.cached_indexes(), 0);
         assert!(session.is_sealed());
         let (first, s1) = session
-            .execute_batch_timed(&[Query::join(35), Query::join(20)])
+            .execb_timed(&[Query::join(35), Query::join(20)])
             .unwrap();
         assert_eq!(first, baseline);
         assert_eq!(s1.scan_passes, 1);
@@ -1099,7 +1454,7 @@ mod tests {
         // Second batch: the cached index serves both joins with zero
         // parse passes.
         let (second, s2) = session
-            .execute_batch_timed(&[Query::join(35), Query::join(20)])
+            .execb_timed(&[Query::join(35), Query::join(20)])
             .unwrap();
         assert_eq!(second, baseline);
         assert_eq!(s2.scan_passes, 0);
@@ -1111,9 +1466,9 @@ mod tests {
         let ds = dataset(903, 60);
         let engine = Engine::builder().threads(2).build();
         let q = Query::aggregation(Mbr::new(-8.0, 42.0, 6.0, 58.0));
-        let want = engine.execute(&q, &ds).unwrap();
+        let want = engine.exec1(&q, &ds).unwrap();
         let session = QuerySession::new(engine, ds);
-        assert_eq!(session.execute(&q).unwrap(), want);
+        assert_eq!(session.exec1(&q).unwrap(), want);
     }
 
     #[test]
@@ -1122,7 +1477,7 @@ mod tests {
         let engine = Engine::builder().threads(2).build();
         let q = Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0));
         let results = engine
-            .execute_batch(&[q.clone(), q.clone(), q.clone()], &ds)
+            .execb(&[q.clone(), q.clone(), q.clone()], &ds)
             .unwrap();
         assert_eq!(results[0], results[1]);
         assert_eq!(results[1], results[2]);
@@ -1137,13 +1492,13 @@ mod tests {
             .store(StoreKind::Array)
             .cell_size(2.0)
             .build()
-            .execute_batch(&queries, &ds)
+            .execb(&queries, &ds)
             .unwrap();
         let l = Engine::builder()
             .store(StoreKind::List)
             .cell_size(2.0)
             .build()
-            .execute_batch(&queries, &ds)
+            .execb(&queries, &ds)
             .unwrap();
         assert_eq!(a, l);
     }
@@ -1158,7 +1513,7 @@ mod tests {
         let mut session = QuerySession::streaming(engine.clone(), Format::GeoJson).unwrap();
         assert!(!session.is_sealed());
         // Joins are rejected until sealed.
-        assert!(session.execute(&Query::join(30)).is_err());
+        assert!(session.exec1(&Query::join(30)).is_err());
 
         for chunk in bytes.chunks(777) {
             session.ingest_chunk(chunk).unwrap();
@@ -1170,8 +1525,8 @@ mod tests {
         let world = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
         let prefix_ds = Dataset::from_bytes(bytes[..prefix_len].to_vec(), Format::GeoJson);
         assert_eq!(
-            session.execute(&world).unwrap(),
-            engine.execute(&world, &prefix_ds).unwrap()
+            session.exec1(&world).unwrap(),
+            engine.exec1(&world, &prefix_ds).unwrap()
         );
 
         let stats = session.finish().unwrap();
@@ -1183,11 +1538,11 @@ mod tests {
         // Join-class queries now serve from the sealed index with no
         // further parse passes, bit-identical to buffered execution.
         let (got, jstats) = session
-            .execute_batch_timed(&[Query::join(30), Query::combined(30, 0.0, f64::INFINITY)])
+            .execb_timed(&[Query::join(30), Query::combined(30, 0.0, f64::INFINITY)])
             .unwrap();
         let want: Vec<QueryResult> = [Query::join(30), Query::combined(30, 0.0, f64::INFINITY)]
             .iter()
-            .map(|q| engine.execute(q, &reference).unwrap())
+            .map(|q| engine.exec1(q, &reference).unwrap())
             .collect();
         assert_eq!(got, want);
         assert_eq!(jstats.scan_passes, 0, "sealed index: no parse passes");
@@ -1210,7 +1565,7 @@ mod tests {
         assert!(!session.is_sealed(), "a failed seal is not sealed");
         let world = Query::containment(atgis_geometry::Mbr::new(-180.0, -90.0, 180.0, 90.0));
         assert!(
-            session.execute(&world).is_err(),
+            session.exec1(&world).is_err(),
             "queries after a failed seal must error, not serve partial data"
         );
         assert!(session.ingest_chunk(b"more").is_err(), "the stream is gone");
@@ -1230,7 +1585,7 @@ mod tests {
         ];
         let solo: Vec<QueryResult> = queries
             .iter()
-            .map(|q| engine.execute(q, &ds).unwrap())
+            .map(|q| engine.exec1(q, &ds).unwrap())
             .collect();
         let cache = IndexCache::new();
         let mut prep = prepare_scan(&engine, &queries, &cache);
@@ -1246,6 +1601,7 @@ mod tests {
             scan_passes: 1,
             shared_scan: t,
             per_query: vec![BatchQueryStats::default(); 3],
+            shards: None,
         };
         let results = finish_batch(
             &engine,
@@ -1260,6 +1616,7 @@ mod tests {
             &cache,
             &mut stats,
             None,
+            None,
         )
         .unwrap();
         assert_eq!(results[0].as_ref().unwrap(), &solo[0]);
@@ -1270,7 +1627,7 @@ mod tests {
         }
         // The engine (and its pool) stays fully serviceable.
         assert_eq!(
-            engine.execute_batch(&queries, &ds).unwrap(),
+            engine.execb(&queries, &ds).unwrap(),
             solo,
             "a later batch on the same engine is unaffected"
         );
@@ -1283,17 +1640,25 @@ mod tests {
         let queries = mixed_queries(60);
         let token = crate::CancelToken::new();
         token.cancel();
-        match engine.execute_batch_cancellable(&queries, &ds, &token) {
+        match engine
+            .run(&queries, &ds, &ExecOptions::new().cancellable(&token))
+            .and_then(|o| o.collapse())
+        {
             Err(Error::Cancelled) => {}
             other => panic!("expected Cancelled, got {other:?}"),
         }
         // Same engine, fresh token: full results, bit-identical.
         let want: Vec<QueryResult> = queries
             .iter()
-            .map(|q| engine.execute(q, &ds).unwrap())
+            .map(|q| engine.exec1(q, &ds).unwrap())
             .collect();
         let got = engine
-            .execute_batch_cancellable(&queries, &ds, &crate::CancelToken::new())
+            .run(
+                &queries,
+                &ds,
+                &ExecOptions::new().cancellable(&crate::CancelToken::new()),
+            )
+            .and_then(|o| o.collapse())
             .unwrap();
         assert_eq!(got, want);
     }
@@ -1303,7 +1668,14 @@ mod tests {
         let ds = dataset(932, 60);
         let engine = Engine::builder().threads(2).build();
         let token = crate::CancelToken::with_deadline(std::time::Duration::ZERO);
-        match engine.execute_batch_cancellable(&mixed_queries(60), &ds, &token) {
+        match engine
+            .run(
+                &mixed_queries(60),
+                &ds,
+                &ExecOptions::new().cancellable(&token),
+            )
+            .and_then(|o| o.collapse())
+        {
             Err(Error::DeadlineExceeded) => {}
             other => panic!("expected DeadlineExceeded, got {other:?}"),
         }
@@ -1314,7 +1686,7 @@ mod tests {
         let engine = Engine::builder().build();
         let mut session = QuerySession::streaming(engine, Format::Wkt).unwrap();
         session.ingest_chunk(b"1\tPOINT(1.5 50.5)\t\n").unwrap();
-        match session.execute(&Query::join(10)) {
+        match session.exec1(&Query::join(10)) {
             Err(Error::InvalidState(m)) => assert!(m.contains("sealed"), "message: {m}"),
             other => panic!("expected InvalidState, got {other:?}"),
         }
@@ -1330,18 +1702,94 @@ mod tests {
     }
 
     #[test]
+    fn sharded_session_matches_single_node() {
+        let ds = dataset(940, 120);
+        let queries = mixed_queries(120);
+        let single: Vec<QueryResult> = {
+            let engine = Engine::builder().threads(2).cell_size(2.0).build();
+            queries
+                .iter()
+                .map(|q| engine.exec1(q, &ds).unwrap())
+                .collect()
+        };
+        for shards in [1usize, 2, 4, 8] {
+            let engine = Engine::builder().threads(2).cell_size(2.0).build();
+            let session = QuerySession::new(engine, ds.clone());
+            let out = session
+                .run(&queries, &ExecOptions::new().timed().sharded(shards))
+                .unwrap();
+            if shards > 1 {
+                let ss = out.shard_stats().expect("sharded run reports ShardStats");
+                assert!(ss.shards > 1, "dataset must split at {shards} shards");
+                assert_eq!(
+                    ss.scattered + ss.pruned,
+                    ss.shards * queries.len() as u64,
+                    "every (query, shard) pair is scattered or pruned"
+                );
+            }
+            let got: Vec<QueryResult> = out.collapse().unwrap();
+            assert_eq!(got, single, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_pruning_is_observable_and_result_preserving() {
+        let ds = dataset(941, 100);
+        let engine = Engine::builder().threads(2).build();
+        // A query region far outside the generated extent: every shard
+        // prunes it, and the result is the same empty match set a full
+        // scan produces.
+        let nowhere = Query::containment(Mbr::new(170.0, 80.0, 175.0, 85.0));
+        let want = engine.exec1(&nowhere, &ds).unwrap();
+        let session = QuerySession::new(engine, ds);
+        let out = session
+            .run(
+                std::slice::from_ref(&nowhere),
+                &ExecOptions::new().timed().sharded(4),
+            )
+            .unwrap();
+        let ss = out.shard_stats().expect("sharded stats");
+        assert_eq!(ss.scattered, 0, "disjoint region scatters nowhere");
+        assert_eq!(ss.pruned, ss.shards);
+        assert_eq!(out.collapse().unwrap(), vec![want]);
+    }
+
+    #[test]
+    fn sharded_session_reuses_layout_and_index() {
+        let ds = dataset(942, 80);
+        let engine = Engine::builder().threads(2).cell_size(2.0).build();
+        let session = QuerySession::new(engine, ds);
+        let joins = vec![Query::join(40), Query::join(25)];
+        let opts = ExecOptions::new().timed().sharded(4);
+        let first = session.run(&joins, &opts).unwrap().collapse().unwrap();
+        assert_eq!(session.cached_indexes(), 1);
+        // Warm path: the cached index serves the sharded join fan-out
+        // with zero parse passes, bit-identically.
+        let warm = session.run(&joins, &opts).unwrap();
+        assert_eq!(warm.batch.as_ref().unwrap().scan_passes, 0);
+        assert_eq!(warm.collapse().unwrap(), first);
+    }
+
+    #[test]
     fn streaming_batch_matches_buffered_batch() {
         let gen = OsmGenerator::new(907).generate(70);
         let bytes = write_geojson(&gen);
         let ds = Dataset::from_bytes(bytes.clone(), Format::GeoJson);
         let engine = Engine::builder().threads(2).cell_size(2.0).build();
         let queries = mixed_queries(70);
-        let want = engine.execute_batch(&queries, &ds).unwrap();
+        let want = engine.execb(&queries, &ds).unwrap();
         let mut source = crate::stream::SliceChunkSource::new(&bytes, 4096);
-        let (got, stats, sstats) = engine
-            .execute_streaming_batch_timed(&queries, &mut source, Format::GeoJson)
+        let out = engine
+            .run_streaming(
+                &queries,
+                &mut source,
+                Format::GeoJson,
+                &ExecOptions::new().timed(),
+            )
             .unwrap();
-        assert_eq!(got, want);
+        let stats = out.batch.clone().unwrap();
+        let sstats = out.stream.clone().unwrap();
+        assert_eq!(out.collapse().unwrap(), want);
         assert_eq!(stats.scan_passes, 1);
         assert!(sstats.chunks > 1);
         assert!(sstats.regions > 0);

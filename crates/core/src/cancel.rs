@@ -58,6 +58,29 @@ impl std::fmt::Display for Interrupt {
 struct TokenState {
     cancelled: AtomicBool,
     deadline: Option<Instant>,
+    /// Parent state for tokens created with [`CancelToken::child`]:
+    /// the child trips whenever any ancestor trips, but cancelling the
+    /// child never propagates upward.
+    parent: Option<Arc<TokenState>>,
+}
+
+impl TokenState {
+    fn interrupted(&self) -> Option<Interrupt> {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Some(Interrupt::Cancelled);
+        }
+        if let Some(at) = self.deadline {
+            if Instant::now() >= at {
+                return Some(Interrupt::DeadlineExceeded);
+            }
+        }
+        self.parent.as_deref().and_then(TokenState::interrupted)
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+            || self.parent.as_deref().is_some_and(TokenState::is_cancelled)
+    }
 }
 
 /// A cloneable cancellation handle with an optional deadline. All
@@ -76,6 +99,7 @@ impl CancelToken {
             state: Arc::new(TokenState {
                 cancelled: AtomicBool::new(false),
                 deadline: None,
+                parent: None,
             }),
         }
     }
@@ -97,6 +121,7 @@ impl CancelToken {
             state: Arc::new(TokenState {
                 cancelled: AtomicBool::new(false),
                 deadline: Some(at),
+                parent: None,
             }),
         }
     }
@@ -107,10 +132,40 @@ impl CancelToken {
         self.state.cancelled.store(true, Ordering::Release);
     }
 
-    /// Whether [`CancelToken::cancel`] has been called (deadline state
-    /// is not consulted).
+    /// Whether [`CancelToken::cancel`] has been called on this token
+    /// or any ancestor (deadline state is not consulted).
     pub fn is_cancelled(&self) -> bool {
-        self.state.cancelled.load(Ordering::Acquire)
+        self.state.is_cancelled()
+    }
+
+    /// A child token that trips whenever `self` trips (cancellation or
+    /// deadline), but whose own [`CancelToken::cancel`] never
+    /// propagates back to `self`. Shard workers each poll a child so
+    /// the coordinator's signal fans out while a shard-local trip
+    /// stays local.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            state: Arc::new(TokenState {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: Some(self.state.clone()),
+            }),
+        }
+    }
+
+    /// A child token (see [`CancelToken::child`]) that additionally
+    /// trips once `budget` has elapsed from now. The effective
+    /// deadline is the earlier of the child's and any ancestor's; an
+    /// unrepresentable budget means the child adds no deadline of its
+    /// own.
+    pub fn child_with_deadline(&self, budget: Duration) -> CancelToken {
+        CancelToken {
+            state: Arc::new(TokenState {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(budget),
+                parent: Some(self.state.clone()),
+            }),
+        }
     }
 
     /// The configured deadline, if any.
@@ -122,13 +177,7 @@ impl CancelToken {
     /// cancelled or past the deadline. One relaxed atomic load on the
     /// hot path; the clock is read only when a deadline is set.
     pub fn interrupted(&self) -> Option<Interrupt> {
-        if self.state.cancelled.load(Ordering::Relaxed) {
-            return Some(Interrupt::Cancelled);
-        }
-        match self.state.deadline {
-            Some(at) if Instant::now() >= at => Some(Interrupt::DeadlineExceeded),
-            _ => None,
-        }
+        self.state.interrupted()
     }
 
     /// [`CancelToken::interrupted`] as a `Result`, for `?`-style
@@ -208,6 +257,36 @@ mod tests {
         let t = CancelToken::with_deadline(Duration::ZERO);
         t.cancel();
         assert_eq!(t.interrupted(), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn child_trips_with_parent_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        assert!(child.check().is_ok());
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled(), "child cancel stays local");
+        let other = parent.child();
+        parent.cancel();
+        assert_eq!(other.interrupted(), Some(Interrupt::Cancelled));
+        assert!(other.is_cancelled());
+    }
+
+    #[test]
+    fn child_deadline_composes_with_parent_deadline() {
+        let parent = CancelToken::with_deadline(Duration::from_secs(3600));
+        let strict = parent.child_with_deadline(Duration::ZERO);
+        assert_eq!(strict.check(), Err(Interrupt::DeadlineExceeded));
+        let lax = parent.child_with_deadline(Duration::from_secs(7200));
+        assert!(lax.check().is_ok());
+        // The parent's earlier trip still reaches the lax child.
+        let tight = CancelToken::with_deadline(Duration::ZERO);
+        let inherited = tight.child_with_deadline(Duration::from_secs(3600));
+        assert_eq!(inherited.check(), Err(Interrupt::DeadlineExceeded));
+        // Oversized child budgets degrade to "no own deadline".
+        let huge = parent.child_with_deadline(Duration::MAX);
+        assert!(huge.check().is_ok());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::cancel::CancelToken;
 use crate::dataset::Dataset;
+use crate::exec::{self, ExecOptions, Isolation, RunOutcome};
 use crate::executor::{resolve_threads, run_blocks_on};
 use crate::join::{pbsm_join_mapped_on, JoinOptions, ProbeStrategy, Reparser};
 use crate::partition::{
@@ -12,14 +13,14 @@ use crate::pipeline::{ContainmentAgg, FatGeoJsonFrag, FatWktFrag, MetricsAgg, Qu
 use crate::pool::WorkerPool;
 use crate::query::{FilterStrategy, Query};
 use crate::result::{JoinPair, QueryResult};
-use crate::stats::{JoinDecisions, JoinTimings, Timings};
+use crate::stats::{BatchQueryStats, BatchStats, JoinDecisions, JoinTimings, Timings};
 use crate::{Error, Result};
 use atgis_formats::feature::{MetadataFilter, RawFeature};
 use atgis_formats::{fixed_blocks, marker_blocks, Format, Mode, ParseError};
 use atgis_geometry::{measures, DistanceModel, Geometry, Mbr, Polygon};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which data structure holds partitions (§4.4 / Fig. 15).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -169,20 +170,27 @@ impl EngineBuilder {
 /// shares the underlying worker pool.
 ///
 /// ```
-/// use atgis::{Dataset, Engine, Query};
+/// use atgis::{Dataset, Engine, ExecOptions, Query};
 /// use atgis_formats::{Format, Mode};
 /// use atgis_geometry::Mbr;
 ///
 /// let bytes = atgis_datagen::write_geojson(&atgis_datagen::OsmGenerator::new(3).generate(100));
 /// let dataset = Dataset::from_bytes(bytes, Format::GeoJson);
 /// let engine = Engine::builder().threads(2).mode(Mode::Pat).build();
+/// let opts = ExecOptions::new();
 ///
 /// let matches = engine
-///     .execute(&Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0)), &dataset)
+///     .run(&[Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0))], &dataset, &opts)
+///     .unwrap()
+///     .into_single()
 ///     .unwrap();
 /// assert!(!matches.matches().is_empty());
 ///
-/// let joined = engine.execute(&Query::join(50), &dataset).unwrap();
+/// let joined = engine
+///     .run(&[Query::join(50)], &dataset, &opts)
+///     .unwrap()
+///     .into_single()
+///     .unwrap();
 /// for pair in joined.joined() {
 ///     assert!(pair.left_id < 50 && pair.right_id >= 50);
 /// }
@@ -203,6 +211,27 @@ pub struct ExecutionStats {
     pub join: Option<JoinTimings>,
     /// Skew-adaptive split and probe decisions when the query joins.
     pub decisions: Option<JoinDecisions>,
+}
+
+/// Synthesises the batch-shaped breakdown for [`Engine::run`]'s
+/// single-query fast path, so a timed one-query `run` reports the same
+/// stats surface as the batch executor.
+fn single_query_batch_stats(es: &ExecutionStats) -> BatchStats {
+    let scan = es.pipeline.total();
+    let wall = es.join.as_ref().map_or(scan, |j| scan + j.total());
+    BatchStats {
+        queries: 1,
+        scan_passes: 1,
+        shared_scan: es.pipeline,
+        per_query: vec![BatchQueryStats {
+            scan,
+            join: es.join,
+            decisions: es.decisions,
+            finalize: Duration::ZERO,
+            wall,
+        }],
+        shards: None,
+    }
 }
 
 impl Engine {
@@ -233,9 +262,84 @@ impl Engine {
         self.config.grid_extent.area()
     }
 
+    /// The unified entry point: executes `queries` over `dataset`
+    /// under one [`ExecOptions`] request — cancellation, deadline,
+    /// timing, fault isolation and sharded scatter–gather are fields,
+    /// not method-name permutations (see [`crate::exec`] for the
+    /// legacy-name migration table).
+    ///
+    /// A single whole-batch query takes the direct single-query path
+    /// (no fan-out plumbing); everything else runs the shared-scan
+    /// batch executor, sharded when [`ExecOptions::shards`] asks for
+    /// it. Results are bit-identical across all of these paths and
+    /// across every shard count.
+    ///
+    /// ```
+    /// use atgis::{Dataset, Engine, ExecOptions, Query};
+    /// use atgis_formats::Format;
+    /// use atgis_geometry::Mbr;
+    ///
+    /// let bytes = atgis_datagen::write_geojson(&atgis_datagen::OsmGenerator::new(4).generate(80));
+    /// let dataset = Dataset::from_bytes(bytes, Format::GeoJson);
+    /// let engine = Engine::builder().threads(2).build();
+    /// let queries = vec![
+    ///     Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0)),
+    ///     Query::join(40),
+    /// ];
+    ///
+    /// // One shared parse pass, timed, scattered over 4 shards.
+    /// let out = engine
+    ///     .run(&queries, &dataset, &ExecOptions::new().timed().sharded(4))
+    ///     .unwrap();
+    /// let stats = out.shard_stats().expect("sharded run");
+    /// assert!(stats.shards >= 1);
+    /// // Bit-identical to the single-query, single-node path.
+    /// let solo = engine
+    ///     .run(&queries[..1], &dataset, &ExecOptions::new())
+    ///     .unwrap();
+    /// assert_eq!(out.outcomes[0], solo.outcomes[0]);
+    /// ```
+    pub fn run(
+        &self,
+        queries: &[Query],
+        dataset: &Dataset,
+        opts: &ExecOptions,
+    ) -> Result<RunOutcome> {
+        let token = opts.effective_token();
+        let shards = opts.shards.resolve(self.threads());
+        // Single-query fast path: no fan-out plumbing, no per-feature
+        // dynamic dispatch — the hot path of every latency benchmark.
+        if queries.len() == 1 && shards <= 1 && opts.isolation == Isolation::WholeBatch {
+            let (result, es) = self.run_single(&queries[0], dataset, token.as_ref())?;
+            let batch = opts.timing.then(|| single_query_batch_stats(&es));
+            return exec::finish_run(vec![Ok(result)], batch, None, None, opts);
+        }
+        let cache = crate::batch::IndexCache::new();
+        let (outcomes, stats) = if shards > 1 {
+            let set = crate::shard::ShardSet::build(self, dataset, shards, token.as_ref())?;
+            if set.len() > 1 {
+                crate::batch::execute_sharded_impl(
+                    self,
+                    queries,
+                    dataset,
+                    &cache,
+                    &set,
+                    token.as_ref(),
+                )?
+            } else {
+                crate::batch::execute_batch_impl(self, queries, dataset, &cache, token.as_ref())?
+            }
+        } else {
+            crate::batch::execute_batch_impl(self, queries, dataset, &cache, token.as_ref())?
+        };
+        exec::finish_run(outcomes, Some(stats), None, None, opts)
+    }
+
     /// Executes a query, discarding timings.
+    #[deprecated(note = "use Engine::run with ExecOptions")]
     pub fn execute(&self, query: &Query, dataset: &Dataset) -> Result<QueryResult> {
-        self.execute_timed(query, dataset).map(|(r, _)| r)
+        self.run(std::slice::from_ref(query), dataset, &ExecOptions::new())?
+            .into_single()
     }
 
     /// [`Engine::execute`] under a cooperative [`CancelToken`]: the
@@ -246,7 +350,7 @@ impl Engine {
     /// its pool and any shared caches remain fully usable afterwards.
     ///
     /// ```
-    /// use atgis::{CancelToken, Dataset, Engine, Error, Query};
+    /// use atgis::{CancelToken, Dataset, Engine, Error, ExecOptions, Query};
     /// use atgis_formats::Format;
     /// use atgis_geometry::Mbr;
     ///
@@ -256,18 +360,27 @@ impl Engine {
     /// let token = CancelToken::new();
     /// token.cancel();
     /// let err = engine
-    ///     .execute_cancellable(&Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0)), &dataset, &token)
+    ///     .run(
+    ///         &[Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0))],
+    ///         &dataset,
+    ///         &ExecOptions::new().cancellable(&token),
+    ///     )
     ///     .unwrap_err();
     /// assert!(matches!(err, Error::Cancelled));
     /// ```
+    #[deprecated(note = "use Engine::run with ExecOptions::new().cancellable(token)")]
     pub fn execute_cancellable(
         &self,
         query: &Query,
         dataset: &Dataset,
         token: &CancelToken,
     ) -> Result<QueryResult> {
-        self.execute_timed_cancellable(query, dataset, Some(token))
-            .map(|(r, _)| r)
+        self.run(
+            std::slice::from_ref(query),
+            dataset,
+            &ExecOptions::new().cancellable(token),
+        )?
+        .into_single()
     }
 
     /// Executes a batch of queries over one dataset with a **shared
@@ -298,42 +411,51 @@ impl Engine {
     /// ];
     ///
     /// // One parse pass serves all three queries…
-    /// let batched = engine.execute_batch(&queries, &dataset).unwrap();
+    /// let batched = engine
+    ///     .run(&queries, &dataset, &atgis::ExecOptions::new())
+    ///     .unwrap()
+    ///     .collapse()
+    ///     .unwrap();
     /// // …and every result is bit-identical to executing alone.
     /// for (q, batch_result) in queries.iter().zip(&batched) {
-    ///     assert_eq!(&engine.execute(q, &dataset).unwrap(), batch_result);
+    ///     let solo = engine
+    ///         .run(std::slice::from_ref(q), &dataset, &atgis::ExecOptions::new())
+    ///         .unwrap()
+    ///         .into_single()
+    ///         .unwrap();
+    ///     assert_eq!(&solo, batch_result);
     /// }
     /// ```
+    #[deprecated(note = "use Engine::run with ExecOptions")]
     pub fn execute_batch(&self, queries: &[Query], dataset: &Dataset) -> Result<Vec<QueryResult>> {
-        self.execute_batch_timed(queries, dataset).map(|(r, _)| r)
+        self.run(queries, dataset, &ExecOptions::new())?.collapse()
     }
 
     /// [`Engine::execute_batch`] with the per-query and shared-scan
     /// amortisation breakdown.
+    #[deprecated(note = "use Engine::run with ExecOptions::new().timed()")]
     pub fn execute_batch_timed(
         &self,
         queries: &[Query],
         dataset: &Dataset,
     ) -> Result<(Vec<QueryResult>, crate::stats::BatchStats)> {
-        let cache = crate::batch::IndexCache::new();
-        let (results, stats) =
-            crate::batch::execute_batch_impl(self, queries, dataset, &cache, None)?;
-        Ok((crate::batch::collapse_query_results(results)?, stats))
+        let out = self.run(queries, dataset, &ExecOptions::new().timed())?;
+        let stats = out.batch.clone().expect("timed run reports batch stats");
+        Ok((out.collapse()?, stats))
     }
 
     /// [`Engine::execute_batch`] under a cooperative [`CancelToken`]
     /// shared by the whole batch (see [`Engine::execute_cancellable`]
     /// for the cancellation contract).
+    #[deprecated(note = "use Engine::run with ExecOptions::new().cancellable(token)")]
     pub fn execute_batch_cancellable(
         &self,
         queries: &[Query],
         dataset: &Dataset,
         token: &CancelToken,
     ) -> Result<Vec<QueryResult>> {
-        let cache = crate::batch::IndexCache::new();
-        let (results, _) =
-            crate::batch::execute_batch_impl(self, queries, dataset, &cache, Some(token))?;
-        crate::batch::collapse_query_results(results)
+        self.run(queries, dataset, &ExecOptions::new().cancellable(token))?
+            .collapse()
     }
 
     /// The **fault-isolated** batch form: per-query `Result`s instead
@@ -343,15 +465,20 @@ impl Engine {
     /// to solo execution and the engine (pool included) stays fully
     /// serviceable. Whole-batch failures — parse/I/O errors,
     /// cancellation, an elapsed deadline — surface as the outer `Err`.
+    #[deprecated(note = "use Engine::run with ExecOptions::new().isolated()")]
     pub fn execute_batch_isolated(
         &self,
         queries: &[Query],
         dataset: &Dataset,
         token: Option<&CancelToken>,
     ) -> Result<Vec<std::result::Result<QueryResult, crate::QueryError>>> {
-        let cache = crate::batch::IndexCache::new();
-        let (results, _) = crate::batch::execute_batch_impl(self, queries, dataset, &cache, token)?;
-        Ok(results)
+        Ok(self
+            .run(
+                queries,
+                dataset,
+                &ExecOptions::new().isolated().cancellable_opt(token),
+            )?
+            .outcomes)
     }
 
     /// Executes batches over **multiple datasets** in one call: each
@@ -362,18 +489,33 @@ impl Engine {
     /// like the input. For long-lived serving (warm partition indexes
     /// and the cross-batch aggregate cache), hold a
     /// [`crate::scheduler::QueryScheduler`] instead.
+    #[deprecated(note = "use QueryScheduler::run_multi with ExecOptions")]
     pub fn execute_multi_batch(
         &self,
         groups: &[(&Dataset, &[Query])],
     ) -> Result<Vec<Vec<QueryResult>>> {
-        self.execute_multi_batch_timed(groups).map(|(r, _)| r)
+        self.multi_batch_core(groups, &ExecOptions::new())
+            .map(|(r, _)| r)
     }
 
     /// [`Engine::execute_multi_batch`] with the combined scheduling
     /// breakdown.
+    #[deprecated(note = "use QueryScheduler::run_multi with ExecOptions::new().timed()")]
     pub fn execute_multi_batch_timed(
         &self,
         groups: &[(&Dataset, &[Query])],
+    ) -> Result<(Vec<Vec<QueryResult>>, crate::stats::SchedulerStats)> {
+        self.multi_batch_core(groups, &ExecOptions::new().timed())
+    }
+
+    /// Shared body of the deprecated multi-batch conveniences: route
+    /// each `(dataset, queries)` group through a transient
+    /// [`crate::scheduler::QueryScheduler`] and regroup the flat
+    /// results.
+    fn multi_batch_core(
+        &self,
+        groups: &[(&Dataset, &[Query])],
+        opts: &ExecOptions,
     ) -> Result<(Vec<Vec<QueryResult>>, crate::stats::SchedulerStats)> {
         use crate::scheduler::{QueryScheduler, ScheduledQuery};
         let scheduler = QueryScheduler::new(self.clone());
@@ -384,8 +526,12 @@ impl Engine {
             sizes.push(queries.len());
             batch.extend(queries.iter().map(|q| ScheduledQuery::new(id, q.clone())));
         }
-        let (flat, stats) = scheduler.execute_multi_timed(&batch)?;
-        let mut flat = flat.into_iter();
+        let out = scheduler.run_multi(&batch, &opts.clone().timed())?;
+        let stats = out
+            .scheduler
+            .clone()
+            .expect("timed run reports scheduler stats");
+        let mut flat = out.collapse()?.into_iter();
         let grouped = sizes
             .into_iter()
             .map(|n| flat.by_ref().take(n).collect())
@@ -394,18 +540,32 @@ impl Engine {
     }
 
     /// Executes a query and reports per-phase timings.
+    #[deprecated(note = "use Engine::run with ExecOptions::new().timed()")]
     pub fn execute_timed(
         &self,
         query: &Query,
         dataset: &Dataset,
     ) -> Result<(QueryResult, ExecutionStats)> {
-        self.execute_timed_cancellable(query, dataset, None)
+        self.run_single(query, dataset, None)
     }
 
     /// [`Engine::execute_timed`] under an optional [`CancelToken`]
     /// (see [`Engine::execute_cancellable`] for the cancellation
     /// contract).
+    #[deprecated(note = "use Engine::run with ExecOptions::new().timed().cancellable_opt(token)")]
     pub fn execute_timed_cancellable(
+        &self,
+        query: &Query,
+        dataset: &Dataset,
+        token: Option<&CancelToken>,
+    ) -> Result<(QueryResult, ExecutionStats)> {
+        self.run_single(query, dataset, token)
+    }
+
+    /// The direct single-query executor — [`Engine::run`]'s fast path
+    /// for one whole-batch query (no fan-out plumbing, no per-feature
+    /// dynamic dispatch).
+    pub(crate) fn run_single(
         &self,
         query: &Query,
         dataset: &Dataset,
@@ -541,23 +701,66 @@ impl Engine {
         proto: A,
         token: Option<&CancelToken>,
     ) -> Result<(A, Timings)> {
-        let input = dataset.bytes();
-        let threads = self.config.threads;
-        let n = self.block_count();
-        let mode = match self.config.mode {
+        self.scan_range_cancellable(dataset, 0, dataset.bytes().len(), filter, proto, token)
+    }
+
+    /// The execution mode a scan of `dataset` resolves to: `Adaptive`
+    /// picks Pat/Fat from the full input's marker density, so every
+    /// byte-range shard of one dataset scans in the same mode as a
+    /// single-node pass.
+    pub(crate) fn resolve_mode(&self, dataset: &Dataset) -> Mode {
+        match self.config.mode {
             Mode::Adaptive => {
                 let marker: &[u8] = match dataset.format() {
                     Format::GeoJson => atgis_formats::geojson::FEATURE_MARKER,
                     _ => b"\n",
                 };
-                atgis_formats::resolve_adaptive(input, marker, n)
+                atgis_formats::resolve_adaptive(dataset.bytes(), marker, self.block_count())
             }
             m => m,
+        }
+    }
+
+    /// [`Engine::single_pass_cancellable`] restricted to the byte
+    /// range `[start, end)` — the shard scan primitive. Blocks are
+    /// split within the range but carry **absolute** offsets, so
+    /// features keep their global identity (offset/len) and results
+    /// over marker-aligned ranges compose bit-identically with
+    /// single-node execution. OSM XML (whose relations need the global
+    /// node table) parses the full document and absorbs only features
+    /// whose offset falls in the range; sharded batch execution parses
+    /// once and buckets instead of calling this per shard.
+    pub(crate) fn scan_range_cancellable<A: QueryAggregate>(
+        &self,
+        dataset: &Dataset,
+        start: usize,
+        end: usize,
+        filter: &MetadataFilter,
+        proto: A,
+        token: Option<&CancelToken>,
+    ) -> Result<(A, Timings)> {
+        let input = dataset.bytes();
+        let slice = &input[start..end];
+        let threads = self.config.threads;
+        let n = self.block_count();
+        let shift = |mut blocks: Vec<atgis_formats::Block>| {
+            if start > 0 {
+                for b in &mut blocks {
+                    b.start += start;
+                    b.end += start;
+                }
+            }
+            blocks
         };
+        let mode = self.resolve_mode(dataset);
         match (dataset.format(), mode) {
             (Format::GeoJson, Mode::Pat) => {
                 let started = Instant::now();
-                let blocks = marker_blocks(input, atgis_formats::geojson::FEATURE_MARKER, n);
+                let blocks = shift(marker_blocks(
+                    slice,
+                    atgis_formats::geojson::FEATURE_MARKER,
+                    n,
+                ));
                 let split = started.elapsed();
                 let (merged, mut t) = run_blocks_on(
                     &self.pool,
@@ -586,7 +789,7 @@ impl Engine {
             }
             (Format::GeoJson, _) => {
                 let started = Instant::now();
-                let blocks = fixed_blocks(input.len(), n);
+                let blocks = shift(fixed_blocks(slice.len(), n));
                 let split = started.elapsed();
                 let (merged, mut t) = run_blocks_on(
                     &self.pool,
@@ -607,7 +810,7 @@ impl Engine {
             }
             (Format::Wkt, Mode::Pat) => {
                 let started = Instant::now();
-                let blocks = marker_blocks(input, b"\n", n);
+                let blocks = shift(marker_blocks(slice, b"\n", n));
                 let split = started.elapsed();
                 let (merged, mut t) = run_blocks_on(
                     &self.pool,
@@ -631,7 +834,7 @@ impl Engine {
             }
             (Format::Wkt, _) => {
                 let started = Instant::now();
-                let blocks = fixed_blocks(input.len(), n);
+                let blocks = shift(fixed_blocks(slice.len(), n));
                 let split = started.elapsed();
                 let (merged, mut t) = run_blocks_on(
                     &self.pool,
@@ -653,9 +856,12 @@ impl Engine {
             (Format::OsmXml, _) => {
                 let (features, t) = self.parse_xml(dataset, filter, token)?;
                 let started = Instant::now();
+                let whole = start == 0 && end == input.len();
                 let mut a = proto;
                 for f in &features {
-                    a.absorb(f);
+                    if whole || ((start as u64) <= f.offset && f.offset < end as u64) {
+                        a.absorb(f);
+                    }
                 }
                 let mut t = t;
                 t.merge += started.elapsed();
@@ -1021,6 +1227,7 @@ impl<S: PartitionStore + Clone> QueryAggregate for PartitionAgg<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::RunExt;
     use atgis_datagen::{write_geojson, write_wkt, OsmGenerator};
 
     fn dataset(n: usize, format: Format) -> Dataset {
@@ -1038,7 +1245,7 @@ mod tests {
         let ds = dataset(80, Format::GeoJson);
         let engine = Engine::builder().threads(2).build();
         let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
-        let r = engine.execute(&q, &ds).unwrap();
+        let r = engine.exec1(&q, &ds).unwrap();
         assert_eq!(r.matches().len(), 80);
     }
 
@@ -1047,7 +1254,7 @@ mod tests {
         let ds = dataset(50, Format::GeoJson);
         let engine = Engine::builder().build();
         let q = Query::containment(Mbr::new(100.0, -80.0, 101.0, -79.0));
-        let r = engine.execute(&q, &ds).unwrap();
+        let r = engine.exec1(&q, &ds).unwrap();
         assert!(r.matches().is_empty());
     }
 
@@ -1057,8 +1264,8 @@ mod tests {
         let q = Query::containment(Mbr::new(-5.0, 45.0, 5.0, 55.0));
         let pat = Engine::builder().mode(Mode::Pat).threads(2).build();
         let fat = Engine::builder().mode(Mode::Fat).threads(2).build();
-        let a = pat.execute(&q, &ds).unwrap();
-        let b = fat.execute(&q, &ds).unwrap();
+        let a = pat.exec1(&q, &ds).unwrap();
+        let b = fat.exec1(&q, &ds).unwrap();
         assert_eq!(a.matches(), b.matches());
         assert!(!a.matches().is_empty(), "region should select something");
     }
@@ -1069,12 +1276,12 @@ mod tests {
         let region = Mbr::new(-5.0, 45.0, 5.0, 55.0);
         let engine = Engine::builder().threads(2).build();
         let matches = engine
-            .execute(&Query::containment(region), &ds)
+            .exec1(&Query::containment(region), &ds)
             .unwrap()
             .matches()
             .len() as u64;
         let agg = engine
-            .execute(&Query::aggregation(region), &ds)
+            .exec1(&Query::aggregation(region), &ds)
             .unwrap()
             .aggregate()
             .unwrap();
@@ -1088,12 +1295,12 @@ mod tests {
         let region = Mbr::new(-10.0, 40.0, 10.0, 60.0);
         let engine = Engine::builder().threads(2).build();
         let g = engine
-            .execute(&Query::aggregation(region), &dataset(40, Format::GeoJson))
+            .exec1(&Query::aggregation(region), &dataset(40, Format::GeoJson))
             .unwrap()
             .aggregate()
             .unwrap();
         let w = engine
-            .execute(&Query::aggregation(region), &dataset(40, Format::Wkt))
+            .exec1(&Query::aggregation(region), &dataset(40, Format::Wkt))
             .unwrap()
             .aggregate()
             .unwrap();
@@ -1105,7 +1312,7 @@ mod tests {
     fn join_finds_intersecting_pairs() {
         let ds = dataset(60, Format::GeoJson);
         let engine = Engine::builder().threads(2).cell_size(2.0).build();
-        let r = engine.execute(&Query::join(30), &ds).unwrap();
+        let r = engine.exec1(&Query::join(30), &ds).unwrap();
         // Pairs must respect the id partition.
         for p in r.joined() {
             assert!(p.left_id < 30, "{p:?}");
@@ -1125,7 +1332,7 @@ mod tests {
         let ds = Dataset::from_bytes(bytes, Format::GeoJson);
         let engine = Engine::builder().threads(2).cell_size(1.0).build();
         let got: std::collections::HashSet<(u64, u64)> = engine
-            .execute(&Query::join(25), &ds)
+            .exec1(&Query::join(25), &ds)
             .unwrap()
             .joined()
             .iter()
@@ -1154,8 +1361,8 @@ mod tests {
             .store(StoreKind::List)
             .cell_size(2.0)
             .build();
-        let a = array.execute(&q, &ds).unwrap();
-        let l = list.execute(&q, &ds).unwrap();
+        let a = array.exec1(&q, &ds).unwrap();
+        let l = list.exec1(&q, &ds).unwrap();
         assert_eq!(a.joined(), l.joined());
     }
 
@@ -1172,8 +1379,8 @@ mod tests {
             .cell_size(2.0)
             .build();
         assert_eq!(
-            assoc.execute(&q, &ds).unwrap().joined(),
-            sep.execute(&q, &ds).unwrap().joined()
+            assoc.exec1(&q, &ds).unwrap().joined(),
+            sep.exec1(&q, &ds).unwrap().joined()
         );
     }
 
@@ -1185,14 +1392,14 @@ mod tests {
         let engine = Engine::builder().cell_size(2.0).build();
         let q = Query::join(20);
         let pg: Vec<(u64, u64)> = engine
-            .execute(&q, &g)
+            .exec1(&q, &g)
             .unwrap()
             .joined()
             .iter()
             .map(|p| (p.left_id, p.right_id))
             .collect();
         let pw: Vec<(u64, u64)> = engine
-            .execute(&q, &w)
+            .exec1(&q, &w)
             .unwrap()
             .joined()
             .iter()
@@ -1206,7 +1413,7 @@ mod tests {
         let ds = dataset(60, Format::GeoJson);
         let engine = Engine::builder().cell_size(2.0).build();
         let r = engine
-            .execute(&Query::combined(30, 0.0, f64::INFINITY), &ds)
+            .exec1(&Query::combined(30, 0.0, f64::INFINITY), &ds)
             .unwrap();
         match r {
             QueryResult::Combined {
@@ -1226,14 +1433,14 @@ mod tests {
         let ds = dataset(60, Format::GeoJson);
         let engine = Engine::builder().cell_size(2.0).build();
         let all = match engine
-            .execute(&Query::combined(30, 0.0, f64::INFINITY), &ds)
+            .exec1(&Query::combined(30, 0.0, f64::INFINITY), &ds)
             .unwrap()
         {
             QueryResult::Combined { pairs, .. } => pairs,
             _ => unreachable!(),
         };
         let filtered = match engine
-            .execute(&Query::combined(30, 1e9, f64::INFINITY), &ds)
+            .exec1(&Query::combined(30, 1e9, f64::INFINITY), &ds)
             .unwrap()
         {
             QueryResult::Combined { pairs, .. } => pairs,
@@ -1250,7 +1457,7 @@ mod tests {
         let base = Engine::builder()
             .threads(1)
             .build()
-            .execute(&q, &ds)
+            .exec1(&q, &ds)
             .unwrap()
             .aggregate()
             .unwrap();
@@ -1258,7 +1465,7 @@ mod tests {
             let got = Engine::builder()
                 .threads(threads)
                 .build()
-                .execute(&q, &ds)
+                .exec1(&q, &ds)
                 .unwrap()
                 .aggregate()
                 .unwrap();
@@ -1272,7 +1479,7 @@ mod tests {
         let ds = dataset(40, Format::OsmXml);
         let engine = Engine::builder().threads(2).build();
         let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
-        let r = engine.execute(&q, &ds).unwrap();
+        let r = engine.exec1(&q, &ds).unwrap();
         // Collections flatten into multiple ways, so >= is correct;
         // ways with <2 resolvable points are dropped.
         assert!(!r.matches().is_empty());
@@ -1293,8 +1500,8 @@ mod tests {
             .cell_size(4.0)
             .partition_target(4)
             .build();
-        let (u, us) = uniform.execute_timed(&q, &ds).unwrap();
-        let (a, ast) = adaptive.execute_timed(&q, &ds).unwrap();
+        let (u, us) = uniform.run_single(&q, &ds, None).unwrap();
+        let (a, ast) = adaptive.run_single(&q, &ds, None).unwrap();
         assert_eq!(u.joined(), a.joined());
         let ud = us.decisions.expect("join reports decisions");
         let ad = ast.decisions.expect("join reports decisions");
@@ -1315,8 +1522,8 @@ mod tests {
             .cell_size(4.0)
             .probe_strategy(crate::join::ProbeStrategy::RTree)
             .build();
-        let (s, _) = sweep.execute_timed(&q, &ds).unwrap();
-        let (r, rs) = rtree.execute_timed(&q, &ds).unwrap();
+        let (s, _) = sweep.run_single(&q, &ds, None).unwrap();
+        let (r, rs) = rtree.run_single(&q, &ds, None).unwrap();
         assert_eq!(s.joined(), r.joined());
         let d = rs.decisions.unwrap();
         assert!(
@@ -1330,7 +1537,7 @@ mod tests {
     fn xml_join_runs() {
         let ds = dataset(30, Format::OsmXml);
         let engine = Engine::builder().cell_size(2.0).build();
-        let r = engine.execute(&Query::join(15), &ds).unwrap();
+        let r = engine.exec1(&Query::join(15), &ds).unwrap();
         for p in r.joined() {
             assert!(p.left_id < 15 && p.right_id >= 15);
         }

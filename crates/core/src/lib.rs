@@ -10,8 +10,12 @@
 //!
 //! ## Quickstart
 //!
+//! Every entry point takes an [`ExecOptions`] request describing *how*
+//! to execute — cancellation, deadline, timing, fault isolation,
+//! priority and sharding — instead of a method-name permutation:
+//!
 //! ```
-//! use atgis::{Dataset, Engine, Query};
+//! use atgis::{Dataset, Engine, ExecOptions, Query};
 //! use atgis_formats::{Format, Mode};
 //! use atgis_geometry::Mbr;
 //!
@@ -21,8 +25,20 @@
 //!
 //! let engine = Engine::builder().threads(2).mode(Mode::Pat).build();
 //! let region = Mbr::new(-10.0, 40.0, 10.0, 60.0);
-//! let result = engine.execute(&Query::containment(region), &dataset).unwrap();
+//! let queries = vec![Query::containment(region)];
+//! let result = engine
+//!     .run(&queries, &dataset, &ExecOptions::new())
+//!     .unwrap()
+//!     .into_single()
+//!     .unwrap();
 //! assert!(!result.matches().is_empty());
+//!
+//! // The same request, scatter–gathered over 4 intra-process shards
+//! // with timing: bit-identical results, per-shard stats.
+//! let sharded = engine
+//!     .run(&queries, &dataset, &ExecOptions::new().sharded(4).timed())
+//!     .unwrap();
+//! assert_eq!(sharded.outcomes[0].as_ref().unwrap(), &result);
 //! ```
 //!
 //! ## Architecture (§4 of the paper)
@@ -47,16 +63,17 @@
 //!   impossible), admission-controls batches into waves so a
 //!   scan-heavy outlier cannot stall the cheap majority, and lifts
 //!   batches to **multiple datasets** in one call
-//!   ([`Engine::execute_multi_batch`]).
-//! * [`batch`] — the **shared-scan batch layer**: `execute_batch`
-//!   fans every submitted query's aggregate out of a single parse
-//!   pass (the [`pipeline::MultiSink`] fan-out), join-class queries
-//!   share one side-agnostic partition index + re-parse cache, and
-//!   [`batch::QuerySession`] keeps the index cache warm across
-//!   batches. A `QuerySession` has two lifecycles: **pinned** — build
-//!   an [`Engine`], pin a [`Dataset`] (`QuerySession::new`), serve
-//!   repeated `execute_batch` calls (the first join-class batch pays
-//!   one partition pass, later ones reuse the cached
+//!   ([`scheduler::QueryScheduler::run_multi`]).
+//! * [`batch`] — the **shared-scan batch layer**: a batched
+//!   [`Engine::run`] fans every submitted query's aggregate out of a
+//!   single parse pass (the [`pipeline::MultiSink`] fan-out),
+//!   join-class queries share one side-agnostic partition index +
+//!   re-parse cache, and [`batch::QuerySession`] keeps the index
+//!   cache warm across batches. A `QuerySession` has two lifecycles:
+//!   **pinned** — build an [`Engine`], pin a [`Dataset`]
+//!   (`QuerySession::new`), serve repeated `QuerySession::run` calls
+//!   (the first join-class batch pays one partition pass, later ones
+//!   reuse the cached
 //!   [`PartitionMap`]); and **streaming** — `QuerySession::streaming`
 //!   → `ingest_chunk`* → `finish`: **ingest** appends chunks to the
 //!   session's stream buffer while a partition sink rides the
@@ -65,11 +82,18 @@
 //!   incrementally-fed store into the partition index with no extra
 //!   pass; **query** — join-class traffic then serves from the warm
 //!   cache exactly as in a pinned session. Results are bit-identical
-//!   to per-query `execute` in both lifecycles.
+//!   to per-query execution in both lifecycles.
+//! * [`shard`] — **intra-process sharded scatter–gather**: a
+//!   [`ShardSet`] splits a dataset into marker-aligned byte-range
+//!   shards bounded by per-shard MBRs; [`ExecOptions::sharded`]
+//!   scatters a batch across them (pruning shards a region query
+//!   cannot touch), gathers per-query sinks with the associative
+//!   member-wise combine, and stays bit-identical to single-node
+//!   execution at every shard count.
 //! * [`stream`] — **chunk-fed streaming execution**: a
 //!   [`stream::ChunkSource`] (file, reader, bounded in-memory channel)
 //!   feeds an append-only stable-address [`StreamBuffer`], and
-//!   `Engine::execute_streaming{,_batch}` scans regions as bytes
+//!   [`Engine::run_streaming`] scans regions as bytes
 //!   arrive — PAT regions cut at the last seen record marker, FAT
 //!   regions anywhere — overlapping ingest I/O, scanning and fragment
 //!   merging. Live fragments stay `O(workers)` (see `executor`), and
@@ -138,6 +162,7 @@ pub mod cancel;
 pub mod dataset;
 pub mod engine;
 pub mod exact;
+pub mod exec;
 pub mod executor;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
@@ -149,14 +174,18 @@ pub mod pool;
 pub mod query;
 pub mod result;
 pub mod scheduler;
+pub mod shard;
 pub mod stats;
 pub mod stream;
+#[cfg(test)]
+pub(crate) mod testutil;
 
 pub use batch::{IndexCache, PartitionIndex, QuerySession};
 pub use cancel::{CancelToken, Interrupt};
 pub use dataset::{Dataset, StreamBuffer};
 pub use engine::{Engine, EngineBuilder};
 pub use exact::ExactSum;
+pub use exec::{ExecOptions, Isolation, RunOutcome, ShardPolicy};
 pub use join::{JoinOptions, ProbeStrategy};
 pub use partition::{AdaptiveConfig, PartitionMap, PartitionMapStats};
 pub use query::{FilterStrategy, Metric, Query, ScanClass};
@@ -165,8 +194,10 @@ pub use scheduler::{
     AggregateCache, AggregateCacheStats, DatasetId, Priority, QueryScheduler, ScheduledQuery,
     SchedulerConfig,
 };
+pub use shard::ShardSet;
 pub use stats::{
-    BatchQueryStats, BatchStats, JoinDecisions, SchedulerStats, StreamStats, Timings, WaveStats,
+    BatchQueryStats, BatchStats, JoinDecisions, SchedulerStats, ShardStats, ShardTiming,
+    StreamStats, Timings, WaveStats,
 };
 pub use stream::{
     chunk_channel, ChannelChunkSource, ChunkSender, ChunkSource, FileChunkSource,

@@ -95,10 +95,8 @@ pub(crate) struct FailedSink {
 
 impl FailedSink {
     /// A tombstone carrying the panic payload of the member it
-    /// replaced.
-    /// Only reachable from unit tests: production tombstones are
-    /// minted inside `MultiSink` when a member sink panics.
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// replaced (minted in `MultiSink` when a member sink panics, and
+    /// in the sharded gather when one shard's scan panics).
     pub(crate) fn new(message: impl Into<String>) -> Self {
         FailedSink {
             message: message.into(),

@@ -50,7 +50,7 @@
 //! engine-level one-shot form).
 //!
 //! ```
-//! use atgis::{Dataset, Engine, Query, QueryScheduler};
+//! use atgis::{Dataset, Engine, ExecOptions, Query, QueryScheduler};
 //! use atgis_formats::Format;
 //! use atgis_geometry::Mbr;
 //!
@@ -63,12 +63,15 @@
 //! let tile = Query::aggregation(Mbr::new(-10.0, 40.0, 10.0, 60.0));
 //! let world = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
 //! let batch = vec![tile.clone(), world.clone(), tile.clone(), world.clone()];
-//! let (results, stats) = scheduler.execute_batch_timed(id, &batch).unwrap();
+//! let out = scheduler.run(id, &batch, &ExecOptions::new().timed()).unwrap();
+//! let stats = out.scheduler.clone().unwrap();
+//! let results = out.collapse().unwrap();
 //! assert_eq!(results[0], results[2]);
 //! assert_eq!(stats.dedup_hits, 2);
 //!
 //! // The same traffic again: served from the aggregate cache, no scan.
-//! let (_, warm) = scheduler.execute_batch_timed(id, &batch).unwrap();
+//! let warm = scheduler.run(id, &batch, &ExecOptions::new().timed()).unwrap();
+//! let warm = warm.scheduler.clone().unwrap();
 //! assert_eq!(warm.cache_hits, 4);
 //! assert_eq!(warm.scan_passes, 0);
 //! ```
@@ -77,9 +80,10 @@ use crate::batch::QuerySession;
 use crate::cancel::CancelToken;
 use crate::dataset::Dataset;
 use crate::engine::Engine;
+use crate::exec::{self, ExecOptions, RunOutcome};
 use crate::pool::recover;
 use crate::query::{FilterStrategy, Metric, Query, ScanClass};
-use crate::result::{QueryError, QueryResult};
+use crate::result::{QueryError, QueryOutcome, QueryResult};
 use crate::stats::{SchedulerStats, StreamStats, WaveStats};
 use crate::stream::ChunkSource;
 use crate::{Error, Result};
@@ -599,133 +603,32 @@ impl QueryScheduler {
         }
     }
 
-    /// Schedules one query (a batch of one still benefits from the
-    /// aggregate cache and the session's partition index).
-    pub fn execute(&self, id: DatasetId, query: &Query) -> Result<QueryResult> {
-        let mut results = self.execute_batch(id, std::slice::from_ref(query))?;
-        Ok(results.pop().expect("one result per query"))
+    /// The unified entry point: schedules `queries` against one
+    /// registered dataset under one [`ExecOptions`] request. The full
+    /// policy stack applies — aggregate-cache probe, predicate dedup,
+    /// admission waves ordered by [`ExecOptions::priority`] class —
+    /// and [`ExecOptions::shards`] scatter–gathers every wave across
+    /// the session's cached shard layout. Results are bit-identical
+    /// to single-node, unscheduled execution.
+    pub fn run(&self, id: DatasetId, queries: &[Query], opts: &ExecOptions) -> Result<RunOutcome> {
+        // The caller named the dataset explicitly, so an unknown id is
+        // an error even for an empty batch (run_multi only resolves
+        // ids that actually carry queries).
+        self.entry(id)?;
+        let batch: Vec<ScheduledQuery> = queries
+            .iter()
+            .map(|q| ScheduledQuery::with_priority(id, q.clone(), opts.priority))
+            .collect();
+        self.run_multi(&batch, opts)
     }
 
-    /// Schedules a batch against one dataset: predicates deduplicate,
-    /// cached aggregates short-circuit, the rest is admitted in waves
-    /// (see the module docs). Results come back in submission order,
-    /// bit-identical to per-query [`Engine::execute`].
-    pub fn execute_batch(&self, id: DatasetId, queries: &[Query]) -> Result<Vec<QueryResult>> {
-        self.execute_batch_timed(id, queries).map(|(r, _)| r)
-    }
-
-    /// [`QueryScheduler::execute_batch`] with the scheduling
-    /// breakdown: dedup/cache hits, per-wave batch stats, completion
-    /// latencies.
-    pub fn execute_batch_timed(
-        &self,
-        id: DatasetId,
-        queries: &[Query],
-    ) -> Result<(Vec<QueryResult>, SchedulerStats)> {
-        let (results, stats) = self.execute_batch_isolated_timed(id, queries, None)?;
-        Ok((crate::batch::collapse_query_results(results)?, stats))
-    }
-
-    /// [`QueryScheduler::execute_batch`] under a cooperative
-    /// [`CancelToken`] (optionally deadline-carrying) shared by the
-    /// whole batch: the token is observed at region/partition
-    /// granularity inside every wave, so a cancelled or past-deadline
-    /// batch stops within one in-flight work unit per worker and
-    /// returns [`Error::Cancelled`] / [`Error::DeadlineExceeded`].
-    pub fn execute_batch_cancellable(
-        &self,
-        id: DatasetId,
-        queries: &[Query],
-        token: &CancelToken,
-    ) -> Result<Vec<QueryResult>> {
-        let (results, _) = self.execute_batch_isolated_timed(id, queries, Some(token))?;
-        crate::batch::collapse_query_results(results)
-    }
-
-    /// The **fault-isolated** scheduled batch: per-query `Result`s
-    /// plus the scheduling breakdown. A panic in one query's
-    /// aggregate sink fails only that query (and its dedup
-    /// duplicates, which share the sink) with
-    /// [`QueryError::Panicked`]; batch mates complete bit-identically
-    /// to solo execution and the scheduler stays fully serviceable.
-    /// When the `token` trips mid-batch, queries already resolved
-    /// keep their results and the rest report
-    /// [`QueryError::Cancelled`] / [`QueryError::DeadlineExceeded`].
-    /// [`SchedulerStats::cancelled`],
-    /// [`SchedulerStats::deadline_exceeded`] and
-    /// [`SchedulerStats::task_panics`] tally the failures. Only
-    /// non-query failures (unknown id, I/O or parse errors) surface
-    /// as the outer `Err`.
-    pub fn execute_batch_isolated_timed(
-        &self,
-        id: DatasetId,
-        queries: &[Query],
-        token: Option<&CancelToken>,
-    ) -> Result<(
-        Vec<std::result::Result<QueryResult, QueryError>>,
-        SchedulerStats,
-    )> {
-        let classes = vec![Priority::default(); queries.len()];
-        self.execute_batch_prioritized(id, queries, &classes, token)
-    }
-
-    /// [`QueryScheduler::execute_batch_isolated_timed`] with an
-    /// explicit SLO class per query (`classes` parallels `queries`).
-    /// Admission forms waves **per class, interactive first**: every
-    /// [`Priority::Interactive`] wave (shared wave, then outliers by
-    /// ascending cost) completes before any [`Priority::Batch`] wave
-    /// starts, so an interactive query never queues behind a batch
-    /// outlier's solo wave. A predicate submitted at both classes is
-    /// deduplicated into its **highest-priority** submission's wave —
-    /// sharing a sink can only move a query *earlier*. Per-class
-    /// completion-latency percentiles come back via
-    /// [`SchedulerStats::class_latency_percentiles`].
-    pub fn execute_batch_prioritized(
-        &self,
-        id: DatasetId,
-        queries: &[Query],
-        classes: &[Priority],
-        token: Option<&CancelToken>,
-    ) -> Result<(
-        Vec<std::result::Result<QueryResult, QueryError>>,
-        SchedulerStats,
-    )> {
-        if classes.len() != queries.len() {
-            return Err(Error::Unsupported(format!(
-                "{} queries but {} priority classes",
-                queries.len(),
-                classes.len()
-            )));
-        }
-        let entry = self.entry(id)?;
-        let started = Instant::now();
-        let mut stats = SchedulerStats::new(queries.len());
-        let results = self.run_group(&entry, id, queries, classes, started, &mut stats, token)?;
-        for r in &results {
-            match r {
-                Err(QueryError::Cancelled) => stats.cancelled += 1,
-                Err(QueryError::DeadlineExceeded) => stats.deadline_exceeded += 1,
-                Err(QueryError::Panicked(_)) => stats.task_panics += 1,
-                Ok(_) => {}
-            }
-        }
-        Ok((results, stats))
-    }
-
-    /// Schedules a batch spanning **multiple datasets** in one call:
-    /// pairs group by dataset, each group runs through the full
-    /// policy stack, and results return in submission order.
-    pub fn execute_multi(&self, batch: &[ScheduledQuery]) -> Result<Vec<QueryResult>> {
-        self.execute_multi_timed(batch).map(|(r, _)| r)
-    }
-
-    /// [`QueryScheduler::execute_multi`] with the combined scheduling
-    /// breakdown (waves of all groups, latencies in submission
-    /// order).
-    pub fn execute_multi_timed(
-        &self,
-        batch: &[ScheduledQuery],
-    ) -> Result<(Vec<QueryResult>, SchedulerStats)> {
+    /// [`QueryScheduler::run`] spanning **multiple datasets** (and
+    /// per-query priorities) in one call: pairs group by dataset,
+    /// each group runs through the full policy stack, and outcomes
+    /// return in submission order.
+    pub fn run_multi(&self, batch: &[ScheduledQuery], opts: &ExecOptions) -> Result<RunOutcome> {
+        let token = opts.effective_token();
+        let shards = opts.shards.resolve(self.engine.threads());
         let started = Instant::now();
         let mut stats = SchedulerStats::new(batch.len());
         // Group by dataset, preserving submission order within each
@@ -750,7 +653,7 @@ impl QueryScheduler {
             .iter()
             .map(|&id| Ok((id, self.entry(id)?)))
             .collect::<Result<_>>()?;
-        let mut results: Vec<Option<QueryResult>> = (0..batch.len()).map(|_| None).collect();
+        let mut results: Vec<Option<QueryOutcome>> = (0..batch.len()).map(|_| None).collect();
         for (id, entry) in resolved {
             let (indexes, queries, classes) = groups.remove(&id).expect("group exists");
             let mut group_stats = SchedulerStats::new(queries.len());
@@ -761,9 +664,9 @@ impl QueryScheduler {
                 &classes,
                 started,
                 &mut group_stats,
-                None,
+                token.as_ref(),
+                shards,
             )?;
-            let group_results = crate::batch::collapse_query_results(group_results)?;
             for (slot, result) in indexes.iter().zip(group_results) {
                 results[*slot] = Some(result);
             }
@@ -779,11 +682,169 @@ impl QueryScheduler {
             stats.scan_passes += group_stats.scan_passes;
             stats.waves.extend(group_stats.waves);
         }
-        let results = results
+        let outcomes: Vec<QueryOutcome> = results
             .into_iter()
             .map(|r| r.expect("every query produced a result"))
             .collect();
-        Ok((results, stats))
+        for r in &outcomes {
+            match r {
+                Err(QueryError::Cancelled) => stats.cancelled += 1,
+                Err(QueryError::DeadlineExceeded) => stats.deadline_exceeded += 1,
+                Err(QueryError::Panicked(_)) => stats.task_panics += 1,
+                Ok(_) => {}
+            }
+        }
+        exec::finish_run(outcomes, None, Some(stats), None, opts)
+    }
+
+    /// Schedules one query (a batch of one still benefits from the
+    /// aggregate cache and the session's partition index).
+    #[deprecated(note = "use QueryScheduler::run with ExecOptions")]
+    pub fn execute(&self, id: DatasetId, query: &Query) -> Result<QueryResult> {
+        self.run(id, std::slice::from_ref(query), &ExecOptions::new())?
+            .into_single()
+    }
+
+    /// Schedules a batch against one dataset: predicates deduplicate,
+    /// cached aggregates short-circuit, the rest is admitted in waves
+    /// (see the module docs). Results come back in submission order,
+    /// bit-identical to per-query [`Engine::execute`].
+    #[deprecated(note = "use QueryScheduler::run with ExecOptions")]
+    pub fn execute_batch(&self, id: DatasetId, queries: &[Query]) -> Result<Vec<QueryResult>> {
+        self.run(id, queries, &ExecOptions::new())?.collapse()
+    }
+
+    /// [`QueryScheduler::execute_batch`] with the scheduling
+    /// breakdown: dedup/cache hits, per-wave batch stats, completion
+    /// latencies.
+    #[deprecated(note = "use QueryScheduler::run with ExecOptions::new().timed()")]
+    pub fn execute_batch_timed(
+        &self,
+        id: DatasetId,
+        queries: &[Query],
+    ) -> Result<(Vec<QueryResult>, SchedulerStats)> {
+        let out = self.run(id, queries, &ExecOptions::new().timed())?;
+        let stats = out
+            .scheduler
+            .clone()
+            .expect("timed run reports scheduler stats");
+        Ok((out.collapse()?, stats))
+    }
+
+    /// [`QueryScheduler::execute_batch`] under a cooperative
+    /// [`CancelToken`] (optionally deadline-carrying) shared by the
+    /// whole batch: the token is observed at region/partition
+    /// granularity inside every wave, so a cancelled or past-deadline
+    /// batch stops within one in-flight work unit per worker and
+    /// returns [`Error::Cancelled`] / [`Error::DeadlineExceeded`].
+    #[deprecated(note = "use QueryScheduler::run with ExecOptions::new().cancellable(token)")]
+    pub fn execute_batch_cancellable(
+        &self,
+        id: DatasetId,
+        queries: &[Query],
+        token: &CancelToken,
+    ) -> Result<Vec<QueryResult>> {
+        self.run(id, queries, &ExecOptions::new().cancellable(token))?
+            .collapse()
+    }
+
+    /// The **fault-isolated** scheduled batch: per-query `Result`s
+    /// plus the scheduling breakdown. A panic in one query's
+    /// aggregate sink fails only that query (and its dedup
+    /// duplicates, which share the sink) with
+    /// [`QueryError::Panicked`]; batch mates complete bit-identically
+    /// to solo execution and the scheduler stays fully serviceable.
+    /// When the `token` trips mid-batch, queries already resolved
+    /// keep their results and the rest report
+    /// [`QueryError::Cancelled`] / [`QueryError::DeadlineExceeded`].
+    /// [`SchedulerStats::cancelled`],
+    /// [`SchedulerStats::deadline_exceeded`] and
+    /// [`SchedulerStats::task_panics`] tally the failures. Only
+    /// non-query failures (unknown id, I/O or parse errors) surface
+    /// as the outer `Err`.
+    #[deprecated(note = "use QueryScheduler::run with ExecOptions::new().isolated().timed()")]
+    pub fn execute_batch_isolated_timed(
+        &self,
+        id: DatasetId,
+        queries: &[Query],
+        token: Option<&CancelToken>,
+    ) -> Result<(
+        Vec<std::result::Result<QueryResult, QueryError>>,
+        SchedulerStats,
+    )> {
+        let out = self.run(
+            id,
+            queries,
+            &ExecOptions::new().isolated().timed().cancellable_opt(token),
+        )?;
+        let stats = out.scheduler.expect("timed run reports scheduler stats");
+        Ok((out.outcomes, stats))
+    }
+
+    /// [`QueryScheduler::execute_batch_isolated_timed`] with an
+    /// explicit SLO class per query (`classes` parallels `queries`).
+    /// Admission forms waves **per class, interactive first**: every
+    /// [`Priority::Interactive`] wave (shared wave, then outliers by
+    /// ascending cost) completes before any [`Priority::Batch`] wave
+    /// starts, so an interactive query never queues behind a batch
+    /// outlier's solo wave. A predicate submitted at both classes is
+    /// deduplicated into its **highest-priority** submission's wave —
+    /// sharing a sink can only move a query *earlier*. Per-class
+    /// completion-latency percentiles come back via
+    /// [`SchedulerStats::class_latency_percentiles`].
+    #[deprecated(note = "use QueryScheduler::run_multi with per-query ScheduledQuery priorities")]
+    pub fn execute_batch_prioritized(
+        &self,
+        id: DatasetId,
+        queries: &[Query],
+        classes: &[Priority],
+        token: Option<&CancelToken>,
+    ) -> Result<(
+        Vec<std::result::Result<QueryResult, QueryError>>,
+        SchedulerStats,
+    )> {
+        if classes.len() != queries.len() {
+            return Err(Error::Unsupported(format!(
+                "{} queries but {} priority classes",
+                queries.len(),
+                classes.len()
+            )));
+        }
+        let batch: Vec<ScheduledQuery> = queries
+            .iter()
+            .zip(classes)
+            .map(|(q, &c)| ScheduledQuery::with_priority(id, q.clone(), c))
+            .collect();
+        let out = self.run_multi(
+            &batch,
+            &ExecOptions::new().isolated().timed().cancellable_opt(token),
+        )?;
+        let stats = out.scheduler.expect("timed run reports scheduler stats");
+        Ok((out.outcomes, stats))
+    }
+
+    /// Schedules a batch spanning **multiple datasets** in one call:
+    /// pairs group by dataset, each group runs through the full
+    /// policy stack, and results return in submission order.
+    #[deprecated(note = "use QueryScheduler::run_multi with ExecOptions")]
+    pub fn execute_multi(&self, batch: &[ScheduledQuery]) -> Result<Vec<QueryResult>> {
+        self.run_multi(batch, &ExecOptions::new())?.collapse()
+    }
+
+    /// [`QueryScheduler::execute_multi`] with the combined scheduling
+    /// breakdown (waves of all groups, latencies in submission
+    /// order).
+    #[deprecated(note = "use QueryScheduler::run_multi with ExecOptions::new().timed()")]
+    pub fn execute_multi_timed(
+        &self,
+        batch: &[ScheduledQuery],
+    ) -> Result<(Vec<QueryResult>, SchedulerStats)> {
+        let out = self.run_multi(batch, &ExecOptions::new().timed())?;
+        let stats = out
+            .scheduler
+            .clone()
+            .expect("timed run reports scheduler stats");
+        Ok((out.collapse()?, stats))
     }
 
     /// Schedules a batch over a **one-shot streamed** dataset:
@@ -794,21 +855,57 @@ impl QueryScheduler {
     /// the aggregate cache — for repeated traffic over streamed data,
     /// seal a [`QuerySession::streaming`] session and
     /// [`QueryScheduler::adopt`] it instead.
+    #[deprecated(note = "use QueryScheduler::run_streaming with ExecOptions")]
     pub fn execute_streaming_batch(
         &self,
         queries: &[Query],
         source: &mut dyn ChunkSource,
         format: Format,
     ) -> Result<(Vec<QueryResult>, SchedulerStats, StreamStats)> {
+        let out = self.run_streaming(queries, source, format, &ExecOptions::new().timed())?;
+        let stats = out
+            .scheduler
+            .clone()
+            .expect("timed run reports scheduler stats");
+        let stream = out
+            .stream
+            .clone()
+            .expect("streaming run reports stream stats");
+        Ok((out.collapse()?, stats, stream))
+    }
+
+    /// Streaming counterpart of [`QueryScheduler::run`]: deduplicates
+    /// `queries`, runs the unique predicates through **one chunk-fed
+    /// pass** ([`Engine::run_streaming`]), and fans the finished
+    /// results out to every submitter. One-shot streams admit no
+    /// cross-batch caching (the bytes are gone afterwards) and no
+    /// sharding ([`ExecOptions::shards`] is ignored — the input has no
+    /// byte length to split until the scan is over), but cancellation,
+    /// deadlines and per-query isolation all apply.
+    pub fn run_streaming(
+        &self,
+        queries: &[Query],
+        source: &mut dyn ChunkSource,
+        format: Format,
+        opts: &ExecOptions,
+    ) -> Result<RunOutcome> {
+        let token = opts.effective_token();
         let started = Instant::now();
         let mut stats = SchedulerStats::new(queries.len());
         let keys: Vec<QueryKey> = queries.iter().map(query_key).collect();
         let key_refs: Vec<&QueryKey> = keys.iter().collect();
         let (unique, representative) = self.dedup_plan(&key_refs, &mut stats);
         let unique_queries: Vec<Query> = unique.iter().map(|&i| queries[i].clone()).collect();
-        let (unique_results, batch_stats, stream_stats) = self
-            .engine
-            .execute_streaming_batch_timed(&unique_queries, source, format)?;
+        let cache = crate::batch::IndexCache::new();
+        let (unique_outcomes, batch_stats, stream_stats) =
+            crate::batch::execute_streaming_batch_impl(
+                &self.engine,
+                &unique_queries,
+                source,
+                format,
+                &cache,
+                token.as_ref(),
+            )?;
         let elapsed = started.elapsed();
         stats.scan_passes = batch_stats.scan_passes;
         stats.waves.push(WaveStats {
@@ -818,9 +915,9 @@ impl QueryScheduler {
             elapsed,
             batch: batch_stats,
         });
-        let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
-        for (&qi, result) in unique.iter().zip(unique_results) {
-            results[qi] = Some(result);
+        let mut results: Vec<Option<QueryOutcome>> = (0..queries.len()).map(|_| None).collect();
+        for (&qi, outcome) in unique.iter().zip(unique_outcomes) {
+            results[qi] = Some(outcome);
             stats.latencies[qi] = elapsed;
         }
         for (i, rep) in representative.iter().enumerate() {
@@ -833,11 +930,19 @@ impl QueryScheduler {
                 stats.latencies[i] = elapsed;
             }
         }
-        let results = results
+        let outcomes: Vec<QueryOutcome> = results
             .into_iter()
             .map(|r| r.expect("every query produced a result"))
             .collect();
-        Ok((results, stats, stream_stats))
+        for r in &outcomes {
+            match r {
+                Err(QueryError::Cancelled) => stats.cancelled += 1,
+                Err(QueryError::DeadlineExceeded) => stats.deadline_exceeded += 1,
+                Err(QueryError::Panicked(_)) => stats.task_panics += 1,
+                Ok(_) => {}
+            }
+        }
+        exec::finish_run(outcomes, None, Some(stats), Some(stream_stats), opts)
     }
 
     /// Deduplicates a list of predicate keys: returns the indexes of
@@ -930,6 +1035,7 @@ impl QueryScheduler {
         started: Instant,
         stats: &mut SchedulerStats,
         token: Option<&CancelToken>,
+        shards: usize,
     ) -> Result<Vec<std::result::Result<QueryResult, QueryError>>> {
         let mut results: Vec<Option<std::result::Result<QueryResult, QueryError>>> =
             (0..queries.len()).map(|_| None).collect();
@@ -1002,29 +1108,30 @@ impl QueryScheduler {
                 .iter()
                 .map(|&w| queries[pending[unique[w]]].clone())
                 .collect();
-            let (wave_results, batch_stats) = match entry
-                .session
-                .execute_batch_isolated_timed(&wave_queries, token)
-            {
-                Ok(outcome) => outcome,
-                // A batch-wide query failure (cancellation, deadline,
-                // partition-sink panic) fails every member of this
-                // wave; later waves observe the same tripped token
-                // and fail fast the same way, so results already
-                // resolved are never discarded.
-                Err(e) => match e.as_query_error() {
-                    Some(qe) => {
-                        let elapsed = started.elapsed();
-                        for &w in &wave {
-                            let qi = pending[unique[w]];
-                            results[qi] = Some(Err(qe.clone()));
-                            latencies[qi] = elapsed;
+            let (wave_results, batch_stats) =
+                match entry
+                    .session
+                    .run_isolated_core(&wave_queries, token, shards)
+                {
+                    Ok(outcome) => outcome,
+                    // A batch-wide query failure (cancellation, deadline,
+                    // partition-sink panic) fails every member of this
+                    // wave; later waves observe the same tripped token
+                    // and fail fast the same way, so results already
+                    // resolved are never discarded.
+                    Err(e) => match e.as_query_error() {
+                        Some(qe) => {
+                            let elapsed = started.elapsed();
+                            for &w in &wave {
+                                let qi = pending[unique[w]];
+                                results[qi] = Some(Err(qe.clone()));
+                                latencies[qi] = elapsed;
+                            }
+                            continue;
                         }
-                        continue;
-                    }
-                    None => return Err(e),
-                },
-            };
+                        None => return Err(e),
+                    },
+                };
             let elapsed = started.elapsed();
             let scan = batch_stats.shared_scan.total();
             stats.scan_passes += batch_stats.scan_passes;
@@ -1145,6 +1252,7 @@ fn form_waves(costs: &[f64], classes: &[Priority], config: &SchedulerConfig) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{RunExt, SchedRunExt};
     use atgis_datagen::{write_geojson, OsmGenerator};
     use atgis_geometry::Mbr;
 
@@ -1287,7 +1395,7 @@ mod tests {
         use Priority::{Batch, Interactive};
         let ds = dataset(930, 80);
         let engine = engine();
-        let queries = vec![
+        let queries = [
             Query::join(40),                                       // batch outlier
             Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0)), // interactive
             Query::aggregation(Mbr::new(-6.0, 44.0, 4.0, 56.0)),   // interactive
@@ -1296,7 +1404,7 @@ mod tests {
         let classes = vec![Batch, Interactive, Interactive, Batch];
         let want: Vec<QueryResult> = queries
             .iter()
-            .map(|q| engine.execute(q, &ds).unwrap())
+            .map(|q| engine.exec1(q, &ds).unwrap())
             .collect();
         let scheduler = QueryScheduler::with_config(
             engine,
@@ -1307,10 +1415,18 @@ mod tests {
             },
         );
         let id = scheduler.register(ds);
-        let (got, stats) = scheduler
-            .execute_batch_prioritized(id, &queries, &classes, None)
+        let out = scheduler
+            .run_multi(
+                &queries
+                    .iter()
+                    .zip(&classes)
+                    .map(|(q, &c)| ScheduledQuery::with_priority(id, q.clone(), c))
+                    .collect::<Vec<_>>(),
+                &ExecOptions::new().isolated().timed(),
+            )
             .unwrap();
-        let got: Vec<QueryResult> = got.into_iter().map(|r| r.unwrap()).collect();
+        let stats = out.scheduler.clone().unwrap();
+        let got: Vec<QueryResult> = out.outcomes.into_iter().map(|r| r.unwrap()).collect();
         assert_eq!(got, want, "class scheduling must not change results");
         assert_eq!(stats.classes, classes);
         // Wave order: interactive shared wave, then the batch
@@ -1341,7 +1457,7 @@ mod tests {
         let ds = dataset(931, 60);
         let engine = engine();
         let tile = Query::containment(Mbr::new(-10.0, 40.0, 10.0, 60.0));
-        let want = engine.execute(&tile, &ds).unwrap();
+        let want = engine.exec1(&tile, &ds).unwrap();
         let scheduler = QueryScheduler::with_config(
             engine,
             SchedulerConfig {
@@ -1353,10 +1469,19 @@ mod tests {
         // The same predicate submitted at batch AND interactive
         // class: one execution, scheduled as interactive (a shared
         // sink may only move a query earlier).
-        let queries = vec![tile.clone(), tile.clone()];
-        let (got, stats) = scheduler
-            .execute_batch_prioritized(id, &queries, &[Batch, Interactive], None)
+        let queries = [tile.clone(), tile.clone()];
+        let out = scheduler
+            .run_multi(
+                &queries
+                    .iter()
+                    .zip([Batch, Interactive])
+                    .map(|(q, c)| ScheduledQuery::with_priority(id, q.clone(), c))
+                    .collect::<Vec<_>>(),
+                &ExecOptions::new().isolated().timed(),
+            )
             .unwrap();
+        let stats = out.scheduler.clone().unwrap();
+        let got = out.outcomes;
         assert_eq!(stats.dedup_hits, 1);
         assert_eq!(stats.waves.len(), 1);
         assert_eq!(stats.waves[0].priority, Interactive);
@@ -1370,9 +1495,10 @@ mod tests {
         let scheduler = QueryScheduler::new(engine());
         let id = scheduler.register(dataset(932, 10));
         let q = Query::containment(Mbr::new(0.0, 0.0, 1.0, 1.0));
-        assert!(scheduler
-            .execute_batch_prioritized(id, std::slice::from_ref(&q), &[], None)
-            .is_err());
+        #[allow(deprecated)]
+        let mismatched =
+            scheduler.execute_batch_prioritized(id, std::slice::from_ref(&q), &[], None);
+        assert!(mismatched.is_err());
     }
 
     #[test]
@@ -1407,11 +1533,11 @@ mod tests {
         ];
         let want: Vec<QueryResult> = queries
             .iter()
-            .map(|q| engine.execute(q, &ds).unwrap())
+            .map(|q| engine.exec1(q, &ds).unwrap())
             .collect();
         let scheduler = QueryScheduler::new(engine);
         let id = scheduler.register(ds);
-        let (got, stats) = scheduler.execute_batch_timed(id, &queries).unwrap();
+        let (got, stats) = scheduler.execb_timed(id, &queries).unwrap();
         assert_eq!(got, want);
         assert_eq!(stats.queries, 6);
         assert_eq!(stats.unique_queries, 4);
@@ -1426,18 +1552,14 @@ mod tests {
         let ds = dataset(911, 60);
         let engine = engine();
         let q = Query::aggregation(Mbr::new(-8.0, 42.0, 6.0, 58.0));
-        let want = engine.execute(&q, &ds).unwrap();
+        let want = engine.exec1(&q, &ds).unwrap();
         let scheduler = QueryScheduler::new(engine);
         let id = scheduler.register(ds);
-        let (first, s1) = scheduler
-            .execute_batch_timed(id, std::slice::from_ref(&q))
-            .unwrap();
+        let (first, s1) = scheduler.execb_timed(id, std::slice::from_ref(&q)).unwrap();
         assert_eq!(first[0], want);
         assert_eq!(s1.cache_hits, 0);
         assert_eq!(s1.scan_passes, 1);
-        let (second, s2) = scheduler
-            .execute_batch_timed(id, std::slice::from_ref(&q))
-            .unwrap();
+        let (second, s2) = scheduler.execb_timed(id, std::slice::from_ref(&q)).unwrap();
         assert_eq!(second[0], want);
         assert_eq!(s2.cache_hits, 1);
         assert_eq!(s2.scan_passes, 0, "cache hit skips the scan entirely");
@@ -1453,16 +1575,16 @@ mod tests {
         let ds_b = dataset(913, 70); // different content
         let engine = engine();
         let world = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
-        let want_a = engine.execute(&world, &ds_a).unwrap();
-        let want_b = engine.execute(&world, &ds_b).unwrap();
+        let want_a = engine.exec1(&world, &ds_a).unwrap();
+        let want_b = engine.exec1(&world, &ds_b).unwrap();
         assert_ne!(want_a, want_b, "the two generations must differ");
 
         let scheduler = QueryScheduler::new(engine);
         let id = scheduler.register(ds_a);
         assert_eq!(scheduler.generation(id), Some(1));
-        assert_eq!(scheduler.execute(id, &world).unwrap(), want_a);
+        assert_eq!(scheduler.exec1(id, &world).unwrap(), want_a);
         // Warm the cache, then mutate the dataset.
-        assert_eq!(scheduler.execute(id, &world).unwrap(), want_a);
+        assert_eq!(scheduler.exec1(id, &world).unwrap(), want_a);
         assert_eq!(scheduler.cache_stats().hits, 1);
 
         scheduler.update(id, ds_b).unwrap();
@@ -1473,7 +1595,7 @@ mod tests {
             "update drops the old generation's aggregates"
         );
         assert_eq!(
-            scheduler.execute(id, &world).unwrap(),
+            scheduler.exec1(id, &world).unwrap(),
             want_b,
             "the new generation must serve fresh results"
         );
@@ -1521,10 +1643,10 @@ mod tests {
         let qa = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
         let qb = Query::aggregation(Mbr::new(-10.0, 40.0, 10.0, 60.0));
         let want = vec![
-            engine.execute(&qa, &ds_a).unwrap(),
-            engine.execute(&qb, &ds_b).unwrap(),
-            engine.execute(&qa, &ds_b).unwrap(),
-            engine.execute(&qa, &ds_a).unwrap(), // dup of 0 on A
+            engine.exec1(&qa, &ds_a).unwrap(),
+            engine.exec1(&qb, &ds_b).unwrap(),
+            engine.exec1(&qa, &ds_b).unwrap(),
+            engine.exec1(&qa, &ds_a).unwrap(), // dup of 0 on A
         ];
         let scheduler = QueryScheduler::new(engine);
         let a = scheduler.register(ds_a);
@@ -1535,7 +1657,11 @@ mod tests {
             ScheduledQuery::new(b, qa.clone()),
             ScheduledQuery::new(a, qa.clone()),
         ];
-        let (got, stats) = scheduler.execute_multi_timed(&batch).unwrap();
+        let out = scheduler
+            .run_multi(&batch, &ExecOptions::new().timed())
+            .unwrap();
+        let stats = out.scheduler.clone().unwrap();
+        let got = out.collapse().unwrap();
         assert_eq!(got, want);
         assert_eq!(stats.queries, 4);
         assert_eq!(stats.dedup_hits, 1, "the duplicate is per-dataset");
@@ -1547,13 +1673,13 @@ mod tests {
     fn unknown_and_removed_ids_error() {
         let scheduler = QueryScheduler::new(engine());
         let bogus = DatasetId(99);
-        assert!(scheduler.execute_batch(bogus, &[]).is_err());
+        assert!(scheduler.run(bogus, &[], &ExecOptions::new()).is_err());
         assert!(scheduler.update(bogus, dataset(916, 5)).is_err());
         assert!(scheduler.remove(bogus).is_err());
         let id = scheduler.register(dataset(917, 5));
         scheduler.remove(id).unwrap();
         assert!(scheduler
-            .execute(id, &Query::containment(Mbr::new(0.0, 0.0, 1.0, 1.0)))
+            .exec1(id, &Query::containment(Mbr::new(0.0, 0.0, 1.0, 1.0)))
             .is_err());
         assert_eq!(scheduler.generation(id), None);
     }
@@ -1567,7 +1693,7 @@ mod tests {
         let join = Query::join(60);
         let want: Vec<QueryResult> = [&cheap, &cheap2, &join]
             .iter()
-            .map(|q| engine.execute(q, &ds).unwrap())
+            .map(|q| engine.exec1(q, &ds).unwrap())
             .collect();
         // A prior that makes the join an outlier against two cheap
         // containments (cost ≈ 0.15 each): 40 > 2 × 0.3.
@@ -1581,7 +1707,7 @@ mod tests {
         );
         let id = scheduler.register(ds);
         let (got, stats) = scheduler
-            .execute_batch_timed(id, &[cheap.clone(), cheap2.clone(), join.clone()])
+            .execb_timed(id, &[cheap.clone(), cheap2.clone(), join.clone()])
             .unwrap();
         assert_eq!(got, want, "wave splits must not change results");
         assert_eq!(stats.waves.len(), 2, "cheap wave + outlier wave");
@@ -1605,9 +1731,7 @@ mod tests {
             (1.0..40.0).contains(&observed),
             "measured join/scan ratio should be modest, got {observed}"
         );
-        let (_, stats2) = scheduler
-            .execute_batch_timed(id, &[cheap, cheap2, join])
-            .unwrap();
+        let (_, stats2) = scheduler.execb_timed(id, &[cheap, cheap2, join]).unwrap();
         assert!(stats2.scan_passes <= stats.scan_passes);
     }
 
@@ -1622,7 +1746,7 @@ mod tests {
         let scheduler = QueryScheduler::new(engine);
         let id = scheduler.register(ds);
         let join = Query::join(50);
-        scheduler.execute(id, &join).unwrap(); // cold: builds index, observes
+        scheduler.exec1(id, &join).unwrap(); // cold: builds index, observes
         let cold = scheduler
             .entry(id)
             .unwrap()
@@ -1630,7 +1754,7 @@ mod tests {
             .lock()
             .unwrap()
             .expect("cold join observed");
-        scheduler.execute(id, &join).unwrap(); // warm: zero-scan wave
+        scheduler.exec1(id, &join).unwrap(); // warm: zero-scan wave
         let warm = scheduler
             .entry(id)
             .unwrap()
@@ -1717,14 +1841,21 @@ mod tests {
         let queries = vec![q.clone(), j.clone(), q.clone(), j.clone()];
         let want: Vec<QueryResult> = queries
             .iter()
-            .map(|x| engine.execute(x, &ds).unwrap())
+            .map(|x| engine.exec1(x, &ds).unwrap())
             .collect();
         let scheduler = QueryScheduler::new(engine);
         let mut source = crate::stream::SliceChunkSource::new(&bytes, 1024);
-        let (got, stats, sstats) = scheduler
-            .execute_streaming_batch(&queries, &mut source, Format::GeoJson)
+        let out = scheduler
+            .run_streaming(
+                &queries,
+                &mut source,
+                Format::GeoJson,
+                &ExecOptions::new().timed(),
+            )
             .unwrap();
-        assert_eq!(got, want);
+        let stats = out.scheduler.clone().unwrap();
+        let sstats = out.stream.clone().unwrap();
+        assert_eq!(out.collapse().unwrap(), want);
         assert_eq!(stats.dedup_hits, 2);
         assert_eq!(stats.unique_queries, 2);
         assert_eq!(stats.waves.len(), 1, "a stream is one wave by nature");

@@ -1,0 +1,279 @@
+//! Intra-process sharded scatter–gather execution.
+//!
+//! A [`ShardSet`] partitions a dataset into N marker-aligned byte
+//! ranges ("shards"), each annotated with the MBR of the features it
+//! contains. A sharded batch then runs as scatter–gather:
+//!
+//! 1. **Prune** — a single-pass query whose region's MBR is disjoint
+//!    from a shard's MBR cannot match anything there, so it never
+//!    scatters to that shard (join queries touch every shard: their
+//!    pairs may span shards via the partition grid).
+//! 2. **Scatter** — every shard scans only its own byte range, feeding
+//!    fresh per-query sinks (a fresh sink is the aggregate's identity
+//!    element, so shards are independent).
+//! 3. **Gather** — per-query sinks merge across shards with the same
+//!    member-wise associative combine the parallel scan already uses
+//!    ([`crate::pipeline::AggregateSink::combine_sink`]).
+//!
+//! Because the underlying transducers are associative and aggregation
+//! uses correctly-rounded [`crate::ExactSum`], the gathered result is
+//! **bit-identical** to a single-node pass for every shard count — the
+//! differential suite pins this across {1, 2, 4, 8}.
+//!
+//! Shard boundaries come from the same marker-aligned split the PAT
+//! scan uses ([`marker_blocks`]), so no feature ever straddles a shard
+//! and per-shard scans of either PAT or FAT mode compose exactly.
+
+use crate::cancel::CancelToken;
+use crate::dataset::Dataset;
+use crate::engine::Engine;
+use crate::pipeline::QueryAggregate;
+use crate::query::{Query, ScanClass};
+use crate::Result;
+use atgis_formats::feature::{MetadataFilter, RawFeature};
+use atgis_formats::{marker_blocks, Format};
+use atgis_geometry::Mbr;
+
+/// One shard: a half-open, marker-aligned byte range of the dataset
+/// plus the bounding box of the features inside it.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// First byte of the shard's range.
+    pub start: usize,
+    /// One past the last byte of the shard's range.
+    pub end: usize,
+    /// MBR of every feature whose serialised form starts in the range
+    /// (`None` when the shard holds no features — such a shard is
+    /// pruned for every region query).
+    pub mbr: Option<Mbr>,
+    /// Features owned by the shard.
+    pub features: u64,
+}
+
+impl Shard {
+    /// Whether a query region could match inside this shard.
+    fn may_intersect(&self, region: &Mbr) -> bool {
+        self.mbr.as_ref().is_some_and(|m| m.intersects(region))
+    }
+}
+
+/// A dataset's shard layout: marker-aligned byte ranges with per-shard
+/// MBRs, built once (one extra bounding pass) and reused across
+/// batches. [`crate::batch::QuerySession`] caches one per shard count.
+#[derive(Debug, Clone)]
+pub struct ShardSet {
+    shards: Vec<Shard>,
+}
+
+/// The bounding pass: unions feature MBRs and counts features — an
+/// associative aggregate, so it rides the ordinary parallel scan.
+#[derive(Debug, Clone, Default)]
+struct MbrProbe {
+    mbr: Option<Mbr>,
+    count: u64,
+}
+
+impl QueryAggregate for MbrProbe {
+    fn identity() -> Self {
+        MbrProbe::default()
+    }
+
+    fn absorb(&mut self, feature: &RawFeature) {
+        let fm = feature.mbr();
+        self.mbr = Some(match &self.mbr {
+            Some(m) => m.union(&fm),
+            None => fm,
+        });
+        self.count += 1;
+    }
+
+    fn combine(mut self, other: Self) -> Self {
+        self.mbr = match (self.mbr.take(), other.mbr) {
+            (Some(a), Some(b)) => Some(a.union(&b)),
+            (a, b) => a.or(b),
+        };
+        self.count += other.count;
+        self
+    }
+}
+
+impl ShardSet {
+    /// Splits `dataset` into at most `count` marker-aligned shards and
+    /// bounds each with one scan pass. The dataset may yield fewer
+    /// shards than requested (markers are sparse near the end of small
+    /// inputs); [`ShardSet::len`] reports the actual count.
+    pub fn build(
+        engine: &Engine,
+        dataset: &Dataset,
+        count: usize,
+        token: Option<&CancelToken>,
+    ) -> Result<ShardSet> {
+        let input = dataset.bytes();
+        let marker: &[u8] = match dataset.format() {
+            Format::GeoJson => atgis_formats::geojson::FEATURE_MARKER,
+            _ => b"\n",
+        };
+        let ranges: Vec<(usize, usize)> = marker_blocks(input, marker, count.max(1))
+            .into_iter()
+            .map(|b| (b.start, b.end))
+            .collect();
+
+        let mut shards = Vec::with_capacity(ranges.len());
+        match dataset.format() {
+            Format::OsmXml => {
+                // One global parse (relations need the whole node
+                // table), then bucket features into ranges by offset.
+                let (features, _t) = engine.parse_xml(dataset, &MetadataFilter::All, token)?;
+                for &(start, end) in &ranges {
+                    let mut probe = MbrProbe::default();
+                    for f in &features {
+                        if (start as u64) <= f.offset && f.offset < end as u64 {
+                            probe.absorb(f);
+                        }
+                    }
+                    shards.push(Shard {
+                        start,
+                        end,
+                        mbr: probe.mbr,
+                        features: probe.count,
+                    });
+                }
+            }
+            _ => {
+                for &(start, end) in &ranges {
+                    let (probe, _t) = engine.scan_range_cancellable(
+                        dataset,
+                        start,
+                        end,
+                        &MetadataFilter::All,
+                        MbrProbe::default(),
+                        token,
+                    )?;
+                    shards.push(Shard {
+                        start,
+                        end,
+                        mbr: probe.mbr,
+                        features: probe.count,
+                    });
+                }
+            }
+        }
+        Ok(ShardSet { shards })
+    }
+
+    /// Actual shard count (≤ the requested count).
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the set holds no shards (never true for a built set —
+    /// even an empty dataset yields one empty shard).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard layout, in byte-range order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Which shards `query` must scatter to: `mask[s]` is `true` when
+    /// shard `s` can contribute. Region queries prune by MBR
+    /// intersection; join-class queries (whose pairs are formed in the
+    /// partition grid, not per shard) scatter everywhere.
+    pub fn scatter_mask(&self, query: &Query) -> Vec<bool> {
+        match query {
+            Query::Containment { region } | Query::Aggregation { region, .. } => {
+                let qmbr = region.mbr();
+                self.shards.iter().map(|s| s.may_intersect(&qmbr)).collect()
+            }
+            q => {
+                debug_assert_eq!(q.scan_class(), ScanClass::Join);
+                vec![true; self.shards.len()]
+            }
+        }
+    }
+
+    /// The slots of a partition grid owned by shard `shard` under the
+    /// round-robin slot distribution used for the sharded join phase:
+    /// occupied slot `i` belongs to shard `i % len`.
+    pub(crate) fn own_slots(&self, shard: usize, occupied: &[usize]) -> Vec<usize> {
+        occupied
+            .iter()
+            .copied()
+            .enumerate()
+            .filter_map(|(i, slot)| (i % self.shards.len() == shard).then_some(slot))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wkt_dataset() -> Dataset {
+        // Four rows in two spatial clusters: x∈[0,2] and x∈[100,102].
+        let rows = "\
+1\tPOLYGON((0.0 0.0,1.0 0.0,1.0 1.0,0.0 1.0,0.0 0.0))\t
+2\tPOLYGON((1.0 1.0,2.0 1.0,2.0 2.0,1.0 2.0,1.0 1.0))\t
+3\tPOLYGON((100.0 0.0,101.0 0.0,101.0 1.0,100.0 1.0,100.0 0.0))\t
+4\tPOLYGON((101.0 1.0,102.0 1.0,102.0 2.0,101.0 2.0,101.0 1.0))\t
+";
+        Dataset::from_bytes(rows.as_bytes().to_vec(), Format::Wkt)
+    }
+
+    #[test]
+    fn shards_cover_input_without_overlap() {
+        let engine = Engine::builder().build();
+        let dataset = wkt_dataset();
+        let set = ShardSet::build(&engine, &dataset, 2, None).unwrap();
+        assert!(!set.is_empty());
+        assert_eq!(set.shards()[0].start, 0);
+        assert_eq!(set.shards().last().unwrap().end, dataset.bytes().len());
+        for w in set.shards().windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        let total: u64 = set.shards().iter().map(|s| s.features).sum();
+        assert_eq!(total, 4, "every feature owned by exactly one shard");
+    }
+
+    #[test]
+    fn disjoint_region_is_pruned_join_scatters_everywhere() {
+        let engine = Engine::builder().build();
+        let dataset = wkt_dataset();
+        let set = ShardSet::build(&engine, &dataset, 4, None).unwrap();
+        assert!(set.len() >= 2, "sample must split");
+
+        // A region far from every feature scatters nowhere.
+        let nowhere = Query::containment(Mbr::new(500.0, 500.0, 501.0, 501.0));
+        assert!(set.scatter_mask(&nowhere).iter().all(|&m| !m));
+
+        // A region covering only the first cluster prunes the shard
+        // holding the second.
+        let first_cluster = Query::containment(Mbr::new(-1.0, -1.0, 3.0, 3.0));
+        let mask = set.scatter_mask(&first_cluster);
+        assert!(mask[0], "first shard holds the matching cluster");
+        assert!(
+            mask.iter().any(|&m| !m),
+            "the far cluster's shard must be pruned: {mask:?}"
+        );
+
+        // Joins always scatter everywhere.
+        let join = Query::join(u64::MAX);
+        assert!(set.scatter_mask(&join).iter().all(|&m| m));
+    }
+
+    #[test]
+    fn round_robin_slot_ownership_partitions_occupied_slots() {
+        let engine = Engine::builder().build();
+        let dataset = wkt_dataset();
+        let set = ShardSet::build(&engine, &dataset, 2, None).unwrap();
+        let occupied = vec![3, 7, 11, 12, 20];
+        let mut seen = Vec::new();
+        for s in 0..set.len() {
+            seen.extend(set.own_slots(s, &occupied));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, occupied, "slots partition exactly across shards");
+    }
+}

@@ -158,6 +158,40 @@ pub struct BatchStats {
     pub shared_scan: Timings,
     /// Per-query breakdowns, in submission order.
     pub per_query: Vec<BatchQueryStats>,
+    /// Scatter–gather accounting when the batch ran sharded (`None`
+    /// for single-node execution).
+    pub shards: Option<ShardStats>,
+}
+
+/// Scatter–gather accounting for one sharded batch: how queries fanned
+/// out across shards (MBR pruning included) and what each shard cost.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Shards in the [`crate::shard::ShardSet`] the batch ran over.
+    pub shards: u64,
+    /// (query, shard) scatter pairs actually executed.
+    pub scattered: u64,
+    /// (query, shard) pairs skipped because the query's region cannot
+    /// intersect the shard's MBR. `scattered + pruned` =
+    /// `queries × shards`.
+    pub pruned: u64,
+    /// Per-query gather merges performed (one per query per extra
+    /// shard it scattered to).
+    pub gathered: u64,
+    /// Per-shard timings, in shard (byte-range) order.
+    pub per_shard: Vec<ShardTiming>,
+}
+
+/// What one shard contributed to a sharded batch.
+#[derive(Debug, Clone, Default)]
+pub struct ShardTiming {
+    /// Queries scattered to this shard.
+    pub queries: u64,
+    /// The shard's scan-pipeline timings (zero when every query was
+    /// pruned and no index build touched the shard).
+    pub scan: Timings,
+    /// Worker time spent on this shard's slice of the join grid.
+    pub join: Duration,
 }
 
 impl BatchStats {

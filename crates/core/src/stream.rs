@@ -39,6 +39,7 @@
 use crate::cancel::CancelToken;
 use crate::dataset::{Dataset, StreamBuffer};
 use crate::engine::{parse_wkt_rows, Engine};
+use crate::exec::{self, ExecOptions, RunOutcome};
 use crate::executor::StreamMerger;
 use crate::pipeline::{FatGeoJsonFrag, FatWktFrag, QueryAggregate};
 use crate::pool::recover;
@@ -712,34 +713,95 @@ impl Engine {
     ///     .unwrap();
     /// assert_eq!(streamed, buffered);
     /// ```
+    #[deprecated(note = "use Engine::run_streaming with ExecOptions")]
     pub fn execute_streaming(
         &self,
         query: &crate::query::Query,
         source: &mut dyn ChunkSource,
         format: Format,
     ) -> Result<crate::result::QueryResult> {
-        let (mut results, _, _) =
-            self.execute_streaming_batch_timed(std::slice::from_ref(query), source, format)?;
-        Ok(results.pop().expect("one result per query"))
+        self.run_streaming(
+            std::slice::from_ref(query),
+            source,
+            format,
+            &ExecOptions::new(),
+        )?
+        .into_single()
+    }
+
+    /// The unified streaming entry point: executes `queries` over a
+    /// one-shot chunk-fed stream under [`ExecOptions`] — cancellation
+    /// and deadline observed per chunk and per scan region, fault
+    /// isolation and timing selected by the options struct. One-shot
+    /// streams never shard ([`crate::ShardPolicy`] is ignored: the
+    /// byte length needed to split the input only exists once the
+    /// scan is over); use [`crate::QuerySession::run`] after sealing
+    /// a streaming session for sharded re-execution. Results are
+    /// bit-identical to buffering the whole stream and calling
+    /// [`Engine::run`].
+    ///
+    /// ```
+    /// use atgis::{Engine, ExecOptions, Query, SliceChunkSource};
+    /// use atgis_formats::Format;
+    /// use atgis_geometry::Mbr;
+    ///
+    /// let bytes = atgis_datagen::write_geojson(&atgis_datagen::OsmGenerator::new(5).generate(80));
+    /// let engine = Engine::builder().threads(2).build();
+    /// let queries = vec![Query::aggregation(Mbr::new(-10.0, 40.0, 10.0, 60.0))];
+    ///
+    /// let mut source = SliceChunkSource::new(&bytes, 1024);
+    /// let streamed = engine
+    ///     .run_streaming(&queries, &mut source, Format::GeoJson, &ExecOptions::new())
+    ///     .unwrap()
+    ///     .into_single()
+    ///     .unwrap();
+    ///
+    /// let buffered = engine
+    ///     .run(&queries, &atgis::Dataset::from_bytes(bytes, Format::GeoJson), &ExecOptions::new())
+    ///     .unwrap()
+    ///     .into_single()
+    ///     .unwrap();
+    /// assert_eq!(streamed, buffered);
+    /// ```
+    pub fn run_streaming(
+        &self,
+        queries: &[crate::query::Query],
+        source: &mut dyn ChunkSource,
+        format: Format,
+        opts: &ExecOptions,
+    ) -> Result<RunOutcome> {
+        let token = opts.effective_token();
+        let cache = crate::batch::IndexCache::new();
+        let (outcomes, batch_stats, stream_stats) = crate::batch::execute_streaming_batch_impl(
+            self,
+            queries,
+            source,
+            format,
+            &cache,
+            token.as_ref(),
+        )?;
+        exec::finish_run(outcomes, Some(batch_stats), None, Some(stream_stats), opts)
     }
 
     /// Executes a batch of queries over a streamed dataset with one
     /// shared chunk-fed scan (the streaming analogue of
     /// [`Engine::execute_batch`]). Results come back in submission
     /// order, bit-identical to the buffered batch.
+    #[deprecated(note = "use Engine::run_streaming with ExecOptions")]
     pub fn execute_streaming_batch(
         &self,
         queries: &[crate::query::Query],
         source: &mut dyn ChunkSource,
         format: Format,
     ) -> Result<Vec<crate::result::QueryResult>> {
-        self.execute_streaming_batch_timed(queries, source, format)
-            .map(|(r, _, _)| r)
+        self.run_streaming(queries, source, format, &ExecOptions::new())?
+            .collapse()
     }
 
     /// [`Engine::execute_streaming_batch`] with the amortisation
     /// breakdown and the stream's ingestion statistics (chunk count,
     /// peak live fragments, ingest wait).
+    #[deprecated(note = "use Engine::run_streaming with ExecOptions::new().timed()")]
     pub fn execute_streaming_batch_timed(
         &self,
         queries: &[crate::query::Query],
@@ -750,15 +812,13 @@ impl Engine {
         crate::stats::BatchStats,
         StreamStats,
     )> {
-        let cache = crate::batch::IndexCache::new();
-        let (results, batch_stats, stream_stats) = crate::batch::execute_streaming_batch_impl(
-            self, queries, source, format, &cache, None,
-        )?;
-        Ok((
-            crate::batch::collapse_query_results(results)?,
-            batch_stats,
-            stream_stats,
-        ))
+        let out = self.run_streaming(queries, source, format, &ExecOptions::new().timed())?;
+        let batch = out.batch.clone().expect("timed run reports batch stats");
+        let stream = out
+            .stream
+            .clone()
+            .expect("streaming run reports stream stats");
+        Ok((out.collapse()?, batch, stream))
     }
 
     /// [`Engine::execute_streaming`] under a cooperative
@@ -766,6 +826,7 @@ impl Engine {
     /// loop and per region in the scan fan-out, so a cancelled or
     /// past-deadline stream stops within one work unit and returns
     /// [`Error::Cancelled`] / [`Error::DeadlineExceeded`].
+    #[deprecated(note = "use Engine::run_streaming with ExecOptions::new().cancellable(token)")]
     pub fn execute_streaming_cancellable(
         &self,
         query: &crate::query::Query,
@@ -773,17 +834,13 @@ impl Engine {
         format: Format,
         token: &CancelToken,
     ) -> Result<crate::result::QueryResult> {
-        let cache = crate::batch::IndexCache::new();
-        let (results, _, _) = crate::batch::execute_streaming_batch_impl(
-            self,
+        self.run_streaming(
             std::slice::from_ref(query),
             source,
             format,
-            &cache,
-            Some(token),
-        )?;
-        let mut results = crate::batch::collapse_query_results(results)?;
-        Ok(results.pop().expect("one result per query"))
+            &ExecOptions::new().cancellable(token),
+        )?
+        .into_single()
     }
 
     /// The **fault-isolated** streaming batch: per-query `Result`s
@@ -792,6 +849,7 @@ impl Engine {
     /// chunk-read retry count ([`StreamStats::retries`]). Whole-batch
     /// failures (I/O, parse, cancellation, deadline) surface as the
     /// outer `Err`.
+    #[deprecated(note = "use Engine::run_streaming with ExecOptions::new().isolated().timed()")]
     pub fn execute_streaming_batch_isolated(
         &self,
         queries: &[crate::query::Query],
@@ -803,8 +861,15 @@ impl Engine {
         crate::stats::BatchStats,
         StreamStats,
     )> {
-        let cache = crate::batch::IndexCache::new();
-        crate::batch::execute_streaming_batch_impl(self, queries, source, format, &cache, token)
+        let out = self.run_streaming(
+            queries,
+            source,
+            format,
+            &ExecOptions::new().isolated().timed().cancellable_opt(token),
+        )?;
+        let batch = out.batch.expect("timed run reports batch stats");
+        let stream = out.stream.expect("streaming run reports stream stats");
+        Ok((out.outcomes, batch, stream))
     }
 }
 
@@ -1120,11 +1185,14 @@ mod tests {
         let doc = tiny_geojson();
         let mut source = ReaderChunkSource::with_chunk_len(&doc[..], 5);
         let r = engine
-            .execute_streaming(
-                &Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0)),
+            .run_streaming(
+                &[Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0))],
                 &mut source,
                 Format::GeoJson,
+                &ExecOptions::new(),
             )
+            .unwrap()
+            .into_single()
             .unwrap();
         assert_eq!(r.matches().len(), 2);
     }

@@ -9,7 +9,7 @@
 //! a suite-wide `ATGIS_NO_SIMD=1` run (the CI fallback job) both
 //! sides are SWAR and the test degenerates to a determinism check.
 
-use atgis::{Dataset, Engine, Query, QueryResult};
+use atgis::{Dataset, Engine, ExecOptions, Query, QueryResult};
 use atgis_datagen::{write_geojson, write_osm_xml, write_wkt, OsmGenerator};
 use atgis_formats::Format;
 use atgis_geometry::Mbr;
@@ -49,10 +49,18 @@ fn battery_digest() -> u64 {
         let ds = Dataset::from_bytes(bytes.clone(), format);
         // Buffered solo + batched: both pipelines ride the kernels.
         for q in &queries {
-            let r = engine.execute(q, &ds).unwrap();
+            let r = engine
+                .run(std::slice::from_ref(q), &ds, &ExecOptions::new())
+                .unwrap()
+                .into_single()
+                .unwrap();
             format!("{format:?}/{q:?}/{r:?}").hash(&mut h);
         }
-        let batched = engine.execute_batch(&queries, &ds).unwrap();
+        let batched = engine
+            .run(&queries, &ds, &ExecOptions::new())
+            .unwrap()
+            .collapse()
+            .unwrap();
         format!("{format:?}/batch/{batched:?}").hash(&mut h);
         // Streamed: the same battery fed chunkwise.
         let path =
@@ -60,7 +68,16 @@ fn battery_digest() -> u64 {
         std::fs::write(&path, &bytes).unwrap();
         for q in &queries {
             let mut src = atgis::FileChunkSource::open_with_chunk_len(&path, 64 << 10).unwrap();
-            let r: QueryResult = engine.execute_streaming(q, &mut src, format).unwrap();
+            let r: QueryResult = engine
+                .run_streaming(
+                    std::slice::from_ref(q),
+                    &mut src,
+                    format,
+                    &ExecOptions::new(),
+                )
+                .unwrap()
+                .into_single()
+                .unwrap();
             format!("{format:?}/stream/{q:?}/{r:?}").hash(&mut h);
         }
         std::fs::remove_file(&path).ok();

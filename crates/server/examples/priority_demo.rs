@@ -18,7 +18,7 @@ use atgis::{Dataset, Engine, Priority, QueryScheduler};
 use atgis_datagen::{write_geojson, OsmGenerator};
 use atgis_formats::Format;
 use atgis_geometry::Mbr;
-use atgis_server::{Client, ErrorCode, QuerySpec, Server, NO_TIMEOUT};
+use atgis_server::{Client, ErrorCode, MetricMask, QuerySpec, Server, NO_TIMEOUT};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
@@ -86,7 +86,10 @@ fn main() {
             let mut client = Client::connect(addr).expect("connect");
             start.wait();
             for k in 0..15usize {
-                let spec = QuerySpec::Aggregation(tiles[(k + t) % tiles.len()]);
+                let spec = QuerySpec::Aggregation {
+                    region: tiles[(k + t) % tiles.len()],
+                    metrics: MetricMask::ALL,
+                };
                 client
                     .query(0, &spec, Priority::Interactive, NO_TIMEOUT)
                     .expect("io")

@@ -31,7 +31,7 @@
 //!
 //! ```no_run
 //! use atgis::{Engine, QueryScheduler};
-//! use atgis_server::{Server, Client, Priority, QuerySpec, NO_TIMEOUT};
+//! use atgis_server::{MetricMask, Server, Client, Priority, QuerySpec, NO_TIMEOUT};
 //! use atgis_formats::Format;
 //! use atgis_geometry::Mbr;
 //!
@@ -41,7 +41,10 @@
 //! let handle = server.serve("127.0.0.1:0".parse().unwrap()).unwrap();
 //!
 //! let mut client = Client::connect(handle.addr()).unwrap();
-//! let tile = QuerySpec::Aggregation(Mbr::new(-2.0, 48.0, 2.0, 52.0));
+//! let tile = QuerySpec::Aggregation {
+//!     region: Mbr::new(-2.0, 48.0, 2.0, 52.0),
+//!     metrics: MetricMask::ALL,
+//! };
 //! let reply = client.query(0, &tile, Priority::Interactive, NO_TIMEOUT).unwrap();
 //! println!("{:?}", reply);
 //! # fn geojson_bytes() -> Vec<u8> { Vec::new() }
@@ -55,7 +58,9 @@ pub mod protocol;
 mod server;
 
 pub use client::{Client, ServerError};
-pub use protocol::{ClassReport, ErrorCode, QuerySpec, Request, Response, StatsReport, NO_TIMEOUT};
+pub use protocol::{
+    ClassReport, ErrorCode, MetricMask, QuerySpec, Request, Response, StatsReport, NO_TIMEOUT,
+};
 pub use server::{Server, ServerConfig, ServerHandle};
 
 // Re-exported so client code can name priorities and queries without

@@ -18,7 +18,8 @@
 //! before any allocation, and every malformed input surfaces a
 //! [`WireError`] — never a panic, never an unbounded allocation.
 
-use atgis::{Priority, Query, QueryResult};
+use atgis::{FilterStrategy, Metric, Priority, Query, QueryResult};
+use atgis_geometry::DistanceModel;
 use atgis_geometry::Mbr;
 use std::time::Duration;
 
@@ -114,19 +115,67 @@ impl std::fmt::Display for ErrorCode {
     }
 }
 
+/// Which aggregate metrics an aggregation request computes, as one
+/// wire byte: bit 1 = count, bit 2 = area, bit 4 = perimeter. The
+/// server rejects a zero or unknown-bit mask at parse time, so a
+/// decoded mask is always valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricMask(pub u8);
+
+impl MetricMask {
+    /// Bit selecting [`Metric::Count`].
+    pub const COUNT: u8 = 1;
+    /// Bit selecting [`Metric::Area`].
+    pub const AREA: u8 = 2;
+    /// Bit selecting [`Metric::Perimeter`].
+    pub const PERIMETER: u8 = 4;
+    /// Every metric — what [`Query::aggregation`] computes.
+    pub const ALL: MetricMask = MetricMask(Self::COUNT | Self::AREA | Self::PERIMETER);
+
+    /// Whether the mask selects at least one metric and no unknown
+    /// bits.
+    pub fn is_valid(self) -> bool {
+        self.0 != 0 && self.0 & !Self::ALL.0 == 0
+    }
+
+    /// The selected metrics, in the same order as the
+    /// [`Query::aggregation`] default so `MetricMask::ALL` denotes the
+    /// *identical* engine query (and deduplicates against library
+    /// submissions of it).
+    pub fn to_metrics(self) -> Vec<Metric> {
+        let mut metrics = Vec::new();
+        if self.0 & Self::AREA != 0 {
+            metrics.push(Metric::Area);
+        }
+        if self.0 & Self::PERIMETER != 0 {
+            metrics.push(Metric::Perimeter);
+        }
+        if self.0 & Self::COUNT != 0 {
+            metrics.push(Metric::Count);
+        }
+        metrics
+    }
+}
+
 /// A query as it travels on the wire: the closed, fixed-size subset
-/// of [`Query`] the protocol speaks (rectangular regions; the full
-/// polygon/metric surface stays a library concern). Build the engine
-/// query with [`QuerySpec::to_query`] — tests use the same call for
-/// the library-path comparison, which is what makes "bit-identical
-/// over the wire" checkable.
+/// of [`Query`] the protocol speaks (rectangular regions and a metric
+/// bitmask; the full polygon surface stays a library concern). Build
+/// the engine query with [`QuerySpec::to_query`] — tests use the same
+/// call for the library-path comparison, which is what makes
+/// "bit-identical over the wire" checkable.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum QuerySpec {
     /// Geometries intersecting the region ([`Query::containment`]).
     Containment(Mbr),
-    /// Default aggregate metrics over the region
-    /// ([`Query::aggregation`]).
-    Aggregation(Mbr),
+    /// Aggregate the selected metrics over the region
+    /// ([`Query::aggregation_with`]; `MetricMask::ALL` is exactly
+    /// [`Query::aggregation`]).
+    Aggregation {
+        /// The query region.
+        region: Mbr,
+        /// Which metrics to compute.
+        metrics: MetricMask,
+    },
     /// Self-join with the id-threshold split ([`Query::join`]).
     Join(u64),
     /// Join + perimeter filters + union-area aggregate
@@ -147,7 +196,12 @@ impl QuerySpec {
     pub fn to_query(&self) -> Query {
         match *self {
             QuerySpec::Containment(mbr) => Query::containment(mbr),
-            QuerySpec::Aggregation(mbr) => Query::aggregation(mbr),
+            QuerySpec::Aggregation { region, metrics } => Query::aggregation_with(
+                region,
+                metrics.to_metrics(),
+                DistanceModel::Spherical,
+                FilterStrategy::Auto,
+            ),
             QuerySpec::Join(t) => Query::join(t),
             QuerySpec::Combined {
                 id_threshold,
@@ -399,9 +453,10 @@ pub fn encode_submit(
             put_u8(&mut buf, 1);
             put_mbr(&mut buf, &mbr);
         }
-        QuerySpec::Aggregation(mbr) => {
+        QuerySpec::Aggregation { region, metrics } => {
             put_u8(&mut buf, 2);
-            put_mbr(&mut buf, &mbr);
+            put_mbr(&mut buf, &region);
+            put_u8(&mut buf, metrics.0);
         }
         QuerySpec::Join(t) => {
             put_u8(&mut buf, 3);
@@ -534,7 +589,14 @@ pub fn parse_request(payload: &[u8]) -> WireResult<Request> {
             let timeout_ms = r.u64()?;
             let query = match r.u8()? {
                 1 => QuerySpec::Containment(r.mbr()?),
-                2 => QuerySpec::Aggregation(r.mbr()?),
+                2 => {
+                    let region = r.mbr()?;
+                    let metrics = MetricMask(r.u8()?);
+                    if !metrics.is_valid() {
+                        return err("bad metric mask");
+                    }
+                    QuerySpec::Aggregation { region, metrics }
+                }
                 3 => QuerySpec::Join(r.u64()?),
                 4 => QuerySpec::Combined {
                     id_threshold: r.u64()?,
@@ -697,6 +759,28 @@ mod tests {
                     },
                 },
             ),
+            (
+                encode_submit(
+                    9,
+                    1,
+                    Priority::Interactive,
+                    NO_TIMEOUT,
+                    &QuerySpec::Aggregation {
+                        region: Mbr::new(0.0, 0.0, 2.0, 2.0),
+                        metrics: MetricMask(MetricMask::COUNT | MetricMask::AREA),
+                    },
+                ),
+                Request::Submit {
+                    req_id: 9,
+                    dataset: 1,
+                    priority: Priority::Interactive,
+                    timeout_ms: NO_TIMEOUT,
+                    query: QuerySpec::Aggregation {
+                        region: Mbr::new(0.0, 0.0, 2.0, 2.0),
+                        metrics: MetricMask(MetricMask::COUNT | MetricMask::AREA),
+                    },
+                },
+            ),
             (encode_cancel(42), Request::Cancel { req_id: 42 }),
             (encode_stats_request(), Request::Stats),
         ];
@@ -780,6 +864,28 @@ mod tests {
     }
 
     #[test]
+    fn metric_mask_all_is_the_library_default_aggregation() {
+        // `MetricMask::ALL` must denote the *identical* engine query
+        // (same metric order), so wire submissions deduplicate against
+        // library submissions of `Query::aggregation`.
+        let region = Mbr::new(-2.0, 48.0, 2.0, 52.0);
+        let spec = QuerySpec::Aggregation {
+            region,
+            metrics: MetricMask::ALL,
+        };
+        // `Query` has no `PartialEq`; its Debug form is total, so
+        // comparing it pins the metric order too.
+        assert_eq!(
+            format!("{:?}", spec.to_query()),
+            format!("{:?}", Query::aggregation(region))
+        );
+        assert_eq!(
+            MetricMask(MetricMask::COUNT).to_metrics(),
+            vec![Metric::Count]
+        );
+    }
+
+    #[test]
     fn signed_zero_survives_the_wire() {
         // `f64` travels as raw bits: -0.0 must come back as -0.0, not
         // +0.0 (PartialEq can't see the difference; the bits can).
@@ -815,6 +921,25 @@ mod tests {
         let mut bad_tag = encode_submit(1, 2, Priority::Interactive, 5, &QuerySpec::Join(1));
         bad_tag[26] = 200; // query tag byte
         assert!(parse_request(&bad_tag).is_err());
+        // Aggregation metric masks: empty and unknown bits are both
+        // rejected at parse time (the mask is the payload's last byte).
+        for bad_mask in [0u8, 0x80, MetricMask::ALL.0 | 0x08] {
+            let mut frame = encode_submit(
+                1,
+                2,
+                Priority::Interactive,
+                5,
+                &QuerySpec::Aggregation {
+                    region: Mbr::new(0.0, 0.0, 1.0, 1.0),
+                    metrics: MetricMask(bad_mask),
+                },
+            );
+            assert_eq!(frame.last(), Some(&bad_mask));
+            assert!(parse_request(&frame).is_err(), "mask {bad_mask:#x}");
+            // …while a valid mask in the same frame parses.
+            *frame.last_mut().unwrap() = MetricMask::PERIMETER;
+            assert!(parse_request(&frame).is_ok());
+        }
         let mut trailing = encode_cancel(1);
         trailing.push(0);
         assert!(parse_request(&trailing).is_err());

@@ -25,8 +25,8 @@ use crate::protocol::{
 };
 use atgis::cancel::Interrupt;
 use atgis::{
-    CancelToken, Dataset, DatasetId, Priority, Query, QueryError, QueryResult, QueryScheduler,
-    SchedulerStats,
+    CancelToken, Dataset, DatasetId, ExecOptions, Priority, Query, QueryError, QueryResult,
+    QueryScheduler, ScheduledQuery, SchedulerStats,
 };
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
@@ -598,23 +598,28 @@ fn release(shared: &Arc<Shared>, req: &PendingRequest) {
 }
 
 fn run_group(shared: &Arc<Shared>, dataset: DatasetId, group: Vec<PendingRequest>) {
-    let queries: Vec<Query> = group.iter().map(|r| r.query.clone()).collect();
-    let classes: Vec<Priority> = group.iter().map(|r| r.class).collect();
+    let batch: Vec<ScheduledQuery> = group
+        .iter()
+        .map(|r| ScheduledQuery::with_priority(dataset, r.query.clone(), r.class))
+        .collect();
     // A solo request runs under its own token, so a mid-scan CANCEL
     // or disconnect aborts the work itself. Grouped requests share
     // scans and cannot abort each other; their tokens are re-checked
     // after the group completes and stale members' results discarded.
     let solo_token = (group.len() == 1).then(|| group[0].token.clone());
     let dispatched = Instant::now();
-    let outcome = shared.scheduler.execute_batch_prioritized(
-        dataset,
-        &queries,
-        &classes,
-        solo_token.as_ref(),
+    let outcome = shared.scheduler.run_multi(
+        &batch,
+        &ExecOptions::new()
+            .isolated()
+            .timed()
+            .cancellable_opt(solo_token.as_ref()),
     );
 
     match outcome {
-        Ok((results, sstats)) => {
+        Ok(out) => {
+            let sstats = out.scheduler.expect("timed run reports scheduler stats");
+            let results = out.outcomes;
             {
                 let mut stats = shared.stats.lock().unwrap();
                 stats.sched.unique_queries += sstats.unique_queries;

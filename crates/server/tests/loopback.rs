@@ -8,13 +8,14 @@
 //! counter without affecting other tenants, and deadline / overload
 //! failures map to distinct wire error codes.
 
-use atgis::{Dataset, Engine, Priority, QueryResult, QueryScheduler};
+use atgis::{Dataset, Engine, ExecOptions, Priority, QueryResult, QueryScheduler};
 use atgis_datagen::{write_geojson, OsmGenerator};
 use atgis_formats::Format;
 use atgis_geometry::Mbr;
 use atgis_server::protocol::{self, Request, StatsReport};
 use atgis_server::{
-    Client, ErrorCode, QuerySpec, Response, Server, ServerConfig, ServerHandle, NO_TIMEOUT,
+    Client, ErrorCode, MetricMask, QuerySpec, Response, Server, ServerConfig, ServerHandle,
+    NO_TIMEOUT,
 };
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -59,7 +60,10 @@ fn wait_until(what: &str, mut ready: impl FnMut() -> bool) {
 fn concurrent_clients_get_bit_identical_results() {
     let specs = [
         QuerySpec::Containment(Mbr::new(-6.0, 44.0, 4.0, 56.0)),
-        QuerySpec::Aggregation(Mbr::new(-2.0, 48.0, 2.0, 52.0)),
+        QuerySpec::Aggregation {
+            region: Mbr::new(-2.0, 48.0, 2.0, 52.0),
+            metrics: MetricMask::ALL,
+        },
         QuerySpec::Containment(Mbr::new(0.0, 50.0, 4.0, 54.0)),
         QuerySpec::Join(600),
     ];
@@ -68,7 +72,11 @@ fn concurrent_clients_get_bit_identical_results() {
     let lib = engine();
     let want: Vec<_> = specs
         .iter()
-        .map(|s| lib.execute(&s.to_query(), &ds).unwrap())
+        .map(|s| {
+            lib.run(&[s.to_query()], &ds, &ExecOptions::new())
+                .and_then(|o| o.into_single())
+                .unwrap()
+        })
         .collect();
 
     let handle = serve(71, 2_400, ServerConfig::default());
@@ -199,9 +207,15 @@ fn mid_query_disconnect_increments_cancelled_without_hurting_others() {
     });
 
     // Tenant B is unaffected: same server, correct result.
-    let spec = QuerySpec::Aggregation(Mbr::new(-2.0, 48.0, 2.0, 52.0));
+    let spec = QuerySpec::Aggregation {
+        region: Mbr::new(-2.0, 48.0, 2.0, 52.0),
+        metrics: MetricMask::ALL,
+    };
     let ds = dataset(73, objects);
-    let want = engine().execute(&spec.to_query(), &ds).unwrap();
+    let want = engine()
+        .run(&[spec.to_query()], &ds, &ExecOptions::new())
+        .and_then(|o| o.into_single())
+        .unwrap();
     let mut survivor = Client::connect(addr).unwrap();
     let got = survivor
         .query(0, &spec, Priority::Interactive, NO_TIMEOUT)
@@ -416,7 +430,10 @@ fn unknown_dataset_is_a_structured_error() {
 fn stats_travel_the_wire_faithfully() {
     let handle = serve(77, 600, ServerConfig::default());
     let mut client = Client::connect(handle.addr()).unwrap();
-    let tile = QuerySpec::Aggregation(Mbr::new(-6.0, 44.0, 4.0, 56.0));
+    let tile = QuerySpec::Aggregation {
+        region: Mbr::new(-6.0, 44.0, 4.0, 56.0),
+        metrics: MetricMask::ALL,
+    };
     for _ in 0..3 {
         client
             .query(0, &tile, Priority::Interactive, NO_TIMEOUT)
@@ -431,5 +448,46 @@ fn stats_travel_the_wire_faithfully() {
     // answered by dedup or the cross-batch aggregate cache.
     assert!(wire.cache_hits + wire.dedup_hits >= 1);
     assert!(wire.interactive.completed == 3 && wire.batch.completed == 0);
+    handle.shutdown();
+}
+
+#[test]
+fn metric_selection_travels_the_wire() {
+    // Each mask must come back bit-identical to the library query it
+    // denotes: unselected metrics report zero, selected ones the full
+    // value — and a count-only aggregate skips the measure math.
+    let ds = dataset(79, 1_800);
+    let lib = engine();
+    let region = Mbr::new(-4.0, 46.0, 4.0, 54.0);
+    let handle = serve(79, 1_800, ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for mask in [
+        MetricMask::ALL,
+        MetricMask(MetricMask::COUNT),
+        MetricMask(MetricMask::AREA),
+        MetricMask(MetricMask::COUNT | MetricMask::PERIMETER),
+    ] {
+        let spec = QuerySpec::Aggregation {
+            region,
+            metrics: mask,
+        };
+        let want = lib
+            .run(&[spec.to_query()], &ds, &ExecOptions::new())
+            .and_then(|o| o.into_single())
+            .unwrap();
+        let got = client
+            .query(0, &spec, Priority::Interactive, NO_TIMEOUT)
+            .unwrap()
+            .unwrap_or_else(|e| panic!("mask {:#x}: {e:?}", mask.0));
+        assert_eq!(got, want, "mask {:#x}", mask.0);
+        if mask.0 == MetricMask::COUNT {
+            let QueryResult::Aggregate(a) = &got else {
+                panic!("aggregation must yield an aggregate");
+            };
+            assert!(a.count > 0, "workload region holds features");
+            assert_eq!(a.total_area, 0.0, "unselected metric stays zero");
+            assert_eq!(a.total_perimeter, 0.0, "unselected metric stays zero");
+        }
+    }
     handle.shutdown();
 }

@@ -9,7 +9,7 @@
 //! cargo run --release --example batch_server
 //! ```
 
-use atgis::{Dataset, Engine, Query, QuerySession};
+use atgis::{Dataset, Engine, ExecOptions, Query, QuerySession};
 use atgis_datagen::{write_geojson, OsmGenerator};
 use atgis_formats::Format;
 use atgis_geometry::Mbr;
@@ -61,9 +61,11 @@ fn main() {
 
     for tick in 0..6 {
         let batch = traffic_tick(tick, objects);
-        let (results, stats) = session
-            .execute_batch_timed(&batch)
+        let out = session
+            .run(&batch, &ExecOptions::new().timed())
             .expect("batch execution");
+        let stats = out.batch.clone().expect("timed run reports stats");
+        let results = out.collapse().expect("batch execution");
         let matches: usize = results.iter().map(|r| r.matches().len()).sum();
         let pairs: usize = results.iter().map(|r| r.joined().len()).sum();
         println!(
@@ -83,11 +85,19 @@ fn main() {
     // Spot-check the serving contract: batched answers equal solo
     // execution on the session's engine.
     let probe = traffic_tick(1, objects);
-    let batched = session.execute_batch(&probe).expect("batch");
+    let batched = session
+        .run(&probe, &ExecOptions::new())
+        .and_then(|o| o.collapse())
+        .expect("batch");
     for (q, want) in probe.iter().zip(&batched) {
         let solo = session
             .engine()
-            .execute(q, session.dataset())
+            .run(
+                std::slice::from_ref(q),
+                session.dataset(),
+                &ExecOptions::new(),
+            )
+            .and_then(|o| o.into_single())
             .expect("solo");
         assert_eq!(&solo, want, "batch answers must equal solo execution");
     }

@@ -7,7 +7,7 @@
 //! cargo run --release --example format_tour
 //! ```
 
-use atgis::{Dataset, Engine, Query};
+use atgis::{Dataset, Engine, ExecOptions, Query};
 use atgis_datagen::{write_geojson, write_osm_xml, write_wkt, OsmGenerator};
 use atgis_formats::{Format, Mode};
 use atgis_geometry::Mbr;
@@ -38,7 +38,11 @@ fn main() {
         for mode in [Mode::Pat, Mode::Fat] {
             let engine = Engine::builder().threads(4).mode(mode).build();
             let started = std::time::Instant::now();
-            let result = engine.execute(&query, ds).expect("query failed");
+            let result = engine
+                .run(std::slice::from_ref(&query), ds, &ExecOptions::new())
+                .expect("query failed")
+                .into_single()
+                .expect("query failed");
             let elapsed = started.elapsed();
             matches = result.matches().len();
             row.push(ds.len() as f64 / 1e6 / elapsed.as_secs_f64().max(1e-9));
@@ -58,8 +62,15 @@ fn main() {
     let g = &datasets[0].1;
     let pat = Engine::builder().mode(Mode::Pat).threads(3).build();
     let fat = Engine::builder().mode(Mode::Fat).threads(3).build();
-    let a = pat.execute(&query, g).expect("pat");
-    let b = fat.execute(&query, g).expect("fat");
+    let opts = ExecOptions::new();
+    let a = pat
+        .run(std::slice::from_ref(&query), g, &opts)
+        .and_then(|o| o.into_single())
+        .expect("pat");
+    let b = fat
+        .run(std::slice::from_ref(&query), g, &opts)
+        .and_then(|o| o.into_single())
+        .expect("fat");
     assert_eq!(a.matches(), b.matches());
     println!(
         "\nPAT and FAT agree on {} matches — speculation is exact.",

@@ -11,7 +11,7 @@
 //! cargo run --release --example multi_tenant_server
 //! ```
 
-use atgis::{Dataset, Engine, Query, QueryScheduler, ScheduledQuery};
+use atgis::{Dataset, Engine, ExecOptions, Query, QueryScheduler, ScheduledQuery};
 use atgis_datagen::{write_geojson, OsmGenerator};
 use atgis_formats::Format;
 use atgis_geometry::Mbr;
@@ -73,9 +73,11 @@ fn main() {
 
     for tick in 0..6 {
         let batch = traffic_tick(tick, &ids, objects);
-        let (results, stats) = scheduler
-            .execute_multi_timed(&batch)
+        let out = scheduler
+            .run_multi(&batch, &ExecOptions::new().timed())
             .expect("scheduled batch");
+        let stats = out.scheduler.clone().expect("timed run reports stats");
+        let results = out.collapse().expect("scheduled batch");
         let matches: usize = results.iter().map(|r| r.matches().len()).sum();
         println!(
             "tick {tick}: {} submissions -> {} executed ({} dedup, {} cached) in \
@@ -110,8 +112,10 @@ fn main() {
         scheduler.cache_stats().entries,
     );
     let probe = traffic_tick(1, &ids, objects);
-    let (after, _) = scheduler
-        .execute_multi_timed(&probe)
+    let after = scheduler
+        .run_multi(&probe, &ExecOptions::new())
+        .expect("post-update batch")
+        .collapse()
         .expect("post-update batch");
 
     // Spot-check the serving contract: scheduled answers (dedup'd,
@@ -119,7 +123,10 @@ fn main() {
     // engine execution on the current data.
     for (sq, want) in probe.iter().zip(&after) {
         let shard = &shards[ids.iter().position(|i| *i == sq.dataset).expect("known id")];
-        let solo = engine.execute(&sq.query, shard).expect("solo");
+        let solo = engine
+            .run(std::slice::from_ref(&sq.query), shard, &ExecOptions::new())
+            .and_then(|o| o.into_single())
+            .expect("solo");
         assert_eq!(&solo, want, "scheduled answers must equal solo execution");
     }
     println!("verified: scheduled results identical to per-query execution");

@@ -7,7 +7,7 @@
 //! ```
 
 use atgis::pipeline::MetricsAgg;
-use atgis::{Dataset, Engine, FilterStrategy, Metric, Query};
+use atgis::{Dataset, Engine, ExecOptions, FilterStrategy, Metric, Query};
 use atgis_datagen::{write_geojson, OsmGenerator};
 use atgis_formats::{Format, MetadataFilter, Mode};
 use atgis_geometry::{DistanceModel, Mbr, Polygon};
@@ -30,7 +30,8 @@ fn main() {
         ("south-east", Mbr::new(0.0, world.min_y, world.max_x, 50.0)),
     ] {
         let result = engine
-            .execute(&Query::aggregation(region), &dataset)
+            .run(&[Query::aggregation(region)], &dataset, &ExecOptions::new())
+            .and_then(|o| o.into_single())
             .expect("district query");
         let agg = result.aggregate().expect("aggregate");
         println!(
@@ -82,7 +83,8 @@ fn main() {
             FilterStrategy::Buffered,
         );
         let agg = engine
-            .execute(&q, &dataset)
+            .run(std::slice::from_ref(&q), &dataset, &ExecOptions::new())
+            .and_then(|o| o.into_single())
             .expect("query")
             .aggregate()
             .expect("aggregate");

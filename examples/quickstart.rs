@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use atgis::{Dataset, Engine, Query};
+use atgis::{Dataset, Engine, ExecOptions, Query};
 use atgis_datagen::{write_geojson, OsmGenerator};
 use atgis_formats::{Format, Mode};
 use atgis_geometry::Mbr;
@@ -37,7 +37,9 @@ fn main() {
     let region = Mbr::new(-10.0, 40.0, 0.0, 50.0);
     let started = std::time::Instant::now();
     let result = engine
-        .execute(&Query::containment(region), &dataset)
+        .run(&[Query::containment(region)], &dataset, &ExecOptions::new())
+        .expect("query failed")
+        .into_single()
         .expect("query failed");
     println!(
         "containment: {} matches in {:?} (data-to-query, no load phase)",
@@ -48,7 +50,9 @@ fn main() {
     // 4. Aggregation: total area + perimeter of the selected shapes,
     //    computed in the same single pass over the raw bytes.
     let result = engine
-        .execute(&Query::aggregation(region), &dataset)
+        .run(&[Query::aggregation(region)], &dataset, &ExecOptions::new())
+        .expect("query failed")
+        .into_single()
         .expect("query failed");
     let agg = result.aggregate().expect("aggregate result");
     println!(

@@ -7,7 +7,7 @@
 //! ```
 
 use atgis::engine::{PartitionPhase, StoreKind};
-use atgis::{Dataset, Engine, Query, QueryResult};
+use atgis::{Dataset, Engine, ExecOptions, Query, QueryResult};
 use atgis_datagen::{write_geojson, OsmGenerator};
 use atgis_formats::Format;
 use atgis_geometry::Mbr;
@@ -26,10 +26,16 @@ fn main() {
         .build();
 
     // Plain join: all intersecting (left, right) pairs.
-    let (result, stats) = engine
-        .execute_timed(&Query::join(threshold), &dataset)
+    let out = engine
+        .run(
+            &[Query::join(threshold)],
+            &dataset,
+            &ExecOptions::new().timed(),
+        )
         .expect("join failed");
-    let join_stats = stats.join.expect("join timings");
+    let stats = out.batch.clone().expect("timed run reports stats");
+    let result = out.into_single().expect("join failed");
+    let join_stats = stats.per_query[0].join.expect("join timings");
     println!("join: {} intersecting pairs", result.joined().len());
     println!(
         "  partition pipeline: {:?} (process {:?}, merge {:?})",
@@ -49,7 +55,11 @@ fn main() {
     // Combined query (Table 3): perimeter filters on both sides,
     // join, then SUM(ST_Area(ST_Union(d1, d2))) over the pairs.
     let q = Query::combined(threshold, 50.0, 1.0e6);
-    let result = engine.execute(&q, &dataset).expect("combined failed");
+    let result = engine
+        .run(std::slice::from_ref(&q), &dataset, &ExecOptions::new())
+        .expect("combined failed")
+        .into_single()
+        .expect("combined failed");
     if let QueryResult::Combined {
         pairs,
         total_union_area,
@@ -70,7 +80,11 @@ fn main() {
             .store(kind)
             .build();
         let started = std::time::Instant::now();
-        let r = e.execute(&Query::join(threshold), &dataset).expect("join");
+        let r = e
+            .run(&[Query::join(threshold)], &dataset, &ExecOptions::new())
+            .expect("join")
+            .into_single()
+            .expect("join");
         println!(
             "store={name:<6} {} pairs in {:?}",
             r.joined().len(),

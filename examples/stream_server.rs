@@ -17,7 +17,7 @@
 //! A second act runs the one-shot pipeline — `execute_streaming_batch`
 //! over a file source — and checks it against buffered execution.
 
-use atgis::{chunk_channel, Dataset, Engine, Query, QuerySession};
+use atgis::{chunk_channel, Dataset, Engine, ExecOptions, Query, QuerySession};
 use atgis_datagen::{write_geojson, OsmGenerator};
 use atgis_formats::Format;
 use atgis_geometry::Mbr;
@@ -62,7 +62,10 @@ fn main() {
         ticks += 1;
         // Every few chunks, a tenant queries the prefix served so far.
         if ticks.is_multiple_of(8) {
-            let r = session.execute(&region).expect("prefix query");
+            let r = session
+                .run(std::slice::from_ref(&region), &ExecOptions::new())
+                .and_then(|o| o.into_single())
+                .expect("prefix query");
             println!(
                 "  t+{:>6.1?}: {:>7} bytes ingested ({:>5.1}% queryable), prefix matches: {}",
                 started.elapsed(),
@@ -76,7 +79,9 @@ fn main() {
 
     // Joins are refused until the stream seals.
     assert!(
-        session.execute(&Query::join(threshold)).is_err(),
+        session
+            .run(&[Query::join(threshold)], &ExecOptions::new())
+            .is_err(),
         "join before finish must be refused"
     );
     let stats = session.finish().expect("seal session");
@@ -89,12 +94,17 @@ fn main() {
     );
 
     // Join traffic now runs from the warm index: zero parse passes.
-    let (results, jstats) = session
-        .execute_batch_timed(&[
-            Query::join(threshold),
-            Query::combined(threshold, 10.0, 1.0e7),
-        ])
+    let out = session
+        .run(
+            &[
+                Query::join(threshold),
+                Query::combined(threshold, 10.0, 1.0e7),
+            ],
+            &ExecOptions::new().timed(),
+        )
         .expect("sealed joins");
+    let jstats = out.batch.clone().expect("timed run reports stats");
+    let results = out.collapse().expect("sealed joins");
     println!(
         "sealed join batch: {} pairs, {} parse passes (index sealed by ingest)",
         results[0].joined().len(),
@@ -108,7 +118,8 @@ fn main() {
     // The sealed session is bit-identical to buffered execution.
     let reference = Dataset::from_bytes(bytes.clone(), Format::GeoJson);
     let want = engine
-        .execute(&Query::join(threshold), &reference)
+        .run(&[Query::join(threshold)], &reference, &ExecOptions::new())
+        .and_then(|o| o.into_single())
         .expect("buffered reference");
     assert_eq!(results[0], want, "streamed session ≡ buffered execution");
 
@@ -124,13 +135,26 @@ fn main() {
     let mut source =
         atgis::FileChunkSource::open_with_chunk_len(&path, 1 << 20).expect("open feed file");
     let started = Instant::now();
-    let (streamed, bstats, sstats) = engine
-        .execute_streaming_batch_timed(&queries, &mut source, Format::GeoJson)
+    let out = engine
+        .run_streaming(
+            &queries,
+            &mut source,
+            Format::GeoJson,
+            &ExecOptions::new().timed(),
+        )
         .expect("one-shot streamed batch");
+    let bstats = out.batch.clone().expect("timed run reports stats");
+    let sstats = out.stream.clone().expect("stream stats");
+    let streamed = out.collapse().expect("one-shot streamed batch");
     let elapsed = started.elapsed();
     let buffered: Vec<_> = queries
         .iter()
-        .map(|q| engine.execute(q, &reference).expect("buffered"))
+        .map(|q| {
+            engine
+                .run(std::slice::from_ref(q), &reference, &ExecOptions::new())
+                .and_then(|o| o.into_single())
+                .expect("buffered")
+        })
         .collect();
     assert_eq!(streamed, buffered, "one-shot streamed ≡ buffered");
     std::fs::remove_file(&path).ok();

@@ -6,6 +6,7 @@ use atgis::{Dataset, Engine, Query};
 use atgis_datagen::{write_geojson, OsmGenerator, SynthConfig};
 use atgis_formats::{resolve_adaptive, Format, Mode};
 use atgis_geometry::Mbr;
+use atgis_tests::RunExt;
 
 #[test]
 fn dense_markers_resolve_to_pat() {
@@ -73,12 +74,12 @@ fn adaptive_engine_matches_fixed_modes() {
             .mode(Mode::Adaptive)
             .threads(2)
             .build()
-            .execute(&q, &ds)
+            .exec1(&q, &ds)
             .unwrap();
         let pat = Engine::builder()
             .mode(Mode::Pat)
             .build()
-            .execute(&q, &ds)
+            .exec1(&q, &ds)
             .unwrap();
         assert_eq!(adaptive.matches(), pat.matches(), "{name}");
     }

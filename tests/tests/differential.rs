@@ -9,13 +9,14 @@
 //! `Dataset` storage paths.
 
 use atgis::{
-    Dataset, Engine, ProbeStrategy, Query, QueryResult, QueryScheduler, QuerySession,
+    Dataset, Engine, ExecOptions, ProbeStrategy, Query, QueryResult, QueryScheduler, QuerySession,
     ScheduledQuery, SchedulerConfig,
 };
 use atgis_baselines::{sequential, BaselineAnswer, BaselineQuery};
 use atgis_datagen::{write_geojson, write_osm_xml, write_wkt, OsmGenerator};
 use atgis_formats::{Format, Mode};
 use atgis_geometry::Mbr;
+use atgis_tests::{RunExt, SchedRunExt, SessionRunExt};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Thread counts exercised for every engine configuration.
@@ -108,7 +109,7 @@ fn containment_matches_oracle_everywhere() {
         };
         assert!(!want.is_empty(), "query must select something");
         for (config, engine) in engines() {
-            let r = engine.execute(&Query::containment(region), &ds).unwrap();
+            let r = engine.exec1(&Query::containment(region), &ds).unwrap();
             let mut got: Vec<u64> = r.matches().iter().map(|m| m.id).collect();
             got.sort_unstable();
             assert_eq!(got, want, "containment {format:?} [{config}]");
@@ -129,7 +130,7 @@ fn count_and_aggregate_match_oracle_everywhere() {
         assert!(want_count > 0);
         for (config, engine) in engines() {
             let agg = engine
-                .execute(&Query::aggregation(region), &ds)
+                .exec1(&Query::aggregation(region), &ds)
                 .unwrap()
                 .aggregate()
                 .unwrap();
@@ -164,7 +165,7 @@ fn join_matches_oracle_everywhere() {
         };
         assert!(!want.is_empty(), "join must produce pairs");
         for (config, engine) in engines() {
-            let r = engine.execute(&Query::join(threshold), &ds).unwrap();
+            let r = engine.exec1(&Query::join(threshold), &ds).unwrap();
             let mut got: Vec<(u64, u64)> =
                 r.joined().iter().map(|p| (p.left_id, p.right_id)).collect();
             got.sort_unstable();
@@ -192,7 +193,7 @@ fn skewed_join_matches_oracle_everywhere() {
     };
     assert!(!want.is_empty(), "skewed join must produce pairs");
     for (config, engine) in engines() {
-        let r = engine.execute(&Query::join(60), &ds).unwrap();
+        let r = engine.exec1(&Query::join(60), &ds).unwrap();
         let mut got: Vec<(u64, u64)> = r.joined().iter().map(|p| (p.left_id, p.right_id)).collect();
         got.sort_unstable();
         got.dedup();
@@ -210,7 +211,7 @@ fn xml_containment_matches_oracle() {
     };
     for threads in THREADS {
         let engine = Engine::builder().threads(threads).build();
-        let r = engine.execute(&Query::containment(region), &ds).unwrap();
+        let r = engine.exec1(&Query::containment(region), &ds).unwrap();
         let mut got: Vec<u64> = r.matches().iter().map(|m| m.id).collect();
         got.sort_unstable();
         assert_eq!(got, want, "xml containment threads={threads}");
@@ -228,7 +229,7 @@ fn fat_and_pat_modes_match_oracle() {
         };
         for mode in [Mode::Pat, Mode::Fat, Mode::Adaptive] {
             let engine = Engine::builder().threads(2).mode(mode).build();
-            let r = engine.execute(&Query::containment(region), &ds).unwrap();
+            let r = engine.exec1(&Query::containment(region), &ds).unwrap();
             let mut got: Vec<u64> = r.matches().iter().map(|m| m.id).collect();
             got.sort_unstable();
             assert_eq!(got, want, "containment {format:?} mode={mode:?}");
@@ -287,11 +288,9 @@ fn batch_execution_matches_sequential_everywhere() {
                         .partition_target(target)
                         .build();
                     for (mi, mix) in batch_mixes(n).iter().enumerate() {
-                        let want: Vec<QueryResult> = mix
-                            .iter()
-                            .map(|q| engine.execute(q, &ds).unwrap())
-                            .collect();
-                        let (got, stats) = engine.execute_batch_timed(mix, &ds).unwrap();
+                        let want: Vec<QueryResult> =
+                            mix.iter().map(|q| engine.exec1(q, &ds).unwrap()).collect();
+                        let (got, stats) = engine.execb_timed(mix, &ds).unwrap();
                         let config = format!(
                             "{format:?} threads={threads} target={target} mode={mode:?} mix={mi}"
                         );
@@ -320,11 +319,8 @@ fn batch_execution_matches_sequential_on_xml() {
     ];
     for threads in THREADS {
         let engine = Engine::builder().threads(threads).cell_size(2.0).build();
-        let want: Vec<QueryResult> = mix
-            .iter()
-            .map(|q| engine.execute(q, &ds).unwrap())
-            .collect();
-        let got = engine.execute_batch(&mix, &ds).unwrap();
+        let want: Vec<QueryResult> = mix.iter().map(|q| engine.exec1(q, &ds).unwrap()).collect();
+        let got = engine.execb(&mix, &ds).unwrap();
         assert_eq!(got, want, "xml batch threads={threads}");
     }
 
@@ -335,11 +331,11 @@ fn batch_execution_matches_sequential_on_xml() {
     let join_only = vec![Query::join(20)];
     let want: Vec<QueryResult> = join_only
         .iter()
-        .map(|q| engine.execute(q, &ds).unwrap())
+        .map(|q| engine.exec1(q, &ds).unwrap())
         .collect();
     let session = QuerySession::new(engine, ds);
-    let (cold, s_cold) = session.execute_batch_timed(&join_only).unwrap();
-    let (warm, s_warm) = session.execute_batch_timed(&join_only).unwrap();
+    let (cold, s_cold) = session.execb_timed(&join_only).unwrap();
+    let (warm, s_warm) = session.execb_timed(&join_only).unwrap();
     assert_eq!(cold, want);
     assert_eq!(warm, want);
     assert_eq!(s_cold.scan_passes, 2, "partition pass + node-table pass");
@@ -369,11 +365,11 @@ fn session_batches_stay_consistent_across_cache_states() {
         ];
         let want: Vec<QueryResult> = joins
             .iter()
-            .map(|q| engine.execute(q, &ds).unwrap())
+            .map(|q| engine.exec1(q, &ds).unwrap())
             .collect();
         let session = QuerySession::new(engine, ds.clone());
-        let (cold, s_cold) = session.execute_batch_timed(&joins).unwrap();
-        let (warm, s_warm) = session.execute_batch_timed(&joins).unwrap();
+        let (cold, s_cold) = session.execb_timed(&joins).unwrap();
+        let (warm, s_warm) = session.execb_timed(&joins).unwrap();
         assert_eq!(cold, want, "cold cache, target={target}");
         assert_eq!(warm, want, "warm cache, target={target}");
         assert_eq!(s_cold.scan_passes, 1);
@@ -470,18 +466,16 @@ fn scheduled_batch_execution_matches_sequential_everywhere() {
                     .mode(mode)
                     .cell_size(2.0)
                     .build();
-                let want: Vec<QueryResult> = mix
-                    .iter()
-                    .map(|q| engine.execute(q, &ds).unwrap())
-                    .collect();
+                let want: Vec<QueryResult> =
+                    mix.iter().map(|q| engine.exec1(q, &ds).unwrap()).collect();
                 for (cname, config) in scheduler_configs() {
                     let scheduler = QueryScheduler::with_config(engine.clone(), config);
                     let id = scheduler.register(ds.clone());
                     let label =
                         format!("{format:?} threads={threads} mode={mode:?} config={cname}");
-                    let (cold, s_cold) = scheduler.execute_batch_timed(id, &mix).unwrap();
+                    let (cold, s_cold) = scheduler.execb_timed(id, &mix).unwrap();
                     assert_eq!(cold, want, "cold scheduled != sequential [{label}]");
-                    let (warm, s_warm) = scheduler.execute_batch_timed(id, &mix).unwrap();
+                    let (warm, s_warm) = scheduler.execb_timed(id, &mix).unwrap();
                     assert_eq!(warm, want, "warm scheduled != sequential [{label}]");
                     assert_eq!(s_cold.queries as usize, mix.len());
                     assert_eq!(s_cold.latencies.len(), mix.len());
@@ -518,23 +512,23 @@ fn scheduled_batch_cache_invalidation_on_dataset_update() {
         ];
         let want_v1: Vec<QueryResult> = queries
             .iter()
-            .map(|q| engine.execute(q, &ds_v1).unwrap())
+            .map(|q| engine.exec1(q, &ds_v1).unwrap())
             .collect();
         let want_v2: Vec<QueryResult> = queries
             .iter()
-            .map(|q| engine.execute(q, &ds_v2).unwrap())
+            .map(|q| engine.exec1(q, &ds_v2).unwrap())
             .collect();
         assert_ne!(want_v1, want_v2, "generations must be distinguishable");
 
         let scheduler = QueryScheduler::new(engine);
         let id = scheduler.register(ds_v1);
-        assert_eq!(scheduler.execute_batch(id, &queries).unwrap(), want_v1);
+        assert_eq!(scheduler.execb(id, &queries).unwrap(), want_v1);
         // Warm every predicate into the cache.
-        let (_, warm) = scheduler.execute_batch_timed(id, &queries).unwrap();
+        let (_, warm) = scheduler.execb_timed(id, &queries).unwrap();
         assert_eq!(warm.cache_hits, 3, "{format:?}: cache must be warm");
 
         scheduler.update(id, ds_v2).unwrap();
-        let (fresh, stats) = scheduler.execute_batch_timed(id, &queries).unwrap();
+        let (fresh, stats) = scheduler.execb_timed(id, &queries).unwrap();
         assert_eq!(
             fresh, want_v2,
             "{format:?}: updated dataset must serve fresh results, never gen-1 cache"
@@ -561,11 +555,11 @@ fn scheduled_batch_over_sealed_streaming_session() {
     let ds_v2 = Dataset::from_bytes(bytes_v2.clone(), Format::GeoJson);
     let want_v1: Vec<QueryResult> = mix
         .iter()
-        .map(|q| engine.execute(q, &ds_v1).unwrap())
+        .map(|q| engine.exec1(q, &ds_v1).unwrap())
         .collect();
     let want_v2: Vec<QueryResult> = mix
         .iter()
-        .map(|q| engine.execute(q, &ds_v2).unwrap())
+        .map(|q| engine.exec1(q, &ds_v2).unwrap())
         .collect();
 
     // Ingest chunk by chunk, seal, adopt into the scheduler.
@@ -576,14 +570,14 @@ fn scheduled_batch_over_sealed_streaming_session() {
     session.finish().unwrap();
     let scheduler = QueryScheduler::new(engine.clone());
     let id = scheduler.adopt(session).unwrap();
-    let (got, stats) = scheduler.execute_batch_timed(id, &mix).unwrap();
+    let (got, stats) = scheduler.execb_timed(id, &mix).unwrap();
     assert_eq!(got, want_v1, "scheduled-over-sealed != buffered sequential");
     assert_eq!(
         stats.scan_passes, 1,
         "single-pass queries ride one shared pass; the sealed partition \
          index serves the joins with no partition pass of their own"
     );
-    let (warm, _) = scheduler.execute_batch_timed(id, &mix).unwrap();
+    let (warm, _) = scheduler.execb_timed(id, &mix).unwrap();
     assert_eq!(warm, want_v1);
 
     // Re-ingest: a new stream seals different content; updating the
@@ -594,7 +588,7 @@ fn scheduled_batch_over_sealed_streaming_session() {
     }
     session.finish().unwrap();
     scheduler.update(id, session.dataset().clone()).unwrap();
-    let (fresh, stats) = scheduler.execute_batch_timed(id, &mix).unwrap();
+    let (fresh, stats) = scheduler.execb_timed(id, &mix).unwrap();
     assert_eq!(
         fresh, want_v2,
         "re-ingested stream must never serve the old generation's aggregates"
@@ -631,13 +625,17 @@ fn scheduled_multi_dataset_batch_matches_sequential() {
         ScheduledQuery::new(g, qa.clone()), // true dup (same dataset)
     ];
     let want = vec![
-        engine.execute(&qa, &ds_g).unwrap(),
-        engine.execute(&qa, &ds_w).unwrap(),
-        engine.execute(&qj, &ds_g).unwrap(),
-        engine.execute(&qb, &ds_w).unwrap(),
-        engine.execute(&qa, &ds_g).unwrap(),
+        engine.exec1(&qa, &ds_g).unwrap(),
+        engine.exec1(&qa, &ds_w).unwrap(),
+        engine.exec1(&qj, &ds_g).unwrap(),
+        engine.exec1(&qb, &ds_w).unwrap(),
+        engine.exec1(&qa, &ds_g).unwrap(),
     ];
-    let (got, stats) = scheduler.execute_multi_timed(&batch).unwrap();
+    let out = scheduler
+        .run_multi(&batch, &ExecOptions::new().timed())
+        .unwrap();
+    let stats = out.scheduler.clone().unwrap();
+    let got = out.collapse().unwrap();
     assert_eq!(got, want, "multi-dataset scheduled != sequential");
     assert_eq!(
         stats.dedup_hits, 1,
@@ -650,10 +648,13 @@ fn scheduled_multi_dataset_batch_matches_sequential() {
         (&ds_g, std::slice::from_ref(&qa)),
         (&ds_w, std::slice::from_ref(&qb)),
     ];
+    // Wrapper equivalence: the deprecated engine-level lift must stay
+    // bit-identical to the scheduler path above.
+    #[allow(deprecated)]
     let grouped = engine.execute_multi_batch(&groups).unwrap();
     assert_eq!(grouped.len(), 2);
-    assert_eq!(grouped[0][0], engine.execute(&qa, &ds_g).unwrap());
-    assert_eq!(grouped[1][0], engine.execute(&qb, &ds_w).unwrap());
+    assert_eq!(grouped[0][0], engine.exec1(&qa, &ds_g).unwrap());
+    assert_eq!(grouped[1][0], engine.exec1(&qb, &ds_w).unwrap());
 }
 
 /// The XML path (two-pass parse, node-table joins) through the
@@ -664,14 +665,11 @@ fn scheduled_batch_matches_sequential_on_xml() {
     let ds = dataset(318, n as usize, Format::OsmXml);
     let engine = Engine::builder().threads(2).cell_size(2.0).build();
     let mix = duplicate_heavy_mix(n);
-    let want: Vec<QueryResult> = mix
-        .iter()
-        .map(|q| engine.execute(q, &ds).unwrap())
-        .collect();
+    let want: Vec<QueryResult> = mix.iter().map(|q| engine.exec1(q, &ds).unwrap()).collect();
     let scheduler = QueryScheduler::new(engine);
     let id = scheduler.register(ds);
-    let (cold, _) = scheduler.execute_batch_timed(id, &mix).unwrap();
-    let (warm, s_warm) = scheduler.execute_batch_timed(id, &mix).unwrap();
+    let (cold, _) = scheduler.execb_timed(id, &mix).unwrap();
+    let (warm, s_warm) = scheduler.execb_timed(id, &mix).unwrap();
     assert_eq!(cold, want, "xml scheduled != sequential");
     assert_eq!(warm, want, "xml warm scheduled != sequential");
     assert!(s_warm.cache_hits > 0);

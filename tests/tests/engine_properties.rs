@@ -8,6 +8,7 @@ use atgis::{Dataset, Engine, FilterStrategy, Metric, Query};
 use atgis_datagen::{write_geojson, write_wkt, OsmGenerator, SynthConfig};
 use atgis_formats::{Format, Mode};
 use atgis_geometry::{DistanceModel, Mbr};
+use atgis_tests::RunExt;
 use proptest::prelude::*;
 
 fn geojson_dataset(seed: u64, n: usize) -> Dataset {
@@ -30,13 +31,13 @@ proptest! {
         let ds = geojson_dataset(seed, 60);
         let region = Mbr::new(-8.0, 42.0, 4.0, 56.0);
         let q = Query::containment(region);
-        let reference = Engine::builder().build().execute(&q, &ds).unwrap();
+        let reference = Engine::builder().build().exec1(&q, &ds).unwrap();
         let engine = Engine::builder()
             .threads(threads)
             .block_multiplier(mult)
             .mode(if fat { Mode::Fat } else { Mode::Pat })
             .build();
-        let got = engine.execute(&q, &ds).unwrap();
+        let got = engine.exec1(&q, &ds).unwrap();
         prop_assert_eq!(got.matches(), reference.matches());
     }
 
@@ -61,7 +62,7 @@ proptest! {
         );
         let reference = Engine::builder()
             .build()
-            .execute(&Query::aggregation_with(
+            .exec1(&Query::aggregation_with(
                 region,
                 vec![Metric::Area, Metric::Perimeter, Metric::Count],
                 DistanceModel::Spherical,
@@ -73,7 +74,7 @@ proptest! {
         let got = Engine::builder()
             .block_multiplier(mult)
             .build()
-            .execute(&q, &ds)
+            .exec1(&q, &ds)
             .unwrap()
             .aggregate()
             .unwrap();
@@ -97,7 +98,7 @@ proptest! {
             .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
             .cell_size(1.0)
             .build()
-            .execute(&q, &ds)
+            .exec1(&q, &ds)
             .unwrap();
         let engine = Engine::builder()
             .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
@@ -109,7 +110,7 @@ proptest! {
                 PartitionPhase::Associative
             })
             .build();
-        let got = engine.execute(&q, &ds).unwrap();
+        let got = engine.exec1(&q, &ds).unwrap();
         prop_assert_eq!(got.joined(), reference.joined());
     }
 
@@ -122,7 +123,7 @@ proptest! {
             .mode(Mode::Fat)
             .block_multiplier(mult)
             .build()
-            .execute(&q, &ds)
+            .exec1(&q, &ds)
             .unwrap();
         prop_assert_eq!(got.matches().len(), 30);
     }
@@ -210,13 +211,13 @@ fn synth_skew_datasets_parse_in_both_modes() {
         let pat = Engine::builder()
             .mode(Mode::Pat)
             .build()
-            .execute(&q, &data)
+            .exec1(&q, &data)
             .unwrap();
         let fat = Engine::builder()
             .mode(Mode::Fat)
             .threads(3)
             .build()
-            .execute(&q, &data)
+            .exec1(&q, &data)
             .unwrap();
         assert_eq!(pat.matches(), fat.matches(), "sigma={sigma}");
         assert_eq!(pat.matches().len(), 40);
@@ -230,14 +231,14 @@ fn sort_batch_size_does_not_change_join_results() {
     let reference = Engine::builder()
         .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
         .build()
-        .execute(&q, &ds)
+        .exec1(&q, &ds)
         .unwrap();
     for batch in [1usize, 7, 64, 100_000] {
         let got = Engine::builder()
             .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
             .sort_batch(batch)
             .build()
-            .execute(&q, &ds)
+            .exec1(&q, &ds)
             .unwrap();
         assert_eq!(got.joined(), reference.joined(), "sort_batch={batch}");
     }
@@ -254,19 +255,19 @@ fn empty_dataset_is_handled_everywhere() {
     let region = Mbr::new(-180.0, -90.0, 180.0, 90.0);
     for ds in [&empty_json, &empty_wkt] {
         assert!(e
-            .execute(&Query::containment(region), ds)
+            .exec1(&Query::containment(region), ds)
             .unwrap()
             .matches()
             .is_empty());
         assert_eq!(
-            e.execute(&Query::aggregation(region), ds)
+            e.exec1(&Query::aggregation(region), ds)
                 .unwrap()
                 .aggregate()
                 .unwrap()
                 .count,
             0
         );
-        assert!(e.execute(&Query::join(10), ds).unwrap().joined().is_empty());
+        assert!(e.exec1(&Query::join(10), ds).unwrap().joined().is_empty());
     }
 }
 
@@ -277,15 +278,15 @@ fn malformed_input_reports_errors_not_panics() {
     let q = Query::containment(Mbr::new(-1.0, -1.0, 1.0, 1.0));
     // Garbage contains no feature marker: PAT yields zero features
     // (nothing to parse); truncated real features must error.
-    let _ = e.execute(&q, &garbage);
+    let _ = e.exec1(&q, &garbage);
     let truncated = Dataset::from_bytes(
         br#"{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"Point","coordi"#.to_vec(),
         Format::GeoJson,
     );
-    let r = e.execute(&q, &truncated);
+    let r = e.exec1(&q, &truncated);
     assert!(r.is_err(), "truncated feature must surface an error");
     let bad_wkt = Dataset::from_bytes(b"1\tPOLYGON((broken\t\n".to_vec(), Format::Wkt);
-    assert!(e.execute(&q, &bad_wkt).is_err());
+    assert!(e.exec1(&q, &bad_wkt).is_err());
 }
 
 #[test]
@@ -294,9 +295,9 @@ fn combined_query_upper_bounded_by_plain_join() {
     let e = Engine::builder()
         .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
         .build();
-    let join_pairs = e.execute(&Query::join(40), &ds).unwrap().joined().len() as u64;
+    let join_pairs = e.exec1(&Query::join(40), &ds).unwrap().joined().len() as u64;
     match e
-        .execute(&Query::combined(40, 0.0, f64::INFINITY), &ds)
+        .exec1(&Query::combined(40, 0.0, f64::INFINITY), &ds)
         .unwrap()
     {
         atgis::QueryResult::Combined { pairs, .. } => {

@@ -16,12 +16,13 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use atgis::fault::{self, CancelAfterChunks, FaultAction, FaultInjector};
 use atgis::{
-    CancelToken, Dataset, Engine, Error, Query, QueryError, QueryResult, QueryScheduler,
-    SliceChunkSource,
+    CancelToken, Dataset, Engine, Error, ExecOptions, Query, QueryError, QueryResult,
+    QueryScheduler, SliceChunkSource,
 };
 use atgis_datagen::{write_geojson, OsmGenerator};
 use atgis_formats::Format;
 use atgis_geometry::Mbr;
+use atgis_tests::{RunExt, SchedRunExt, StreamRunExt};
 
 /// Failpoints are process-global: serialise every test in this binary
 /// so one test's armed panic cannot fire inside another's clean scan.
@@ -73,7 +74,7 @@ fn faulty_stream_is_bit_identical_with_retries_recorded() {
     let e = engine(2);
     let qs = queries(60);
     let ds = Dataset::from_bytes(data.clone(), Format::GeoJson);
-    let oracle: Vec<QueryResult> = qs.iter().map(|q| e.execute(q, &ds).unwrap()).collect();
+    let oracle: Vec<QueryResult> = qs.iter().map(|q| e.exec1(q, &ds).unwrap()).collect();
 
     // Small chunks → many read calls → the 20% transient-error rate is
     // statistically certain to fire at least once for any seed; the
@@ -81,9 +82,7 @@ fn faulty_stream_is_bit_identical_with_retries_recorded() {
     // budget, so completion is guaranteed, not probabilistic.
     let injector = FaultInjector::new(seed);
     let mut source = injector.faulty_source(SliceChunkSource::new(&data, 64));
-    let (results, _batch, stream) = e
-        .execute_streaming_batch_timed(&qs, &mut source, Format::GeoJson)
-        .unwrap();
+    let (results, _batch, stream) = e.streamb_timed(&qs, &mut source, Format::GeoJson).unwrap();
     assert_eq!(results, oracle, "faults must never alter results");
     assert!(
         source.injected_errors() > 0,
@@ -104,15 +103,13 @@ fn slow_chunks_change_timing_not_results() {
     let e = engine(2);
     let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
     let oracle = e
-        .execute(&q, &Dataset::from_bytes(data.clone(), Format::GeoJson))
+        .exec1(&q, &Dataset::from_bytes(data.clone(), Format::GeoJson))
         .unwrap();
     let mut source = FaultInjector::new(seed)
         .faulty_source(SliceChunkSource::new(&data, 128))
         .with_transient_errors(0)
         .with_slow_chunks(500, Duration::from_micros(200));
-    let got = e
-        .execute_streaming(&q, &mut source, Format::GeoJson)
-        .unwrap();
+    let got = e.stream1(&q, &mut source, Format::GeoJson).unwrap();
     assert_eq!(got, oracle);
     assert!(
         source.injected_slow_chunks() > 0,
@@ -127,7 +124,7 @@ fn armed_executor_panic_is_contained_to_the_batch() {
     let e = engine(2);
     let ds = Dataset::from_bytes(bytes(2103, 60), Format::GeoJson);
     let qs = queries(60);
-    let oracle: Vec<QueryResult> = qs.iter().map(|q| e.execute(q, &ds).unwrap()).collect();
+    let oracle: Vec<QueryResult> = qs.iter().map(|q| e.exec1(q, &ds).unwrap()).collect();
 
     fault::arm(
         "executor.block",
@@ -136,7 +133,7 @@ fn armed_executor_panic_is_contained_to_the_batch() {
     // The shared scan dies, so the whole batch reports the panic — as
     // a structured error, not an unwind, and without poisoning the
     // pool or any engine lock.
-    match e.execute_batch(&qs, &ds) {
+    match e.execb(&qs, &ds) {
         Err(Error::TaskPanicked(m)) => {
             assert!(m.contains("injected executor panic"), "payload lost: {m}")
         }
@@ -146,7 +143,7 @@ fn armed_executor_panic_is_contained_to_the_batch() {
     assert!(hits > 0, "the failpoint never fired");
 
     // Disarmed: the same engine serves the same batch bit-identically.
-    assert_eq!(e.execute_batch(&qs, &ds).unwrap(), oracle);
+    assert_eq!(e.execb(&qs, &ds).unwrap(), oracle);
 }
 
 #[test]
@@ -158,14 +155,15 @@ fn scheduler_isolates_an_armed_panic_and_counts_it() {
     let ds = Dataset::from_bytes(bytes(2104, 60), Format::GeoJson);
     let id = scheduler.register(ds.clone());
     let qs = queries(60);
-    let oracle: Vec<QueryResult> = qs.iter().map(|q| e.execute(q, &ds).unwrap()).collect();
+    let oracle: Vec<QueryResult> = qs.iter().map(|q| e.exec1(q, &ds).unwrap()).collect();
 
     fault::arm(
         "executor.block",
         FaultAction::Panic("injected wave panic".into()),
     );
     let (results, stats) = scheduler
-        .execute_batch_isolated_timed(id, &qs, None)
+        .run(id, &qs, &ExecOptions::new().isolated().timed())
+        .map(|o| (o.outcomes, o.scheduler.unwrap()))
         .unwrap();
     fault::disarm("executor.block");
     assert_eq!(results.len(), qs.len());
@@ -181,7 +179,7 @@ fn scheduler_isolates_an_armed_panic_and_counts_it() {
 
     // The scheduler entry survives: the disarmed rerun is
     // bit-identical to solo execution.
-    assert_eq!(scheduler.execute_batch(id, &qs).unwrap(), oracle);
+    assert_eq!(scheduler.execb(id, &qs).unwrap(), oracle);
 }
 
 #[test]
@@ -193,7 +191,7 @@ fn seeded_probabilistic_panics_either_fail_cleanly_or_match_oracle() {
     let e = engine(2);
     let q = Query::aggregation(Mbr::new(-180.0, -90.0, 180.0, 90.0));
     let oracle = e
-        .execute(&q, &Dataset::from_bytes(data.clone(), Format::GeoJson))
+        .exec1(&q, &Dataset::from_bytes(data.clone(), Format::GeoJson))
         .unwrap();
 
     let injector = FaultInjector::new(seed);
@@ -202,7 +200,7 @@ fn seeded_probabilistic_panics_either_fail_cleanly_or_match_oracle() {
     let mut panicked_runs = 0u32;
     for _ in 0..12 {
         let mut source = SliceChunkSource::new(&data, 256);
-        match e.execute_streaming(&q, &mut source, Format::GeoJson) {
+        match e.stream1(&q, &mut source, Format::GeoJson) {
             Ok(result) => {
                 assert_eq!(result, oracle);
                 clean_runs += 1;
@@ -215,11 +213,7 @@ fn seeded_probabilistic_panics_either_fail_cleanly_or_match_oracle() {
     eprintln!("seed {seed}: {clean_runs} clean runs, {panicked_runs} injected panics");
     // Whatever the split, the engine must end the gauntlet healthy.
     let mut source = SliceChunkSource::new(&data, 256);
-    assert_eq!(
-        e.execute_streaming(&q, &mut source, Format::GeoJson)
-            .unwrap(),
-        oracle
-    );
+    assert_eq!(e.stream1(&q, &mut source, Format::GeoJson).unwrap(), oracle);
 }
 
 #[test]
@@ -232,7 +226,7 @@ fn cancellation_sweep_with_harness_source_never_hangs() {
     let e = engine(2);
     let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
     let oracle = e
-        .execute(&q, &Dataset::from_bytes(data.clone(), Format::GeoJson))
+        .exec1(&q, &Dataset::from_bytes(data.clone(), Format::GeoJson))
         .unwrap();
 
     // Every boundary once, then a handful of random boundaries layered
@@ -247,7 +241,15 @@ fn cancellation_sweep_with_harness_source_never_hangs() {
         let faulty =
             FaultInjector::new(seed ^ after).faulty_source(SliceChunkSource::new(&data, chunk_len));
         let mut source = CancelAfterChunks::new(faulty, token.clone(), after);
-        match e.execute_streaming_cancellable(&q, &mut source, Format::GeoJson, &token) {
+        match e
+            .run_streaming(
+                std::slice::from_ref(&q),
+                &mut source,
+                Format::GeoJson,
+                &ExecOptions::new().cancellable(&token),
+            )
+            .and_then(|o| o.into_single())
+        {
             Ok(result) => assert_eq!(result, oracle, "boundary {after} (seed {seed})"),
             Err(Error::Cancelled) => cancelled += 1,
             Err(other) => panic!("boundary {after} (seed {seed}): {other:?}"),
@@ -258,9 +260,5 @@ fn cancellation_sweep_with_harness_source_never_hangs() {
         "sweep observed no cancellation (seed {seed})"
     );
     let mut source = SliceChunkSource::new(&data, chunk_len);
-    assert_eq!(
-        e.execute_streaming(&q, &mut source, Format::GeoJson)
-            .unwrap(),
-        oracle
-    );
+    assert_eq!(e.stream1(&q, &mut source, Format::GeoJson).unwrap(), oracle);
 }

@@ -15,12 +15,13 @@
 
 use atgis::stream::ChunkSource;
 use atgis::{
-    chunk_channel, CancelToken, Dataset, Engine, Error, Query, QueryError, QueryResult,
-    QueryScheduler, QuerySession, SliceChunkSource,
+    chunk_channel, CancelToken, Dataset, Engine, Error, ExecOptions, Query, QueryError,
+    QueryResult, QueryScheduler, QuerySession, SliceChunkSource,
 };
 use atgis_datagen::{write_geojson, OsmGenerator};
 use atgis_formats::Format;
 use atgis_geometry::Mbr;
+use atgis_tests::{RunExt, SchedRunExt, SessionRunExt};
 
 fn engine(threads: usize) -> Engine {
     Engine::builder().threads(threads).cell_size(2.0).build()
@@ -71,15 +72,23 @@ fn pre_cancelled_batch_errors_and_engine_serves_the_next_one() {
     let qs = queries(60);
     let token = CancelToken::new();
     token.cancel();
-    match e.execute_batch_cancellable(&qs, &ds, &token) {
+    match e
+        .run(&qs, &ds, &ExecOptions::new().cancellable(&token))
+        .and_then(|o| o.collapse())
+    {
         Err(Error::Cancelled) => {}
         other => panic!("expected Cancelled, got {other:?}"),
     }
     // Same engine, same pool: the rerun is bit-identical to solo.
-    let want: Vec<QueryResult> = qs.iter().map(|q| e.execute(q, &ds).unwrap()).collect();
+    let want: Vec<QueryResult> = qs.iter().map(|q| e.exec1(q, &ds).unwrap()).collect();
     assert_eq!(
-        e.execute_batch_cancellable(&qs, &ds, &CancelToken::new())
-            .unwrap(),
+        e.run(
+            &qs,
+            &ds,
+            &ExecOptions::new().cancellable(&CancelToken::new())
+        )
+        .and_then(|o| o.collapse())
+        .unwrap(),
         want
     );
 }
@@ -89,13 +98,19 @@ fn elapsed_deadline_is_its_own_error() {
     let e = engine(2);
     let ds = Dataset::from_bytes(bytes(1202, 60), Format::GeoJson);
     let token = CancelToken::with_deadline(std::time::Duration::ZERO);
-    match e.execute_batch_cancellable(&queries(60), &ds, &token) {
+    match e
+        .run(&queries(60), &ds, &ExecOptions::new().cancellable(&token))
+        .and_then(|o| o.collapse())
+    {
         Err(Error::DeadlineExceeded) => {}
         other => panic!("expected DeadlineExceeded, got {other:?}"),
     }
     // Explicit cancellation outranks an elapsed deadline.
     token.cancel();
-    match e.execute_batch_cancellable(&queries(60), &ds, &token) {
+    match e
+        .run(&queries(60), &ds, &ExecOptions::new().cancellable(&token))
+        .and_then(|o| o.collapse())
+    {
         Err(Error::Cancelled) => {}
         other => panic!("expected Cancelled, got {other:?}"),
     }
@@ -106,8 +121,11 @@ fn isolated_batch_is_all_ok_and_identical_when_nothing_fails() {
     let e = engine(2);
     let ds = Dataset::from_bytes(bytes(1203, 60), Format::GeoJson);
     let qs = queries(60);
-    let want: Vec<QueryResult> = qs.iter().map(|q| e.execute(q, &ds).unwrap()).collect();
-    let isolated = e.execute_batch_isolated(&qs, &ds, None).unwrap();
+    let want: Vec<QueryResult> = qs.iter().map(|q| e.exec1(q, &ds).unwrap()).collect();
+    let isolated = e
+        .run(&qs, &ds, &ExecOptions::new().isolated())
+        .unwrap()
+        .outcomes;
     let got: Vec<QueryResult> = isolated.into_iter().map(|r| r.unwrap()).collect();
     assert_eq!(got, want);
 }
@@ -127,17 +145,31 @@ fn streaming_cancellation_stops_between_chunks() {
         served: 0,
     };
     let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
-    match e.execute_streaming_cancellable(&q, &mut source, Format::GeoJson, &token) {
+    match e
+        .run_streaming(
+            std::slice::from_ref(&q),
+            &mut source,
+            Format::GeoJson,
+            &ExecOptions::new().cancellable(&token),
+        )
+        .and_then(|o| o.into_single())
+    {
         Err(Error::Cancelled) => {}
         other => panic!("expected Cancelled, got {other:?}"),
     }
     // The engine still streams the full dataset afterwards.
     let ds = Dataset::from_bytes(data.clone(), Format::GeoJson);
-    let want = e.execute(&q, &ds).unwrap();
+    let want = e.exec1(&q, &ds).unwrap();
     let mut clean = SliceChunkSource::new(&data, 512);
     assert_eq!(
-        e.execute_streaming(&q, &mut clean, Format::GeoJson)
-            .unwrap(),
+        e.run_streaming(
+            std::slice::from_ref(&q),
+            &mut clean,
+            Format::GeoJson,
+            &ExecOptions::new(),
+        )
+        .and_then(|o| o.into_single())
+        .unwrap(),
         want
     );
 }
@@ -154,7 +186,7 @@ fn cancellation_at_every_chunk_boundary_is_clean() {
     let e = engine(2);
     let q = Query::aggregation(Mbr::new(-180.0, -90.0, 180.0, 90.0));
     let oracle = e
-        .execute(&q, &Dataset::from_bytes(data.clone(), Format::GeoJson))
+        .exec1(&q, &Dataset::from_bytes(data.clone(), Format::GeoJson))
         .unwrap();
     let mut cancelled = 0u64;
     for after in 0..=n_chunks {
@@ -165,7 +197,15 @@ fn cancellation_at_every_chunk_boundary_is_clean() {
             after,
             served: 0,
         };
-        match e.execute_streaming_cancellable(&q, &mut source, Format::GeoJson, &token) {
+        match e
+            .run_streaming(
+                std::slice::from_ref(&q),
+                &mut source,
+                Format::GeoJson,
+                &ExecOptions::new().cancellable(&token),
+            )
+            .and_then(|o| o.into_single())
+        {
             Ok(result) => assert_eq!(result, oracle, "boundary {after}: wrong result"),
             Err(Error::Cancelled) => cancelled += 1,
             Err(other) => panic!("boundary {after}: unexpected error {other:?}"),
@@ -175,8 +215,14 @@ fn cancellation_at_every_chunk_boundary_is_clean() {
     // The pool survived every aborted run.
     let mut clean = SliceChunkSource::new(&data, chunk_len);
     assert_eq!(
-        e.execute_streaming(&q, &mut clean, Format::GeoJson)
-            .unwrap(),
+        e.run_streaming(
+            std::slice::from_ref(&q),
+            &mut clean,
+            Format::GeoJson,
+            &ExecOptions::new(),
+        )
+        .and_then(|o| o.into_single())
+        .unwrap(),
         oracle
     );
 }
@@ -202,7 +248,15 @@ fn channel_fed_stream_honours_cancellation_while_producer_blocks() {
     };
     token.cancel();
     let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
-    match e.execute_streaming_cancellable(&q, &mut rx, Format::GeoJson, &token) {
+    match e
+        .run_streaming(
+            std::slice::from_ref(&q),
+            &mut rx,
+            Format::GeoJson,
+            &ExecOptions::new().cancellable(&token),
+        )
+        .and_then(|o| o.into_single())
+    {
         Err(Error::Cancelled) => {}
         other => panic!("expected Cancelled, got {other:?}"),
     }
@@ -221,7 +275,12 @@ fn scheduler_counts_cancellations_and_stays_serviceable() {
     let token = CancelToken::new();
     token.cancel();
     let (results, stats) = scheduler
-        .execute_batch_isolated_timed(id, &qs, Some(&token))
+        .run(
+            id,
+            &qs,
+            &ExecOptions::new().isolated().timed().cancellable(&token),
+        )
+        .map(|o| (o.outcomes, o.scheduler.unwrap()))
         .unwrap();
     assert_eq!(results.len(), qs.len());
     for r in &results {
@@ -237,7 +296,12 @@ fn scheduler_counts_cancellations_and_stays_serviceable() {
     // Deadline flavour.
     let strict = CancelToken::with_deadline(std::time::Duration::ZERO);
     let (results, stats) = scheduler
-        .execute_batch_isolated_timed(id, &qs, Some(&strict))
+        .run(
+            id,
+            &qs,
+            &ExecOptions::new().isolated().timed().cancellable(&strict),
+        )
+        .map(|o| (o.outcomes, o.scheduler.unwrap()))
         .unwrap();
     assert!(results
         .iter()
@@ -248,15 +312,18 @@ fn scheduler_counts_cancellations_and_stays_serviceable() {
     // structured batch error.
     let again = CancelToken::new();
     again.cancel();
-    match scheduler.execute_batch_cancellable(id, &qs, &again) {
+    match scheduler
+        .run(id, &qs, &ExecOptions::new().cancellable(&again))
+        .and_then(|o| o.collapse())
+    {
         Err(Error::Cancelled) => {}
         other => panic!("expected Cancelled, got {other:?}"),
     }
 
     // And after all that abuse the scheduler still serves the batch
     // bit-identically to solo execution.
-    let want: Vec<QueryResult> = qs.iter().map(|q| e.execute(q, &ds).unwrap()).collect();
-    assert_eq!(scheduler.execute_batch(id, &qs).unwrap(), want);
+    let want: Vec<QueryResult> = qs.iter().map(|q| e.exec1(q, &ds).unwrap()).collect();
+    assert_eq!(scheduler.execb(id, &qs).unwrap(), want);
     let stats = scheduler.stats_probe(id, &qs);
     assert_eq!(stats.cancelled, 0);
 }
@@ -269,7 +336,7 @@ trait StatsProbe {
 
 impl StatsProbe for QueryScheduler {
     fn stats_probe(&self, id: atgis::DatasetId, qs: &[Query]) -> atgis::SchedulerStats {
-        self.execute_batch_timed(id, qs).unwrap().1
+        self.execb_timed(id, qs).unwrap().1
     }
 }
 
@@ -281,7 +348,7 @@ fn streaming_session_misuse_is_invalid_state_not_a_panic() {
         session.ingest_chunk(chunk).unwrap();
     }
     // Join-class queries need the sealed index.
-    match session.execute(&Query::join(20)) {
+    match session.exec1(&Query::join(20)) {
         Err(Error::InvalidState(_)) => {}
         other => panic!("expected InvalidState, got {other:?}"),
     }
@@ -295,9 +362,9 @@ fn streaming_session_misuse_is_invalid_state_not_a_panic() {
     // After the misuse the session still answers correctly.
     let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
     let want = engine(2)
-        .execute(&q, &Dataset::from_bytes(data, Format::GeoJson))
+        .exec1(&q, &Dataset::from_bytes(data, Format::GeoJson))
         .unwrap();
-    assert_eq!(session.execute(&q).unwrap(), want);
+    assert_eq!(session.exec1(&q).unwrap(), want);
 }
 
 #[test]
@@ -305,17 +372,22 @@ fn session_cancellable_batch_round_trip() {
     let e = engine(2);
     let ds = Dataset::from_bytes(bytes(1209, 50), Format::GeoJson);
     let qs = queries(50);
-    let want: Vec<QueryResult> = qs.iter().map(|q| e.execute(q, &ds).unwrap()).collect();
+    let want: Vec<QueryResult> = qs.iter().map(|q| e.exec1(q, &ds).unwrap()).collect();
     let session = QuerySession::new(e, ds);
     let token = CancelToken::new();
     token.cancel();
-    match session.execute_batch_cancellable(&qs, &token) {
+    match session
+        .run(&qs, &ExecOptions::new().cancellable(&token))
+        .and_then(|o| o.collapse())
+    {
         Err(Error::Cancelled) => {}
         other => panic!("expected Cancelled, got {other:?}"),
     }
     assert_eq!(
         session
-            .execute_batch_cancellable(&qs, &CancelToken::new())
+            .run(&qs, &ExecOptions::new().cancellable(&CancelToken::new()))
+            .unwrap()
+            .collapse()
             .unwrap(),
         want
     );

@@ -1,0 +1,318 @@
+//! Sharded scatter–gather differentials: `ExecOptions::sharded(n)`
+//! must be **bit-identical** to single-node execution for every shard
+//! count, thread count, parse mode, format, and query class — the
+//! associativity guarantee `crate::shard` documents. On top of the
+//! identity matrix this suite pins the observable scatter accounting
+//! ([`atgis::stats::ShardStats`] and its `scattered + pruned =
+//! queries × shards` invariant), MBR-based shard pruning on spatially
+//! coherent storage, and (under `--features fault-injection`) the
+//! per-shard fault-isolation contract: one shard's panic tombstones
+//! exactly the queries scattered to it.
+//!
+//! A companion test pins the deprecated `execute*` wrappers
+//! bit-identical to the unified `run` API they delegate to.
+
+use atgis::{
+    Dataset, Engine, ExecOptions, Query, QueryResult, QueryScheduler, QuerySession, ShardPolicy,
+    ShardSet,
+};
+use atgis_datagen::{write_geojson, write_osm_xml, write_wkt, OsmGenerator};
+use atgis_formats::{Format, Mode};
+use atgis_geometry::Mbr;
+
+/// Spatially coherent dataset: generated objects sorted by centroid
+/// longitude before serialisation — the storage order of a real
+/// regional export. Byte-range shards then carry tight MBRs and
+/// region queries can prune; shuffled storage degrades (gracefully,
+/// still bit-identically) to scatter-everywhere.
+fn sorted_dataset(seed: u64, objects: usize, format: Format) -> Dataset {
+    let mut ds = OsmGenerator::new(seed).generate(objects);
+    ds.objects.sort_by(|a, b| {
+        let ax = a.geometry.mbr().center().x;
+        let bx = b.geometry.mbr().center().x;
+        ax.partial_cmp(&bx).expect("finite centroids")
+    });
+    let bytes = match format {
+        Format::GeoJson => write_geojson(&ds),
+        Format::Wkt => write_wkt(&ds),
+        Format::OsmXml => write_osm_xml(&ds),
+    };
+    Dataset::from_bytes(bytes, format)
+}
+
+fn engine(threads: usize, mode: Mode) -> Engine {
+    Engine::builder()
+        .threads(threads)
+        .mode(mode)
+        .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
+        .cell_size(1.0)
+        .build()
+}
+
+/// Every query class: selective containments and aggregations (so
+/// pruning is in play) plus a join (which always scatters everywhere).
+fn mixed_batch(objects: u64) -> Vec<Query> {
+    vec![
+        Query::containment(Mbr::new(-2.0, 48.0, 2.0, 52.0)),
+        Query::containment(Mbr::new(-10.0, 40.0, -8.0, 42.0)),
+        Query::aggregation(Mbr::new(0.0, 50.0, 4.0, 54.0)),
+        Query::aggregation(Mbr::new(6.0, 56.0, 10.0, 60.0)),
+        Query::join(objects / 2),
+    ]
+}
+
+/// The identity matrix: shard counts {1, 2, 4, 8} × threads {1, 3} ×
+/// Pat/Fat/Adaptive × GeoJSON/WKT/XML × containment/aggregation/join,
+/// each sharded run compared against the same engine's unsharded run.
+#[test]
+fn sharded_is_bit_identical_across_the_matrix() {
+    const OBJECTS: usize = 400;
+    for format in [Format::GeoJson, Format::Wkt, Format::OsmXml] {
+        let dataset = sorted_dataset(7, OBJECTS, format);
+        let queries = mixed_batch(OBJECTS as u64);
+        for threads in [1usize, 3] {
+            for mode in [Mode::Pat, Mode::Fat, Mode::Adaptive] {
+                let engine = engine(threads, mode);
+                let oracle = engine
+                    .run(&queries, &dataset, &ExecOptions::new())
+                    .and_then(|o| o.collapse())
+                    .expect("single-node oracle");
+                for shards in [1usize, 2, 4, 8] {
+                    let got = engine
+                        .run(&queries, &dataset, &ExecOptions::new().sharded(shards))
+                        .and_then(|o| o.collapse())
+                        .expect("sharded run");
+                    assert_eq!(
+                        got, oracle,
+                        "sharded != single-node at {format:?}/{mode:?}/threads={threads}/shards={shards}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `ShardPolicy::Auto` (one shard per worker, capped at 8) goes
+/// through the same scatter–gather path and stays bit-identical, at
+/// the session layer with its cached `ShardSet`.
+#[test]
+fn auto_policy_matches_single_node() {
+    let dataset = sorted_dataset(11, 500, Format::GeoJson);
+    let queries = mixed_batch(500);
+    let engine = engine(3, Mode::Pat);
+    let session = QuerySession::new(engine, dataset);
+    let oracle = session
+        .run(&queries, &ExecOptions::new())
+        .and_then(|o| o.collapse())
+        .expect("single-node oracle");
+    // Twice: the second run hits the session's cached ShardSet.
+    for _ in 0..2 {
+        let got = session
+            .run(&queries, &ExecOptions::new().with_shards(ShardPolicy::Auto))
+            .and_then(|o| o.collapse())
+            .expect("auto-sharded run");
+        assert_eq!(got, oracle);
+    }
+}
+
+/// Pruning is observable and exactly accounted: `ShardStats` must
+/// agree with the masks `ShardSet::scatter_mask` reports, satisfy
+/// `scattered + pruned = queries × shards`, and a region disjoint
+/// from the whole dataset must scatter nowhere yet still answer
+/// (empty, identical to single-node).
+#[test]
+fn pruning_is_observable_and_exactly_accounted() {
+    let dataset = sorted_dataset(23, 800, Format::GeoJson);
+    let engine = engine(2, Mode::Pat);
+    let queries = vec![
+        Query::containment(Mbr::new(-10.0, 40.0, -8.0, 42.0)),
+        Query::aggregation(Mbr::new(6.0, 56.0, 10.0, 60.0)),
+        // Disjoint from the generator's extent: prunes every shard.
+        Query::containment(Mbr::new(120.0, -10.0, 130.0, 0.0)),
+    ];
+    let shards = 4usize;
+    let set = ShardSet::build(&engine, &dataset, shards, None).expect("shard layout");
+    assert_eq!(
+        set.len(),
+        shards,
+        "dataset large enough for {shards} shards"
+    );
+    let masks: Vec<Vec<bool>> = queries.iter().map(|q| set.scatter_mask(q)).collect();
+    assert!(
+        masks.iter().any(|m| m.iter().any(|&b| !b)),
+        "selective regions on sorted storage must prune somewhere"
+    );
+    assert!(
+        masks[2].iter().all(|&b| !b),
+        "a region disjoint from the dataset prunes every shard"
+    );
+
+    let session = QuerySession::new(engine, dataset);
+    let oracle = session
+        .run(&queries, &ExecOptions::new())
+        .and_then(|o| o.collapse())
+        .expect("single-node oracle");
+    let out = session
+        .run(&queries, &ExecOptions::new().sharded(shards).timed())
+        .expect("sharded run");
+    let stats = out
+        .shard_stats()
+        .expect("timed sharded run reports ShardStats")
+        .clone();
+
+    let expect_scattered: u64 = masks
+        .iter()
+        .map(|m| m.iter().filter(|&&b| b).count() as u64)
+        .sum();
+    assert_eq!(stats.shards, shards as u64);
+    assert_eq!(stats.scattered, expect_scattered);
+    assert_eq!(
+        stats.scattered + stats.pruned,
+        (queries.len() * shards) as u64,
+        "every (query, shard) pair is either scattered or pruned"
+    );
+    assert!(stats.pruned > 0);
+    assert_eq!(stats.per_shard.len(), shards);
+    for (s, timing) in stats.per_shard.iter().enumerate() {
+        let expect = masks.iter().filter(|m| m[s]).count() as u64;
+        assert_eq!(timing.queries, expect, "per-shard query count at shard {s}");
+    }
+
+    let got = out.collapse().expect("sharded results");
+    assert_eq!(got, oracle);
+    assert_eq!(
+        got[2],
+        QueryResult::Matches(Vec::new()),
+        "fully-pruned query still answers, with the identity result"
+    );
+}
+
+/// The deprecated `execute*` wrappers must stay bit-identical to the
+/// unified `run` API they now delegate to — the compatibility
+/// contract of the API redesign.
+#[test]
+#[allow(deprecated)]
+fn deprecated_wrappers_match_the_run_api() {
+    let dataset = sorted_dataset(31, 300, Format::GeoJson);
+    let queries = mixed_batch(300);
+    let single = Query::containment(Mbr::new(-2.0, 48.0, 2.0, 52.0));
+    let engine = engine(2, Mode::Pat);
+
+    // Engine layer.
+    let run1 = engine
+        .run(std::slice::from_ref(&single), &dataset, &ExecOptions::new())
+        .and_then(|o| o.into_single())
+        .expect("run");
+    assert_eq!(engine.execute(&single, &dataset).expect("execute"), run1);
+
+    let runb = engine
+        .run(&queries, &dataset, &ExecOptions::new())
+        .and_then(|o| o.collapse())
+        .expect("run batch");
+    assert_eq!(
+        engine
+            .execute_batch(&queries, &dataset)
+            .expect("execute_batch"),
+        runb
+    );
+
+    let (wrapped, wstats) = engine
+        .execute_batch_timed(&queries, &dataset)
+        .expect("execute_batch_timed");
+    let out = engine
+        .run(&queries, &dataset, &ExecOptions::new().timed())
+        .expect("timed run");
+    assert_eq!(out.batch.as_ref().expect("stats").queries, wstats.queries);
+    assert_eq!(out.collapse().expect("results"), wrapped);
+
+    // Session layer.
+    let session = QuerySession::new(engine.clone(), dataset.clone());
+    let run_iso: Vec<_> = session
+        .run(&queries, &ExecOptions::new().isolated())
+        .expect("isolated run")
+        .outcomes;
+    let wrap_iso = session
+        .execute_batch_isolated(&queries, None)
+        .expect("wrapper");
+    assert_eq!(run_iso, wrap_iso);
+
+    // Scheduler layer.
+    let scheduler = QueryScheduler::new(engine);
+    let id = scheduler.register(dataset);
+    let runs = scheduler
+        .run(id, &queries, &ExecOptions::new())
+        .and_then(|o| o.collapse())
+        .expect("scheduler run");
+    assert_eq!(
+        scheduler.execute_batch(id, &queries).expect("wrapper"),
+        runs
+    );
+}
+
+/// Per-shard fault isolation, driven by the shard-targeted failpoint
+/// `shard.scan.N`: panicking exactly one shard must tombstone exactly
+/// the queries scattered to it (per `ShardSet::scatter_mask`), while
+/// every batch-mate that never touched the failing shard returns its
+/// oracle-identical result.
+#[cfg(feature = "fault-injection")]
+mod fault_isolation {
+    use super::*;
+    use atgis::fault::{self, FaultAction};
+    use atgis::{Error, QueryError};
+
+    #[test]
+    fn one_shard_panic_tombstones_only_its_queries() {
+        fault::disarm_all();
+        let dataset = sorted_dataset(43, 600, Format::GeoJson);
+        let engine = engine(2, Mode::Pat);
+        let shards = 4usize;
+        let set = ShardSet::build(&engine, &dataset, shards, None).expect("shard layout");
+        assert_eq!(set.len(), shards);
+
+        let queries = mixed_batch(600);
+        let masks: Vec<Vec<bool>> = queries.iter().map(|q| set.scatter_mask(q)).collect();
+        assert!(
+            masks.iter().any(|m| m[1]) && masks.iter().any(|m| !m[1]),
+            "the batch must both touch and miss shard 1 for this test to bite: {masks:?}"
+        );
+
+        let oracle = engine
+            .run(&queries, &dataset, &ExecOptions::new())
+            .and_then(|o| o.collapse())
+            .expect("clean oracle");
+
+        fault::arm("shard.scan.1", FaultAction::Panic("shard 1 down".into()));
+        let isolated = engine
+            .run(
+                &queries,
+                &dataset,
+                &ExecOptions::new().sharded(shards).isolated(),
+            )
+            .expect("isolated run survives the shard panic");
+        let whole = engine
+            .run(&queries, &dataset, &ExecOptions::new().sharded(shards))
+            .expect_err("whole-batch semantics promote the tombstone");
+        let hits = fault::disarm("shard.scan.1");
+        fault::disarm_all();
+
+        assert_eq!(hits, 2, "the failpoint fires once per sharded run");
+        assert!(
+            matches!(&whole, Error::TaskPanicked(m) if m.contains("shard 1 down")),
+            "unexpected whole-batch error: {whole:?}"
+        );
+        for (i, outcome) in isolated.outcomes.iter().enumerate() {
+            if masks[i][1] {
+                assert!(
+                    matches!(outcome, Err(QueryError::Panicked(m)) if m.contains("shard 1 down")),
+                    "query {i} scattered to the failing shard must tombstone: {outcome:?}"
+                );
+            } else {
+                assert_eq!(
+                    outcome.as_ref().expect("query missed the failing shard"),
+                    &oracle[i],
+                    "query {i} never touched shard 1 and must match the oracle"
+                );
+            }
+        }
+    }
+}

@@ -10,6 +10,7 @@ use atgis::{chunk_channel, Dataset, Engine, Query, QueryResult};
 use atgis_datagen::{write_geojson, write_osm_xml, write_wkt, OsmGenerator};
 use atgis_formats::{Format, Mode};
 use atgis_geometry::Mbr;
+use atgis_tests::{RunExt, StreamRunExt};
 
 fn engine(threads: usize, mode: Mode) -> Engine {
     Engine::builder()
@@ -51,9 +52,9 @@ fn assert_streamed_equals_buffered(
 ) {
     let ds = Dataset::from_bytes(bytes.to_vec(), format);
     for (qi, q) in queries.iter().enumerate() {
-        let want = e.execute(q, &ds).unwrap();
+        let want = e.exec1(q, &ds).unwrap();
         let mut source = SliceChunkSource::new(bytes, chunk_len);
-        let got = e.execute_streaming(q, &mut source, format).unwrap();
+        let got = e.stream1(q, &mut source, format).unwrap();
         assert_eq!(got, want, "{label} chunk={chunk_len} query#{qi}");
     }
 }
@@ -153,10 +154,10 @@ fn streaming_batch_differential_across_threads() {
     for threads in [1usize, 2, 8] {
         for mode in [Mode::Pat, Mode::Fat] {
             let e = engine(threads, mode);
-            let want = e.execute_batch(&queries, &ds).unwrap();
+            let want = e.execb(&queries, &ds).unwrap();
             let mut source = SliceChunkSource::new(&bytes, 2048);
             let (got, stats, _) = e
-                .execute_streaming_batch_timed(&queries, &mut source, Format::GeoJson)
+                .streamb_timed(&queries, &mut source, Format::GeoJson)
                 .unwrap();
             assert_eq!(got, want, "threads={threads} mode={mode:?}");
             assert_eq!(stats.scan_passes, 1);
@@ -175,11 +176,7 @@ fn streamed_fragment_memory_is_bounded_by_workers_not_chunks() {
         let e = engine(threads, Mode::Pat);
         let mut source = SliceChunkSource::new(&bytes, 1024);
         let (_, _, sstats) = e
-            .execute_streaming_batch_timed(
-                std::slice::from_ref(&world),
-                &mut source,
-                Format::GeoJson,
-            )
+            .streamb_timed(std::slice::from_ref(&world), &mut source, Format::GeoJson)
             .unwrap();
         assert!(
             sstats.chunks as usize > 4 * threads,
@@ -204,7 +201,7 @@ fn streaming_channel_feed_with_empty_chunks_and_empty_final_chunk() {
     let ds = Dataset::from_bytes(bytes.clone(), Format::GeoJson);
     let e = engine(2, Mode::Pat);
     let q = Query::aggregation(Mbr::new(-11.0, 39.0, 11.0, 61.0));
-    let want = e.execute(&q, &ds).unwrap();
+    let want = e.exec1(&q, &ds).unwrap();
 
     let (tx, mut rx) = chunk_channel(4);
     let feed = bytes.clone();
@@ -216,7 +213,7 @@ fn streaming_channel_feed_with_empty_chunks_and_empty_final_chunk() {
         tx.send(Vec::new()).unwrap(); // empty chunk exactly at EOF
                                       // dropping tx ends the stream
     });
-    let got = e.execute_streaming(&q, &mut rx, Format::GeoJson).unwrap();
+    let got = e.stream1(&q, &mut rx, Format::GeoJson).unwrap();
     producer.join().unwrap();
     assert_eq!(got, want);
 }
@@ -226,9 +223,9 @@ fn streaming_empty_input_matches_buffered_empty() {
     let e = engine(2, Mode::Pat);
     let q = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
     let empty = Dataset::from_bytes(Vec::new(), Format::Wkt);
-    let want = e.execute(&q, &empty).unwrap();
+    let want = e.exec1(&q, &empty).unwrap();
     let mut source = SliceChunkSource::new(&[], 4);
-    let got = e.execute_streaming(&q, &mut source, Format::Wkt).unwrap();
+    let got = e.stream1(&q, &mut source, Format::Wkt).unwrap();
     assert_eq!(got, want);
     assert_eq!(got, QueryResult::Matches(Vec::new()));
 }
@@ -247,18 +244,18 @@ fn sweep_all_chunk_lengths(bytes: &[u8], format: Format, modes: &[Mode]) {
     for &mode in modes {
         let e = engine(2, mode);
         let ds = Dataset::from_bytes(bytes.to_vec(), format);
-        let want_w = e.execute(&world, &ds).unwrap();
-        let want_a = e.execute(&agg, &ds).unwrap();
+        let want_w = e.exec1(&world, &ds).unwrap();
+        let want_a = e.exec1(&agg, &ds).unwrap();
         assert!(
             !want_w.matches().is_empty(),
             "torture input must select features ({format:?})"
         );
         for chunk_len in 1..=bytes.len() {
             let mut s = SliceChunkSource::new(bytes, chunk_len);
-            let got_w = e.execute_streaming(&world, &mut s, format).unwrap();
+            let got_w = e.stream1(&world, &mut s, format).unwrap();
             assert_eq!(got_w, want_w, "{format:?}/{mode:?} chunk={chunk_len}");
             let mut s = SliceChunkSource::new(bytes, chunk_len);
-            let got_a = e.execute_streaming(&agg, &mut s, format).unwrap();
+            let got_a = e.stream1(&agg, &mut s, format).unwrap();
             assert_eq!(got_a, want_a, "{format:?}/{mode:?} agg chunk={chunk_len}");
         }
     }
@@ -325,7 +322,7 @@ fn torture_eof_exactly_at_marker_boundary() {
     let e = engine(2, Mode::Pat);
     let ds = Dataset::from_bytes(bytes.clone(), Format::GeoJson);
     let world = Query::containment(Mbr::new(-180.0, -90.0, 180.0, 90.0));
-    let want = e.execute(&world, &ds).unwrap();
+    let want = e.exec1(&world, &ds).unwrap();
     // Chunk lengths engineered so chunk boundaries hit every marker
     // position at least once across the runs.
     let marker = b"{\"type\":\"Feature\"";
@@ -343,9 +340,7 @@ fn torture_eof_exactly_at_marker_boundary() {
     for &pos in &marker_positions[1..] {
         // First chunk ends exactly at the marker start.
         let mut s = TwoChunkSource::new(&bytes, pos);
-        let got = e
-            .execute_streaming(&world, &mut s, Format::GeoJson)
-            .unwrap();
+        let got = e.stream1(&world, &mut s, Format::GeoJson).unwrap();
         assert_eq!(got, want, "split at marker offset {pos}");
     }
 }
@@ -392,11 +387,9 @@ fn streaming_file_source_matches_in_memory() {
     let e = engine(2, Mode::Pat);
     let ds = Dataset::from_bytes(bytes.clone(), Format::GeoJson);
     let q = Query::join(25);
-    let want = e.execute(&q, &ds).unwrap();
+    let want = e.exec1(&q, &ds).unwrap();
     let mut source = atgis::FileChunkSource::open_with_chunk_len(&path, 1500).unwrap();
-    let got = e
-        .execute_streaming(&q, &mut source, Format::GeoJson)
-        .unwrap();
+    let got = e.stream1(&q, &mut source, Format::GeoJson).unwrap();
     std::fs::remove_file(&path).ok();
     assert_eq!(got, want);
 }
