@@ -66,6 +66,7 @@ use crate::join::{
 use crate::partition::{
     ArrayStore, GridSpec, ListStore, PartitionMap, PartitionMapStats, PartitionStore,
 };
+use crate::persist::{self, Snapshot};
 use crate::pipeline::{
     downcast_sink, AggregateSink, ContainmentAgg, FailedSink, MetricsAgg, MultiSink, QueryAggregate,
 };
@@ -89,15 +90,15 @@ use std::time::{Duration, Instant};
 /// knobs can share an index even if they differ in threads or scan
 /// mode, because the index depends only on geometry bounds.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct IndexKey {
-    cell_deg: u64,
-    extent: [u64; 4],
-    store: StoreKind,
-    phase: PartitionPhase,
-    adaptive: crate::partition::AdaptiveConfig,
+pub(crate) struct IndexKey {
+    pub(crate) cell_deg: u64,
+    pub(crate) extent: [u64; 4],
+    pub(crate) store: StoreKind,
+    pub(crate) phase: PartitionPhase,
+    pub(crate) adaptive: crate::partition::AdaptiveConfig,
 }
 
-fn index_key(cfg: &EngineBuilder) -> IndexKey {
+pub(crate) fn index_key(cfg: &EngineBuilder) -> IndexKey {
     IndexKey {
         cell_deg: cfg.cell_deg.to_bits(),
         extent: [
@@ -114,7 +115,7 @@ fn index_key(cfg: &EngineBuilder) -> IndexKey {
 
 /// The store side of a [`PartitionIndex`], matching the engine's
 /// configured [`StoreKind`].
-enum IndexStore {
+pub(crate) enum IndexStore {
     /// Flat per-cell arrays.
     Array(ArrayStore),
     /// Chunk lists.
@@ -128,15 +129,15 @@ enum IndexStore {
 /// with different thresholds — and the combined query's perimeter
 /// bounds, enforced at the refine stage — all read the same index.
 pub struct PartitionIndex {
-    store: IndexStore,
-    map: PartitionMap,
+    pub(crate) store: IndexStore,
+    pub(crate) map: PartitionMap,
     /// Time spent on map refinement (load stats + hot-cell splits).
-    refine: Duration,
+    pub(crate) refine: Duration,
     /// OSM XML only: the offset→geometry table re-parsing needs (a
     /// relation's geometry requires the node table, so single-object
     /// reparse is impossible). Cached with the index so warm-session
     /// XML batches skip this pass too.
-    xml_table: Option<Arc<HashMap<u64, atgis_geometry::Geometry>>>,
+    pub(crate) xml_table: Option<Arc<HashMap<u64, atgis_geometry::Geometry>>>,
 }
 
 impl PartitionIndex {
@@ -186,6 +187,14 @@ impl IndexCache {
 
     fn insert(&self, key: IndexKey, index: Arc<PartitionIndex>) {
         recover(self.inner.lock()).insert(key, index);
+    }
+
+    /// Every cached index, for snapshot encoding.
+    pub(crate) fn export(&self) -> Vec<(IndexKey, Arc<PartitionIndex>)> {
+        recover(self.inner.lock())
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
     }
 }
 
@@ -332,16 +341,80 @@ struct SessionIngest {
 
 impl QuerySession {
     /// Opens a session serving a fully materialised `dataset` with
-    /// `engine`.
+    /// `engine`. When the engine carries a persist store
+    /// ([`crate::EngineBuilder::persist_path`]), a valid snapshot of
+    /// this dataset warm-starts the session: sealed partition indexes
+    /// and shard layouts restore without a single parse pass, and a
+    /// missing/corrupt/version-skewed snapshot silently leaves the
+    /// session cold.
     pub fn new(engine: Engine, dataset: Dataset) -> Self {
-        QuerySession {
+        let session = QuerySession {
             engine,
             dataset,
             cache: IndexCache::new(),
             ingest: None,
             seal_failed: false,
             shard_sets: Mutex::new(HashMap::new()),
+        };
+        session.restore_from_store();
+        session
+    }
+
+    /// Installs a snapshot's derived state, if the engine persists and
+    /// a trustworthy snapshot of this dataset exists. Every failure
+    /// mode (no store, no file, corruption, version skew, injected
+    /// read fault) leaves the session exactly as cold as it started.
+    fn restore_from_store(&self) {
+        let Some(store) = self.engine.persist() else {
+            return;
+        };
+        if let Ok(Some(snap)) = store.load_dataset(&self.dataset) {
+            for (key, index) in snap.indexes {
+                self.cache.insert(key, index);
+            }
+            let mut sets = recover(self.shard_sets.lock());
+            for (count, set) in snap.shard_sets {
+                sets.insert(count, set);
+            }
         }
+    }
+
+    /// How much restorable state the session holds — grows when a
+    /// partition index is built or a shard layout is bounded, so
+    /// callers can spill only after runs that actually derived
+    /// something new.
+    pub(crate) fn persist_epoch(&self) -> usize {
+        self.cache.len() + recover(self.shard_sets.lock()).len()
+    }
+
+    /// Spills the session's derived state (plus the caller's finished
+    /// `aggregates`) to the engine's persist store, best-effort: a
+    /// failed save costs only future warm starts, never the query.
+    /// No-op for unsealed sessions — a streaming prefix's index must
+    /// never be restored as if it covered the full dataset.
+    pub(crate) fn write_through(
+        &self,
+        generation: u64,
+        aggregates: Vec<(crate::scheduler::QueryKey, QueryResult)>,
+    ) {
+        let Some(store) = self.engine.persist() else {
+            return;
+        };
+        if !self.is_sealed() {
+            return;
+        }
+        let snap = Snapshot {
+            generation,
+            dataset_len: self.dataset.len() as u64,
+            fingerprint: persist::dataset_fingerprint(self.dataset.bytes(), self.dataset.format()),
+            indexes: self.cache.export(),
+            shard_sets: recover(self.shard_sets.lock())
+                .iter()
+                .map(|(count, set)| (*count, Arc::clone(set)))
+                .collect(),
+            aggregates,
+        };
+        let _ = store.save(&snap);
     }
 
     /// Opens a **streaming** session: the dataset arrives through
@@ -504,6 +577,9 @@ impl QuerySession {
                 xml_table,
             }),
         );
+        // The seal built the one artifact worth keeping; spill it so
+        // the next process skips the parse entirely.
+        self.write_through(1, Vec::new());
         Ok(stats)
     }
 
@@ -594,7 +670,15 @@ impl QuerySession {
     pub fn run(&self, queries: &[Query], opts: &ExecOptions) -> Result<RunOutcome> {
         let token = opts.effective_token();
         let shards = opts.shards.resolve(self.engine.threads());
+        let epoch = self.persist_epoch();
         let (outcomes, stats) = self.run_isolated_core(queries, token.as_ref(), shards)?;
+        // Write-through: a run that built a partition index or bounded
+        // a shard layout leaves it on disk for the next process.
+        // Standalone sessions have no generation counter; 1 matches a
+        // fresh scheduler registration.
+        if self.engine.persist().is_some() && self.persist_epoch() > epoch {
+            self.write_through(1, Vec::new());
+        }
         exec::finish_run(outcomes, Some(stats), None, None, opts)
     }
 

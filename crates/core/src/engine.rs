@@ -58,6 +58,7 @@ pub struct EngineBuilder {
     pub(crate) sort_batch: usize,
     pub(crate) adaptive: AdaptiveConfig,
     pub(crate) probe: ProbeStrategy,
+    persist_root: Option<std::path::PathBuf>,
 }
 
 impl Default for EngineBuilder {
@@ -73,6 +74,7 @@ impl Default for EngineBuilder {
             sort_batch: 1 << 16,
             adaptive: AdaptiveConfig::default(),
             probe: ProbeStrategy::Auto,
+            persist_root: None,
         }
     }
 }
@@ -154,6 +156,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Roots the engine's persistent snapshot store at `path`
+    /// (created if missing): sessions spill their derived state
+    /// (partition indexes, shard layouts, cached aggregates) there and
+    /// warm-start from it after a restart — see [`crate::persist`].
+    /// An unopenable store degrades to the ordinary in-memory-only
+    /// behaviour rather than failing the build.
+    pub fn persist_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.persist_root = Some(path.into());
+        self
+    }
+
     /// Finalises the engine, spawning its persistent worker pool
     /// (`threads - 1` pool workers; the query-submitting thread is the
     /// remaining execution unit). The pool outlives individual queries
@@ -161,7 +174,15 @@ impl EngineBuilder {
     pub fn build(mut self) -> Engine {
         self.threads = resolve_threads(self.threads);
         let pool = Arc::new(WorkerPool::new(self.threads.saturating_sub(1)));
-        Engine { config: self, pool }
+        let persist = self
+            .persist_root
+            .as_ref()
+            .and_then(|root| crate::persist::PersistStore::open(root).ok().map(Arc::new));
+        Engine {
+            config: self,
+            pool,
+            persist,
+        }
     }
 }
 
@@ -199,6 +220,7 @@ impl EngineBuilder {
 pub struct Engine {
     config: EngineBuilder,
     pool: Arc<WorkerPool>,
+    persist: Option<Arc<crate::persist::PersistStore>>,
 }
 
 /// Timing breakdown of one query execution.
@@ -254,6 +276,12 @@ impl Engine {
     /// The engine's persistent worker pool.
     pub(crate) fn pool(&self) -> &Arc<WorkerPool> {
         &self.pool
+    }
+
+    /// The engine's persistent snapshot store, when one was configured
+    /// with [`EngineBuilder::persist_path`] and opened successfully.
+    pub fn persist(&self) -> Option<&Arc<crate::persist::PersistStore>> {
+        self.persist.as_ref()
     }
 
     /// Area of the configured partition-grid extent (the scheduler's

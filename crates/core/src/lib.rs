@@ -169,6 +169,7 @@ pub mod fault;
 pub mod join;
 pub mod operators;
 pub mod partition;
+pub mod persist;
 pub mod pipeline;
 pub mod pool;
 pub mod query;
@@ -188,6 +189,7 @@ pub use exact::ExactSum;
 pub use exec::{ExecOptions, Isolation, RunOutcome, ShardPolicy};
 pub use join::{JoinOptions, ProbeStrategy};
 pub use partition::{AdaptiveConfig, PartitionMap, PartitionMapStats};
+pub use persist::{PersistError, PersistStats, PersistStore, Snapshot};
 pub use query::{FilterStrategy, Metric, Query, ScanClass};
 pub use result::{AggregateValues, JoinPair, MatchRecord, QueryError, QueryOutcome, QueryResult};
 pub use scheduler::{

@@ -233,11 +233,11 @@ pub struct PartitionMapStats {
 
 /// One level of a refined slot's ownership chain: the sub-grid laid
 /// over the parent region plus this slot's cell index within it.
-type ChainLink = (GridSpec, usize);
+pub(crate) type ChainLink = (GridSpec, usize);
 
 /// One join partition of the refined map.
 #[derive(Debug, Clone)]
-enum Slot {
+pub(crate) enum Slot {
     /// An unsplit base cell, read straight from the store.
     Base(usize),
     /// A (possibly deep) sub-cell of a split hot cell: materialised
@@ -260,9 +260,9 @@ enum Slot {
 /// regardless of how many partitions both objects were copied into.
 #[derive(Debug, Clone)]
 pub struct PartitionMap {
-    grid: Option<GridSpec>,
-    slots: Vec<Slot>,
-    stats: PartitionMapStats,
+    pub(crate) grid: Option<GridSpec>,
+    pub(crate) slots: Vec<Slot>,
+    pub(crate) stats: PartitionMapStats,
 }
 
 impl PartitionMap {
@@ -539,7 +539,7 @@ pub trait PartitionStore: Send + Sync + Sized {
 /// Flat array store: contiguous per-cell vectors.
 #[derive(Debug, Clone)]
 pub struct ArrayStore {
-    cells: Vec<Vec<PartEntry>>,
+    pub(crate) cells: Vec<Vec<PartEntry>>,
 }
 
 impl PartitionStore for ArrayStore {
@@ -585,7 +585,7 @@ impl PartitionStore for ArrayStore {
 /// §4.4's linked lists, at chunk granularity).
 #[derive(Debug, Clone)]
 pub struct ListStore {
-    cells: Vec<Vec<Vec<PartEntry>>>,
+    pub(crate) cells: Vec<Vec<Vec<PartEntry>>>,
 }
 
 impl PartitionStore for ListStore {

@@ -1,0 +1,263 @@
+//! Little-endian wire primitives for snapshot files.
+//!
+//! The same defensive posture as the server's `protocol.rs`: the
+//! [`Reader`] never trusts a length or count it has not validated
+//! against the bytes actually present. Every collection is prefixed
+//! by an element count, and the count is checked against the minimum
+//! encoded size of one element **before** any allocation — a crafted
+//! or corrupted header cannot make decode reserve gigabytes. Reads
+//! past the end yield [`PersistError::Truncated`], never a panic.
+
+use super::PersistError;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over `bytes`, seeded by `seed` (chain with the previous
+/// digest to checksum discontiguous regions).
+pub(crate) fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = if seed == 0 { FNV_OFFSET } else { seed };
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Append-only encoder for snapshot payloads.
+#[derive(Debug, Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Writer::default()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn f64(&mut self, v: f64) {
+        // Bit pattern, not value: NaNs and signed zeros round-trip
+        // exactly, which the bit-identity contract requires.
+        self.u64(v.to_bits());
+    }
+
+    pub(crate) fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Element count of a collection about to be written.
+    pub(crate) fn count(&mut self, n: usize) {
+        self.u32(u32::try_from(n).expect("snapshot collection exceeds u32::MAX entries"));
+    }
+
+    pub(crate) fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked decoder over a snapshot payload.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    pub(crate) fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated {
+                what,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self, what: &'static str) -> Result<u8, PersistError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn u16(&mut self, what: &'static str) -> Result<u16, PersistError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self, what: &'static str) -> Result<u32, PersistError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self, what: &'static str) -> Result<u64, PersistError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub(crate) fn f64(&mut self, what: &'static str) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    pub(crate) fn bool(&mut self, what: &'static str) -> Result<bool, PersistError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(PersistError::Malformed {
+                what,
+                detail: format!("boolean byte {v}"),
+            }),
+        }
+    }
+
+    /// A `usize` encoded as u64, rejected when it does not fit the
+    /// host's pointer width.
+    pub(crate) fn usize(&mut self, what: &'static str) -> Result<usize, PersistError> {
+        let v = self.u64(what)?;
+        usize::try_from(v).map_err(|_| PersistError::Malformed {
+            what,
+            detail: format!("{v} exceeds the host usize"),
+        })
+    }
+
+    /// Reads a collection's element count, validated against the
+    /// bytes actually remaining: `n` elements of at least
+    /// `min_elem_size` bytes each must fit, so a corrupted count can
+    /// never drive a huge allocation.
+    pub(crate) fn count(
+        &mut self,
+        min_elem_size: usize,
+        what: &'static str,
+    ) -> Result<usize, PersistError> {
+        let n = self.u32(what)? as usize;
+        let need = n.saturating_mul(min_elem_size.max(1));
+        if need > self.remaining() {
+            return Err(PersistError::Truncated {
+                what,
+                needed: need,
+                available: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn raw(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], PersistError> {
+        self.take(n, what)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(513);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.bool(true);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u16("b").unwrap(), 513);
+        assert_eq!(r.u32("c").unwrap(), 70_000);
+        assert_eq!(r.u64("d").unwrap(), 1 << 40);
+        assert_eq!(r.f64("e").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64("f").unwrap().is_nan());
+        assert!(r.bool("g").unwrap());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_reads_are_structured() {
+        let mut r = Reader::new(&[1, 2]);
+        let err = r.u64("header").unwrap_err();
+        assert!(matches!(
+            err,
+            PersistError::Truncated {
+                what: "header",
+                needed: 8,
+                available: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn oversized_count_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.count(16, "entries"),
+            Err(PersistError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_bool_is_malformed() {
+        let mut r = Reader::new(&[9]);
+        assert!(matches!(
+            r.bool("flag"),
+            Err(PersistError::Malformed { what: "flag", .. })
+        ));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned reference digest (FNV-1a 64 of the empty string and
+        // of "a" are published constants): the on-disk format depends
+        // on this exact function never changing.
+        assert_eq!(fnv1a(0, b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(0, b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a(0, b"atgis"), fnv1a(0, b"atgia"));
+        assert_ne!(fnv1a(1, b"x"), fnv1a(2, b"x"));
+    }
+}

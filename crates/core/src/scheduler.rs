@@ -207,7 +207,7 @@ impl Default for SchedulerConfig {
 /// bit-identical results on the same dataset generation, because the
 /// key covers every parameter their aggregate sinks read.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum QueryKey {
+pub(crate) enum QueryKey {
     Containment {
         region: RegionKey,
     },
@@ -230,7 +230,7 @@ enum QueryKey {
 
 /// A polygon (exterior ring + holes) as exact f64 bit patterns.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct RegionKey(Vec<Vec<(u64, u64)>>);
+pub(crate) struct RegionKey(pub(crate) Vec<Vec<(u64, u64)>>);
 
 fn region_key(region: &Polygon) -> RegionKey {
     let ring = |r: &atgis_geometry::polygon::Ring| {
@@ -408,6 +408,19 @@ impl AggregateCache {
         }
     }
 
+    /// Every cached aggregate belonging to `dataset`, for snapshot
+    /// encoding. Entries of superseded generations were dropped at
+    /// invalidation time, so everything returned is current.
+    pub(crate) fn export_dataset(&self, dataset: DatasetId) -> Vec<(QueryKey, QueryResult)> {
+        let inner = recover(self.inner.lock());
+        inner
+            .map
+            .iter()
+            .filter(|(k, _)| k.dataset == dataset)
+            .map(|(k, v)| (k.query.clone(), v.result.clone()))
+            .collect()
+    }
+
     /// Drops every cached aggregate belonging to `dataset` (any
     /// generation).
     fn invalidate_dataset(&self, dataset: DatasetId) {
@@ -525,6 +538,12 @@ impl QueryScheduler {
 
     fn install(&self, session: QuerySession, generation: u64) -> DatasetId {
         let id = DatasetId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        // Warm-start the aggregate cache: a snapshot's aggregates were
+        // computed from exactly these bytes (the store's fingerprint
+        // check says so), so re-keying them under the fresh process-
+        // local id and generation is sound. The session itself already
+        // restored its indexes/shard layouts in QuerySession::new.
+        self.restore_aggregates(id, generation, &session);
         recover(self.entries.lock()).insert(
             id,
             Arc::new(SchedEntry {
@@ -534,6 +553,40 @@ impl QueryScheduler {
             }),
         );
         id
+    }
+
+    /// Re-inserts a snapshot's finished aggregates under `id` ×
+    /// `generation`. Any load failure silently restores nothing —
+    /// queries just recompute.
+    fn restore_aggregates(&self, id: DatasetId, generation: u64, session: &QuerySession) {
+        if !self.config.cache {
+            return;
+        }
+        let Some(store) = self.engine.persist() else {
+            return;
+        };
+        if let Ok(Some(snap)) = store.load_dataset(session.dataset()) {
+            for (query, result) in snap.aggregates {
+                self.cache.insert(
+                    AggCacheKey {
+                        dataset: id,
+                        generation,
+                        query,
+                    },
+                    result,
+                );
+            }
+        }
+    }
+
+    /// Spills a dataset's current derived state — the session's
+    /// indexes and shard layouts plus every cached aggregate — through
+    /// the session's write-through path. Best-effort, called after
+    /// waves that produced something new.
+    fn spill_entry(&self, id: DatasetId, entry: &SchedEntry) {
+        entry
+            .session
+            .write_through(entry.generation, self.cache.export_dataset(id));
     }
 
     /// Replaces the dataset behind `id` with new content, **bumping
@@ -546,6 +599,13 @@ impl QueryScheduler {
             .get(&id)
             .ok_or_else(|| Error::Unsupported(format!("unknown dataset id {id:?}")))?;
         let generation = entry.generation + 1;
+        // The outgoing bytes' snapshot dies with the generation —
+        // deleted *before* the swap, so no restart can ever warm-start
+        // from state this update invalidated.
+        if let Some(store) = self.engine.persist() {
+            let old = entry.session.dataset();
+            store.remove(old.bytes(), old.format());
+        }
         entries.insert(
             id,
             Arc::new(SchedEntry {
@@ -556,6 +616,12 @@ impl QueryScheduler {
         );
         drop(entries);
         self.cache.invalidate_dataset(id);
+        // The replacement bytes may themselves have a snapshot (e.g. a
+        // rollback to previously served content whose file still
+        // exists); adopt its aggregates under the new generation.
+        if let Ok(e) = self.entry(id) {
+            self.restore_aggregates(id, generation, &e.session);
+        }
         Ok(())
     }
 
@@ -1103,6 +1169,8 @@ impl QueryScheduler {
 
         // ---- execute the waves, fanning results out as each
         // completes ----
+        let persist_epoch = entry.session.persist_epoch();
+        let mut aggregates_inserted = false;
         for wave in waves {
             let wave_queries: Vec<Query> = wave
                 .iter()
@@ -1153,6 +1221,7 @@ impl QueryScheduler {
                 } else if let Ok(ref finished) = result {
                     if let Some(key) = pending_cache_keys[p].take() {
                         self.insert_if_current(id, entry.generation, key, finished.clone());
+                        aggregates_inserted = true;
                     }
                 }
                 results[qi] = Some(result);
@@ -1165,6 +1234,15 @@ impl QueryScheduler {
                 elapsed,
                 batch: batch_stats,
             });
+        }
+
+        // ---- write-through: waves that built an index, bounded a
+        // shard layout or finished a cacheable aggregate leave the
+        // derived state on disk for the next process ----
+        if self.engine.persist().is_some()
+            && (aggregates_inserted || entry.session.persist_epoch() > persist_epoch)
+        {
+            self.spill_entry(id, entry);
         }
 
         // ---- dedup fan-out: duplicates clone their representative's

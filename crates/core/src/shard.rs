@@ -161,6 +161,12 @@ impl ShardSet {
         Ok(ShardSet { shards })
     }
 
+    /// Rebuilds a set from already-bounded shards (snapshot restore:
+    /// the bounding pass was paid by the process that saved them).
+    pub(crate) fn from_shards(shards: Vec<Shard>) -> ShardSet {
+        ShardSet { shards }
+    }
+
     /// Actual shard count (≤ the requested count).
     pub fn len(&self) -> usize {
         self.shards.len()

@@ -452,6 +452,83 @@ fn stats_travel_the_wire_faithfully() {
 }
 
 #[test]
+fn server_warm_starts_from_the_persist_store() {
+    // Two incarnations of the server over the same persist root: the
+    // first parses cold and spills through the store, the second
+    // restores at registration and must serve bit-identical results
+    // without a single parse pass — the serving layer's warm-start
+    // contract end to end over real TCP.
+    let root = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("server-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store_engine = || {
+        Engine::builder()
+            .threads(2)
+            .grid_extent(Mbr::new(-11.0, 39.0, 11.0, 61.0))
+            .cell_size(1.0)
+            .persist_path(&root)
+            .build()
+    };
+    let specs = [
+        QuerySpec::Join(600),
+        QuerySpec::Aggregation {
+            region: Mbr::new(-2.0, 48.0, 2.0, 52.0),
+            metrics: MetricMask::ALL,
+        },
+        QuerySpec::Containment(Mbr::new(-6.0, 44.0, 4.0, 56.0)),
+    ];
+    let ds = dataset(81, 1_200);
+    let lib = engine();
+    let want: Vec<_> = specs
+        .iter()
+        .map(|s| {
+            lib.run(&[s.to_query()], &ds, &ExecOptions::new())
+                .and_then(|o| o.into_single())
+                .unwrap()
+        })
+        .collect();
+
+    // First incarnation: cold, every answer spilled through the store.
+    let server = Server::with_config(QueryScheduler::new(store_engine()), ServerConfig::default());
+    server.register(0, dataset(81, 1_200));
+    let handle = server.serve("127.0.0.1:0".parse().unwrap()).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for (i, spec) in specs.iter().enumerate() {
+        let got = client
+            .query(0, spec, Priority::Interactive, NO_TIMEOUT)
+            .unwrap()
+            .expect("cold result");
+        assert_eq!(got, want[i], "cold incarnation diverged at spec {i}");
+    }
+    drop(client);
+    handle.shutdown();
+
+    // Simulated restart: fresh engine, scheduler and server over the
+    // same root. Registration restores the snapshot.
+    let server = Server::with_config(QueryScheduler::new(store_engine()), ServerConfig::default());
+    server.register(0, dataset(81, 1_200));
+    let handle = server.serve("127.0.0.1:0".parse().unwrap()).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for (i, spec) in specs.iter().enumerate() {
+        let got = client
+            .query(0, spec, Priority::Interactive, NO_TIMEOUT)
+            .unwrap()
+            .expect("warm result");
+        assert_eq!(got, want[i], "warm incarnation diverged at spec {i}");
+    }
+    let sched = handle.scheduler_stats();
+    assert_eq!(
+        sched.scan_passes, 0,
+        "a warm-started server must answer without one parse pass"
+    );
+    assert!(
+        sched.cache_hits >= 2,
+        "restored aggregates serve the single-pass queries"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn metric_selection_travels_the_wire() {
     // Each mask must come back bit-identical to the library query it
     // denotes: unselected metrics report zero, selected ones the full
